@@ -1,0 +1,121 @@
+//! FPGA device capacity models.
+
+use std::fmt;
+
+/// Capacities of an FPGA device, in the resource classes the overlay uses.
+///
+/// Two devices appear in the paper: the Zynq XC7Z020 used for all evaluation
+/// results, and the Virtex-7 VC707 (XC7VX485T) quoted for the V1 FU's peak
+/// frequency.
+///
+/// # Example
+///
+/// ```
+/// use overlay_arch::FpgaDevice;
+///
+/// let zynq = FpgaDevice::zynq_7020();
+/// assert_eq!(zynq.dsps, 220);
+/// assert!(zynq.luts > 50_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FpgaDevice {
+    /// Device / board name.
+    pub name: String,
+    /// Available 6-input LUTs.
+    pub luts: usize,
+    /// Available flip-flops.
+    pub ffs: usize,
+    /// Available logic slices.
+    pub slices: usize,
+    /// Available DSP48E1 blocks.
+    pub dsps: usize,
+    /// Available 36 kb block RAMs.
+    pub brams: usize,
+}
+
+impl FpgaDevice {
+    /// The Zynq XC7Z020 (ZedBoard / Zynq-7000) programmable logic, the device
+    /// every result in the paper is reported on.
+    pub fn zynq_7020() -> Self {
+        FpgaDevice {
+            name: "Zynq XC7Z020".to_owned(),
+            luts: 53_200,
+            ffs: 106_400,
+            slices: 13_300,
+            dsps: 220,
+            brams: 140,
+        }
+    }
+
+    /// The Virtex-7 VC707 evaluation board (XC7VX485T), quoted in the paper
+    /// for the V1 FU's 610 MHz peak frequency.
+    pub fn virtex7_vc707() -> Self {
+        FpgaDevice {
+            name: "Virtex-7 VC707 (XC7VX485T)".to_owned(),
+            luts: 303_600,
+            ffs: 607_200,
+            slices: 75_900,
+            dsps: 2_800,
+            brams: 1_030,
+        }
+    }
+
+    /// A custom device description.
+    pub fn custom(
+        name: impl Into<String>,
+        luts: usize,
+        ffs: usize,
+        slices: usize,
+        dsps: usize,
+        brams: usize,
+    ) -> Self {
+        FpgaDevice {
+            name: name.into(),
+            luts,
+            ffs,
+            slices,
+            dsps,
+            brams,
+        }
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LUTs, {} FFs, {} slices, {} DSPs, {} BRAMs",
+            self.name, self.luts, self.ffs, self.slices, self.dsps, self.brams
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zynq_capacities_match_the_datasheet() {
+        let zynq = FpgaDevice::zynq_7020();
+        assert_eq!(zynq.luts, 53_200);
+        assert_eq!(zynq.ffs, 106_400);
+        assert_eq!(zynq.slices, 13_300);
+        assert_eq!(zynq.dsps, 220);
+        assert_eq!(zynq.brams, 140);
+    }
+
+    #[test]
+    fn virtex7_is_much_larger_than_zynq() {
+        let zynq = FpgaDevice::zynq_7020();
+        let virtex = FpgaDevice::virtex7_vc707();
+        assert!(virtex.luts > 5 * zynq.luts);
+        assert!(virtex.dsps > 10 * zynq.dsps);
+    }
+
+    #[test]
+    fn custom_devices_and_display() {
+        let device = FpgaDevice::custom("toy", 100, 200, 25, 4, 2);
+        assert_eq!(device.dsps, 4);
+        assert!(device.to_string().contains("toy"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for architecture-model configuration.
+
+use std::fmt;
+
+/// Errors produced while configuring overlay architecture models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The requested overlay depth is outside the supported range.
+    InvalidDepth {
+        /// The requested depth.
+        depth: usize,
+    },
+    /// A fixed-depth (write-back) variant was configured with a depth other
+    /// than the tile depth the paper proposes.
+    UnsupportedTileCount {
+        /// The requested number of tiles.
+        tiles: usize,
+    },
+    /// The overlay does not fit on the selected device.
+    DoesNotFit {
+        /// Human-readable description of the resource that overflowed.
+        resource: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidDepth { depth } => {
+                write!(f, "overlay depth {depth} is outside the supported range (1–64)")
+            }
+            ArchError::UnsupportedTileCount { tiles } => {
+                write!(f, "tile count {tiles} is not supported (must be at least 1)")
+            }
+            ArchError::DoesNotFit { resource } => {
+                write!(f, "overlay does not fit on the device: {resource}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ArchError::InvalidDepth { depth: 0 }.to_string().contains('0'));
+        assert!(ArchError::DoesNotFit {
+            resource: "DSP blocks".into()
+        }
+        .to_string()
+        .contains("DSP"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<ArchError>();
+    }
+}

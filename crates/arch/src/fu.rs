@@ -1,0 +1,286 @@
+//! Functional-unit variants and their published characteristics (Table I).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ArchError;
+use crate::resources::ResourceUsage;
+
+/// The functional-unit design variants compared in the paper.
+///
+/// | variant | DSPs | LUTs | FFs | fmax (MHz) | IWP | write-back | lanes |
+/// |---------|------|------|-----|------------|-----|------------|-------|
+/// | `[14]`  | 1    | 160  | 293 | 325        | –   | no         | 1     |
+/// | V1      | 1    | 196  | 237 | 334        | –   | no         | 1     |
+/// | V2      | 2    | 292  | 333 | 335        | –   | no         | 2     |
+/// | V3      | 1    | 212  | 228 | 323        | 5   | yes        | 1     |
+/// | V4      | 1    | 207  | 163 | 254        | 4   | yes        | 1     |
+/// | V5      | 1    | 248  | 126 | 182        | 3   | yes        | 1     |
+///
+/// `IWP` is the internal write-back path length in cycles: the number of
+/// instructions that must separate two dependent instructions scheduled on
+/// the same FU when the first one writes its result back to the register
+/// file (V3–V5 only).
+///
+/// # Example
+///
+/// ```
+/// use overlay_arch::FuVariant;
+///
+/// assert_eq!(FuVariant::V3.iwp(), Some(5));
+/// assert!(FuVariant::V3.has_writeback());
+/// assert_eq!(FuVariant::V2.datapath_lanes(), 2);
+/// assert_eq!(FuVariant::Baseline.fu_resources().luts, 160);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuVariant {
+    /// The overlay of reference `[14]` (OLAF'16), used as the baseline.
+    Baseline,
+    /// V1: rotating register file overlapping data load with execution.
+    V1,
+    /// V2: V1 with a replicated stream datapath (two DSP lanes, 64-bit I/O).
+    V2,
+    /// V3: V1 plus result write-back, internal write-back path of 5 cycles.
+    V3,
+    /// V4: write-back with the RF-to-input-map registers removed (IWP = 4).
+    V4,
+    /// V5: write-back with a 2-deep DSP pipeline (IWP = 3).
+    V5,
+}
+
+impl FuVariant {
+    /// All variants, in Table I order.
+    pub const ALL: [FuVariant; 6] = [
+        FuVariant::Baseline,
+        FuVariant::V1,
+        FuVariant::V2,
+        FuVariant::V3,
+        FuVariant::V4,
+        FuVariant::V5,
+    ];
+
+    /// The variants the paper evaluates across the benchmark set (Table III
+    /// and Fig. 6): `[14]`, V1, V2, V3 and V4.
+    pub const EVALUATED: [FuVariant; 5] = [
+        FuVariant::Baseline,
+        FuVariant::V1,
+        FuVariant::V2,
+        FuVariant::V3,
+        FuVariant::V4,
+    ];
+
+    /// The short name used in the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FuVariant::Baseline => "[14]",
+            FuVariant::V1 => "V1",
+            FuVariant::V2 => "V2",
+            FuVariant::V3 => "V3",
+            FuVariant::V4 => "V4",
+            FuVariant::V5 => "V5",
+        }
+    }
+
+    /// Per-FU resource usage on the Zynq XC7Z020 (Table I). Slice counts are
+    /// derived from the LUT/FF figures because the paper reports slices only
+    /// at the overlay level.
+    pub fn fu_resources(self) -> ResourceUsage {
+        let (luts, ffs, dsps) = match self {
+            FuVariant::Baseline => (160, 293, 1),
+            FuVariant::V1 => (196, 237, 1),
+            FuVariant::V2 => (292, 333, 2),
+            FuVariant::V3 => (212, 228, 1),
+            FuVariant::V4 => (207, 163, 1),
+            FuVariant::V5 => (248, 126, 1),
+        };
+        ResourceUsage {
+            luts,
+            ffs,
+            slices: ResourceUsage::slices_from_luts_ffs(luts, ffs),
+            dsps,
+            brams: 0,
+        }
+    }
+
+    /// Stand-alone FU maximum frequency on the Zynq XC7Z020, in MHz
+    /// (Table I).
+    pub const fn fu_fmax_mhz(self) -> f64 {
+        match self {
+            FuVariant::Baseline => 325.0,
+            FuVariant::V1 => 334.0,
+            FuVariant::V2 => 335.0,
+            FuVariant::V3 => 323.0,
+            FuVariant::V4 => 254.0,
+            FuVariant::V5 => 182.0,
+        }
+    }
+
+    /// Stand-alone FU maximum frequency on the Virtex-7 VC707, where the
+    /// paper quotes a figure (V1 only).
+    pub const fn fu_fmax_mhz_vc707(self) -> Option<f64> {
+        match self {
+            FuVariant::V1 => Some(610.0),
+            _ => None,
+        }
+    }
+
+    /// Internal write-back path in cycles (Table I's `IWP` row); `None` for
+    /// the variants without write-back.
+    pub const fn iwp(self) -> Option<usize> {
+        match self {
+            FuVariant::V3 => Some(5),
+            FuVariant::V4 => Some(4),
+            FuVariant::V5 => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Whether results can be written back into the local register file,
+    /// allowing a fixed-depth overlay.
+    pub const fn has_writeback(self) -> bool {
+        self.iwp().is_some()
+    }
+
+    /// Number of parallel stream datapaths (2 for V2's replicated datapath,
+    /// 1 otherwise). V2 doubles the stream width to 64 bits and halves the
+    /// initiation interval at the cost of double the data bandwidth.
+    pub const fn datapath_lanes(self) -> usize {
+        match self {
+            FuVariant::V2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the overlay built from this FU must have a depth equal to the
+    /// kernel's critical path (`true` for the feed-forward-only variants) or
+    /// can use a fixed depth (`false`, the write-back variants).
+    pub const fn requires_kernel_depth(self) -> bool {
+        !self.has_writeback()
+    }
+
+    /// Depth of the DSP pipeline configured in this variant: 3 stages for all
+    /// variants except V5, which trades one pipeline stage for a shorter
+    /// write-back path.
+    pub const fn dsp_pipeline_depth(self) -> usize {
+        match self {
+            FuVariant::V5 => 2,
+            _ => 3,
+        }
+    }
+
+    /// One-line description of the architectural feature the variant adds.
+    pub const fn description(self) -> &'static str {
+        match self {
+            FuVariant::Baseline => "baseline TM functional unit of [14]",
+            FuVariant::V1 => "rotating register file overlaps data load with execution",
+            FuVariant::V2 => "replicated stream datapath (2 DSP lanes, 64-bit I/O)",
+            FuVariant::V3 => "result write-back into the register file (IWP = 5)",
+            FuVariant::V4 => "write-back with RF-to-map registers removed (IWP = 4)",
+            FuVariant::V5 => "write-back with a 2-stage DSP pipeline (IWP = 3)",
+        }
+    }
+}
+
+impl fmt::Display for FuVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FuVariant {
+    type Err = ArchError;
+
+    /// Parses a variant name as used in the paper (`"[14]"`, `"baseline"`,
+    /// `"v1"`–`"v5"`, case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "[14]" | "baseline" | "base" => Ok(FuVariant::Baseline),
+            "v1" => Ok(FuVariant::V1),
+            "v2" => Ok(FuVariant::V2),
+            "v3" => Ok(FuVariant::V3),
+            "v4" => Ok(FuVariant::V4),
+            "v5" => Ok(FuVariant::V5),
+            _ => Err(ArchError::InvalidDepth { depth: 0 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_resource_numbers() {
+        let baseline = FuVariant::Baseline.fu_resources();
+        assert_eq!((baseline.luts, baseline.ffs, baseline.dsps), (160, 293, 1));
+        let v1 = FuVariant::V1.fu_resources();
+        assert_eq!((v1.luts, v1.ffs, v1.dsps), (196, 237, 1));
+        let v2 = FuVariant::V2.fu_resources();
+        assert_eq!((v2.luts, v2.ffs, v2.dsps), (292, 333, 2));
+        let v3 = FuVariant::V3.fu_resources();
+        assert_eq!((v3.luts, v3.ffs, v3.dsps), (212, 228, 1));
+        let v4 = FuVariant::V4.fu_resources();
+        assert_eq!((v4.luts, v4.ffs, v4.dsps), (207, 163, 1));
+        let v5 = FuVariant::V5.fu_resources();
+        assert_eq!((v5.luts, v5.ffs, v5.dsps), (248, 126, 1));
+    }
+
+    #[test]
+    fn table1_fmax_and_iwp() {
+        assert_eq!(FuVariant::Baseline.fu_fmax_mhz(), 325.0);
+        assert_eq!(FuVariant::V1.fu_fmax_mhz(), 334.0);
+        assert_eq!(FuVariant::V2.fu_fmax_mhz(), 335.0);
+        assert_eq!(FuVariant::V3.fu_fmax_mhz(), 323.0);
+        assert_eq!(FuVariant::V4.fu_fmax_mhz(), 254.0);
+        assert_eq!(FuVariant::V5.fu_fmax_mhz(), 182.0);
+        assert_eq!(FuVariant::V1.fu_fmax_mhz_vc707(), Some(610.0));
+        assert_eq!(
+            FuVariant::ALL.map(|v| v.iwp()),
+            [None, None, None, Some(5), Some(4), Some(3)]
+        );
+    }
+
+    #[test]
+    fn v1_lut_increase_over_baseline_is_about_22_percent() {
+        let baseline = FuVariant::Baseline.fu_resources().luts as f64;
+        let v1 = FuVariant::V1.fu_resources().luts as f64;
+        let increase = (v1 - baseline) / baseline;
+        assert!((increase - 0.225).abs() < 0.01, "paper quotes ~22%");
+    }
+
+    #[test]
+    fn v2_is_less_than_twice_v1() {
+        let v1 = FuVariant::V1.fu_resources();
+        let v2 = FuVariant::V2.fu_resources();
+        assert!(v2.luts < 2 * v1.luts);
+        assert!(v2.ffs < 2 * v1.ffs);
+        assert_eq!(v2.dsps, 2 * v1.dsps);
+    }
+
+    #[test]
+    fn writeback_classification() {
+        assert!(FuVariant::V3.has_writeback());
+        assert!(FuVariant::V4.has_writeback());
+        assert!(FuVariant::V5.has_writeback());
+        assert!(!FuVariant::V1.has_writeback());
+        assert!(FuVariant::V1.requires_kernel_depth());
+        assert!(!FuVariant::V4.requires_kernel_depth());
+    }
+
+    #[test]
+    fn lanes_and_pipeline_depth() {
+        assert_eq!(FuVariant::V2.datapath_lanes(), 2);
+        assert_eq!(FuVariant::V1.datapath_lanes(), 1);
+        assert_eq!(FuVariant::V5.dsp_pipeline_depth(), 2);
+        assert_eq!(FuVariant::V3.dsp_pipeline_depth(), 3);
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for variant in FuVariant::ALL {
+            assert_eq!(variant.name().parse::<FuVariant>().unwrap(), variant);
+        }
+        assert_eq!("baseline".parse::<FuVariant>().unwrap(), FuVariant::Baseline);
+        assert!("v9".parse::<FuVariant>().is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Tile composition and the lightweight NoC proposed in Sec. III-A.3.
+//!
+//! The paper proposes packaging two depth-8 write-back overlays into a
+//! *tile*, with replicated tiles connected by an austere Hoplite-style
+//! deflection-routed NoC. Within a tile the two overlays can be chained in
+//! series (one logical depth-16 overlay) or run in parallel (a dual-datapath
+//! depth-8 overlay, analogous to V2). This module models the resource cost
+//! and communication latency of such arrays so the composition trade-off can
+//! be explored quantitatively.
+
+use std::fmt;
+
+use crate::error::ArchError;
+use crate::fu::FuVariant;
+use crate::overlay::{OverlayConfig, FIXED_DEPTH};
+use crate::resources::ResourceUsage;
+
+/// How the two depth-8 overlays inside a tile are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileComposition {
+    /// Chained back to back, forming a single depth-16 overlay.
+    Series,
+    /// Operated side by side on independent data streams (dual datapath).
+    Parallel,
+}
+
+impl fmt::Display for TileComposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileComposition::Series => f.write_str("series (depth 16)"),
+            TileComposition::Parallel => f.write_str("parallel (dual depth 8)"),
+        }
+    }
+}
+
+/// A tile holding two fixed-depth overlays plus one NoC router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tile {
+    /// The FU variant of both overlays in the tile (a write-back variant).
+    pub variant: FuVariant,
+    /// How the two overlays are combined.
+    pub composition: TileComposition,
+}
+
+/// Approximate cost of one Hoplite-style deflection router (the paper cites
+/// Kapre & Gray's austere FPGA NoC).
+const ROUTER_COST: ResourceUsage = ResourceUsage {
+    luts: 60,
+    ffs: 80,
+    slices: 20,
+    dsps: 0,
+    brams: 0,
+};
+
+impl Tile {
+    /// Creates a tile of two depth-8 overlays of `variant`.
+    pub fn new(variant: FuVariant, composition: TileComposition) -> Self {
+        Tile {
+            variant,
+            composition,
+        }
+    }
+
+    /// The logical overlay depth a kernel sees on this tile.
+    pub fn logical_depth(&self) -> usize {
+        match self.composition {
+            TileComposition::Series => 2 * FIXED_DEPTH,
+            TileComposition::Parallel => FIXED_DEPTH,
+        }
+    }
+
+    /// Number of independent data streams the tile processes at once.
+    pub fn parallel_streams(&self) -> usize {
+        match self.composition {
+            TileComposition::Series => 1,
+            TileComposition::Parallel => 2,
+        }
+    }
+
+    /// Estimated resource usage of the tile (two overlays plus a router).
+    pub fn resource_estimate(&self) -> ResourceUsage {
+        let overlay = OverlayConfig::fixed_depth(self.variant).resource_estimate();
+        overlay * 2 + ROUTER_COST
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} tile, {}", self.variant, self.composition)
+    }
+}
+
+/// A 2-D array of tiles connected by a unidirectional-torus deflection NoC
+/// (Hoplite topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NocConfig {
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Number of tile columns.
+    pub cols: usize,
+    /// The tile replicated across the array.
+    pub tile: Tile,
+}
+
+impl NocConfig {
+    /// Creates an array configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnsupportedTileCount`] if either dimension is
+    /// zero.
+    pub fn new(rows: usize, cols: usize, tile: Tile) -> Result<Self, ArchError> {
+        if rows == 0 || cols == 0 {
+            return Err(ArchError::UnsupportedTileCount { tiles: rows * cols });
+        }
+        Ok(NocConfig { rows, cols, tile })
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total resource estimate for the array.
+    pub fn resource_estimate(&self) -> ResourceUsage {
+        self.tile.resource_estimate() * self.num_tiles()
+    }
+
+    /// Zero-load routing latency, in cycles, from tile `(r0, c0)` to tile
+    /// `(r1, c1)` on the unidirectional torus: packets travel east along the
+    /// row ring first, then south along the column ring, one hop per cycle,
+    /// plus one cycle of router exit.
+    pub fn route_latency(&self, from: (usize, usize), to: (usize, usize)) -> usize {
+        let east = (to.1 + self.cols - from.1) % self.cols;
+        let south = (to.0 + self.rows - from.0) % self.rows;
+        east + south + 1
+    }
+
+    /// The worst-case zero-load routing latency across the array.
+    pub fn max_route_latency(&self) -> usize {
+        (self.cols - 1) + (self.rows - 1) + 1
+    }
+}
+
+impl fmt::Display for NocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} torus of [{}]", self.rows, self.cols, self.tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_tiles_double_the_depth() {
+        let series = Tile::new(FuVariant::V3, TileComposition::Series);
+        assert_eq!(series.logical_depth(), 16);
+        assert_eq!(series.parallel_streams(), 1);
+        let parallel = Tile::new(FuVariant::V3, TileComposition::Parallel);
+        assert_eq!(parallel.logical_depth(), 8);
+        assert_eq!(parallel.parallel_streams(), 2);
+    }
+
+    #[test]
+    fn tile_resources_are_two_overlays_plus_a_router() {
+        let tile = Tile::new(FuVariant::V3, TileComposition::Series);
+        let overlay = OverlayConfig::fixed_depth(FuVariant::V3).resource_estimate();
+        let usage = tile.resource_estimate();
+        assert_eq!(usage.dsps, 2 * overlay.dsps);
+        assert!(usage.slices > 2 * overlay.slices);
+    }
+
+    #[test]
+    fn array_dimensions_are_validated() {
+        let tile = Tile::new(FuVariant::V4, TileComposition::Parallel);
+        assert!(NocConfig::new(0, 3, tile).is_err());
+        let noc = NocConfig::new(2, 3, tile).unwrap();
+        assert_eq!(noc.num_tiles(), 6);
+        assert_eq!(noc.resource_estimate().dsps, 6 * 16);
+    }
+
+    #[test]
+    fn torus_routing_latency_wraps_around() {
+        let tile = Tile::new(FuVariant::V3, TileComposition::Series);
+        let noc = NocConfig::new(3, 3, tile).unwrap();
+        assert_eq!(noc.route_latency((0, 0), (0, 0)), 1);
+        assert_eq!(noc.route_latency((0, 0), (0, 1)), 2);
+        // Wrapping west-to-east: from column 2 back to column 0 is 1 hop.
+        assert_eq!(noc.route_latency((0, 2), (0, 0)), 2);
+        assert_eq!(noc.max_route_latency(), 5);
+    }
+
+    #[test]
+    fn four_v3_tiles_fit_on_the_zynq() {
+        use crate::device::FpgaDevice;
+        let tile = Tile::new(FuVariant::V3, TileComposition::Series);
+        let noc = NocConfig::new(2, 2, tile).unwrap();
+        assert!(noc.resource_estimate().fits_on(&FpgaDevice::zynq_7020()));
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        let tile = Tile::new(FuVariant::V5, TileComposition::Parallel);
+        assert!(tile.to_string().contains("V5"));
+        let noc = NocConfig::new(2, 4, tile).unwrap();
+        assert!(noc.to_string().contains("2x4"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Reconfiguration and hardware-context-switch timing model.
+//!
+//! The paper's Sec. V compares two ways of changing the application kernel:
+//!
+//! * the **non-write-back overlays** (`[14]`, V1, V2) must be rebuilt to the
+//!   new kernel's depth, which means partially reconfiguring the FPGA region
+//!   through the processor configuration access port (PCAP) — 0.73 ms for the
+//!   depth-8 V1 region (7 CLB tiles + 1 DSP tile) and 1.02 ms for V2
+//!   (9 CLB + 2 DSP tiles) — followed by loading the instruction
+//!   configuration (0.29 µs for the largest benchmark);
+//! * the **fixed-depth write-back overlays** (V3–V5) only need the new
+//!   instruction configuration, ≈0.25 µs, a ~2900× faster hardware context
+//!   switch.
+//!
+//! [`ReconfigModel`] reproduces those figures from first principles (region
+//! size × PCAP bandwidth, configuration size × AXI bandwidth) so that the
+//! same model extends to other overlay depths and kernels.
+
+use std::fmt;
+
+use crate::fu::FuVariant;
+use crate::overlay::OverlayConfig;
+
+/// A rectangular partial-reconfiguration region measured in 7-series tile
+/// columns (one tile = one clock-region-high column of CLBs or DSPs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Region {
+    /// CLB tile columns (≈100 slices each).
+    pub clb_tiles: usize,
+    /// DSP tile columns (≈10 DSP48E1 slices each).
+    pub dsp_tiles: usize,
+}
+
+impl Region {
+    /// Total number of tile columns.
+    pub fn total_tiles(&self) -> usize {
+        self.clb_tiles + self.dsp_tiles
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} CLB tile(s) + {} DSP tile(s)", self.clb_tiles, self.dsp_tiles)
+    }
+}
+
+/// Calibrated timing model for PCAP partial reconfiguration and AXI
+/// configuration loading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigModel {
+    /// Partial bitstream size per tile column, in bytes.
+    pub bytes_per_tile: f64,
+    /// Sustained PCAP throughput, in bytes per second.
+    pub pcap_bandwidth: f64,
+    /// Sustained AXI throughput for instruction-configuration writes, in
+    /// bytes per second.
+    pub axi_bandwidth: f64,
+    /// Fixed software/driver overhead added to every configuration load, in
+    /// microseconds.
+    pub load_overhead_us: f64,
+}
+
+impl Default for ReconfigModel {
+    /// Calibration chosen so the depth-8 V1/V2 regions reproduce the paper's
+    /// 0.73 ms / 1.02 ms PCAP times and a ~128-word kernel configuration
+    /// loads in ≈0.25–0.29 µs.
+    fn default() -> Self {
+        ReconfigModel {
+            bytes_per_tile: 11_850.0,
+            pcap_bandwidth: 128.0e6,
+            axi_bandwidth: 1.6e9,
+            load_overhead_us: 0.05,
+        }
+    }
+}
+
+impl ReconfigModel {
+    /// Creates the default calibrated model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The minimum reconfigurable region needed to host `overlay`, following
+    /// the tile geometry of the Zynq XC7Z020 (≈100 slices per CLB tile
+    /// column, 10 DSP slices per DSP tile column).
+    pub fn region_for(&self, overlay: &OverlayConfig) -> Region {
+        let usage = overlay.resource_estimate();
+        Region {
+            clb_tiles: usage.slices.div_ceil(100),
+            dsp_tiles: usage.dsps.div_ceil(10),
+        }
+    }
+
+    /// Time to partially reconfigure `region` through the PCAP, in
+    /// microseconds.
+    pub fn partial_reconfig_us(&self, region: Region) -> f64 {
+        region.total_tiles() as f64 * self.bytes_per_tile / self.pcap_bandwidth * 1e6
+    }
+
+    /// Time to load `config_bits` of kernel configuration (instruction
+    /// streams + constants) over AXI, in microseconds.
+    pub fn config_load_us(&self, config_bits: usize) -> f64 {
+        let bytes = (config_bits as f64 / 8.0).ceil();
+        self.load_overhead_us + bytes / self.axi_bandwidth * 1e6
+    }
+
+    /// The full kernel-switch cost for a non-write-back overlay (`[14]`, V1,
+    /// V2): partial reconfiguration of the overlay region plus the
+    /// configuration load.
+    pub fn full_switch(&self, overlay: &OverlayConfig, config_bits: usize) -> ContextSwitch {
+        let region = self.region_for(overlay);
+        ContextSwitch {
+            variant: overlay.variant(),
+            reconfig_us: self.partial_reconfig_us(region),
+            config_load_us: self.config_load_us(config_bits),
+        }
+    }
+
+    /// The kernel-switch cost for a fixed-depth write-back overlay (V3–V5):
+    /// only the configuration load.
+    pub fn program_only_switch(
+        &self,
+        variant: FuVariant,
+        config_bits: usize,
+    ) -> ContextSwitch {
+        ContextSwitch {
+            variant,
+            reconfig_us: 0.0,
+            config_load_us: self.config_load_us(config_bits),
+        }
+    }
+}
+
+/// The cost of one hardware context switch (changing the kernel running on
+/// the overlay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContextSwitch {
+    /// The overlay variant being switched.
+    pub variant: FuVariant,
+    /// Partial-reconfiguration time (zero for fixed-depth overlays), µs.
+    pub reconfig_us: f64,
+    /// Instruction/constant configuration load time, µs.
+    pub config_load_us: f64,
+}
+
+impl ContextSwitch {
+    /// Total context-switch time in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.reconfig_us + self.config_load_us
+    }
+
+    /// How many times faster `self` is than `other`.
+    pub fn speedup_over(&self, other: &ContextSwitch) -> f64 {
+        other.total_us() / self.total_us()
+    }
+}
+
+impl fmt::Display for ContextSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} µs reconfig + {:.2} µs config load = {:.2} µs",
+            self.variant,
+            self.reconfig_us,
+            self.config_load_us,
+            self.total_us()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_depth8_region_matches_the_paper() {
+        let model = ReconfigModel::new();
+        let overlay = OverlayConfig::new(FuVariant::V1, 8).unwrap();
+        let region = model.region_for(&overlay);
+        assert_eq!(region.clb_tiles, 7);
+        assert_eq!(region.dsp_tiles, 1);
+    }
+
+    #[test]
+    fn v2_depth8_region_matches_the_paper() {
+        let model = ReconfigModel::new();
+        let overlay = OverlayConfig::new(FuVariant::V2, 8).unwrap();
+        let region = model.region_for(&overlay);
+        assert_eq!(region.clb_tiles, 9);
+        assert_eq!(region.dsp_tiles, 2);
+    }
+
+    #[test]
+    fn pcap_times_are_close_to_the_published_values() {
+        let model = ReconfigModel::new();
+        let v1 = model.partial_reconfig_us(Region { clb_tiles: 7, dsp_tiles: 1 });
+        let v2 = model.partial_reconfig_us(Region { clb_tiles: 9, dsp_tiles: 2 });
+        assert!((v1 - 730.0).abs() < 30.0, "V1 PCAP ≈ 0.73 ms, got {v1} µs");
+        assert!((v2 - 1020.0).abs() < 40.0, "V2 PCAP ≈ 1.02 ms, got {v2} µs");
+    }
+
+    #[test]
+    fn config_load_is_sub_microsecond_for_benchmark_sized_programs() {
+        let model = ReconfigModel::new();
+        // ~128 instructions of 32 bits.
+        let us = model.config_load_us(128 * 32);
+        assert!(us > 0.0 && us < 0.5, "got {us} µs");
+    }
+
+    #[test]
+    fn fixed_depth_context_switch_is_orders_of_magnitude_faster() {
+        let model = ReconfigModel::new();
+        let v1_overlay = OverlayConfig::new(FuVariant::V1, 8).unwrap();
+        let config_bits = 128 * 32;
+        let full = model.full_switch(&v1_overlay, config_bits);
+        let fixed = model.program_only_switch(FuVariant::V3, config_bits);
+        let speedup = fixed.speedup_over(&full);
+        assert!(
+            speedup > 1_000.0 && speedup < 10_000.0,
+            "paper reports ≈2900×, got {speedup:.0}×"
+        );
+    }
+
+    #[test]
+    fn display_summarises_the_breakdown() {
+        let switch = ContextSwitch {
+            variant: FuVariant::V3,
+            reconfig_us: 0.0,
+            config_load_us: 0.25,
+        };
+        let text = switch.to_string();
+        assert!(text.contains("V3"));
+        assert!(text.contains("0.25"));
+    }
+
+    #[test]
+    fn region_total_and_display() {
+        let region = Region { clb_tiles: 7, dsp_tiles: 1 };
+        assert_eq!(region.total_tiles(), 8);
+        assert!(region.to_string().contains("7 CLB"));
+    }
+}

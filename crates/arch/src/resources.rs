@@ -1,0 +1,239 @@
+//! FPGA resource accounting.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+use crate::device::FpgaDevice;
+
+/// A bundle of FPGA resources (LUTs, flip-flops, logic slices, DSP blocks and
+/// block RAMs).
+///
+/// Resource usages add component-wise and can be scaled by an integer factor,
+/// which is how overlay-level usage is derived from per-FU usage.
+///
+/// # Example
+///
+/// ```
+/// use overlay_arch::ResourceUsage;
+///
+/// let fu = ResourceUsage { luts: 196, ffs: 237, slices: 78, dsps: 1, brams: 0 };
+/// let eight_fus = fu * 8;
+/// assert_eq!(eight_fus.dsps, 8);
+/// assert_eq!(eight_fus.luts, 1568);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceUsage {
+    /// Look-up tables.
+    pub luts: usize,
+    /// Flip-flops (registers).
+    pub ffs: usize,
+    /// Logic slices (4 LUTs + 8 FFs each on 7-series devices).
+    pub slices: usize,
+    /// DSP48E1 blocks.
+    pub dsps: usize,
+    /// 36 kb block RAMs.
+    pub brams: usize,
+}
+
+impl ResourceUsage {
+    /// The empty resource bundle.
+    pub const ZERO: ResourceUsage = ResourceUsage {
+        luts: 0,
+        ffs: 0,
+        slices: 0,
+        dsps: 0,
+        brams: 0,
+    };
+
+    /// Estimates the number of logic slices needed to hold the given LUT and
+    /// FF counts on a 7-series device (4 LUTs and 8 flip-flops per slice),
+    /// assuming the packer achieves ~80 % occupancy as typical for control
+    /// heavy logic.
+    pub fn slices_from_luts_ffs(luts: usize, ffs: usize) -> usize {
+        let by_lut = luts.div_ceil(4);
+        let by_ff = ffs.div_ceil(8);
+        let packed = by_lut.max(by_ff);
+        (packed as f64 / 0.8).ceil() as usize
+    }
+
+    /// Fraction of `device` consumed by each resource class, as
+    /// `(luts, ffs, slices, dsps, brams)` fractions in `0.0..=1.0` (values
+    /// above 1.0 mean the design does not fit).
+    pub fn utilization_on(&self, device: &FpgaDevice) -> Utilization {
+        fn frac(used: usize, available: usize) -> f64 {
+            if available == 0 {
+                0.0
+            } else {
+                used as f64 / available as f64
+            }
+        }
+        Utilization {
+            luts: frac(self.luts, device.luts),
+            ffs: frac(self.ffs, device.ffs),
+            slices: frac(self.slices, device.slices),
+            dsps: frac(self.dsps, device.dsps),
+            brams: frac(self.brams, device.brams),
+        }
+    }
+
+    /// Whether the usage fits within `device`.
+    pub fn fits_on(&self, device: &FpgaDevice) -> bool {
+        let u = self.utilization_on(device);
+        u.luts <= 1.0 && u.ffs <= 1.0 && u.slices <= 1.0 && u.dsps <= 1.0 && u.brams <= 1.0
+    }
+}
+
+/// Per-class device utilization fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization {
+    /// LUT utilization fraction.
+    pub luts: f64,
+    /// Flip-flop utilization fraction.
+    pub ffs: f64,
+    /// Slice utilization fraction.
+    pub slices: f64,
+    /// DSP utilization fraction.
+    pub dsps: f64,
+    /// Block-RAM utilization fraction.
+    pub brams: f64,
+}
+
+impl Utilization {
+    /// The largest utilization fraction across all resource classes — the
+    /// binding constraint.
+    pub fn max_fraction(&self) -> f64 {
+        self.luts
+            .max(self.ffs)
+            .max(self.slices)
+            .max(self.dsps)
+            .max(self.brams)
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            slices: self.slices + rhs.slices,
+            dsps: self.dsps + rhs.dsps,
+            brams: self.brams + rhs.brams,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<usize> for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn mul(self, factor: usize) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.luts * factor,
+            ffs: self.ffs * factor,
+            slices: self.slices * factor,
+            dsps: self.dsps * factor,
+            brams: self.brams * factor,
+        }
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} slices, {} DSPs, {} BRAMs",
+            self.luts, self.ffs, self.slices, self.dsps, self.brams
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FpgaDevice;
+
+    #[test]
+    fn addition_and_scaling_are_component_wise() {
+        let a = ResourceUsage {
+            luts: 10,
+            ffs: 20,
+            slices: 3,
+            dsps: 1,
+            brams: 0,
+        };
+        let b = ResourceUsage {
+            luts: 5,
+            ffs: 5,
+            slices: 2,
+            dsps: 0,
+            brams: 1,
+        };
+        let sum = a + b;
+        assert_eq!(sum.luts, 15);
+        assert_eq!(sum.brams, 1);
+        let scaled = a * 3;
+        assert_eq!(scaled.ffs, 60);
+        let mut acc = ResourceUsage::ZERO;
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
+    }
+
+    #[test]
+    fn slice_estimate_respects_lut_and_ff_pressure() {
+        // 196 LUTs / 4 = 49, 237 FFs / 8 = 30 -> LUT bound, /0.8 ≈ 62
+        let slices = ResourceUsage::slices_from_luts_ffs(196, 237);
+        assert!(slices >= 49);
+        assert!(slices <= 75);
+        // FF bound case
+        assert!(ResourceUsage::slices_from_luts_ffs(8, 800) >= 100);
+    }
+
+    #[test]
+    fn utilization_reports_fractions_of_the_device() {
+        let device = FpgaDevice::zynq_7020();
+        let usage = ResourceUsage {
+            luts: device.luts / 2,
+            ffs: 0,
+            slices: 0,
+            dsps: device.dsps,
+            brams: 0,
+        };
+        let utilization = usage.utilization_on(&device);
+        assert!((utilization.luts - 0.5).abs() < 1e-9);
+        assert!((utilization.dsps - 1.0).abs() < 1e-9);
+        assert!((utilization.max_fraction() - 1.0).abs() < 1e-9);
+        assert!(usage.fits_on(&device));
+    }
+
+    #[test]
+    fn oversubscription_fails_the_fit_check() {
+        let device = FpgaDevice::zynq_7020();
+        let usage = ResourceUsage {
+            dsps: device.dsps + 1,
+            ..ResourceUsage::ZERO
+        };
+        assert!(!usage.fits_on(&device));
+    }
+
+    #[test]
+    fn display_lists_all_classes() {
+        let text = ResourceUsage {
+            luts: 1,
+            ffs: 2,
+            slices: 3,
+            dsps: 4,
+            brams: 5,
+        }
+        .to_string();
+        assert!(text.contains("1 LUTs"));
+        assert!(text.contains("5 BRAMs"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Overlay scalability sweeps (Fig. 5 of the paper).
+//!
+//! Fig. 5 plots, for overlay sizes of 2–16 FUs, (a) the logic-slice and DSP
+//! usage and (b) the maximum operating frequency, for the `[14]` baseline and
+//! the V1/V2 overlays. [`scalability_sweep`] regenerates those series from
+//! the calibrated models in [`crate::overlay`].
+
+use crate::error::ArchError;
+use crate::fu::FuVariant;
+use crate::overlay::OverlayConfig;
+
+/// One point of the Fig. 5 sweep: an overlay size and the modelled resource
+/// usage / frequency at that size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityPoint {
+    /// The FU variant.
+    pub variant: FuVariant,
+    /// Overlay size (number of FUs).
+    pub size: usize,
+    /// Estimated logic-slice usage.
+    pub slices: usize,
+    /// DSP blocks used.
+    pub dsps: usize,
+    /// Estimated maximum frequency in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Generates the Fig. 5 sweep for `variant` over overlay sizes
+/// `sizes` (the paper uses 2, 4, …, 16).
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidDepth`] if any requested size is out of range.
+///
+/// # Example
+///
+/// ```
+/// use overlay_arch::{scalability_sweep, FuVariant};
+///
+/// # fn main() -> Result<(), overlay_arch::ArchError> {
+/// let points = scalability_sweep(FuVariant::V1, &[2, 4, 8, 16])?;
+/// assert_eq!(points.len(), 4);
+/// assert!(points[3].slices > points[0].slices);
+/// assert!(points[3].fmax_mhz < points[0].fmax_mhz);
+/// # Ok(())
+/// # }
+/// ```
+pub fn scalability_sweep(
+    variant: FuVariant,
+    sizes: &[usize],
+) -> Result<Vec<ScalabilityPoint>, ArchError> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let overlay = OverlayConfig::new(variant, size)?;
+            let usage = overlay.resource_estimate();
+            Ok(ScalabilityPoint {
+                variant,
+                size,
+                slices: usage.slices,
+                dsps: usage.dsps,
+                fmax_mhz: overlay.fmax_mhz(),
+            })
+        })
+        .collect()
+}
+
+/// The overlay sizes plotted in Fig. 5 (2 to 16 FUs in steps of 2).
+pub fn figure5_sizes() -> Vec<usize> {
+    (1..=8).map(|i| i * 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_sizes_are_2_to_16() {
+        assert_eq!(figure5_sizes(), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn slices_grow_monotonically_with_size() {
+        for variant in [FuVariant::Baseline, FuVariant::V1, FuVariant::V2] {
+            let points = scalability_sweep(variant, &figure5_sizes()).unwrap();
+            for window in points.windows(2) {
+                assert!(window[1].slices > window[0].slices, "{variant}");
+                assert!(window[1].dsps >= window[0].dsps, "{variant}");
+                assert!(window[1].fmax_mhz <= window[0].fmax_mhz, "{variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn v2_uses_twice_the_dsps_of_v1() {
+        let v1 = scalability_sweep(FuVariant::V1, &figure5_sizes()).unwrap();
+        let v2 = scalability_sweep(FuVariant::V2, &figure5_sizes()).unwrap();
+        for (a, b) in v1.iter().zip(&v2) {
+            assert_eq!(b.dsps, 2 * a.dsps);
+            assert!(b.slices > a.slices);
+        }
+    }
+
+    #[test]
+    fn baseline_uses_fewer_slices_than_v1() {
+        // The V1 FU consumes ~22% more LUTs than [14]; the overlay-level
+        // slice model must preserve that ordering.
+        let baseline = scalability_sweep(FuVariant::Baseline, &[8]).unwrap();
+        let v1 = scalability_sweep(FuVariant::V1, &[8]).unwrap();
+        assert!(baseline[0].slices < v1[0].slices);
+    }
+
+    #[test]
+    fn depth16_v1_stays_within_figure5_axis_range() {
+        // Fig. 5a's y-axis tops out at 2,000 slices and 40 DSP blocks.
+        let points = scalability_sweep(FuVariant::V2, &[16]).unwrap();
+        assert!(points[0].slices < 2_000);
+        assert!(points[0].dsps <= 40);
+    }
+
+    #[test]
+    fn invalid_sizes_are_rejected() {
+        assert!(scalability_sweep(FuVariant::V1, &[0]).is_err());
+        assert!(scalability_sweep(FuVariant::V1, &[65]).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Tool-flow benches: front-end, scheduling and instruction generation
+//! throughput (the "fast compilation" motivation of overlays).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::arch::FuVariant;
+use tm_overlay::frontend::{compile_kernel, Benchmark};
+use tm_overlay::Compiler;
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile/frontend_gradient", |b| {
+        let source = Benchmark::Gradient.source().unwrap();
+        b.iter(|| black_box(compile_kernel(source).unwrap()))
+    });
+
+    let mut group = c.benchmark_group("compile/full_pipeline");
+    for benchmark in [Benchmark::Gradient, Benchmark::Qspline, Benchmark::Poly6] {
+        for variant in [FuVariant::V1, FuVariant::V3] {
+            group.bench_function(format!("{benchmark}/{variant}"), |b| {
+                let compiler = Compiler::new(variant);
+                b.iter(|| black_box(compiler.compile_benchmark(benchmark).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Context-switch bench: the reconfiguration/configuration-load model over
+//! the benchmark suite (Sec. V comparison).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::arch::{FuVariant, OverlayConfig, ReconfigModel};
+use tm_overlay::frontend::Benchmark;
+use tm_overlay::Compiler;
+
+fn bench_context_switch(c: &mut Criterion) {
+    let model = ReconfigModel::new();
+    let compiled: Vec<_> = Benchmark::TABLE3
+        .iter()
+        .map(|&b| {
+            (
+                Compiler::new(FuVariant::V1).compile_benchmark(b).unwrap(),
+                Compiler::new(FuVariant::V3).compile_benchmark(b).unwrap(),
+            )
+        })
+        .collect();
+    c.bench_function("context_switch/model_all_benchmarks", |b| {
+        b.iter(|| {
+            for (v1, v3) in &compiled {
+                let full = model.full_switch(
+                    &OverlayConfig::new(FuVariant::V1, v1.num_fus()).unwrap(),
+                    v1.program.config_bits(),
+                );
+                let reload = model.program_only_switch(FuVariant::V3, v3.program.config_bits());
+                black_box(reload.speedup_over(&full));
+            }
+        })
+    });
+    c.bench_function("context_switch/render", |b| {
+        b.iter(|| black_box(overlay_bench::context_switch()))
+    });
+}
+
+criterion_group!(benches, bench_context_switch);
+criterion_main!(benches);

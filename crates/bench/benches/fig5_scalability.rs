@@ -1,0 +1,21 @@
+//! Fig. 5 bench: the overlay scalability sweep (resources and fmax vs size).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::arch::{scalability_sweep, FuVariant};
+
+fn bench_fig5(c: &mut Criterion) {
+    let sizes: Vec<usize> = (1..=8).map(|i| i * 2).collect();
+    c.bench_function("fig5/sweep_baseline_v1_v2", |b| {
+        b.iter(|| {
+            for variant in [FuVariant::Baseline, FuVariant::V1, FuVariant::V2] {
+                black_box(scalability_sweep(variant, &sizes).unwrap());
+            }
+        })
+    });
+    c.bench_function("fig5/render", |b| {
+        b.iter(|| black_box(overlay_bench::fig5()))
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

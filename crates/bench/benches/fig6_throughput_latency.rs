@@ -1,0 +1,22 @@
+//! Fig. 6 bench: compile + simulate every benchmark on every variant and
+//! derive throughput/latency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::arch::FuVariant;
+use tm_overlay::frontend::Benchmark;
+use tm_overlay::compare_variants;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Chebyshev, Benchmark::Qspline, Benchmark::Poly7] {
+        let dfg = benchmark.dfg().unwrap();
+        group.bench_function(format!("compare_variants/{benchmark}"), |b| {
+            b.iter(|| black_box(compare_variants(&dfg, &FuVariant::EVALUATED, 16, 1).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Simulator benches: invocations per second of the cycle-accurate model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tm_overlay::arch::FuVariant;
+use tm_overlay::frontend::Benchmark;
+use tm_overlay::{Compiler, Overlay, Workload};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let blocks = 256usize;
+    group.throughput(Throughput::Elements(blocks as u64));
+    for benchmark in [Benchmark::Gradient, Benchmark::Sgfilter, Benchmark::Poly7] {
+        let dfg = benchmark.dfg().unwrap();
+        for variant in [FuVariant::V1, FuVariant::V3] {
+            let compiled = Compiler::new(variant).compile_benchmark(benchmark).unwrap();
+            let overlay = Overlay::for_kernel(variant, &compiled).unwrap();
+            let workload = Workload::random(dfg.num_inputs(), blocks, 9);
+            group.bench_function(format!("{benchmark}/{variant}/{blocks}_blocks"), |b| {
+                b.iter(|| black_box(overlay.execute(&compiled, &workload).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table I bench: FU resource/frequency model evaluation for every variant.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::arch::FuVariant;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/fu_models_all_variants", |b| {
+        b.iter(|| {
+            for variant in FuVariant::ALL {
+                let resources = variant.fu_resources();
+                black_box((resources, variant.fu_fmax_mhz(), variant.iwp()));
+            }
+        })
+    });
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(overlay_bench::table1()))
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

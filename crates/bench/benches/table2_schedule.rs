@@ -1,0 +1,23 @@
+//! Table II bench: building the pipelined cycle-by-cycle schedule of the
+//! 'gradient' kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::frontend::Benchmark;
+use tm_overlay::scheduler::{asap_schedule, schedule_table};
+
+fn bench_table2(c: &mut Criterion) {
+    let dfg = Benchmark::Gradient.dfg().unwrap();
+    c.bench_function("table2/gradient_asap_schedule", |b| {
+        b.iter(|| black_box(asap_schedule(&dfg).unwrap()))
+    });
+    let schedule = asap_schedule(&dfg).unwrap();
+    c.bench_function("table2/gradient_cycle_table_32", |b| {
+        b.iter(|| black_box(schedule_table(&dfg, &schedule, 6, 6, 32)))
+    });
+    c.bench_function("table2/render", |b| {
+        b.iter(|| black_box(overlay_bench::table2()))
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table III bench: scheduling every benchmark for every evaluated variant
+//! and computing the initiation intervals.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tm_overlay::arch::FuVariant;
+use tm_overlay::frontend::Benchmark;
+use tm_overlay::scheduler::{ii_for_variant, schedule};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    for benchmark in Benchmark::TABLE3 {
+        let dfg = benchmark.dfg().unwrap();
+        group.bench_function(format!("schedule_all_variants/{benchmark}"), |b| {
+            b.iter(|| {
+                for variant in FuVariant::EVALUATED {
+                    let stages = schedule(&dfg, variant, Some(8)).unwrap();
+                    black_box(ii_for_variant(&stages, variant));
+                }
+            })
+        });
+    }
+    group.finish();
+    c.bench_function("table3/render", |b| {
+        b.iter(|| black_box(overlay_bench::table3()))
+    });
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p overlay-bench --bin repro              # everything
+//! cargo run -p overlay-bench --bin repro -- table3    # one artefact
+//! ```
+//!
+//! Valid selectors: `table1`, `table2`, `table3`, `fig5`, `fig6`,
+//! `context-switch`, `examples`, `ablation`.
+
+use overlay_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selectors: Vec<&str> = if args.is_empty() {
+        vec![
+            "table1",
+            "table2",
+            "table3",
+            "fig5",
+            "fig6",
+            "context-switch",
+            "examples",
+            "ablation",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for selector in selectors {
+        let text = match selector {
+            "table1" => bench::table1(),
+            "table2" => bench::table2(),
+            "table3" => bench::table3(),
+            "fig5" => bench::fig5(),
+            "fig6" => bench::fig6(),
+            "context-switch" => bench::context_switch(),
+            "examples" => bench::worked_examples(),
+            "ablation" => bench::iwp_ablation(),
+            other => {
+                eprintln!("unknown selector `{other}`");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        println!("{}", "=".repeat(100));
+    }
+}

@@ -1,0 +1,78 @@
+//! # tm-overlay — a time-multiplexed FPGA overlay with linear interconnect
+//!
+//! This crate is the public façade of the workspace reproducing Li et al.,
+//! *"A Time-Multiplexed FPGA Overlay with Linear Interconnect"* (DATE 2018).
+//! It ties together:
+//!
+//! * [`frontend`] — the kernel language and the paper's benchmark suite,
+//! * [`dfg`] — the data-flow-graph IR and reference evaluator,
+//! * [`scheduler`] — ASAP and fixed-depth greedy scheduling, II models and
+//!   instruction generation,
+//! * [`isa`] — the 32-bit FU instruction set,
+//! * [`arch`] — resource/frequency/reconfiguration models calibrated to the
+//!   paper's published numbers,
+//! * [`sim`] — the cycle-accurate overlay simulator,
+//!
+//! behind two entry points: [`Compiler`] (kernel source → [`CompiledKernel`])
+//! and [`Overlay`] (a configured overlay instance that executes compiled
+//! kernels and reports performance).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tm_overlay::{Compiler, Overlay, FuVariant, Workload};
+//! use tm_overlay::dfg::Value;
+//!
+//! # fn main() -> Result<(), tm_overlay::Error> {
+//! // 1. Compile a kernel for the V1 overlay.
+//! let compiled = Compiler::new(FuVariant::V1)
+//!     .compile_source("kernel saxpy(a, x, y) { out r = a * x + y; }")?;
+//!
+//! // 2. Instantiate the overlay and run a workload through it.
+//! let overlay = Overlay::for_kernel(FuVariant::V1, &compiled)?;
+//! let workload = Workload::from_records(vec![
+//!     [2, 3, 4].map(Value::new).to_vec(),
+//!     [5, 6, 7].map(Value::new).to_vec(),
+//! ]);
+//! let run = overlay.execute(&compiled, &workload)?;
+//! assert_eq!(run.outputs()[0], vec![Value::new(10)]);
+//!
+//! // 3. Inspect the performance report.
+//! let report = overlay.performance(&compiled, &run);
+//! assert!(report.throughput_gops > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compiler;
+pub mod error;
+pub mod overlay;
+pub mod report;
+
+/// Re-export of the data-flow-graph crate.
+pub use overlay_dfg as dfg;
+/// Re-export of the front-end crate.
+pub use overlay_frontend as frontend;
+/// Re-export of the instruction-set crate.
+pub use overlay_isa as isa;
+/// Re-export of the architecture-model crate.
+pub use overlay_arch as arch;
+/// Re-export of the scheduler crate.
+pub use overlay_scheduler as scheduler;
+/// Re-export of the simulator crate.
+pub use overlay_sim as sim;
+
+pub use compiler::Compiler;
+pub use error::Error;
+pub use overlay::{Overlay, PerformanceReport};
+pub use report::{compare_variants, VariantResult};
+
+// The most frequently used types, re-exported at the crate root.
+pub use overlay_arch::{FuVariant, OverlayConfig};
+pub use overlay_frontend::Benchmark;
+pub use overlay_scheduler::CompiledKernel;
+pub use overlay_sim::{SimRun, Workload};

@@ -1,0 +1,214 @@
+//! A configured overlay instance: execution, performance and context-switch
+//! reporting.
+
+use std::fmt;
+
+use overlay_arch::{ContextSwitch, FpgaDevice, FuVariant, OverlayConfig, ReconfigModel, ResourceUsage};
+use overlay_scheduler::CompiledKernel;
+use overlay_sim::{OverlaySimulator, SimRun, Workload};
+
+use crate::error::Error;
+
+/// A linear-overlay instance: an architecture configuration plus a simulator.
+///
+/// See the [crate-level quickstart](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    config: OverlayConfig,
+    simulator: OverlaySimulator,
+    reconfig: ReconfigModel,
+}
+
+/// Performance of one compiled kernel on one overlay instance, combining the
+/// simulator's cycle measurements with the architecture model's operating
+/// frequency — the quantities plotted in the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformanceReport {
+    /// The overlay variant.
+    pub variant: FuVariant,
+    /// Number of FUs the kernel occupies.
+    pub fus: usize,
+    /// Analytical initiation interval (cycles).
+    pub model_ii: f64,
+    /// Measured steady-state initiation interval (cycles).
+    pub measured_ii: f64,
+    /// Overlay operating frequency used for the conversions (MHz).
+    pub fmax_mhz: f64,
+    /// Throughput in giga-operations per second.
+    pub throughput_gops: f64,
+    /// Pipeline latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl fmt::Display for PerformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: II {:.1} (model {:.1}), {:.2} GOPS, {:.1} ns latency at {:.0} MHz",
+            self.variant,
+            self.measured_ii,
+            self.model_ii,
+            self.throughput_gops,
+            self.latency_ns,
+            self.fmax_mhz
+        )
+    }
+}
+
+impl Overlay {
+    /// Creates an overlay of `variant` with an explicit depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if the depth is out of range.
+    pub fn new(variant: FuVariant, depth: usize) -> Result<Self, Error> {
+        Ok(Overlay {
+            config: OverlayConfig::new(variant, depth)?,
+            simulator: OverlaySimulator::new(variant),
+            reconfig: ReconfigModel::new(),
+        })
+    }
+
+    /// Creates an overlay sized for `compiled`: the kernel's own depth for
+    /// the feed-forward variants, the paper's fixed depth of 8 for the
+    /// write-back variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if the resulting depth is out of range.
+    pub fn for_kernel(variant: FuVariant, compiled: &CompiledKernel) -> Result<Self, Error> {
+        let depth = if variant.has_writeback() {
+            overlay_arch::overlay::FIXED_DEPTH.max(compiled.num_fus())
+        } else {
+            compiled.num_fus()
+        };
+        Self::new(variant, depth)
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.config
+    }
+
+    /// The FU variant.
+    pub fn variant(&self) -> FuVariant {
+        self.config.variant()
+    }
+
+    /// Estimated FPGA resource usage.
+    pub fn resource_estimate(&self) -> ResourceUsage {
+        self.config.resource_estimate()
+    }
+
+    /// Estimated operating frequency in MHz.
+    pub fn fmax_mhz(&self) -> f64 {
+        self.config.fmax_mhz()
+    }
+
+    /// Checks the overlay fits on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming the binding resource if it does not fit.
+    pub fn check_fits(&self, device: &FpgaDevice) -> Result<(), Error> {
+        Ok(self.config.check_fits(device)?)
+    }
+
+    /// Executes a compiled kernel over a workload on the cycle-accurate
+    /// simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] for malformed workloads or hardware-constraint
+    /// violations detected during simulation.
+    pub fn execute(&self, compiled: &CompiledKernel, workload: &Workload) -> Result<SimRun, Error> {
+        Ok(self.simulator.run(compiled, workload)?)
+    }
+
+    /// Builds the performance report for a finished run.
+    pub fn performance(&self, compiled: &CompiledKernel, run: &SimRun) -> PerformanceReport {
+        let fmax = self.fmax_mhz();
+        PerformanceReport {
+            variant: self.variant(),
+            fus: compiled.num_fus(),
+            model_ii: compiled.ii,
+            measured_ii: run.metrics().steady_state_ii,
+            fmax_mhz: fmax,
+            throughput_gops: run.metrics().throughput_gops(fmax),
+            latency_ns: run.metrics().latency_ns(fmax),
+        }
+    }
+
+    /// The hardware-context-switch cost of loading `compiled` onto this
+    /// overlay: a full partial-reconfiguration plus configuration load for
+    /// the feed-forward variants, configuration load only for the fixed-depth
+    /// write-back variants.
+    pub fn context_switch(&self, compiled: &CompiledKernel) -> ContextSwitch {
+        let config_bits = compiled.program.config_bits();
+        if self.variant().has_writeback() {
+            self.reconfig
+                .program_only_switch(self.variant(), config_bits)
+        } else {
+            self.reconfig.full_switch(&self.config, config_bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use overlay_frontend::Benchmark;
+
+    #[test]
+    fn quickstart_flow_produces_consistent_reports() {
+        let compiled = Compiler::new(FuVariant::V1)
+            .compile_benchmark(Benchmark::Gradient)
+            .unwrap();
+        let overlay = Overlay::for_kernel(FuVariant::V1, &compiled).unwrap();
+        let workload = Workload::random(5, 32, 1);
+        let run = overlay.execute(&compiled, &workload).unwrap();
+        let report = overlay.performance(&compiled, &run);
+        assert_eq!(report.fus, 4);
+        assert!((report.model_ii - 6.0).abs() < f64::EPSILON);
+        assert!(report.throughput_gops > 0.3);
+        assert!(report.latency_ns > 0.0);
+        assert!(report.to_string().contains("GOPS"));
+    }
+
+    #[test]
+    fn fixed_depth_overlays_use_depth_eight() {
+        let compiled = Compiler::new(FuVariant::V3)
+            .compile_benchmark(Benchmark::Chebyshev)
+            .unwrap();
+        let overlay = Overlay::for_kernel(FuVariant::V3, &compiled).unwrap();
+        assert_eq!(overlay.config().depth(), 8);
+        assert!(overlay
+            .check_fits(&FpgaDevice::zynq_7020())
+            .is_ok());
+    }
+
+    #[test]
+    fn context_switch_is_much_cheaper_on_writeback_overlays() {
+        let v1 = Compiler::new(FuVariant::V1)
+            .compile_benchmark(Benchmark::Qspline)
+            .unwrap();
+        let v3 = Compiler::new(FuVariant::V3)
+            .compile_benchmark(Benchmark::Qspline)
+            .unwrap();
+        let overlay_v1 = Overlay::for_kernel(FuVariant::V1, &v1).unwrap();
+        let overlay_v3 = Overlay::for_kernel(FuVariant::V3, &v3).unwrap();
+        let switch_v1 = overlay_v1.context_switch(&v1);
+        let switch_v3 = overlay_v3.context_switch(&v3);
+        let speedup = switch_v3.speedup_over(&switch_v1);
+        assert!(speedup > 1_000.0, "got {speedup:.0}x");
+    }
+
+    #[test]
+    fn invalid_depth_is_surfaced_as_arch_error() {
+        assert!(matches!(
+            Overlay::new(FuVariant::V1, 0),
+            Err(Error::Arch(_))
+        ));
+    }
+}

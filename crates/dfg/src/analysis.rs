@@ -1,0 +1,337 @@
+//! Structural analyses over a [`Dfg`]: dependence levels, depth, critical
+//! path and slack.
+//!
+//! The ASAP level assignment is the basis of the paper's scheduling for the
+//! `[14]`, V1 and V2 overlays ("nodes at the same (horizontal) level [are]
+//! allocated to a single FU"), and the critical path length is the overlay
+//! depth those variants require. The ALAP levels and per-node slack are used
+//! by the fixed-depth greedy scheduler for the write-back variants (V3–V5).
+
+use std::collections::HashMap;
+
+use crate::graph::Dfg;
+use crate::node::NodeId;
+
+/// Result of running the level/critical-path analyses over a graph.
+///
+/// Levels are 1-based over *operation* nodes: an operation whose operands are
+/// all inputs or constants has ASAP level 1; the graph depth is the maximum
+/// ASAP level (the paper's `Depth` column in Table III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfgAnalysis {
+    asap: HashMap<NodeId, usize>,
+    alap: HashMap<NodeId, usize>,
+    depth: usize,
+    critical_path: CriticalPath,
+    levels: Vec<Vec<NodeId>>,
+}
+
+/// A longest dependence chain through the operation nodes of a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CriticalPath {
+    nodes: Vec<NodeId>,
+}
+
+impl CriticalPath {
+    /// The nodes on the path, from the earliest operation to the latest.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Path length in operations (equal to the graph depth).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the path is empty (a graph with no operations).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Summary statistics of a DFG, matching the columns the paper reports for
+/// its benchmark set (Table III) plus a few extra shape metrics.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DfgStats {
+    /// Kernel name.
+    pub name: String,
+    /// Number of stream inputs.
+    pub inputs: usize,
+    /// Number of stream outputs.
+    pub outputs: usize,
+    /// Number of operation nodes.
+    pub ops: usize,
+    /// Graph depth (critical path length in operations).
+    pub depth: usize,
+    /// Largest number of operations in any single ASAP level.
+    pub max_level_width: usize,
+    /// Average operation fan-out.
+    pub avg_fanout: f64,
+}
+
+impl DfgAnalysis {
+    /// Runs the analyses over `dfg`.
+    ///
+    /// This is equivalent to [`Dfg::analysis`]; the free constructor exists so
+    /// the analysis can also be run on borrowed graphs in generic code.
+    pub fn new(dfg: &Dfg) -> Self {
+        let mut asap: HashMap<NodeId, usize> = HashMap::new();
+        // Creation order is topological, so a single forward sweep suffices.
+        for node in dfg.nodes().iter().filter(|n| n.kind().is_operation()) {
+            let level = node
+                .operands()
+                .iter()
+                .filter_map(|operand| asap.get(operand).copied())
+                .max()
+                .unwrap_or(0)
+                + 1;
+            asap.insert(node.id(), level);
+        }
+        let depth = asap.values().copied().max().unwrap_or(0);
+
+        // ALAP: backward sweep over the reverse topological order.
+        let mut alap: HashMap<NodeId, usize> = HashMap::new();
+        for node in dfg
+            .nodes()
+            .iter()
+            .rev()
+            .filter(|n| n.kind().is_operation())
+        {
+            let consumer_min = dfg
+                .consumers(node.id())
+                .into_iter()
+                .filter_map(|c| alap.get(&c).copied())
+                .map(|l| l - 1)
+                .min();
+            alap.insert(node.id(), consumer_min.unwrap_or(depth));
+        }
+
+        let mut levels = vec![Vec::new(); depth];
+        for node in dfg.nodes().iter().filter(|n| n.kind().is_operation()) {
+            levels[asap[&node.id()] - 1].push(node.id());
+        }
+
+        let critical_path = Self::extract_critical_path(dfg, &asap, depth);
+
+        DfgAnalysis {
+            asap,
+            alap,
+            depth,
+            critical_path,
+            levels,
+        }
+    }
+
+    fn extract_critical_path(
+        dfg: &Dfg,
+        asap: &HashMap<NodeId, usize>,
+        depth: usize,
+    ) -> CriticalPath {
+        if depth == 0 {
+            return CriticalPath::default();
+        }
+        // Start from any deepest node and walk backwards through an operand
+        // whose level is exactly one less.
+        let mut current = *asap
+            .iter()
+            .find(|(_, &level)| level == depth)
+            .map(|(id, _)| id)
+            .expect("a node exists at the maximum level");
+        let mut path = vec![current];
+        for level in (1..depth).rev() {
+            let parent = dfg
+                .node_unchecked(current)
+                .operands()
+                .iter()
+                .copied()
+                .find(|operand| asap.get(operand) == Some(&level))
+                .expect("critical path parent exists at each level");
+            path.push(parent);
+            current = parent;
+        }
+        path.reverse();
+        CriticalPath { nodes: path }
+    }
+
+    /// ASAP level of an operation node (1-based), or `None` for non-operation
+    /// nodes.
+    pub fn asap_level(&self, id: NodeId) -> Option<usize> {
+        self.asap.get(&id).copied()
+    }
+
+    /// ALAP level of an operation node (1-based), or `None` for non-operation
+    /// nodes.
+    pub fn alap_level(&self, id: NodeId) -> Option<usize> {
+        self.alap.get(&id).copied()
+    }
+
+    /// Scheduling slack of an operation node (`alap − asap`), or `None` for
+    /// non-operation nodes.
+    pub fn slack(&self, id: NodeId) -> Option<usize> {
+        Some(self.alap_level(id)? - self.asap_level(id)?)
+    }
+
+    /// Graph depth: the number of ASAP levels, equal to the critical path
+    /// length. This is the paper's `Depth` column and the number of FUs the
+    /// non-write-back overlays need.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The operation nodes grouped by ASAP level; `levels()[k]` holds the
+    /// nodes of level `k + 1`.
+    pub fn levels(&self) -> &[Vec<NodeId>] {
+        &self.levels
+    }
+
+    /// Operation nodes at a given 1-based level.
+    pub fn level(&self, level: usize) -> &[NodeId] {
+        self.levels
+            .get(level.wrapping_sub(1))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// One longest dependence chain through the graph.
+    pub fn critical_path(&self) -> &CriticalPath {
+        &self.critical_path
+    }
+
+    /// Nodes whose slack is zero — every one of them lies on *some* longest
+    /// path, so moving them between scheduling stages changes the depth.
+    pub fn zero_slack_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .asap
+            .keys()
+            .copied()
+            .filter(|&id| self.slack(id) == Some(0))
+            .collect();
+        nodes.sort_by_key(|id| id.index());
+        nodes
+    }
+
+    /// Computes the summary statistics for `dfg` (which must be the graph the
+    /// analysis was built from).
+    pub fn stats(&self, dfg: &Dfg) -> DfgStats {
+        let op_ids = dfg.op_ids();
+        let total_fanout: usize = op_ids.iter().map(|&id| dfg.fanout(id)).sum();
+        DfgStats {
+            name: dfg.name().to_owned(),
+            inputs: dfg.num_inputs(),
+            outputs: dfg.num_outputs(),
+            ops: op_ids.len(),
+            depth: self.depth,
+            max_level_width: self.levels.iter().map(Vec::len).max().unwrap_or(0),
+            avg_fanout: if op_ids.is_empty() {
+                0.0
+            } else {
+                total_fanout as f64 / op_ids.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::Op;
+
+    /// The paper's gradient benchmark (Fig. 2b): 5 inputs, 11 ops, depth 4.
+    fn gradient() -> Dfg {
+        let mut b = DfgBuilder::new("gradient");
+        let i: Vec<_> = (0..5).map(|k| b.input(format!("i{k}"))).collect();
+        let s0 = b.op(Op::Sub, &[i[0], i[2]]).unwrap();
+        let s1 = b.op(Op::Sub, &[i[1], i[2]]).unwrap();
+        let s2 = b.op(Op::Sub, &[i[2], i[3]]).unwrap();
+        let s3 = b.op(Op::Sub, &[i[2], i[4]]).unwrap();
+        let q: Vec<_> = [s0, s1, s2, s3]
+            .iter()
+            .map(|&v| b.op(Op::Square, &[v]).unwrap())
+            .collect();
+        let a0 = b.op(Op::Add, &[q[0], q[1]]).unwrap();
+        let a1 = b.op(Op::Add, &[q[2], q[3]]).unwrap();
+        let a2 = b.op(Op::Add, &[a0, a1]).unwrap();
+        b.output("o0", a2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gradient_depth_matches_paper() {
+        let dfg = gradient();
+        let analysis = dfg.analysis();
+        assert_eq!(analysis.depth(), 4);
+        assert_eq!(analysis.levels().len(), 4);
+        assert_eq!(analysis.level(1).len(), 4); // 4 SUB
+        assert_eq!(analysis.level(2).len(), 4); // 4 SQR
+        assert_eq!(analysis.level(3).len(), 2); // 2 ADD
+        assert_eq!(analysis.level(4).len(), 1); // final ADD
+    }
+
+    #[test]
+    fn critical_path_has_depth_length_and_is_a_chain() {
+        let dfg = gradient();
+        let analysis = dfg.analysis();
+        let path = analysis.critical_path();
+        assert_eq!(path.len(), 4);
+        for window in path.nodes().windows(2) {
+            let (parent, child) = (window[0], window[1]);
+            assert!(dfg.node_unchecked(child).operands().contains(&parent));
+        }
+    }
+
+    #[test]
+    fn slack_is_zero_on_critical_path_nodes() {
+        let dfg = gradient();
+        let analysis = dfg.analysis();
+        for &id in analysis.critical_path().nodes() {
+            assert_eq!(analysis.slack(id), Some(0));
+        }
+    }
+
+    #[test]
+    fn alap_never_precedes_asap() {
+        let dfg = gradient();
+        let analysis = dfg.analysis();
+        for id in dfg.op_ids() {
+            assert!(analysis.alap_level(id).unwrap() >= analysis.asap_level(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn stats_summarise_the_graph() {
+        let dfg = gradient();
+        let stats = dfg.analysis().stats(&dfg);
+        assert_eq!(stats.inputs, 5);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.ops, 11);
+        assert_eq!(stats.depth, 4);
+        assert_eq!(stats.max_level_width, 4);
+        assert!(stats.avg_fanout > 0.0);
+    }
+
+    #[test]
+    fn chain_graph_has_full_depth_and_no_slack() {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x");
+        let mut prev = b.op(Op::Square, &[x]).unwrap();
+        for _ in 0..6 {
+            prev = b.op(Op::Square, &[prev]).unwrap();
+        }
+        b.output("o", prev);
+        let dfg = b.build().unwrap();
+        let analysis = dfg.analysis();
+        assert_eq!(analysis.depth(), 7);
+        assert_eq!(analysis.zero_slack_nodes().len(), 7);
+    }
+
+    #[test]
+    fn non_operation_nodes_have_no_level() {
+        let dfg = gradient();
+        let analysis = dfg.analysis();
+        let input = dfg.inputs()[0];
+        assert_eq!(analysis.asap_level(input), None);
+        assert_eq!(analysis.slack(input), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export of a [`Dfg`].
+//!
+//! Useful to visually compare a constructed benchmark graph with the figures
+//! in the paper (Fig. 2b, Fig. 4).
+
+use std::fmt::Write as _;
+
+use crate::graph::Dfg;
+use crate::node::NodeKind;
+
+/// Renders `dfg` as a Graphviz `digraph`.
+///
+/// Inputs are drawn as ellipses, constants as diamonds, operations as boxes
+/// and outputs as double circles; edges follow data flow (operand → consumer).
+///
+/// # Example
+///
+/// ```
+/// use overlay_dfg::{dot, DfgBuilder, Op};
+///
+/// # fn main() -> Result<(), overlay_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("tiny");
+/// let x = b.input("x");
+/// let q = b.op(Op::Square, &[x])?;
+/// b.output("y", q);
+/// let rendered = dot::to_dot(&b.build()?);
+/// assert!(rendered.starts_with("digraph"));
+/// assert!(rendered.contains("SQR"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(dfg.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for node in dfg.nodes() {
+        let (shape, label) = match node.kind() {
+            NodeKind::Input { position } => ("ellipse", format!("I{position}\\n{}", node.name())),
+            NodeKind::Const { value } => ("diamond", format!("{value}")),
+            NodeKind::Operation { op, .. } => ("box", format!("{op}\\n{}", node.name())),
+            NodeKind::Output { position, .. } => {
+                ("doublecircle", format!("O{position}\\n{}", node.name()))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}, label=\"{}\"];",
+            node.id(),
+            escape(&label)
+        );
+    }
+    for node in dfg.nodes() {
+        for operand in node.operands() {
+            let _ = writeln!(out, "  {} -> {};", operand, node.id());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::Op;
+    use crate::value::Value;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut b = DfgBuilder::new("dot-test");
+        let x = b.input("x");
+        let y = b.input("y");
+        let c = b.constant(Value::new(2));
+        let s = b.op(Op::Add, &[x, y]).unwrap();
+        let m = b.op(Op::Mul, &[s, c]).unwrap();
+        b.output("o", m);
+        let dfg = b.build().unwrap();
+        let dot = to_dot(&dfg);
+        for node in dfg.nodes() {
+            assert!(dot.contains(&node.id().to_string()));
+        }
+        // edges: x->s, y->s, s->m, c->m, m->output = 5
+        assert_eq!(dot.matches(" -> ").count(), 5);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let mut b = DfgBuilder::new("quote\"name");
+        let x = b.input("x");
+        let q = b.op(Op::Square, &[x]).unwrap();
+        b.output("o", q);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("quote\\\"name"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for DFG construction, validation and evaluation.
+
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::op::Op;
+
+/// Errors produced while building, validating or evaluating a [`crate::Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// An operation was applied to the wrong number of operands.
+    ArityMismatch {
+        /// The operation in question.
+        op: Op,
+        /// Operand count the operation requires.
+        expected: usize,
+        /// Operand count actually supplied.
+        found: usize,
+    },
+    /// A node referenced an operand id that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// An unknown operation mnemonic was parsed.
+    UnknownOp(String),
+    /// A node other than an operation was marked as an output source.
+    InvalidOutputSource(NodeId),
+    /// An operand refers to an output node (outputs are sinks).
+    OperandIsOutput(NodeId),
+    /// The graph contains a dependence cycle involving the given node.
+    CyclicDependency(NodeId),
+    /// The graph has no output nodes, so it computes nothing observable.
+    NoOutputs,
+    /// The graph has an input that is never consumed by any operation.
+    UnusedInput(NodeId),
+    /// Evaluation was invoked with the wrong number of input values.
+    InputCountMismatch {
+        /// Number of graph inputs.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// Two nodes were given the same user-visible name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operation {op} expects {expected} operand(s) but {found} were supplied"
+            ),
+            DfgError::UnknownNode(id) => write!(f, "node {id} does not exist in the graph"),
+            DfgError::UnknownOp(name) => write!(f, "unknown operation mnemonic `{name}`"),
+            DfgError::InvalidOutputSource(id) => {
+                write!(f, "output must be driven by an operation node, got {id}")
+            }
+            DfgError::OperandIsOutput(id) => {
+                write!(f, "output node {id} cannot be used as an operand")
+            }
+            DfgError::CyclicDependency(id) => {
+                write!(f, "dependence cycle detected involving node {id}")
+            }
+            DfgError::NoOutputs => write!(f, "graph has no output nodes"),
+            DfgError::UnusedInput(id) => write!(f, "input node {id} is never used"),
+            DfgError::InputCountMismatch { expected, found } => write!(
+                f,
+                "graph has {expected} input(s) but {found} value(s) were supplied"
+            ),
+            DfgError::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = DfgError::ArityMismatch {
+            op: Op::Add,
+            expected: 2,
+            found: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("ADD"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+
+        let err = DfgError::UnknownOp("frobnicate".into());
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DfgError>();
+    }
+}

@@ -1,0 +1,239 @@
+//! Reference (functional) evaluation of a [`Dfg`].
+//!
+//! The evaluator computes what the kernel *should* produce, independent of
+//! any overlay architecture. It is the golden model the cycle-accurate
+//! simulator is checked against, and it is also used by the examples to show
+//! that a compiled kernel produces the same results as its specification.
+
+use std::collections::HashMap;
+
+use crate::error::DfgError;
+use crate::graph::Dfg;
+use crate::node::{NodeId, NodeKind};
+use crate::value::Value;
+
+/// Evaluation context holding the value computed for every node of one
+/// kernel invocation.
+///
+/// Use [`evaluate`] for the common "inputs in, outputs out" case; the context
+/// is useful when intermediate values are needed (e.g. to cross-check a
+/// simulator trace node by node).
+///
+/// # Example
+///
+/// ```
+/// use overlay_dfg::{DfgBuilder, EvalContext, Op, Value};
+///
+/// # fn main() -> Result<(), overlay_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("sum-square");
+/// let a = b.input("a");
+/// let b_in = b.input("b");
+/// let s = b.op(Op::Add, &[a, b_in])?;
+/// let q = b.op(Op::Square, &[s])?;
+/// b.output("o", q);
+/// let dfg = b.build()?;
+///
+/// let ctx = EvalContext::run(&dfg, &[Value::new(3), Value::new(4)])?;
+/// assert_eq!(ctx.outputs(), vec![Value::new(49)]);
+/// assert_eq!(ctx.value(s), Some(Value::new(7)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    values: HashMap<NodeId, Value>,
+    outputs: Vec<Value>,
+}
+
+impl EvalContext {
+    /// Evaluates `dfg` on one set of input values.
+    ///
+    /// # Errors
+    ///
+    /// * [`DfgError::InputCountMismatch`] if `inputs.len()` differs from the
+    ///   graph's input count.
+    /// * Any structural error surfaced while walking the graph (these cannot
+    ///   occur for graphs produced by [`crate::DfgBuilder::build`]).
+    pub fn run(dfg: &Dfg, inputs: &[Value]) -> Result<Self, DfgError> {
+        if inputs.len() != dfg.num_inputs() {
+            return Err(DfgError::InputCountMismatch {
+                expected: dfg.num_inputs(),
+                found: inputs.len(),
+            });
+        }
+        let mut values: HashMap<NodeId, Value> = HashMap::with_capacity(dfg.num_nodes());
+        let mut outputs = vec![Value::ZERO; dfg.num_outputs()];
+        for node in dfg.nodes() {
+            match node.kind() {
+                NodeKind::Input { position } => {
+                    values.insert(node.id(), inputs[*position]);
+                }
+                NodeKind::Const { value } => {
+                    values.insert(node.id(), *value);
+                }
+                NodeKind::Operation { op, operands } => {
+                    let operand_values: Vec<Value> = operands
+                        .iter()
+                        .map(|id| values.get(id).copied().ok_or(DfgError::UnknownNode(*id)))
+                        .collect::<Result<_, _>>()?;
+                    values.insert(node.id(), op.apply(&operand_values)?);
+                }
+                NodeKind::Output { position, source } => {
+                    let value = values
+                        .get(source)
+                        .copied()
+                        .ok_or(DfgError::UnknownNode(*source))?;
+                    outputs[*position] = value;
+                    values.insert(node.id(), value);
+                }
+            }
+        }
+        Ok(EvalContext { values, outputs })
+    }
+
+    /// The value computed for a node, if the node exists.
+    pub fn value(&self, id: NodeId) -> Option<Value> {
+        self.values.get(&id).copied()
+    }
+
+    /// The kernel outputs, in stream order.
+    pub fn outputs(&self) -> Vec<Value> {
+        self.outputs.clone()
+    }
+}
+
+/// Evaluates a graph on one set of inputs and returns the outputs in stream
+/// order.
+///
+/// # Errors
+///
+/// See [`EvalContext::run`].
+///
+/// # Example
+///
+/// ```
+/// use overlay_dfg::{evaluate, DfgBuilder, Op, Value};
+///
+/// # fn main() -> Result<(), overlay_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("diff");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let d = b.op(Op::Sub, &[a, c])?;
+/// b.output("d", d);
+/// let dfg = b.build()?;
+/// assert_eq!(evaluate(&dfg, &[Value::new(10), Value::new(4)])?, vec![Value::new(6)]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(dfg: &Dfg, inputs: &[Value]) -> Result<Vec<Value>, DfgError> {
+    Ok(EvalContext::run(dfg, inputs)?.outputs())
+}
+
+/// Evaluates a graph over a stream of input records, returning one output
+/// record per input record.
+///
+/// This mirrors how the overlay processes data: the streaming interface
+/// presents one record (all kernel inputs) per initiation interval.
+///
+/// # Errors
+///
+/// Fails on the first record whose evaluation fails; see [`EvalContext::run`].
+pub fn evaluate_stream(dfg: &Dfg, records: &[Vec<Value>]) -> Result<Vec<Vec<Value>>, DfgError> {
+    records.iter().map(|record| evaluate(dfg, record)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::Op;
+
+    fn gradient() -> Dfg {
+        let mut b = DfgBuilder::new("gradient");
+        let i: Vec<_> = (0..5).map(|k| b.input(format!("i{k}"))).collect();
+        let s0 = b.op(Op::Sub, &[i[0], i[2]]).unwrap();
+        let s1 = b.op(Op::Sub, &[i[1], i[2]]).unwrap();
+        let s2 = b.op(Op::Sub, &[i[2], i[3]]).unwrap();
+        let s3 = b.op(Op::Sub, &[i[2], i[4]]).unwrap();
+        let q: Vec<_> = [s0, s1, s2, s3]
+            .iter()
+            .map(|&v| b.op(Op::Square, &[v]).unwrap())
+            .collect();
+        let a0 = b.op(Op::Add, &[q[0], q[1]]).unwrap();
+        let a1 = b.op(Op::Add, &[q[2], q[3]]).unwrap();
+        let a2 = b.op(Op::Add, &[a0, a1]).unwrap();
+        b.output("o0", a2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gradient_matches_hand_computation() {
+        let dfg = gradient();
+        // inputs: 1, 2, 3, 4, 5
+        // subs: 1-3=-2, 2-3=-1, 3-4=-1, 3-5=-2 -> squares 4,1,1,4 -> 5+5=10
+        let out = evaluate(&dfg, &[1, 2, 3, 4, 5].map(Value::new)).unwrap();
+        assert_eq!(out, vec![Value::new(10)]);
+    }
+
+    #[test]
+    fn input_count_is_checked() {
+        let dfg = gradient();
+        assert!(matches!(
+            evaluate(&dfg, &[Value::new(1)]),
+            Err(DfgError::InputCountMismatch { expected: 5, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn context_exposes_intermediate_values() {
+        let dfg = gradient();
+        let ctx = EvalContext::run(&dfg, &[1, 2, 3, 4, 5].map(Value::new)).unwrap();
+        // First SUB node is node id 5 (after the 5 inputs).
+        let first_sub = dfg.op_ids()[0];
+        assert_eq!(ctx.value(first_sub), Some(Value::new(-2)));
+        assert_eq!(ctx.value(NodeId::from_raw(999)), None);
+    }
+
+    #[test]
+    fn stream_evaluation_processes_each_record() {
+        let dfg = gradient();
+        let records = vec![
+            [1, 2, 3, 4, 5].map(Value::new).to_vec(),
+            [0, 0, 0, 0, 0].map(Value::new).to_vec(),
+            [5, 4, 3, 2, 1].map(Value::new).to_vec(),
+        ];
+        let outputs = evaluate_stream(&dfg, &records).unwrap();
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(outputs[1], vec![Value::new(0)]);
+        assert_eq!(outputs[0], outputs[2]); // symmetric inputs
+    }
+
+    #[test]
+    fn constants_participate_in_evaluation() {
+        let mut b = DfgBuilder::new("affine");
+        let x = b.input("x");
+        let three = b.constant(Value::new(3));
+        let seven = b.constant(Value::new(7));
+        let m = b.op(Op::Mul, &[x, three]).unwrap();
+        let r = b.op(Op::Add, &[m, seven]).unwrap();
+        b.output("y", r);
+        let dfg = b.build().unwrap();
+        assert_eq!(evaluate(&dfg, &[Value::new(5)]).unwrap(), vec![Value::new(22)]);
+    }
+
+    #[test]
+    fn multiple_outputs_keep_stream_order() {
+        let mut b = DfgBuilder::new("two-out");
+        let a = b.input("a");
+        let c = b.input("b");
+        let sum = b.op(Op::Add, &[a, c]).unwrap();
+        let diff = b.op(Op::Sub, &[a, c]).unwrap();
+        b.output("sum", sum);
+        b.output("diff", diff);
+        let dfg = b.build().unwrap();
+        assert_eq!(
+            evaluate(&dfg, &[Value::new(9), Value::new(4)]).unwrap(),
+            vec![Value::new(13), Value::new(5)]
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The data flow graph container.
+
+use std::collections::HashMap;
+
+use crate::analysis::DfgAnalysis;
+use crate::error::DfgError;
+use crate::node::{Node, NodeId, NodeKind};
+use crate::op::Op;
+
+/// A kernel data flow graph.
+///
+/// Nodes are stored densely and identified by [`NodeId`]. The graph is
+/// directed and — by construction through [`crate::DfgBuilder`] — acyclic:
+/// operands must already exist when an operation node is created, which is
+/// exactly the feed-forward structure the linear overlay exploits.
+///
+/// A `Dfg` is immutable once built; all scheduling and simulation passes
+/// treat it as read-only input.
+///
+/// # Example
+///
+/// ```
+/// use overlay_dfg::{DfgBuilder, Op};
+///
+/// # fn main() -> Result<(), overlay_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("axpy");
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let ax = b.op(Op::Mul, &[a, x])?;
+/// let r = b.op(Op::Add, &[ax, y])?;
+/// b.output("r", r);
+/// let dfg = b.build()?;
+/// assert_eq!(dfg.num_ops(), 2);
+/// assert_eq!(dfg.consumers(ax), vec![r]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dfg {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// The kernel name (e.g. `"gradient"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, in creation order (which is also a topological order).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::UnknownNode`] if the id is not part of this graph.
+    pub fn node(&self, id: NodeId) -> Result<&Node, DfgError> {
+        self.nodes.get(id.index()).ok_or(DfgError::UnknownNode(id))
+    }
+
+    /// Looks up a node by id, panicking on an unknown id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph. Use [`Dfg::node`] for a
+    /// fallible lookup.
+    pub fn node_unchecked(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Ids of the input nodes, in stream order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Ids of the output nodes, in stream order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Ids of all operation nodes, in creation (topological) order.
+    pub fn op_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_operation())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all constant nodes.
+    pub fn const_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_const())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Number of kernel inputs (the `I` in the paper's `I/O` column).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of kernel outputs (the `O` in the paper's `I/O` column).
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of operation nodes (the paper's `#Ops` column).
+    pub fn num_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_operation()).count()
+    }
+
+    /// Total node count including inputs, constants and outputs.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the number of operation nodes using each [`Op`].
+    pub fn op_histogram(&self) -> HashMap<Op, usize> {
+        let mut histogram = HashMap::new();
+        for node in &self.nodes {
+            if let Some(op) = node.op() {
+                *histogram.entry(op).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Ids of the nodes that consume `id` as an operand (operation nodes and
+    /// output nodes), in creation order.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.operands().contains(&id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Fan-out of a node: how many operand slots reference it.
+    pub fn fanout(&self, id: NodeId) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.operands().iter().filter(|&&o| o == id).count())
+            .sum()
+    }
+
+    /// Whether a value is consumed by any output node.
+    pub fn feeds_output(&self, id: NodeId) -> bool {
+        self.outputs
+            .iter()
+            .any(|&out| self.node_unchecked(out).operands().contains(&id))
+    }
+
+    /// A topological ordering of the operation nodes.
+    ///
+    /// Because the builder only allows operands that already exist, creation
+    /// order is a valid topological order; this method re-derives it from the
+    /// edges so it remains correct for graphs deserialised from elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::CyclicDependency`] if the graph contains a cycle.
+    pub fn topological_ops(&self) -> Result<Vec<NodeId>, DfgError> {
+        let mut in_degree: HashMap<NodeId, usize> = HashMap::new();
+        let mut ready: Vec<NodeId> = Vec::new();
+        for node in self.nodes.iter().filter(|n| n.kind.is_operation()) {
+            // Count *distinct* operation operands: a node that uses the same
+            // producer twice still only waits for it once.
+            let mut producers: Vec<NodeId> = node
+                .operands()
+                .iter()
+                .copied()
+                .filter(|&o| self.node_unchecked(o).kind.is_operation())
+                .collect();
+            producers.sort_unstable();
+            producers.dedup();
+            let degree = producers.len();
+            if degree == 0 {
+                ready.push(node.id);
+            } else {
+                in_degree.insert(node.id, degree);
+            }
+        }
+        let mut order = Vec::with_capacity(self.num_ops());
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            for consumer in self.consumers(id) {
+                if let Some(degree) = in_degree.get_mut(&consumer) {
+                    *degree -= 1;
+                    if *degree == 0 {
+                        in_degree.remove(&consumer);
+                        ready.push(consumer);
+                    }
+                }
+            }
+        }
+        if let Some((&stuck, _)) = in_degree.iter().next() {
+            return Err(DfgError::CyclicDependency(stuck));
+        }
+        order.sort_by_key(|id| id.index());
+        Ok(order)
+    }
+
+    /// Validates structural invariants: operand ids exist, arities match,
+    /// outputs are driven by operations, the graph is acyclic, there is at
+    /// least one output, and every input feeds some operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`DfgError`].
+    pub fn validate(&self) -> Result<(), DfgError> {
+        for node in &self.nodes {
+            for &operand in node.operands() {
+                let operand_node = self.node(operand)?;
+                if operand_node.kind.is_output() {
+                    return Err(DfgError::OperandIsOutput(operand));
+                }
+            }
+            match &node.kind {
+                NodeKind::Operation { op, operands } => {
+                    if operands.len() != op.arity() {
+                        return Err(DfgError::ArityMismatch {
+                            op: *op,
+                            expected: op.arity(),
+                            found: operands.len(),
+                        });
+                    }
+                }
+                NodeKind::Output { source, .. } => {
+                    if !self.node(*source)?.kind.is_operation() {
+                        return Err(DfgError::InvalidOutputSource(*source));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.outputs.is_empty() {
+            return Err(DfgError::NoOutputs);
+        }
+        for &input in &self.inputs {
+            if self.fanout(input) == 0 {
+                return Err(DfgError::UnusedInput(input));
+            }
+        }
+        self.topological_ops()?;
+        Ok(())
+    }
+
+    /// Runs the standard analyses (levels, depth, critical path) over the
+    /// graph. See [`DfgAnalysis`].
+    pub fn analysis(&self) -> DfgAnalysis {
+        DfgAnalysis::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::value::Value;
+
+    fn diamond() -> Dfg {
+        let mut b = DfgBuilder::new("diamond");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.op(Op::Add, &[x, y]).unwrap();
+        let p = b.op(Op::Mul, &[x, y]).unwrap();
+        let d = b.op(Op::Sub, &[s, p]).unwrap();
+        b.output("out", d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_reflect_structure() {
+        let dfg = diamond();
+        assert_eq!(dfg.num_inputs(), 2);
+        assert_eq!(dfg.num_outputs(), 1);
+        assert_eq!(dfg.num_ops(), 3);
+        assert_eq!(dfg.num_nodes(), 6);
+    }
+
+    #[test]
+    fn consumers_and_fanout() {
+        let dfg = diamond();
+        let x = dfg.inputs()[0];
+        assert_eq!(dfg.fanout(x), 2);
+        assert_eq!(dfg.consumers(x).len(), 2);
+        let last_op = *dfg.op_ids().last().unwrap();
+        assert!(dfg.feeds_output(last_op));
+        assert_eq!(dfg.fanout(last_op), 1);
+    }
+
+    #[test]
+    fn op_histogram_counts_each_operation() {
+        let dfg = diamond();
+        let histogram = dfg.op_histogram();
+        assert_eq!(histogram[&Op::Add], 1);
+        assert_eq!(histogram[&Op::Mul], 1);
+        assert_eq!(histogram[&Op::Sub], 1);
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let dfg = diamond();
+        let order = dfg.topological_ops().unwrap();
+        assert_eq!(order.len(), 3);
+        let position: HashMap<_, _> = order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for &id in &order {
+            for &operand in dfg.node_unchecked(id).operands() {
+                if dfg.node_unchecked(operand).kind.is_operation() {
+                    assert!(position[&operand] < position[&id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graph() {
+        assert!(diamond().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unused_input() {
+        let mut b = DfgBuilder::new("unused");
+        let x = b.input("x");
+        let _unused = b.input("y");
+        let sq = b.op(Op::Square, &[x]).unwrap();
+        b.output("o", sq);
+        let dfg = b.build_unvalidated();
+        assert!(matches!(dfg.validate(), Err(DfgError::UnusedInput(_))));
+    }
+
+    #[test]
+    fn validate_rejects_missing_outputs() {
+        let mut b = DfgBuilder::new("no-out");
+        let x = b.input("x");
+        let _sq = b.op(Op::Square, &[x]).unwrap();
+        let dfg = b.build_unvalidated();
+        assert_eq!(dfg.validate(), Err(DfgError::NoOutputs));
+    }
+
+    #[test]
+    fn node_lookup_rejects_foreign_ids() {
+        let dfg = diamond();
+        assert!(dfg.node(NodeId::from_raw(999)).is_err());
+    }
+
+    #[test]
+    fn constants_are_listed() {
+        let mut b = DfgBuilder::new("with-const");
+        let x = b.input("x");
+        let c = b.constant(Value::new(3));
+        let m = b.op(Op::Mul, &[x, c]).unwrap();
+        b.output("o", m);
+        let dfg = b.build().unwrap();
+        assert_eq!(dfg.const_ids().len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Arithmetic/logic operations supported by the time-multiplexed functional
+//! unit.
+//!
+//! The FU datapath is a DSP48E1-style block: a pre-adder, a 25×18 multiplier
+//! and a 48-bit ALU. The operation repertoire below is the subset exposed by
+//! the overlay instruction set (Sec. III of the paper); every operation maps
+//! onto a single pass through the DSP pipeline.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::DfgError;
+use crate::value::Value;
+
+/// An operation performed by a DFG node / FU instruction.
+///
+/// All binary operations take two register operands; [`Op::Square`], [`Op::Abs`]
+/// and [`Op::Neg`] are unary (the square is implemented by routing the same
+/// operand to both multiplier ports, as in the paper's `SQR` nodes).
+///
+/// # Example
+///
+/// ```
+/// use overlay_dfg::{Op, Value};
+///
+/// assert_eq!(Op::Mul.arity(), 2);
+/// assert_eq!(Op::Square.arity(), 1);
+/// assert_eq!(Op::Add.apply(&[Value::new(2), Value::new(3)]).unwrap(), Value::new(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Op {
+    /// Two's-complement addition (`a + b`).
+    Add,
+    /// Two's-complement subtraction (`a - b`).
+    Sub,
+    /// Truncated 32-bit multiplication (`a * b`).
+    Mul,
+    /// Squaring (`a * a`); the paper's `SQR` nodes.
+    Square,
+    /// Unary negation (`-a`).
+    Neg,
+    /// Absolute value (`|a|`).
+    Abs,
+    /// Signed minimum (`min(a, b)`).
+    Min,
+    /// Signed maximum (`max(a, b)`).
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (`a << (b & 31)`).
+    Shl,
+    /// Arithmetic shift right (`a >> (b & 31)`).
+    Shr,
+    /// Multiply-accumulate (`a * b + c`): three-operand DSP operation.
+    MulAdd,
+    /// Pass-through / copy (`a`); used for forwarding values across stages.
+    Mov,
+}
+
+impl Op {
+    /// All operations, in a stable order (useful for exhaustive tests).
+    pub const ALL: [Op; 15] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Square,
+        Op::Neg,
+        Op::Abs,
+        Op::Min,
+        Op::Max,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Shl,
+        Op::Shr,
+        Op::MulAdd,
+        Op::Mov,
+    ];
+
+    /// Number of operands the operation consumes (1, 2 or 3).
+    pub const fn arity(self) -> usize {
+        match self {
+            Op::Square | Op::Neg | Op::Abs | Op::Mov => 1,
+            Op::MulAdd => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether swapping the two operands leaves the result unchanged.
+    ///
+    /// Only meaningful for binary operations; unary and ternary operations
+    /// return `false`.
+    pub const fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Op::Add | Op::Mul | Op::Min | Op::Max | Op::And | Op::Or | Op::Xor
+        )
+    }
+
+    /// Whether the operation uses the DSP multiplier (as opposed to only the
+    /// ALU). Multiplier operations constrain the INMODE encoding used by the
+    /// instruction set.
+    pub const fn uses_multiplier(self) -> bool {
+        matches!(self, Op::Mul | Op::Square | Op::MulAdd)
+    }
+
+    /// The short upper-case mnemonic used in schedules and the assembler
+    /// (e.g. `SUB`, `SQR`), matching the paper's node labels.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Add => "ADD",
+            Op::Sub => "SUB",
+            Op::Mul => "MUL",
+            Op::Square => "SQR",
+            Op::Neg => "NEG",
+            Op::Abs => "ABS",
+            Op::Min => "MIN",
+            Op::Max => "MAX",
+            Op::And => "AND",
+            Op::Or => "OR",
+            Op::Xor => "XOR",
+            Op::Shl => "SHL",
+            Op::Shr => "SHR",
+            Op::MulAdd => "MAC",
+            Op::Mov => "MOV",
+        }
+    }
+
+    /// Applies the operation to a slice of operand values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::ArityMismatch`] if `operands.len()` differs from
+    /// [`Op::arity`].
+    pub fn apply(self, operands: &[Value]) -> Result<Value, DfgError> {
+        if operands.len() != self.arity() {
+            return Err(DfgError::ArityMismatch {
+                op: self,
+                expected: self.arity(),
+                found: operands.len(),
+            });
+        }
+        let a = operands[0];
+        Ok(match self {
+            Op::Add => a.wrapping_add(operands[1]),
+            Op::Sub => a.wrapping_sub(operands[1]),
+            Op::Mul => a.wrapping_mul(operands[1]),
+            Op::Square => a.wrapping_mul(a),
+            Op::Neg => a.wrapping_neg(),
+            Op::Abs => a.wrapping_abs(),
+            Op::Min => a.min(operands[1]),
+            Op::Max => a.max(operands[1]),
+            Op::And => a.and(operands[1]),
+            Op::Or => a.or(operands[1]),
+            Op::Xor => a.xor(operands[1]),
+            Op::Shl => a.shl(operands[1]),
+            Op::Shr => a.shr(operands[1]),
+            Op::MulAdd => a.wrapping_mul(operands[1]).wrapping_add(operands[2]),
+            Op::Mov => a,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for Op {
+    type Err = DfgError;
+
+    /// Parses a mnemonic (case-insensitive), e.g. `"sub"` or `"SQR"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        Op::ALL
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == upper)
+            .ok_or_else(|| DfgError::UnknownOp(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_operand_count() {
+        for op in Op::ALL {
+            let operands = vec![Value::new(3); op.arity()];
+            assert!(op.apply(&operands).is_ok(), "{op} should accept its arity");
+            let wrong = vec![Value::new(3); op.arity() + 1];
+            assert!(op.apply(&wrong).is_err(), "{op} should reject wrong arity");
+        }
+    }
+
+    #[test]
+    fn commutative_ops_are_order_insensitive() {
+        let a = Value::new(7);
+        let b = Value::new(-13);
+        for op in Op::ALL.iter().filter(|op| op.is_commutative()) {
+            assert_eq!(op.apply(&[a, b]).unwrap(), op.apply(&[b, a]).unwrap());
+        }
+    }
+
+    #[test]
+    fn non_commutative_sub_is_order_sensitive() {
+        let a = Value::new(7);
+        let b = Value::new(3);
+        assert_ne!(
+            Op::Sub.apply(&[a, b]).unwrap(),
+            Op::Sub.apply(&[b, a]).unwrap()
+        );
+    }
+
+    #[test]
+    fn square_is_self_multiplication() {
+        let a = Value::new(-9);
+        assert_eq!(
+            Op::Square.apply(&[a]).unwrap(),
+            Op::Mul.apply(&[a, a]).unwrap()
+        );
+    }
+
+    #[test]
+    fn mul_add_combines_multiplier_and_alu() {
+        let result = Op::MulAdd
+            .apply(&[Value::new(3), Value::new(4), Value::new(5)])
+            .unwrap();
+        assert_eq!(result, Value::new(17));
+    }
+
+    #[test]
+    fn mnemonics_round_trip_through_from_str() {
+        for op in Op::ALL {
+            let parsed: Op = op.mnemonic().parse().unwrap();
+            assert_eq!(parsed, op);
+            let parsed_lower: Op = op.mnemonic().to_ascii_lowercase().parse().unwrap();
+            assert_eq!(parsed_lower, op);
+        }
+        assert!("bogus".parse::<Op>().is_err());
+    }
+
+    #[test]
+    fn multiplier_classification() {
+        assert!(Op::Mul.uses_multiplier());
+        assert!(Op::Square.uses_multiplier());
+        assert!(Op::MulAdd.uses_multiplier());
+        assert!(!Op::Add.uses_multiplier());
+        assert!(!Op::Shl.uses_multiplier());
+    }
+}

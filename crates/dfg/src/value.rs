@@ -1,0 +1,212 @@
+//! The scalar value type carried on DFG edges and through the overlay
+//! datapath.
+//!
+//! The paper's functional unit is built around the Xilinx DSP48E1 primitive
+//! operating on a 32-bit streaming word (the V2 variant widens the *stream* to
+//! 64 bits by replicating the datapath, not the word). All arithmetic in the
+//! reference evaluator and the cycle-accurate simulator therefore uses 32-bit
+//! two's-complement wrapping semantics so the two agree bit-for-bit.
+
+use std::fmt;
+
+/// A 32-bit signed word as carried by the overlay datapath.
+///
+/// `Value` is a thin newtype over `i32` providing the wrapping arithmetic the
+/// DSP-block ALU implements. It exists so that evaluation code cannot
+/// accidentally mix host-width arithmetic with datapath arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use overlay_dfg::Value;
+///
+/// let a = Value::new(i32::MAX);
+/// let b = Value::new(1);
+/// // The datapath wraps rather than panicking on overflow.
+/// assert_eq!(a.wrapping_add(b), Value::new(i32::MIN));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Value(i32);
+
+impl Value {
+    /// The zero word.
+    pub const ZERO: Value = Value(0);
+    /// The all-ones word (-1 in two's complement).
+    pub const ONES: Value = Value(-1);
+
+    /// Creates a value from a raw `i32` word.
+    pub const fn new(raw: i32) -> Self {
+        Value(raw)
+    }
+
+    /// Returns the underlying `i32` word.
+    pub const fn get(self) -> i32 {
+        self.0
+    }
+
+    /// Returns the word reinterpreted as an unsigned 32-bit quantity.
+    pub const fn as_u32(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Wrapping addition (DSP ALU `A + B`).
+    #[must_use]
+    pub const fn wrapping_add(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping subtraction (DSP ALU `A - B`).
+    #[must_use]
+    pub const fn wrapping_sub(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_sub(rhs.0))
+    }
+
+    /// Wrapping multiplication (DSP multiplier, truncated to 32 bits).
+    #[must_use]
+    pub const fn wrapping_mul(self, rhs: Value) -> Value {
+        Value(self.0.wrapping_mul(rhs.0))
+    }
+
+    /// Wrapping negation.
+    #[must_use]
+    pub const fn wrapping_neg(self) -> Value {
+        Value(self.0.wrapping_neg())
+    }
+
+    /// Absolute value with wrapping on `i32::MIN`.
+    #[must_use]
+    pub const fn wrapping_abs(self) -> Value {
+        Value(self.0.wrapping_abs())
+    }
+
+    /// Bitwise AND.
+    #[must_use]
+    pub const fn and(self, rhs: Value) -> Value {
+        Value(self.0 & rhs.0)
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub const fn or(self, rhs: Value) -> Value {
+        Value(self.0 | rhs.0)
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub const fn xor(self, rhs: Value) -> Value {
+        Value(self.0 ^ rhs.0)
+    }
+
+    /// Logical shift left by `rhs & 31` bits (barrel-shifter semantics).
+    #[must_use]
+    pub const fn shl(self, rhs: Value) -> Value {
+        Value(((self.0 as u32) << (rhs.0 as u32 & 31)) as i32)
+    }
+
+    /// Arithmetic shift right by `rhs & 31` bits.
+    #[must_use]
+    pub const fn shr(self, rhs: Value) -> Value {
+        Value(self.0 >> (rhs.0 as u32 & 31))
+    }
+
+    /// Signed minimum.
+    #[must_use]
+    pub fn min(self, rhs: Value) -> Value {
+        Value(self.0.min(rhs.0))
+    }
+
+    /// Signed maximum.
+    #[must_use]
+    pub fn max(self, rhs: Value) -> Value {
+        Value(self.0.max(rhs.0))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(raw: i32) -> Self {
+        Value(raw)
+    }
+}
+
+impl From<Value> for i32 {
+    fn from(value: Value) -> Self {
+        value.0
+    }
+}
+
+impl From<Value> for i64 {
+    fn from(value: Value) -> Self {
+        i64::from(value.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&(self.0 as u32), f)
+    }
+}
+
+impl fmt::UpperHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&(self.0 as u32), f)
+    }
+}
+
+impl fmt::Binary for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&(self.0 as u32), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_add_wraps_at_i32_boundary() {
+        assert_eq!(
+            Value::new(i32::MAX).wrapping_add(Value::new(1)),
+            Value::new(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn wrapping_mul_truncates_to_32_bits() {
+        let a = Value::new(0x4000_0000);
+        assert_eq!(a.wrapping_mul(Value::new(4)), Value::new(0));
+    }
+
+    #[test]
+    fn shifts_mask_the_shift_amount() {
+        assert_eq!(Value::new(1).shl(Value::new(33)), Value::new(2));
+        assert_eq!(Value::new(-8).shr(Value::new(1)), Value::new(-4));
+    }
+
+    #[test]
+    fn min_max_are_signed() {
+        assert_eq!(Value::new(-3).min(Value::new(2)), Value::new(-3));
+        assert_eq!(Value::new(-3).max(Value::new(2)), Value::new(2));
+    }
+
+    #[test]
+    fn display_and_hex_formatting() {
+        let v = Value::new(-1);
+        assert_eq!(v.to_string(), "-1");
+        assert_eq!(format!("{v:x}"), "ffffffff");
+        assert_eq!(format!("{v:X}"), "FFFFFFFF");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = Value::from(42);
+        assert_eq!(i32::from(v), 42);
+        assert_eq!(i64::from(v), 42);
+    }
+}

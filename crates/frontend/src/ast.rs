@@ -1,0 +1,263 @@
+//! Abstract syntax tree for the kernel language.
+
+use std::fmt;
+
+/// A parsed kernel: a name, ordered parameters (the stream inputs) and a body
+/// of `let`/`out` statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Input parameter names, in stream order.
+    pub params: Vec<String>,
+    /// Body statements, in source order.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Names of the kernel outputs, in stream order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|stmt| match stmt {
+                Stmt::Out { name, .. } => Some(name.as_str()),
+                Stmt::Let { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// A statement in a kernel body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;` — binds an intermediate value.
+    Let {
+        /// Bound name.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `out name = expr;` — defines a kernel output.
+    Out {
+        /// Output name.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+}
+
+/// Binary operators of the expression grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let symbol = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::And => "&",
+            BinaryOp::Or => "|",
+            BinaryOp::Xor => "^",
+        };
+        f.write_str(symbol)
+    }
+}
+
+/// Intrinsic unary/binary functions callable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryFn {
+    /// `sqr(x)` — squaring (maps to the DSP multiplier with both ports tied).
+    Sqr,
+    /// `abs(x)` — absolute value.
+    Abs,
+    /// `min(a, b)` — signed minimum.
+    Min,
+    /// `max(a, b)` — signed maximum.
+    Max,
+}
+
+impl UnaryFn {
+    /// Number of arguments the intrinsic requires.
+    pub const fn arity(self) -> usize {
+        match self {
+            UnaryFn::Sqr | UnaryFn::Abs => 1,
+            UnaryFn::Min | UnaryFn::Max => 2,
+        }
+    }
+
+    /// The source-level name of the intrinsic.
+    pub const fn name(self) -> &'static str {
+        match self {
+            UnaryFn::Sqr => "sqr",
+            UnaryFn::Abs => "abs",
+            UnaryFn::Min => "min",
+            UnaryFn::Max => "max",
+        }
+    }
+
+    /// Looks an intrinsic up by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "sqr" => Some(UnaryFn::Sqr),
+            "abs" => Some(UnaryFn::Abs),
+            "min" => Some(UnaryFn::Min),
+            "max" => Some(UnaryFn::Max),
+            _ => None,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A reference to a parameter or `let` binding.
+    Var(String),
+    /// An integer literal.
+    Literal(i32),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation (`-x`).
+    Neg(Box<Expr>),
+    /// An intrinsic function call.
+    Call {
+        /// The intrinsic.
+        function: UnaryFn,
+        /// The arguments, in order.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Number of operation nodes a direct (no CSE, no folding) lowering of
+    /// this expression produces.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Literal(_) => 0,
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.op_count() + rhs.op_count(),
+            Expr::Neg(inner) => 1 + inner.op_count(),
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::op_count).sum::<usize>(),
+        }
+    }
+
+    /// Free variables referenced by the expression, in first-appearance order.
+    pub fn free_vars(&self) -> Vec<&str> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars
+    }
+
+    fn collect_vars<'a>(&'a self, vars: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(name) => {
+                if !vars.contains(&name.as_str()) {
+                    vars.push(name);
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(vars);
+                rhs.collect_vars(vars);
+            }
+            Expr::Neg(inner) => inner.collect_vars(vars),
+            Expr::Call { args, .. } => {
+                for arg in args {
+                    arg.collect_vars(vars);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    #[test]
+    fn op_count_counts_every_operator() {
+        let expr = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Binary {
+                op: BinaryOp::Mul,
+                lhs: Box::new(var("a")),
+                rhs: Box::new(var("b")),
+            }),
+            rhs: Box::new(Expr::Call {
+                function: UnaryFn::Sqr,
+                args: vec![var("c")],
+            }),
+        };
+        assert_eq!(expr.op_count(), 3);
+    }
+
+    #[test]
+    fn free_vars_are_deduplicated_in_order() {
+        let expr = Expr::Binary {
+            op: BinaryOp::Sub,
+            lhs: Box::new(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(var("x")),
+                rhs: Box::new(var("y")),
+            }),
+            rhs: Box::new(var("x")),
+        };
+        assert_eq!(expr.free_vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn intrinsics_round_trip_by_name() {
+        for f in [UnaryFn::Sqr, UnaryFn::Abs, UnaryFn::Min, UnaryFn::Max] {
+            assert_eq!(UnaryFn::by_name(f.name()), Some(f));
+        }
+        assert_eq!(UnaryFn::by_name("cos"), None);
+    }
+
+    #[test]
+    fn kernel_output_names_preserve_order() {
+        let kernel = Kernel {
+            name: "two-out".into(),
+            params: vec!["a".into()],
+            body: vec![
+                Stmt::Out {
+                    name: "first".into(),
+                    expr: var("a"),
+                },
+                Stmt::Out {
+                    name: "second".into(),
+                    expr: var("a"),
+                },
+            ],
+        };
+        assert_eq!(kernel.output_names(), vec!["first", "second"]);
+    }
+}

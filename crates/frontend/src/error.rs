@@ -1,0 +1,172 @@
+//! Front-end error reporting.
+
+use std::fmt;
+
+use overlay_dfg::DfgError;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while lexing, parsing or lowering kernel source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// An unexpected character was encountered while lexing.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A numeric literal did not fit in a 32-bit signed integer.
+    LiteralOutOfRange {
+        /// The literal text.
+        text: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// The parser found a token it did not expect.
+    UnexpectedToken {
+        /// Human-readable description of what was found.
+        found: String,
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// The source ended in the middle of a construct.
+    UnexpectedEof {
+        /// Human-readable description of what was expected.
+        expected: String,
+    },
+    /// An expression referenced a variable that has not been defined.
+    UndefinedVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// A `let` or parameter rebinds an existing name.
+    DuplicateDefinition {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A kernel has no `out` statement.
+    NoOutputs {
+        /// The kernel name.
+        kernel: String,
+    },
+    /// An unknown intrinsic function was called.
+    UnknownFunction {
+        /// The function name.
+        name: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// An intrinsic function was called with the wrong number of arguments.
+    WrongArgumentCount {
+        /// The function name.
+        name: String,
+        /// Arguments the function requires.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// The lowered graph violated a DFG invariant.
+    Dfg(DfgError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::UnexpectedChar { ch, span } => {
+                write!(f, "unexpected character `{ch}` at {span}")
+            }
+            FrontendError::LiteralOutOfRange { text, span } => {
+                write!(f, "literal `{text}` at {span} does not fit in 32 bits")
+            }
+            FrontendError::UnexpectedToken {
+                found,
+                expected,
+                span,
+            } => write!(f, "expected {expected} but found {found} at {span}"),
+            FrontendError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            FrontendError::UndefinedVariable { name } => {
+                write!(f, "use of undefined variable `{name}`")
+            }
+            FrontendError::DuplicateDefinition { name } => {
+                write!(f, "`{name}` is defined more than once")
+            }
+            FrontendError::NoOutputs { kernel } => {
+                write!(f, "kernel `{kernel}` has no `out` statement")
+            }
+            FrontendError::UnknownFunction { name, span } => {
+                write!(f, "unknown function `{name}` at {span}")
+            }
+            FrontendError::WrongArgumentCount {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{name}` expects {expected} argument(s) but {found} were supplied"
+            ),
+            FrontendError::Dfg(err) => write!(f, "invalid data flow graph: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Dfg(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for FrontendError {
+    fn from(err: DfgError) -> Self {
+        FrontendError::Dfg(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_information() {
+        let err = FrontendError::UnexpectedChar {
+            ch: '@',
+            span: Span { line: 3, column: 7 },
+        };
+        assert_eq!(err.to_string(), "unexpected character `@` at 3:7");
+    }
+
+    #[test]
+    fn dfg_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let err = FrontendError::from(DfgError::NoOutputs);
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("invalid data flow graph"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<FrontendError>();
+    }
+}

@@ -1,0 +1,409 @@
+//! The benchmark kernel suite used in the paper's evaluation.
+//!
+//! The paper evaluates eight compute kernels taken from the DSP-overlay
+//! benchmark set of Jain et al. (FCCM'15) and the polynomial test suite of
+//! Bini & Mourrain (Table III), plus the 'gradient' medical-imaging kernel
+//! used as the worked example (Fig. 2). The original C sources are not
+//! reproduced in the paper, so this module reconstructs each kernel so that
+//! its DFG characteristics (inputs/outputs, operation count, depth) match the
+//! published values in Table III; the reconstruction choices are documented
+//! in `DESIGN.md` and the achieved-vs-published numbers in `EXPERIMENTS.md`.
+//!
+//! Kernels with a natural closed-form expression (`gradient`, `chebyshev`,
+//! `mibench`, `sgfilter`) are written in the kernel DSL and compiled through
+//! the full front-end; the polynomial-evaluation kernels (`qspline`,
+//! `poly5`–`poly8`) are built structurally with [`overlay_dfg::DfgBuilder`]
+//! using a layered construction that mirrors their published shape.
+
+use overlay_dfg::{Dfg, DfgBuilder, NodeId, Op};
+
+use crate::compile_kernel;
+use crate::error::FrontendError;
+
+/// The paper's per-benchmark reference data: DFG characteristics and the
+/// initiation intervals reported in Table III (plus the 'gradient' figures
+/// quoted in the running text).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRecord {
+    /// Number of kernel inputs.
+    pub inputs: usize,
+    /// Number of kernel outputs.
+    pub outputs: usize,
+    /// Number of operation nodes.
+    pub ops: usize,
+    /// DFG depth (critical path length).
+    pub depth: usize,
+    /// II of the baseline overlay of reference `[14]`.
+    pub ii_baseline: f64,
+    /// II of the V1 overlay (rotating register file).
+    pub ii_v1: f64,
+    /// II of the V2 overlay (dual datapath).
+    pub ii_v2: f64,
+    /// II of the V3 overlay (write-back, IWP = 5, fixed depth 8).
+    pub ii_v3: f64,
+    /// II of the V4 overlay (write-back, IWP = 4, fixed depth 8).
+    pub ii_v4: f64,
+}
+
+/// The benchmark kernels evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Medical-imaging 'gradient' kernel (Fig. 2), the paper's worked example.
+    Gradient,
+    /// Chebyshev polynomial evaluation (1 input, pure dependence chain).
+    Chebyshev,
+    /// MiBench-derived arithmetic kernel (3 inputs).
+    Mibench,
+    /// Quadratic-spline kernel (Fig. 4): a multiplication cascade feeding an
+    /// addition chain.
+    Qspline,
+    /// Savitzky–Golay filter kernel (2 inputs).
+    Sgfilter,
+    /// Polynomial test-suite kernel `poly5`.
+    Poly5,
+    /// Polynomial test-suite kernel `poly6`.
+    Poly6,
+    /// Polynomial test-suite kernel `poly7`.
+    Poly7,
+    /// Polynomial test-suite kernel `poly8`.
+    Poly8,
+}
+
+impl Benchmark {
+    /// Every benchmark, including the worked 'gradient' example.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Mibench,
+        Benchmark::Qspline,
+        Benchmark::Sgfilter,
+        Benchmark::Poly5,
+        Benchmark::Poly6,
+        Benchmark::Poly7,
+        Benchmark::Poly8,
+    ];
+
+    /// The eight benchmarks of the paper's Table III, in table order.
+    pub const TABLE3: [Benchmark; 8] = [
+        Benchmark::Chebyshev,
+        Benchmark::Mibench,
+        Benchmark::Qspline,
+        Benchmark::Sgfilter,
+        Benchmark::Poly5,
+        Benchmark::Poly6,
+        Benchmark::Poly7,
+        Benchmark::Poly8,
+    ];
+
+    /// The kernel name as used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Benchmark::Gradient => "gradient",
+            Benchmark::Chebyshev => "chebyshev",
+            Benchmark::Mibench => "mibench",
+            Benchmark::Qspline => "qspline",
+            Benchmark::Sgfilter => "sgfilter",
+            Benchmark::Poly5 => "poly5",
+            Benchmark::Poly6 => "poly6",
+            Benchmark::Poly7 => "poly7",
+            Benchmark::Poly8 => "poly8",
+        }
+    }
+
+    /// The kernel-DSL source, for benchmarks expressed in the DSL.
+    ///
+    /// The polynomial kernels (`qspline`, `poly5`–`poly8`) are constructed
+    /// structurally instead and return `None`.
+    pub const fn source(self) -> Option<&'static str> {
+        match self {
+            Benchmark::Gradient => Some(GRADIENT_SRC),
+            Benchmark::Chebyshev => Some(CHEBYSHEV_SRC),
+            Benchmark::Mibench => Some(MIBENCH_SRC),
+            Benchmark::Sgfilter => Some(SGFILTER_SRC),
+            _ => None,
+        }
+    }
+
+    /// Builds the benchmark's data flow graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end errors; for the built-in sources this never fails
+    /// in practice (covered by tests).
+    pub fn dfg(self) -> Result<Dfg, FrontendError> {
+        match self {
+            Benchmark::Gradient
+            | Benchmark::Chebyshev
+            | Benchmark::Mibench
+            | Benchmark::Sgfilter => compile_kernel(self.source().expect("DSL source exists")),
+            Benchmark::Qspline => {
+                Ok(layered_kernel("qspline", 7, &[8, 6, 4, 3, 1, 1, 1, 1], 4)?)
+            }
+            Benchmark::Poly5 => {
+                Ok(layered_kernel("poly5", 3, &[5, 4, 4, 3, 3, 3, 2, 2, 1], 6)?)
+            }
+            Benchmark::Poly6 => Ok(layered_kernel(
+                "poly6",
+                3,
+                &[6, 6, 5, 5, 4, 4, 4, 4, 3, 2, 1],
+                8,
+            )?),
+            Benchmark::Poly7 => Ok(layered_kernel(
+                "poly7",
+                3,
+                &[5, 4, 4, 4, 3, 3, 3, 3, 3, 3, 2, 1, 1],
+                10,
+            )?),
+            Benchmark::Poly8 => Ok(layered_kernel(
+                "poly8",
+                3,
+                &[4, 4, 4, 3, 3, 3, 3, 3, 2, 2, 1],
+                8,
+            )?),
+        }
+    }
+
+    /// The paper's reference figures for this benchmark.
+    ///
+    /// The II values come from Table III; the 'gradient' figures come from
+    /// the running text of Sections III–IV (its V3/V4 entries equal the V1
+    /// value because its depth fits the fixed-depth overlay and ASAP
+    /// scheduling is used, as the paper notes for shallow kernels).
+    pub const fn paper_record(self) -> PaperRecord {
+        match self {
+            Benchmark::Gradient => record(5, 1, 11, 4, 11.0, 6.0, 3.0, 6.0, 6.0),
+            Benchmark::Chebyshev => record(1, 1, 7, 7, 6.0, 4.0, 2.0, 4.0, 4.0),
+            Benchmark::Mibench => record(3, 1, 13, 6, 14.0, 8.0, 4.0, 8.0, 8.0),
+            Benchmark::Qspline => record(7, 1, 25, 8, 19.0, 11.0, 5.5, 11.0, 11.0),
+            Benchmark::Sgfilter => record(2, 1, 18, 9, 13.0, 8.0, 4.0, 8.0, 8.0),
+            Benchmark::Poly5 => record(3, 1, 27, 9, 19.0, 11.0, 5.5, 11.0, 11.0),
+            Benchmark::Poly6 => record(3, 1, 44, 11, 25.0, 14.0, 7.0, 13.0, 12.0),
+            Benchmark::Poly7 => record(3, 1, 39, 13, 24.0, 14.0, 7.0, 20.0, 17.0),
+            Benchmark::Poly8 => record(3, 1, 32, 11, 21.0, 12.0, 6.0, 16.0, 14.0),
+        }
+    }
+}
+
+const fn record(
+    inputs: usize,
+    outputs: usize,
+    ops: usize,
+    depth: usize,
+    ii_baseline: f64,
+    ii_v1: f64,
+    ii_v2: f64,
+    ii_v3: f64,
+    ii_v4: f64,
+) -> PaperRecord {
+    PaperRecord {
+        inputs,
+        outputs,
+        ops,
+        depth,
+        ii_baseline,
+        ii_v1,
+        ii_v2,
+        ii_v3,
+        ii_v4,
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const GRADIENT_SRC: &str = "\
+kernel gradient(i0, i1, i2, i3, i4) {
+    let d0 = i0 - i2;
+    let d1 = i1 - i2;
+    let d2 = i2 - i3;
+    let d3 = i2 - i4;
+    let s0 = sqr(d0);
+    let s1 = sqr(d1);
+    let s2 = sqr(d2);
+    let s3 = sqr(d3);
+    let a0 = s0 + s1;
+    let a1 = s2 + s3;
+    out g = a0 + a1;
+}
+";
+
+const CHEBYSHEV_SRC: &str = "\
+# Chebyshev polynomial T6 evaluated in Horner form over u = x^2:
+#   T6(x) = ((32 u - 48) u + 18) u - 1
+kernel chebyshev(x) {
+    let u = x * x;
+    out y = ((u * 32 - 48) * u + 18) * u - 1;
+}
+";
+
+const MIBENCH_SRC: &str = "\
+kernel mibench(a, b, c) {
+    let t1 = a * b;
+    let t2 = b * c;
+    let t3 = a * c;
+    let t4 = a + b;
+    let t5 = b + c;
+    let u1 = t1 + t2;
+    let u2 = t3 * t4;
+    let u3 = sqr(t5);
+    let v1 = u1 - u2;
+    let v2 = u3 + u1;
+    let w1 = v1 * v2;
+    let x1 = w1 + u3;
+    out y = x1 * v1;
+}
+";
+
+const SGFILTER_SRC: &str = "\
+kernel sgfilter(x, h) {
+    let t1 = sqr(x);
+    let t2 = x * h;
+    let t3 = sqr(h);
+    let u1 = t1 * x;
+    let u2 = t2 + t1;
+    let u3 = t3 * h;
+    let v1 = u1 + u2;
+    let v2 = u2 * u3;
+    let w1 = v1 * x;
+    let w2 = v2 + u3;
+    let p1 = w1 - w2;
+    let p2 = w2 * t2;
+    let q1 = p1 * p2;
+    let q2 = p2 + v1;
+    let r1 = q1 + q2;
+    let r2 = q2 * h;
+    let s1 = r1 * r2;
+    out y = s1 + q1;
+}
+";
+
+/// Builds a layered polynomial-style kernel with an exact operation count and
+/// depth.
+///
+/// Level `k` (1-based) contains `widths[k - 1]` operations; every operation
+/// takes its first operand from the previous level (or from the inputs at
+/// level 1), which pins its ASAP level, and its second operand from a
+/// deterministic rotation over all earlier values. The first `add_tail`
+/// levels from the end use additions (mirroring the summation tail of the
+/// polynomial benchmarks); earlier levels use multiplications.
+fn layered_kernel(
+    name: &str,
+    num_inputs: usize,
+    widths: &[usize],
+    add_tail: usize,
+) -> Result<Dfg, overlay_dfg::DfgError> {
+    let mut builder = DfgBuilder::new(name);
+    let inputs: Vec<NodeId> = (0..num_inputs)
+        .map(|i| builder.input(format!("i{i}")))
+        .collect();
+
+    let depth = widths.len();
+    let mut earlier: Vec<NodeId> = inputs.clone();
+    let mut previous: Vec<NodeId> = inputs.clone();
+    let mut last = None;
+    let mut rotation = 0usize;
+    for (level_index, &width) in widths.iter().enumerate() {
+        let level = level_index + 1;
+        let use_add = level > depth - add_tail;
+        let mut this_level = Vec::with_capacity(width);
+        for slot in 0..width {
+            let first = previous[slot % previous.len()];
+            let second = earlier[rotation % earlier.len()];
+            rotation = rotation.wrapping_add(3);
+            let op = if use_add { Op::Add } else { Op::Mul };
+            let id = builder.op(op, &[first, second])?;
+            this_level.push(id);
+            last = Some(id);
+        }
+        earlier.extend(this_level.iter().copied());
+        previous = this_level;
+    }
+    builder.output("y", last.expect("at least one level"));
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_valid_dfgs() {
+        for benchmark in Benchmark::ALL {
+            let dfg = benchmark.dfg().unwrap();
+            assert!(dfg.validate().is_ok(), "{benchmark} must validate");
+        }
+    }
+
+    #[test]
+    fn characteristics_match_the_paper() {
+        for benchmark in Benchmark::ALL {
+            let dfg = benchmark.dfg().unwrap();
+            let record = benchmark.paper_record();
+            let analysis = dfg.analysis();
+            assert_eq!(dfg.num_inputs(), record.inputs, "{benchmark} inputs");
+            assert_eq!(dfg.num_outputs(), record.outputs, "{benchmark} outputs");
+            assert_eq!(dfg.num_ops(), record.ops, "{benchmark} ops");
+            assert_eq!(analysis.depth(), record.depth, "{benchmark} depth");
+        }
+    }
+
+    #[test]
+    fn table3_has_eight_entries_in_paper_order() {
+        assert_eq!(Benchmark::TABLE3.len(), 8);
+        assert_eq!(Benchmark::TABLE3[0], Benchmark::Chebyshev);
+        assert_eq!(Benchmark::TABLE3[7], Benchmark::Poly8);
+        assert!(!Benchmark::TABLE3.contains(&Benchmark::Gradient));
+    }
+
+    #[test]
+    fn dsl_benchmarks_expose_their_source() {
+        for benchmark in [
+            Benchmark::Gradient,
+            Benchmark::Chebyshev,
+            Benchmark::Mibench,
+            Benchmark::Sgfilter,
+        ] {
+            assert!(benchmark.source().is_some());
+        }
+        assert!(Benchmark::Qspline.source().is_none());
+    }
+
+    #[test]
+    fn gradient_evaluates_like_a_gradient_magnitude() {
+        use overlay_dfg::{evaluate, Value};
+        let dfg = Benchmark::Gradient.dfg().unwrap();
+        // centre pixel 3, neighbours 1, 2, 4, 5:
+        // (1-3)^2 + (2-3)^2 + (3-4)^2 + (3-5)^2 = 4 + 1 + 1 + 4 = 10
+        let out = evaluate(&dfg, &[1, 2, 3, 4, 5].map(Value::new)).unwrap();
+        assert_eq!(out, vec![Value::new(10)]);
+    }
+
+    #[test]
+    fn chebyshev_matches_t6_identity() {
+        use overlay_dfg::{evaluate, Value};
+        let dfg = Benchmark::Chebyshev.dfg().unwrap();
+        // T6(2) = 32*2^6 - 48*2^4 + 18*2^2 - 1 = 2048 - 768 + 72 - 1 = 1351
+        let out = evaluate(&dfg, &[Value::new(2)]).unwrap();
+        assert_eq!(out, vec![Value::new(1351)]);
+    }
+
+    #[test]
+    fn paper_ii_values_are_internally_consistent() {
+        for benchmark in Benchmark::ALL {
+            let record = benchmark.paper_record();
+            assert!(record.ii_v1 <= record.ii_baseline, "{benchmark}");
+            assert!((record.ii_v2 - record.ii_v1 / 2.0).abs() < f64::EPSILON, "{benchmark}");
+        }
+    }
+
+    #[test]
+    fn layered_kernel_rejects_nothing_but_matches_shape() {
+        let dfg = layered_kernel("shape", 4, &[3, 2, 2, 1], 2).unwrap();
+        assert_eq!(dfg.num_ops(), 8);
+        assert_eq!(dfg.analysis().depth(), 4);
+        assert_eq!(dfg.num_inputs(), 4);
+    }
+}

@@ -1,0 +1,336 @@
+//! Lexer for the kernel language.
+
+use crate::error::{FrontendError, Span};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// The `kernel` keyword.
+    Kernel,
+    /// The `let` keyword.
+    Let,
+    /// The `out` keyword.
+    Out,
+    /// An identifier (variable, kernel or function name).
+    Ident(String),
+    /// An integer literal (fits in `i32`).
+    Number(i32),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `<<`
+    ShiftLeft,
+    /// `>>`
+    ShiftRight,
+    /// `&`
+    Ampersand,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `=`
+    Equals,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Kernel => "`kernel`".into(),
+            TokenKind::Let => "`let`".into(),
+            TokenKind::Out => "`out`".into(),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Number(value) => format!("number `{value}`"),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::ShiftLeft => "`<<`".into(),
+            TokenKind::ShiftRight => "`>>`".into(),
+            TokenKind::Ampersand => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Equals => "`=`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// A hand-written lexer producing a flat token vector.
+///
+/// Comments start with `#` and run to the end of the line. Whitespace is
+/// insignificant.
+///
+/// # Example
+///
+/// ```
+/// use overlay_frontend::{Lexer, TokenKind};
+///
+/// # fn main() -> Result<(), overlay_frontend::FrontendError> {
+/// let tokens = Lexer::new("let y = x * 3;").tokenize()?;
+/// assert_eq!(tokens[0].kind, TokenKind::Let);
+/// assert_eq!(tokens[5].kind, TokenKind::Number(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    source: &'src str,
+    chars: Vec<char>,
+    index: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'src str) -> Self {
+        Lexer {
+            source,
+            chars: source.chars().collect(),
+            index: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// The source text this lexer reads from.
+    pub fn source(&self) -> &'src str {
+        self.source
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.index).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.index += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(ch)
+    }
+
+    /// Consumes the whole input and returns the token stream, ending with an
+    /// [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::UnexpectedChar`] for characters outside the
+    /// language and [`FrontendError::LiteralOutOfRange`] for oversized
+    /// numeric literals.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut tokens = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            while let Some(ch) = self.peek() {
+                if ch.is_whitespace() {
+                    self.bump();
+                } else if ch == '#' {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                } else {
+                    break;
+                }
+            }
+            let span = self.span();
+            let Some(ch) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(tokens);
+            };
+            let kind = if ch.is_ascii_alphabetic() || ch == '_' {
+                let mut ident = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match ident.as_str() {
+                    "kernel" => TokenKind::Kernel,
+                    "let" => TokenKind::Let,
+                    "out" => TokenKind::Out,
+                    _ => TokenKind::Ident(ident),
+                }
+            } else if ch.is_ascii_digit() {
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| FrontendError::LiteralOutOfRange {
+                        text: text.clone(),
+                        span,
+                    })?;
+                // Accept up to 2^31 so that `-2147483648` written as a
+                // negated literal still lexes; the parser applies negation.
+                if value > i64::from(i32::MAX) + 1 {
+                    return Err(FrontendError::LiteralOutOfRange { text, span });
+                }
+                TokenKind::Number(value.min(i64::from(i32::MAX)) as i32)
+            } else {
+                self.bump();
+                match ch {
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '&' => TokenKind::Ampersand,
+                    '|' => TokenKind::Pipe,
+                    '^' => TokenKind::Caret,
+                    '=' => TokenKind::Equals,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semicolon,
+                    '<' if self.peek() == Some('<') => {
+                        self.bump();
+                        TokenKind::ShiftLeft
+                    }
+                    '>' if self.peek() == Some('>') => {
+                        self.bump();
+                        TokenKind::ShiftRight
+                    }
+                    other => return Err(FrontendError::UnexpectedChar { ch: other, span }),
+                }
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        Lexer::new(source)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_identifiers_and_numbers() {
+        let kinds = kinds("kernel foo(x) { let y = x * 42; out z = y; }");
+        assert_eq!(kinds[0], TokenKind::Kernel);
+        assert_eq!(kinds[1], TokenKind::Ident("foo".into()));
+        assert!(kinds.contains(&TokenKind::Number(42)));
+        assert!(kinds.contains(&TokenKind::Out));
+        assert_eq!(*kinds.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let kinds = kinds("# a comment\n  let x = 1; # trailing\n");
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Equals,
+                TokenKind::Number(1),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn shift_operators_are_two_characters() {
+        let kinds = kinds("a << 2 >> 1");
+        assert!(kinds.contains(&TokenKind::ShiftLeft));
+        assert!(kinds.contains(&TokenKind::ShiftRight));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported_with_position() {
+        let err = Lexer::new("let x = $;").tokenize().unwrap_err();
+        match err {
+            FrontendError::UnexpectedChar { ch, span } => {
+                assert_eq!(ch, '$');
+                assert_eq!(span.line, 1);
+                assert_eq!(span.column, 9);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_literal_is_rejected() {
+        let err = Lexer::new("let x = 99999999999;").tokenize().unwrap_err();
+        assert!(matches!(err, FrontendError::LiteralOutOfRange { .. }));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let tokens = Lexer::new("let x = 1;\nlet y = 2;").tokenize().unwrap();
+        let second_let = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Let)
+            .nth(1)
+            .unwrap();
+        assert_eq!(second_let.span.line, 2);
+        assert_eq!(second_let.span.column, 1);
+    }
+}

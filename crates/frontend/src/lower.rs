@@ -1,0 +1,371 @@
+//! Lowering from the kernel AST to an [`overlay_dfg::Dfg`].
+
+use std::collections::HashMap;
+
+use overlay_dfg::{Dfg, DfgBuilder, NodeId, Op, Value};
+
+use crate::ast::{BinaryOp, Expr, Kernel, Stmt, UnaryFn};
+use crate::error::FrontendError;
+
+/// Options controlling the lowering of kernel ASTs to DFGs.
+///
+/// The defaults perform *direct* lowering (one operation node per source
+/// operator) with square detection, which keeps the resulting operation count
+/// predictable — important when reproducing the paper's per-benchmark `#Ops`
+/// figures. Enable [`LowerOptions::cse`] to share identical subexpressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Fold operations whose operands are all literals at compile time.
+    pub fold_constants: bool,
+    /// Reuse a node when an identical `(op, operands)` combination recurs.
+    pub cse: bool,
+    /// Turn `x * x` into a single [`Op::Square`] node (matching the paper's
+    /// `SQR` nodes).
+    pub detect_squares: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            fold_constants: true,
+            cse: false,
+            detect_squares: true,
+        }
+    }
+}
+
+impl LowerOptions {
+    /// Options for fully optimised lowering (constant folding, CSE and square
+    /// detection all enabled).
+    pub fn optimized() -> Self {
+        LowerOptions {
+            fold_constants: true,
+            cse: true,
+            detect_squares: true,
+        }
+    }
+
+    /// Options for completely literal lowering (no folding, no CSE, no square
+    /// detection) — every source operator becomes exactly one node.
+    pub fn literal() -> Self {
+        LowerOptions {
+            fold_constants: false,
+            cse: false,
+            detect_squares: false,
+        }
+    }
+}
+
+/// Lowers a parsed [`Kernel`] to a [`Dfg`].
+///
+/// # Errors
+///
+/// * [`FrontendError::DuplicateDefinition`] for re-bound names,
+/// * [`FrontendError::UndefinedVariable`] for uses of unknown names,
+/// * [`FrontendError::NoOutputs`] if the kernel has no `out` statement,
+/// * [`FrontendError::Dfg`] if the resulting graph fails validation.
+///
+/// # Example
+///
+/// ```
+/// use overlay_frontend::{lower_kernel, parse_kernel, LowerOptions};
+///
+/// # fn main() -> Result<(), overlay_frontend::FrontendError> {
+/// let kernel = parse_kernel("kernel f(x) { out y = x * x; }")?;
+/// let dfg = lower_kernel(&kernel, &LowerOptions::default())?;
+/// // `x * x` became a single SQR node thanks to square detection.
+/// assert_eq!(dfg.num_ops(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lower_kernel(kernel: &Kernel, options: &LowerOptions) -> Result<Dfg, FrontendError> {
+    Lowerer::new(kernel, *options).lower()
+}
+
+struct Lowerer<'k> {
+    kernel: &'k Kernel,
+    options: LowerOptions,
+    builder: DfgBuilder,
+    env: HashMap<String, NodeId>,
+    input_ids: Vec<NodeId>,
+    constants: HashMap<i32, NodeId>,
+    literal_values: HashMap<NodeId, i32>,
+    cse_cache: HashMap<(Op, Vec<NodeId>), NodeId>,
+}
+
+impl<'k> Lowerer<'k> {
+    fn new(kernel: &'k Kernel, options: LowerOptions) -> Self {
+        Lowerer {
+            kernel,
+            options,
+            builder: DfgBuilder::new(kernel.name.clone()),
+            env: HashMap::new(),
+            input_ids: Vec::new(),
+            constants: HashMap::new(),
+            literal_values: HashMap::new(),
+            cse_cache: HashMap::new(),
+        }
+    }
+
+    fn lower(mut self) -> Result<Dfg, FrontendError> {
+        for param in &self.kernel.params {
+            if self.env.contains_key(param) {
+                return Err(FrontendError::DuplicateDefinition {
+                    name: param.clone(),
+                });
+            }
+            let id = self.builder.input(param.clone());
+            self.input_ids.push(id);
+            self.env.insert(param.clone(), id);
+        }
+
+        let mut has_output = false;
+        for stmt in &self.kernel.body {
+            match stmt {
+                Stmt::Let { name, expr } => {
+                    if self.env.contains_key(name) {
+                        return Err(FrontendError::DuplicateDefinition { name: name.clone() });
+                    }
+                    let id = self.lower_expr(expr)?;
+                    self.env.insert(name.clone(), id);
+                }
+                Stmt::Out { name, expr } => {
+                    has_output = true;
+                    let id = self.lower_expr(expr)?;
+                    // Outputs must be driven by an operation node; wrap bare
+                    // inputs/constants in a MOV so the FU forwards them.
+                    let source = if self.builder_node_is_op(id) {
+                        id
+                    } else {
+                        self.emit(Op::Mov, vec![id])?
+                    };
+                    self.builder.output(name.clone(), source);
+                }
+            }
+        }
+        if !has_output {
+            return Err(FrontendError::NoOutputs {
+                kernel: self.kernel.name.clone(),
+            });
+        }
+        Ok(self.builder.build()?)
+    }
+
+    fn builder_node_is_op(&self, id: NodeId) -> bool {
+        // Inputs and constants are the only non-operation value nodes the
+        // lowerer creates, and it tracks both.
+        !self.input_ids.contains(&id) && !self.literal_values.contains_key(&id)
+    }
+
+    fn constant(&mut self, value: i32) -> NodeId {
+        if let Some(&id) = self.constants.get(&value) {
+            return id;
+        }
+        let id = self.builder.constant(Value::new(value));
+        self.constants.insert(value, id);
+        self.literal_values.insert(id, value);
+        id
+    }
+
+    fn emit(&mut self, op: Op, operands: Vec<NodeId>) -> Result<NodeId, FrontendError> {
+        // Constant folding.
+        if self.options.fold_constants {
+            let literal_operands: Option<Vec<i32>> = operands
+                .iter()
+                .map(|id| self.literal_values.get(id).copied())
+                .collect();
+            if let Some(literals) = literal_operands {
+                let values: Vec<Value> = literals.into_iter().map(Value::new).collect();
+                if let Ok(folded) = op.apply(&values) {
+                    return Ok(self.constant(folded.get()));
+                }
+            }
+        }
+        // Common subexpression elimination.
+        if self.options.cse {
+            let mut key_operands = operands.clone();
+            if op.is_commutative() {
+                key_operands.sort();
+            }
+            let key = (op, key_operands);
+            if let Some(&existing) = self.cse_cache.get(&key) {
+                return Ok(existing);
+            }
+            let id = self.builder.op(op, &operands)?;
+            self.cse_cache.insert(key, id);
+            return Ok(id);
+        }
+        Ok(self.builder.op(op, &operands)?)
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<NodeId, FrontendError> {
+        match expr {
+            Expr::Var(name) => self
+                .env
+                .get(name)
+                .copied()
+                .ok_or_else(|| FrontendError::UndefinedVariable { name: name.clone() }),
+            Expr::Literal(value) => Ok(self.constant(*value)),
+            Expr::Neg(inner) => {
+                let operand = self.lower_expr(inner)?;
+                self.emit(Op::Neg, vec![operand])
+            }
+            Expr::Call { function, args } => {
+                let operands: Vec<NodeId> = args
+                    .iter()
+                    .map(|arg| self.lower_expr(arg))
+                    .collect::<Result<_, _>>()?;
+                let op = match function {
+                    UnaryFn::Sqr => Op::Square,
+                    UnaryFn::Abs => Op::Abs,
+                    UnaryFn::Min => Op::Min,
+                    UnaryFn::Max => Op::Max,
+                };
+                self.emit(op, operands)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lhs_id = self.lower_expr(lhs)?;
+                let rhs_id = self.lower_expr(rhs)?;
+                if self.options.detect_squares && *op == BinaryOp::Mul && lhs_id == rhs_id {
+                    return self.emit(Op::Square, vec![lhs_id]);
+                }
+                let op = match op {
+                    BinaryOp::Add => Op::Add,
+                    BinaryOp::Sub => Op::Sub,
+                    BinaryOp::Mul => Op::Mul,
+                    BinaryOp::Shl => Op::Shl,
+                    BinaryOp::Shr => Op::Shr,
+                    BinaryOp::And => Op::And,
+                    BinaryOp::Or => Op::Or,
+                    BinaryOp::Xor => Op::Xor,
+                };
+                self.emit(op, vec![lhs_id, rhs_id])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+    use overlay_dfg::evaluate;
+
+    fn lower(source: &str, options: LowerOptions) -> Result<Dfg, FrontendError> {
+        lower_kernel(&parse_kernel(source).unwrap(), &options)
+    }
+
+    #[test]
+    fn direct_lowering_counts_ops_one_per_operator() {
+        let dfg = lower(
+            "kernel k(a, b) { let t = a + b; out y = t * t - 4; }",
+            LowerOptions::literal(),
+        )
+        .unwrap();
+        // a+b, t*t (no square detection), -4 constant sub -> 3 ops
+        assert_eq!(dfg.num_ops(), 3);
+    }
+
+    #[test]
+    fn square_detection_uses_sqr_nodes() {
+        let dfg = lower("kernel k(a) { out y = a * a; }", LowerOptions::default()).unwrap();
+        assert_eq!(dfg.num_ops(), 1);
+        assert_eq!(dfg.op_histogram()[&Op::Square], 1);
+    }
+
+    #[test]
+    fn constant_folding_collapses_literal_math() {
+        let dfg = lower(
+            "kernel k(a) { out y = a + (2 * 3 + 4); }",
+            LowerOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(dfg.num_ops(), 1); // only the a + 10 add survives
+        let out = evaluate(&dfg, &[Value::new(1)]).unwrap();
+        assert_eq!(out, vec![Value::new(11)]);
+    }
+
+    #[test]
+    fn cse_shares_identical_subexpressions() {
+        let source = "kernel k(a, b) { out y = (a + b) * (a + b); }";
+        let without = lower(source, LowerOptions::default()).unwrap();
+        let with = lower(source, LowerOptions::optimized()).unwrap();
+        assert_eq!(without.num_ops(), 3); // two adds and a mul
+        assert_eq!(with.num_ops(), 2); // shared add, then a SQR of it
+    }
+
+    #[test]
+    fn cse_respects_commutativity() {
+        let source = "kernel k(a, b) { out y = (a + b) * (b + a); }";
+        let dfg = lower(source, LowerOptions::optimized()).unwrap();
+        assert_eq!(dfg.num_ops(), 2);
+    }
+
+    #[test]
+    fn undefined_variable_is_reported() {
+        assert!(matches!(
+            lower("kernel k(a) { out y = a + q; }", LowerOptions::default()),
+            Err(FrontendError::UndefinedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_let_is_reported() {
+        assert!(matches!(
+            lower(
+                "kernel k(a) { let t = a; let t = a + 1; out y = t; }",
+                LowerOptions::default()
+            ),
+            Err(FrontendError::DuplicateDefinition { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_without_outputs_is_rejected() {
+        assert!(matches!(
+            lower("kernel k(a) { let t = a + 1; }", LowerOptions::default()),
+            Err(FrontendError::NoOutputs { .. })
+        ));
+    }
+
+    #[test]
+    fn output_of_plain_input_gets_a_mov() {
+        let dfg = lower("kernel k(a) { out y = a; }", LowerOptions::default()).unwrap();
+        assert_eq!(dfg.num_ops(), 1);
+        assert_eq!(dfg.op_histogram()[&Op::Mov], 1);
+        assert_eq!(
+            evaluate(&dfg, &[Value::new(17)]).unwrap(),
+            vec![Value::new(17)]
+        );
+    }
+
+    #[test]
+    fn lowered_kernels_evaluate_correctly() {
+        let dfg = lower(
+            "kernel f(a, b, c) { let t = a * b; out y = abs(t - c) + min(a, b) * max(a, c); }",
+            LowerOptions::default(),
+        )
+        .unwrap();
+        // a=2, b=-3, c=4: t=-6; |−6−4|=10; min(2,−3)=−3; max(2,4)=4; 10 + (−12) = −2
+        let out = evaluate(&dfg, &[Value::new(2), Value::new(-3), Value::new(4)]).unwrap();
+        assert_eq!(out, vec![Value::new(-2)]);
+    }
+
+    #[test]
+    fn negation_lowers_to_neg_node() {
+        let dfg = lower("kernel k(a) { out y = -(a * 3); }", LowerOptions::default()).unwrap();
+        assert_eq!(dfg.op_histogram()[&Op::Neg], 1);
+        assert_eq!(
+            evaluate(&dfg, &[Value::new(5)]).unwrap(),
+            vec![Value::new(-15)]
+        );
+    }
+
+    #[test]
+    fn duplicate_parameter_is_rejected() {
+        assert!(matches!(
+            lower("kernel k(a, a) { out y = a; }", LowerOptions::default()),
+            Err(FrontendError::DuplicateDefinition { .. })
+        ));
+    }
+}

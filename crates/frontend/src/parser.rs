@@ -1,0 +1,343 @@
+//! Recursive-descent parser for the kernel language.
+//!
+//! Grammar (in rough EBNF):
+//!
+//! ```text
+//! kernel     := 'kernel' IDENT '(' [ IDENT { ',' IDENT } ] ')' '{' { stmt } '}'
+//! stmt       := ( 'let' | 'out' ) IDENT '=' expr ';'
+//! expr       := or
+//! or         := xor { '|' xor }
+//! xor        := and { '^' and }
+//! and        := shift { '&' shift }
+//! shift      := add { ( '<<' | '>>' ) add }
+//! add        := mul { ( '+' | '-' ) mul }
+//! mul        := unary { '*' unary }
+//! unary      := '-' unary | primary
+//! primary    := NUMBER | IDENT [ '(' [ expr { ',' expr } ] ')' ] | '(' expr ')'
+//! ```
+
+use crate::ast::{BinaryOp, Expr, Kernel, Stmt, UnaryFn};
+use crate::error::FrontendError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parses a complete kernel definition from source text.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] describing the first lexical or syntactic
+/// problem encountered.
+///
+/// # Example
+///
+/// ```
+/// use overlay_frontend::parse_kernel;
+///
+/// # fn main() -> Result<(), overlay_frontend::FrontendError> {
+/// let kernel = parse_kernel("kernel f(a, b) { out y = a * b + 1; }")?;
+/// assert_eq!(kernel.name, "f");
+/// assert_eq!(kernel.params, vec!["a", "b"]);
+/// assert_eq!(kernel.body.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_kernel(source: &str) -> Result<Kernel, FrontendError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    Parser::new(tokens).kernel()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, index: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.peek().clone();
+        if self.index < self.tokens.len() - 1 {
+            self.index += 1;
+        }
+        token
+    }
+
+    fn unexpected(&self, expected: &str) -> FrontendError {
+        let token = self.peek();
+        if token.kind == TokenKind::Eof {
+            FrontendError::UnexpectedEof {
+                expected: expected.to_owned(),
+            }
+        } else {
+            FrontendError::UnexpectedToken {
+                found: token.kind.describe(),
+                expected: expected.to_owned(),
+                span: token.span,
+            }
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> Result<Token, FrontendError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn expect_ident(&mut self, expected: &str) -> Result<String, FrontendError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, FrontendError> {
+        self.expect(&TokenKind::Kernel, "`kernel`")?;
+        let name = self.expect_ident("kernel name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                params.push(self.expect_ident("parameter name")?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        self.expect(&TokenKind::Eof, "end of input")?;
+        Ok(Kernel { name, params, body })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let is_out = match self.peek().kind {
+            TokenKind::Let => false,
+            TokenKind::Out => true,
+            _ => return Err(self.unexpected("`let` or `out`")),
+        };
+        self.bump();
+        let name = self.expect_ident("binding name")?;
+        self.expect(&TokenKind::Equals, "`=`")?;
+        let expr = self.expr()?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(if is_out {
+            Stmt::Out { name, expr }
+        } else {
+            Stmt::Let { name, expr }
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.binary_level(0)
+    }
+
+    /// Precedence-climbing over the binary operator levels, lowest first.
+    fn binary_level(&mut self, level: usize) -> Result<Expr, FrontendError> {
+        const LEVELS: &[&[(TokenKind, BinaryOp)]] = &[
+            &[(TokenKind::Pipe, BinaryOp::Or)],
+            &[(TokenKind::Caret, BinaryOp::Xor)],
+            &[(TokenKind::Ampersand, BinaryOp::And)],
+            &[
+                (TokenKind::ShiftLeft, BinaryOp::Shl),
+                (TokenKind::ShiftRight, BinaryOp::Shr),
+            ],
+            &[
+                (TokenKind::Plus, BinaryOp::Add),
+                (TokenKind::Minus, BinaryOp::Sub),
+            ],
+            &[(TokenKind::Star, BinaryOp::Mul)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary_level(level + 1)?;
+        loop {
+            let op = LEVELS[level]
+                .iter()
+                .find(|(kind, _)| kind == &self.peek().kind)
+                .map(|(_, op)| *op);
+            let Some(op) = op else { break };
+            self.bump();
+            let rhs = self.binary_level(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            let inner = self.unary()?;
+            // Fold negation of literals immediately so `-5` is a literal.
+            if let Expr::Literal(value) = inner {
+                return Ok(Expr::Literal(value.wrapping_neg()));
+            }
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        let token = self.peek().clone();
+        match token.kind {
+            TokenKind::Number(value) => {
+                self.bump();
+                Ok(Expr::Literal(value))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let expr = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(expr)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek().kind == TokenKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    let function =
+                        UnaryFn::by_name(&name).ok_or(FrontendError::UnknownFunction {
+                            name: name.clone(),
+                            span: token.span,
+                        })?;
+                    if args.len() != function.arity() {
+                        return Err(FrontendError::WrongArgumentCount {
+                            name,
+                            expected: function.arity(),
+                            found: args.len(),
+                        });
+                    }
+                    Ok(Expr::Call { function, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_parameters_and_statements() {
+        let kernel =
+            parse_kernel("kernel k(a, b, c) { let t = a + b; out y = t * c; }").unwrap();
+        assert_eq!(kernel.params, vec!["a", "b", "c"]);
+        assert_eq!(kernel.body.len(), 2);
+        assert_eq!(kernel.output_names(), vec!["y"]);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let kernel = parse_kernel("kernel k(a, b, c) { out y = a + b * c; }").unwrap();
+        let Stmt::Out { expr, .. } = &kernel.body[0] else {
+            panic!("expected out statement");
+        };
+        match expr {
+            Expr::Binary {
+                op: BinaryOp::Add,
+                rhs,
+                ..
+            } => assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. })),
+            other => panic!("unexpected tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let kernel = parse_kernel("kernel k(a, b, c) { out y = (a + b) * c; }").unwrap();
+        let Stmt::Out { expr, .. } = &kernel.body[0] else {
+            panic!("expected out statement");
+        };
+        assert!(matches!(expr, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn negative_literals_fold_into_literal() {
+        let kernel = parse_kernel("kernel k(a) { out y = a + -3; }").unwrap();
+        let Stmt::Out { expr, .. } = &kernel.body[0] else {
+            panic!("expected out statement");
+        };
+        match expr {
+            Expr::Binary { rhs, .. } => assert_eq!(**rhs, Expr::Literal(-3)),
+            other => panic!("unexpected tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intrinsic_calls_check_arity() {
+        assert!(parse_kernel("kernel k(a) { out y = sqr(a); }").is_ok());
+        assert!(matches!(
+            parse_kernel("kernel k(a) { out y = sqr(a, a); }"),
+            Err(FrontendError::WrongArgumentCount { .. })
+        ));
+        assert!(matches!(
+            parse_kernel("kernel k(a) { out y = hypot(a, a); }"),
+            Err(FrontendError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_semicolon_is_a_syntax_error() {
+        assert!(matches!(
+            parse_kernel("kernel k(a) { out y = a }"),
+            Err(FrontendError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_reports_eof() {
+        assert!(matches!(
+            parse_kernel("kernel k(a) { out y = a + "),
+            Err(FrontendError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_parameter_list_is_allowed() {
+        let kernel = parse_kernel("kernel constant() { out y = 3 * 4; }").unwrap();
+        assert!(kernel.params.is_empty());
+    }
+
+    #[test]
+    fn shift_and_bitwise_operators_parse() {
+        let kernel = parse_kernel("kernel k(a, b) { out y = (a << 2) & b | 7 ^ b >> 1; }");
+        assert!(kernel.is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! Mapping from overlay operations to DSP48E1 control fields.
+//!
+//! The iDEA-style FU drives the DSP48E1 primitive directly from the decoded
+//! instruction: `INMODE` selects the multiplier/pre-adder inputs, `OPMODE`
+//! selects the X/Y/Z multiplexers feeding the 48-bit ALU, and `ALUMODE`
+//! selects the ALU function. The paper exploits the fact that only a subset
+//! of `INMODE` is needed for two-/three-operand operations, freeing three
+//! bits which V3–V5 reuse for the write-back (`WB`) and no-data-forward
+//! (`NDF`) flags. This module captures that mapping so both the instruction
+//! encoder and the cycle-accurate DSP model agree on it.
+
+use overlay_dfg::Op;
+
+/// DSP48E1 control fields for one operation.
+///
+/// Field widths match the hardware primitive: `INMODE` is 5 bits, `OPMODE`
+/// is 7 bits and `ALUMODE` is 4 bits. The values chosen follow the DSP48E1
+/// user guide conventions for the common configurations the overlay uses
+/// (`M`-path multiply, `X|Y|Z` ALU selects); operations that the DSP cannot
+/// perform in one pass (shifts, min/max, absolute value) are implemented in
+/// the FU's input-map/ALU helper logic and are flagged by
+/// [`DspControl::uses_helper_logic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DspControl {
+    /// 5-bit `INMODE` value (multiplier input selection).
+    pub inmode: u8,
+    /// 7-bit `OPMODE` value (X/Y/Z multiplexer selection).
+    pub opmode: u8,
+    /// 4-bit `ALUMODE` value (ALU function).
+    pub alumode: u8,
+    /// Whether the operation needs the LUT-based helper datapath around the
+    /// DSP (shifter / comparator), as in the iDEA processor.
+    pub helper: bool,
+}
+
+impl DspControl {
+    /// `OPMODE` selecting `X = M, Y = M, Z = 0` (pure multiply).
+    const OPMODE_MULT: u8 = 0b000_0101;
+    /// `OPMODE` selecting `X = A:B, Y = 0, Z = C` (ALU on A:B and C).
+    const OPMODE_AB_C: u8 = 0b011_0011;
+    /// `OPMODE` selecting `X = M, Y = M, Z = C` (multiply-add).
+    const OPMODE_MULT_C: u8 = 0b011_0101;
+
+    /// Returns the control fields used to execute `op` on the DSP block.
+    pub fn for_op(op: Op) -> DspControl {
+        match op {
+            Op::Add => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b0000, // Z + X + Y + CIN
+                helper: false,
+            },
+            Op::Sub => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b0011, // Z - (X + Y + CIN)
+                helper: false,
+            },
+            Op::Mul => DspControl {
+                inmode: 0b00001,
+                opmode: Self::OPMODE_MULT,
+                alumode: 0b0000,
+                helper: false,
+            },
+            Op::Square => DspControl {
+                inmode: 0b00011, // route the same operand to both multiplier ports
+                opmode: Self::OPMODE_MULT,
+                alumode: 0b0000,
+                helper: false,
+            },
+            Op::MulAdd => DspControl {
+                inmode: 0b00001,
+                opmode: Self::OPMODE_MULT_C,
+                alumode: 0b0000,
+                helper: false,
+            },
+            Op::Neg => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b0011,
+                helper: false,
+            },
+            Op::And => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b1100,
+                helper: false,
+            },
+            Op::Or => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b1110, // logic unit OR via OPMODE[3:2]=10 convention
+                helper: false,
+            },
+            Op::Xor => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b0100,
+                helper: false,
+            },
+            Op::Mov => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b0000,
+                helper: false,
+            },
+            // Shifts, min/max and abs use the LUT helper datapath.
+            Op::Shl | Op::Shr | Op::Min | Op::Max | Op::Abs => DspControl {
+                inmode: 0b00000,
+                opmode: Self::OPMODE_AB_C,
+                alumode: 0b0000,
+                helper: true,
+            },
+        }
+    }
+
+    /// Whether the operation needs the LUT-based helper datapath.
+    pub fn uses_helper_logic(self) -> bool {
+        self.helper
+    }
+
+    /// The three `INMODE` bit positions left unused by the overlay's
+    /// two-/three-operand configurations, reused by the paper for the `WB`
+    /// and `NDF` flags (one position is reserved for future use).
+    pub const SPARE_INMODE_BITS: [u8; 3] = [2, 3, 4];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_has_a_control_encoding() {
+        for op in Op::ALL {
+            let control = DspControl::for_op(op);
+            assert!(control.inmode < 32);
+            assert!(control.opmode < 128);
+            assert!(control.alumode < 16);
+        }
+    }
+
+    #[test]
+    fn multiplier_ops_use_the_m_path() {
+        for op in [Op::Mul, Op::Square, Op::MulAdd] {
+            let control = DspControl::for_op(op);
+            assert_eq!(control.opmode & 0b000_1111, 0b0101, "{op} must select X=M");
+        }
+    }
+
+    #[test]
+    fn square_ties_both_multiplier_ports() {
+        assert_ne!(
+            DspControl::for_op(Op::Square).inmode,
+            DspControl::for_op(Op::Mul).inmode
+        );
+    }
+
+    #[test]
+    fn helper_classification_matches_op_kind() {
+        assert!(DspControl::for_op(Op::Shl).uses_helper_logic());
+        assert!(DspControl::for_op(Op::Min).uses_helper_logic());
+        assert!(!DspControl::for_op(Op::Add).uses_helper_logic());
+        assert!(!DspControl::for_op(Op::Mul).uses_helper_logic());
+    }
+
+    #[test]
+    fn spare_inmode_bits_are_three_distinct_positions() {
+        let bits = DspControl::SPARE_INMODE_BITS;
+        assert_eq!(bits.len(), 3);
+        assert!(bits.iter().all(|&b| b < 5));
+        let mut sorted = bits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for instruction encoding, decoding and assembly.
+
+use std::fmt;
+
+/// Errors produced while constructing, encoding, decoding or assembling FU
+/// instructions and programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index outside the 32-entry RAM32M register file.
+    RegisterOutOfRange {
+        /// The offending index.
+        index: u32,
+    },
+    /// An encoded instruction word used a reserved or unknown kind field.
+    InvalidKind {
+        /// The raw kind bits.
+        kind: u32,
+    },
+    /// An encoded instruction word used an unknown ALU opcode.
+    InvalidOpcode {
+        /// The raw opcode bits.
+        opcode: u32,
+    },
+    /// An operation that needs the unused third operand port (e.g. `MAC`)
+    /// which the 2-operand instruction format cannot express.
+    UnsupportedOperation {
+        /// The operation mnemonic.
+        mnemonic: String,
+    },
+    /// Textual assembly could not be parsed.
+    ParseAsm {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The program exceeds the FU instruction memory capacity.
+    ProgramTooLong {
+        /// Number of instructions in the program.
+        len: usize,
+        /// Instruction memory capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RegisterOutOfRange { index } => {
+                write!(f, "register index {index} exceeds the 32-entry register file")
+            }
+            IsaError::InvalidKind { kind } => write!(f, "invalid instruction kind bits {kind:#04b}"),
+            IsaError::InvalidOpcode { opcode } => write!(f, "invalid ALU opcode {opcode:#06b}"),
+            IsaError::UnsupportedOperation { mnemonic } => {
+                write!(f, "operation {mnemonic} cannot be encoded in the FU instruction format")
+            }
+            IsaError::ParseAsm { line, message } => {
+                write!(f, "assembly parse error on line {line}: {message}")
+            }
+            IsaError::ProgramTooLong { len, capacity } => write!(
+                f,
+                "program has {len} instructions but the instruction memory holds only {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_quantities() {
+        let err = IsaError::RegisterOutOfRange { index: 40 };
+        assert!(err.to_string().contains("40"));
+        let err = IsaError::ProgramTooLong {
+            len: 300,
+            capacity: 256,
+        };
+        assert!(err.to_string().contains("300"));
+        assert!(err.to_string().contains("256"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<IsaError>();
+    }
+}

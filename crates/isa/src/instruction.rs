@@ -1,0 +1,328 @@
+//! The 32-bit FU instruction word.
+
+use std::fmt;
+
+use overlay_dfg::Op;
+
+use crate::dsp_control::DspControl;
+use crate::error::IsaError;
+use crate::reg::RegIndex;
+
+/// One instruction of a time-multiplexed functional unit.
+///
+/// The FU executes exactly one instruction per cycle. The three kinds mirror
+/// the execution pattern shown in the paper's Table II:
+///
+/// * [`Instruction::Load`] — pop the next word from the incoming FIFO (or the
+///   upstream FU) and store it in the register file;
+/// * [`Instruction::Exec`] — read one or two registers, run them through the
+///   DSP datapath and forward the result to the next stage (and, for the
+///   write-back variants, optionally back into the local register file);
+/// * [`Instruction::Nop`] — idle cycle, inserted to respect the internal
+///   write-back path (IWP) latency between dependent instructions.
+///
+/// # Encoding
+///
+/// The 32-bit word is laid out as follows (bit 0 is the least significant):
+///
+/// | bits   | field                                           |
+/// |--------|-------------------------------------------------|
+/// | 1:0    | kind (0 = NOP, 1 = LOAD, 2 = EXEC)              |
+/// | 6:2    | destination register                            |
+/// | 11:7   | source register 1                               |
+/// | 16:12  | source register 2                               |
+/// | 20:17  | ALU opcode (index into the operation table)     |
+/// | 21     | WB — write result back into the register file   |
+/// | 22     | NDF — do not forward the result downstream      |
+/// | 31:23  | reserved (zero)                                 |
+///
+/// The WB and NDF bits occupy the spare `INMODE` positions identified in the
+/// paper (see [`DspControl::SPARE_INMODE_BITS`]), so the instruction stays
+/// within 32 bits without widening the instruction memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Idle for one cycle.
+    Nop,
+    /// Load the next incoming word into register `dst`.
+    ///
+    /// On the V1–V5 variants loads are carried out by the input controller
+    /// (the rotating register file's write port) concurrently with
+    /// instruction execution; on the `[14]` baseline they occupy an issue
+    /// slot. The `fwd` flag marks incoming words that must also be bypassed
+    /// to the downstream FU (pass-through values that later stages consume).
+    Load {
+        /// Destination register.
+        dst: RegIndex,
+        /// Forward (bypass) the incoming word to the next stage as well.
+        fwd: bool,
+    },
+    /// Execute an ALU/DSP operation.
+    Exec {
+        /// The operation.
+        op: Op,
+        /// Destination register (meaningful when `wb` is set; also identifies
+        /// the value for tracing).
+        dst: RegIndex,
+        /// First source register.
+        src1: RegIndex,
+        /// Second source register (ignored by unary operations).
+        src2: RegIndex,
+        /// Write the result back into the local register file (V3–V5 only).
+        wb: bool,
+        /// Suppress forwarding the result to the next stage.
+        ndf: bool,
+    },
+}
+
+const KIND_NOP: u32 = 0;
+const KIND_LOAD: u32 = 1;
+const KIND_EXEC: u32 = 2;
+
+impl Instruction {
+    /// Convenience constructor for a plain forward-only `EXEC` instruction.
+    pub fn exec(op: Op, dst: RegIndex, src1: RegIndex, src2: RegIndex) -> Self {
+        Instruction::Exec {
+            op,
+            dst,
+            src1,
+            src2,
+            wb: false,
+            ndf: false,
+        }
+    }
+
+    /// Convenience constructor for an `EXEC` instruction with explicit WB/NDF
+    /// flags (used by the write-back overlay variants).
+    pub fn exec_flags(
+        op: Op,
+        dst: RegIndex,
+        src1: RegIndex,
+        src2: RegIndex,
+        wb: bool,
+        ndf: bool,
+    ) -> Self {
+        Instruction::Exec {
+            op,
+            dst,
+            src1,
+            src2,
+            wb,
+            ndf,
+        }
+    }
+
+    /// Convenience constructor for a `LOAD` that does not forward.
+    pub fn load(dst: RegIndex) -> Self {
+        Instruction::Load { dst, fwd: false }
+    }
+
+    /// Convenience constructor for a `LOAD` that also forwards (bypasses) the
+    /// incoming word to the next stage.
+    pub fn load_forward(dst: RegIndex) -> Self {
+        Instruction::Load { dst, fwd: true }
+    }
+
+    /// Whether this is a `NOP`.
+    pub fn is_nop(&self) -> bool {
+        matches!(self, Instruction::Nop)
+    }
+
+    /// Whether this is a `LOAD`.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instruction::Load { .. })
+    }
+
+    /// Whether this is an `EXEC`.
+    pub fn is_exec(&self) -> bool {
+        matches!(self, Instruction::Exec { .. })
+    }
+
+    /// The DSP control fields this instruction drives, if it is an `EXEC`.
+    pub fn dsp_control(&self) -> Option<DspControl> {
+        match self {
+            Instruction::Exec { op, .. } => Some(DspControl::for_op(*op)),
+            _ => None,
+        }
+    }
+
+    fn opcode_of(op: Op) -> u32 {
+        Op::ALL
+            .iter()
+            .position(|&candidate| candidate == op)
+            .expect("every Op is listed in Op::ALL") as u32
+    }
+
+    fn op_from_opcode(opcode: u32) -> Result<Op, IsaError> {
+        Op::ALL
+            .get(opcode as usize)
+            .copied()
+            .ok_or(IsaError::InvalidOpcode { opcode })
+    }
+
+    /// Encodes the instruction as a 32-bit word.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Instruction::Nop => KIND_NOP,
+            Instruction::Load { dst, fwd } => {
+                KIND_LOAD | (dst.as_u32() << 2) | (u32::from(fwd) << 21)
+            }
+            Instruction::Exec {
+                op,
+                dst,
+                src1,
+                src2,
+                wb,
+                ndf,
+            } => {
+                KIND_EXEC
+                    | (dst.as_u32() << 2)
+                    | (src1.as_u32() << 7)
+                    | (src2.as_u32() << 12)
+                    | (Self::opcode_of(op) << 17)
+                    | (u32::from(wb) << 21)
+                    | (u32::from(ndf) << 22)
+            }
+        }
+    }
+
+    /// Decodes a 32-bit word back into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidKind`] or [`IsaError::InvalidOpcode`] for
+    /// words that do not correspond to a valid instruction.
+    pub fn decode(word: u32) -> Result<Self, IsaError> {
+        let kind = word & 0b11;
+        let dst = RegIndex::new((word >> 2) & 0x1f)?;
+        let src1 = RegIndex::new((word >> 7) & 0x1f)?;
+        let src2 = RegIndex::new((word >> 12) & 0x1f)?;
+        match kind {
+            KIND_NOP => Ok(Instruction::Nop),
+            KIND_LOAD => Ok(Instruction::Load {
+                dst,
+                fwd: (word >> 21) & 1 == 1,
+            }),
+            KIND_EXEC => Ok(Instruction::Exec {
+                op: Self::op_from_opcode((word >> 17) & 0xf)?,
+                dst,
+                src1,
+                src2,
+                wb: (word >> 21) & 1 == 1,
+                ndf: (word >> 22) & 1 == 1,
+            }),
+            other => Err(IsaError::InvalidKind { kind: other }),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Nop => f.write_str("NOP"),
+            Instruction::Load { dst, fwd } => {
+                write!(f, "LOAD {dst}")?;
+                if *fwd {
+                    f.write_str(" [fwd]")?;
+                }
+                Ok(())
+            }
+            Instruction::Exec {
+                op,
+                dst,
+                src1,
+                src2,
+                wb,
+                ndf,
+            } => {
+                if op.arity() == 1 {
+                    write!(f, "{op} {dst}, {src1}")?;
+                } else {
+                    write!(f, "{op} {dst}, {src1}, {src2}")?;
+                }
+                if *wb {
+                    f.write_str(" [wb]")?;
+                }
+                if *ndf {
+                    f.write_str(" [ndf]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegIndex {
+        RegIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn every_op_round_trips_through_encoding() {
+        for op in Op::ALL {
+            for (wb, ndf) in [(false, false), (true, false), (false, true), (true, true)] {
+                let instr = Instruction::exec_flags(op, r(3), r(17), r(31), wb, ndf);
+                let decoded = Instruction::decode(instr.encode()).unwrap();
+                assert_eq!(decoded, instr);
+            }
+        }
+    }
+
+    #[test]
+    fn nop_and_load_round_trip() {
+        assert_eq!(Instruction::decode(Instruction::Nop.encode()).unwrap(), Instruction::Nop);
+        let load = Instruction::load(r(29));
+        assert_eq!(Instruction::decode(load.encode()).unwrap(), load);
+    }
+
+    #[test]
+    fn nop_encodes_as_zero_word() {
+        assert_eq!(Instruction::Nop.encode(), 0);
+    }
+
+    #[test]
+    fn reserved_kind_is_rejected() {
+        assert!(matches!(
+            Instruction::decode(0b11),
+            Err(IsaError::InvalidKind { kind: 3 })
+        ));
+    }
+
+    #[test]
+    fn invalid_opcode_is_rejected() {
+        // kind = EXEC, opcode = 15 (out of the 15-entry table, max valid is 14)
+        let word = KIND_EXEC | (15 << 17);
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(IsaError::InvalidOpcode { opcode: 15 })
+        ));
+    }
+
+    #[test]
+    fn display_formats_match_the_schedule_style() {
+        let instr = Instruction::exec(Op::Sub, r(5), r(0), r(2));
+        assert_eq!(instr.to_string(), "SUB r5, r0, r2");
+        let instr = Instruction::exec_flags(Op::Square, r(1), r(1), r(1), true, false);
+        assert_eq!(instr.to_string(), "SQR r1, r1 [wb]");
+        assert_eq!(Instruction::load(r(4)).to_string(), "LOAD r4");
+        assert_eq!(Instruction::Nop.to_string(), "NOP");
+    }
+
+    #[test]
+    fn flags_live_in_the_spare_inmode_bit_positions() {
+        let plain = Instruction::exec(Op::Add, r(0), r(1), r(2)).encode();
+        let flagged =
+            Instruction::exec_flags(Op::Add, r(0), r(1), r(2), true, true).encode();
+        let difference = plain ^ flagged;
+        assert_eq!(difference, (1 << 21) | (1 << 22));
+    }
+
+    #[test]
+    fn exec_reports_dsp_control() {
+        let instr = Instruction::exec(Op::Mul, r(0), r(1), r(2));
+        assert!(instr.dsp_control().is_some());
+        assert!(Instruction::Nop.dsp_control().is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! Instruction set of the time-multiplexed functional unit (FU).
+//!
+//! Each FU in the linear overlay executes a small 32-bit instruction stream
+//! held in a LUTRAM instruction memory (Fig. 3 of the paper). An instruction
+//! either loads the next word from the incoming FIFO into the register file
+//! (`LOAD`), executes one DSP-block operation (`EXEC`), or idles (`NOP`,
+//! inserted by the scheduler to respect the internal write-back path of the
+//! write-back overlay variants).
+//!
+//! The write-back (`WB`) and no-data-forward (`NDF`) flags introduced by the
+//! paper's V3–V5 variants are carried in otherwise-unused DSP `INMODE` bit
+//! positions, exactly as described in Sec. III-A.3; see
+//! [`instruction::Instruction`] for the concrete bit layout used here.
+//!
+//! # Example
+//!
+//! ```
+//! use overlay_isa::{Instruction, RegIndex};
+//! use overlay_dfg::Op;
+//!
+//! # fn main() -> Result<(), overlay_isa::IsaError> {
+//! let add = Instruction::exec(Op::Add, RegIndex::new(2)?, RegIndex::new(0)?, RegIndex::new(1)?);
+//! let word = add.encode();
+//! assert_eq!(Instruction::decode(word)?, add);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod dsp_control;
+pub mod error;
+pub mod instruction;
+pub mod program;
+pub mod reg;
+
+pub use asm::{assemble, disassemble};
+pub use dsp_control::DspControl;
+pub use error::IsaError;
+pub use instruction::Instruction;
+pub use program::{FuProgram, OverlayProgram};
+pub use reg::{RegIndex, REGISTER_FILE_SIZE};

@@ -1,0 +1,113 @@
+//! Register file addressing.
+
+use std::fmt;
+
+use crate::error::IsaError;
+
+/// Number of entries in the FU register file.
+///
+/// The paper's FU uses a Xilinx `RAM32M` LUTRAM primitive, which provides a
+/// 32-entry multi-port memory; register addresses are therefore 5 bits wide.
+pub const REGISTER_FILE_SIZE: usize = 32;
+
+/// Index of a register in the FU's 32-entry register file.
+///
+/// # Example
+///
+/// ```
+/// use overlay_isa::RegIndex;
+///
+/// # fn main() -> Result<(), overlay_isa::IsaError> {
+/// let r3 = RegIndex::new(3)?;
+/// assert_eq!(r3.to_string(), "r3");
+/// assert!(RegIndex::new(32).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RegIndex(u8);
+
+impl RegIndex {
+    /// Register 0 — by convention the first stream operand of a block.
+    pub const R0: RegIndex = RegIndex(0);
+
+    /// Creates a register index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `index` is not below
+    /// [`REGISTER_FILE_SIZE`].
+    pub fn new(index: u32) -> Result<Self, IsaError> {
+        if (index as usize) < REGISTER_FILE_SIZE {
+            Ok(RegIndex(index as u8))
+        } else {
+            Err(IsaError::RegisterOutOfRange { index })
+        }
+    }
+
+    /// Creates a register index, wrapping modulo the register file size.
+    ///
+    /// Used by the rotating-register-file addressing mode where offsets wrap
+    /// naturally.
+    pub fn wrapping(index: usize) -> Self {
+        RegIndex((index % REGISTER_FILE_SIZE) as u8)
+    }
+
+    /// The raw 5-bit index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index as a `u32` (for encoding).
+    pub const fn as_u32(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for RegIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl TryFrom<u32> for RegIndex {
+    type Error = IsaError;
+
+    fn try_from(index: u32) -> Result<Self, Self::Error> {
+        RegIndex::new(index)
+    }
+}
+
+impl From<RegIndex> for usize {
+    fn from(reg: RegIndex) -> Self {
+        reg.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range_is_0_to_31() {
+        assert!(RegIndex::new(0).is_ok());
+        assert!(RegIndex::new(31).is_ok());
+        assert!(matches!(
+            RegIndex::new(32),
+            Err(IsaError::RegisterOutOfRange { index: 32 })
+        ));
+    }
+
+    #[test]
+    fn wrapping_wraps_modulo_file_size() {
+        assert_eq!(RegIndex::wrapping(33), RegIndex::new(1).unwrap());
+        assert_eq!(RegIndex::wrapping(31), RegIndex::new(31).unwrap());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let r = RegIndex::try_from(7u32).unwrap();
+        assert_eq!(usize::from(r), 7);
+        assert_eq!(r.as_u32(), 7);
+    }
+}

@@ -1,0 +1,419 @@
+//! Fixed-depth iterative greedy clustering for the write-back overlays
+//! (V3–V5).
+//!
+//! The write-back path lets several dependence levels of the DFG share one
+//! FU, so a kernel whose critical path exceeds the overlay depth can still be
+//! mapped. The scheduler groups the DFG's ASAP levels into `depth` clusters,
+//! balances the per-cluster work (the iterative part), and orders the
+//! operations inside each cluster so that dependent operations are separated
+//! by at least the internal write-back path (IWP); where that is impossible,
+//! NOPs are inserted — exactly the procedure illustrated on the 'qspline'
+//! example in Sec. IV of the paper.
+
+use std::collections::HashMap;
+
+use overlay_dfg::{Dfg, NodeId};
+
+use crate::asap::asap_schedule;
+use crate::error::ScheduleError;
+use crate::liveness::StageLiveness;
+use crate::stage::{Slot, Stage, StageSchedule, Strategy};
+
+/// Options for the fixed-depth cluster scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterOptions {
+    /// Number of FUs (clusters) in the fixed overlay. The paper uses 8.
+    pub depth: usize,
+    /// Internal write-back path in cycles: dependent operations inside one
+    /// cluster must be at least this many issue slots apart.
+    pub iwp: usize,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            depth: overlay_arch::overlay::FIXED_DEPTH,
+            iwp: 5,
+        }
+    }
+}
+
+/// Schedules `dfg` onto a fixed-depth write-back overlay.
+///
+/// Kernels whose depth already fits the overlay are scheduled ASAP, as the
+/// paper does; deeper kernels go through level clustering, intra-cluster list
+/// scheduling and NOP insertion.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::ZeroDepth`] for a zero overlay depth and
+/// [`ScheduleError::EmptyKernel`] for graphs without operations.
+///
+/// # Example
+///
+/// ```
+/// use overlay_frontend::Benchmark;
+/// use overlay_scheduler::{cluster_schedule, ClusterOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dfg = Benchmark::Poly6.dfg()?; // depth 11 > 8
+/// let schedule = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp: 5 })?;
+/// assert_eq!(schedule.num_stages(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster_schedule(
+    dfg: &Dfg,
+    options: &ClusterOptions,
+) -> Result<StageSchedule, ScheduleError> {
+    if options.depth == 0 {
+        return Err(ScheduleError::ZeroDepth);
+    }
+    let analysis = dfg.analysis();
+    let kernel_depth = analysis.depth();
+    if kernel_depth == 0 {
+        return Err(ScheduleError::EmptyKernel);
+    }
+
+    // Shallow kernels: plain ASAP, as the paper does for depth <= 8.
+    if kernel_depth <= options.depth {
+        let mut schedule = asap_schedule(dfg)?;
+        schedule.strategy = Strategy::FixedDepth {
+            depth: options.depth,
+            iwp: options.iwp,
+        };
+        return Ok(schedule);
+    }
+
+    // 1. Partition the level sequence into `depth` contiguous groups,
+    //    balancing the operation count (linear-partition DP), then
+    //    iteratively improve by shifting cluster boundaries while it lowers
+    //    the worst per-cluster cost.
+    let level_sizes: Vec<usize> = (1..=kernel_depth)
+        .map(|level| analysis.level(level).len())
+        .collect();
+    let mut boundaries = balanced_partition(&level_sizes, options.depth);
+    let mut best_cost = schedule_cost(dfg, &analysis, &boundaries, options);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for b in 0..boundaries.len() {
+            for delta in [-1isize, 1] {
+                let mut candidate = boundaries.clone();
+                let moved = candidate[b] as isize + delta;
+                if moved <= 0 || moved as usize >= kernel_depth {
+                    continue;
+                }
+                candidate[b] = moved as usize;
+                if !is_valid_partition(&candidate, kernel_depth) {
+                    continue;
+                }
+                let cost = schedule_cost(dfg, &analysis, &candidate, options);
+                if cost < best_cost {
+                    best_cost = cost;
+                    boundaries = candidate;
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    build_schedule(dfg, &analysis, &boundaries, options)
+}
+
+/// Splits `sizes` into `groups` contiguous groups minimising the maximum
+/// group sum (classic linear partition); returns the exclusive end index of
+/// each group except the last.
+fn balanced_partition(sizes: &[usize], groups: usize) -> Vec<usize> {
+    let n = sizes.len();
+    let groups = groups.min(n);
+    // prefix[i] = sum of sizes[..i]
+    let mut prefix = vec![0usize; n + 1];
+    for (i, &s) in sizes.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + s;
+    }
+    let sum = |a: usize, b: usize| prefix[b] - prefix[a];
+
+    // dp[g][i] = minimal possible maximum group sum splitting sizes[..i] into g groups
+    let inf = usize::MAX / 2;
+    let mut dp = vec![vec![inf; n + 1]; groups + 1];
+    let mut split = vec![vec![0usize; n + 1]; groups + 1];
+    dp[0][0] = 0;
+    for g in 1..=groups {
+        for i in g..=n {
+            for j in (g - 1)..i {
+                let candidate = dp[g - 1][j].max(sum(j, i));
+                if candidate < dp[g][i] {
+                    dp[g][i] = candidate;
+                    split[g][i] = j;
+                }
+            }
+        }
+    }
+    // Recover boundaries (exclusive end level index of each group but the last).
+    let mut boundaries = Vec::with_capacity(groups.saturating_sub(1));
+    let mut i = n;
+    for g in (1..=groups).rev() {
+        let j = split[g][i];
+        if g > 1 {
+            boundaries.push(j);
+        }
+        i = j;
+    }
+    boundaries.reverse();
+    boundaries
+}
+
+fn is_valid_partition(boundaries: &[usize], levels: usize) -> bool {
+    let mut previous = 0usize;
+    for &b in boundaries {
+        if b <= previous || b >= levels {
+            return false;
+        }
+        previous = b;
+    }
+    true
+}
+
+/// Expands partition boundaries into the per-cluster level ranges.
+fn cluster_ranges(boundaries: &[usize], levels: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(boundaries.len() + 1);
+    let mut start = 0usize;
+    for &b in boundaries {
+        ranges.push((start, b));
+        start = b;
+    }
+    ranges.push((start, levels));
+    ranges
+}
+
+/// Orders the operations of one cluster with greedy list scheduling under
+/// the IWP spacing constraint, inserting NOPs when nothing is ready.
+fn order_cluster(dfg: &Dfg, ops: &[NodeId], iwp: usize) -> Vec<Slot> {
+    // In-cluster dependence edges.
+    let in_cluster: std::collections::HashSet<NodeId> = ops.iter().copied().collect();
+    let mut descendants: HashMap<NodeId, usize> = HashMap::new();
+    for &op in ops {
+        // Count in-cluster transitive consumers as a priority hint (direct
+        // consumers are enough of a signal for these small clusters).
+        let direct = dfg
+            .consumers(op)
+            .into_iter()
+            .filter(|c| in_cluster.contains(c))
+            .count();
+        descendants.insert(op, direct);
+    }
+
+    let mut placed: HashMap<NodeId, usize> = HashMap::new();
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut remaining: Vec<NodeId> = ops.to_vec();
+
+    while !remaining.is_empty() {
+        let t = slots.len();
+        // An op is ready if all in-cluster predecessors are placed at least
+        // `iwp` slots earlier (the write-back latency).
+        let mut ready: Vec<NodeId> = remaining
+            .iter()
+            .copied()
+            .filter(|&op| {
+                dfg.node_unchecked(op).operands().iter().all(|&operand| {
+                    if !in_cluster.contains(&operand) {
+                        return true;
+                    }
+                    match placed.get(&operand) {
+                        Some(&slot) => t >= slot + iwp,
+                        None => false,
+                    }
+                })
+            })
+            .collect();
+        if ready.is_empty() {
+            slots.push(Slot::Nop);
+            continue;
+        }
+        // Prefer ops with more in-cluster consumers (they unlock later work
+        // sooner), then earlier creation order for determinism.
+        ready.sort_by_key(|&op| (std::cmp::Reverse(descendants[&op]), op.index()));
+        let chosen = ready[0];
+        placed.insert(chosen, t);
+        slots.push(Slot::Op(chosen));
+        remaining.retain(|&op| op != chosen);
+    }
+    slots
+}
+
+/// Builds the full schedule for a given partition and returns it.
+fn build_schedule(
+    dfg: &Dfg,
+    analysis: &overlay_dfg::DfgAnalysis,
+    boundaries: &[usize],
+    options: &ClusterOptions,
+) -> Result<StageSchedule, ScheduleError> {
+    let kernel_depth = analysis.depth();
+    let ranges = cluster_ranges(boundaries, kernel_depth);
+
+    let mut stage_slots: Vec<Vec<Slot>> = Vec::with_capacity(ranges.len());
+    for &(start, end) in &ranges {
+        let mut ops: Vec<NodeId> = Vec::new();
+        for level in (start + 1)..=end {
+            ops.extend_from_slice(analysis.level(level));
+        }
+        stage_slots.push(order_cluster(dfg, &ops, options.iwp));
+    }
+
+    let stage_ops: Vec<Vec<NodeId>> = stage_slots
+        .iter()
+        .map(|slots| slots.iter().filter_map(|slot| slot.op()).collect())
+        .collect();
+    let liveness = StageLiveness::compute(dfg, &stage_ops);
+
+    let mut stages = Vec::with_capacity(stage_slots.len());
+    let mut placement = Vec::with_capacity(dfg.num_ops());
+    for (index, slots) in stage_slots.into_iter().enumerate() {
+        for slot in &slots {
+            if let Some(op) = slot.op() {
+                placement.push((op, index));
+            }
+        }
+        stages.push(Stage {
+            index,
+            loads: liveness.loads(index).to_vec(),
+            slots,
+        });
+    }
+
+    Ok(StageSchedule {
+        kernel: dfg.name().to_owned(),
+        strategy: Strategy::FixedDepth {
+            depth: options.depth,
+            iwp: options.iwp,
+        },
+        stages,
+        placement,
+    })
+}
+
+/// The cost used to balance cluster boundaries: the maximum per-cluster II
+/// contribution `max(#load + 1, #slots + 2)`.
+fn schedule_cost(
+    dfg: &Dfg,
+    analysis: &overlay_dfg::DfgAnalysis,
+    boundaries: &[usize],
+    options: &ClusterOptions,
+) -> usize {
+    match build_schedule(dfg, analysis, boundaries, options) {
+        Ok(schedule) => schedule
+            .stages()
+            .iter()
+            .map(|stage| (stage.num_loads() + 1).max(stage.num_slots() + 2))
+            .max()
+            .unwrap_or(usize::MAX),
+        Err(_) => usize::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_frontend::Benchmark;
+
+    #[test]
+    fn shallow_kernels_fall_back_to_asap() {
+        let dfg = Benchmark::Gradient.dfg().unwrap();
+        let schedule = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp: 5 }).unwrap();
+        assert_eq!(schedule.num_stages(), 4);
+        assert_eq!(schedule.total_nops(), 0);
+        assert!(matches!(
+            schedule.strategy(),
+            Strategy::FixedDepth { depth: 8, iwp: 5 }
+        ));
+    }
+
+    #[test]
+    fn deep_kernels_are_compressed_to_the_overlay_depth() {
+        for benchmark in [Benchmark::Poly6, Benchmark::Poly7, Benchmark::Poly8] {
+            let dfg = benchmark.dfg().unwrap();
+            assert!(dfg.analysis().depth() > 8, "{benchmark} must be deep");
+            for iwp in [5, 4, 3] {
+                let schedule =
+                    cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp }).unwrap();
+                assert_eq!(schedule.num_stages(), 8, "{benchmark}");
+                assert_eq!(schedule.total_ops(), dfg.num_ops(), "{benchmark}");
+                assert!(schedule.is_consistent_with(&dfg), "{benchmark} iwp={iwp}");
+            }
+        }
+    }
+
+    #[test]
+    fn iwp_spacing_is_respected_inside_every_cluster() {
+        let dfg = Benchmark::Poly7.dfg().unwrap();
+        for iwp in [3, 4, 5] {
+            let schedule = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp }).unwrap();
+            for stage in schedule.stages() {
+                let mut position: HashMap<NodeId, usize> = HashMap::new();
+                for (slot_index, slot) in stage.slots.iter().enumerate() {
+                    if let Some(op) = slot.op() {
+                        position.insert(op, slot_index);
+                    }
+                }
+                for (&op, &slot_index) in &position {
+                    for &operand in dfg.node_unchecked(op).operands() {
+                        if let Some(&producer_slot) = position.get(&operand) {
+                            assert!(
+                                slot_index >= producer_slot + iwp,
+                                "dependent ops too close with iwp={iwp}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_iwp_never_needs_more_nops() {
+        let dfg = Benchmark::Poly7.dfg().unwrap();
+        let nops_iwp5 = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp: 5 })
+            .unwrap()
+            .total_nops();
+        let nops_iwp3 = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp: 3 })
+            .unwrap()
+            .total_nops();
+        assert!(nops_iwp3 <= nops_iwp5);
+    }
+
+    #[test]
+    fn depth_four_qspline_matches_the_papers_worked_example_shape() {
+        // Sec. IV maps the depth-8 qspline onto a depth-4 overlay: 25 ops in
+        // 4 clusters.
+        let dfg = Benchmark::Qspline.dfg().unwrap();
+        let schedule = cluster_schedule(&dfg, &ClusterOptions { depth: 4, iwp: 5 }).unwrap();
+        assert_eq!(schedule.num_stages(), 4);
+        assert_eq!(schedule.total_ops(), 25);
+        assert!(schedule.is_consistent_with(&dfg));
+    }
+
+    #[test]
+    fn zero_depth_is_rejected() {
+        let dfg = Benchmark::Gradient.dfg().unwrap();
+        assert!(matches!(
+            cluster_schedule(&dfg, &ClusterOptions { depth: 0, iwp: 5 }),
+            Err(ScheduleError::ZeroDepth)
+        ));
+    }
+
+    #[test]
+    fn balanced_partition_minimises_the_maximum_group() {
+        let sizes = vec![5, 4, 4, 3, 3, 3, 2, 2, 1];
+        let boundaries = balanced_partition(&sizes, 3);
+        assert_eq!(boundaries.len(), 2);
+        let ranges = cluster_ranges(&boundaries, sizes.len());
+        let max_group: usize = ranges
+            .iter()
+            .map(|&(a, b)| sizes[a..b].iter().sum())
+            .max()
+            .unwrap();
+        // Total is 27 over 3 groups, so the best possible maximum is 9..=10.
+        assert!(max_group <= 10, "got {max_group}");
+    }
+}

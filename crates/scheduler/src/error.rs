@@ -1,0 +1,103 @@
+//! Scheduler error type.
+
+use std::fmt;
+
+use overlay_dfg::{DfgError, NodeId};
+use overlay_isa::IsaError;
+
+/// Errors produced while scheduling a kernel or generating its instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The DFG failed validation.
+    Dfg(DfgError),
+    /// Instruction generation failed.
+    Isa(IsaError),
+    /// A fixed overlay depth of zero was requested.
+    ZeroDepth,
+    /// The kernel has no operations to schedule.
+    EmptyKernel,
+    /// A stage needs more registers than the 32-entry register file provides.
+    RegisterPressure {
+        /// The stage (FU index) that overflowed.
+        stage: usize,
+        /// Number of registers the stage would need.
+        needed: usize,
+    },
+    /// An operation's operand was not available at its scheduled stage — an
+    /// internal consistency violation.
+    OperandUnavailable {
+        /// The consuming operation.
+        node: NodeId,
+        /// The missing operand value.
+        operand: NodeId,
+        /// The stage where the consumer was scheduled.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Dfg(err) => write!(f, "invalid kernel graph: {err}"),
+            ScheduleError::Isa(err) => write!(f, "instruction generation failed: {err}"),
+            ScheduleError::ZeroDepth => write!(f, "fixed overlay depth must be at least 1"),
+            ScheduleError::EmptyKernel => write!(f, "kernel has no operations to schedule"),
+            ScheduleError::RegisterPressure { stage, needed } => write!(
+                f,
+                "stage {stage} needs {needed} registers, more than the 32-entry register file"
+            ),
+            ScheduleError::OperandUnavailable {
+                node,
+                operand,
+                stage,
+            } => write!(
+                f,
+                "operand {operand} of {node} is not available at stage {stage}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Dfg(err) => Some(err),
+            ScheduleError::Isa(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for ScheduleError {
+    fn from(err: DfgError) -> Self {
+        ScheduleError::Dfg(err)
+    }
+}
+
+impl From<IsaError> for ScheduleError {
+    fn from(err: IsaError) -> Self {
+        ScheduleError::Isa(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_chain_their_sources() {
+        use std::error::Error;
+        let err = ScheduleError::from(DfgError::NoOutputs);
+        assert!(err.source().is_some());
+        let err = ScheduleError::ZeroDepth;
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<ScheduleError>();
+    }
+}

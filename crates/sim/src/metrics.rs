@@ -1,0 +1,92 @@
+//! Performance metrics measured by the simulator.
+
+use std::fmt;
+
+/// Metrics measured over one simulation run.
+///
+/// Cycle counts are raw; conversions to wall-clock time and GOPS take the
+/// overlay operating frequency (from `overlay-arch`) as a parameter so the
+/// same run can be projected onto different devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimMetrics {
+    /// Number of kernel invocations simulated.
+    pub blocks: usize,
+    /// Operations executed per invocation.
+    pub ops_per_block: usize,
+    /// Cycle at which the first invocation's last output word was available
+    /// (pipeline latency in cycles).
+    pub latency_cycles: usize,
+    /// Measured steady-state initiation interval, in cycles per invocation.
+    pub steady_state_ii: f64,
+    /// Cycle at which the last invocation completed.
+    pub total_cycles: usize,
+}
+
+impl SimMetrics {
+    /// Pipeline latency in nanoseconds at `fmax_mhz`.
+    pub fn latency_ns(&self, fmax_mhz: f64) -> f64 {
+        self.latency_cycles as f64 * 1_000.0 / fmax_mhz
+    }
+
+    /// Steady-state throughput in giga-operations per second at `fmax_mhz`.
+    pub fn throughput_gops(&self, fmax_mhz: f64) -> f64 {
+        if self.steady_state_ii <= 0.0 {
+            return 0.0;
+        }
+        self.ops_per_block as f64 * fmax_mhz / self.steady_state_ii / 1_000.0
+    }
+
+    /// End-to-end wall-clock time for the whole run at `fmax_mhz`, in
+    /// microseconds.
+    pub fn runtime_us(&self, fmax_mhz: f64) -> f64 {
+        self.total_cycles as f64 / fmax_mhz
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} block(s), II = {:.2} cycles, latency = {} cycles, total = {} cycles",
+            self.blocks, self.steady_state_ii, self.latency_cycles, self.total_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METRICS: SimMetrics = SimMetrics {
+        blocks: 100,
+        ops_per_block: 11,
+        latency_cycles: 29,
+        steady_state_ii: 6.0,
+        total_cycles: 629,
+    };
+
+    #[test]
+    fn conversions_scale_with_frequency() {
+        // 29 cycles at 334 MHz ≈ 86.8 ns — the paper's gradient V1 latency.
+        assert!((METRICS.latency_ns(334.0) - 86.8).abs() < 0.5);
+        // 11 ops / 6 cycles at 334 MHz ≈ 0.61 GOPS.
+        assert!((METRICS.throughput_gops(334.0) - 0.61).abs() < 0.02);
+        assert!((METRICS.runtime_us(334.0) - 629.0 / 334.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ii_means_zero_throughput() {
+        let metrics = SimMetrics {
+            steady_state_ii: 0.0,
+            ..METRICS
+        };
+        assert_eq!(metrics.throughput_gops(300.0), 0.0);
+    }
+
+    #[test]
+    fn display_summarises_the_run() {
+        let text = METRICS.to_string();
+        assert!(text.contains("100 block(s)"));
+        assert!(text.contains("II = 6.00"));
+    }
+}

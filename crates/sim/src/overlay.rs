@@ -1,0 +1,314 @@
+//! The whole-overlay simulator.
+
+use overlay_arch::FuVariant;
+use overlay_dfg::Value;
+use overlay_scheduler::CompiledKernel;
+
+use crate::engine::{FuEngine, TimedWord};
+use crate::error::SimError;
+use crate::metrics::SimMetrics;
+use crate::trace::{Event, EventKind, Trace};
+use crate::workload::Workload;
+
+/// Simulator for a linear overlay running one compiled kernel over a
+/// workload of invocations.
+///
+/// See the [crate-level documentation](crate) for the modelling assumptions
+/// and an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct OverlaySimulator {
+    variant: FuVariant,
+    trace_capacity: usize,
+}
+
+/// The outcome of a simulation run: functional outputs, measured metrics and
+/// a bounded event trace.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    outputs: Vec<Vec<Value>>,
+    metrics: SimMetrics,
+    trace: Trace,
+}
+
+impl SimRun {
+    /// The kernel outputs, one record per invocation, in invocation order.
+    pub fn outputs(&self) -> &[Vec<Value>] {
+        &self.outputs
+    }
+
+    /// The measured metrics.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The recorded event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl OverlaySimulator {
+    /// Creates a simulator for overlays built from `variant`, recording up to
+    /// 4096 trace events.
+    pub fn new(variant: FuVariant) -> Self {
+        OverlaySimulator {
+            variant,
+            trace_capacity: 4096,
+        }
+    }
+
+    /// Sets the number of trace events to keep (0 disables tracing).
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// The FU variant this simulator models.
+    pub fn variant(&self) -> FuVariant {
+        self.variant
+    }
+
+    /// Runs `compiled` over `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for malformed workloads (wrong record width,
+    /// empty workload) or if the program violates a hardware constraint
+    /// (uninitialised register, write-back hazard, stream underflow).
+    pub fn run(&self, compiled: &CompiledKernel, workload: &Workload) -> Result<SimRun, SimError> {
+        if workload.is_empty() {
+            return Err(SimError::EmptyWorkload);
+        }
+        let num_inputs = compiled.program.num_inputs();
+        for (index, record) in workload.records().iter().enumerate() {
+            if record.len() != num_inputs {
+                return Err(SimError::InputWidthMismatch {
+                    expected: num_inputs,
+                    found: record.len(),
+                    record: index,
+                });
+            }
+        }
+
+        let mut trace = Trace::with_capacity(self.trace_capacity);
+        let lanes = self.variant.datapath_lanes();
+        // One chain of FU engines per datapath lane; the V2 variant processes
+        // alternate invocations on alternate lanes.
+        let mut chains: Vec<Vec<FuEngine>> = (0..lanes)
+            .map(|_| {
+                compiled
+                    .program
+                    .fu_programs()
+                    .iter()
+                    .enumerate()
+                    .map(|(index, program)| FuEngine::new(index, self.variant, program.clone()))
+                    .collect()
+            })
+            .collect();
+
+        let mut outputs: Vec<Vec<Value>> = Vec::with_capacity(workload.len());
+        let mut completion_cycles: Vec<usize> = Vec::with_capacity(workload.len());
+
+        for (block, record) in workload.records().iter().enumerate() {
+            let lane = block % lanes;
+            // Input FIFO words for this invocation are all resident from
+            // cycle 0 (streaming DMA keeps the FIFO ahead of the overlay).
+            let mut words: Vec<TimedWord> = record
+                .iter()
+                .map(|&value| TimedWord { value, depart: 0 })
+                .collect();
+            for engine in chains[lane].iter_mut() {
+                words = engine.process_block(block, &words, &mut trace)?;
+            }
+            // Map the final forwarded stream to the kernel outputs.
+            let mut record_outputs = Vec::with_capacity(compiled.output_stream_index.len());
+            let mut completion = 0usize;
+            for (position, &stream_index) in compiled.output_stream_index.iter().enumerate() {
+                let word = words.get(stream_index).ok_or(SimError::StreamUnderflow {
+                    fu: compiled.num_fus(),
+                    block,
+                })?;
+                record_outputs.push(word.value);
+                completion = completion.max(word.arrival());
+                trace.record(Event {
+                    cycle: word.arrival(),
+                    fu: compiled.num_fus(),
+                    block,
+                    kind: EventKind::Output {
+                        position,
+                        value: word.value,
+                    },
+                });
+            }
+            outputs.push(record_outputs);
+            completion_cycles.push(completion);
+        }
+
+        let metrics = Self::measure(compiled, &completion_cycles);
+        Ok(SimRun {
+            outputs,
+            metrics,
+            trace,
+        })
+    }
+
+    fn measure(compiled: &CompiledKernel, completions: &[usize]) -> SimMetrics {
+        let blocks = completions.len();
+        let latency_cycles = completions.first().copied().unwrap_or(0);
+        let total_cycles = completions.iter().copied().max().unwrap_or(0);
+        // Skip the pipeline-fill blocks when measuring the steady-state II.
+        let warmup = compiled.num_fus().min(blocks.saturating_sub(2));
+        let steady_state_ii = if blocks > warmup + 1 {
+            let span = completions[blocks - 1] as f64 - completions[warmup] as f64;
+            span / (blocks - warmup - 1) as f64
+        } else if blocks >= 2 {
+            (completions[blocks - 1] - completions[0]) as f64 / (blocks - 1) as f64
+        } else {
+            completions.first().copied().unwrap_or(0) as f64
+        };
+        SimMetrics {
+            blocks,
+            ops_per_block: compiled.schedule.total_ops(),
+            latency_cycles,
+            steady_state_ii,
+            total_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_dfg::evaluate_stream;
+    use overlay_frontend::Benchmark;
+    use overlay_scheduler::{generate_program, schedule};
+
+    fn compile(benchmark: Benchmark, variant: FuVariant) -> CompiledKernel {
+        let dfg = benchmark.dfg().unwrap();
+        let stages = schedule(&dfg, variant, Some(8)).unwrap();
+        generate_program(&dfg, &stages, variant).unwrap()
+    }
+
+    #[test]
+    fn every_benchmark_matches_the_reference_evaluator_on_every_variant() {
+        for benchmark in Benchmark::ALL {
+            let dfg = benchmark.dfg().unwrap();
+            let workload = Workload::random(dfg.num_inputs(), 12, 0xC0FFEE);
+            let reference = evaluate_stream(&dfg, workload.records()).unwrap();
+            for variant in FuVariant::EVALUATED {
+                let compiled = compile(benchmark, variant);
+                let run = OverlaySimulator::new(variant)
+                    .with_trace_capacity(0)
+                    .run(&compiled, &workload)
+                    .unwrap();
+                assert_eq!(run.outputs(), reference.as_slice(), "{benchmark} on {variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_ii_matches_the_analytical_model_for_gradient() {
+        let workload = Workload::random(5, 64, 7);
+        for (variant, expected_ii) in [
+            (FuVariant::Baseline, 11.0),
+            (FuVariant::V1, 6.0),
+            (FuVariant::V2, 3.0),
+        ] {
+            let compiled = compile(Benchmark::Gradient, variant);
+            let run = OverlaySimulator::new(variant)
+                .with_trace_capacity(0)
+                .run(&compiled, &workload)
+                .unwrap();
+            assert!(
+                (run.metrics().steady_state_ii - expected_ii).abs() < 0.6,
+                "{variant}: measured {} vs expected {expected_ii}",
+                run.metrics().steady_state_ii
+            );
+        }
+    }
+
+    #[test]
+    fn measured_ii_tracks_the_model_across_the_benchmark_suite() {
+        for benchmark in Benchmark::TABLE3 {
+            for variant in [FuVariant::Baseline, FuVariant::V1, FuVariant::V3, FuVariant::V4] {
+                let compiled = compile(benchmark, variant);
+                let dfg = benchmark.dfg().unwrap();
+                let workload = Workload::random(dfg.num_inputs(), 48, 3);
+                let run = OverlaySimulator::new(variant)
+                    .with_trace_capacity(0)
+                    .run(&compiled, &workload)
+                    .unwrap();
+                let analytic = compiled.ii;
+                let measured = run.metrics().steady_state_ii;
+                assert!(
+                    (measured - analytic).abs() <= 1.0 + analytic * 0.1,
+                    "{benchmark} {variant}: measured {measured} vs model {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_overlay_depth() {
+        let deep = compile(Benchmark::Poly7, FuVariant::V1); // depth 13
+        let fixed = compile(Benchmark::Poly7, FuVariant::V3); // depth 8
+        let dfg = Benchmark::Poly7.dfg().unwrap();
+        let workload = Workload::random(dfg.num_inputs(), 16, 5);
+        let run_deep = OverlaySimulator::new(FuVariant::V1)
+            .run(&deep, &workload)
+            .unwrap();
+        let run_fixed = OverlaySimulator::new(FuVariant::V3)
+            .run(&fixed, &workload)
+            .unwrap();
+        assert!(
+            run_fixed.metrics().latency_cycles < run_deep.metrics().latency_cycles,
+            "fixed-depth overlay should cut latency: {} vs {}",
+            run_fixed.metrics().latency_cycles,
+            run_deep.metrics().latency_cycles
+        );
+    }
+
+    #[test]
+    fn v2_halves_the_initiation_interval() {
+        let workload = Workload::random(5, 64, 9);
+        let v1 = OverlaySimulator::new(FuVariant::V1)
+            .run(&compile(Benchmark::Gradient, FuVariant::V1), &workload)
+            .unwrap();
+        let v2 = OverlaySimulator::new(FuVariant::V2)
+            .run(&compile(Benchmark::Gradient, FuVariant::V2), &workload)
+            .unwrap();
+        let ratio = v1.metrics().steady_state_ii / v2.metrics().steady_state_ii;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn malformed_workloads_are_rejected() {
+        let compiled = compile(Benchmark::Gradient, FuVariant::V1);
+        let sim = OverlaySimulator::new(FuVariant::V1);
+        assert!(matches!(
+            sim.run(&compiled, &Workload::from_records(vec![])),
+            Err(SimError::EmptyWorkload)
+        ));
+        assert!(matches!(
+            sim.run(
+                &compiled,
+                &Workload::from_records(vec![vec![Value::new(1); 3]])
+            ),
+            Err(SimError::InputWidthMismatch { expected: 5, found: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn trace_contains_loads_execs_and_outputs() {
+        let compiled = compile(Benchmark::Gradient, FuVariant::V1);
+        let workload = Workload::ramp(5, 2);
+        let run = OverlaySimulator::new(FuVariant::V1)
+            .run(&compiled, &workload)
+            .unwrap();
+        let events = run.trace().events();
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Load { .. })));
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Exec { .. })));
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Output { .. })));
+    }
+}

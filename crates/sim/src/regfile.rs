@@ -1,0 +1,117 @@
+//! Register-file model.
+
+use overlay_dfg::Value;
+use overlay_isa::{RegIndex, REGISTER_FILE_SIZE};
+
+/// The lowest register index of the *static* region used for preloaded
+/// constants. Registers below this boundary belong to the rotating window
+/// used for streamed data and results.
+pub const STATIC_REGION_START: usize = 24;
+
+/// Software model of the FU's RAM32M register file.
+///
+/// The rotating-register-file mechanism of the V1+ variants writes each
+/// invocation's data into a fresh window (the offset counter of Fig. 3) so
+/// that loading the next block can overlap with executing the current one.
+/// The simulator models this by keeping one register *context* per in-flight
+/// block; constants live in the static region shared by all contexts.
+///
+/// # Example
+///
+/// ```
+/// use overlay_sim::RegisterFile;
+/// use overlay_isa::RegIndex;
+/// use overlay_dfg::Value;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rf = RegisterFile::new();
+/// rf.write(RegIndex::new(3)?, Value::new(42));
+/// assert_eq!(rf.read(RegIndex::new(3)?), Some(Value::new(42)));
+/// assert_eq!(rf.read(RegIndex::new(4)?), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    slots: [Option<Value>; REGISTER_FILE_SIZE],
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegisterFile {
+    /// Creates an empty register file (every entry uninitialised).
+    pub fn new() -> Self {
+        RegisterFile {
+            slots: [None; REGISTER_FILE_SIZE],
+        }
+    }
+
+    /// Writes `value` into `reg`.
+    pub fn write(&mut self, reg: RegIndex, value: Value) {
+        self.slots[reg.index()] = Some(value);
+    }
+
+    /// Reads `reg`, returning `None` if it was never written.
+    pub fn read(&self, reg: RegIndex) -> Option<Value> {
+        self.slots[reg.index()]
+    }
+
+    /// Clears the rotating window (streamed data and results) while keeping
+    /// the static constant region — what happens conceptually when the
+    /// offset counter advances to a fresh window for the next block.
+    pub fn clear_window(&mut self) {
+        for slot in self.slots.iter_mut().take(STATIC_REGION_START) {
+            *slot = None;
+        }
+    }
+
+    /// Number of registers currently holding a value.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// Whether `reg` lies in the static (constant) region.
+    pub fn is_static(reg: RegIndex) -> bool {
+        reg.index() >= STATIC_REGION_START
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegIndex {
+        RegIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut rf = RegisterFile::new();
+        assert_eq!(rf.read(r(0)), None);
+        rf.write(r(0), Value::new(-7));
+        assert_eq!(rf.read(r(0)), Some(Value::new(-7)));
+        assert_eq!(rf.occupancy(), 1);
+    }
+
+    #[test]
+    fn clear_window_preserves_the_static_region() {
+        let mut rf = RegisterFile::new();
+        rf.write(r(2), Value::new(1));
+        rf.write(r(31), Value::new(99));
+        rf.clear_window();
+        assert_eq!(rf.read(r(2)), None);
+        assert_eq!(rf.read(r(31)), Some(Value::new(99)));
+    }
+
+    #[test]
+    fn static_region_classification() {
+        assert!(!RegisterFile::is_static(r(0)));
+        assert!(!RegisterFile::is_static(r(23)));
+        assert!(RegisterFile::is_static(r(24)));
+        assert!(RegisterFile::is_static(r(31)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Runs the paper's benchmark suite (Table III) across the evaluated overlay
+//! variants and prints the achieved II, throughput and latency per variant —
+//! the data behind Table III and Fig. 6.
+//!
+//! ```text
+//! cargo run --example benchmark_suite
+//! ```
+
+use tm_overlay::{compare_variants, Benchmark, FuVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>5} {:>5} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "kernel", "I/O", "#ops", "depth", "[14]", "V1", "V2", "V3", "V4"
+    );
+    println!("{}", "-".repeat(88));
+
+    for benchmark in Benchmark::TABLE3 {
+        let dfg = benchmark.dfg()?;
+        let stats = dfg.analysis().stats(&dfg);
+        let results = compare_variants(&dfg, &FuVariant::EVALUATED, 64, 42)?;
+
+        // Row 1: measured initiation interval per variant.
+        let iis: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:>8.1}", r.performance.measured_ii))
+            .collect();
+        println!(
+            "{:<10} {:>2}/{:<2} {:>5} {:>6} | {}  (II, cycles)",
+            benchmark,
+            stats.inputs,
+            stats.outputs,
+            stats.ops,
+            stats.depth,
+            iis.join(" ")
+        );
+
+        // Row 2: throughput in GOPS.
+        let gops: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:>8.2}", r.performance.throughput_gops))
+            .collect();
+        println!("{:<31} | {}  (GOPS)", "", gops.join(" "));
+
+        // Row 3: latency in nanoseconds.
+        let latency: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:>8.1}", r.performance.latency_ns))
+            .collect();
+        println!("{:<31} | {}  (latency, ns)", "", latency.join(" "));
+        println!();
+    }
+
+    // Summary: average II reduction vs the [14] baseline, as reported in the
+    // paper's Sec. V.
+    let mut v1_reduction = Vec::new();
+    let mut v2_reduction = Vec::new();
+    for benchmark in Benchmark::TABLE3 {
+        let dfg = benchmark.dfg()?;
+        let results = compare_variants(&dfg, &FuVariant::EVALUATED, 48, 7)?;
+        let ii = |v: FuVariant| {
+            results
+                .iter()
+                .find(|r| r.variant == v)
+                .map(|r| r.performance.measured_ii)
+                .unwrap_or(f64::NAN)
+        };
+        v1_reduction.push(1.0 - ii(FuVariant::V1) / ii(FuVariant::Baseline));
+        v2_reduction.push(1.0 - ii(FuVariant::V2) / ii(FuVariant::Baseline));
+    }
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average II reduction vs [14]: V1 {:.0}% (paper: 42%), V2 {:.0}% (paper: 71%)",
+        avg(&v1_reduction),
+        avg(&v2_reduction)
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Hardware context switching between kernels: the killer feature of the
+//! fixed-depth write-back overlay (V3).
+//!
+//! A feed-forward overlay (V1) must be rebuilt — via partial reconfiguration
+//! over the PCAP — whenever the kernel's depth changes, while the fixed-depth
+//! V3 overlay only needs a new instruction configuration. This example runs
+//! a sequence of different kernels back to back on both overlays and compares
+//! the time spent switching.
+//!
+//! ```text
+//! cargo run --example context_switch
+//! ```
+
+use tm_overlay::{Benchmark, Compiler, FuVariant, Overlay, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A realistic multi-kernel pipeline: pre-processing, filtering and
+    // polynomial evaluation kernels run in rotation on the same overlay.
+    let kernel_sequence = [
+        Benchmark::Gradient,
+        Benchmark::Sgfilter,
+        Benchmark::Qspline,
+        Benchmark::Chebyshev,
+        Benchmark::Gradient,
+        Benchmark::Poly6,
+    ];
+    let blocks_per_kernel = 256;
+
+    for variant in [FuVariant::V1, FuVariant::V3] {
+        println!("=== {variant} overlay ===");
+        let mut total_switch_us = 0.0;
+        let mut total_compute_us = 0.0;
+        for benchmark in kernel_sequence {
+            let dfg = benchmark.dfg()?;
+            let compiled = Compiler::new(variant).compile_benchmark(benchmark)?;
+            let overlay = Overlay::for_kernel(variant, &compiled)?;
+            let switch = overlay.context_switch(&compiled);
+            let workload = Workload::random(dfg.num_inputs(), blocks_per_kernel, 99);
+            let run = overlay.execute(&compiled, &workload)?;
+            let compute_us = run.metrics().runtime_us(overlay.fmax_mhz());
+            total_switch_us += switch.total_us();
+            total_compute_us += compute_us;
+            println!(
+                "  {:<10} switch {:>9.2} us, compute {:>8.2} us ({} invocations)",
+                benchmark.name(),
+                switch.total_us(),
+                compute_us,
+                blocks_per_kernel
+            );
+        }
+        println!(
+            "  total: {:.2} us switching + {:.2} us computing -> {:.1}% overhead\n",
+            total_switch_us,
+            total_compute_us,
+            100.0 * total_switch_us / (total_switch_us + total_compute_us)
+        );
+    }
+
+    // Headline number: the per-switch speedup of V3 over V1 for the largest
+    // benchmark (the paper reports ~2900x).
+    let largest = Benchmark::Poly6;
+    let v1 = Compiler::new(FuVariant::V1).compile_benchmark(largest)?;
+    let v3 = Compiler::new(FuVariant::V3).compile_benchmark(largest)?;
+    let overlay_v1 = Overlay::for_kernel(FuVariant::V1, &v1)?;
+    let overlay_v3 = Overlay::for_kernel(FuVariant::V3, &v3)?;
+    let speedup = overlay_v3
+        .context_switch(&v3)
+        .speedup_over(&overlay_v1.context_switch(&v1));
+    println!("context-switch speedup of V3 over V1 on `{largest}`: {speedup:.0}x (paper: ~2900x)");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Design-space exploration: overlay scalability (Fig. 5), fixed-depth
+//! selection and tile composition (Sec. III-A.3).
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use tm_overlay::arch::{
+    scalability_sweep, FpgaDevice, NocConfig, Tile, TileComposition,
+};
+use tm_overlay::{Benchmark, Compiler, FuVariant, Overlay, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Fig. 5: resource usage and fmax vs overlay size ------------------
+    println!("overlay scalability on the Zynq XC7Z020 (Fig. 5):");
+    println!(
+        "{:>5} | {:>12} {:>6} {:>8} | {:>12} {:>6} {:>8} | {:>12} {:>6} {:>8}",
+        "size", "[14] slices", "DSPs", "fmax", "V1 slices", "DSPs", "fmax", "V2 slices", "DSPs", "fmax"
+    );
+    let sizes: Vec<usize> = (1..=8).map(|i| i * 2).collect();
+    let baseline = scalability_sweep(FuVariant::Baseline, &sizes)?;
+    let v1 = scalability_sweep(FuVariant::V1, &sizes)?;
+    let v2 = scalability_sweep(FuVariant::V2, &sizes)?;
+    for i in 0..sizes.len() {
+        println!(
+            "{:>5} | {:>12} {:>6} {:>8.0} | {:>12} {:>6} {:>8.0} | {:>12} {:>6} {:>8.0}",
+            sizes[i],
+            baseline[i].slices,
+            baseline[i].dsps,
+            baseline[i].fmax_mhz,
+            v1[i].slices,
+            v1[i].dsps,
+            v1[i].fmax_mhz,
+            v2[i].slices,
+            v2[i].dsps,
+            v2[i].fmax_mhz,
+        );
+    }
+
+    // --- Fixed-depth selection for the write-back overlay -----------------
+    // How does the chosen overlay depth trade II against latency for a deep
+    // kernel? (The paper fixes the depth at 8.)
+    println!("\nfixed-depth trade-off for `poly7` (depth-13 kernel) on V3:");
+    println!("{:>6} | {:>8} {:>12} {:>12}", "depth", "II", "GOPS", "latency ns");
+    let dfg = Benchmark::Poly7.dfg()?;
+    for depth in [2usize, 4, 6, 8, 10, 13] {
+        let compiled = Compiler::new(FuVariant::V3)
+            .with_fixed_depth(depth)
+            .compile_benchmark(Benchmark::Poly7)?;
+        let overlay = Overlay::new(FuVariant::V3, depth.max(compiled.num_fus()))?;
+        let workload = Workload::random(dfg.num_inputs(), 48, 5);
+        let run = overlay.execute(&compiled, &workload)?;
+        let report = overlay.performance(&compiled, &run);
+        println!(
+            "{:>6} | {:>8.1} {:>12.2} {:>12.1}",
+            depth, report.measured_ii, report.throughput_gops, report.latency_ns
+        );
+    }
+
+    // --- Tile composition ---------------------------------------------------
+    println!("\ntile composition (two depth-8 V3 overlays per tile, Hoplite-style NoC):");
+    let zynq = FpgaDevice::zynq_7020();
+    for composition in [TileComposition::Series, TileComposition::Parallel] {
+        let tile = Tile::new(FuVariant::V3, composition);
+        for (rows, cols) in [(1, 2), (2, 2), (2, 4)] {
+            let noc = NocConfig::new(rows, cols, tile)?;
+            let usage = noc.resource_estimate();
+            let fits = if usage.fits_on(&zynq) { "fits" } else { "does NOT fit" };
+            println!(
+                "  {:<26} {}x{} tiles: {} ({} on XC7Z020), worst-case hop latency {} cycles",
+                composition.to_string(),
+                rows,
+                cols,
+                usage,
+                fits,
+                noc.max_route_latency()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: compile a kernel, run it on the V1 overlay, inspect results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tm_overlay::dfg::Value;
+use tm_overlay::{Compiler, FuVariant, Overlay, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small image-processing style kernel written in the kernel DSL: the
+    // squared gradient magnitude of a 5-pixel neighbourhood (Fig. 2 of the
+    // paper).
+    let source = "\
+kernel gradient(i0, i1, i2, i3, i4) {
+    let d0 = i0 - i2;
+    let d1 = i1 - i2;
+    let d2 = i2 - i3;
+    let d3 = i2 - i4;
+    out g = sqr(d0) + sqr(d1) + (sqr(d2) + sqr(d3));
+}
+";
+
+    // 1. Compile for the V1 overlay (rotating register file, no write-back).
+    let compiler = Compiler::new(FuVariant::V1);
+    let compiled = compiler.compile_source(source)?;
+    println!(
+        "compiled `{}`: {} FUs, II = {} cycles, {} instructions",
+        compiled.program.kernel(),
+        compiled.num_fus(),
+        compiled.ii,
+        compiled.program.total_instructions()
+    );
+    println!("\nper-FU programs:\n{}", compiled.program);
+
+    // 2. Build the overlay instance and stream 1000 pixel neighbourhoods
+    //    through it.
+    let overlay = Overlay::for_kernel(FuVariant::V1, &compiled)?;
+    let workload = Workload::random(5, 1000, 2024);
+    let run = overlay.execute(&compiled, &workload)?;
+
+    // 3. Check one invocation against a hand computation and print the
+    //    performance report.
+    let first = overlay.execute(
+        &compiled,
+        &Workload::from_records(vec![[1, 2, 3, 4, 5].map(Value::new).to_vec()]),
+    )?;
+    println!("gradient(1,2,3,4,5) = {}", first.outputs()[0][0]);
+
+    let report = overlay.performance(&compiled, &run);
+    println!("\nperformance on {}:", overlay.config());
+    println!("  {report}");
+    println!(
+        "  resources: {} ({}):",
+        overlay.resource_estimate(),
+        overlay.fmax_mhz()
+    );
+    println!(
+        "  context switch: {}",
+        overlay.context_switch(&compiled)
+    );
+    Ok(())
+}

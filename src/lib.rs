@@ -1,0 +1,9 @@
+//! Workspace-level convenience crate.
+//!
+//! The actual library lives in the `tm-overlay` crate (and the sub-crates it
+//! re-exports); this root package exists so the repository-level `examples/`
+//! and `tests/` directories have a home. It simply re-exports `tm-overlay`.
+
+#![forbid(unsafe_code)]
+
+pub use tm_overlay::*;

@@ -1,0 +1,128 @@
+//! End-to-end integration tests across all workspace crates: kernel source →
+//! DFG → schedule → instructions → cycle-accurate simulation, checked against
+//! the reference evaluator.
+
+use tm_overlay::dfg::{evaluate_stream, Value};
+use tm_overlay::frontend::LowerOptions;
+use tm_overlay::{Benchmark, Compiler, FuVariant, Overlay, Workload};
+
+/// Custom kernels covering every DSL construct, compiled and simulated on
+/// every evaluated variant.
+const CUSTOM_KERNELS: &[&str] = &[
+    "kernel fma(a, b, c) { out y = a * b + c; }",
+    "kernel horner(x) { out y = ((x * 3 - 5) * x + 7) * x - 11; }",
+    "kernel blend(a, b, w) { out y = a * w + b * (16 - w); }",
+    "kernel magnitude(x, y) { out m = sqr(x) + sqr(y); }",
+    "kernel clamp_diff(a, b) { out y = min(max(a - b, 0 - 100), 100); }",
+    "kernel bits(a, b) { out y = ((a & b) | (a ^ b)) + (a << 2) - (b >> 1); }",
+    "kernel two_out(a, b) { out s = a + b; out d = a - b; }",
+    "kernel deep(x) { let a = sqr(x); let b = sqr(a); let c = sqr(b); out y = c + a; }",
+];
+
+#[test]
+fn custom_kernels_simulate_correctly_on_every_variant() {
+    for source in CUSTOM_KERNELS {
+        for variant in FuVariant::EVALUATED {
+            let compiler = Compiler::new(variant);
+            let compiled = compiler
+                .compile_source(source)
+                .unwrap_or_else(|e| panic!("compile failed for {source}: {e}"));
+            // Reference results come from the DFG evaluator.
+            let dfg = tm_overlay::frontend::compile_kernel(source).unwrap();
+            let workload = Workload::random(dfg.num_inputs(), 20, 0xFEED);
+            let expected = evaluate_stream(&dfg, workload.records()).unwrap();
+
+            let overlay = Overlay::for_kernel(variant, &compiled).unwrap();
+            let run = overlay.execute(&compiled, &workload).unwrap();
+            assert_eq!(
+                run.outputs(),
+                expected.as_slice(),
+                "mismatch for {source} on {variant}"
+            );
+        }
+    }
+}
+
+#[test]
+fn benchmark_suite_simulates_correctly_with_optimized_lowering() {
+    // Re-lower the DSL benchmarks with CSE enabled and make sure the whole
+    // flow still produces correct results (fewer ops, same semantics).
+    for benchmark in [Benchmark::Gradient, Benchmark::Chebyshev, Benchmark::Sgfilter] {
+        let source = benchmark.source().unwrap();
+        let plain = tm_overlay::frontend::compile_kernel(source).unwrap();
+        let optimized = tm_overlay::frontend::compile_kernel_with(source, &LowerOptions::optimized())
+            .unwrap();
+        assert!(optimized.num_ops() <= plain.num_ops());
+
+        let compiler = Compiler::new(FuVariant::V1).with_lower_options(LowerOptions::optimized());
+        let compiled = compiler.compile_source(source).unwrap();
+        let workload = Workload::random(plain.num_inputs(), 16, 0xBEEF);
+        let expected = evaluate_stream(&plain, workload.records()).unwrap();
+        let overlay = Overlay::for_kernel(FuVariant::V1, &compiled).unwrap();
+        let run = overlay.execute(&compiled, &workload).unwrap();
+        assert_eq!(run.outputs(), expected.as_slice(), "{benchmark}");
+    }
+}
+
+#[test]
+fn assembler_round_trips_generated_programs() {
+    // The textual assembler must be able to re-assemble every program the
+    // code generator emits.
+    for benchmark in Benchmark::ALL {
+        for variant in [FuVariant::V1, FuVariant::V3] {
+            let compiled = Compiler::new(variant).compile_benchmark(benchmark).unwrap();
+            for program in compiled.program.fu_programs() {
+                let text = tm_overlay::isa::disassemble(program);
+                let reassembled = tm_overlay::isa::assemble(&text).unwrap();
+                assert_eq!(&reassembled, program, "{benchmark} {variant}");
+            }
+        }
+    }
+}
+
+#[test]
+fn encoded_programs_decode_to_the_same_instructions() {
+    for benchmark in Benchmark::TABLE3 {
+        let compiled = Compiler::new(FuVariant::V4)
+            .compile_benchmark(benchmark)
+            .unwrap();
+        for program in compiled.program.fu_programs() {
+            for (word, instr) in program.encode().iter().zip(program.instructions()) {
+                let decoded = tm_overlay::isa::Instruction::decode(*word).unwrap();
+                assert_eq!(&decoded, instr);
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_workloads_produce_deterministic_runs() {
+    let compiled = Compiler::new(FuVariant::V2)
+        .compile_benchmark(Benchmark::Mibench)
+        .unwrap();
+    let overlay = Overlay::for_kernel(FuVariant::V2, &compiled).unwrap();
+    let workload = Workload::random(3, 50, 31);
+    let a = overlay.execute(&compiled, &workload).unwrap();
+    let b = overlay.execute(&compiled, &workload).unwrap();
+    assert_eq!(a.outputs(), b.outputs());
+    assert_eq!(a.metrics(), b.metrics());
+}
+
+#[test]
+fn single_invocation_latency_equals_total_cycles() {
+    let compiled = Compiler::new(FuVariant::V1)
+        .compile_benchmark(Benchmark::Chebyshev)
+        .unwrap();
+    let overlay = Overlay::for_kernel(FuVariant::V1, &compiled).unwrap();
+    let run = overlay
+        .execute(
+            &compiled,
+            &Workload::from_records(vec![vec![Value::new(3)]]),
+        )
+        .unwrap();
+    assert_eq!(
+        run.metrics().latency_cycles,
+        run.metrics().total_cycles,
+        "a single invocation finishes exactly at its latency"
+    );
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over randomly generated kernels: the tool flow must
+//! schedule, compile and simulate *any* valid feed-forward DFG correctly.
+
+use proptest::prelude::*;
+
+use tm_overlay::dfg::{evaluate_stream, DfgGenerator, GeneratorConfig, Op};
+use tm_overlay::scheduler::{
+    asap_schedule, cluster_schedule, ii_baseline, ii_v1, ClusterOptions, ScheduleError,
+};
+use tm_overlay::{CompiledKernel, Compiler, Error, FuVariant, Overlay, Workload};
+
+/// Compiles a random kernel, treating register-pressure overflow (a genuine
+/// architectural limit of the 32-entry register file that very wide random
+/// stages can hit) as "discard this case" rather than a failure.
+fn try_compile(compiler: &Compiler, dfg: &tm_overlay::dfg::Dfg) -> Option<CompiledKernel> {
+    match compiler.compile_dfg(dfg) {
+        Ok(compiled) => Some(compiled),
+        Err(Error::Schedule(ScheduleError::RegisterPressure { .. })) => None,
+        Err(other) => panic!("unexpected compile failure: {other}"),
+    }
+}
+
+/// Strategy describing a random synthetic kernel.
+fn kernel_params() -> impl Strategy<Value = (u64, usize, usize, usize)> {
+    (
+        any::<u64>(),
+        1usize..6,   // inputs
+        4usize..40,  // ops
+        2usize..10,  // target depth
+    )
+        .prop_filter("depth cannot exceed ops", |(_, _, ops, depth)| depth <= ops)
+}
+
+fn generate(seed: u64, inputs: usize, ops: usize, depth: usize) -> tm_overlay::dfg::Dfg {
+    let config = GeneratorConfig {
+        inputs,
+        ops,
+        target_depth: depth,
+        const_probability: 0.15,
+        op_pool: vec![Op::Add, Op::Sub, Op::Mul, Op::Square, Op::Min, Op::Max],
+    };
+    DfgGenerator::new(seed).generate(&config).expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ASAP schedules are always structurally consistent and the II formulas
+    /// preserve their ordering (V1 never worse than the baseline, V2 exactly
+    /// half of V1).
+    #[test]
+    fn asap_schedules_are_consistent_and_ii_is_ordered(
+        (seed, inputs, ops, depth) in kernel_params()
+    ) {
+        let dfg = generate(seed, inputs, ops, depth);
+        let schedule = asap_schedule(&dfg).unwrap();
+        prop_assert!(schedule.is_consistent_with(&dfg));
+        prop_assert_eq!(schedule.num_stages(), dfg.analysis().depth());
+        let baseline = ii_baseline(&schedule);
+        let v1 = ii_v1(&schedule);
+        prop_assert!(v1 <= baseline);
+        prop_assert!(v1 >= 3.0); // at least one op + flush
+    }
+
+    /// Fixed-depth clustering keeps every operation, respects the overlay
+    /// depth and the IWP spacing inside each cluster.
+    #[test]
+    fn cluster_schedules_respect_depth_and_iwp(
+        (seed, inputs, ops, depth) in kernel_params(),
+        overlay_depth in 2usize..8,
+        iwp in 3usize..6,
+    ) {
+        let dfg = generate(seed, inputs, ops, depth);
+        let schedule = cluster_schedule(&dfg, &ClusterOptions { depth: overlay_depth, iwp }).unwrap();
+        prop_assert!(schedule.num_stages() <= overlay_depth.max(dfg.analysis().depth()));
+        prop_assert_eq!(schedule.total_ops(), dfg.num_ops());
+        prop_assert!(schedule.is_consistent_with(&dfg));
+        for stage in schedule.stages() {
+            let mut slot_of = std::collections::HashMap::new();
+            for (slot, entry) in stage.slots.iter().enumerate() {
+                if let Some(op) = entry.op() {
+                    slot_of.insert(op, slot);
+                }
+            }
+            for (&op, &slot) in &slot_of {
+                for operand in dfg.node_unchecked(op).operands() {
+                    if let Some(&producer) = slot_of.get(operand) {
+                        prop_assert!(slot >= producer + iwp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cycle-accurate simulator agrees with the reference evaluator for
+    /// random kernels on the V1 overlay.
+    #[test]
+    fn simulator_matches_reference_on_random_kernels_v1(
+        (seed, inputs, ops, depth) in kernel_params()
+    ) {
+        let dfg = generate(seed, inputs, ops, depth);
+        let compiled = try_compile(&Compiler::new(FuVariant::V1), &dfg);
+        prop_assume!(compiled.is_some());
+        let compiled = compiled.unwrap();
+        let overlay = Overlay::for_kernel(FuVariant::V1, &compiled).unwrap();
+        let workload = Workload::random(dfg.num_inputs(), 6, seed ^ 0xABCD);
+        let expected = evaluate_stream(&dfg, workload.records()).unwrap();
+        let run = overlay.execute(&compiled, &workload).unwrap();
+        prop_assert_eq!(run.outputs(), expected.as_slice());
+    }
+
+    /// The same property on the fixed-depth write-back overlay, which
+    /// exercises clustering, NOP insertion and the write-back datapath.
+    #[test]
+    fn simulator_matches_reference_on_random_kernels_v3(
+        (seed, inputs, ops, depth) in kernel_params(),
+        overlay_depth in 2usize..8,
+    ) {
+        let dfg = generate(seed, inputs, ops, depth);
+        let compiled = try_compile(
+            &Compiler::new(FuVariant::V3).with_fixed_depth(overlay_depth),
+            &dfg,
+        );
+        prop_assume!(compiled.is_some());
+        let compiled = compiled.unwrap();
+        let overlay = Overlay::for_kernel(FuVariant::V3, &compiled).unwrap();
+        let workload = Workload::random(dfg.num_inputs(), 5, seed ^ 0x5555);
+        let expected = evaluate_stream(&dfg, workload.records()).unwrap();
+        let run = overlay.execute(&compiled, &workload).unwrap();
+        prop_assert_eq!(run.outputs(), expected.as_slice());
+    }
+
+    /// Measured steady-state II never beats the analytical model by more than
+    /// rounding, and never exceeds it by more than a couple of cycles.
+    #[test]
+    fn measured_ii_tracks_the_model((seed, inputs, ops, depth) in kernel_params()) {
+        let dfg = generate(seed, inputs, ops, depth);
+        let compiled = try_compile(&Compiler::new(FuVariant::V1), &dfg);
+        prop_assume!(compiled.is_some());
+        let compiled = compiled.unwrap();
+        let overlay = Overlay::for_kernel(FuVariant::V1, &compiled).unwrap();
+        let workload = Workload::random(dfg.num_inputs(), 32, seed ^ 0x1234);
+        let run = overlay.execute(&compiled, &workload).unwrap();
+        let measured = run.metrics().steady_state_ii;
+        prop_assert!(measured >= compiled.ii - 1.0);
+        prop_assert!(measured <= compiled.ii + 2.0);
+    }
+}
