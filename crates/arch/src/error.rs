@@ -28,10 +28,16 @@ impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArchError::InvalidDepth { depth } => {
-                write!(f, "overlay depth {depth} is outside the supported range (1–64)")
+                write!(
+                    f,
+                    "overlay depth {depth} is outside the supported range (1–64)"
+                )
             }
             ArchError::UnsupportedTileCount { tiles } => {
-                write!(f, "tile count {tiles} is not supported (must be at least 1)")
+                write!(
+                    f,
+                    "tile count {tiles} is not supported (must be at least 1)"
+                )
             }
             ArchError::DoesNotFit { resource } => {
                 write!(f, "overlay does not fit on the device: {resource}")
@@ -48,7 +54,9 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(ArchError::InvalidDepth { depth: 0 }.to_string().contains('0'));
+        assert!(ArchError::InvalidDepth { depth: 0 }
+            .to_string()
+            .contains('0'));
         assert!(ArchError::DoesNotFit {
             resource: "DSP blocks".into()
         }

@@ -280,7 +280,10 @@ mod tests {
         for variant in FuVariant::ALL {
             assert_eq!(variant.name().parse::<FuVariant>().unwrap(), variant);
         }
-        assert_eq!("baseline".parse::<FuVariant>().unwrap(), FuVariant::Baseline);
+        assert_eq!(
+            "baseline".parse::<FuVariant>().unwrap(),
+            FuVariant::Baseline
+        );
         assert!("v9".parse::<FuVariant>().is_err());
     }
 }

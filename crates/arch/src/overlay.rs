@@ -158,12 +158,18 @@ impl OverlayConfig {
         let utilization = usage.utilization_on(device);
         if utilization.dsps > 1.0 {
             return Err(ArchError::DoesNotFit {
-                resource: format!("{} DSP blocks needed, {} available", usage.dsps, device.dsps),
+                resource: format!(
+                    "{} DSP blocks needed, {} available",
+                    usage.dsps, device.dsps
+                ),
             });
         }
         if utilization.slices > 1.0 {
             return Err(ArchError::DoesNotFit {
-                resource: format!("{} slices needed, {} available", usage.slices, device.slices),
+                resource: format!(
+                    "{} slices needed, {} available",
+                    usage.slices, device.slices
+                ),
             });
         }
         if utilization.luts > 1.0 || utilization.ffs > 1.0 || utilization.brams > 1.0 {
@@ -224,11 +230,17 @@ mod tests {
     #[test]
     fn depth8_dsp_counts_match_the_paper() {
         assert_eq!(
-            OverlayConfig::new(FuVariant::V1, 8).unwrap().resource_estimate().dsps,
+            OverlayConfig::new(FuVariant::V1, 8)
+                .unwrap()
+                .resource_estimate()
+                .dsps,
             8
         );
         assert_eq!(
-            OverlayConfig::new(FuVariant::V2, 8).unwrap().resource_estimate().dsps,
+            OverlayConfig::new(FuVariant::V2, 8)
+                .unwrap()
+                .resource_estimate()
+                .dsps,
             16
         );
     }
@@ -237,9 +249,13 @@ mod tests {
     fn depth8_overlays_use_under_8_percent_of_zynq() {
         // The paper: depth-8 V1 is < 5 % and depth-8 V2 < 8 % of the Zynq.
         let zynq = FpgaDevice::zynq_7020();
-        let v1 = OverlayConfig::new(FuVariant::V1, 8).unwrap().utilization_on(&zynq);
+        let v1 = OverlayConfig::new(FuVariant::V1, 8)
+            .unwrap()
+            .utilization_on(&zynq);
         assert!(v1.max_fraction() < 0.05, "V1 should be below 5%");
-        let v2 = OverlayConfig::new(FuVariant::V2, 8).unwrap().utilization_on(&zynq);
+        let v2 = OverlayConfig::new(FuVariant::V2, 8)
+            .unwrap()
+            .utilization_on(&zynq);
         assert!(v2.max_fraction() < 0.08, "V2 should be below 8%");
     }
 
@@ -281,11 +297,15 @@ mod tests {
     #[test]
     fn kernel_depth_limits_follow_writeback() {
         assert_eq!(
-            OverlayConfig::new(FuVariant::V1, 8).unwrap().max_kernel_depth(),
+            OverlayConfig::new(FuVariant::V1, 8)
+                .unwrap()
+                .max_kernel_depth(),
             Some(8)
         );
         assert_eq!(
-            OverlayConfig::new(FuVariant::V3, 8).unwrap().max_kernel_depth(),
+            OverlayConfig::new(FuVariant::V3, 8)
+                .unwrap()
+                .max_kernel_depth(),
             None
         );
     }

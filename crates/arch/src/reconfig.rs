@@ -40,7 +40,11 @@ impl Region {
 
 impl fmt::Display for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} CLB tile(s) + {} DSP tile(s)", self.clb_tiles, self.dsp_tiles)
+        write!(
+            f,
+            "{} CLB tile(s) + {} DSP tile(s)",
+            self.clb_tiles, self.dsp_tiles
+        )
     }
 }
 
@@ -118,11 +122,7 @@ impl ReconfigModel {
 
     /// The kernel-switch cost for a fixed-depth write-back overlay (V3–V5):
     /// only the configuration load.
-    pub fn program_only_switch(
-        &self,
-        variant: FuVariant,
-        config_bits: usize,
-    ) -> ContextSwitch {
+    pub fn program_only_switch(&self, variant: FuVariant, config_bits: usize) -> ContextSwitch {
         ContextSwitch {
             variant,
             reconfig_us: 0.0,
@@ -193,8 +193,14 @@ mod tests {
     #[test]
     fn pcap_times_are_close_to_the_published_values() {
         let model = ReconfigModel::new();
-        let v1 = model.partial_reconfig_us(Region { clb_tiles: 7, dsp_tiles: 1 });
-        let v2 = model.partial_reconfig_us(Region { clb_tiles: 9, dsp_tiles: 2 });
+        let v1 = model.partial_reconfig_us(Region {
+            clb_tiles: 7,
+            dsp_tiles: 1,
+        });
+        let v2 = model.partial_reconfig_us(Region {
+            clb_tiles: 9,
+            dsp_tiles: 2,
+        });
         assert!((v1 - 730.0).abs() < 30.0, "V1 PCAP ≈ 0.73 ms, got {v1} µs");
         assert!((v2 - 1020.0).abs() < 40.0, "V2 PCAP ≈ 1.02 ms, got {v2} µs");
     }
@@ -235,7 +241,10 @@ mod tests {
 
     #[test]
     fn region_total_and_display() {
-        let region = Region { clb_tiles: 7, dsp_tiles: 1 };
+        let region = Region {
+            clb_tiles: 7,
+            dsp_tiles: 1,
+        };
         assert_eq!(region.total_tiles(), 8);
         assert!(region.to_string().contains("7 CLB"));
     }

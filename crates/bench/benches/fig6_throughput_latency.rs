@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tm_overlay::arch::FuVariant;
-use tm_overlay::frontend::Benchmark;
 use tm_overlay::compare_variants;
+use tm_overlay::frontend::Benchmark;
 
 fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");

@@ -1,0 +1,70 @@
+//! Serving-runtime benches: requests per second of the multi-tile runtime
+//! under kernel-affinity vs naive round-robin dispatch.
+//!
+//! Host wall time measures the compile-cache + dispatch + parallel-simulation
+//! machinery; the *modeled* serving numbers printed before the timings show
+//! the hardware-side effect of dispatch policy — on the feed-forward V1 pool
+//! every avoidable kernel swap costs ~1 ms of PCAP reconfiguration, while the
+//! write-back V3 pool swaps in ~0.25 µs (the paper's ~2900x context-switch
+//! advantage, visible end to end).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tm_overlay::{Benchmark, DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, Workload};
+
+const TILES: usize = 4;
+const REQUESTS: usize = 64;
+
+/// An interleaved 3-kernel trace, one request every 2 us.
+fn trace() -> Vec<Request> {
+    let suite = [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Qspline,
+    ];
+    let specs: Vec<(KernelSpec, usize)> = suite
+        .iter()
+        .map(|&b| {
+            (
+                KernelSpec::from_benchmark(b).unwrap(),
+                b.dfg().unwrap().num_inputs(),
+            )
+        })
+        .collect();
+    (0..REQUESTS)
+        .map(|i| {
+            let (spec, inputs) = &specs[i % specs.len()];
+            let workload = Workload::random(*inputs, 16, i as u64 ^ 0xACE);
+            Request::new(i as u64, spec.clone(), workload).at(i as f64 * 2.0)
+        })
+        .collect()
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    let requests = trace();
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    for variant in [FuVariant::V3, FuVariant::V1] {
+        for policy in [DispatchPolicy::KernelAffinity, DispatchPolicy::RoundRobin] {
+            // Surface the modeled hardware numbers the policy actually moves.
+            let mut runtime = Runtime::new(variant, TILES).unwrap().with_policy(policy);
+            let report = runtime.serve(&requests).unwrap();
+            println!(
+                "modeled {variant}/{policy}: {} switches ({:.2} us), makespan {:.2} us, \
+                 p99 latency {:.2} us",
+                report.metrics().switch_count,
+                report.metrics().total_switch_us,
+                report.metrics().makespan_us,
+                report.metrics().p99_latency_us,
+            );
+            group.bench_function(format!("{variant}/{policy}/{REQUESTS}_requests"), |b| {
+                let mut runtime = Runtime::new(variant, TILES).unwrap().with_policy(policy);
+                b.iter(|| black_box(runtime.serve(&requests).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_throughput);
+criterion_main!(benches);

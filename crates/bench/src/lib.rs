@@ -109,7 +109,16 @@ pub fn fig5() -> String {
     let _ = writeln!(
         out,
         "{:>5} | {:>11} {:>5} {:>6} | {:>11} {:>5} {:>6} | {:>11} {:>5} {:>6}",
-        "FUs", "[14] slices", "DSPs", "fmax", "V1 slices", "DSPs", "fmax", "V2 slices", "DSPs", "fmax"
+        "FUs",
+        "[14] slices",
+        "DSPs",
+        "fmax",
+        "V1 slices",
+        "DSPs",
+        "fmax",
+        "V2 slices",
+        "DSPs",
+        "fmax"
     );
     let sizes: Vec<usize> = (1..=8).map(|i| i * 2).collect();
     let series: Vec<_> = [FuVariant::Baseline, FuVariant::V1, FuVariant::V2]
@@ -135,9 +144,15 @@ pub fn fig5() -> String {
     let _ = writeln!(
         out,
         "fixed depth-8 overlays: V3 {} slices @ {:.0} MHz, V4 {} slices @ {:.0} MHz",
-        OverlayConfig::new(FuVariant::V3, 8).unwrap().resource_estimate().slices,
+        OverlayConfig::new(FuVariant::V3, 8)
+            .unwrap()
+            .resource_estimate()
+            .slices,
         OverlayConfig::new(FuVariant::V3, 8).unwrap().fmax_mhz(),
-        OverlayConfig::new(FuVariant::V4, 8).unwrap().resource_estimate().slices,
+        OverlayConfig::new(FuVariant::V4, 8)
+            .unwrap()
+            .resource_estimate()
+            .slices,
         OverlayConfig::new(FuVariant::V4, 8).unwrap().fmax_mhz(),
     );
     out
@@ -146,7 +161,10 @@ pub fn fig5() -> String {
 /// Fig. 6: simulated throughput and latency for every benchmark and variant.
 pub fn fig6() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 6: throughput (GOPS) and latency (ns) per benchmark");
+    let _ = writeln!(
+        out,
+        "Fig. 6: throughput (GOPS) and latency (ns) per benchmark"
+    );
     let _ = writeln!(
         out,
         "{:<10} | {:>22} {:>22} {:>22} {:>22} {:>22}",
@@ -174,7 +192,10 @@ pub fn fig6() -> String {
 /// reload, and the resulting speedup.
 pub fn context_switch() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Hardware context switch (largest benchmark per column):");
+    let _ = writeln!(
+        out,
+        "Hardware context switch (largest benchmark per column):"
+    );
     let model = ReconfigModel::new();
     let _ = writeln!(
         out,
@@ -182,9 +203,15 @@ pub fn context_switch() -> String {
         "kernel", "V1 full (us)", "V2 full (us)", "V3 reload (us)", "speedup"
     );
     for benchmark in Benchmark::TABLE3 {
-        let v1 = Compiler::new(FuVariant::V1).compile_benchmark(benchmark).unwrap();
-        let v2 = Compiler::new(FuVariant::V2).compile_benchmark(benchmark).unwrap();
-        let v3 = Compiler::new(FuVariant::V3).compile_benchmark(benchmark).unwrap();
+        let v1 = Compiler::new(FuVariant::V1)
+            .compile_benchmark(benchmark)
+            .unwrap();
+        let v2 = Compiler::new(FuVariant::V2)
+            .compile_benchmark(benchmark)
+            .unwrap();
+        let v3 = Compiler::new(FuVariant::V3)
+            .compile_benchmark(benchmark)
+            .unwrap();
         let v1_switch = model.full_switch(
             &OverlayConfig::new(FuVariant::V1, v1.num_fus()).unwrap(),
             v1.program.config_bits(),
@@ -244,7 +271,10 @@ pub fn worked_examples() -> String {
 /// trades NOP insertion against operating frequency on the deep benchmarks.
 pub fn iwp_ablation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "IWP ablation on the fixed depth-8 overlay (deep kernels):");
+    let _ = writeln!(
+        out,
+        "IWP ablation on the fixed depth-8 overlay (deep kernels):"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",

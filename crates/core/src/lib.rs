@@ -12,10 +12,13 @@
 //! * [`arch`] — resource/frequency/reconfiguration models calibrated to the
 //!   paper's published numbers,
 //! * [`sim`] — the cycle-accurate overlay simulator,
+//! * [`runtime`] — the multi-tile serving runtime (kernel cache,
+//!   context-switch-aware dispatch, parallel tile execution),
 //!
-//! behind two entry points: [`Compiler`] (kernel source → [`CompiledKernel`])
-//! and [`Overlay`] (a configured overlay instance that executes compiled
-//! kernels and reports performance).
+//! behind three entry points: [`Compiler`] (kernel source →
+//! [`CompiledKernel`]), [`Overlay`] (a configured overlay instance that
+//! executes compiled kernels and reports performance) and [`Runtime`] (a
+//! tile array serving whole request traces).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,34 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Serving many kernels on a tile array
+//!
+//! The [`Runtime`] scales the single-overlay flow out to a pool of
+//! NoC-connected tiles (Sec. III-A.3): requests carrying different kernels
+//! are compiled once through an LRU kernel cache, placed by a
+//! context-switch-aware dispatcher and executed on parallel tile threads.
+//!
+//! ```
+//! use tm_overlay::{DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, Workload};
+//!
+//! # fn main() -> Result<(), tm_overlay::runtime::RuntimeError> {
+//! let mut runtime = Runtime::new(FuVariant::V4, 4)?
+//!     .with_policy(DispatchPolicy::KernelAffinity);
+//! let kernel = KernelSpec::from_source(
+//!     "saxpy",
+//!     "kernel saxpy(a, x, y) { out r = a * x + y; }",
+//! );
+//! let requests: Vec<Request> = (0..8)
+//!     .map(|i| Request::new(i, kernel.clone(), Workload::ramp(3, 32)).at(i as f64))
+//!     .collect();
+//! let report = runtime.serve(&requests)?;
+//! assert_eq!(report.metrics().requests, 8);
+//! assert_eq!(report.metrics().cache.misses, 1); // compiled once
+//! assert!(report.metrics().requests_per_sec > 0.0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,14 +84,16 @@ pub mod error;
 pub mod overlay;
 pub mod report;
 
+/// Re-export of the architecture-model crate.
+pub use overlay_arch as arch;
 /// Re-export of the data-flow-graph crate.
 pub use overlay_dfg as dfg;
 /// Re-export of the front-end crate.
 pub use overlay_frontend as frontend;
 /// Re-export of the instruction-set crate.
 pub use overlay_isa as isa;
-/// Re-export of the architecture-model crate.
-pub use overlay_arch as arch;
+/// Re-export of the multi-tile serving-runtime crate.
+pub use overlay_runtime as runtime;
 /// Re-export of the scheduler crate.
 pub use overlay_scheduler as scheduler;
 /// Re-export of the simulator crate.
@@ -74,5 +107,8 @@ pub use report::{compare_variants, VariantResult};
 // The most frequently used types, re-exported at the crate root.
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
+pub use overlay_runtime::{
+    DispatchPolicy, KernelSpec, Request, Runtime, RuntimeMetrics, ServeReport,
+};
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

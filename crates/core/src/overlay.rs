@@ -3,7 +3,9 @@
 
 use std::fmt;
 
-use overlay_arch::{ContextSwitch, FpgaDevice, FuVariant, OverlayConfig, ReconfigModel, ResourceUsage};
+use overlay_arch::{
+    ContextSwitch, FpgaDevice, FuVariant, OverlayConfig, ReconfigModel, ResourceUsage,
+};
 use overlay_scheduler::CompiledKernel;
 use overlay_sim::{OverlaySimulator, SimRun, Workload};
 
@@ -183,9 +185,7 @@ mod tests {
             .unwrap();
         let overlay = Overlay::for_kernel(FuVariant::V3, &compiled).unwrap();
         assert_eq!(overlay.config().depth(), 8);
-        assert!(overlay
-            .check_fits(&FpgaDevice::zynq_7020())
-            .is_ok());
+        assert!(overlay.check_fits(&FpgaDevice::zynq_7020()).is_ok());
     }
 
     #[test]

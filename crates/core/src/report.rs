@@ -101,14 +101,8 @@ mod tests {
         // only requires "not meaningfully worse".
         let dfg = Benchmark::Poly7.dfg().unwrap();
         let results = compare_variants(&dfg, &FuVariant::EVALUATED, 24, 11).unwrap();
-        let v1 = results
-            .iter()
-            .find(|r| r.variant == FuVariant::V1)
-            .unwrap();
-        let v3 = results
-            .iter()
-            .find(|r| r.variant == FuVariant::V3)
-            .unwrap();
+        let v1 = results.iter().find(|r| r.variant == FuVariant::V1).unwrap();
+        let v3 = results.iter().find(|r| r.variant == FuVariant::V3).unwrap();
         let v1_cycles = v1.performance.latency_ns * v1.performance.fmax_mhz;
         let v3_cycles = v3.performance.latency_ns * v3.performance.fmax_mhz;
         assert!(

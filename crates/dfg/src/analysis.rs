@@ -92,12 +92,7 @@ impl DfgAnalysis {
 
         // ALAP: backward sweep over the reverse topological order.
         let mut alap: HashMap<NodeId, usize> = HashMap::new();
-        for node in dfg
-            .nodes()
-            .iter()
-            .rev()
-            .filter(|n| n.kind().is_operation())
-        {
+        for node in dfg.nodes().iter().rev().filter(|n| n.kind().is_operation()) {
             let consumer_min = dfg
                 .consumers(node.id())
                 .into_iter()

@@ -283,9 +283,6 @@ mod tests {
         // Driving an output directly from an input is rejected: the overlay
         // always routes outputs through an FU.
         b.output("bad", a);
-        assert!(matches!(
-            b.build(),
-            Err(DfgError::InvalidOutputSource(_))
-        ));
+        assert!(matches!(b.build(), Err(DfgError::InvalidOutputSource(_))));
     }
 }

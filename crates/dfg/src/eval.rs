@@ -180,7 +180,10 @@ mod tests {
         let dfg = gradient();
         assert!(matches!(
             evaluate(&dfg, &[Value::new(1)]),
-            Err(DfgError::InputCountMismatch { expected: 5, found: 1 })
+            Err(DfgError::InputCountMismatch {
+                expected: 5,
+                found: 1
+            })
         ));
     }
 
@@ -218,7 +221,10 @@ mod tests {
         let r = b.op(Op::Add, &[m, seven]).unwrap();
         b.output("y", r);
         let dfg = b.build().unwrap();
-        assert_eq!(evaluate(&dfg, &[Value::new(5)]).unwrap(), vec![Value::new(22)]);
+        assert_eq!(
+            evaluate(&dfg, &[Value::new(5)]).unwrap(),
+            vec![Value::new(22)]
+        );
     }
 
     #[test]

@@ -212,7 +212,10 @@ mod tests {
             let dfg = generator.generate(&config).unwrap();
             assert!(dfg.validate().is_ok());
             assert_eq!(dfg.num_inputs(), inputs);
-            assert!(dfg.num_ops() >= ops, "extra fixup adds may only increase ops");
+            assert!(
+                dfg.num_ops() >= ops,
+                "extra fixup adds may only increase ops"
+            );
             assert!(dfg.analysis().depth() >= depth.min(dfg.num_ops()));
         }
     }

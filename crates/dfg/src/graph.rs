@@ -225,19 +225,15 @@ impl Dfg {
                 }
             }
             match &node.kind {
-                NodeKind::Operation { op, operands } => {
-                    if operands.len() != op.arity() {
-                        return Err(DfgError::ArityMismatch {
-                            op: *op,
-                            expected: op.arity(),
-                            found: operands.len(),
-                        });
-                    }
+                NodeKind::Operation { op, operands } if operands.len() != op.arity() => {
+                    return Err(DfgError::ArityMismatch {
+                        op: *op,
+                        expected: op.arity(),
+                        found: operands.len(),
+                    });
                 }
-                NodeKind::Output { source, .. } => {
-                    if !self.node(*source)?.kind.is_operation() {
-                        return Err(DfgError::InvalidOutputSource(*source));
-                    }
+                NodeKind::Output { source, .. } if !self.node(*source)?.kind.is_operation() => {
+                    return Err(DfgError::InvalidOutputSource(*source));
                 }
                 _ => {}
             }

@@ -213,12 +213,10 @@ impl<'src> Lexer<'src> {
                         break;
                     }
                 }
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| FrontendError::LiteralOutOfRange {
-                        text: text.clone(),
-                        span,
-                    })?;
+                let value: i64 = text.parse().map_err(|_| FrontendError::LiteralOutOfRange {
+                    text: text.clone(),
+                    span,
+                })?;
                 // Accept up to 2^31 so that `-2147483648` written as a
                 // negated literal still lexes; the parser applies negation.
                 if value > i64::from(i32::MAX) + 1 {

@@ -256,8 +256,7 @@ mod tests {
 
     #[test]
     fn parses_parameters_and_statements() {
-        let kernel =
-            parse_kernel("kernel k(a, b, c) { let t = a + b; out y = t * c; }").unwrap();
+        let kernel = parse_kernel("kernel k(a, b, c) { let t = a + b; out y = t * c; }").unwrap();
         assert_eq!(kernel.params, vec!["a", "b", "c"]);
         assert_eq!(kernel.body.len(), 2);
         assert_eq!(kernel.output_names(), vec!["y"]);
@@ -274,7 +273,13 @@ mod tests {
                 op: BinaryOp::Add,
                 rhs,
                 ..
-            } => assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. })),
+            } => assert!(matches!(
+                **rhs,
+                Expr::Binary {
+                    op: BinaryOp::Mul,
+                    ..
+                }
+            )),
             other => panic!("unexpected tree {other:?}"),
         }
     }
@@ -285,7 +290,13 @@ mod tests {
         let Stmt::Out { expr, .. } = &kernel.body[0] else {
             panic!("expected out statement");
         };
-        assert!(matches!(expr, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            expr,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -48,12 +48,20 @@ impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::RegisterOutOfRange { index } => {
-                write!(f, "register index {index} exceeds the 32-entry register file")
+                write!(
+                    f,
+                    "register index {index} exceeds the 32-entry register file"
+                )
             }
-            IsaError::InvalidKind { kind } => write!(f, "invalid instruction kind bits {kind:#04b}"),
+            IsaError::InvalidKind { kind } => {
+                write!(f, "invalid instruction kind bits {kind:#04b}")
+            }
             IsaError::InvalidOpcode { opcode } => write!(f, "invalid ALU opcode {opcode:#06b}"),
             IsaError::UnsupportedOperation { mnemonic } => {
-                write!(f, "operation {mnemonic} cannot be encoded in the FU instruction format")
+                write!(
+                    f,
+                    "operation {mnemonic} cannot be encoded in the FU instruction format"
+                )
             }
             IsaError::ParseAsm { line, message } => {
                 write!(f, "assembly parse error on line {line}: {message}")

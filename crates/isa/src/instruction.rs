@@ -272,7 +272,10 @@ mod tests {
 
     #[test]
     fn nop_and_load_round_trip() {
-        assert_eq!(Instruction::decode(Instruction::Nop.encode()).unwrap(), Instruction::Nop);
+        assert_eq!(
+            Instruction::decode(Instruction::Nop.encode()).unwrap(),
+            Instruction::Nop
+        );
         let load = Instruction::load(r(29));
         assert_eq!(Instruction::decode(load.encode()).unwrap(), load);
     }
@@ -313,8 +316,7 @@ mod tests {
     #[test]
     fn flags_live_in_the_spare_inmode_bit_positions() {
         let plain = Instruction::exec(Op::Add, r(0), r(1), r(2)).encode();
-        let flagged =
-            Instruction::exec_flags(Op::Add, r(0), r(1), r(2), true, true).encode();
+        let flagged = Instruction::exec_flags(Op::Add, r(0), r(1), r(2), true, true).encode();
         let difference = plain ^ flagged;
         assert_eq!(difference, (1 << 21) | (1 << 22));
     }

@@ -256,7 +256,11 @@ impl fmt::Display for OverlayProgram {
         writeln!(
             f,
             "; kernel `{}`: {} FU(s), II = {}, {} in / {} out",
-            self.kernel, self.fu_programs.len(), self.ii, self.num_inputs, self.num_outputs
+            self.kernel,
+            self.fu_programs.len(),
+            self.ii,
+            self.num_inputs,
+            self.num_outputs
         )?;
         for (index, program) in self.fu_programs.iter().enumerate() {
             writeln!(f, "FU{index}:")?;
@@ -309,7 +313,10 @@ mod tests {
         assert!(p.check_capacity(4).is_ok());
         assert!(matches!(
             p.check_capacity(3),
-            Err(IsaError::ProgramTooLong { len: 4, capacity: 3 })
+            Err(IsaError::ProgramTooLong {
+                len: 4,
+                capacity: 3
+            })
         ));
     }
 
@@ -318,7 +325,10 @@ mod tests {
         let p = sample_program();
         let words = p.encode();
         assert_eq!(words.len(), p.len());
-        assert_eq!(Instruction::decode(words[0]).unwrap(), Instruction::load(r(0)));
+        assert_eq!(
+            Instruction::decode(words[0]).unwrap(),
+            Instruction::load(r(0))
+        );
     }
 
     #[test]
@@ -359,6 +369,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the sizing contract
     fn default_capacity_holds_every_benchmark_sized_program() {
         assert!(DEFAULT_IMEM_CAPACITY >= 64);
     }

@@ -1,0 +1,262 @@
+//! LRU cache of compiled kernels, so each distinct kernel is compiled once
+//! no matter how many requests reference it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use overlay_arch::FuVariant;
+use overlay_scheduler::CompiledKernel;
+
+use crate::error::RuntimeError;
+
+/// Identity of one compiled artifact: kernel content hash + overlay variant +
+/// mapped depth (0 when the depth follows the kernel, as it does for the
+/// feed-forward variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Content fingerprint from [`KernelSpec::fingerprint`](crate::KernelSpec::fingerprint).
+    pub fingerprint: u64,
+    /// The overlay variant the kernel was compiled for.
+    pub variant: FuVariant,
+    /// The fixed overlay depth for the write-back variants, 0 when the depth
+    /// follows the kernel.
+    pub depth: usize,
+}
+
+impl fmt::Display for KernelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:016x}@{}/d{}",
+            self.fingerprint, self.variant, self.depth
+        )
+    }
+}
+
+/// Hit/miss/eviction counters for one cache lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to compile.
+    pub misses: usize,
+    /// Entries evicted to make room.
+    pub evictions: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es), {} eviction(s), {:.0}% hit rate",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    kernel: Arc<CompiledKernel>,
+    last_used: u64,
+}
+
+/// An LRU cache mapping [`KernelKey`]s to compiled kernels.
+///
+/// Compiled kernels are shared as [`Arc`]s, so a cached kernel stays valid on
+/// the tiles executing it even if it is evicted mid-trace.
+#[derive(Debug)]
+pub struct KernelCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<KernelKey, Entry>,
+    stats: CacheStats,
+}
+
+impl KernelCache {
+    /// A cache holding at most `capacity` compiled kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ZeroCacheCapacity`] when `capacity` is 0.
+    pub fn new(capacity: usize) -> Result<Self, RuntimeError> {
+        if capacity == 0 {
+            return Err(RuntimeError::ZeroCacheCapacity);
+        }
+        Ok(KernelCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Returns the cached kernel for `key`, or compiles it via `compile`,
+    /// caching the result (evicting the least-recently-used entry if full).
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever `compile` returns.
+    pub fn get_or_compile<F>(
+        &mut self,
+        key: KernelKey,
+        compile: F,
+    ) -> Result<Arc<CompiledKernel>, RuntimeError>
+    where
+        F: FnOnce() -> Result<CompiledKernel, RuntimeError>,
+    {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.stats.hits += 1;
+            return Ok(Arc::clone(&entry.kernel));
+        }
+        self.stats.misses += 1;
+        let kernel = Arc::new(compile()?);
+        if self.entries.len() >= self.capacity {
+            // O(n) LRU scan: the cache holds at most a few dozen kernels.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                kernel: Arc::clone(&kernel),
+                last_used: self.clock,
+            },
+        );
+        Ok(kernel)
+    }
+
+    /// Whether `key` is currently resident (does not touch LRU order).
+    pub fn contains(&self, key: &KernelKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of resident compiled kernels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of resident kernels.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The accumulated hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = CacheStats::default();
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_frontend::compile_kernel;
+    use overlay_scheduler::{generate_program, schedule};
+
+    fn key(fingerprint: u64) -> KernelKey {
+        KernelKey {
+            fingerprint,
+            variant: FuVariant::V3,
+            depth: 8,
+        }
+    }
+
+    fn compile_saxpy() -> Result<CompiledKernel, RuntimeError> {
+        let dfg = compile_kernel("kernel saxpy(a, x, y) { out r = a * x + y; }")?;
+        let stages = schedule(&dfg, FuVariant::V3, Some(8))?;
+        Ok(generate_program(&dfg, &stages, FuVariant::V3)?)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_artifact() {
+        let mut cache = KernelCache::new(4).unwrap();
+        let first = cache.get_or_compile(key(1), compile_saxpy).unwrap();
+        let second = cache
+            .get_or_compile(key(1), || panic!("must not recompile"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_removes_the_stalest_key() {
+        let mut cache = KernelCache::new(2).unwrap();
+        cache.get_or_compile(key(1), compile_saxpy).unwrap();
+        cache.get_or_compile(key(2), compile_saxpy).unwrap();
+        // Touch key 1 so key 2 is the LRU victim.
+        cache.get_or_compile(key(1), || panic!("hit")).unwrap();
+        cache.get_or_compile(key(3), compile_saxpy).unwrap();
+        assert!(cache.contains(&key(1)));
+        assert!(!cache.contains(&key(2)));
+        assert!(cache.contains(&key(3)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(matches!(
+            KernelCache::new(0),
+            Err(RuntimeError::ZeroCacheCapacity)
+        ));
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let mut cache = KernelCache::new(2).unwrap();
+        cache.get_or_compile(key(1), compile_saxpy).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        assert!(key(0xAB).to_string().contains("V3"));
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!(stats.to_string().contains("75% hit rate"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The runtime's unified error type.
+
+use std::fmt;
+
+use overlay_arch::ArchError;
+use overlay_dfg::DfgError;
+use overlay_frontend::FrontendError;
+use overlay_scheduler::ScheduleError;
+use overlay_sim::SimError;
+
+/// Any error the serving runtime can produce: configuration problems plus
+/// everything the underlying compile/simulate tool flow can raise.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The tile pool was configured with zero tiles.
+    EmptyPool,
+    /// The kernel cache was configured with zero capacity.
+    ZeroCacheCapacity,
+    /// `serve` was called with an empty request trace.
+    NoRequests,
+    /// A request's arrival time was negative or not finite.
+    InvalidArrival {
+        /// The offending request id.
+        request: u64,
+        /// The arrival time supplied.
+        arrival_us: f64,
+    },
+    /// Kernel parsing or lowering failed.
+    Frontend(FrontendError),
+    /// The kernel graph violated a DFG invariant.
+    Dfg(DfgError),
+    /// Scheduling or instruction generation failed.
+    Schedule(ScheduleError),
+    /// The overlay or tile configuration is invalid.
+    Arch(ArchError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::EmptyPool => f.write_str("tile pool has no tiles"),
+            RuntimeError::ZeroCacheCapacity => f.write_str("kernel cache capacity must be >= 1"),
+            RuntimeError::NoRequests => f.write_str("request trace is empty"),
+            RuntimeError::InvalidArrival {
+                request,
+                arrival_us,
+            } => write!(
+                f,
+                "request {request} has invalid arrival time {arrival_us} us"
+            ),
+            RuntimeError::Frontend(err) => write!(f, "front-end error: {err}"),
+            RuntimeError::Dfg(err) => write!(f, "kernel graph error: {err}"),
+            RuntimeError::Schedule(err) => write!(f, "scheduling error: {err}"),
+            RuntimeError::Arch(err) => write!(f, "architecture error: {err}"),
+            RuntimeError::Sim(err) => write!(f, "simulation error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Frontend(err) => Some(err),
+            RuntimeError::Dfg(err) => Some(err),
+            RuntimeError::Schedule(err) => Some(err),
+            RuntimeError::Arch(err) => Some(err),
+            RuntimeError::Sim(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for RuntimeError {
+    fn from(err: FrontendError) -> Self {
+        RuntimeError::Frontend(err)
+    }
+}
+
+impl From<DfgError> for RuntimeError {
+    fn from(err: DfgError) -> Self {
+        RuntimeError::Dfg(err)
+    }
+}
+
+impl From<ScheduleError> for RuntimeError {
+    fn from(err: ScheduleError) -> Self {
+        RuntimeError::Schedule(err)
+    }
+}
+
+impl From<ArchError> for RuntimeError {
+    fn from(err: ArchError) -> Self {
+        RuntimeError::Arch(err)
+    }
+}
+
+impl From<SimError> for RuntimeError {
+    fn from(err: SimError) -> Self {
+        RuntimeError::Sim(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_errors_convert_and_chain() {
+        use std::error::Error as _;
+        let err: RuntimeError = DfgError::NoOutputs.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("kernel graph"));
+        assert!(RuntimeError::EmptyPool.source().is_none());
+        assert!(RuntimeError::EmptyPool.to_string().contains("no tiles"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<RuntimeError>();
+    }
+}

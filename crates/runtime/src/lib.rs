@@ -1,0 +1,684 @@
+//! # overlay-runtime — a multi-tile serving runtime for the TM overlay
+//!
+//! The paper's Sec. III-A.3 proposes replicating depth-8 write-back overlays
+//! into NoC-connected *tiles*, and Sec. V shows their killer feature: a
+//! ~0.25 µs hardware context switch (instruction reload) against ~1 ms of
+//! PCAP partial reconfiguration for the feed-forward overlays. This crate
+//! turns those models into a serving system:
+//!
+//! * [`TilePool`] — N replicated tiles (from [`overlay_arch::Tile`] /
+//!   [`overlay_arch::NocConfig`]), each hosting one resident kernel;
+//! * [`KernelCache`] — an LRU over compiled kernels keyed by source hash +
+//!   variant + depth, so each distinct kernel compiles once per trace;
+//! * [`Dispatcher`] — context-switch-aware placement: the
+//!   [kernel-affinity policy](DispatchPolicy::KernelAffinity) charges the
+//!   [`overlay_arch::ReconfigModel`] swap cost (µs instruction reload for
+//!   V3–V5, ms PCAP for `[14]`/V1/V2) whenever a tile must change kernels;
+//! * parallel tile execution — each tile's requests run on their own host
+//!   thread wrapping [`overlay_sim::OverlaySimulator`];
+//! * [`RuntimeMetrics`] — requests/s, p50/p99 modeled latency, per-tile
+//!   utilization, cache hit rate and context-switch totals.
+//!
+//! # Example
+//!
+//! ```
+//! use overlay_runtime::{DispatchPolicy, KernelSpec, Request, Runtime};
+//! use overlay_arch::FuVariant;
+//! use overlay_sim::Workload;
+//!
+//! # fn main() -> Result<(), overlay_runtime::RuntimeError> {
+//! let mut runtime = Runtime::new(FuVariant::V4, 2)?
+//!     .with_policy(DispatchPolicy::KernelAffinity);
+//!
+//! let saxpy = KernelSpec::from_source("saxpy", "kernel saxpy(a, x, y) { out r = a * x + y; }");
+//! let poly = KernelSpec::from_source("poly", "kernel poly(x) { out y = (x * x + 3) * x; }");
+//! let requests: Vec<Request> = (0..8)
+//!     .map(|i| {
+//!         let (kernel, inputs) = if i % 2 == 0 { (saxpy.clone(), 3) } else { (poly.clone(), 1) };
+//!         Request::new(i, kernel, Workload::ramp(inputs, 16)).at(i as f64)
+//!     })
+//!     .collect();
+//!
+//! let report = runtime.serve(&requests)?;
+//! assert_eq!(report.outcomes().len(), 8);
+//! // Each kernel compiled once; every later request hit the cache.
+//! assert_eq!(report.metrics().cache.misses, 2);
+//! assert_eq!(report.metrics().cache.hits, 6);
+//! // Affinity pins each kernel to a tile: one cold-start switch per tile.
+//! assert_eq!(report.metrics().switch_count, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod dispatch;
+pub mod error;
+pub mod metrics;
+pub mod pool;
+pub mod request;
+
+pub use cache::{CacheStats, KernelCache, KernelKey};
+pub use dispatch::{DispatchPolicy, Dispatcher, Placement, PlanItem};
+pub use error::RuntimeError;
+pub use metrics::RuntimeMetrics;
+pub use pool::{ChargeOutcome, TilePool, TileState};
+pub use request::{KernelSpec, Request};
+
+use std::sync::Arc;
+use std::thread;
+
+use overlay_arch::{FuVariant, NocConfig, OverlayConfig, ReconfigModel, TileComposition};
+use overlay_dfg::Value;
+use overlay_frontend::LowerOptions;
+use overlay_scheduler::{generate_program, schedule, CompiledKernel};
+use overlay_sim::{OverlaySimulator, SimMetrics, SimRun};
+
+/// What happened to one request: where it ran, what it produced and the
+/// modeled timing it experienced.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The caller-chosen request id.
+    pub request_id: u64,
+    /// The kernel name.
+    pub kernel: String,
+    /// The tile that served the request.
+    pub tile: usize,
+    /// Functional outputs, one record per invocation.
+    pub outputs: Vec<Vec<Value>>,
+    /// The simulator's cycle-level metrics for this request.
+    pub sim: SimMetrics,
+    /// When queueing ended and the switch/execution began, microseconds.
+    pub start_us: f64,
+    /// When the last output left the NoC, microseconds.
+    pub completion_us: f64,
+    /// Completion minus arrival, microseconds.
+    pub latency_us: f64,
+    /// Whether serving this request required a hardware context switch.
+    pub switched: bool,
+    /// Whether a deadline was set and missed.
+    pub missed_deadline: bool,
+}
+
+/// The result of one [`Runtime::serve`] call: per-request outcomes (in
+/// request order), the placement that produced them and aggregate metrics.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    placement: Placement,
+    outcomes: Vec<RequestOutcome>,
+    metrics: RuntimeMetrics,
+}
+
+impl ServeReport {
+    /// Per-request outcomes, in request order.
+    pub fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
+    /// The tile assignment that produced the outcomes.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Aggregate serving metrics.
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+}
+
+/// Everything `serve` derives per request before execution starts.
+struct Prepared {
+    key: KernelKey,
+    compiled: Arc<CompiledKernel>,
+    fmax_mhz: f64,
+    switch_us: f64,
+}
+
+/// A multi-tile serving runtime over one overlay variant.
+///
+/// See the [crate-level documentation](crate) for the moving parts and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Runtime {
+    pool: TilePool,
+    dispatcher: Dispatcher,
+    cache: KernelCache,
+    reconfig: ReconfigModel,
+    lower: LowerOptions,
+}
+
+impl Runtime {
+    /// Default capacity of the kernel cache.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+    /// A runtime of `tiles` parallel-composition tiles of `variant` on a
+    /// single-row NoC, using kernel-affinity dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyPool`] when `tiles` is 0.
+    pub fn new(variant: FuVariant, tiles: usize) -> Result<Self, RuntimeError> {
+        let pool = TilePool::with_tiles(variant, TileComposition::Parallel, tiles)?;
+        Ok(Self::from_pool(pool))
+    }
+
+    /// A runtime over an explicit NoC layout (rows × cols of a chosen tile).
+    pub fn from_noc(noc: NocConfig) -> Self {
+        Self::from_pool(TilePool::new(noc))
+    }
+
+    fn from_pool(pool: TilePool) -> Self {
+        Runtime {
+            pool,
+            dispatcher: Dispatcher::default(),
+            cache: KernelCache::new(Self::DEFAULT_CACHE_CAPACITY)
+                .expect("default capacity is non-zero"),
+            reconfig: ReconfigModel::new(),
+            lower: LowerOptions::default(),
+        }
+    }
+
+    /// Sets the dispatch policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatcher = Dispatcher::new(policy);
+        self
+    }
+
+    /// Replaces the kernel cache with one of `capacity` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ZeroCacheCapacity`] when `capacity` is 0.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Result<Self, RuntimeError> {
+        self.cache = KernelCache::new(capacity)?;
+        Ok(self)
+    }
+
+    /// Overrides the reconfiguration timing model.
+    #[must_use]
+    pub fn with_reconfig(mut self, model: ReconfigModel) -> Self {
+        self.reconfig = model;
+        self
+    }
+
+    /// Overrides the front-end lowering options.
+    ///
+    /// Clears the kernel cache: cached artifacts were compiled under the old
+    /// options and their [`KernelKey`] does not encode lowering options.
+    #[must_use]
+    pub fn with_lower_options(mut self, options: LowerOptions) -> Self {
+        self.lower = options;
+        self.cache.clear();
+        self
+    }
+
+    /// The overlay variant all tiles are built from.
+    pub fn variant(&self) -> FuVariant {
+        self.pool.variant()
+    }
+
+    /// The active dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.dispatcher.policy()
+    }
+
+    /// The tile pool (holding the state left by the last serve).
+    pub fn pool(&self) -> &TilePool {
+        &self.pool
+    }
+
+    /// The kernel cache (counters accumulate across serves).
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// Serves a trace of requests: compiles each distinct kernel once
+    /// (through the cache), places every request on a tile under the active
+    /// dispatch policy, executes the tiles' queues on parallel host threads,
+    /// and aggregates outcomes on the modeled timeline.
+    ///
+    /// Requests are placed in trace order; arrivals should be non-decreasing
+    /// for the queueing model to be meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for an empty trace, invalid arrival times,
+    /// or any compile/simulation failure (reported for the earliest failing
+    /// request).
+    pub fn serve(&mut self, requests: &[Request]) -> Result<ServeReport, RuntimeError> {
+        if requests.is_empty() {
+            return Err(RuntimeError::NoRequests);
+        }
+        for request in requests {
+            if !request.arrival_us.is_finite() || request.arrival_us < 0.0 {
+                return Err(RuntimeError::InvalidArrival {
+                    request: request.id,
+                    arrival_us: request.arrival_us,
+                });
+            }
+        }
+
+        let cache_before = self.cache.stats();
+        let prepared = self.prepare(requests)?;
+
+        // Phase 1: placement. The dispatcher plans against estimated
+        // execution times; the pool is replayed with measured times below.
+        let items: Vec<PlanItem> = prepared
+            .iter()
+            .zip(requests)
+            .map(|(prep, request)| PlanItem {
+                key: prep.key,
+                arrival_us: request.arrival_us,
+                est_exec_us: Self::estimate_cycles(&prep.compiled, request.workload.len())
+                    / prep.fmax_mhz,
+                switch_us: prep.switch_us,
+            })
+            .collect();
+        self.pool.reset();
+        let placement = self.dispatcher.plan(&items, &mut self.pool);
+
+        // Phase 2: parallel execution, one host thread per tile queue.
+        let runs = self.execute_parallel(requests, &prepared, &placement)?;
+
+        // Phase 3: replay the modeled timeline with measured cycle counts.
+        self.pool.reset();
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (index, (request, run)) in requests.iter().zip(runs).enumerate() {
+            let prep = &prepared[index];
+            let tile = placement.assignments[index];
+            let run = run.expect("execute_parallel fills every slot on success");
+            let exec_cycles = run.metrics().total_cycles + self.pool.roundtrip_cycles(tile);
+            let exec_us = exec_cycles as f64 / prep.fmax_mhz;
+            let state = &mut self.pool.states_mut()[tile];
+            let charged = state.charge(prep.key, request.arrival_us, prep.switch_us, exec_us);
+            outcomes.push(RequestOutcome {
+                request_id: request.id,
+                kernel: request.kernel.name().to_owned(),
+                tile,
+                sim: *run.metrics(),
+                outputs: run.outputs().to_vec(),
+                start_us: charged.start_us,
+                completion_us: charged.completion_us,
+                latency_us: charged.completion_us - request.arrival_us,
+                switched: charged.switched,
+                missed_deadline: request
+                    .deadline_us
+                    .is_some_and(|deadline| charged.completion_us > deadline),
+            });
+        }
+
+        let cache_after = self.cache.stats();
+        let cache = CacheStats {
+            hits: cache_after.hits - cache_before.hits,
+            misses: cache_after.misses - cache_before.misses,
+            evictions: cache_after.evictions - cache_before.evictions,
+        };
+        let metrics = self.aggregate(&outcomes, cache);
+        Ok(ServeReport {
+            placement,
+            outcomes,
+            metrics,
+        })
+    }
+
+    /// Compiles (via the cache) and derives the timing figures every request
+    /// needs before placement.
+    fn prepare(&mut self, requests: &[Request]) -> Result<Vec<Prepared>, RuntimeError> {
+        let variant = self.pool.variant();
+        let writeback = variant.has_writeback();
+        let depth = if writeback {
+            self.pool.logical_depth()
+        } else {
+            0
+        };
+        let tile_overlay = self.pool.overlay_config()?;
+        let mut prepared = Vec::with_capacity(requests.len());
+        for request in requests {
+            let key = KernelKey {
+                fingerprint: request.kernel.fingerprint(),
+                variant,
+                depth,
+            };
+            let lower = &self.lower;
+            let spec = &request.kernel;
+            let compiled = self.cache.get_or_compile(key, || {
+                let dfg = spec.dfg(lower)?;
+                let fixed_depth = writeback.then_some(depth);
+                let stages = schedule(&dfg, variant, fixed_depth)?;
+                Ok(generate_program(&dfg, &stages, variant)?)
+            })?;
+            let config_bits = compiled.program.config_bits();
+            let (fmax_mhz, switch_us) = match tile_overlay {
+                // Write-back tile: fixed overlay, instruction reload only.
+                Some(config) => (
+                    config.fmax_mhz(),
+                    self.reconfig
+                        .program_only_switch(variant, config_bits)
+                        .total_us(),
+                ),
+                // Feed-forward tile: the overlay is rebuilt to the kernel's
+                // depth, so a swap pays PCAP partial reconfiguration.
+                None => {
+                    let config = OverlayConfig::new(variant, compiled.num_fus())?;
+                    (
+                        config.fmax_mhz(),
+                        self.reconfig.full_switch(&config, config_bits).total_us(),
+                    )
+                }
+            };
+            prepared.push(Prepared {
+                key,
+                compiled,
+                fmax_mhz,
+                switch_us,
+            });
+        }
+        Ok(prepared)
+    }
+
+    /// Planning estimate of a request's execution cycles: steady-state II per
+    /// invocation plus a pipeline-fill allowance.
+    fn estimate_cycles(compiled: &CompiledKernel, blocks: usize) -> f64 {
+        compiled.ii * blocks as f64 + (4 * compiled.num_fus()) as f64
+    }
+
+    /// Runs every tile's request queue on its own host thread. Results come
+    /// back in request order; the earliest failing request's error wins.
+    fn execute_parallel(
+        &self,
+        requests: &[Request],
+        prepared: &[Prepared],
+        placement: &Placement,
+    ) -> Result<Vec<Option<SimRun>>, RuntimeError> {
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.pool.num_tiles()];
+        for (index, &tile) in placement.assignments.iter().enumerate() {
+            queues[tile].push(index);
+        }
+        let variant = self.pool.variant();
+        let mut runs: Vec<Option<SimRun>> = Vec::new();
+        runs.resize_with(requests.len(), || None);
+        let mut failure: Option<(usize, RuntimeError)> = None;
+        thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .iter()
+                .filter(|queue| !queue.is_empty())
+                .map(|queue| {
+                    scope.spawn(move || {
+                        let simulator = OverlaySimulator::new(variant).with_trace_capacity(0);
+                        queue
+                            .iter()
+                            .map(|&index| {
+                                let run = simulator
+                                    .run(&prepared[index].compiled, &requests[index].workload);
+                                (index, run)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, run) in handle.join().expect("tile worker panicked") {
+                    match run {
+                        Ok(run) => runs[index] = Some(run),
+                        Err(err) => {
+                            if failure.as_ref().is_none_or(|(worst, _)| index < *worst) {
+                                failure = Some((index, err.into()));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        match failure {
+            Some((_, err)) => Err(err),
+            None => Ok(runs),
+        }
+    }
+
+    /// Folds per-request outcomes and pool state into [`RuntimeMetrics`].
+    fn aggregate(&self, outcomes: &[RequestOutcome], cache: CacheStats) -> RuntimeMetrics {
+        let requests = outcomes.len();
+        let invocations = outcomes.iter().map(|o| o.sim.blocks).sum();
+        let makespan_us = outcomes
+            .iter()
+            .map(|o| o.completion_us)
+            .fold(0.0_f64, f64::max);
+        let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_us).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mean_latency_us = latencies.iter().sum::<f64>() / requests.max(1) as f64;
+        let per_second = if makespan_us > 0.0 {
+            1.0e6 / makespan_us
+        } else {
+            0.0
+        };
+        let states = self.pool.states();
+        RuntimeMetrics {
+            requests,
+            invocations,
+            makespan_us,
+            requests_per_sec: requests as f64 * per_second,
+            invocations_per_sec: invocations as f64 * per_second,
+            mean_latency_us,
+            p50_latency_us: metrics::percentile(&latencies, 0.50),
+            p99_latency_us: metrics::percentile(&latencies, 0.99),
+            max_latency_us: latencies.last().copied().unwrap_or(0.0),
+            switch_count: states.iter().map(|s| s.switches).sum(),
+            total_switch_us: states.iter().map(|s| s.switch_us).sum(),
+            tile_utilization: states
+                .iter()
+                .map(|s| {
+                    if makespan_us > 0.0 {
+                        s.busy_us / makespan_us
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            tile_requests: states.iter().map(|s| s.served).collect(),
+            cache,
+            deadline_misses: outcomes.iter().filter(|o| o.missed_deadline).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay_dfg::evaluate_stream;
+    use overlay_frontend::Benchmark;
+    use overlay_sim::Workload;
+
+    fn benchmark_trace(count: usize, blocks: usize) -> Vec<Request> {
+        let suite = [
+            Benchmark::Gradient,
+            Benchmark::Chebyshev,
+            Benchmark::Qspline,
+            Benchmark::Poly5,
+        ];
+        (0..count)
+            .map(|i| {
+                let benchmark = suite[i % suite.len()];
+                let spec = KernelSpec::from_benchmark(benchmark).unwrap();
+                let inputs = benchmark.dfg().unwrap().num_inputs();
+                let workload = Workload::random(inputs, blocks, 0xFEED ^ i as u64);
+                Request::new(i as u64, spec, workload).at(i as f64 * 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serving_matches_the_reference_evaluator_per_request() {
+        let requests = benchmark_trace(12, 8);
+        let mut runtime = Runtime::new(FuVariant::V3, 4).unwrap();
+        let report = runtime.serve(&requests).unwrap();
+        assert_eq!(report.outcomes().len(), 12);
+        for (request, outcome) in requests.iter().zip(report.outcomes()) {
+            let dfg = request.kernel.dfg(&LowerOptions::default()).unwrap();
+            let expected = evaluate_stream(&dfg, request.workload.records()).unwrap();
+            assert_eq!(outcome.outputs, expected, "request {}", request.id);
+            assert_eq!(outcome.request_id, request.id);
+            assert!(outcome.latency_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_calls_and_policies_agree_functionally() {
+        let requests = benchmark_trace(10, 6);
+        let mut affinity = Runtime::new(FuVariant::V4, 4).unwrap();
+        let mut round_robin = Runtime::new(FuVariant::V4, 4)
+            .unwrap()
+            .with_policy(DispatchPolicy::RoundRobin);
+        let a1 = affinity.serve(&requests).unwrap();
+        let a2 = affinity.serve(&requests).unwrap();
+        let rr = round_robin.serve(&requests).unwrap();
+        assert_eq!(a1.placement().assignments, a2.placement().assignments);
+        assert_eq!(a1.metrics().makespan_us, a2.metrics().makespan_us);
+        for (lhs, rhs) in a1.outcomes().iter().zip(rr.outcomes()) {
+            assert_eq!(
+                lhs.outputs, rhs.outputs,
+                "placement must not change results"
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_spends_less_switch_time_than_round_robin_on_writeback_tiles() {
+        // 3 tiles against a 4-kernel cycle, so the round-robin stride never
+        // aligns with the kernel period and it swaps on nearly every request.
+        let requests = benchmark_trace(32, 4);
+        let mut affinity = Runtime::new(FuVariant::V3, 3).unwrap();
+        let mut round_robin = Runtime::new(FuVariant::V3, 3)
+            .unwrap()
+            .with_policy(DispatchPolicy::RoundRobin);
+        let a = affinity.serve(&requests).unwrap();
+        let rr = round_robin.serve(&requests).unwrap();
+        assert!(
+            a.metrics().total_switch_us < rr.metrics().total_switch_us,
+            "affinity {} us vs round-robin {} us",
+            a.metrics().total_switch_us,
+            rr.metrics().total_switch_us
+        );
+        assert!(a.metrics().switch_count < rr.metrics().switch_count);
+    }
+
+    #[test]
+    fn feed_forward_pools_charge_pcap_scale_switches() {
+        // On a V1 pool every kernel swap costs ~1 ms of PCAP time, so the
+        // 4-kernel round-robin trace pays milliseconds of switching.
+        let requests = benchmark_trace(8, 4);
+        let mut runtime = Runtime::new(FuVariant::V1, 2)
+            .unwrap()
+            .with_policy(DispatchPolicy::RoundRobin);
+        let report = runtime.serve(&requests).unwrap();
+        assert!(
+            report.metrics().total_switch_us > 1_000.0,
+            "PCAP switches are on the millisecond scale, got {} us",
+            report.metrics().total_switch_us
+        );
+        // The same trace on a V3 pool swaps in microseconds.
+        let mut writeback = Runtime::new(FuVariant::V3, 2)
+            .unwrap()
+            .with_policy(DispatchPolicy::RoundRobin);
+        let wb = writeback.serve(&requests).unwrap();
+        assert!(wb.metrics().total_switch_us < 100.0);
+        assert!(wb.metrics().total_switch_us > 0.0);
+    }
+
+    #[test]
+    fn cache_compiles_each_kernel_once_per_serve() {
+        let requests = benchmark_trace(16, 4);
+        let mut runtime = Runtime::new(FuVariant::V4, 4).unwrap();
+        let report = runtime.serve(&requests).unwrap();
+        assert_eq!(report.metrics().cache.misses, 4, "4 distinct kernels");
+        assert_eq!(report.metrics().cache.hits, 12);
+        // A second serve of the same trace is all hits.
+        let again = runtime.serve(&requests).unwrap();
+        assert_eq!(again.metrics().cache.misses, 0);
+        assert_eq!(again.metrics().cache.hits, 16);
+    }
+
+    #[test]
+    fn metrics_account_every_request_and_tile() {
+        let requests = benchmark_trace(20, 5);
+        let mut runtime = Runtime::new(FuVariant::V5, 4).unwrap();
+        let report = runtime.serve(&requests).unwrap();
+        let metrics = report.metrics();
+        assert_eq!(metrics.requests, 20);
+        assert_eq!(metrics.invocations, 100);
+        assert_eq!(metrics.tile_requests.iter().sum::<usize>(), 20);
+        assert!(metrics.makespan_us > 0.0);
+        assert!(metrics.requests_per_sec > 0.0);
+        assert!(metrics.p50_latency_us <= metrics.p99_latency_us);
+        assert!(metrics.p99_latency_us <= metrics.max_latency_us);
+        assert!(metrics
+            .tile_utilization
+            .iter()
+            .all(|u| (0.0..=1.0 + 1e-9).contains(u)));
+    }
+
+    #[test]
+    fn changing_lower_options_invalidates_the_cache() {
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let requests = vec![Request::new(0, spec, Workload::ramp(5, 4))];
+        let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap();
+        runtime.serve(&requests).unwrap();
+        assert_eq!(runtime.cache().len(), 1);
+        // The key does not encode lowering options, so swapping them must
+        // drop the stale artifacts rather than serve them as hits.
+        let mut runtime = runtime.with_lower_options(LowerOptions::default());
+        assert!(runtime.cache().is_empty());
+        let report = runtime.serve(&requests).unwrap();
+        assert_eq!(report.metrics().cache.misses, 1);
+    }
+
+    #[test]
+    fn deadlines_are_checked_against_completion() {
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let workload = Workload::random(5, 16, 3);
+        let requests = vec![
+            Request::new(0, spec.clone(), workload.clone()).with_deadline(1e9),
+            Request::new(1, spec, workload).with_deadline(1e-9),
+        ];
+        let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap();
+        let report = runtime.serve(&requests).unwrap();
+        assert!(!report.outcomes()[0].missed_deadline);
+        assert!(report.outcomes()[1].missed_deadline);
+        assert_eq!(report.metrics().deadline_misses, 1);
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        let mut runtime = Runtime::new(FuVariant::V4, 2).unwrap();
+        assert!(matches!(runtime.serve(&[]), Err(RuntimeError::NoRequests)));
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let bad = Request::new(9, spec, Workload::ramp(5, 2)).at(f64::NAN);
+        assert!(matches!(
+            runtime.serve(&[bad]),
+            Err(RuntimeError::InvalidArrival { request: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn simulation_failures_surface_the_earliest_failing_request() {
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let good = Request::new(0, spec.clone(), Workload::ramp(5, 4));
+        // Gradient takes 5 inputs; a 2-wide record is malformed.
+        let bad = Request::new(1, spec, Workload::ramp(2, 4));
+        let mut runtime = Runtime::new(FuVariant::V4, 2).unwrap();
+        assert!(matches!(
+            runtime.serve(&[good, bad]),
+            Err(RuntimeError::Sim(_))
+        ));
+    }
+
+    #[test]
+    fn random_workloads_are_deterministic_per_seed() {
+        // The dispatcher and trace builders rely on this reproducibility.
+        assert_eq!(Workload::random(4, 32, 11), Workload::random(4, 32, 11));
+        assert_ne!(Workload::random(4, 32, 11), Workload::random(4, 32, 12));
+    }
+}

@@ -1,0 +1,154 @@
+//! Aggregate serving metrics over one request trace.
+
+use std::fmt;
+
+use crate::cache::CacheStats;
+
+/// Aggregate metrics for one [`serve`](crate::Runtime::serve) call, built
+/// from the per-request outcomes and the per-tile serving state.
+///
+/// All times are on the modeled hardware timeline (simulator cycles converted
+/// at the overlay's operating frequency, plus modeled context-switch and NoC
+/// routing time) — not host wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeMetrics {
+    /// Number of requests served.
+    pub requests: usize,
+    /// Total kernel invocations streamed across all requests.
+    pub invocations: usize,
+    /// End-to-end modeled makespan: latest completion time, microseconds.
+    pub makespan_us: f64,
+    /// Served requests per modeled second.
+    pub requests_per_sec: f64,
+    /// Streamed invocations per modeled second.
+    pub invocations_per_sec: f64,
+    /// Mean request latency (completion − arrival), microseconds.
+    pub mean_latency_us: f64,
+    /// Median request latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Worst request latency, microseconds.
+    pub max_latency_us: f64,
+    /// Total hardware context switches across all tiles.
+    pub switch_count: usize,
+    /// Total modeled context-switch time across all tiles, microseconds.
+    pub total_switch_us: f64,
+    /// Per-tile busy fraction of the makespan (switching + executing).
+    pub tile_utilization: Vec<f64>,
+    /// Per-tile request counts.
+    pub tile_requests: Vec<usize>,
+    /// Kernel-cache counters for the serve call.
+    pub cache: CacheStats,
+    /// Requests whose completion exceeded their deadline.
+    pub deadline_misses: usize,
+}
+
+impl RuntimeMetrics {
+    /// Mean tile utilization across the pool.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.tile_utilization.is_empty() {
+            0.0
+        } else {
+            self.tile_utilization.iter().sum::<f64>() / self.tile_utilization.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for RuntimeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} request(s) ({} invocations) in {:.1} us: {:.0} req/s, {:.0} inv/s",
+            self.requests,
+            self.invocations,
+            self.makespan_us,
+            self.requests_per_sec,
+            self.invocations_per_sec,
+        )?;
+        writeln!(
+            f,
+            "latency us: mean {:.2}, p50 {:.2}, p99 {:.2}, max {:.2}; deadline misses: {}",
+            self.mean_latency_us,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.max_latency_us,
+            self.deadline_misses,
+        )?;
+        writeln!(
+            f,
+            "switches: {} totalling {:.2} us; cache: {}",
+            self.switch_count, self.total_switch_us, self.cache,
+        )?;
+        write!(f, "tile utilization:")?;
+        for (tile, utilization) in self.tile_utilization.iter().enumerate() {
+            write!(
+                f,
+                " t{tile} {:.0}% ({} req)",
+                utilization * 100.0,
+                self.tile_requests.get(tile).copied().unwrap_or(0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice (`p` in 0..=1).
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
+    match sorted {
+        [] => 0.0,
+        [only] => *only,
+        _ => {
+            let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+            let low = rank.floor() as usize;
+            let high = rank.ceil() as usize;
+            let weight = rank - low as f64;
+            sorted[low] * (1.0 - weight) + sorted[high] * weight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&values, 0.0), 1.0);
+        assert_eq!(percentile(&values, 1.0), 4.0);
+        assert_eq!(percentile(&values, 0.5), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn display_summarises_the_serve() {
+        let metrics = RuntimeMetrics {
+            requests: 10,
+            invocations: 320,
+            makespan_us: 100.0,
+            requests_per_sec: 100_000.0,
+            invocations_per_sec: 3_200_000.0,
+            mean_latency_us: 12.0,
+            p50_latency_us: 10.0,
+            p99_latency_us: 30.0,
+            max_latency_us: 31.0,
+            switch_count: 4,
+            total_switch_us: 1.0,
+            tile_utilization: vec![0.8, 0.6],
+            tile_requests: vec![6, 4],
+            cache: CacheStats {
+                hits: 8,
+                misses: 2,
+                evictions: 0,
+            },
+            deadline_misses: 1,
+        };
+        let text = metrics.to_string();
+        assert!(text.contains("10 request(s)"));
+        assert!(text.contains("p99 30.00"));
+        assert!(text.contains("t1 60%"));
+        assert!((metrics.mean_utilization() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,297 @@
+//! The tile pool: N replicated overlay tiles on the Sec. III-A.3 NoC, each
+//! hosting one resident kernel at a time.
+
+use std::fmt;
+
+use overlay_arch::{
+    ArchError, FuVariant, NocConfig, OverlayConfig, ResourceUsage, Tile, TileComposition,
+};
+
+use crate::cache::KernelKey;
+use crate::error::RuntimeError;
+
+/// What one [`TileState::charge`] call did to the tile's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeOutcome {
+    /// When queueing ended and the switch/execution began, microseconds.
+    pub start_us: f64,
+    /// When the request completes on the tile, microseconds.
+    pub completion_us: f64,
+    /// Whether a hardware context switch was charged.
+    pub switched: bool,
+}
+
+/// Dynamic serving state of one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileState {
+    /// Tile index (row-major across the NoC).
+    pub index: usize,
+    /// `(row, col)` position on the NoC torus.
+    pub coords: (usize, usize),
+    /// The kernel currently loaded, if any.
+    pub resident: Option<KernelKey>,
+    /// Modeled time at which the tile next becomes free, in microseconds.
+    pub available_us: f64,
+    /// Accumulated busy time (switching + executing), in microseconds.
+    pub busy_us: f64,
+    /// Number of hardware context switches performed.
+    pub switches: usize,
+    /// Accumulated context-switch time, in microseconds.
+    pub switch_us: f64,
+    /// Number of requests served.
+    pub served: usize,
+}
+
+impl TileState {
+    fn new(index: usize, coords: (usize, usize)) -> Self {
+        TileState {
+            index,
+            coords,
+            resident: None,
+            available_us: 0.0,
+            busy_us: 0.0,
+            switches: 0,
+            switch_us: 0.0,
+            served: 0,
+        }
+    }
+
+    /// Charges one request onto this tile's timeline: an optional context
+    /// switch of `switch_us` followed by `exec_us` of execution, starting no
+    /// earlier than `arrival_us`.
+    pub fn charge(
+        &mut self,
+        key: KernelKey,
+        arrival_us: f64,
+        switch_us: f64,
+        exec_us: f64,
+    ) -> ChargeOutcome {
+        let start = self.available_us.max(arrival_us);
+        let switched = self.resident != Some(key);
+        let switch = if switched {
+            self.switches += 1;
+            self.switch_us += switch_us;
+            switch_us
+        } else {
+            0.0
+        };
+        let completion = start + switch + exec_us;
+        self.resident = Some(key);
+        self.available_us = completion;
+        self.busy_us += switch + exec_us;
+        self.served += 1;
+        ChargeOutcome {
+            start_us: start,
+            completion_us: completion,
+            switched,
+        }
+    }
+
+    /// The context-switch cost the tile would pay to run `key` next: zero if
+    /// the kernel is already resident, `switch_us` otherwise.
+    pub fn switch_cost(&self, key: KernelKey, switch_us: f64) -> f64 {
+        if self.resident == Some(key) {
+            0.0
+        } else {
+            switch_us
+        }
+    }
+}
+
+/// A pool of identical tiles (built from [`NocConfig`]) with per-tile serving
+/// state.
+///
+/// For the write-back variants (V3–V5) a tile hosts a fixed-depth overlay
+/// whose kernel is swapped by instruction reload; for the feed-forward
+/// variants (`[14]`, V1, V2) a tile models one relocatable partial-
+/// reconfiguration region whose kernel swap requires PCAP reconfiguration.
+#[derive(Debug, Clone)]
+pub struct TilePool {
+    noc: NocConfig,
+    states: Vec<TileState>,
+}
+
+impl TilePool {
+    /// A pool laid out as `noc`.
+    pub fn new(noc: NocConfig) -> Self {
+        let states = (0..noc.num_tiles())
+            .map(|index| TileState::new(index, (index / noc.cols, index % noc.cols)))
+            .collect();
+        TilePool { noc, states }
+    }
+
+    /// A pool of `tiles` tiles of `variant` in one NoC row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyPool`] when `tiles` is 0.
+    pub fn with_tiles(
+        variant: FuVariant,
+        composition: TileComposition,
+        tiles: usize,
+    ) -> Result<Self, RuntimeError> {
+        let noc = NocConfig::new(1, tiles, Tile::new(variant, composition))
+            .map_err(|_| RuntimeError::EmptyPool)?;
+        Ok(Self::new(noc))
+    }
+
+    /// The NoC layout.
+    pub fn noc(&self) -> &NocConfig {
+        &self.noc
+    }
+
+    /// The replicated tile.
+    pub fn tile(&self) -> Tile {
+        self.noc.tile
+    }
+
+    /// The FU variant of every tile.
+    pub fn variant(&self) -> FuVariant {
+        self.noc.tile.variant
+    }
+
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The overlay depth a kernel sees on a tile (16 for series composition,
+    /// 8 for parallel).
+    pub fn logical_depth(&self) -> usize {
+        self.noc.tile.logical_depth()
+    }
+
+    /// The fixed overlay configuration hosted by each tile of a write-back
+    /// pool (`None` for the feed-forward variants, whose overlay geometry
+    /// follows each kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] if the tile's logical depth is out of range.
+    pub fn overlay_config(&self) -> Result<Option<OverlayConfig>, ArchError> {
+        if self.variant().has_writeback() {
+            Ok(Some(OverlayConfig::new(
+                self.variant(),
+                self.logical_depth(),
+            )?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Estimated FPGA resources of the whole array.
+    pub fn resource_estimate(&self) -> ResourceUsage {
+        self.noc.resource_estimate()
+    }
+
+    /// Round-trip NoC latency in cycles between the array's ingress corner
+    /// `(0, 0)` and tile `index`: request words route in, results route back.
+    pub fn roundtrip_cycles(&self, index: usize) -> usize {
+        let coords = self.states[index].coords;
+        self.noc.route_latency((0, 0), coords) + self.noc.route_latency(coords, (0, 0))
+    }
+
+    /// The per-tile serving states.
+    pub fn states(&self) -> &[TileState] {
+        &self.states
+    }
+
+    /// Mutable access for the dispatcher.
+    pub(crate) fn states_mut(&mut self) -> &mut [TileState] {
+        &mut self.states
+    }
+
+    /// Clears all dynamic state (resident kernels, timelines, counters).
+    pub fn reset(&mut self) {
+        for state in &mut self.states {
+            *state = TileState::new(state.index, state.coords);
+        }
+    }
+}
+
+impl fmt::Display for TilePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} tile(s))", self.noc, self.num_tiles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fingerprint: u64) -> KernelKey {
+        KernelKey {
+            fingerprint,
+            variant: FuVariant::V4,
+            depth: 8,
+        }
+    }
+
+    #[test]
+    fn pool_layout_follows_the_noc() {
+        let noc =
+            NocConfig::new(2, 3, Tile::new(FuVariant::V4, TileComposition::Parallel)).unwrap();
+        let pool = TilePool::new(noc);
+        assert_eq!(pool.num_tiles(), 6);
+        assert_eq!(pool.states()[4].coords, (1, 1));
+        assert_eq!(pool.logical_depth(), 8);
+        assert!(pool.to_string().contains("2x3"));
+        // Round trip to the ingress corner itself still pays two router exits.
+        assert_eq!(pool.roundtrip_cycles(0), 2);
+        assert!(pool.roundtrip_cycles(4) > pool.roundtrip_cycles(0));
+    }
+
+    #[test]
+    fn writeback_pools_host_a_fixed_overlay_feedforward_pools_do_not() {
+        let wb = TilePool::with_tiles(FuVariant::V3, TileComposition::Series, 2).unwrap();
+        let config = wb.overlay_config().unwrap().unwrap();
+        assert_eq!(config.depth(), 16);
+        let ff = TilePool::with_tiles(FuVariant::V1, TileComposition::Parallel, 2).unwrap();
+        assert!(ff.overlay_config().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_pools_are_rejected() {
+        assert!(matches!(
+            TilePool::with_tiles(FuVariant::V3, TileComposition::Parallel, 0),
+            Err(RuntimeError::EmptyPool)
+        ));
+    }
+
+    #[test]
+    fn charging_requests_advances_the_timeline_and_counts_switches() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
+        let tile = &mut pool.states_mut()[0];
+        // Cold start: switch charged.
+        let outcome = tile.charge(key(1), 0.0, 0.25, 10.0);
+        assert_eq!(outcome.start_us, 0.0);
+        assert!((outcome.completion_us - 10.25).abs() < 1e-12);
+        assert!(outcome.switched);
+        assert_eq!(tile.switches, 1);
+        // Same kernel again: no switch, queued behind the first request.
+        let outcome = tile.charge(key(1), 5.0, 0.25, 10.0);
+        assert!((outcome.start_us - 10.25).abs() < 1e-12);
+        assert!((outcome.completion_us - 20.25).abs() < 1e-12);
+        assert!(!outcome.switched);
+        assert_eq!(tile.switches, 1);
+        // Different kernel: switch charged; idle gap until arrival is not busy time.
+        let outcome = tile.charge(key(2), 100.0, 0.25, 10.0);
+        assert_eq!(outcome.start_us, 100.0);
+        assert!(outcome.switched);
+        assert_eq!(tile.switches, 2);
+        assert!((tile.busy_us - 30.5).abs() < 1e-9);
+        assert_eq!(tile.served, 3);
+        assert_eq!(tile.switch_cost(key(2), 0.25), 0.0);
+        assert_eq!(tile.switch_cost(key(3), 0.25), 0.25);
+    }
+
+    #[test]
+    fn reset_returns_the_pool_to_cold_state() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 2).unwrap();
+        pool.states_mut()[1].charge(key(9), 0.0, 1.0, 5.0);
+        pool.reset();
+        assert!(pool.states().iter().all(|s| {
+            s.resident.is_none() && s.available_us == 0.0 && s.served == 0 && s.switches == 0
+        }));
+    }
+}

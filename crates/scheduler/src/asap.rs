@@ -68,7 +68,7 @@ pub fn asap_schedule(dfg: &Dfg) -> Result<StageSchedule, ScheduleError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use overlay_dfg::{DfgBuilder, GeneratorConfig, DfgGenerator, Op};
+    use overlay_dfg::{DfgBuilder, DfgGenerator, GeneratorConfig, Op};
     use overlay_frontend::Benchmark;
 
     #[test]
@@ -76,11 +76,7 @@ mod tests {
         for benchmark in Benchmark::ALL {
             let dfg = benchmark.dfg().unwrap();
             let schedule = asap_schedule(&dfg).unwrap();
-            assert_eq!(
-                schedule.num_stages(),
-                dfg.analysis().depth(),
-                "{benchmark}"
-            );
+            assert_eq!(schedule.num_stages(), dfg.analysis().depth(), "{benchmark}");
             assert_eq!(schedule.total_ops(), dfg.num_ops(), "{benchmark}");
             assert_eq!(schedule.total_nops(), 0, "{benchmark}");
             assert!(schedule.is_consistent_with(&dfg), "{benchmark}");

@@ -335,8 +335,7 @@ mod tests {
             let dfg = benchmark.dfg().unwrap();
             assert!(dfg.analysis().depth() > 8, "{benchmark} must be deep");
             for iwp in [5, 4, 3] {
-                let schedule =
-                    cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp }).unwrap();
+                let schedule = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp }).unwrap();
                 assert_eq!(schedule.num_stages(), 8, "{benchmark}");
                 assert_eq!(schedule.total_ops(), dfg.num_ops(), "{benchmark}");
                 assert!(schedule.is_consistent_with(&dfg), "{benchmark} iwp={iwp}");

@@ -108,7 +108,12 @@ pub fn breakdown(schedule: &StageSchedule, variant: FuVariant) -> IiBreakdown {
                 FuVariant::Baseline => stage_ii_baseline(stage),
                 _ => stage_ii_overlapped(stage),
             };
-            (stage.num_loads(), stage.num_ops(), stage.num_nops(), stage_ii)
+            (
+                stage.num_loads(),
+                stage.num_ops(),
+                stage.num_nops(),
+                stage_ii,
+            )
         })
         .collect();
     IiBreakdown {
@@ -192,12 +197,8 @@ mod tests {
         for benchmark in [Benchmark::Poly6, Benchmark::Poly7, Benchmark::Poly8] {
             let dfg = benchmark.dfg().unwrap();
             let asap = asap_schedule(&dfg).unwrap();
-            let clustered =
-                cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp: 5 }).unwrap();
-            assert!(
-                ii_writeback(&clustered) >= ii_v1(&asap),
-                "{benchmark}"
-            );
+            let clustered = cluster_schedule(&dfg, &ClusterOptions { depth: 8, iwp: 5 }).unwrap();
+            assert!(ii_writeback(&clustered) >= ii_v1(&asap), "{benchmark}");
         }
     }
 

@@ -202,7 +202,8 @@ mod tests {
         // period II = 6 on FU0.
         for cycle in 12..36 {
             assert_eq!(
-                table.rows[cycle][0], table.rows[cycle + 6][0],
+                table.rows[cycle][0],
+                table.rows[cycle + 6][0],
                 "FU0 not periodic at cycle {cycle}"
             );
         }

@@ -365,7 +365,14 @@ mod tests {
         // write-back spacing and must be flagged.
         let mut p = FuProgram::new();
         p.push(Instruction::load(r(0)));
-        p.push(Instruction::exec_flags(Op::Square, r(1), r(0), r(0), true, true));
+        p.push(Instruction::exec_flags(
+            Op::Square,
+            r(1),
+            r(0),
+            r(0),
+            true,
+            true,
+        ));
         p.push(Instruction::exec(Op::Add, r(2), r(1), r(0)));
         let mut engine = FuEngine::new(0, FuVariant::V3, p);
         let mut trace = Trace::disabled();
@@ -377,7 +384,14 @@ mod tests {
     fn writeback_read_succeeds_after_the_iwp_delay() {
         let mut p = FuProgram::new();
         p.push(Instruction::load(r(0)));
-        p.push(Instruction::exec_flags(Op::Square, r(1), r(0), r(0), true, true));
+        p.push(Instruction::exec_flags(
+            Op::Square,
+            r(1),
+            r(0),
+            r(0),
+            true,
+            true,
+        ));
         for _ in 0..4 {
             p.push(Instruction::Nop);
         }

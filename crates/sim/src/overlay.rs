@@ -202,7 +202,11 @@ mod tests {
                     .with_trace_capacity(0)
                     .run(&compiled, &workload)
                     .unwrap();
-                assert_eq!(run.outputs(), reference.as_slice(), "{benchmark} on {variant}");
+                assert_eq!(
+                    run.outputs(),
+                    reference.as_slice(),
+                    "{benchmark} on {variant}"
+                );
             }
         }
     }
@@ -231,7 +235,12 @@ mod tests {
     #[test]
     fn measured_ii_tracks_the_model_across_the_benchmark_suite() {
         for benchmark in Benchmark::TABLE3 {
-            for variant in [FuVariant::Baseline, FuVariant::V1, FuVariant::V3, FuVariant::V4] {
+            for variant in [
+                FuVariant::Baseline,
+                FuVariant::V1,
+                FuVariant::V3,
+                FuVariant::V4,
+            ] {
                 let compiled = compile(benchmark, variant);
                 let dfg = benchmark.dfg().unwrap();
                 let workload = Workload::random(dfg.num_inputs(), 48, 3);
@@ -295,7 +304,11 @@ mod tests {
                 &compiled,
                 &Workload::from_records(vec![vec![Value::new(1); 3]])
             ),
-            Err(SimError::InputWidthMismatch { expected: 5, found: 3, .. })
+            Err(SimError::InputWidthMismatch {
+                expected: 5,
+                found: 3,
+                ..
+            })
         ));
     }
 
@@ -307,8 +320,14 @@ mod tests {
             .run(&compiled, &workload)
             .unwrap();
         let events = run.trace().events();
-        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Load { .. })));
-        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Exec { .. })));
-        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Output { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Load { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Exec { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Output { .. })));
     }
 }

@@ -81,7 +81,11 @@ impl fmt::Display for Event {
                 if *forwarded { " [fwd]" } else { "" }
             ),
             EventKind::Nop => {
-                write!(f, "cycle {:>4} FU{} blk{}: nop", self.cycle, self.fu, self.block)
+                write!(
+                    f,
+                    "cycle {:>4} FU{} blk{}: nop",
+                    self.cycle, self.fu, self.block
+                )
             }
             EventKind::Output { position, value } => write!(
                 f,

@@ -49,11 +49,7 @@ impl Workload {
     /// deterministic examples.
     pub fn ramp(inputs: usize, blocks: usize) -> Self {
         let records = (0..blocks)
-            .map(|b| {
-                (0..inputs)
-                    .map(|i| Value::new((b + i) as i32))
-                    .collect()
-            })
+            .map(|b| (0..inputs).map(|i| Value::new((b + i) as i32)).collect())
             .collect();
         Workload { records }
     }

@@ -1,0 +1,178 @@
+//! Minimal offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so this shim implements just
+//! enough of the `criterion` 0.5 API for the workspace's `benches/` targets
+//! to compile and run: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`],
+//! [`Throughput`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! Instead of criterion's statistical analysis it times a fixed number of
+//! iterations with [`std::time::Instant`] and prints the mean per-iteration
+//! wall time, which is enough for relative A/B comparisons in this repo.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group (recorded, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration, decimal multiple.
+    BytesDecimal(u64),
+}
+
+/// Timing driver handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up, then a measured batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const WARMUP: usize = 3;
+        const MEASURED: usize = 15;
+        for _ in 0..WARMUP {
+            black_box(routine());
+        }
+        for _ in 0..MEASURED {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let mean = bencher.mean();
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("{name:<60} {mean:>12.2?}/iter  ({rate:.0} elem/s)");
+        }
+        _ => println!("{name:<60} {mean:>12.2?}/iter"),
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark and prints its mean iteration time.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`], mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_compose_throughput_and_finish() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(8));
+        group.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

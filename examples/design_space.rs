@@ -5,9 +5,7 @@
 //! cargo run --example design_space
 //! ```
 
-use tm_overlay::arch::{
-    scalability_sweep, FpgaDevice, NocConfig, Tile, TileComposition,
-};
+use tm_overlay::arch::{scalability_sweep, FpgaDevice, NocConfig, Tile, TileComposition};
 use tm_overlay::{Benchmark, Compiler, FuVariant, Overlay, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,7 +13,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("overlay scalability on the Zynq XC7Z020 (Fig. 5):");
     println!(
         "{:>5} | {:>12} {:>6} {:>8} | {:>12} {:>6} {:>8} | {:>12} {:>6} {:>8}",
-        "size", "[14] slices", "DSPs", "fmax", "V1 slices", "DSPs", "fmax", "V2 slices", "DSPs", "fmax"
+        "size",
+        "[14] slices",
+        "DSPs",
+        "fmax",
+        "V1 slices",
+        "DSPs",
+        "fmax",
+        "V2 slices",
+        "DSPs",
+        "fmax"
     );
     let sizes: Vec<usize> = (1..=8).map(|i| i * 2).collect();
     let baseline = scalability_sweep(FuVariant::Baseline, &sizes)?;
@@ -41,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How does the chosen overlay depth trade II against latency for a deep
     // kernel? (The paper fixes the depth at 8.)
     println!("\nfixed-depth trade-off for `poly7` (depth-13 kernel) on V3:");
-    println!("{:>6} | {:>8} {:>12} {:>12}", "depth", "II", "GOPS", "latency ns");
+    println!(
+        "{:>6} | {:>8} {:>12} {:>12}",
+        "depth", "II", "GOPS", "latency ns"
+    );
     let dfg = Benchmark::Poly7.dfg()?;
     for depth in [2usize, 4, 6, 8, 10, 13] {
         let compiled = Compiler::new(FuVariant::V3)
@@ -65,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (rows, cols) in [(1, 2), (2, 2), (2, 4)] {
             let noc = NocConfig::new(rows, cols, tile)?;
             let usage = noc.resource_estimate();
-            let fits = if usage.fits_on(&zynq) { "fits" } else { "does NOT fit" };
+            let fits = if usage.fits_on(&zynq) {
+                "fits"
+            } else {
+                "does NOT fit"
+            };
             println!(
                 "  {:<26} {}x{} tiles: {} ({} on XC7Z020), worst-case hop latency {} cycles",
                 composition.to_string(),

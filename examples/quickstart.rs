@@ -55,9 +55,6 @@ kernel gradient(i0, i1, i2, i3, i4) {
         overlay.resource_estimate(),
         overlay.fmax_mhz()
     );
-    println!(
-        "  context switch: {}",
-        overlay.context_switch(&compiled)
-    );
+    println!("  context switch: {}", overlay.context_switch(&compiled));
     Ok(())
 }

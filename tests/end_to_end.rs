@@ -47,11 +47,15 @@ fn custom_kernels_simulate_correctly_on_every_variant() {
 fn benchmark_suite_simulates_correctly_with_optimized_lowering() {
     // Re-lower the DSL benchmarks with CSE enabled and make sure the whole
     // flow still produces correct results (fewer ops, same semantics).
-    for benchmark in [Benchmark::Gradient, Benchmark::Chebyshev, Benchmark::Sgfilter] {
+    for benchmark in [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Sgfilter,
+    ] {
         let source = benchmark.source().unwrap();
         let plain = tm_overlay::frontend::compile_kernel(source).unwrap();
-        let optimized = tm_overlay::frontend::compile_kernel_with(source, &LowerOptions::optimized())
-            .unwrap();
+        let optimized =
+            tm_overlay::frontend::compile_kernel_with(source, &LowerOptions::optimized()).unwrap();
         assert!(optimized.num_ops() <= plain.num_ops());
 
         let compiler = Compiler::new(FuVariant::V1).with_lower_options(LowerOptions::optimized());

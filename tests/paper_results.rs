@@ -8,6 +8,7 @@ use tm_overlay::scheduler::{asap_schedule, ii_baseline, ii_v1, ii_v2};
 use tm_overlay::{Benchmark, Compiler, FuVariant, Overlay};
 
 #[test]
+#[allow(clippy::type_complexity)] // one tuple row per Table I column
 fn table1_fu_characteristics_match_the_paper() {
     let expected: &[(FuVariant, usize, usize, usize, f64, Option<usize>)] = &[
         (FuVariant::Baseline, 1, 160, 293, 325.0, None),
@@ -136,8 +137,12 @@ fn context_switch_speedup_is_three_orders_of_magnitude() {
     // for the fixed-depth V3 overlay vs reconfiguring the V1 overlay.
     let mut worst_speedup = f64::INFINITY;
     for benchmark in Benchmark::TABLE3 {
-        let v1 = Compiler::new(FuVariant::V1).compile_benchmark(benchmark).unwrap();
-        let v3 = Compiler::new(FuVariant::V3).compile_benchmark(benchmark).unwrap();
+        let v1 = Compiler::new(FuVariant::V1)
+            .compile_benchmark(benchmark)
+            .unwrap();
+        let v3 = Compiler::new(FuVariant::V3)
+            .compile_benchmark(benchmark)
+            .unwrap();
         let overlay_v1 = Overlay::for_kernel(FuVariant::V1, &v1).unwrap();
         let overlay_v3 = Overlay::for_kernel(FuVariant::V3, &v3).unwrap();
         let speedup = overlay_v3
@@ -158,8 +163,13 @@ fn config_load_times_are_sub_microsecond() {
     // overlay requires just 0.25 µs for the largest benchmark".
     let model = ReconfigModel::new();
     for benchmark in Benchmark::TABLE3 {
-        let compiled = Compiler::new(FuVariant::V3).compile_benchmark(benchmark).unwrap();
+        let compiled = Compiler::new(FuVariant::V3)
+            .compile_benchmark(benchmark)
+            .unwrap();
         let us = model.config_load_us(compiled.program.config_bits());
-        assert!(us < 1.0, "{benchmark}: config load {us} µs should be sub-µs");
+        assert!(
+            us < 1.0,
+            "{benchmark}: config load {us} µs should be sub-µs"
+        );
     }
 }

@@ -24,9 +24,9 @@ fn try_compile(compiler: &Compiler, dfg: &tm_overlay::dfg::Dfg) -> Option<Compil
 fn kernel_params() -> impl Strategy<Value = (u64, usize, usize, usize)> {
     (
         any::<u64>(),
-        1usize..6,   // inputs
-        4usize..40,  // ops
-        2usize..10,  // target depth
+        1usize..6,  // inputs
+        4usize..40, // ops
+        2usize..10, // target depth
     )
         .prop_filter("depth cannot exceed ops", |(_, _, ops, depth)| depth <= ops)
 }
@@ -39,7 +39,9 @@ fn generate(seed: u64, inputs: usize, ops: usize, depth: usize) -> tm_overlay::d
         const_probability: 0.15,
         op_pool: vec![Op::Add, Op::Sub, Op::Mul, Op::Square, Op::Min, Op::Max],
     };
-    DfgGenerator::new(seed).generate(&config).expect("valid config")
+    DfgGenerator::new(seed)
+        .generate(&config)
+        .expect("valid config")
 }
 
 proptest! {
