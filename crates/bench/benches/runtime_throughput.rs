@@ -39,6 +39,78 @@ fn trace() -> Vec<Request> {
         .collect()
 }
 
+/// A single-kernel trace with per-request deadlines: one request every
+/// `spacing_us`. Every fifth request is latency-critical (`tight_us`
+/// budget); the rest are batch work with a `loose_us` budget — the mix that
+/// deadline-aware queue reordering exists for. The stride of 5 is coprime
+/// to the 4-tile pool, so the urgent requests spread across every tile's
+/// queue instead of segregating onto one.
+fn deadline_trace(spacing_us: f64, tight_us: f64, loose_us: f64) -> Vec<Request> {
+    let spec = KernelSpec::from_benchmark(Benchmark::Chebyshev).unwrap();
+    let inputs = Benchmark::Chebyshev.dfg().unwrap().num_inputs();
+    (0..REQUESTS)
+        .map(|i| {
+            let workload = Workload::random(inputs, 16, i as u64 ^ 0xDEAD);
+            let arrival = i as f64 * spacing_us;
+            let budget = if i % 5 == 0 { tight_us } else { loose_us };
+            Request::new(i as u64, spec.clone(), workload)
+                .at(arrival)
+                .with_deadline(arrival + budget)
+        })
+        .collect()
+}
+
+/// Deadline-miss rate vs offered load: the same deadline-carrying trace is
+/// served at a light and an overloaded arrival rate under FIFO affinity and
+/// the two deadline-aware policies. The modeled miss rates printed before
+/// the timings are the numbers the policy moves; the benched wall time is
+/// the host cost of the online event loop itself.
+fn bench_deadline_miss_vs_load(c: &mut Criterion) {
+    // Probe the modeled service time so load factors track the timing model.
+    let mut probe = Runtime::new(FuVariant::V3, TILES).unwrap();
+    let service_us = probe
+        .serve(&deadline_trace(1_000.0, 1e9, 1e9)[..1])
+        .unwrap()
+        .outcomes()[0]
+        .completion_us;
+
+    let mut group = c.benchmark_group("deadline_miss_vs_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    for (load_name, spacing_us) in [
+        ("light", service_us * 2.0 * TILES as f64),
+        ("overload", service_us / (2.0 * TILES as f64)),
+    ] {
+        let requests = deadline_trace(spacing_us, 4.0 * service_us, 40.0 * service_us);
+        for policy in [
+            DispatchPolicy::KernelAffinity,
+            DispatchPolicy::EarliestDeadlineFirst,
+            DispatchPolicy::SlackAware,
+        ] {
+            let mut runtime = Runtime::new(FuVariant::V3, TILES)
+                .unwrap()
+                .with_policy(policy);
+            let report = runtime.serve(&requests).unwrap();
+            println!(
+                "modeled {load_name}/{policy}: {}/{} deadline misses ({:.0}% miss rate), \
+                 peak queue {}, p99 latency {:.2} us",
+                report.metrics().deadline_misses,
+                report.metrics().deadline_requests,
+                report.metrics().deadline_miss_rate() * 100.0,
+                report.metrics().peak_queue_depth,
+                report.metrics().p99_latency_us,
+            );
+            group.bench_function(format!("{load_name}/{policy}/{REQUESTS}_requests"), |b| {
+                let mut runtime = Runtime::new(FuVariant::V3, TILES)
+                    .unwrap()
+                    .with_policy(policy);
+                b.iter(|| black_box(runtime.serve(&requests).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_runtime_throughput(c: &mut Criterion) {
     let requests = trace();
     let mut group = c.benchmark_group("runtime");
@@ -66,5 +138,9 @@ fn bench_runtime_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_runtime_throughput);
+criterion_group!(
+    benches,
+    bench_runtime_throughput,
+    bench_deadline_miss_vs_load
+);
 criterion_main!(benches);

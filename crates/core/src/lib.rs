@@ -12,8 +12,9 @@
 //! * [`arch`] — resource/frequency/reconfiguration models calibrated to the
 //!   paper's published numbers,
 //! * [`sim`] — the cycle-accurate overlay simulator,
-//! * [`runtime`] — the multi-tile serving runtime (kernel cache,
-//!   context-switch-aware dispatch, parallel tile execution),
+//! * [`runtime`] — the online multi-tile serving runtime (streaming
+//!   ingestion, virtual-time event loop, kernel cache, context-switch- and
+//!   deadline-aware dispatch, parallel simulation workers),
 //!
 //! behind three entry points: [`Compiler`] (kernel source →
 //! [`CompiledKernel`]), [`Overlay`] (a configured overlay instance that
@@ -47,33 +48,44 @@
 //! # }
 //! ```
 //!
-//! # Serving many kernels on a tile array
+//! # Serving a live request stream on a tile array
 //!
 //! The [`Runtime`] scales the single-overlay flow out to a pool of
-//! NoC-connected tiles (Sec. III-A.3): requests carrying different kernels
-//! are compiled once through an LRU kernel cache, placed by a
-//! context-switch-aware dispatcher and executed on parallel tile threads.
+//! NoC-connected tiles (Sec. III-A.3) and serves *online*: requests stream
+//! in through a bounded [`Submitter`] channel, every placement decision
+//! happens at an arrival or completion event against live per-tile queue
+//! state, distinct kernels compile once through an LRU cache, and
+//! deadline-aware policies (EDF, slack-aware) reorder tile queues under
+//! overload.
 //!
 //! ```
 //! use tm_overlay::{DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, Workload};
 //!
 //! # fn main() -> Result<(), tm_overlay::runtime::RuntimeError> {
 //! let mut runtime = Runtime::new(FuVariant::V4, 4)?
-//!     .with_policy(DispatchPolicy::KernelAffinity);
+//!     .with_policy(DispatchPolicy::EarliestDeadlineFirst);
 //! let kernel = KernelSpec::from_source(
 //!     "saxpy",
 //!     "kernel saxpy(a, x, y) { out r = a * x + y; }",
 //! );
-//! let requests: Vec<Request> = (0..8)
-//!     .map(|i| Request::new(i, kernel.clone(), Workload::ramp(3, 32)).at(i as f64))
-//!     .collect();
-//! let report = runtime.serve(&requests)?;
+//! let report = runtime.serve_stream(|submitter| {
+//!     for i in 0..8 {
+//!         let request = Request::new(i, kernel.clone(), Workload::ramp(3, 32))
+//!             .at(i as f64)
+//!             .with_deadline(i as f64 + 1_000.0);
+//!         submitter.submit(request).expect("loop is live");
+//!     }
+//! })?;
 //! assert_eq!(report.metrics().requests, 8);
 //! assert_eq!(report.metrics().cache.misses, 1); // compiled once
-//! assert!(report.metrics().requests_per_sec > 0.0);
+//! assert_eq!(report.metrics().deadline_misses, 0);
+//! assert_eq!(report.metrics().rejects, 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Pre-collected traces still work through the thin
+//! [`Runtime::serve`] shim, which streams them in submission order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -108,7 +120,8 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    DispatchPolicy, KernelSpec, Request, Runtime, RuntimeMetrics, ServeReport,
+    DispatchPolicy, KernelSpec, Request, Runtime, RuntimeMetrics, ServeReport, SubmitError,
+    Submitter,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

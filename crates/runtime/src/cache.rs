@@ -231,6 +231,44 @@ mod tests {
         assert_eq!(cache.len(), 2);
     }
 
+    /// The online runtime's sim workers hold compiled kernels as `Arc`s
+    /// while the event loop keeps compiling new arrivals through the cache:
+    /// an eviction must never invalidate a kernel a tile is still executing.
+    #[test]
+    fn eviction_under_concurrent_pin_keeps_the_artifact_alive() {
+        let mut cache = KernelCache::new(1).unwrap();
+        let pinned = cache.get_or_compile(key(1), compile_saxpy).unwrap();
+        let worker = std::thread::spawn({
+            let pinned = Arc::clone(&pinned);
+            move || {
+                // A tile "executing" the kernel while the cache churns.
+                for _ in 0..100 {
+                    assert!(pinned.ii > 0.0);
+                    assert!(pinned.num_fus() > 0);
+                }
+                Arc::strong_count(&pinned)
+            }
+        });
+        // Churn the 1-entry cache so key 1 is evicted and recompiled while
+        // the worker still holds the original artifact.
+        for fingerprint in 2..10 {
+            cache
+                .get_or_compile(key(fingerprint), compile_saxpy)
+                .unwrap();
+        }
+        assert!(!cache.contains(&key(1)));
+        assert_eq!(cache.stats().evictions, 8);
+        assert!(worker.join().unwrap() >= 1);
+        // The evicted pin still works and a fresh lookup recompiles rather
+        // than resurrecting the dropped entry.
+        assert!(pinned.ii > 0.0);
+        let recompiled = cache.get_or_compile(key(1), compile_saxpy).unwrap();
+        assert!(
+            !Arc::ptr_eq(&pinned, &recompiled),
+            "eviction dropped the cache's reference; the pin kept its own"
+        );
+    }
+
     #[test]
     fn zero_capacity_is_rejected() {
         assert!(matches!(

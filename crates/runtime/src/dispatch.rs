@@ -1,30 +1,68 @@
-//! Context-switch-aware placement of requests onto tiles.
+//! Online, context-switch-aware placement of requests onto tiles.
 //!
-//! The dispatcher mirrors the reservation-station → free-execution-unit
-//! structure of dynamic multi-unit schedulers: each request is placed on the
-//! tile that can *complete* it earliest, where the completion estimate
-//! charges the [`overlay_arch::ReconfigModel`] context-switch cost whenever
-//! the tile would have to swap its resident kernel. On the write-back
-//! variants that cost is a ~0.25 µs instruction reload; on the feed-forward
-//! variants it is a ~1 ms PCAP partial reconfiguration — which is exactly why
-//! kernel affinity matters so much more for V1/V2 pools.
+//! The dispatcher is consulted twice per request, both times against *live*
+//! per-tile queue state and never with knowledge of the future trace:
+//!
+//! 1. **at the arrival event** — [`Dispatcher::place`] picks the tile whose
+//!    queue the request joins, estimating each tile's completion as its
+//!    backlog plus any required context switch. The switch estimate charges
+//!    the [`overlay_arch::ReconfigModel`] cost: a ~0.25 µs instruction
+//!    reload on the write-back variants (V3–V5), a ~1 ms PCAP partial
+//!    reconfiguration on the feed-forward ones — which is exactly why kernel
+//!    affinity matters so much more for V1/V2 pools.
+//! 2. **at the tile-free event** — [`Dispatcher::select_next`] picks which
+//!    queued request the freed tile runs next. The FIFO policies take the
+//!    oldest; [`EarliestDeadlineFirst`](DispatchPolicy::EarliestDeadlineFirst)
+//!    takes the tightest absolute deadline; and
+//!    [`SlackAware`](DispatchPolicy::SlackAware) takes the least *slack* —
+//!    `deadline − now − modeled service − modeled switch cost` — so a
+//!    request whose kernel is already resident (zero switch) is correctly
+//!    seen as less urgent than one that must pay a reload first.
 
 use std::fmt;
 
 use crate::cache::KernelKey;
-use crate::pool::TilePool;
+use crate::pool::{TilePool, TileState};
 
-/// How the dispatcher picks a tile for each request.
+/// How the dispatcher places arrivals and orders tile queues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DispatchPolicy {
     /// Greedy earliest-completion placement that charges the modeled
-    /// context-switch cost for every kernel swap, so requests stick to tiles
-    /// already hosting their kernel whenever that wins.
+    /// context-switch cost for every kernel swap; tile queues drain FIFO.
     #[default]
     KernelAffinity,
-    /// Naive round-robin: request `i` goes to tile `i % N`, blind to resident
-    /// kernels and switch costs.
+    /// Naive round-robin placement, blind to resident kernels, switch costs
+    /// and deadlines; tile queues drain FIFO.
     RoundRobin,
+    /// Earliest-completion placement like
+    /// [`KernelAffinity`](DispatchPolicy::KernelAffinity), but each tile
+    /// drains its queue in order of absolute deadline (requests without a
+    /// deadline go last, FIFO among themselves).
+    EarliestDeadlineFirst,
+    /// Earliest-completion placement, with tile queues drained in order of
+    /// *slack*: deadline − now − modeled service − modeled switch cost
+    /// against the tile's resident kernel. Unlike EDF this sees that a
+    /// request needing a ~1 ms PCAP swap is closer to its deadline than its
+    /// timestamp alone suggests.
+    SlackAware,
+}
+
+impl DispatchPolicy {
+    /// Every policy, in documentation order.
+    pub const ALL: [DispatchPolicy; 4] = [
+        DispatchPolicy::KernelAffinity,
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::EarliestDeadlineFirst,
+        DispatchPolicy::SlackAware,
+    ];
+
+    /// Whether the policy reorders tile queues by deadline urgency.
+    pub fn is_deadline_aware(self) -> bool {
+        matches!(
+            self,
+            DispatchPolicy::EarliestDeadlineFirst | DispatchPolicy::SlackAware
+        )
+    }
 }
 
 impl fmt::Display for DispatchPolicy {
@@ -32,55 +70,55 @@ impl fmt::Display for DispatchPolicy {
         match self {
             DispatchPolicy::KernelAffinity => f.write_str("kernel-affinity"),
             DispatchPolicy::RoundRobin => f.write_str("round-robin"),
+            DispatchPolicy::EarliestDeadlineFirst => f.write_str("edf"),
+            DispatchPolicy::SlackAware => f.write_str("slack-aware"),
         }
     }
 }
 
-/// One request as the dispatcher sees it: its kernel identity plus the cost
-/// estimates placement decisions are made from.
+/// One admitted request as the dispatcher sees it at an event: its kernel
+/// identity plus the modeled cost estimates decisions are made from.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PlanItem {
+pub struct DispatchRequest {
     /// The compiled-kernel identity the request needs.
     pub key: KernelKey,
-    /// Arrival time on the modeled timeline, microseconds.
-    pub arrival_us: f64,
-    /// Estimated execution time, microseconds.
+    /// Estimated execution (service) time, microseconds.
     pub est_exec_us: f64,
     /// Context-switch cost if a tile must swap to this kernel, microseconds.
     pub switch_us: f64,
+    /// Absolute completion deadline, if the request carries one.
+    pub deadline_us: Option<f64>,
 }
 
-/// The dispatcher's output: one tile index per request, in request order.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Placement {
-    /// `assignments[i]` is the tile serving request `i`.
-    pub assignments: Vec<usize>,
-    /// The policy that produced the placement.
-    pub policy: DispatchPolicy,
-}
-
-impl Placement {
-    /// Number of placed requests.
-    pub fn len(&self) -> usize {
-        self.assignments.len()
-    }
-
-    /// Whether no requests were placed.
-    pub fn is_empty(&self) -> bool {
-        self.assignments.is_empty()
+impl DispatchRequest {
+    /// The request's slack on `tile` at virtual time `now_us`: time to its
+    /// deadline minus the modeled service and the switch cost the tile would
+    /// pay. `INFINITY` for requests without a deadline.
+    pub fn slack_us(&self, tile: &TileState, now_us: f64) -> f64 {
+        match self.deadline_us {
+            Some(deadline) => {
+                deadline - now_us - self.est_exec_us - tile.switch_cost(self.key, self.switch_us)
+            }
+            None => f64::INFINITY,
+        }
     }
 }
 
-/// Places a trace of requests onto a tile pool under a [`DispatchPolicy`].
+/// Makes per-event placement and queue-ordering decisions under a
+/// [`DispatchPolicy`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dispatcher {
     policy: DispatchPolicy,
+    next_tile: usize,
 }
 
 impl Dispatcher {
     /// A dispatcher using `policy`.
     pub fn new(policy: DispatchPolicy) -> Self {
-        Dispatcher { policy }
+        Dispatcher {
+            policy,
+            next_tile: 0,
+        }
     }
 
     /// The active policy.
@@ -88,50 +126,81 @@ impl Dispatcher {
         self.policy
     }
 
-    /// Assigns each item (in trace order) to a tile, advancing the pool's
-    /// modeled timelines as it goes. The pool is left holding the planned
-    /// end-state; callers wanting a fresh replay reset it afterwards.
-    pub fn plan(&self, items: &[PlanItem], pool: &mut TilePool) -> Placement {
-        let mut assignments = Vec::with_capacity(items.len());
-        for (index, item) in items.iter().enumerate() {
-            let tile = match self.policy {
-                DispatchPolicy::RoundRobin => index % pool.num_tiles(),
-                DispatchPolicy::KernelAffinity => Self::earliest_completion(item, pool),
-            };
-            pool.states_mut()[tile].charge(
-                item.key,
-                item.arrival_us,
-                item.switch_us,
-                item.est_exec_us,
-            );
-            assignments.push(tile);
-        }
-        Placement {
-            assignments,
-            policy: self.policy,
+    /// Clears per-serve state (the round-robin cursor).
+    pub fn reset(&mut self) {
+        self.next_tile = 0;
+    }
+
+    /// Placement decision at an arrival event: the tile whose queue the
+    /// request joins, given the pool's live queue state at virtual time
+    /// `now_us`.
+    pub fn place(&mut self, request: &DispatchRequest, now_us: f64, pool: &TilePool) -> usize {
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let tile = self.next_tile % pool.num_tiles();
+                self.next_tile = self.next_tile.wrapping_add(1);
+                tile
+            }
+            DispatchPolicy::KernelAffinity
+            | DispatchPolicy::EarliestDeadlineFirst
+            | DispatchPolicy::SlackAware => Self::earliest_completion(request, now_us, pool),
         }
     }
 
-    /// The tile with the earliest estimated completion for `item`, counting
-    /// queueing delay and any required context switch. Completion ties are
-    /// broken by preferring (in order) a tile that needs no switch, a cold
-    /// tile over evicting another warm kernel, and the lowest index — so
-    /// equal-latency choices never spend switch time or kernel residency
-    /// gratuitously, and plans stay deterministic.
-    fn earliest_completion(item: &PlanItem, pool: &TilePool) -> usize {
+    /// The tile with the earliest estimated completion for `request`,
+    /// counting its backlog (running + queued work) and any required context
+    /// switch against the kernel the tile will be hosting once that backlog
+    /// drains. Completion ties are broken by preferring (in order) a tile
+    /// that needs no switch, a cold tile over evicting another warm kernel,
+    /// and the lowest index — so equal-latency choices never spend switch
+    /// time or kernel residency gratuitously, and decisions stay
+    /// deterministic.
+    fn earliest_completion(request: &DispatchRequest, now_us: f64, pool: &TilePool) -> usize {
         let mut best = (f64::INFINITY, true, true, usize::MAX);
         for state in pool.states() {
-            let needs_switch = state.resident != Some(item.key);
-            let evicts_warm = needs_switch && state.resident.is_some();
-            let start = state.available_us.max(item.arrival_us);
-            let switch = if needs_switch { item.switch_us } else { 0.0 };
-            let completion = start + switch + item.est_exec_us;
+            let projected = state.projected_resident();
+            let needs_switch = projected != Some(request.key);
+            let evicts_warm = needs_switch && projected.is_some();
+            let start = state.available_us.max(now_us) + state.queued_est_us;
+            let switch = if needs_switch { request.switch_us } else { 0.0 };
+            let completion = start + switch + request.est_exec_us;
             let candidate = (completion, needs_switch, evicts_warm, state.index);
             if candidate < best {
                 best = candidate;
             }
         }
         best.3
+    }
+
+    /// Queue-ordering decision at a tile-free event: the position in `queue`
+    /// (held in submission order) of the request `tile` should run next.
+    ///
+    /// Returns 0 (FIFO) for the deadline-blind policies and for an empty
+    /// queue; EDF picks the tightest deadline, slack-aware the least
+    /// [`slack`](DispatchRequest::slack_us). All ties fall back to FIFO.
+    pub fn select_next(&self, tile: &TileState, queue: &[DispatchRequest], now_us: f64) -> usize {
+        match self.policy {
+            DispatchPolicy::KernelAffinity | DispatchPolicy::RoundRobin => 0,
+            DispatchPolicy::EarliestDeadlineFirst => Self::argmin_by(queue, |request| {
+                request.deadline_us.unwrap_or(f64::INFINITY)
+            }),
+            DispatchPolicy::SlackAware => {
+                Self::argmin_by(queue, |request| request.slack_us(tile, now_us))
+            }
+        }
+    }
+
+    /// Position of the minimum of `urgency` over `queue`, first-wins on ties
+    /// (FIFO). Returns 0 for an empty queue.
+    fn argmin_by(queue: &[DispatchRequest], urgency: impl Fn(&DispatchRequest) -> f64) -> usize {
+        let mut best = (f64::INFINITY, 0);
+        for (position, request) in queue.iter().enumerate() {
+            let value = urgency(request);
+            if value < best.0 {
+                best = (value, position);
+            }
+        }
+        best.1
     }
 }
 
@@ -148,12 +217,19 @@ mod tests {
         }
     }
 
-    fn item(fingerprint: u64) -> PlanItem {
-        PlanItem {
+    fn request(fingerprint: u64) -> DispatchRequest {
+        DispatchRequest {
             key: key(fingerprint),
-            arrival_us: 0.0,
             est_exec_us: 10.0,
             switch_us: 0.25,
+            deadline_us: None,
+        }
+    }
+
+    fn with_deadline(fingerprint: u64, deadline_us: f64) -> DispatchRequest {
+        DispatchRequest {
+            deadline_us: Some(deadline_us),
+            ..request(fingerprint)
         }
     }
 
@@ -161,21 +237,37 @@ mod tests {
         TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, tiles).unwrap()
     }
 
-    /// The satellite requirement: on a repeating 2-kernel trace, affinity
-    /// dispatch settles into one tile per kernel while round-robin keeps
-    /// cycling kernels across tiles and swaps on every single request. The
-    /// pool deliberately has 3 tiles so the round-robin stride (3) never
-    /// aligns with the kernel period (2).
+    /// Replays a trace through place + charge, as the event loop would with
+    /// every tile draining instantly (no queueing).
+    fn place_all(
+        dispatcher: &mut Dispatcher,
+        trace: &[(f64, DispatchRequest)],
+    ) -> (TilePool, Vec<usize>) {
+        let mut p = pool(3);
+        let mut tiles = Vec::new();
+        for (arrival, req) in trace {
+            let tile = dispatcher.place(req, *arrival, &p);
+            p.states_mut()[tile].charge(req.key, *arrival, req.switch_us, req.est_exec_us);
+            tiles.push(tile);
+        }
+        (p, tiles)
+    }
+
+    /// The seed requirement carried over from the batch dispatcher: on a
+    /// repeating 2-kernel trace, affinity placement settles into one tile per
+    /// kernel while round-robin keeps cycling kernels across tiles and swaps
+    /// on every single request (3 tiles, so the stride never aligns with the
+    /// kernel period).
     #[test]
     fn affinity_beats_round_robin_on_a_repeating_two_kernel_trace() {
-        let trace: Vec<PlanItem> = (0..16u64).map(|i| item(i % 2)).collect();
+        let trace: Vec<(f64, DispatchRequest)> =
+            (0..16u64).map(|i| (0.0, request(i % 2))).collect();
 
-        let mut affinity_pool = pool(3);
-        Dispatcher::new(DispatchPolicy::KernelAffinity).plan(&trace, &mut affinity_pool);
+        let (affinity_pool, _) =
+            place_all(&mut Dispatcher::new(DispatchPolicy::KernelAffinity), &trace);
         let affinity_switches: usize = affinity_pool.states().iter().map(|s| s.switches).sum();
 
-        let mut rr_pool = pool(3);
-        Dispatcher::new(DispatchPolicy::RoundRobin).plan(&trace, &mut rr_pool);
+        let (rr_pool, _) = place_all(&mut Dispatcher::new(DispatchPolicy::RoundRobin), &trace);
         let rr_switches: usize = rr_pool.states().iter().map(|s| s.switches).sum();
 
         assert_eq!(rr_switches, 16, "round-robin swaps on every request");
@@ -189,34 +281,17 @@ mod tests {
         );
     }
 
-    /// With arrivals spaced out (no queueing pressure), affinity dispatch
+    /// With arrivals spaced out (no queueing pressure), affinity placement
     /// settles into one tile per kernel and only ever pays the cold-start
     /// switches.
     #[test]
     fn affinity_pins_kernels_when_tiles_are_not_contended() {
-        let trace: Vec<PlanItem> = (0..16u64)
-            .map(|i| PlanItem {
-                arrival_us: i as f64 * 50.0,
-                ..item(i % 2)
-            })
+        let trace: Vec<(f64, DispatchRequest)> = (0..16u64)
+            .map(|i| (i as f64 * 50.0, request(i % 2)))
             .collect();
-        let mut p = pool(3);
-        Dispatcher::new(DispatchPolicy::KernelAffinity).plan(&trace, &mut p);
+        let (p, _) = place_all(&mut Dispatcher::new(DispatchPolicy::KernelAffinity), &trace);
         let switches: usize = p.states().iter().map(|s| s.switches).sum();
         assert_eq!(switches, 2, "one cold start per kernel, then pinned");
-    }
-
-    #[test]
-    fn affinity_still_spreads_a_single_hot_kernel_across_tiles() {
-        let trace: Vec<PlanItem> = (0..8).map(|_| item(1)).collect();
-        let mut p = pool(4);
-        let placement = Dispatcher::new(DispatchPolicy::KernelAffinity).plan(&trace, &mut p);
-        // With identical kernels the switch cost is a cold-start constant per
-        // tile; queueing dominates, so all four tiles end up used.
-        let used: std::collections::HashSet<_> = placement.assignments.iter().copied().collect();
-        assert_eq!(used.len(), 4, "queueing pressure spreads work");
-        assert_eq!(placement.len(), 8);
-        assert!(!placement.is_empty());
     }
 
     #[test]
@@ -224,36 +299,110 @@ mod tests {
         // Tile 0 hosts kernel 1 and is busy until t=5; tile 1 is idle but
         // cold. With a 1000 us switch cost, waiting for tile 0 wins.
         let mut p = pool(2);
-        let expensive = PlanItem {
+        let expensive = DispatchRequest {
             key: key(1),
-            arrival_us: 0.0,
             est_exec_us: 10.0,
             switch_us: 1000.0,
+            deadline_us: None,
         };
         p.states_mut()[0].resident = Some(key(1));
         p.states_mut()[0].available_us = 5.0;
-        let placement = Dispatcher::new(DispatchPolicy::KernelAffinity)
-            .plan(std::slice::from_ref(&expensive), &mut p);
-        assert_eq!(placement.assignments, vec![0]);
+        let tile = Dispatcher::new(DispatchPolicy::KernelAffinity).place(&expensive, 0.0, &p);
+        assert_eq!(tile, 0);
     }
 
     #[test]
-    fn round_robin_cycles_tiles_in_order() {
-        let trace: Vec<PlanItem> = (0..6).map(item).collect();
-        let mut p = pool(3);
-        let placement = Dispatcher::new(DispatchPolicy::RoundRobin).plan(&trace, &mut p);
-        assert_eq!(placement.assignments, vec![0, 1, 2, 0, 1, 2]);
-        assert_eq!(placement.policy, DispatchPolicy::RoundRobin);
+    fn placement_counts_queued_backlog_and_projected_residency() {
+        // Tile 0 hosts kernel 1 but has 3 queued requests (30 us of backlog)
+        // with kernel 2 last in line; tile 1 is idle and cold. The queue
+        // makes tile 1's cold start the earlier completion, and tile 0's
+        // projected resident (kernel 2) means kernel 1 would switch anyway.
+        let mut p = pool(2);
+        p.states_mut()[0].resident = Some(key(1));
+        for fp in [1, 1, 2] {
+            p.states_mut()[0].enqueue(key(fp), 10.0);
+        }
+        let tile = Dispatcher::new(DispatchPolicy::KernelAffinity).place(&request(1), 0.0, &p);
+        assert_eq!(tile, 1, "queued backlog outweighs residency");
+    }
+
+    #[test]
+    fn round_robin_cycles_tiles_in_order_and_resets() {
+        let mut dispatcher = Dispatcher::new(DispatchPolicy::RoundRobin);
+        let p = pool(3);
+        let tiles: Vec<usize> = (0..6)
+            .map(|i| dispatcher.place(&request(i), 0.0, &p))
+            .collect();
+        assert_eq!(tiles, vec![0, 1, 2, 0, 1, 2]);
+        dispatcher.reset();
+        assert_eq!(dispatcher.place(&request(9), 0.0, &p), 0);
+    }
+
+    #[test]
+    fn fifo_policies_always_take_the_oldest_queued_request() {
+        let p = pool(1);
+        let queue = [with_deadline(1, 5.0), with_deadline(2, 1.0)];
+        for policy in [DispatchPolicy::KernelAffinity, DispatchPolicy::RoundRobin] {
+            assert_eq!(
+                Dispatcher::new(policy).select_next(&p.states()[0], &queue, 0.0),
+                0,
+                "{policy} drains FIFO"
+            );
+            assert!(!policy.is_deadline_aware());
+        }
+    }
+
+    #[test]
+    fn edf_takes_the_tightest_deadline_and_parks_deadline_free_requests() {
+        let p = pool(1);
+        let dispatcher = Dispatcher::new(DispatchPolicy::EarliestDeadlineFirst);
+        let queue = [request(1), with_deadline(2, 90.0), with_deadline(3, 40.0)];
+        assert_eq!(dispatcher.select_next(&p.states()[0], &queue, 0.0), 2);
+        // Without any deadlines EDF degenerates to FIFO.
+        let queue = [request(1), request(2)];
+        assert_eq!(dispatcher.select_next(&p.states()[0], &queue, 0.0), 0);
+        assert!(DispatchPolicy::EarliestDeadlineFirst.is_deadline_aware());
+    }
+
+    #[test]
+    fn slack_aware_charges_the_switch_cost_against_the_deadline() {
+        // Two requests with the same deadline and service time; the tile
+        // hosts kernel 1, so kernel 2 must pay a switch and has less slack.
+        let mut p = pool(1);
+        p.states_mut()[0].resident = Some(key(1));
+        let dispatcher = Dispatcher::new(DispatchPolicy::SlackAware);
+        let resident = with_deadline(1, 100.0);
+        let cold = DispatchRequest {
+            switch_us: 20.0,
+            ..with_deadline(2, 100.0)
+        };
+        assert_eq!(
+            dispatcher.select_next(&p.states()[0], &[resident, cold], 0.0),
+            1,
+            "the swap eats 20 us of kernel 2's slack"
+        );
+        // EDF, blind to the switch cost, would have kept FIFO order.
+        assert_eq!(
+            Dispatcher::new(DispatchPolicy::EarliestDeadlineFirst).select_next(
+                &p.states()[0],
+                &[resident, cold],
+                0.0
+            ),
+            0
+        );
+        assert!((resident.slack_us(&p.states()[0], 0.0) - 90.0).abs() < 1e-12);
+        assert!((cold.slack_us(&p.states()[0], 0.0) - 70.0).abs() < 1e-12);
+        assert_eq!(request(1).slack_us(&p.states()[0], 0.0), f64::INFINITY);
     }
 
     #[test]
     fn policies_display_and_default() {
         assert_eq!(DispatchPolicy::default(), DispatchPolicy::KernelAffinity);
+        let names: Vec<String> = DispatchPolicy::ALL.iter().map(|p| p.to_string()).collect();
         assert_eq!(
-            DispatchPolicy::KernelAffinity.to_string(),
-            "kernel-affinity"
+            names,
+            vec!["kernel-affinity", "round-robin", "edf", "slack-aware"]
         );
-        assert_eq!(DispatchPolicy::RoundRobin.to_string(), "round-robin");
         assert_eq!(
             Dispatcher::default().policy(),
             DispatchPolicy::KernelAffinity

@@ -26,6 +26,16 @@ pub enum RuntimeError {
         /// The arrival time supplied.
         arrival_us: f64,
     },
+    /// A request was submitted with an arrival time earlier than one already
+    /// streamed in — the online loop requires non-decreasing arrivals.
+    OutOfOrderArrival {
+        /// The offending request id.
+        request: u64,
+        /// The arrival time supplied.
+        arrival_us: f64,
+        /// The latest arrival time already accepted.
+        horizon_us: f64,
+    },
     /// Kernel parsing or lowering failed.
     Frontend(FrontendError),
     /// The kernel graph violated a DFG invariant.
@@ -50,6 +60,15 @@ impl fmt::Display for RuntimeError {
             } => write!(
                 f,
                 "request {request} has invalid arrival time {arrival_us} us"
+            ),
+            RuntimeError::OutOfOrderArrival {
+                request,
+                arrival_us,
+                horizon_us,
+            } => write!(
+                f,
+                "request {request} arrived at {arrival_us} us, before the already-streamed \
+                 horizon {horizon_us} us (submissions must be in non-decreasing arrival order)"
             ),
             RuntimeError::Frontend(err) => write!(f, "front-end error: {err}"),
             RuntimeError::Dfg(err) => write!(f, "kernel graph error: {err}"),

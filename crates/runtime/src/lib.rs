@@ -1,23 +1,34 @@
-//! # overlay-runtime — a multi-tile serving runtime for the TM overlay
+//! # overlay-runtime — an online multi-tile serving runtime for the TM overlay
 //!
 //! The paper's Sec. III-A.3 proposes replicating depth-8 write-back overlays
 //! into NoC-connected *tiles*, and Sec. V shows their killer feature: a
 //! ~0.25 µs hardware context switch (instruction reload) against ~1 ms of
 //! PCAP partial reconfiguration for the feed-forward overlays. This crate
-//! turns those models into a serving system:
+//! turns those models into an **online, event-driven** serving system:
 //!
-//! * [`TilePool`] — N replicated tiles (from [`overlay_arch::Tile`] /
-//!   [`overlay_arch::NocConfig`]), each hosting one resident kernel;
-//! * [`KernelCache`] — an LRU over compiled kernels keyed by source hash +
-//!   variant + depth, so each distinct kernel compiles once per trace;
-//! * [`Dispatcher`] — context-switch-aware placement: the
-//!   [kernel-affinity policy](DispatchPolicy::KernelAffinity) charges the
+//! * [`Submitter`] — streaming request ingestion over a bounded channel:
+//!   [`Runtime::serve_stream`] accepts requests as they are produced, with
+//!   backpressure when the ingest buffer fills and an admission-control
+//!   reject path when tile queues overflow;
+//! * a virtual-time **event loop** ([`event`]) — every dispatch decision
+//!   happens at an arrival or tile-free event against live per-tile queue
+//!   state, never with knowledge of the future trace;
+//! * [`Dispatcher`] — context-switch-aware placement and deadline-aware
+//!   queue ordering: [`DispatchPolicy::KernelAffinity`] charges the
 //!   [`overlay_arch::ReconfigModel`] swap cost (µs instruction reload for
 //!   V3–V5, ms PCAP for `[14]`/V1/V2) whenever a tile must change kernels;
-//! * parallel tile execution — each tile's requests run on their own host
-//!   thread wrapping [`overlay_sim::OverlaySimulator`];
+//!   [`DispatchPolicy::EarliestDeadlineFirst`] and
+//!   [`DispatchPolicy::SlackAware`] drain tile queues by deadline urgency;
+//! * [`TilePool`] — N replicated tiles (from [`overlay_arch::Tile`] /
+//!   [`overlay_arch::NocConfig`]), each hosting one resident kernel plus a
+//!   live queue;
+//! * [`KernelCache`] — an LRU over compiled kernels keyed by source hash +
+//!   variant + depth, so each distinct kernel compiles once per trace;
+//! * parallel functional execution — cycle-accurate simulations run on a
+//!   pool of host worker threads wrapping [`overlay_sim::OverlaySimulator`];
 //! * [`RuntimeMetrics`] — requests/s, p50/p99 modeled latency, per-tile
-//!   utilization, cache hit rate and context-switch totals.
+//!   utilization, cache hit rate, context-switch totals, queue depths,
+//!   admission rejects and deadline miss rates.
 //!
 //! # Example
 //!
@@ -28,24 +39,30 @@
 //!
 //! # fn main() -> Result<(), overlay_runtime::RuntimeError> {
 //! let mut runtime = Runtime::new(FuVariant::V4, 2)?
-//!     .with_policy(DispatchPolicy::KernelAffinity);
+//!     .with_policy(DispatchPolicy::EarliestDeadlineFirst);
 //!
 //! let saxpy = KernelSpec::from_source("saxpy", "kernel saxpy(a, x, y) { out r = a * x + y; }");
 //! let poly = KernelSpec::from_source("poly", "kernel poly(x) { out y = (x * x + 3) * x; }");
-//! let requests: Vec<Request> = (0..8)
-//!     .map(|i| {
-//!         let (kernel, inputs) = if i % 2 == 0 { (saxpy.clone(), 3) } else { (poly.clone(), 1) };
-//!         Request::new(i, kernel, Workload::ramp(inputs, 16)).at(i as f64)
-//!     })
-//!     .collect();
 //!
-//! let report = runtime.serve(&requests)?;
+//! // Requests are *streamed* into the runtime: the dispatcher sees each one
+//! // only when it arrives on the virtual timeline.
+//! let report = runtime.serve_stream(|submitter| {
+//!     for i in 0..8u64 {
+//!         let (kernel, inputs) = if i % 2 == 0 { (saxpy.clone(), 3) } else { (poly.clone(), 1) };
+//!         let request = Request::new(i, kernel, Workload::ramp(inputs, 16))
+//!             .at(i as f64)
+//!             .with_deadline(i as f64 + 500.0);
+//!         submitter.submit(request).expect("serve loop is live");
+//!     }
+//! })?;
+//!
 //! assert_eq!(report.outcomes().len(), 8);
 //! // Each kernel compiled once; every later request hit the cache.
 //! assert_eq!(report.metrics().cache.misses, 2);
 //! assert_eq!(report.metrics().cache.hits, 6);
-//! // Affinity pins each kernel to a tile: one cold-start switch per tile.
-//! assert_eq!(report.metrics().switch_count, 2);
+//! // Nothing was turned away and the generous deadlines were all met.
+//! assert_eq!(report.metrics().rejects, 0);
+//! assert_eq!(report.metrics().deadline_misses, 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -57,28 +74,33 @@
 pub mod cache;
 pub mod dispatch;
 pub mod error;
+pub mod event;
 pub mod metrics;
 pub mod pool;
 pub mod request;
+pub mod submit;
 
 pub use cache::{CacheStats, KernelCache, KernelKey};
-pub use dispatch::{DispatchPolicy, Dispatcher, Placement, PlanItem};
+pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher};
 pub use error::RuntimeError;
 pub use metrics::RuntimeMetrics;
 pub use pool::{ChargeOutcome, TilePool, TileState};
 pub use request::{KernelSpec, Request};
+pub use submit::{SubmitError, Submitter};
 
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
+use event::{EventKind, EventQueue};
 use overlay_arch::{FuVariant, NocConfig, OverlayConfig, ReconfigModel, TileComposition};
 use overlay_dfg::Value;
 use overlay_frontend::LowerOptions;
 use overlay_scheduler::{generate_program, schedule, CompiledKernel};
-use overlay_sim::{OverlaySimulator, SimMetrics, SimRun};
+use overlay_sim::{OverlaySimulator, SimError, SimMetrics, SimRun};
 
-/// What happened to one request: where it ran, what it produced and the
-/// modeled timing it experienced.
+/// What happened to one served request: where it ran, what it produced and
+/// the modeled timing it experienced.
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
     /// The caller-chosen request id.
@@ -93,51 +115,151 @@ pub struct RequestOutcome {
     pub sim: SimMetrics,
     /// When queueing ended and the switch/execution began, microseconds.
     pub start_us: f64,
+    /// Time spent waiting in the tile queue (start − arrival), microseconds.
+    pub queued_us: f64,
     /// When the last output left the NoC, microseconds.
     pub completion_us: f64,
     /// Completion minus arrival, microseconds.
     pub latency_us: f64,
     /// Whether serving this request required a hardware context switch.
     pub switched: bool,
+    /// The request's absolute deadline, if it carried one.
+    pub deadline_us: Option<f64>,
     /// Whether a deadline was set and missed.
     pub missed_deadline: bool,
 }
 
-/// The result of one [`Runtime::serve`] call: per-request outcomes (in
-/// request order), the placement that produced them and aggregate metrics.
+/// A request turned away by admission control: it was never placed on a
+/// tile and produced no outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectedRequest {
+    /// The caller-chosen request id.
+    pub id: u64,
+    /// The kernel name.
+    pub kernel: String,
+    /// When the request arrived, microseconds.
+    pub arrival_us: f64,
+    /// The deadline the request carried, if any — shed deadline work is
+    /// reported in [`RuntimeMetrics::rejected_deadlines`], not as a miss.
+    pub deadline_us: Option<f64>,
+}
+
+/// The result of one serve: per-request outcomes (in submission order),
+/// admission rejects and aggregate metrics.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    placement: Placement,
+    policy: DispatchPolicy,
     outcomes: Vec<RequestOutcome>,
+    rejected: Vec<RejectedRequest>,
     metrics: RuntimeMetrics,
 }
 
 impl ServeReport {
-    /// Per-request outcomes, in request order.
+    /// Per-request outcomes of every *admitted* request, in submission order.
     pub fn outcomes(&self) -> &[RequestOutcome] {
         &self.outcomes
     }
 
-    /// The tile assignment that produced the outcomes.
-    pub fn placement(&self) -> &Placement {
-        &self.placement
+    /// Requests rejected by admission control, in submission order.
+    pub fn rejected(&self) -> &[RejectedRequest] {
+        &self.rejected
     }
 
     /// Aggregate serving metrics.
     pub fn metrics(&self) -> &RuntimeMetrics {
         &self.metrics
     }
+
+    /// The dispatch policy that produced this report.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
 }
 
-/// Everything `serve` derives per request before execution starts.
-struct Prepared {
+/// Per-serve context shared by every request's preparation.
+struct PrepContext {
+    variant: FuVariant,
+    writeback: bool,
+    depth: usize,
+    tile_overlay: Option<OverlayConfig>,
+}
+
+/// Everything the loop derives for a request when it is streamed in.
+struct InFlight {
+    request: Arc<Request>,
     key: KernelKey,
     compiled: Arc<CompiledKernel>,
     fmax_mhz: f64,
     switch_us: f64,
+    est_exec_us: f64,
 }
 
-/// A multi-tile serving runtime over one overlay variant.
+impl InFlight {
+    fn dispatch_view(&self) -> DispatchRequest {
+        DispatchRequest {
+            key: self.key,
+            est_exec_us: self.est_exec_us,
+            switch_us: self.switch_us,
+            deadline_us: self.request.deadline_us,
+        }
+    }
+}
+
+/// A functional-simulation job handed to the worker pool.
+struct SimJob {
+    index: usize,
+    compiled: Arc<CompiledKernel>,
+    request: Arc<Request>,
+}
+
+/// Sim results as the event loop consumes them: jobs are spawned eagerly at
+/// admission, workers return them in any order, and the loop blocks for a
+/// specific index only when a tile is about to execute that request.
+struct SimResults<'a> {
+    rx: &'a mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
+    ready: HashMap<usize, Result<SimRun, SimError>>,
+}
+
+impl SimResults<'_> {
+    fn take(&mut self, index: usize) -> Result<SimRun, RuntimeError> {
+        loop {
+            if let Some(result) = self.ready.remove(&index) {
+                return result.map_err(RuntimeError::from);
+            }
+            let (done, run) = self
+                .rx
+                .recv()
+                .expect("sim worker pool terminated while results were outstanding");
+            self.ready.insert(done, run);
+        }
+    }
+}
+
+/// Mutable event-loop state, separate from the `Runtime` so placement (on
+/// `self`) and bookkeeping borrows stay disjoint.
+struct OnlineState<'a> {
+    queues: Vec<VecDeque<usize>>,
+    /// Whether each tile is executing a request (between its start and its
+    /// tile-free event).
+    busy: Vec<bool>,
+    events: EventQueue,
+    outcome_slots: Vec<Option<RequestOutcome>>,
+    rejected: Vec<RejectedRequest>,
+    sim: SimResults<'a>,
+    peak_queue_depth: usize,
+    queue_area_us: f64,
+    last_event_us: f64,
+}
+
+/// What the event loop hands back for aggregation.
+struct LoopOutput {
+    outcomes: Vec<RequestOutcome>,
+    rejected: Vec<RejectedRequest>,
+    peak_queue_depth: usize,
+    queue_area_us: f64,
+}
+
+/// An online multi-tile serving runtime over one overlay variant.
 ///
 /// See the [crate-level documentation](crate) for the moving parts and an
 /// end-to-end example.
@@ -148,11 +270,19 @@ pub struct Runtime {
     cache: KernelCache,
     reconfig: ReconfigModel,
     lower: LowerOptions,
+    ingest_capacity: usize,
+    admission_limit: usize,
 }
 
 impl Runtime {
     /// Default capacity of the kernel cache.
     pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+    /// Default bound of the streaming ingest channel.
+    pub const DEFAULT_INGEST_CAPACITY: usize = 64;
+
+    /// Host worker threads running functional simulations are capped here.
+    const MAX_SIM_WORKERS: usize = 8;
 
     /// A runtime of `tiles` parallel-composition tiles of `variant` on a
     /// single-row NoC, using kernel-affinity dispatch.
@@ -178,6 +308,8 @@ impl Runtime {
                 .expect("default capacity is non-zero"),
             reconfig: ReconfigModel::new(),
             lower: LowerOptions::default(),
+            ingest_capacity: Self::DEFAULT_INGEST_CAPACITY,
+            admission_limit: usize::MAX,
         }
     }
 
@@ -196,6 +328,28 @@ impl Runtime {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Result<Self, RuntimeError> {
         self.cache = KernelCache::new(capacity)?;
         Ok(self)
+    }
+
+    /// Sets the bound of the streaming ingest channel (`0` makes every
+    /// [`Submitter::submit`] rendezvous with the event loop).
+    #[must_use]
+    pub fn with_ingest_capacity(mut self, capacity: usize) -> Self {
+        self.ingest_capacity = capacity;
+        self
+    }
+
+    /// Sets the admission-control limit on *waiting* requests: an arrival
+    /// that would have to queue while this many requests are already
+    /// waiting across all tiles is rejected. An arrival is always admitted
+    /// when the tile the dispatcher places it on can start it immediately —
+    /// note the placement decision comes first, so a policy that prefers
+    /// waiting for a warm tile over an idle-but-cold one (e.g. affinity on
+    /// a PCAP pool) can still see its request rejected while another tile
+    /// sits idle. Defaults to unlimited.
+    #[must_use]
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = limit;
+        self
     }
 
     /// Overrides the reconfiguration timing model.
@@ -226,6 +380,16 @@ impl Runtime {
         self.dispatcher.policy()
     }
 
+    /// The bound of the streaming ingest channel.
+    pub fn ingest_capacity(&self) -> usize {
+        self.ingest_capacity
+    }
+
+    /// The admission-control limit on waiting requests.
+    pub fn admission_limit(&self) -> usize {
+        self.admission_limit
+    }
+
     /// The tile pool (holding the state left by the last serve).
     pub fn pool(&self) -> &TilePool {
         &self.pool
@@ -236,80 +400,82 @@ impl Runtime {
         &self.cache
     }
 
-    /// Serves a trace of requests: compiles each distinct kernel once
-    /// (through the cache), places every request on a tile under the active
-    /// dispatch policy, executes the tiles' queues on parallel host threads,
-    /// and aggregates outcomes on the modeled timeline.
-    ///
-    /// Requests are placed in trace order; arrivals should be non-decreasing
-    /// for the queueing model to be meaningful.
+    /// Serves a pre-collected trace. A thin compatibility shim over
+    /// [`serve_stream`](Runtime::serve_stream): the requests are streamed in
+    /// submission order and dispatched online exactly as live traffic would
+    /// be.
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError`] for an empty trace, invalid arrival times,
-    /// or any compile/simulation failure (reported for the earliest failing
-    /// request).
+    /// Returns a [`RuntimeError`] for an empty trace, invalid or
+    /// out-of-order arrival times, or any compile/simulation failure.
     pub fn serve(&mut self, requests: &[Request]) -> Result<ServeReport, RuntimeError> {
-        if requests.is_empty() {
-            return Err(RuntimeError::NoRequests);
-        }
-        for request in requests {
-            if !request.arrival_us.is_finite() || request.arrival_us < 0.0 {
-                return Err(RuntimeError::InvalidArrival {
-                    request: request.id,
-                    arrival_us: request.arrival_us,
+        self.serve_stream(|submitter| {
+            for request in requests {
+                if submitter.submit(request.clone()).is_err() {
+                    // The loop failed; its error is what serve_stream returns.
+                    break;
+                }
+            }
+        })
+    }
+
+    /// Serves a live request stream: `feed` runs on its own thread and
+    /// submits requests through the [`Submitter`] (blocking when the bounded
+    /// ingest channel is full) while the event loop consumes them on the
+    /// virtual timeline. The serve ends when `feed` returns (dropping the
+    /// submitter) and every admitted request has completed.
+    ///
+    /// Requests must be submitted in non-decreasing arrival order — that is
+    /// what lets the loop prove no earlier event can still arrive and makes
+    /// the whole serve deterministic for a given submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] when nothing was submitted, for invalid or
+    /// out-of-order arrival times, or for any compile/simulation failure
+    /// (reported for the first failing request on the virtual timeline).
+    pub fn serve_stream<F>(&mut self, feed: F) -> Result<ServeReport, RuntimeError>
+    where
+        F: FnOnce(Submitter) + Send,
+    {
+        self.pool.reset();
+        self.dispatcher.reset();
+        let cache_before = self.cache.stats();
+
+        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<Request>(self.ingest_capacity);
+        let (job_tx, job_rx) = mpsc::channel::<SimJob>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Result<SimRun, SimError>)>();
+        let job_rx = Mutex::new(job_rx);
+        let workers = self.pool.num_tiles().clamp(1, Self::MAX_SIM_WORKERS);
+        let variant = self.pool.variant();
+
+        let output = thread::scope(|scope| {
+            scope.spawn(move || feed(Submitter::new(ingest_tx)));
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    let simulator = OverlaySimulator::new(variant).with_trace_capacity(0);
+                    loop {
+                        // Hold the lock only to pull the next job.
+                        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // loop dropped the sender: done
+                        };
+                        let run = simulator.run(&job.compiled, &job.request.workload);
+                        if result_tx.send((job.index, run)).is_err() {
+                            break; // loop is gone (it failed); stop working
+                        }
+                    }
                 });
             }
-        }
-
-        let cache_before = self.cache.stats();
-        let prepared = self.prepare(requests)?;
-
-        // Phase 1: placement. The dispatcher plans against estimated
-        // execution times; the pool is replayed with measured times below.
-        let items: Vec<PlanItem> = prepared
-            .iter()
-            .zip(requests)
-            .map(|(prep, request)| PlanItem {
-                key: prep.key,
-                arrival_us: request.arrival_us,
-                est_exec_us: Self::estimate_cycles(&prep.compiled, request.workload.len())
-                    / prep.fmax_mhz,
-                switch_us: prep.switch_us,
-            })
-            .collect();
-        self.pool.reset();
-        let placement = self.dispatcher.plan(&items, &mut self.pool);
-
-        // Phase 2: parallel execution, one host thread per tile queue.
-        let runs = self.execute_parallel(requests, &prepared, &placement)?;
-
-        // Phase 3: replay the modeled timeline with measured cycle counts.
-        self.pool.reset();
-        let mut outcomes = Vec::with_capacity(requests.len());
-        for (index, (request, run)) in requests.iter().zip(runs).enumerate() {
-            let prep = &prepared[index];
-            let tile = placement.assignments[index];
-            let run = run.expect("execute_parallel fills every slot on success");
-            let exec_cycles = run.metrics().total_cycles + self.pool.roundtrip_cycles(tile);
-            let exec_us = exec_cycles as f64 / prep.fmax_mhz;
-            let state = &mut self.pool.states_mut()[tile];
-            let charged = state.charge(prep.key, request.arrival_us, prep.switch_us, exec_us);
-            outcomes.push(RequestOutcome {
-                request_id: request.id,
-                kernel: request.kernel.name().to_owned(),
-                tile,
-                sim: *run.metrics(),
-                outputs: run.outputs().to_vec(),
-                start_us: charged.start_us,
-                completion_us: charged.completion_us,
-                latency_us: charged.completion_us - request.arrival_us,
-                switched: charged.switched,
-                missed_deadline: request
-                    .deadline_us
-                    .is_some_and(|deadline| charged.completion_us > deadline),
-            });
-        }
+            drop(result_tx); // workers hold the clones that matter
+                             // `ingest_rx` and `job_tx` move into the loop so that returning
+                             // (success or error) disconnects the feeder and the workers and
+                             // lets the scope join them.
+            self.event_loop(ingest_rx, job_tx, &result_rx)
+        })?;
 
         let cache_after = self.cache.stats();
         let cache = CacheStats {
@@ -317,67 +483,305 @@ impl Runtime {
             misses: cache_after.misses - cache_before.misses,
             evictions: cache_after.evictions - cache_before.evictions,
         };
-        let metrics = self.aggregate(&outcomes, cache);
+        let metrics = self.aggregate(&output, cache);
         Ok(ServeReport {
-            placement,
-            outcomes,
+            policy: self.dispatcher.policy(),
+            outcomes: output.outcomes,
+            rejected: output.rejected,
             metrics,
         })
     }
 
-    /// Compiles (via the cache) and derives the timing figures every request
-    /// needs before placement.
-    fn prepare(&mut self, requests: &[Request]) -> Result<Vec<Prepared>, RuntimeError> {
-        let variant = self.pool.variant();
-        let writeback = variant.has_writeback();
-        let depth = if writeback {
-            self.pool.logical_depth()
+    /// The discrete-event core: pulls submissions from `ingest`, fires
+    /// arrival/tile-free events in virtual-time order, and returns the
+    /// per-request outcomes.
+    ///
+    /// The horizon rule makes laziness sound: submissions arrive in
+    /// non-decreasing arrival order, so once a request with arrival `h` has
+    /// been received (or the channel has closed, `h = ∞`), every pending
+    /// event at time ≤ `h` can fire without being preempted by a
+    /// still-unseen arrival.
+    fn event_loop(
+        &mut self,
+        ingest: mpsc::Receiver<Request>,
+        jobs: mpsc::Sender<SimJob>,
+        results: &mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
+    ) -> Result<LoopOutput, RuntimeError> {
+        let ctx = self.prep_context()?;
+        let tiles = self.pool.num_tiles();
+        let mut intake: Vec<InFlight> = Vec::new();
+        let mut state = OnlineState {
+            queues: vec![VecDeque::new(); tiles],
+            busy: vec![false; tiles],
+            events: EventQueue::new(),
+            outcome_slots: Vec::new(),
+            rejected: Vec::new(),
+            sim: SimResults {
+                rx: results,
+                ready: HashMap::new(),
+            },
+            peak_queue_depth: 0,
+            queue_area_us: 0.0,
+            last_event_us: 0.0,
+        };
+        let mut horizon = 0.0_f64;
+        let mut ingest_open = true;
+
+        loop {
+            // Pull submissions until the earliest pending event is at or
+            // before the horizon (and therefore safe to fire).
+            while ingest_open
+                && state
+                    .events
+                    .peek_time_us()
+                    .is_none_or(|time| time > horizon)
+            {
+                match ingest.recv() {
+                    Ok(request) => {
+                        let arrival_us = request.arrival_us;
+                        if !arrival_us.is_finite() || arrival_us < 0.0 {
+                            return Err(RuntimeError::InvalidArrival {
+                                request: request.id,
+                                arrival_us,
+                            });
+                        }
+                        if arrival_us < horizon {
+                            return Err(RuntimeError::OutOfOrderArrival {
+                                request: request.id,
+                                arrival_us,
+                                horizon_us: horizon,
+                            });
+                        }
+                        horizon = arrival_us;
+                        let inflight = self.prepare(&ctx, Arc::new(request))?;
+                        let index = intake.len();
+                        state.events.push(arrival_us, EventKind::Arrival { index });
+                        state.outcome_slots.push(None);
+                        intake.push(inflight);
+                    }
+                    Err(_) => {
+                        // Every submitter is gone: the trace is complete.
+                        ingest_open = false;
+                        horizon = f64::INFINITY;
+                    }
+                }
+            }
+            let Some(event) = state.events.pop() else {
+                // The pull loop above only exits with the ingest open when
+                // an event at or before the horizon is pending, so an empty
+                // queue here means the trace is complete.
+                debug_assert!(!ingest_open, "event queue drained while ingest is open");
+                break;
+            };
+            let now_us = event.time_us;
+            state.queue_area_us +=
+                self.pool.total_waiting() as f64 * (now_us - state.last_event_us);
+            state.last_event_us = now_us;
+
+            match event.kind {
+                EventKind::Arrival { index } => {
+                    let info = &intake[index];
+                    let view = info.dispatch_view();
+                    let tile = self.dispatcher.place(&view, now_us, &self.pool);
+                    // Admission control bounds *waiters*: a request that can
+                    // start immediately on its (idle) tile is always
+                    // admitted, one that would join a queue already holding
+                    // `admission_limit` waiters pool-wide is rejected.
+                    let starts_now = !state.busy[tile];
+                    if !starts_now && self.pool.total_waiting() >= self.admission_limit {
+                        state.rejected.push(RejectedRequest {
+                            id: info.request.id,
+                            kernel: info.request.kernel.name().to_owned(),
+                            arrival_us: info.request.arrival_us,
+                            deadline_us: info.request.deadline_us,
+                        });
+                        continue;
+                    }
+                    // Functional execution is placement-independent, so the
+                    // simulation starts on the worker pool right away; the
+                    // loop blocks for its cycle count only when a tile is
+                    // about to run the request.
+                    jobs.send(SimJob {
+                        index,
+                        compiled: Arc::clone(&info.compiled),
+                        request: Arc::clone(&info.request),
+                    })
+                    .expect("sim workers outlive the event loop");
+                    if starts_now {
+                        self.start_request(tile, index, &intake, &mut state)?;
+                    } else {
+                        self.pool.states_mut()[tile].enqueue(info.key, info.est_exec_us);
+                        state.queues[tile].push_back(index);
+                        state.peak_queue_depth =
+                            state.peak_queue_depth.max(self.pool.total_waiting());
+                    }
+                }
+                EventKind::TileFree { tile } => {
+                    state.busy[tile] = false;
+                    if !state.queues[tile].is_empty() {
+                        self.start_next(tile, &intake, &mut state)?;
+                    }
+                }
+            }
+        }
+
+        if intake.is_empty() {
+            return Err(RuntimeError::NoRequests);
+        }
+        let outcomes: Vec<RequestOutcome> = state.outcome_slots.into_iter().flatten().collect();
+        debug_assert_eq!(
+            outcomes.len() + state.rejected.len(),
+            intake.len(),
+            "every submitted request is either served or rejected"
+        );
+        Ok(LoopOutput {
+            outcomes,
+            rejected: state.rejected,
+            peak_queue_depth: state.peak_queue_depth,
+            queue_area_us: state.queue_area_us,
+        })
+    }
+
+    /// Pulls the next queued request off a free `tile`'s queue and starts
+    /// it: the dispatcher picks which queued request runs (deadline order
+    /// for EDF/slack-aware, FIFO otherwise — the FIFO policies skip the
+    /// queue scan entirely).
+    fn start_next(
+        &mut self,
+        tile: usize,
+        intake: &[InFlight],
+        state: &mut OnlineState<'_>,
+    ) -> Result<(), RuntimeError> {
+        let now_us = state.events.now_us();
+        let position = if self.dispatcher.policy().is_deadline_aware() {
+            let views: Vec<DispatchRequest> = state.queues[tile]
+                .iter()
+                .map(|&index| intake[index].dispatch_view())
+                .collect();
+            self.dispatcher
+                .select_next(&self.pool.states()[tile], &views, now_us)
         } else {
             0
         };
-        let tile_overlay = self.pool.overlay_config()?;
-        let mut prepared = Vec::with_capacity(requests.len());
-        for request in requests {
-            let key = KernelKey {
-                fingerprint: request.kernel.fingerprint(),
-                variant,
-                depth,
-            };
-            let lower = &self.lower;
-            let spec = &request.kernel;
-            let compiled = self.cache.get_or_compile(key, || {
-                let dfg = spec.dfg(lower)?;
-                let fixed_depth = writeback.then_some(depth);
-                let stages = schedule(&dfg, variant, fixed_depth)?;
-                Ok(generate_program(&dfg, &stages, variant)?)
-            })?;
-            let config_bits = compiled.program.config_bits();
-            let (fmax_mhz, switch_us) = match tile_overlay {
-                // Write-back tile: fixed overlay, instruction reload only.
-                Some(config) => (
+        let index = state.queues[tile]
+            .remove(position)
+            .expect("select_next returns a position inside the queue");
+        // Deadline-aware removal may have taken the queue tail; tell the
+        // pool what the queue ends in now so residency projection stays
+        // honest for later placements.
+        let remaining_tail = state.queues[tile].back().map(|&i| intake[i].key);
+        self.pool.states_mut()[tile].dequeue(intake[index].est_exec_us, remaining_tail);
+        self.start_request(tile, index, intake, state)
+    }
+
+    /// Commits request `index` to `tile` at the current virtual time: blocks
+    /// for its measured cycle count, charges the tile's timeline with the
+    /// switch + execution, records the outcome and schedules the tile-free
+    /// event at the completion.
+    fn start_request(
+        &mut self,
+        tile: usize,
+        index: usize,
+        intake: &[InFlight],
+        state: &mut OnlineState<'_>,
+    ) -> Result<(), RuntimeError> {
+        let now_us = state.events.now_us();
+        let info = &intake[index];
+        let run = state.sim.take(index)?;
+        let exec_cycles = run.metrics().total_cycles + self.pool.roundtrip_cycles(tile);
+        let exec_us = exec_cycles as f64 / info.fmax_mhz;
+        let charged =
+            self.pool.states_mut()[tile].charge(info.key, now_us, info.switch_us, exec_us);
+        let request = &info.request;
+        state.outcome_slots[index] = Some(RequestOutcome {
+            request_id: request.id,
+            kernel: request.kernel.name().to_owned(),
+            tile,
+            sim: *run.metrics(),
+            outputs: run.outputs().to_vec(),
+            start_us: charged.start_us,
+            queued_us: charged.start_us - request.arrival_us,
+            completion_us: charged.completion_us,
+            latency_us: charged.completion_us - request.arrival_us,
+            switched: charged.switched,
+            deadline_us: request.deadline_us,
+            missed_deadline: request
+                .deadline_us
+                .is_some_and(|deadline| charged.completion_us > deadline),
+        });
+        state.busy[tile] = true;
+        state
+            .events
+            .push(charged.completion_us, EventKind::TileFree { tile });
+        Ok(())
+    }
+
+    /// The per-serve facts every request's preparation shares.
+    fn prep_context(&self) -> Result<PrepContext, RuntimeError> {
+        let variant = self.pool.variant();
+        let writeback = variant.has_writeback();
+        Ok(PrepContext {
+            variant,
+            writeback,
+            depth: if writeback {
+                self.pool.logical_depth()
+            } else {
+                0
+            },
+            tile_overlay: self.pool.overlay_config()?,
+        })
+    }
+
+    /// Compiles (via the cache) and derives the timing figures one request
+    /// needs before it can be dispatched.
+    fn prepare(
+        &mut self,
+        ctx: &PrepContext,
+        request: Arc<Request>,
+    ) -> Result<InFlight, RuntimeError> {
+        let key = KernelKey {
+            fingerprint: request.kernel.fingerprint(),
+            variant: ctx.variant,
+            depth: ctx.depth,
+        };
+        let lower = &self.lower;
+        let spec = &request.kernel;
+        let writeback = ctx.writeback;
+        let depth = ctx.depth;
+        let compiled = self.cache.get_or_compile(key, || {
+            let dfg = spec.dfg(lower)?;
+            let fixed_depth = writeback.then_some(depth);
+            let stages = schedule(&dfg, ctx.variant, fixed_depth)?;
+            Ok(generate_program(&dfg, &stages, ctx.variant)?)
+        })?;
+        let config_bits = compiled.program.config_bits();
+        let (fmax_mhz, switch_us) = match &ctx.tile_overlay {
+            // Write-back tile: fixed overlay, instruction reload only.
+            Some(config) => (
+                config.fmax_mhz(),
+                self.reconfig
+                    .program_only_switch(ctx.variant, config_bits)
+                    .total_us(),
+            ),
+            // Feed-forward tile: the overlay is rebuilt to the kernel's
+            // depth, so a swap pays PCAP partial reconfiguration.
+            None => {
+                let config = OverlayConfig::new(ctx.variant, compiled.num_fus())?;
+                (
                     config.fmax_mhz(),
-                    self.reconfig
-                        .program_only_switch(variant, config_bits)
-                        .total_us(),
-                ),
-                // Feed-forward tile: the overlay is rebuilt to the kernel's
-                // depth, so a swap pays PCAP partial reconfiguration.
-                None => {
-                    let config = OverlayConfig::new(variant, compiled.num_fus())?;
-                    (
-                        config.fmax_mhz(),
-                        self.reconfig.full_switch(&config, config_bits).total_us(),
-                    )
-                }
-            };
-            prepared.push(Prepared {
-                key,
-                compiled,
-                fmax_mhz,
-                switch_us,
-            });
-        }
-        Ok(prepared)
+                    self.reconfig.full_switch(&config, config_bits).total_us(),
+                )
+            }
+        };
+        let est_exec_us = Self::estimate_cycles(&compiled, request.workload.len()) / fmax_mhz;
+        Ok(InFlight {
+            request,
+            key,
+            compiled,
+            fmax_mhz,
+            switch_us,
+            est_exec_us,
+        })
     }
 
     /// Planning estimate of a request's execution cycles: steady-state II per
@@ -386,61 +790,9 @@ impl Runtime {
         compiled.ii * blocks as f64 + (4 * compiled.num_fus()) as f64
     }
 
-    /// Runs every tile's request queue on its own host thread. Results come
-    /// back in request order; the earliest failing request's error wins.
-    fn execute_parallel(
-        &self,
-        requests: &[Request],
-        prepared: &[Prepared],
-        placement: &Placement,
-    ) -> Result<Vec<Option<SimRun>>, RuntimeError> {
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.pool.num_tiles()];
-        for (index, &tile) in placement.assignments.iter().enumerate() {
-            queues[tile].push(index);
-        }
-        let variant = self.pool.variant();
-        let mut runs: Vec<Option<SimRun>> = Vec::new();
-        runs.resize_with(requests.len(), || None);
-        let mut failure: Option<(usize, RuntimeError)> = None;
-        thread::scope(|scope| {
-            let handles: Vec<_> = queues
-                .iter()
-                .filter(|queue| !queue.is_empty())
-                .map(|queue| {
-                    scope.spawn(move || {
-                        let simulator = OverlaySimulator::new(variant).with_trace_capacity(0);
-                        queue
-                            .iter()
-                            .map(|&index| {
-                                let run = simulator
-                                    .run(&prepared[index].compiled, &requests[index].workload);
-                                (index, run)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (index, run) in handle.join().expect("tile worker panicked") {
-                    match run {
-                        Ok(run) => runs[index] = Some(run),
-                        Err(err) => {
-                            if failure.as_ref().is_none_or(|(worst, _)| index < *worst) {
-                                failure = Some((index, err.into()));
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        match failure {
-            Some((_, err)) => Err(err),
-            None => Ok(runs),
-        }
-    }
-
     /// Folds per-request outcomes and pool state into [`RuntimeMetrics`].
-    fn aggregate(&self, outcomes: &[RequestOutcome], cache: CacheStats) -> RuntimeMetrics {
+    fn aggregate(&self, output: &LoopOutput, cache: CacheStats) -> RuntimeMetrics {
+        let outcomes = &output.outcomes;
         let requests = outcomes.len();
         let invocations = outcomes.iter().map(|o| o.sim.blocks).sum();
         let makespan_us = outcomes
@@ -481,6 +833,20 @@ impl Runtime {
             tile_requests: states.iter().map(|s| s.served).collect(),
             cache,
             deadline_misses: outcomes.iter().filter(|o| o.missed_deadline).count(),
+            deadline_requests: outcomes.iter().filter(|o| o.deadline_us.is_some()).count(),
+            rejects: output.rejected.len(),
+            rejected_deadlines: output
+                .rejected
+                .iter()
+                .filter(|r| r.deadline_us.is_some())
+                .count(),
+            peak_queue_depth: output.peak_queue_depth,
+            mean_queue_depth: if makespan_us > 0.0 {
+                output.queue_area_us / makespan_us
+            } else {
+                0.0
+            },
+            tile_peak_queue: states.iter().map(|s| s.peak_queue_depth).collect(),
         }
     }
 }
@@ -522,6 +888,8 @@ mod tests {
             assert_eq!(outcome.outputs, expected, "request {}", request.id);
             assert_eq!(outcome.request_id, request.id);
             assert!(outcome.latency_us > 0.0);
+            assert!(outcome.queued_us >= 0.0);
+            assert!(outcome.start_us >= request.arrival_us);
         }
     }
 
@@ -535,7 +903,10 @@ mod tests {
         let a1 = affinity.serve(&requests).unwrap();
         let a2 = affinity.serve(&requests).unwrap();
         let rr = round_robin.serve(&requests).unwrap();
-        assert_eq!(a1.placement().assignments, a2.placement().assignments);
+        let tiles = |report: &ServeReport| -> Vec<usize> {
+            report.outcomes().iter().map(|o| o.tile).collect()
+        };
+        assert_eq!(tiles(&a1), tiles(&a2));
         assert_eq!(a1.metrics().makespan_us, a2.metrics().makespan_us);
         for (lhs, rhs) in a1.outcomes().iter().zip(rr.outcomes()) {
             assert_eq!(
@@ -543,6 +914,28 @@ mod tests {
                 "placement must not change results"
             );
         }
+    }
+
+    #[test]
+    fn serve_stream_from_a_live_producer_matches_the_batch_shim() {
+        let requests = benchmark_trace(10, 4);
+        let mut runtime = Runtime::new(FuVariant::V4, 3).unwrap();
+        let batch = runtime.serve(&requests).unwrap();
+        let streamed = runtime
+            .serve_stream(|submitter| {
+                for request in &requests {
+                    submitter.submit(request.clone()).unwrap();
+                }
+            })
+            .unwrap();
+        assert_eq!(batch.outcomes().len(), streamed.outcomes().len());
+        for (lhs, rhs) in batch.outcomes().iter().zip(streamed.outcomes()) {
+            assert_eq!(lhs.request_id, rhs.request_id);
+            assert_eq!(lhs.tile, rhs.tile);
+            assert_eq!(lhs.completion_us, rhs.completion_us);
+            assert_eq!(lhs.outputs, rhs.outputs);
+        }
+        assert_eq!(batch.metrics().makespan_us, streamed.metrics().makespan_us);
     }
 
     #[test]
@@ -610,14 +1003,129 @@ mod tests {
         assert_eq!(metrics.requests, 20);
         assert_eq!(metrics.invocations, 100);
         assert_eq!(metrics.tile_requests.iter().sum::<usize>(), 20);
+        assert_eq!(metrics.rejects, 0);
+        assert_eq!(metrics.deadline_requests, 0);
+        assert_eq!(metrics.deadline_miss_rate(), 0.0);
         assert!(metrics.makespan_us > 0.0);
         assert!(metrics.requests_per_sec > 0.0);
         assert!(metrics.p50_latency_us <= metrics.p99_latency_us);
         assert!(metrics.p99_latency_us <= metrics.max_latency_us);
+        assert!(metrics.mean_queue_depth >= 0.0);
+        assert!(metrics.peak_queue_depth as f64 >= metrics.mean_queue_depth);
+        assert_eq!(metrics.tile_peak_queue.len(), 4);
         assert!(metrics
             .tile_utilization
             .iter()
             .all(|u| (0.0..=1.0 + 1e-9).contains(u)));
+    }
+
+    #[test]
+    fn admission_limit_rejects_overflow_and_reports_it() {
+        // 12 simultaneous arrivals on one tile with room for 2 waiting
+        // requests: 1 runs, 2 wait, the rest are rejected.
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let requests: Vec<Request> = (0..12)
+            .map(|i| Request::new(i, spec.clone(), Workload::random(5, 4, i)).at(0.0))
+            .collect();
+        let mut runtime = Runtime::new(FuVariant::V4, 1)
+            .unwrap()
+            .with_admission_limit(2);
+        let report = runtime.serve(&requests).unwrap();
+        assert_eq!(report.outcomes().len(), 3);
+        assert_eq!(report.rejected().len(), 9);
+        assert_eq!(report.metrics().rejects, 9);
+        assert!((report.metrics().reject_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(report.metrics().peak_queue_depth, 2);
+        // Served and rejected ids partition the submitted ids.
+        let mut ids: Vec<u64> = report
+            .outcomes()
+            .iter()
+            .map(|o| o.request_id)
+            .chain(report.rejected().iter().map(|r| r.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zero_admission_limit_serves_idle_tiles_but_rejects_all_waiters() {
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let mut runtime = Runtime::new(FuVariant::V4, 1)
+            .unwrap()
+            .with_admission_limit(0);
+        // Spaced arrivals on an idle tile never wait: all admitted, and the
+        // queue-depth metrics report a genuinely empty queue.
+        let spaced: Vec<Request> = (0..4)
+            .map(|i| {
+                Request::new(i, spec.clone(), Workload::random(5, 4, i)).at(i as f64 * 1_000_000.0)
+            })
+            .collect();
+        let report = runtime.serve(&spaced).unwrap();
+        assert_eq!(report.outcomes().len(), 4);
+        assert_eq!(report.metrics().rejects, 0);
+        assert_eq!(report.metrics().peak_queue_depth, 0);
+        assert_eq!(report.metrics().mean_queue_depth, 0.0);
+        // A simultaneous burst: only the request that can start runs; the
+        // shed deadline work is reported separately from misses.
+        let burst: Vec<Request> = (0..5)
+            .map(|i| {
+                Request::new(i, spec.clone(), Workload::random(5, 4, i))
+                    .at(0.0)
+                    .with_deadline(1e9)
+            })
+            .collect();
+        let report = runtime.serve(&burst).unwrap();
+        assert_eq!(report.outcomes().len(), 1);
+        assert_eq!(report.metrics().rejects, 4);
+        assert_eq!(report.metrics().rejected_deadlines, 4);
+        assert_eq!(report.metrics().deadline_requests, 1);
+        assert!(report.rejected().iter().all(|r| r.deadline_us == Some(1e9)));
+    }
+
+    #[test]
+    fn edf_reorders_a_backlogged_queue_by_deadline() {
+        // One tile; request 0 occupies it while 1..=4 queue up. The tight
+        // deadline arrives last in FIFO order, so affinity misses it while
+        // EDF runs it first.
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let workload = Workload::random(5, 64, 7);
+        let mut requests: Vec<Request> = (0..4)
+            .map(|i| Request::new(i, spec.clone(), workload.clone()).at(i as f64 * 0.01))
+            .collect();
+        // The per-request service time is far over 10 us, so the last-queued
+        // request can only meet an (arrival + service + margin) deadline by
+        // jumping the whole queue.
+        let mut probe = Runtime::new(FuVariant::V4, 1).unwrap();
+        let service_us = probe.serve(&requests).unwrap().outcomes()[0].completion_us;
+        requests.push(
+            Request::new(4, spec.clone(), workload.clone())
+                .at(0.05)
+                .with_deadline(0.05 + 2.0 * service_us),
+        );
+
+        let mut affinity = Runtime::new(FuVariant::V4, 1).unwrap();
+        let fifo = affinity.serve(&requests).unwrap();
+        assert_eq!(fifo.metrics().deadline_requests, 1);
+        assert_eq!(fifo.metrics().deadline_misses, 1, "FIFO strands request 4");
+
+        for policy in [
+            DispatchPolicy::EarliestDeadlineFirst,
+            DispatchPolicy::SlackAware,
+        ] {
+            let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap().with_policy(policy);
+            let report = runtime.serve(&requests).unwrap();
+            assert_eq!(
+                report.metrics().deadline_misses,
+                0,
+                "{policy} must run the urgent request ahead of the backlog"
+            );
+            let urgent = report
+                .outcomes()
+                .iter()
+                .find(|o| o.request_id == 4)
+                .unwrap();
+            assert!(urgent.queued_us < fifo.outcomes()[4].queued_us);
+        }
     }
 
     #[test]
@@ -648,6 +1156,8 @@ mod tests {
         assert!(!report.outcomes()[0].missed_deadline);
         assert!(report.outcomes()[1].missed_deadline);
         assert_eq!(report.metrics().deadline_misses, 1);
+        assert_eq!(report.metrics().deadline_requests, 2);
+        assert!((report.metrics().deadline_miss_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -655,15 +1165,26 @@ mod tests {
         let mut runtime = Runtime::new(FuVariant::V4, 2).unwrap();
         assert!(matches!(runtime.serve(&[]), Err(RuntimeError::NoRequests)));
         let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
-        let bad = Request::new(9, spec, Workload::ramp(5, 2)).at(f64::NAN);
+        let bad = Request::new(9, spec.clone(), Workload::ramp(5, 2)).at(f64::NAN);
         assert!(matches!(
             runtime.serve(&[bad]),
             Err(RuntimeError::InvalidArrival { request: 9, .. })
         ));
+        // The online loop needs non-decreasing arrivals to be deterministic.
+        let first = Request::new(0, spec.clone(), Workload::ramp(5, 2)).at(10.0);
+        let stale = Request::new(1, spec, Workload::ramp(5, 2)).at(5.0);
+        assert!(matches!(
+            runtime.serve(&[first, stale]),
+            Err(RuntimeError::OutOfOrderArrival {
+                request: 1,
+                horizon_us: h,
+                ..
+            }) if h == 10.0
+        ));
     }
 
     #[test]
-    fn simulation_failures_surface_the_earliest_failing_request() {
+    fn simulation_failures_surface_the_failing_request() {
         let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
         let good = Request::new(0, spec.clone(), Workload::ramp(5, 4));
         // Gradient takes 5 inputs; a 2-wide record is malformed.

@@ -42,6 +42,22 @@ pub struct RuntimeMetrics {
     pub cache: CacheStats,
     /// Requests whose completion exceeded their deadline.
     pub deadline_misses: usize,
+    /// Served requests that carried a deadline (the miss-rate denominator).
+    pub deadline_requests: usize,
+    /// Requests turned away by admission control (never placed on a tile).
+    pub rejects: usize,
+    /// Rejected requests that carried a deadline: shed deadline work, which
+    /// counts in neither [`deadline_misses`](RuntimeMetrics::deadline_misses)
+    /// nor [`deadline_requests`](RuntimeMetrics::deadline_requests) — compare
+    /// miss rates across admission limits with this number in view.
+    pub rejected_deadlines: usize,
+    /// Highest number of requests waiting across all tile queues at any
+    /// instant of the serve.
+    pub peak_queue_depth: usize,
+    /// Time-weighted mean of the total waiting count over the makespan.
+    pub mean_queue_depth: f64,
+    /// Per-tile high-water marks of queued (waiting) requests.
+    pub tile_peak_queue: Vec<usize>,
 }
 
 impl RuntimeMetrics {
@@ -51,6 +67,29 @@ impl RuntimeMetrics {
             0.0
         } else {
             self.tile_utilization.iter().sum::<f64>() / self.tile_utilization.len() as f64
+        }
+    }
+
+    /// Fraction of *served* deadline-carrying requests that missed their
+    /// deadline (0 when no served request carried one). Deadline work shed
+    /// by admission control is excluded; see
+    /// [`rejected_deadlines`](RuntimeMetrics::rejected_deadlines).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.deadline_requests == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_requests as f64
+        }
+    }
+
+    /// Fraction of submitted requests rejected by admission control
+    /// (0 when nothing was submitted).
+    pub fn reject_rate(&self) -> f64 {
+        let submitted = self.requests + self.rejects;
+        if submitted == 0 {
+            0.0
+        } else {
+            self.rejects as f64 / submitted as f64
         }
     }
 }
@@ -68,12 +107,20 @@ impl fmt::Display for RuntimeMetrics {
         )?;
         writeln!(
             f,
-            "latency us: mean {:.2}, p50 {:.2}, p99 {:.2}, max {:.2}; deadline misses: {}",
-            self.mean_latency_us,
-            self.p50_latency_us,
-            self.p99_latency_us,
-            self.max_latency_us,
+            "latency us: mean {:.2}, p50 {:.2}, p99 {:.2}, max {:.2}",
+            self.mean_latency_us, self.p50_latency_us, self.p99_latency_us, self.max_latency_us,
+        )?;
+        writeln!(
+            f,
+            "deadlines: {} miss(es) of {} served ({:.0}% miss rate); rejects: {} ({} with \
+             deadlines); queue depth: peak {}, mean {:.2}",
             self.deadline_misses,
+            self.deadline_requests,
+            self.deadline_miss_rate() * 100.0,
+            self.rejects,
+            self.rejected_deadlines,
+            self.peak_queue_depth,
+            self.mean_queue_depth,
         )?;
         writeln!(
             f,
@@ -144,11 +191,52 @@ mod tests {
                 evictions: 0,
             },
             deadline_misses: 1,
+            deadline_requests: 4,
+            rejects: 2,
+            rejected_deadlines: 1,
+            peak_queue_depth: 5,
+            mean_queue_depth: 1.25,
+            tile_peak_queue: vec![3, 2],
         };
         let text = metrics.to_string();
         assert!(text.contains("10 request(s)"));
         assert!(text.contains("p99 30.00"));
+        assert!(text.contains("1 miss(es) of 4 served (25% miss rate)"));
+        assert!(text.contains("rejects: 2 (1 with deadlines)"));
+        assert!(text.contains("queue depth: peak 5, mean 1.25"));
         assert!(text.contains("t1 60%"));
         assert!((metrics.mean_utilization() - 0.7).abs() < 1e-12);
+        assert!((metrics.deadline_miss_rate() - 0.25).abs() < 1e-12);
+        assert!((metrics.reject_rate() - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_zero_when_undefined() {
+        let metrics = RuntimeMetrics {
+            requests: 0,
+            invocations: 0,
+            makespan_us: 0.0,
+            requests_per_sec: 0.0,
+            invocations_per_sec: 0.0,
+            mean_latency_us: 0.0,
+            p50_latency_us: 0.0,
+            p99_latency_us: 0.0,
+            max_latency_us: 0.0,
+            switch_count: 0,
+            total_switch_us: 0.0,
+            tile_utilization: vec![],
+            tile_requests: vec![],
+            cache: CacheStats::default(),
+            deadline_misses: 0,
+            deadline_requests: 0,
+            rejects: 0,
+            rejected_deadlines: 0,
+            peak_queue_depth: 0,
+            mean_queue_depth: 0.0,
+            tile_peak_queue: vec![],
+        };
+        assert_eq!(metrics.deadline_miss_rate(), 0.0);
+        assert_eq!(metrics.reject_rate(), 0.0);
+        assert_eq!(metrics.mean_utilization(), 0.0);
     }
 }

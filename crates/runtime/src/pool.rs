@@ -22,6 +22,12 @@ pub struct ChargeOutcome {
 }
 
 /// Dynamic serving state of one tile.
+///
+/// The online event loop drives a tile through three kinds of transition:
+/// [`enqueue`](TileState::enqueue) when the dispatcher places an arrival on
+/// it, [`dequeue`](TileState::dequeue) when a queued request is selected to
+/// run, and [`charge`](TileState::charge) when that request's switch +
+/// execution is committed to the timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileState {
     /// Tile index (row-major across the NoC).
@@ -40,6 +46,17 @@ pub struct TileState {
     pub switch_us: f64,
     /// Number of requests served.
     pub served: usize,
+    /// Requests currently waiting in the tile's queue (placed, not started).
+    pub queue_depth: usize,
+    /// High-water mark of [`queue_depth`](TileState::queue_depth).
+    pub peak_queue_depth: usize,
+    /// Estimated service time queued on the tile, microseconds — the backlog
+    /// the dispatcher adds to completion estimates.
+    pub queued_est_us: f64,
+    /// Kernel of the most recently enqueued request: the dispatcher's
+    /// estimate of what the tile will host once its backlog drains. `None`
+    /// when the queue is empty (the resident kernel is the projection).
+    pub last_enqueued: Option<KernelKey>,
 }
 
 impl TileState {
@@ -53,6 +70,52 @@ impl TileState {
             switches: 0,
             switch_us: 0.0,
             served: 0,
+            queue_depth: 0,
+            peak_queue_depth: 0,
+            queued_est_us: 0.0,
+            last_enqueued: None,
+        }
+    }
+
+    /// The kernel the tile is projected to host once its queue drains: the
+    /// last enqueued kernel if any request is waiting, the resident kernel
+    /// otherwise. Placement estimates switch needs against this, not against
+    /// [`resident`](TileState::resident), so a queue ending in kernel B does
+    /// not pretend kernel A is still warm.
+    pub fn projected_resident(&self) -> Option<KernelKey> {
+        self.last_enqueued.or(self.resident)
+    }
+
+    /// Records a placed-but-not-started request: grows the queue and the
+    /// backlog estimate by `est_us`.
+    pub fn enqueue(&mut self, key: KernelKey, est_us: f64) {
+        self.queue_depth += 1;
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queue_depth);
+        self.queued_est_us += est_us;
+        self.last_enqueued = Some(key);
+    }
+
+    /// Removes one queued request (about to start executing), shrinking the
+    /// backlog estimate by the same `est_us` it was enqueued with.
+    ///
+    /// `remaining_tail` is the kernel of the request now *last* in the
+    /// queue. Deadline-aware policies can remove from mid-queue — including
+    /// the tail — so the caller, who sees the queue, keeps the residency
+    /// projection honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty — a dequeue must pair with an enqueue.
+    pub fn dequeue(&mut self, est_us: f64, remaining_tail: Option<KernelKey>) {
+        assert!(self.queue_depth > 0, "dequeue from an empty tile queue");
+        self.queue_depth -= 1;
+        if self.queue_depth == 0 {
+            self.queued_est_us = 0.0;
+            self.last_enqueued = None;
+        } else {
+            // Clamp: floating-point drift must not leave a phantom backlog.
+            self.queued_est_us = (self.queued_est_us - est_us).max(0.0);
+            self.last_enqueued = remaining_tail;
         }
     }
 
@@ -196,6 +259,12 @@ impl TilePool {
         &self.states
     }
 
+    /// Total requests waiting (placed, not started) across all tile queues —
+    /// the quantity admission control bounds.
+    pub fn total_waiting(&self) -> usize {
+        self.states.iter().map(|s| s.queue_depth).sum()
+    }
+
     /// Mutable access for the dispatcher.
     pub(crate) fn states_mut(&mut self) -> &mut [TileState] {
         &mut self.states
@@ -289,9 +358,96 @@ mod tests {
     fn reset_returns_the_pool_to_cold_state() {
         let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 2).unwrap();
         pool.states_mut()[1].charge(key(9), 0.0, 1.0, 5.0);
+        pool.states_mut()[1].enqueue(key(9), 5.0);
         pool.reset();
         assert!(pool.states().iter().all(|s| {
-            s.resident.is_none() && s.available_us == 0.0 && s.served == 0 && s.switches == 0
+            s.resident.is_none()
+                && s.available_us == 0.0
+                && s.served == 0
+                && s.switches == 0
+                && s.queue_depth == 0
+                && s.peak_queue_depth == 0
+                && s.queued_est_us == 0.0
+                && s.last_enqueued.is_none()
         }));
+        assert_eq!(pool.total_waiting(), 0);
+    }
+
+    /// The online path's enqueue → dequeue → charge lifecycle: depth and
+    /// backlog estimates track, the peak is a high-water mark, and the
+    /// projected resident follows the queue tail rather than the loaded
+    /// kernel.
+    #[test]
+    fn queue_transitions_track_depth_backlog_and_projection() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
+        let tile = &mut pool.states_mut()[0];
+        assert_eq!(tile.projected_resident(), None);
+
+        tile.charge(key(1), 0.0, 0.25, 10.0);
+        assert_eq!(tile.projected_resident(), Some(key(1)), "resident projects");
+
+        tile.enqueue(key(1), 10.0);
+        tile.enqueue(key(2), 20.0);
+        assert_eq!(tile.queue_depth, 2);
+        assert_eq!(tile.peak_queue_depth, 2);
+        assert!((tile.queued_est_us - 30.0).abs() < 1e-12);
+        assert_eq!(
+            tile.projected_resident(),
+            Some(key(2)),
+            "the queue tail, not the loaded kernel, is what placement sees"
+        );
+
+        tile.dequeue(10.0, Some(key(2)));
+        assert_eq!(tile.queue_depth, 1);
+        assert_eq!(tile.peak_queue_depth, 2, "peak is a high-water mark");
+        assert!((tile.queued_est_us - 20.0).abs() < 1e-12);
+
+        tile.dequeue(20.0, None);
+        assert_eq!(tile.queue_depth, 0);
+        assert_eq!(tile.queued_est_us, 0.0);
+        assert_eq!(
+            tile.projected_resident(),
+            Some(key(1)),
+            "empty queue falls back to the resident kernel"
+        );
+    }
+
+    /// A deadline-aware policy can pull the *tail* out of the queue; the
+    /// caller-supplied remaining tail keeps the residency projection honest.
+    #[test]
+    fn dequeuing_the_tail_reprojects_onto_the_remaining_queue() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
+        let tile = &mut pool.states_mut()[0];
+        tile.enqueue(key(1), 10.0);
+        tile.enqueue(key(2), 10.0);
+        assert_eq!(tile.projected_resident(), Some(key(2)));
+        // EDF pops the urgent tail (kernel 2): the queue now ends in kernel 1.
+        tile.dequeue(10.0, Some(key(1)));
+        assert_eq!(
+            tile.projected_resident(),
+            Some(key(1)),
+            "the projection must follow the remaining queue, not the removed tail"
+        );
+    }
+
+    #[test]
+    fn dequeue_clamps_float_drift_out_of_the_backlog() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
+        let tile = &mut pool.states_mut()[0];
+        tile.enqueue(key(1), 0.1);
+        tile.enqueue(key(1), 0.2);
+        // Remove slightly more than was added: the estimate clamps at zero
+        // instead of going negative and skewing placement.
+        tile.dequeue(0.2 + 1e-9, Some(key(1)));
+        assert!(tile.queued_est_us >= 0.0);
+        tile.dequeue(0.1, None);
+        assert_eq!(tile.queued_est_us, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dequeue from an empty tile queue")]
+    fn unpaired_dequeue_panics() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
+        pool.states_mut()[0].dequeue(1.0, None);
     }
 }

@@ -1,11 +1,23 @@
-//! Multi-tenant serving demo: a bursty mixed-kernel trace over the paper's
-//! benchmark suite, served by a pool of write-back overlay tiles.
+//! Multi-tenant online serving demo: bursty mixed-kernel traffic over the
+//! paper's benchmark suite, streamed into a pool of write-back overlay tiles.
 //!
-//! Six tenants each stream a different benchmark kernel; requests arrive in
-//! bursts (a tenant fires a volley, goes quiet, fires again). The same trace
-//! is served twice — once with context-switch-aware kernel-affinity dispatch
-//! and once with naive round-robin — to show the ~0.25 µs instruction-reload
-//! context switch of the write-back tiles being spent well or badly.
+//! Three acts:
+//!
+//! 1. **Context switches** — the same bursty 6-tenant trace is served with
+//!    kernel-affinity and round-robin dispatch, showing the ~0.25 µs
+//!    instruction-reload context switch of the write-back tiles being spent
+//!    well or badly.
+//! 2. **Deadlines under overload** — one tenant becomes latency-critical
+//!    (tight per-request deadlines) while the others flood a smaller pool.
+//!    FIFO affinity strands the urgent requests behind the batch backlog;
+//!    EDF and slack-aware dispatch reorder the tile queues and miss strictly
+//!    fewer deadlines on the *same* trace.
+//! 3. **Admission control** — the same overload with a bounded waiting
+//!    queue: excess requests are rejected at arrival instead of growing the
+//!    queues without bound.
+//!
+//! Every outcome of every serve is checked against the DFG reference
+//! evaluator.
 //!
 //! Run with: `cargo run --example serving`
 
@@ -26,9 +38,27 @@ const TENANTS: [(Benchmark, usize); 6] = [
     (Benchmark::Sgfilter, 16),
 ];
 
-/// Builds the bursty trace: `bursts` rounds, in each of which every tenant
-/// fires a volley of requests back to back, then the arrival clock jumps.
-fn build_trace(bursts: usize, volley: usize) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
+/// Index (into [`TENANTS`]) of the latency-critical tenant in act 2.
+const URGENT_TENANT: usize = 1;
+
+/// How the bursts are shaped.
+struct TraceShape {
+    bursts: usize,
+    /// Interleaved rounds per burst (one request per active tenant each).
+    volley: usize,
+    /// Gap between rounds within a burst, microseconds.
+    round_spacing_us: f64,
+    /// Quiet gap between bursts, microseconds.
+    burst_gap_us: f64,
+    /// Per-request deadline budget for the urgent tenant, microseconds
+    /// (`None` leaves every request deadline-free).
+    urgent_budget_us: Option<f64>,
+}
+
+/// Builds a bursty trace: `bursts` rounds of volleys in which every active
+/// tenant fires one request; tenants skip every third burst so the kernel
+/// mix shifts.
+fn build_trace(shape: &TraceShape) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
     let specs: Vec<(KernelSpec, usize, usize)> = TENANTS
         .iter()
         .map(|&(benchmark, blocks)| {
@@ -41,24 +71,27 @@ fn build_trace(bursts: usize, volley: usize) -> Result<Vec<Request>, Box<dyn std
     let mut requests = Vec::new();
     let mut id = 0u64;
     let mut clock_us = 0.0;
-    for burst in 0..bursts {
-        // Within a burst the active tenants fire interleaved rounds: one
-        // request each, every 2 µs — sustained mixed traffic, not a single
-        // tenant hogging the array.
-        for round in 0..volley {
+    for burst in 0..shape.bursts {
+        for round in 0..shape.volley {
             for (tenant, (spec, inputs, blocks)) in specs.iter().enumerate() {
-                // Tenants skip every third burst so the kernel mix shifts.
                 if (burst + tenant) % 3 == 2 {
                     continue;
                 }
                 let workload = Workload::random(*inputs, *blocks, id ^ 0xBEEF);
-                let arrival = clock_us + round as f64 * 2.0 + tenant as f64 * 0.1;
-                requests.push(Request::new(id, spec.clone(), workload).at(arrival));
+                let arrival = clock_us
+                    + round as f64 * shape.round_spacing_us
+                    + tenant as f64 * 0.05 * shape.round_spacing_us;
+                let mut request = Request::new(id, spec.clone(), workload).at(arrival);
+                if tenant == URGENT_TENANT {
+                    if let Some(budget) = shape.urgent_budget_us {
+                        request = request.with_deadline(arrival + budget);
+                    }
+                }
+                requests.push(request);
                 id += 1;
             }
         }
-        // Quiet gap between bursts.
-        clock_us += volley as f64 * 2.0 + 4.0;
+        clock_us += shape.volley as f64 * shape.round_spacing_us + shape.burst_gap_us;
     }
     Ok(requests)
 }
@@ -69,7 +102,14 @@ fn verify_outputs(
     report: &ServeReport,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let options = LowerOptions::default();
-    for (request, outcome) in requests.iter().zip(report.outcomes()) {
+    let find = |id: u64| {
+        requests
+            .iter()
+            .find(|request| request.id == id)
+            .expect("outcome ids come from the trace")
+    };
+    for outcome in report.outcomes() {
+        let request = find(outcome.request_id);
         let dfg = request.kernel.dfg(&options)?;
         let expected = evaluate_stream(&dfg, request.workload.records())?;
         assert_eq!(
@@ -83,31 +123,44 @@ fn verify_outputs(
 
 fn serve(
     policy: DispatchPolicy,
+    tiles: usize,
     requests: &[Request],
 ) -> Result<ServeReport, Box<dyn std::error::Error>> {
-    let mut runtime = Runtime::new(FuVariant::V4, 6)?.with_policy(policy);
-    let report = runtime.serve(requests)?;
+    let mut runtime = Runtime::new(FuVariant::V4, tiles)?.with_policy(policy);
+    // The trace is streamed: the dispatcher sees each request only when it
+    // arrives on the virtual timeline.
+    let report = runtime.serve_stream(|submitter| {
+        for request in requests {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
     println!("--- {policy} dispatch ---");
     println!("{}", report.metrics());
     println!();
+    verify_outputs(requests, &report)?;
     Ok(report)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let requests = build_trace(5, 6)?;
+    // ---------------------------------------------------------------- act 1
+    let relaxed = build_trace(&TraceShape {
+        bursts: 5,
+        volley: 6,
+        round_spacing_us: 2.0,
+        burst_gap_us: 4.0,
+        urgent_budget_us: None,
+    })?;
     println!(
-        "serving {} requests from {} tenants on 6 V4 write-back tiles\n",
-        requests.len(),
+        "act 1: {} requests from {} tenants on 6 V4 write-back tiles\n",
+        relaxed.len(),
         TENANTS.len()
     );
-    assert!(requests.len() >= 100, "trace is production-shaped");
+    assert!(relaxed.len() >= 100, "trace is production-shaped");
 
-    let affinity = serve(DispatchPolicy::KernelAffinity, &requests)?;
-    let round_robin = serve(DispatchPolicy::RoundRobin, &requests)?;
-
-    verify_outputs(&requests, &affinity)?;
-    verify_outputs(&requests, &round_robin)?;
-    println!("all outputs match the DFG reference evaluator");
+    let affinity = serve(DispatchPolicy::KernelAffinity, 6, &relaxed)?;
+    let round_robin = serve(DispatchPolicy::RoundRobin, 6, &relaxed)?;
 
     let a = affinity.metrics();
     let rr = round_robin.metrics();
@@ -119,11 +172,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "affinity saves {:.2} us of context switching ({} vs {} switches), \
-         {:.2}x round-robin's throughput",
+         {:.2}x round-robin's throughput\n",
         rr.total_switch_us - a.total_switch_us,
         a.switch_count,
         rr.switch_count,
         a.requests_per_sec / rr.requests_per_sec,
     );
+
+    // ---------------------------------------------------------------- act 2
+    // The urgent tenant's deadline budget: a few times its standalone
+    // service time, probed so the demo tracks the timing model.
+    let (benchmark, blocks) = TENANTS[URGENT_TENANT];
+    let spec = KernelSpec::from_benchmark(benchmark)?;
+    let inputs = benchmark.dfg()?.num_inputs();
+    let probe_request = Request::new(0, spec, Workload::random(inputs, blocks, 0xBEEF ^ 1)).at(0.0);
+    let service_us = Runtime::new(FuVariant::V4, 1)?
+        .serve(std::slice::from_ref(&probe_request))?
+        .outcomes()[0]
+        .completion_us;
+
+    let overload = build_trace(&TraceShape {
+        bursts: 4,
+        volley: 8,
+        round_spacing_us: 0.25,
+        burst_gap_us: 1.0,
+        urgent_budget_us: Some(4.0 * service_us),
+    })?;
+    println!(
+        "act 2: {} requests squeezed onto 3 tiles; tenant '{}' now has a {:.2} us deadline budget\n",
+        overload.len(),
+        benchmark.name(),
+        4.0 * service_us,
+    );
+
+    let fifo = serve(DispatchPolicy::KernelAffinity, 3, &overload)?;
+    let edf = serve(DispatchPolicy::EarliestDeadlineFirst, 3, &overload)?;
+    let slack = serve(DispatchPolicy::SlackAware, 3, &overload)?;
+
+    let fifo_misses = fifo.metrics().deadline_misses;
+    assert!(
+        fifo_misses > 0,
+        "the overload trace must strand FIFO's urgent requests"
+    );
+    for report in [&edf, &slack] {
+        assert!(
+            report.metrics().deadline_misses < fifo_misses,
+            "{} must miss strictly fewer deadlines than affinity ({} vs {})",
+            report.policy(),
+            report.metrics().deadline_misses,
+            fifo_misses
+        );
+    }
+    println!(
+        "deadline misses on the same overload trace: affinity {} vs edf {} vs slack-aware {} \
+         (of {} deadlines)\n",
+        fifo_misses,
+        edf.metrics().deadline_misses,
+        slack.metrics().deadline_misses,
+        fifo.metrics().deadline_requests,
+    );
+
+    // ---------------------------------------------------------------- act 3
+    let mut bounded = Runtime::new(FuVariant::V4, 3)?
+        .with_policy(DispatchPolicy::EarliestDeadlineFirst)
+        .with_admission_limit(12);
+    let guarded = bounded.serve_stream(|submitter| {
+        for request in &overload {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
+    verify_outputs(&overload, &guarded)?;
+    println!("--- edf dispatch, admission limit 12 ---");
+    println!("{}", guarded.metrics());
+    assert!(
+        guarded.metrics().rejects > 0,
+        "the overload must trip admission control"
+    );
+    assert!(guarded.metrics().peak_queue_depth <= 12);
+    println!(
+        "\nadmission control shed {} of {} requests ({:.0}% reject rate) and capped the \
+         queue at {} waiters",
+        guarded.metrics().rejects,
+        overload.len(),
+        guarded.metrics().reject_rate() * 100.0,
+        guarded.metrics().peak_queue_depth,
+    );
+
+    println!("\nall outputs match the DFG reference evaluator");
     Ok(())
 }
