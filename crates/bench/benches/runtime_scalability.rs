@@ -1,0 +1,321 @@
+//! Tiles × load scalability bench for the online serving runtime — the
+//! "fig5-style" sweep for the *host-side* event loop.
+//!
+//! For every (tiles, load, policy) corner the same trace is served twice:
+//!
+//! * **indexed** — the current hot path: the trace is served by value
+//!   (no ingest channel, no per-request clone), placement answers from the
+//!   pool's residency index, queues pop from per-tile ordered structures,
+//!   and repeated (kernel, workload) simulations come from the memo;
+//! * **linear** — the pre-index runtime, reproduced faithfully: the trace
+//!   streams through the bounded ingest channel with one deep `Request`
+//!   clone per submission (what the old `serve` shim did),
+//!   `ScanMode::LinearReference` restores the O(tiles) placement scan, the
+//!   O(depth) queue scan-and-remove and the O(tiles) `total_waiting`
+//!   recomputation per event, and the simulation memo is disabled so every
+//!   request simulates.
+//!
+//! Both sides produce identical modeled results (the scan-mode half of that
+//! claim is proved by `tests/runtime_equivalence.rs`); what differs is the
+//! host nanoseconds per event, which is exactly what this bench records.
+//!
+//! Output: a human-readable table on stdout and a machine-readable
+//! `BENCH_runtime.json` at the repository root (modeled req/s, host ns/event,
+//! host events/s, indexed-vs-linear speedup per corner) to seed the
+//! performance trajectory across PRs.
+//!
+//! Environment:
+//! * `BENCH_FAST=1` — CI mode: fewer requests and repetitions (same grid).
+//! * `BENCH_RUNTIME_OUT=path` — override the JSON output path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tm_overlay::{
+    Benchmark, DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, ScanMode, Workload,
+};
+
+const TILE_COUNTS: [usize; 4] = [4, 16, 64, 256];
+const LOADS: [(&str, f64); 2] = [("light", 0.5), ("overload", 2.0)];
+const VARIANT: FuVariant = FuVariant::V4;
+
+struct Corner {
+    tiles: usize,
+    load: &'static str,
+    policy: DispatchPolicy,
+    requests: usize,
+    events: u64,
+    modeled_req_per_sec: f64,
+    indexed_ns_per_event: f64,
+    linear_ns_per_event: f64,
+}
+
+impl Corner {
+    fn speedup(&self) -> f64 {
+        self.linear_ns_per_event / self.indexed_ns_per_event
+    }
+
+    fn indexed_events_per_sec(&self) -> f64 {
+        1.0e9 / self.indexed_ns_per_event
+    }
+
+    fn linear_events_per_sec(&self) -> f64 {
+        1.0e9 / self.linear_ns_per_event
+    }
+}
+
+/// A multi-tenant deadline-carrying trace: `count` requests cycling through
+/// four kernels, each streaming 16 invocation records (the workload size the
+/// crate's examples and throughput bench use) drawn from a small per-kernel
+/// pool — so the sim memo engages, as a steady-state serving system would
+/// see — arriving every `spacing_us`.
+fn trace(count: usize, spacing_us: f64, budget_us: f64) -> Vec<Request> {
+    let suite = [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Qspline,
+        Benchmark::Poly5,
+    ];
+    let specs: Vec<(KernelSpec, usize)> = suite
+        .iter()
+        .map(|&b| {
+            (
+                KernelSpec::from_benchmark(b).unwrap(),
+                b.dfg().unwrap().num_inputs(),
+            )
+        })
+        .collect();
+    (0..count)
+        .map(|i| {
+            let (spec, inputs) = &specs[i % specs.len()];
+            let workload = Workload::random(*inputs, 16, (i % 8) as u64);
+            let arrival = i as f64 * spacing_us;
+            Request::new(i as u64, spec.clone(), workload)
+                .at(arrival)
+                .with_deadline(arrival + budget_us)
+        })
+        .collect()
+}
+
+/// Serves `requests` `reps` times on one runtime (after a warm-up serve
+/// that fills the compile cache — and, on the indexed side, the sim memo),
+/// returning the best per-event wall time, the event count and the modeled
+/// request rate.
+fn measure(
+    tiles: usize,
+    policy: DispatchPolicy,
+    scan: ScanMode,
+    requests: &[Request],
+    reps: usize,
+) -> (f64, u64, f64) {
+    let mut runtime = Runtime::new(VARIANT, tiles)
+        .unwrap()
+        .with_policy(policy)
+        .with_scan_mode(scan);
+    if scan == ScanMode::LinearReference {
+        // The pre-index runtime had no simulation memo.
+        runtime = runtime.with_sim_memo_capacity(0);
+    }
+    let mut best_ns = f64::INFINITY;
+    let mut events = 0u64;
+    let mut modeled = 0.0f64;
+    for rep in 0..=reps {
+        let report = match scan {
+            // The current hot path: batch serve, trace by value.
+            ScanMode::Indexed => {
+                let copy = requests.to_vec();
+                let start = Instant::now();
+                let report = runtime.serve(copy).expect("bench trace serves cleanly");
+                let wall_ns = start.elapsed().as_nanos() as f64;
+                if rep > 0 {
+                    best_ns = best_ns.min(wall_ns);
+                }
+                report
+            }
+            // The seed-faithful baseline: stream the trace through the
+            // ingest channel, deep-cloning each request on the way in,
+            // exactly as the pre-index `serve` shim did.
+            ScanMode::LinearReference => {
+                let start = Instant::now();
+                let report = runtime
+                    .serve_stream(|submitter| {
+                        for request in requests {
+                            if submitter.submit(request.clone()).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("bench trace serves cleanly");
+                let wall_ns = start.elapsed().as_nanos() as f64;
+                if rep > 0 {
+                    best_ns = best_ns.min(wall_ns);
+                }
+                report
+            }
+        };
+        events = report.metrics().events_fired;
+        modeled = report.metrics().requests_per_sec;
+    }
+    (best_ns / events as f64, events, modeled)
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (count, reps) = if fast { (1024, 2) } else { (4096, 3) };
+
+    // Probe the modeled service time of one request so arrival spacing
+    // tracks the timing model: offered load ρ means one arrival every
+    // service/(tiles·ρ) microseconds.
+    let probe = trace(1, 1.0, 1e9);
+    let service_us = Runtime::new(VARIANT, 1)
+        .unwrap()
+        .serve(probe)
+        .unwrap()
+        .outcomes()[0]
+        .completion_us;
+
+    let mut corners: Vec<Corner> = Vec::new();
+    println!(
+        "runtime_scalability: {count} requests/serve, {reps} reps, service ~{service_us:.2} us \
+         ({} mode)",
+        if fast { "fast" } else { "full" }
+    );
+    println!(
+        "{:>5} {:>9} {:>15} {:>12} {:>12} {:>9}",
+        "tiles", "load", "policy", "indexed", "linear", "speedup"
+    );
+    for &tiles in &TILE_COUNTS {
+        for &(load, rho) in &LOADS {
+            let spacing_us = service_us / (tiles as f64 * rho);
+            let budget_us = 8.0 * service_us;
+            let requests = trace(count, spacing_us, budget_us);
+            for policy in DispatchPolicy::ALL {
+                let (indexed_ns, events, modeled) =
+                    measure(tiles, policy, ScanMode::Indexed, &requests, reps);
+                let (linear_ns, linear_events, _) =
+                    measure(tiles, policy, ScanMode::LinearReference, &requests, reps);
+                assert_eq!(
+                    events, linear_events,
+                    "both modes must fire identical event sequences"
+                );
+                let corner = Corner {
+                    tiles,
+                    load,
+                    policy,
+                    requests: count,
+                    events,
+                    modeled_req_per_sec: modeled,
+                    indexed_ns_per_event: indexed_ns,
+                    linear_ns_per_event: linear_ns,
+                };
+                println!(
+                    "{:>5} {:>9} {:>15} {:>9.0} ns {:>9.0} ns {:>8.1}x",
+                    tiles,
+                    load,
+                    policy.to_string(),
+                    corner.indexed_ns_per_event,
+                    corner.linear_ns_per_event,
+                    corner.speedup()
+                );
+                corners.push(corner);
+            }
+        }
+    }
+
+    // Two acceptance figures at the largest pool:
+    //
+    // * `min_speedup` — the slowest end-to-end corner ratio over the
+    //   earliest-completion policies (everything the serve does, including
+    //   costs both modes share);
+    // * `scan_speedup` — the *dispatcher-attributable* ratio: round-robin
+    //   placement is O(1) under both modes, so its corners measure exactly
+    //   the shared machinery. Differencing each scanning policy against the
+    //   round-robin control isolates what the linear placement scan cost
+    //   per event vs what the residency index costs — the before/after of
+    //   the indexed-dispatch change itself.
+    let biggest = *TILE_COUNTS.last().unwrap();
+    let at_biggest: Vec<&Corner> = corners.iter().filter(|c| c.tiles == biggest).collect();
+    let min_speedup = at_biggest
+        .iter()
+        .filter(|c| c.policy != DispatchPolicy::RoundRobin)
+        .map(|c| c.speedup())
+        .fold(f64::INFINITY, f64::min);
+    let control = |load: &str, pick: fn(&Corner) -> f64| {
+        at_biggest
+            .iter()
+            .find(|c| c.load == load && c.policy == DispatchPolicy::RoundRobin)
+            .map(|c| pick(c))
+            .expect("round-robin control corner exists")
+    };
+    let (mut scan_cost_linear, mut scan_cost_indexed, mut samples) = (0.0, 0.0, 0usize);
+    for corner in at_biggest
+        .iter()
+        .filter(|c| c.policy != DispatchPolicy::RoundRobin)
+    {
+        scan_cost_linear +=
+            corner.linear_ns_per_event - control(corner.load, |c| c.linear_ns_per_event);
+        scan_cost_indexed +=
+            corner.indexed_ns_per_event - control(corner.load, |c| c.indexed_ns_per_event);
+        samples += 1;
+    }
+    scan_cost_linear /= samples as f64;
+    // The index's own marginal cost can be below the timer noise floor;
+    // clamp so the ratio stays finite and conservative.
+    scan_cost_indexed = (scan_cost_indexed / samples as f64).max(1.0);
+    let scan_speedup = scan_cost_linear / scan_cost_indexed;
+    println!(
+        "at {biggest} tiles: min end-to-end speedup {min_speedup:.1}x; \
+         linear placement scan costs {scan_cost_linear:.0} ns/event vs \
+         {scan_cost_indexed:.0} ns/event indexed -> {scan_speedup:.1}x \
+         dispatcher speedup (target >= 5x)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"runtime_scalability\",");
+    let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(json, "  \"requests_per_serve\": {count},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"modeled_service_us\": {service_us:.3},");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, c) in corners.iter().enumerate() {
+        let comma = if i + 1 < corners.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"tiles\": {}, \"load\": \"{}\", \"policy\": \"{}\", \"requests\": {}, \
+             \"events\": {}, \"modeled_req_per_sec\": {:.0}, \
+             \"indexed_ns_per_event\": {:.1}, \"linear_ns_per_event\": {:.1}, \
+             \"indexed_events_per_sec\": {:.0}, \"linear_events_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}",
+            c.tiles,
+            c.load,
+            c.policy,
+            c.requests,
+            c.events,
+            c.modeled_req_per_sec,
+            c.indexed_ns_per_event,
+            c.linear_ns_per_event,
+            c.indexed_events_per_sec(),
+            c.linear_events_per_sec(),
+            c.speedup(),
+            comma
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"tiles\": {biggest}, \"min_end_to_end_speedup\": \
+         {min_speedup:.2}, \"scan_ns_per_event_linear\": {scan_cost_linear:.1}, \
+         \"scan_ns_per_event_indexed\": {scan_cost_indexed:.1}, \
+         \"dispatcher_speedup\": {scan_speedup:.2}, \"target\": 5.0, \"pass\": {}}}",
+        scan_speedup >= 5.0
+    );
+    json.push_str("}\n");
+
+    let path = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").into()
+    });
+    std::fs::write(&path, json).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
+}

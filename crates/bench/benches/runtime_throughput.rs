@@ -69,7 +69,7 @@ fn bench_deadline_miss_vs_load(c: &mut Criterion) {
     // Probe the modeled service time so load factors track the timing model.
     let mut probe = Runtime::new(FuVariant::V3, TILES).unwrap();
     let service_us = probe
-        .serve(&deadline_trace(1_000.0, 1e9, 1e9)[..1])
+        .serve(deadline_trace(1_000.0, 1e9, 1e9).into_iter().take(1))
         .unwrap()
         .outcomes()[0]
         .completion_us;
@@ -90,7 +90,7 @@ fn bench_deadline_miss_vs_load(c: &mut Criterion) {
             let mut runtime = Runtime::new(FuVariant::V3, TILES)
                 .unwrap()
                 .with_policy(policy);
-            let report = runtime.serve(&requests).unwrap();
+            let report = runtime.serve(requests.clone()).unwrap();
             println!(
                 "modeled {load_name}/{policy}: {}/{} deadline misses ({:.0}% miss rate), \
                  peak queue {}, p99 latency {:.2} us",
@@ -104,7 +104,7 @@ fn bench_deadline_miss_vs_load(c: &mut Criterion) {
                 let mut runtime = Runtime::new(FuVariant::V3, TILES)
                     .unwrap()
                     .with_policy(policy);
-                b.iter(|| black_box(runtime.serve(&requests).unwrap()))
+                b.iter(|| black_box(runtime.serve(requests.clone()).unwrap()))
             });
         }
     }
@@ -120,7 +120,7 @@ fn bench_runtime_throughput(c: &mut Criterion) {
         for policy in [DispatchPolicy::KernelAffinity, DispatchPolicy::RoundRobin] {
             // Surface the modeled hardware numbers the policy actually moves.
             let mut runtime = Runtime::new(variant, TILES).unwrap().with_policy(policy);
-            let report = runtime.serve(&requests).unwrap();
+            let report = runtime.serve(requests.clone()).unwrap();
             println!(
                 "modeled {variant}/{policy}: {} switches ({:.2} us), makespan {:.2} us, \
                  p99 latency {:.2} us",
@@ -131,7 +131,7 @@ fn bench_runtime_throughput(c: &mut Criterion) {
             );
             group.bench_function(format!("{variant}/{policy}/{REQUESTS}_requests"), |b| {
                 let mut runtime = Runtime::new(variant, TILES).unwrap().with_policy(policy);
-                b.iter(|| black_box(runtime.serve(&requests).unwrap()))
+                b.iter(|| black_box(runtime.serve(requests.clone()).unwrap()))
             });
         }
     }

@@ -120,8 +120,8 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    DispatchPolicy, KernelSpec, Request, Runtime, RuntimeMetrics, ServeReport, SubmitError,
-    Submitter,
+    DispatchPolicy, KernelSpec, Request, Runtime, RuntimeMetrics, ScanMode, ServeReport,
+    SubmitError, Submitter,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

@@ -1,14 +1,72 @@
-//! LRU cache of compiled kernels, so each distinct kernel is compiled once
-//! no matter how many requests reference it.
+//! LRU caches over the expensive per-request work: compiled kernels (so each
+//! distinct kernel is compiled once no matter how many requests reference
+//! it) and functional simulation runs (so repeated tenant requests — same
+//! kernel, same workload — skip the cycle-accurate simulation entirely).
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use overlay_arch::FuVariant;
 use overlay_scheduler::CompiledKernel;
+use overlay_sim::SimRun;
 
 use crate::error::RuntimeError;
+
+/// A minimal FNV-1a [`Hasher`] for the runtime's hot-path maps: the keys are
+/// small fixed-size identifiers (kernel fingerprints, sim keys, intake
+/// indices), where SipHash's per-lookup setup cost is pure overhead and DoS
+/// resistance buys nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = hash;
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut hash = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        hash ^= hash >> 29;
+        self.0 = hash;
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u128(&mut self, value: u128) {
+        self.write_u64(value as u64);
+        self.write_u64((value >> 64) as u64);
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.write_u64(u64::from(value));
+    }
+}
+
+/// [`HashMap`] keyed through [`FnvHasher`] — the runtime's hot-path map type.
+pub type FnvHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
 /// Identity of one compiled artifact: kernel content hash + overlay variant +
 /// mapped depth (0 when the depth follows the kernel, as it does for the
@@ -84,7 +142,7 @@ struct Entry {
 pub struct KernelCache {
     capacity: usize,
     clock: u64,
-    entries: HashMap<KernelKey, Entry>,
+    entries: FnvHashMap<KernelKey, Entry>,
     stats: CacheStats,
 }
 
@@ -101,7 +159,7 @@ impl KernelCache {
         Ok(KernelCache {
             capacity,
             clock: 0,
-            entries: HashMap::new(),
+            entries: FnvHashMap::default(),
             stats: CacheStats::default(),
         })
     }
@@ -166,6 +224,149 @@ impl KernelCache {
     }
 
     /// Maximum number of resident kernels.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The accumulated hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = CacheStats::default();
+        self.clock = 0;
+    }
+}
+
+/// Identity of one memoizable simulation: the compiled kernel it ran through
+/// plus a content digest of the workload streamed into it.
+///
+/// Functional simulation is placement-independent — the same kernel over the
+/// same input records produces the same outputs and cycle counts on every
+/// tile — so this pair fully determines a [`SimRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    /// The compiled-kernel identity.
+    pub kernel: KernelKey,
+    /// 128-bit content digest of the workload records
+    /// (see [`Request::workload_digest`](crate::Request::workload_digest)).
+    pub workload: u128,
+}
+
+impl fmt::Display for SimKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+w{:032x}", self.kernel, self.workload)
+    }
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    run: Arc<SimRun>,
+    last_used: u64,
+}
+
+/// An LRU memo of completed simulation runs keyed by [`SimKey`], so a
+/// repeated tenant request (same kernel, same workload) is answered without
+/// re-running the functional simulator.
+///
+/// Runs are shared as [`Arc`]s: a memo hit costs one clone of the pointer,
+/// and an evicted run stays valid wherever it is still referenced. A
+/// capacity of 0 disables memoization entirely (every lookup misses and
+/// nothing is stored).
+#[derive(Debug)]
+pub struct SimMemo {
+    capacity: usize,
+    clock: u64,
+    entries: FnvHashMap<SimKey, MemoEntry>,
+    stats: CacheStats,
+}
+
+impl SimMemo {
+    /// A memo holding at most `capacity` simulation runs (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        SimMemo {
+            capacity,
+            clock: 0,
+            entries: FnvHashMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the memoized run for `key`, counting a hit when found.
+    ///
+    /// A `None` is *not* yet a miss: the event loop may still join the
+    /// request onto an identical in-flight simulation
+    /// ([`note_shared_hit`](Self::note_shared_hit)) — only an actually
+    /// spawned simulation is a [`note_miss`](Self::note_miss). The invariant
+    /// is `hits + misses == admitted requests`.
+    pub fn get(&mut self, key: &SimKey) -> Option<Arc<SimRun>> {
+        self.clock += 1;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = self.clock;
+        self.stats.hits += 1;
+        Some(Arc::clone(&entry.run))
+    }
+
+    /// Counts a hit that skipped a simulation without a lookup — the event
+    /// loop joins an arrival onto an identical already-in-flight simulation.
+    pub fn note_shared_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Counts a simulation actually spawned (a memo miss).
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Stores a completed run, evicting the least-recently-used entry when
+    /// full. A no-op when the memo is disabled (capacity 0).
+    pub fn insert(&mut self, key: SimKey, run: Arc<SimRun>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // O(n) LRU scan, same trade-off as the kernel cache: the memo
+            // holds at most a few thousand entries and insertions are rare
+            // next to lookups.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            MemoEntry {
+                run,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Whether `key` is currently memoized (does not touch LRU order).
+    pub fn contains(&self, key: &SimKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of memoized runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of memoized runs (0 = disabled).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -296,5 +497,74 @@ mod tests {
             evictions: 0,
         };
         assert!(stats.to_string().contains("75% hit rate"));
+        let sim_key = SimKey {
+            kernel: key(0xAB),
+            workload: 0xFEED,
+        };
+        assert!(sim_key
+            .to_string()
+            .contains("w0000000000000000000000000000feed"));
+    }
+
+    fn sim_run() -> Arc<SimRun> {
+        let compiled = compile_saxpy().unwrap();
+        let workload = overlay_sim::Workload::ramp(3, 2);
+        let run = overlay_sim::OverlaySimulator::new(FuVariant::V3)
+            .run(&compiled, &workload)
+            .unwrap();
+        Arc::new(run)
+    }
+
+    fn sim_key(workload: u128) -> SimKey {
+        SimKey {
+            kernel: key(1),
+            workload,
+        }
+    }
+
+    #[test]
+    fn sim_memo_shares_runs_and_counts_hits() {
+        let mut memo = SimMemo::new(4);
+        assert!(memo.is_empty());
+        assert!(memo.get(&sim_key(1)).is_none(), "cold lookup finds nothing");
+        memo.note_miss();
+        let run = sim_run();
+        memo.insert(sim_key(1), Arc::clone(&run));
+        let hit = memo.get(&sim_key(1)).expect("memoized run");
+        assert!(Arc::ptr_eq(&hit, &run), "hits share the run, not a copy");
+        memo.note_shared_hit();
+        let stats = memo.stats();
+        assert_eq!(stats.hits, 2, "one lookup hit + one in-flight join");
+        assert_eq!(stats.misses, 1, "only the spawned simulation is a miss");
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn sim_memo_evicts_least_recently_used() {
+        let mut memo = SimMemo::new(2);
+        let run = sim_run();
+        memo.insert(sim_key(1), Arc::clone(&run));
+        memo.insert(sim_key(2), Arc::clone(&run));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(memo.get(&sim_key(1)).is_some());
+        memo.insert(sim_key(3), Arc::clone(&run));
+        assert!(memo.contains(&sim_key(1)));
+        assert!(!memo.contains(&sim_key(2)));
+        assert!(memo.contains(&sim_key(3)));
+        assert_eq!(memo.stats().evictions, 1);
+        // The evicted run stays valid through its other references.
+        assert!(!run.outputs().is_empty());
+        memo.clear();
+        assert!(memo.is_empty());
+        assert_eq!(memo.stats(), CacheStats::default());
+        assert_eq!(memo.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_sim_memo() {
+        let mut memo = SimMemo::new(0);
+        memo.insert(sim_key(1), sim_run());
+        assert!(memo.is_empty(), "a disabled memo stores nothing");
+        assert!(memo.get(&sim_key(1)).is_none());
     }
 }

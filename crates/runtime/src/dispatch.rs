@@ -10,19 +10,48 @@
 //!    reload on the write-back variants (V3–V5), a ~1 ms PCAP partial
 //!    reconfiguration on the feed-forward ones — which is exactly why kernel
 //!    affinity matters so much more for V1/V2 pools.
-//! 2. **at the tile-free event** — [`Dispatcher::select_next`] picks which
-//!    queued request the freed tile runs next. The FIFO policies take the
-//!    oldest; [`EarliestDeadlineFirst`](DispatchPolicy::EarliestDeadlineFirst)
+//! 2. **at the tile-free event** — the freed tile's queue yields the request
+//!    it runs next. The FIFO policies take the oldest;
+//!    [`EarliestDeadlineFirst`](DispatchPolicy::EarliestDeadlineFirst)
 //!    takes the tightest absolute deadline; and
 //!    [`SlackAware`](DispatchPolicy::SlackAware) takes the least *slack* —
-//!    `deadline − now − modeled service − modeled switch cost` — so a
-//!    request whose kernel is already resident (zero switch) is correctly
-//!    seen as less urgent than one that must pay a reload first.
+//!    time to deadline minus modeled service and the switch cost the tile
+//!    would pay — so a request whose kernel is already resident (zero
+//!    switch) is correctly seen as less urgent than one that must pay a
+//!    reload first.
+//!
+//! # Indexed vs linear-reference scanning
+//!
+//! Both decisions have two interchangeable implementations selected by
+//! [`ScanMode`]:
+//!
+//! * [`ScanMode::Indexed`] (the default) answers placement from the
+//!   [`TilePool`]'s residency index in O(log n) and drains tile queues
+//!   through [`TileQueue`] — a per-policy ordered structure (FIFO deque,
+//!   deadline min-heap, or per-kernel slack buckets) that replaces the
+//!   per-event O(depth) scan-and-remove;
+//! * [`ScanMode::LinearReference`] retains the original O(tiles)-per-arrival
+//!   and O(depth)-per-free-event scans as the equivalence oracle for the
+//!   property tests and the *before* cost model of the scalability
+//!   benchmark. Its costs are the pre-index runtime's; its decisions match
+//!   today's semantics — which differ from the pre-index runtime in exactly
+//!   one deliberate way: [`SlackAware`](DispatchPolicy::SlackAware) ties on
+//!   *exactly* equal adjusted slack now prefer the request needing no
+//!   switch over pure FIFO order (both paths compare the same
+//!   `(adjusted, base, position)` key, which keeps the scan and the
+//!   incremental heaps bit-for-bit agreed without floating-point
+//!   re-association hazards).
+//!
+//! Both modes make identical decisions on every trace; the property suite
+//! (`tests/runtime_equivalence.rs`) proves it on randomized traces across
+//! all four policies.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
-use crate::cache::KernelKey;
-use crate::pool::{TilePool, TileState};
+use crate::cache::{FnvHashMap, KernelKey};
+use crate::pool::{TilePool, TileState, TimeKey};
 
 /// How the dispatcher places arrivals and orders tile queues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -40,10 +69,11 @@ pub enum DispatchPolicy {
     /// deadline go last, FIFO among themselves).
     EarliestDeadlineFirst,
     /// Earliest-completion placement, with tile queues drained in order of
-    /// *slack*: deadline − now − modeled service − modeled switch cost
-    /// against the tile's resident kernel. Unlike EDF this sees that a
-    /// request needing a ~1 ms PCAP swap is closer to its deadline than its
-    /// timestamp alone suggests.
+    /// *slack*: deadline − modeled service − modeled switch cost against the
+    /// tile's resident kernel. Unlike EDF this sees that a request needing a
+    /// ~1 ms PCAP swap is closer to its deadline than its timestamp alone
+    /// suggests. Slack ties prefer the request that needs no switch, then
+    /// FIFO order.
     SlackAware,
 }
 
@@ -76,6 +106,29 @@ impl fmt::Display for DispatchPolicy {
     }
 }
 
+/// Which implementation answers the dispatcher's per-event queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanMode {
+    /// Incremental indexes: O(log n) placement against the pool's residency
+    /// index, O(log depth) queue pops through [`TileQueue`].
+    #[default]
+    Indexed,
+    /// The retained pre-index implementation: O(tiles) linear scan per
+    /// placement, O(depth) queue scan and remove per tile-free event, and
+    /// O(tiles) `total_waiting` recomputation per event. Kept as the
+    /// equivalence oracle and benchmark baseline.
+    LinearReference,
+}
+
+impl fmt::Display for ScanMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanMode::Indexed => f.write_str("indexed"),
+            ScanMode::LinearReference => f.write_str("linear"),
+        }
+    }
+}
+
 /// One admitted request as the dispatcher sees it at an event: its kernel
 /// identity plus the modeled cost estimates decisions are made from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,28 +155,69 @@ impl DispatchRequest {
             None => f64::INFINITY,
         }
     }
+
+    /// The EDF selection key: the absolute deadline, `INFINITY` when none.
+    fn edf_key(&self) -> f64 {
+        self.deadline_us.unwrap_or(f64::INFINITY)
+    }
+
+    /// The time-independent part of the slack ordering: deadline minus
+    /// modeled service. The uniform `now` offset cancels out of any
+    /// comparison between queued requests, so selection drops it — which is
+    /// what lets the same key live in an incremental heap.
+    fn slack_base(&self) -> f64 {
+        self.edf_key() - self.est_exec_us
+    }
+
+    /// The slack selection key against `resident`: `(adjusted, base)` where
+    /// `adjusted` subtracts the switch cost the tile would pay. The `base`
+    /// component breaks adjusted ties in favor of the request that needs no
+    /// switch (then FIFO order breaks exact ties).
+    fn slack_key(&self, resident: Option<KernelKey>) -> (TimeKey, TimeKey) {
+        let base = self.slack_base();
+        let adjusted = if resident == Some(self.key) {
+            base
+        } else {
+            base - self.switch_us
+        };
+        (TimeKey(adjusted), TimeKey(base))
+    }
 }
 
 /// Makes per-event placement and queue-ordering decisions under a
-/// [`DispatchPolicy`].
+/// [`DispatchPolicy`], via the [`ScanMode`] implementation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dispatcher {
     policy: DispatchPolicy,
+    scan: ScanMode,
     next_tile: usize,
 }
 
 impl Dispatcher {
-    /// A dispatcher using `policy`.
+    /// A dispatcher using `policy` with indexed scanning.
     pub fn new(policy: DispatchPolicy) -> Self {
         Dispatcher {
             policy,
+            scan: ScanMode::default(),
             next_tile: 0,
         }
+    }
+
+    /// Sets the scan mode.
+    #[must_use]
+    pub fn with_scan_mode(mut self, scan: ScanMode) -> Self {
+        self.scan = scan;
+        self
     }
 
     /// The active policy.
     pub fn policy(&self) -> DispatchPolicy {
         self.policy
+    }
+
+    /// The active scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan
     }
 
     /// Clears per-serve state (the round-robin cursor).
@@ -143,19 +237,37 @@ impl Dispatcher {
             }
             DispatchPolicy::KernelAffinity
             | DispatchPolicy::EarliestDeadlineFirst
-            | DispatchPolicy::SlackAware => Self::earliest_completion(request, now_us, pool),
+            | DispatchPolicy::SlackAware => match self.scan {
+                ScanMode::Indexed => pool.place_earliest_indexed(
+                    request.key,
+                    request.est_exec_us,
+                    request.switch_us,
+                    now_us,
+                ),
+                ScanMode::LinearReference => {
+                    Self::earliest_completion_linear(request, now_us, pool)
+                }
+            },
         }
     }
 
-    /// The tile with the earliest estimated completion for `request`,
-    /// counting its backlog (running + queued work) and any required context
-    /// switch against the kernel the tile will be hosting once that backlog
-    /// drains. Completion ties are broken by preferring (in order) a tile
-    /// that needs no switch, a cold tile over evicting another warm kernel,
-    /// and the lowest index — so equal-latency choices never spend switch
-    /// time or kernel residency gratuitously, and decisions stay
-    /// deterministic.
-    fn earliest_completion(request: &DispatchRequest, now_us: f64, pool: &TilePool) -> usize {
+    /// The retained linear-scan reference for earliest-completion placement:
+    /// every tile's completion for `request` is estimated as its backlog
+    /// (running + queued work) plus any required context switch against the
+    /// kernel the tile will be hosting once that backlog drains. Completion
+    /// ties are broken by preferring (in order) a tile that needs no switch,
+    /// a cold tile over evicting another warm kernel, and the lowest index —
+    /// so equal-latency choices never spend switch time or kernel residency
+    /// gratuitously, and decisions stay deterministic.
+    ///
+    /// [`TilePool::place_earliest_indexed`] answers the same query from the
+    /// residency index in O(log n); the equivalence property tests hold the
+    /// two to identical answers.
+    pub(crate) fn earliest_completion_linear(
+        request: &DispatchRequest,
+        now_us: f64,
+        pool: &TilePool,
+    ) -> usize {
         let mut best = (f64::INFINITY, true, true, usize::MAX);
         for state in pool.states() {
             let projected = state.projected_resident();
@@ -172,35 +284,205 @@ impl Dispatcher {
         best.3
     }
 
-    /// Queue-ordering decision at a tile-free event: the position in `queue`
+    /// The retained linear-scan queue-ordering reference, used by the
+    /// [`ScanMode::LinearReference`] event loop: the position in `queue`
     /// (held in submission order) of the request `tile` should run next.
     ///
     /// Returns 0 (FIFO) for the deadline-blind policies and for an empty
     /// queue; EDF picks the tightest deadline, slack-aware the least
-    /// [`slack`](DispatchRequest::slack_us). All ties fall back to FIFO.
-    pub fn select_next(&self, tile: &TileState, queue: &[DispatchRequest], now_us: f64) -> usize {
+    /// [`slack`](DispatchRequest::slack_us) (ties prefer the request whose
+    /// kernel is already resident). Exact ties fall back to FIFO.
+    /// [`TileQueue`] answers the same query from an incrementally-ordered
+    /// structure.
+    pub fn select_next(&self, tile: &TileState, queue: &[DispatchRequest]) -> usize {
         match self.policy {
             DispatchPolicy::KernelAffinity | DispatchPolicy::RoundRobin => 0,
-            DispatchPolicy::EarliestDeadlineFirst => Self::argmin_by(queue, |request| {
-                request.deadline_us.unwrap_or(f64::INFINITY)
-            }),
+            DispatchPolicy::EarliestDeadlineFirst => {
+                Self::argmin_by(queue, |request| (TimeKey(request.edf_key()), TimeKey(0.0)))
+            }
             DispatchPolicy::SlackAware => {
-                Self::argmin_by(queue, |request| request.slack_us(tile, now_us))
+                Self::argmin_by(queue, |request| request.slack_key(tile.resident))
             }
         }
     }
 
     /// Position of the minimum of `urgency` over `queue`, first-wins on ties
     /// (FIFO). Returns 0 for an empty queue.
-    fn argmin_by(queue: &[DispatchRequest], urgency: impl Fn(&DispatchRequest) -> f64) -> usize {
-        let mut best = (f64::INFINITY, 0);
+    fn argmin_by(
+        queue: &[DispatchRequest],
+        urgency: impl Fn(&DispatchRequest) -> (TimeKey, TimeKey),
+    ) -> usize {
+        let mut best: Option<((TimeKey, TimeKey), usize)> = None;
         for (position, request) in queue.iter().enumerate() {
             let value = urgency(request);
-            if value < best.0 {
-                best = (value, position);
+            if best.is_none_or(|(current, _)| value < current) {
+                best = Some((value, position));
             }
         }
-        best.1
+        best.map_or(0, |(_, position)| position)
+    }
+}
+
+/// One tile's waiting queue under [`ScanMode::Indexed`]: an
+/// insertion-ordered deque (for FIFO draining and the residency-projection
+/// tail query) plus a policy-specific ordered structure so the next request
+/// pops in O(log depth) instead of an O(depth) scan-and-remove.
+///
+/// Selection removes entries logically by flagging them in the caller's
+/// `taken` bitmap; the deque and heaps drop flagged entries lazily, so every
+/// entry is pushed and popped at most once — O(log depth) amortized per
+/// event.
+#[derive(Debug)]
+pub(crate) struct TileQueue {
+    /// `(intake index, kernel)` in insertion (FIFO) order. Lazily cleaned
+    /// against the `taken` bitmap at both ends.
+    order: VecDeque<(usize, KernelKey)>,
+    /// Number of live (not yet taken) entries.
+    live: usize,
+    index: QueueOrder,
+}
+
+#[derive(Debug)]
+enum QueueOrder {
+    /// FIFO policies pop straight off the deque.
+    Fifo,
+    /// EDF: min-heap by (deadline, intake index).
+    Deadline(BinaryHeap<Reverse<(TimeKey, usize)>>),
+    /// Slack-aware: per-kernel buckets, each a min-heap by (deadline −
+    /// service, intake index). Within a bucket the switch cost is constant
+    /// (one compiled artifact per kernel key), so the bucket order *is* the
+    /// slack order; across buckets the selection adjusts each bucket's best
+    /// by that bucket's switch cost against the resident kernel — O(distinct
+    /// queued kernels) per pop, with kernel affinity keeping that count low.
+    Slack(FnvHashMap<KernelKey, SlackBucket>),
+}
+
+#[derive(Debug)]
+struct SlackBucket {
+    switch_us: f64,
+    heap: BinaryHeap<Reverse<(TimeKey, usize)>>,
+}
+
+impl TileQueue {
+    pub(crate) fn new(policy: DispatchPolicy) -> Self {
+        let index = match policy {
+            DispatchPolicy::KernelAffinity | DispatchPolicy::RoundRobin => QueueOrder::Fifo,
+            DispatchPolicy::EarliestDeadlineFirst => QueueOrder::Deadline(BinaryHeap::new()),
+            DispatchPolicy::SlackAware => QueueOrder::Slack(FnvHashMap::default()),
+        };
+        TileQueue {
+            order: VecDeque::new(),
+            live: 0,
+            index,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Appends an arriving request (by intake index, with its cached
+    /// dispatch view).
+    pub(crate) fn push(&mut self, index: usize, view: &DispatchRequest) {
+        self.order.push_back((index, view.key));
+        self.live += 1;
+        match &mut self.index {
+            QueueOrder::Fifo => {}
+            QueueOrder::Deadline(heap) => {
+                heap.push(Reverse((TimeKey(view.edf_key()), index)));
+            }
+            QueueOrder::Slack(buckets) => {
+                let bucket = buckets.entry(view.key).or_insert_with(|| SlackBucket {
+                    switch_us: view.switch_us,
+                    heap: BinaryHeap::new(),
+                });
+                bucket
+                    .heap
+                    .push(Reverse((TimeKey(view.slack_base()), index)));
+            }
+        }
+    }
+
+    /// Removes and returns the intake index the freed tile (hosting
+    /// `resident`) runs next, flagging it in `taken`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub(crate) fn pop_next(&mut self, resident: Option<KernelKey>, taken: &mut [bool]) -> usize {
+        assert!(self.live > 0, "pop from an empty tile queue");
+        self.live -= 1;
+        match &mut self.index {
+            QueueOrder::Fifo => {
+                let (index, _) = self.order.pop_front().expect("live entries imply a front");
+                taken[index] = true;
+                index
+            }
+            QueueOrder::Deadline(heap) => loop {
+                let Reverse((_, index)) = heap.pop().expect("live entries imply a heap top");
+                if !taken[index] {
+                    taken[index] = true;
+                    break index;
+                }
+            },
+            QueueOrder::Slack(buckets) => {
+                let mut best: Option<((TimeKey, TimeKey, usize), KernelKey)> = None;
+                let mut drained: Vec<KernelKey> = Vec::new();
+                for (&kernel, bucket) in buckets.iter_mut() {
+                    // Lazily drop taken entries off this bucket's top.
+                    while let Some(&Reverse((_, index))) = bucket.heap.peek() {
+                        if taken[index] {
+                            bucket.heap.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    let Some(&Reverse((base, index))) = bucket.heap.peek() else {
+                        drained.push(kernel);
+                        continue;
+                    };
+                    let adjusted = if resident == Some(kernel) {
+                        base
+                    } else {
+                        TimeKey(base.0 - bucket.switch_us)
+                    };
+                    let candidate = ((adjusted, base, index), kernel);
+                    if best.is_none_or(|(current, _)| candidate.0 < current) {
+                        best = Some(candidate);
+                    }
+                }
+                for kernel in drained {
+                    buckets.remove(&kernel);
+                }
+                let ((_, _, index), kernel) = best.expect("live entries imply a candidate");
+                let bucket = buckets.get_mut(&kernel).expect("candidate bucket exists");
+                bucket.heap.pop();
+                if bucket.heap.is_empty() {
+                    buckets.remove(&kernel);
+                }
+                taken[index] = true;
+                index
+            }
+        }
+    }
+
+    /// The kernel of the request currently last in the queue (FIFO order),
+    /// skipping taken entries — what the pool's residency projection needs
+    /// after a mid-queue removal.
+    pub(crate) fn tail_key(&mut self, taken: &[bool]) -> Option<KernelKey> {
+        while let Some(&(index, _)) = self.order.back() {
+            if taken[index] {
+                self.order.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.order.back().map(|&(_, kernel)| kernel)
     }
 }
 
@@ -237,8 +519,8 @@ mod tests {
         TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, tiles).unwrap()
     }
 
-    /// Replays a trace through place + charge, as the event loop would with
-    /// every tile draining instantly (no queueing).
+    /// Replays a trace through place + charge + release, as the event loop
+    /// would with every tile draining instantly (no queueing).
     fn place_all(
         dispatcher: &mut Dispatcher,
         trace: &[(f64, DispatchRequest)],
@@ -246,8 +528,13 @@ mod tests {
         let mut p = pool(3);
         let mut tiles = Vec::new();
         for (arrival, req) in trace {
+            for tile in 0..p.num_tiles() {
+                if p.states()[tile].running && p.states()[tile].available_us <= *arrival {
+                    p.release(tile);
+                }
+            }
             let tile = dispatcher.place(req, *arrival, &p);
-            p.states_mut()[tile].charge(req.key, *arrival, req.switch_us, req.est_exec_us);
+            p.charge(tile, req.key, *arrival, req.switch_us, req.est_exec_us);
             tiles.push(tile);
         }
         (p, tiles)
@@ -283,32 +570,64 @@ mod tests {
 
     /// With arrivals spaced out (no queueing pressure), affinity placement
     /// settles into one tile per kernel and only ever pays the cold-start
-    /// switches.
+    /// switches — under both scan modes.
     #[test]
     fn affinity_pins_kernels_when_tiles_are_not_contended() {
         let trace: Vec<(f64, DispatchRequest)> = (0..16u64)
             .map(|i| (i as f64 * 50.0, request(i % 2)))
             .collect();
-        let (p, _) = place_all(&mut Dispatcher::new(DispatchPolicy::KernelAffinity), &trace);
-        let switches: usize = p.states().iter().map(|s| s.switches).sum();
-        assert_eq!(switches, 2, "one cold start per kernel, then pinned");
+        for scan in [ScanMode::Indexed, ScanMode::LinearReference] {
+            let mut dispatcher =
+                Dispatcher::new(DispatchPolicy::KernelAffinity).with_scan_mode(scan);
+            let (p, tiles) = place_all(&mut dispatcher, &trace);
+            let switches: usize = p.states().iter().map(|s| s.switches).sum();
+            assert_eq!(
+                switches, 2,
+                "{scan}: one cold start per kernel, then pinned"
+            );
+            assert_eq!(tiles[0], 0, "{scan}: first kernel takes the lowest index");
+        }
+    }
+
+    /// Indexed and linear placement agree on every decision of an
+    /// interleaved, contended trace.
+    #[test]
+    fn scan_modes_place_identically() {
+        let trace: Vec<(f64, DispatchRequest)> = (0..64u64)
+            .map(|i| {
+                let mut req = request(i % 5);
+                req.est_exec_us = 5.0 + (i % 7) as f64;
+                req.switch_us = if i % 3 == 0 { 1000.0 } else { 0.25 };
+                (i as f64 * 3.0, req)
+            })
+            .collect();
+        let (_, indexed) = place_all(&mut Dispatcher::new(DispatchPolicy::KernelAffinity), &trace);
+        let (_, linear) = place_all(
+            &mut Dispatcher::new(DispatchPolicy::KernelAffinity)
+                .with_scan_mode(ScanMode::LinearReference),
+            &trace,
+        );
+        assert_eq!(indexed, linear);
     }
 
     #[test]
     fn affinity_prefers_the_resident_tile_over_an_expensive_swap() {
         // Tile 0 hosts kernel 1 and is busy until t=5; tile 1 is idle but
         // cold. With a 1000 us switch cost, waiting for tile 0 wins.
-        let mut p = pool(2);
         let expensive = DispatchRequest {
             key: key(1),
             est_exec_us: 10.0,
             switch_us: 1000.0,
             deadline_us: None,
         };
-        p.states_mut()[0].resident = Some(key(1));
-        p.states_mut()[0].available_us = 5.0;
-        let tile = Dispatcher::new(DispatchPolicy::KernelAffinity).place(&expensive, 0.0, &p);
-        assert_eq!(tile, 0);
+        for scan in [ScanMode::Indexed, ScanMode::LinearReference] {
+            let mut p = pool(2);
+            p.charge(0, key(1), 0.0, 0.0, 5.0);
+            let tile = Dispatcher::new(DispatchPolicy::KernelAffinity)
+                .with_scan_mode(scan)
+                .place(&expensive, 0.0, &p);
+            assert_eq!(tile, 0, "{scan}");
+        }
     }
 
     #[test]
@@ -317,13 +636,17 @@ mod tests {
         // with kernel 2 last in line; tile 1 is idle and cold. The queue
         // makes tile 1's cold start the earlier completion, and tile 0's
         // projected resident (kernel 2) means kernel 1 would switch anyway.
-        let mut p = pool(2);
-        p.states_mut()[0].resident = Some(key(1));
-        for fp in [1, 1, 2] {
-            p.states_mut()[0].enqueue(key(fp), 10.0);
+        for scan in [ScanMode::Indexed, ScanMode::LinearReference] {
+            let mut p = pool(2);
+            p.charge(0, key(1), 0.0, 0.0, 1.0);
+            for fp in [1, 1, 2] {
+                p.enqueue(0, key(fp), 10.0);
+            }
+            let tile = Dispatcher::new(DispatchPolicy::KernelAffinity)
+                .with_scan_mode(scan)
+                .place(&request(1), 0.0, &p);
+            assert_eq!(tile, 1, "{scan}: queued backlog outweighs residency");
         }
-        let tile = Dispatcher::new(DispatchPolicy::KernelAffinity).place(&request(1), 0.0, &p);
-        assert_eq!(tile, 1, "queued backlog outweighs residency");
     }
 
     #[test]
@@ -344,7 +667,7 @@ mod tests {
         let queue = [with_deadline(1, 5.0), with_deadline(2, 1.0)];
         for policy in [DispatchPolicy::KernelAffinity, DispatchPolicy::RoundRobin] {
             assert_eq!(
-                Dispatcher::new(policy).select_next(&p.states()[0], &queue, 0.0),
+                Dispatcher::new(policy).select_next(&p.states()[0], &queue),
                 0,
                 "{policy} drains FIFO"
             );
@@ -357,10 +680,10 @@ mod tests {
         let p = pool(1);
         let dispatcher = Dispatcher::new(DispatchPolicy::EarliestDeadlineFirst);
         let queue = [request(1), with_deadline(2, 90.0), with_deadline(3, 40.0)];
-        assert_eq!(dispatcher.select_next(&p.states()[0], &queue, 0.0), 2);
+        assert_eq!(dispatcher.select_next(&p.states()[0], &queue), 2);
         // Without any deadlines EDF degenerates to FIFO.
         let queue = [request(1), request(2)];
-        assert_eq!(dispatcher.select_next(&p.states()[0], &queue, 0.0), 0);
+        assert_eq!(dispatcher.select_next(&p.states()[0], &queue), 0);
         assert!(DispatchPolicy::EarliestDeadlineFirst.is_deadline_aware());
     }
 
@@ -377,22 +700,87 @@ mod tests {
             ..with_deadline(2, 100.0)
         };
         assert_eq!(
-            dispatcher.select_next(&p.states()[0], &[resident, cold], 0.0),
+            dispatcher.select_next(&p.states()[0], &[resident, cold]),
             1,
             "the swap eats 20 us of kernel 2's slack"
         );
         // EDF, blind to the switch cost, would have kept FIFO order.
         assert_eq!(
-            Dispatcher::new(DispatchPolicy::EarliestDeadlineFirst).select_next(
-                &p.states()[0],
-                &[resident, cold],
-                0.0
-            ),
+            Dispatcher::new(DispatchPolicy::EarliestDeadlineFirst)
+                .select_next(&p.states()[0], &[resident, cold]),
             0
         );
         assert!((resident.slack_us(&p.states()[0], 0.0) - 90.0).abs() < 1e-12);
         assert!((cold.slack_us(&p.states()[0], 0.0) - 70.0).abs() < 1e-12);
         assert_eq!(request(1).slack_us(&p.states()[0], 0.0), f64::INFINITY);
+    }
+
+    /// On an exact slack tie, the request whose kernel is already resident
+    /// wins (no gratuitous switch); exact full ties fall back to FIFO.
+    #[test]
+    fn slack_ties_prefer_the_resident_kernel_then_fifo() {
+        let mut p = pool(1);
+        p.states_mut()[0].resident = Some(key(2));
+        let dispatcher = Dispatcher::new(DispatchPolicy::SlackAware);
+        // Request 1 (cold, switch 20): adjusted slack 100-10-20 = 70.
+        // Request 2 (resident): deadline 80 gives the same 80-10 = 70.
+        let cold = DispatchRequest {
+            switch_us: 20.0,
+            ..with_deadline(1, 100.0)
+        };
+        let resident = with_deadline(2, 80.0);
+        assert_eq!(
+            dispatcher.select_next(&p.states()[0], &[cold, resident]),
+            1,
+            "equal slack resolves to the no-switch request"
+        );
+        // Identical requests: FIFO.
+        assert_eq!(
+            dispatcher.select_next(&p.states()[0], &[cold, cold]),
+            0,
+            "exact ties drain FIFO"
+        );
+    }
+
+    /// The indexed tile queue pops the same request the linear argmin picks,
+    /// across policies, including after mid-queue removals.
+    #[test]
+    fn tile_queue_matches_the_linear_selection_reference() {
+        let mut p = pool(1);
+        p.states_mut()[0].resident = Some(key(2));
+        let views = [
+            with_deadline(1, 90.0),
+            request(2),
+            with_deadline(2, 95.0),
+            with_deadline(3, 40.0),
+            request(1),
+            with_deadline(2, 40.0),
+        ];
+        for policy in DispatchPolicy::ALL {
+            let dispatcher = Dispatcher::new(policy);
+            let mut queue = TileQueue::new(policy);
+            let mut taken = vec![false; views.len()];
+            for (index, view) in views.iter().enumerate() {
+                queue.push(index, view);
+            }
+            assert_eq!(queue.len(), views.len());
+            // Mirror of the linear queue: (intake index, view), FIFO order.
+            let mut linear: Vec<(usize, DispatchRequest)> =
+                views.iter().copied().enumerate().collect();
+            while !queue.is_empty() {
+                let linear_views: Vec<DispatchRequest> =
+                    linear.iter().map(|&(_, view)| view).collect();
+                let position = dispatcher.select_next(&p.states()[0], &linear_views);
+                let (expected, _) = linear.remove(position);
+                let got = queue.pop_next(p.states()[0].resident, &mut taken);
+                assert_eq!(got, expected, "{policy} diverged");
+                assert_eq!(
+                    queue.tail_key(&taken),
+                    linear.last().map(|&(_, view)| view.key),
+                    "{policy} tail projection diverged"
+                );
+            }
+        }
     }
 
     #[test]
@@ -407,5 +795,8 @@ mod tests {
             Dispatcher::default().policy(),
             DispatchPolicy::KernelAffinity
         );
+        assert_eq!(Dispatcher::default().scan_mode(), ScanMode::Indexed);
+        assert_eq!(ScanMode::Indexed.to_string(), "indexed");
+        assert_eq!(ScanMode::LinearReference.to_string(), "linear");
     }
 }

@@ -16,7 +16,7 @@
 //! deterministic for a given submission order.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// What a scheduled event does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,11 +76,19 @@ impl Ord for HeapEntry {
 }
 
 /// A monotone virtual-time priority queue of [`Event`]s.
+///
+/// Two lanes share one total order by `(time, seq)`: a binary heap for
+/// events scheduled in arbitrary order (tile completions), and a plain FIFO
+/// for the *monotone* lane ([`push_monotone`](EventQueue::push_monotone)) —
+/// request arrivals enter in non-decreasing time order, so they need no
+/// heap sift at all.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<HeapEntry>,
+    monotone: VecDeque<Event>,
     next_seq: u64,
     now_us: f64,
+    fired: u64,
 }
 
 impl EventQueue {
@@ -111,27 +119,81 @@ impl EventQueue {
         self.heap.push(HeapEntry(Event { time_us, seq, kind }));
     }
 
+    /// Schedules `kind` at `time_us` on the monotone lane: times must be
+    /// non-decreasing across `push_monotone` calls, which is exactly the
+    /// order submissions arrive in — so the event needs a FIFO append
+    /// instead of a heap sift. Ordering relative to [`push`](Self::push)ed
+    /// events is identical (one `(time, seq)` order spans both lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_us` is NaN, earlier than the current virtual time, or
+    /// earlier than the last monotone event.
+    pub fn push_monotone(&mut self, time_us: f64, kind: EventKind) {
+        assert!(
+            time_us >= self.now_us,
+            "event at {time_us} us scheduled before virtual now ({} us)",
+            self.now_us
+        );
+        if let Some(last) = self.monotone.back() {
+            assert!(
+                time_us >= last.time_us,
+                "monotone event at {time_us} us scheduled before the lane's tail ({} us)",
+                last.time_us
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.monotone.push_back(Event { time_us, seq, kind });
+    }
+
+    /// Whether the heap lane's head fires before the monotone lane's head.
+    fn heap_first(&self) -> bool {
+        match (self.heap.peek(), self.monotone.front()) {
+            (Some(_), None) => true,
+            (None, _) => false,
+            (Some(entry), Some(front)) => {
+                (entry.0.time_us, entry.0.seq) < (front.time_us, front.seq)
+            }
+        }
+    }
+
     /// The virtual time of the earliest pending event, if any.
     pub fn peek_time_us(&self) -> Option<f64> {
-        self.heap.peek().map(|entry| entry.0.time_us)
+        if self.heap_first() {
+            self.heap.peek().map(|entry| entry.0.time_us)
+        } else {
+            self.monotone.front().map(|event| event.time_us)
+        }
     }
 
     /// Pops the earliest pending event and advances the virtual clock to it.
     pub fn pop(&mut self) -> Option<Event> {
-        let event = self.heap.pop()?.0;
+        let event = if self.heap_first() {
+            self.heap.pop()?.0
+        } else {
+            self.monotone.pop_front()?
+        };
         debug_assert!(event.time_us >= self.now_us, "virtual time ran backwards");
         self.now_us = event.time_us;
+        self.fired += 1;
         Some(event)
+    }
+
+    /// Number of events fired (popped) so far — the host-side event count
+    /// throughput benchmarks divide wall time by.
+    pub fn fired(&self) -> u64 {
+        self.fired
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.monotone.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.monotone.is_empty()
     }
 }
 
@@ -148,6 +210,7 @@ mod tests {
         let times: Vec<f64> = std::iter::from_fn(|| queue.pop().map(|e| e.time_us)).collect();
         assert_eq!(times, vec![1.0, 3.0, 5.0]);
         assert_eq!(queue.now_us(), 5.0);
+        assert_eq!(queue.fired(), 3);
         assert!(queue.is_empty());
     }
 
@@ -168,6 +231,42 @@ mod tests {
                 EventKind::Arrival { index: 8 },
             ]
         );
+    }
+
+    /// The monotone lane and the heap lane share one `(time, seq)` order:
+    /// interleaved pushes fire exactly as they would from a single heap.
+    #[test]
+    fn monotone_and_heap_lanes_interleave_by_time_then_insertion() {
+        let mut queue = EventQueue::new();
+        queue.push_monotone(1.0, EventKind::Arrival { index: 0 });
+        queue.push(3.0, EventKind::TileFree { tile: 0 });
+        queue.push_monotone(3.0, EventKind::Arrival { index: 1 });
+        queue.push(2.0, EventKind::TileFree { tile: 1 });
+        queue.push_monotone(4.0, EventKind::Arrival { index: 2 });
+        assert_eq!(queue.len(), 5);
+        let fired: Vec<(f64, EventKind)> =
+            std::iter::from_fn(|| queue.pop().map(|e| (e.time_us, e.kind))).collect();
+        assert_eq!(
+            fired,
+            vec![
+                (1.0, EventKind::Arrival { index: 0 }),
+                (2.0, EventKind::TileFree { tile: 1 }),
+                // Same timestamp: the tile-free was pushed first, so its
+                // lower seq fires first.
+                (3.0, EventKind::TileFree { tile: 0 }),
+                (3.0, EventKind::Arrival { index: 1 }),
+                (4.0, EventKind::Arrival { index: 2 }),
+            ]
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the lane's tail")]
+    fn monotone_lane_rejects_time_regressions() {
+        let mut queue = EventQueue::new();
+        queue.push_monotone(5.0, EventKind::Arrival { index: 0 });
+        queue.push_monotone(4.0, EventKind::Arrival { index: 1 });
     }
 
     #[test]

@@ -4,12 +4,15 @@
 //! into NoC-connected *tiles*, and Sec. V shows their killer feature: a
 //! ~0.25 µs hardware context switch (instruction reload) against ~1 ms of
 //! PCAP partial reconfiguration for the feed-forward overlays. This crate
-//! turns those models into an **online, event-driven** serving system:
+//! turns those models into an **online, event-driven** serving system whose
+//! host-side hot path stays O(log n) per event as the pool and the queues
+//! grow:
 //!
 //! * [`Submitter`] — streaming request ingestion over a bounded channel:
 //!   [`Runtime::serve_stream`] accepts requests as they are produced, with
 //!   backpressure when the ingest buffer fills and an admission-control
-//!   reject path when tile queues overflow;
+//!   reject path when tile queues overflow. Requests stream as
+//!   [`Arc<Request>`] — no workload is ever deep-cloned on the way in;
 //! * a virtual-time **event loop** ([`event`]) — every dispatch decision
 //!   happens at an arrival or tile-free event against live per-tile queue
 //!   state, never with knowledge of the future trace;
@@ -18,17 +21,28 @@
 //!   [`overlay_arch::ReconfigModel`] swap cost (µs instruction reload for
 //!   V3–V5, ms PCAP for `[14]`/V1/V2) whenever a tile must change kernels;
 //!   [`DispatchPolicy::EarliestDeadlineFirst`] and
-//!   [`DispatchPolicy::SlackAware`] drain tile queues by deadline urgency;
+//!   [`DispatchPolicy::SlackAware`] drain tile queues by deadline urgency.
+//!   Placement consults the [`TilePool`]'s **residency index** in O(log n)
+//!   instead of scanning every tile, and queue draining pops from per-tile
+//!   ordered structures instead of scanning every waiter — with
+//!   [`ScanMode::LinearReference`] retaining the original scans as an
+//!   equivalence oracle and benchmark baseline;
 //! * [`TilePool`] — N replicated tiles (from [`overlay_arch::Tile`] /
 //!   [`overlay_arch::NocConfig`]), each hosting one resident kernel plus a
-//!   live queue;
+//!   live queue, indexed by residency and backlog;
 //! * [`KernelCache`] — an LRU over compiled kernels keyed by source hash +
-//!   variant + depth, so each distinct kernel compiles once per trace;
+//!   variant + depth, so each distinct kernel compiles once per trace — and
+//!   a [`SimMemo`] over finished simulation runs keyed by (kernel,
+//!   workload digest), so a repeated tenant request skips the functional
+//!   simulation entirely;
 //! * parallel functional execution — cycle-accurate simulations run on a
-//!   pool of host worker threads wrapping [`overlay_sim::OverlaySimulator`];
+//!   pool of host worker threads wrapping [`overlay_sim::OverlaySimulator`],
+//!   each fed by its own job channel (no contended receiver lock), with
+//!   identical in-flight requests deduplicated onto one run;
 //! * [`RuntimeMetrics`] — requests/s, p50/p99 modeled latency, per-tile
-//!   utilization, cache hit rate, context-switch totals, queue depths,
-//!   admission rejects and deadline miss rates.
+//!   utilization, cache and memo hit rates, context-switch totals, queue
+//!   depths, admission rejects, deadline miss rates and the host-side event
+//!   count.
 //!
 //! # Example
 //!
@@ -60,6 +74,9 @@
 //! // Each kernel compiled once; every later request hit the cache.
 //! assert_eq!(report.metrics().cache.misses, 2);
 //! assert_eq!(report.metrics().cache.hits, 6);
+//! // Each (kernel, workload) simulated once; the repeats were memoized.
+//! assert_eq!(report.metrics().sim_memo.misses, 2);
+//! assert_eq!(report.metrics().sim_memo.hits, 6);
 //! // Nothing was turned away and the generous deadlines were all met.
 //! assert_eq!(report.metrics().rejects, 0);
 //! assert_eq!(report.metrics().deadline_misses, 0);
@@ -80,18 +97,21 @@ pub mod pool;
 pub mod request;
 pub mod submit;
 
-pub use cache::{CacheStats, KernelCache, KernelKey};
-pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher};
+pub use cache::{CacheStats, KernelCache, KernelKey, SimKey, SimMemo};
+
+use cache::FnvHashMap;
+pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher, ScanMode};
 pub use error::RuntimeError;
 pub use metrics::RuntimeMetrics;
 pub use pool::{ChargeOutcome, TilePool, TileState};
 pub use request::{KernelSpec, Request};
 pub use submit::{SubmitError, Submitter};
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{mpsc, Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
+use dispatch::TileQueue;
 use event::{EventKind, EventQueue};
 use overlay_arch::{FuVariant, NocConfig, OverlayConfig, ReconfigModel, TileComposition};
 use overlay_dfg::Value;
@@ -101,16 +121,21 @@ use overlay_sim::{OverlaySimulator, SimError, SimMetrics, SimRun};
 
 /// What happened to one served request: where it ran, what it produced and
 /// the modeled timing it experienced.
+///
+/// Outcomes are allocation-light by construction: the kernel name is shared
+/// with the request's [`KernelSpec`] and the functional outputs are shared
+/// with the (possibly memoized) simulation run — recording an outcome never
+/// deep-copies either.
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
     /// The caller-chosen request id.
     pub request_id: u64,
-    /// The kernel name.
-    pub kernel: String,
+    /// The kernel name (shared with the request's spec).
+    pub kernel: Arc<str>,
     /// The tile that served the request.
     pub tile: usize,
-    /// Functional outputs, one record per invocation.
-    pub outputs: Vec<Vec<Value>>,
+    /// The simulation run behind this outcome (shared, possibly memoized).
+    run: Arc<SimRun>,
     /// The simulator's cycle-level metrics for this request.
     pub sim: SimMetrics,
     /// When queueing ended and the switch/execution began, microseconds.
@@ -129,14 +154,22 @@ pub struct RequestOutcome {
     pub missed_deadline: bool,
 }
 
+impl RequestOutcome {
+    /// Functional outputs, one record per invocation — a view into the
+    /// shared simulation run.
+    pub fn outputs(&self) -> &[Vec<Value>] {
+        self.run.outputs()
+    }
+}
+
 /// A request turned away by admission control: it was never placed on a
 /// tile and produced no outputs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RejectedRequest {
     /// The caller-chosen request id.
     pub id: u64,
-    /// The kernel name.
-    pub kernel: String,
+    /// The kernel name (shared with the request's spec).
+    pub kernel: Arc<str>,
     /// When the request arrived, microseconds.
     pub arrival_us: f64,
     /// The deadline the request carried, if any — shed deadline work is
@@ -176,36 +209,40 @@ impl ServeReport {
     }
 }
 
-/// Per-serve context shared by every request's preparation.
+/// Per-serve context shared by every request's preparation, including the
+/// per-kernel derived timing figures (operating frequency, switch cost,
+/// steady-state II) so they are computed once per distinct kernel rather
+/// than once per request.
 struct PrepContext {
     variant: FuVariant,
     writeback: bool,
     depth: usize,
     tile_overlay: Option<OverlayConfig>,
+    derived: FnvHashMap<KernelKey, DerivedTiming>,
 }
 
-/// Everything the loop derives for a request when it is streamed in.
-struct InFlight {
-    request: Arc<Request>,
-    key: KernelKey,
-    compiled: Arc<CompiledKernel>,
+/// Kernel-dependent timing facts reused across every request for that
+/// kernel within one serve.
+#[derive(Clone, Copy)]
+struct DerivedTiming {
     fmax_mhz: f64,
     switch_us: f64,
-    est_exec_us: f64,
+    ii: f64,
+    fill_cycles: f64,
 }
 
-impl InFlight {
-    fn dispatch_view(&self) -> DispatchRequest {
-        DispatchRequest {
-            key: self.key,
-            est_exec_us: self.est_exec_us,
-            switch_us: self.switch_us,
-            deadline_us: self.request.deadline_us,
-        }
-    }
+/// Everything the loop derives for a request when it is streamed in: the
+/// dispatch view (kernel identity + modeled costs) is computed once here and
+/// reused at every event the request participates in.
+struct InFlight {
+    request: Arc<Request>,
+    sim_key: SimKey,
+    compiled: Arc<CompiledKernel>,
+    fmax_mhz: f64,
+    view: DispatchRequest,
 }
 
-/// A functional-simulation job handed to the worker pool.
+/// A functional-simulation job handed to a worker.
 struct SimJob {
     index: usize,
     compiled: Arc<CompiledKernel>,
@@ -213,24 +250,138 @@ struct SimJob {
 }
 
 /// Sim results as the event loop consumes them: jobs are spawned eagerly at
-/// admission, workers return them in any order, and the loop blocks for a
-/// specific index only when a tile is about to execute that request.
+/// admission (deduplicated by [`SimKey`] against in-flight runs while
+/// memoization is enabled), dealt to the least-loaded worker, returned in
+/// any order, and the loop blocks for a specific index only when a tile is
+/// about to execute that request.
 struct SimResults<'a> {
     rx: &'a mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
-    ready: HashMap<usize, Result<SimRun, SimError>>,
+    /// One slot per intake index — no hashing on the hot path.
+    ready: Vec<Option<Result<Arc<SimRun>, SimError>>>,
+    /// Intake indices awaiting each in-flight simulation; the first entry is
+    /// the index the job was spawned under. Unused when `dedup` is off.
+    pending: FnvHashMap<SimKey, Vec<usize>>,
+    /// Whether identical in-flight requests join one simulation. Follows the
+    /// memo: a disabled memo (capacity 0) means *every* request simulates.
+    dedup: bool,
+    /// Jobs dispatched to and not yet returned by each worker — new jobs go
+    /// to the least-loaded worker so one long simulation does not pin
+    /// later jobs behind it on a single channel.
+    outstanding: Vec<u32>,
+    /// Which worker each spawned intake index was dealt to.
+    worker_of: FnvHashMap<usize, usize>,
 }
 
 impl SimResults<'_> {
-    fn take(&mut self, index: usize) -> Result<SimRun, RuntimeError> {
+    /// The worker with the fewest outstanding jobs (ties to the lowest id).
+    fn least_loaded(&self) -> usize {
+        self.outstanding
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &load)| load)
+            .map(|(worker, _)| worker)
+            .expect("at least one sim worker exists")
+    }
+
+    /// Records that `index`'s job was dealt to `worker`.
+    fn note_dispatched(&mut self, worker: usize, index: usize) {
+        self.outstanding[worker] += 1;
+        self.worker_of.insert(index, worker);
+    }
+
+    /// Blocks until the run for `index` is available, fanning every received
+    /// result out to all requests awaiting the same simulation and memoizing
+    /// successful runs.
+    fn take(
+        &mut self,
+        index: usize,
+        intake: &[InFlight],
+        memo: &mut SimMemo,
+    ) -> Result<Arc<SimRun>, RuntimeError> {
         loop {
-            if let Some(result) = self.ready.remove(&index) {
+            if let Some(result) = self.ready[index].take() {
                 return result.map_err(RuntimeError::from);
             }
             let (done, run) = self
                 .rx
                 .recv()
                 .expect("sim worker pool terminated while results were outstanding");
-            self.ready.insert(done, run);
+            let worker = self
+                .worker_of
+                .remove(&done)
+                .expect("every result matches a dispatched job");
+            self.outstanding[worker] -= 1;
+            if !self.dedup {
+                self.ready[done] = Some(run.map(Arc::new));
+                continue;
+            }
+            let key = intake[done].sim_key;
+            let waiters = self
+                .pending
+                .remove(&key)
+                .expect("every spawned job has waiters");
+            match run {
+                Ok(run) => {
+                    let run = Arc::new(run);
+                    memo.insert(key, Arc::clone(&run));
+                    for waiter in waiters {
+                        self.ready[waiter] = Some(Ok(Arc::clone(&run)));
+                    }
+                }
+                Err(err) => {
+                    for waiter in waiters {
+                        self.ready[waiter] = Some(Err(err.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Where the event loop pulls submissions from: a live bounded channel
+/// (streaming serves) or the pre-collected trace itself (batch serves skip
+/// the channel and its per-request synchronization entirely).
+enum Ingest {
+    Stream(mpsc::Receiver<Arc<Request>>),
+    Batch(std::vec::IntoIter<Request>),
+}
+
+impl Ingest {
+    /// Blocking pull of the next submission; `None` means the trace is
+    /// complete.
+    fn recv(&mut self) -> Option<Arc<Request>> {
+        match self {
+            Ingest::Stream(rx) => rx.recv().ok(),
+            Ingest::Batch(iter) => iter.next().map(Arc::new),
+        }
+    }
+
+    /// Non-blocking pull of an already-available submission, letting the
+    /// loop drain the stream buffer in batches instead of paying one
+    /// channel synchronization per request. Batch ingest always answers
+    /// `None`: with no channel to amortize, pulling strictly by the horizon
+    /// rule keeps the event heap small.
+    fn try_recv(&mut self) -> Option<Arc<Request>> {
+        match self {
+            Ingest::Stream(rx) => rx.try_recv().ok(),
+            Ingest::Batch(_) => None,
+        }
+    }
+}
+
+/// The per-tile waiting queues, in the shape the active [`ScanMode`] needs:
+/// ordered index structures, or the plain FIFO deques the linear-reference
+/// scan-and-remove path works over.
+enum TileQueues {
+    Indexed(Vec<TileQueue>),
+    Linear(Vec<VecDeque<usize>>),
+}
+
+impl TileQueues {
+    fn is_empty(&self, tile: usize) -> bool {
+        match self {
+            TileQueues::Indexed(queues) => queues[tile].is_empty(),
+            TileQueues::Linear(queues) => queues[tile].is_empty(),
         }
     }
 }
@@ -238,10 +389,10 @@ impl SimResults<'_> {
 /// Mutable event-loop state, separate from the `Runtime` so placement (on
 /// `self`) and bookkeeping borrows stay disjoint.
 struct OnlineState<'a> {
-    queues: Vec<VecDeque<usize>>,
-    /// Whether each tile is executing a request (between its start and its
-    /// tile-free event).
-    busy: Vec<bool>,
+    queues: TileQueues,
+    /// Per intake index: logically removed from its tile queue (the ordered
+    /// structures drop flagged entries lazily).
+    taken: Vec<bool>,
     events: EventQueue,
     outcome_slots: Vec<Option<RequestOutcome>>,
     rejected: Vec<RejectedRequest>,
@@ -257,6 +408,7 @@ struct LoopOutput {
     rejected: Vec<RejectedRequest>,
     peak_queue_depth: usize,
     queue_area_us: f64,
+    events_fired: u64,
 }
 
 /// An online multi-tile serving runtime over one overlay variant.
@@ -268,6 +420,7 @@ pub struct Runtime {
     pool: TilePool,
     dispatcher: Dispatcher,
     cache: KernelCache,
+    sim_memo: SimMemo,
     reconfig: ReconfigModel,
     lower: LowerOptions,
     ingest_capacity: usize,
@@ -277,6 +430,9 @@ pub struct Runtime {
 impl Runtime {
     /// Default capacity of the kernel cache.
     pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+    /// Default capacity of the simulation memo.
+    pub const DEFAULT_SIM_MEMO_CAPACITY: usize = 1024;
 
     /// Default bound of the streaming ingest channel.
     pub const DEFAULT_INGEST_CAPACITY: usize = 64;
@@ -306,6 +462,7 @@ impl Runtime {
             dispatcher: Dispatcher::default(),
             cache: KernelCache::new(Self::DEFAULT_CACHE_CAPACITY)
                 .expect("default capacity is non-zero"),
+            sim_memo: SimMemo::new(Self::DEFAULT_SIM_MEMO_CAPACITY),
             reconfig: ReconfigModel::new(),
             lower: LowerOptions::default(),
             ingest_capacity: Self::DEFAULT_INGEST_CAPACITY,
@@ -316,7 +473,20 @@ impl Runtime {
     /// Sets the dispatch policy.
     #[must_use]
     pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
-        self.dispatcher = Dispatcher::new(policy);
+        let scan = self.dispatcher.scan_mode();
+        self.dispatcher = Dispatcher::new(policy).with_scan_mode(scan);
+        self
+    }
+
+    /// Sets the scan mode: [`ScanMode::Indexed`] (the default) answers
+    /// placement and queue ordering from incremental indexes;
+    /// [`ScanMode::LinearReference`] retains the original per-event scans as
+    /// an equivalence oracle and benchmark baseline. Both modes make
+    /// identical decisions on every trace.
+    #[must_use]
+    pub fn with_scan_mode(mut self, scan: ScanMode) -> Self {
+        self.dispatcher = self.dispatcher.with_scan_mode(scan);
+        self.pool.set_indexing(scan == ScanMode::Indexed);
         self
     }
 
@@ -328,6 +498,15 @@ impl Runtime {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Result<Self, RuntimeError> {
         self.cache = KernelCache::new(capacity)?;
         Ok(self)
+    }
+
+    /// Replaces the simulation memo with one of `capacity` entries.
+    /// A capacity of 0 disables memoization *and* in-flight deduplication —
+    /// every request simulates.
+    #[must_use]
+    pub fn with_sim_memo_capacity(mut self, capacity: usize) -> Self {
+        self.sim_memo = SimMemo::new(capacity);
+        self
     }
 
     /// Sets the bound of the streaming ingest channel (`0` makes every
@@ -361,12 +540,14 @@ impl Runtime {
 
     /// Overrides the front-end lowering options.
     ///
-    /// Clears the kernel cache: cached artifacts were compiled under the old
-    /// options and their [`KernelKey`] does not encode lowering options.
+    /// Clears the kernel cache and the simulation memo: cached artifacts
+    /// were compiled under the old options and their [`KernelKey`] does not
+    /// encode lowering options.
     #[must_use]
     pub fn with_lower_options(mut self, options: LowerOptions) -> Self {
         self.lower = options;
         self.cache.clear();
+        self.sim_memo.clear();
         self
     }
 
@@ -378,6 +559,11 @@ impl Runtime {
     /// The active dispatch policy.
     pub fn policy(&self) -> DispatchPolicy {
         self.dispatcher.policy()
+    }
+
+    /// The active scan mode.
+    pub fn scan_mode(&self) -> ScanMode {
+        self.dispatcher.scan_mode()
     }
 
     /// The bound of the streaming ingest channel.
@@ -400,24 +586,31 @@ impl Runtime {
         &self.cache
     }
 
-    /// Serves a pre-collected trace. A thin compatibility shim over
-    /// [`serve_stream`](Runtime::serve_stream): the requests are streamed in
-    /// submission order and dispatched online exactly as live traffic would
-    /// be.
+    /// The simulation memo (counters accumulate across serves).
+    pub fn sim_memo(&self) -> &SimMemo {
+        &self.sim_memo
+    }
+
+    /// Serves a pre-collected trace, taken by value so streaming it through
+    /// the loop never deep-clones a workload. The requests are consumed in
+    /// iteration order and dispatched online exactly as
+    /// [`serve_stream`](Runtime::serve_stream) would dispatch live traffic —
+    /// but straight off the trace, with no ingest channel or feeder thread
+    /// in between. Pass `trace.clone()` to keep a trace for a later replay.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] for an empty trace, invalid or
     /// out-of-order arrival times, or any compile/simulation failure.
-    pub fn serve(&mut self, requests: &[Request]) -> Result<ServeReport, RuntimeError> {
-        self.serve_stream(|submitter| {
-            for request in requests {
-                if submitter.submit(request.clone()).is_err() {
-                    // The loop failed; its error is what serve_stream returns.
-                    break;
-                }
-            }
-        })
+    pub fn serve<I>(&mut self, requests: I) -> Result<ServeReport, RuntimeError>
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        let requests: Vec<Request> = requests.into_iter().collect();
+        self.run_serve(
+            Ingest::Batch(requests.into_iter()),
+            None::<(fn(Submitter), _)>,
+        )
     }
 
     /// Serves a live request stream: `feed` runs on its own thread and
@@ -439,30 +632,43 @@ impl Runtime {
     where
         F: FnOnce(Submitter) + Send,
     {
+        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<Arc<Request>>(self.ingest_capacity);
+        self.run_serve(Ingest::Stream(ingest_rx), Some((feed, ingest_tx)))
+    }
+
+    /// The shared serve body: resets per-serve state, spins up the sim
+    /// worker pool (and the feeder thread for streaming serves), runs the
+    /// event loop over `ingest` and folds the output into a report.
+    fn run_serve<F>(
+        &mut self,
+        ingest: Ingest,
+        feed: Option<(F, mpsc::SyncSender<Arc<Request>>)>,
+    ) -> Result<ServeReport, RuntimeError>
+    where
+        F: FnOnce(Submitter) + Send,
+    {
         self.pool.reset();
         self.dispatcher.reset();
         let cache_before = self.cache.stats();
+        let memo_before = self.sim_memo.stats();
 
-        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<Request>(self.ingest_capacity);
-        let (job_tx, job_rx) = mpsc::channel::<SimJob>();
         let (result_tx, result_rx) = mpsc::channel::<(usize, Result<SimRun, SimError>)>();
-        let job_rx = Mutex::new(job_rx);
         let workers = self.pool.num_tiles().clamp(1, Self::MAX_SIM_WORKERS);
         let variant = self.pool.variant();
+        // One job channel per worker: the event loop deals jobs round-robin,
+        // so workers never contend on a shared receiver lock.
+        let (job_txs, job_rxs): (Vec<_>, Vec<_>) =
+            (0..workers).map(|_| mpsc::channel::<SimJob>()).unzip();
 
         let output = thread::scope(|scope| {
-            scope.spawn(move || feed(Submitter::new(ingest_tx)));
-            for _ in 0..workers {
-                let job_rx = &job_rx;
+            if let Some((feed, ingest_tx)) = feed {
+                scope.spawn(move || feed(Submitter::new(ingest_tx)));
+            }
+            for job_rx in job_rxs {
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     let simulator = OverlaySimulator::new(variant).with_trace_capacity(0);
-                    loop {
-                        // Hold the lock only to pull the next job.
-                        let job = match job_rx.lock().expect("job queue poisoned").recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // loop dropped the sender: done
-                        };
+                    while let Ok(job) = job_rx.recv() {
                         let run = simulator.run(&job.compiled, &job.request.workload);
                         if result_tx.send((job.index, run)).is_err() {
                             break; // loop is gone (it failed); stop working
@@ -471,25 +677,38 @@ impl Runtime {
                 });
             }
             drop(result_tx); // workers hold the clones that matter
-                             // `ingest_rx` and `job_tx` move into the loop so that returning
-                             // (success or error) disconnects the feeder and the workers and
+                             // `ingest` and the job senders move into the
+                             // loop so that returning (success or error)
+                             // disconnects the feeder and the workers and
                              // lets the scope join them.
-            self.event_loop(ingest_rx, job_tx, &result_rx)
+            self.event_loop(ingest, job_txs, &result_rx)
         })?;
 
-        let cache_after = self.cache.stats();
-        let cache = CacheStats {
-            hits: cache_after.hits - cache_before.hits,
-            misses: cache_after.misses - cache_before.misses,
-            evictions: cache_after.evictions - cache_before.evictions,
+        let delta = |after: CacheStats, before: CacheStats| CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
         };
-        let metrics = self.aggregate(&output, cache);
+        let cache = delta(self.cache.stats(), cache_before);
+        let sim_memo = delta(self.sim_memo.stats(), memo_before);
+        let metrics = self.aggregate(&output, cache, sim_memo);
         Ok(ServeReport {
             policy: self.dispatcher.policy(),
             outcomes: output.outcomes,
             rejected: output.rejected,
             metrics,
         })
+    }
+
+    /// The pool-wide waiting count (admission control's bound and the
+    /// queue-area integrand), via the O(1) maintained counter under
+    /// [`ScanMode::Indexed`] or the retained O(tiles) recomputation under
+    /// [`ScanMode::LinearReference`].
+    fn waiting_count(&self) -> usize {
+        match self.dispatcher.scan_mode() {
+            ScanMode::Indexed => self.pool.total_waiting(),
+            ScanMode::LinearReference => self.pool.total_waiting_scan(),
+        }
     }
 
     /// The discrete-event core: pulls submissions from `ingest`, fires
@@ -503,22 +722,33 @@ impl Runtime {
     /// still-unseen arrival.
     fn event_loop(
         &mut self,
-        ingest: mpsc::Receiver<Request>,
-        jobs: mpsc::Sender<SimJob>,
+        mut ingest: Ingest,
+        jobs: Vec<mpsc::Sender<SimJob>>,
         results: &mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
     ) -> Result<LoopOutput, RuntimeError> {
-        let ctx = self.prep_context()?;
+        let mut ctx = self.prep_context()?;
         let tiles = self.pool.num_tiles();
         let mut intake: Vec<InFlight> = Vec::new();
         let mut state = OnlineState {
-            queues: vec![VecDeque::new(); tiles],
-            busy: vec![false; tiles],
+            queues: match self.dispatcher.scan_mode() {
+                ScanMode::Indexed => TileQueues::Indexed(
+                    (0..tiles)
+                        .map(|_| TileQueue::new(self.dispatcher.policy()))
+                        .collect(),
+                ),
+                ScanMode::LinearReference => TileQueues::Linear(vec![VecDeque::new(); tiles]),
+            },
+            taken: Vec::new(),
             events: EventQueue::new(),
             outcome_slots: Vec::new(),
             rejected: Vec::new(),
             sim: SimResults {
                 rx: results,
-                ready: HashMap::new(),
+                ready: Vec::new(),
+                pending: FnvHashMap::default(),
+                dedup: self.sim_memo.capacity() > 0,
+                outstanding: vec![0; jobs.len()],
+                worker_of: FnvHashMap::default(),
             },
             peak_queue_depth: 0,
             queue_area_us: 0.0,
@@ -529,41 +759,52 @@ impl Runtime {
 
         loop {
             // Pull submissions until the earliest pending event is at or
-            // before the horizon (and therefore safe to fire).
+            // before the horizon (and therefore safe to fire). After each
+            // blocking pull, whatever else is already buffered is drained in
+            // the same pass — pulling ahead of the horizon is always sound
+            // (it only schedules future arrival events) and amortizes the
+            // channel synchronization across a whole burst.
             while ingest_open
                 && state
                     .events
                     .peek_time_us()
                     .is_none_or(|time| time > horizon)
             {
-                match ingest.recv() {
-                    Ok(request) => {
-                        let arrival_us = request.arrival_us;
-                        if !arrival_us.is_finite() || arrival_us < 0.0 {
-                            return Err(RuntimeError::InvalidArrival {
-                                request: request.id,
-                                arrival_us,
-                            });
-                        }
-                        if arrival_us < horizon {
-                            return Err(RuntimeError::OutOfOrderArrival {
-                                request: request.id,
-                                arrival_us,
-                                horizon_us: horizon,
-                            });
-                        }
-                        horizon = arrival_us;
-                        let inflight = self.prepare(&ctx, Arc::new(request))?;
-                        let index = intake.len();
-                        state.events.push(arrival_us, EventKind::Arrival { index });
-                        state.outcome_slots.push(None);
-                        intake.push(inflight);
+                let Some(request) = ingest.recv() else {
+                    // Every submitter is gone: the trace is complete.
+                    ingest_open = false;
+                    horizon = f64::INFINITY;
+                    break;
+                };
+                let mut next = Some(request);
+                while let Some(request) = next.take() {
+                    let arrival_us = request.arrival_us;
+                    if !arrival_us.is_finite() || arrival_us < 0.0 {
+                        return Err(RuntimeError::InvalidArrival {
+                            request: request.id,
+                            arrival_us,
+                        });
                     }
-                    Err(_) => {
-                        // Every submitter is gone: the trace is complete.
-                        ingest_open = false;
-                        horizon = f64::INFINITY;
+                    if arrival_us < horizon {
+                        return Err(RuntimeError::OutOfOrderArrival {
+                            request: request.id,
+                            arrival_us,
+                            horizon_us: horizon,
+                        });
                     }
+                    horizon = arrival_us;
+                    let inflight = self.prepare(&mut ctx, request)?;
+                    let index = intake.len();
+                    // Arrivals enter in non-decreasing time order: the
+                    // monotone lane appends instead of heap-sifting.
+                    state
+                        .events
+                        .push_monotone(arrival_us, EventKind::Arrival { index });
+                    state.outcome_slots.push(None);
+                    state.taken.push(false);
+                    state.sim.ready.push(None);
+                    intake.push(inflight);
+                    next = ingest.try_recv();
                 }
             }
             let Some(event) = state.events.pop() else {
@@ -574,51 +815,75 @@ impl Runtime {
                 break;
             };
             let now_us = event.time_us;
-            state.queue_area_us +=
-                self.pool.total_waiting() as f64 * (now_us - state.last_event_us);
+            state.queue_area_us += self.waiting_count() as f64 * (now_us - state.last_event_us);
             state.last_event_us = now_us;
 
             match event.kind {
                 EventKind::Arrival { index } => {
                     let info = &intake[index];
-                    let view = info.dispatch_view();
-                    let tile = self.dispatcher.place(&view, now_us, &self.pool);
+                    let tile = self.dispatcher.place(&info.view, now_us, &self.pool);
                     // Admission control bounds *waiters*: a request that can
                     // start immediately on its (idle) tile is always
                     // admitted, one that would join a queue already holding
                     // `admission_limit` waiters pool-wide is rejected.
-                    let starts_now = !state.busy[tile];
-                    if !starts_now && self.pool.total_waiting() >= self.admission_limit {
+                    let starts_now = !self.pool.states()[tile].running;
+                    if !starts_now && self.waiting_count() >= self.admission_limit {
                         state.rejected.push(RejectedRequest {
                             id: info.request.id,
-                            kernel: info.request.kernel.name().to_owned(),
+                            kernel: info.request.kernel.shared_name(),
                             arrival_us: info.request.arrival_us,
                             deadline_us: info.request.deadline_us,
                         });
                         continue;
                     }
-                    // Functional execution is placement-independent, so the
-                    // simulation starts on the worker pool right away; the
-                    // loop blocks for its cycle count only when a tile is
-                    // about to run the request.
-                    jobs.send(SimJob {
-                        index,
-                        compiled: Arc::clone(&info.compiled),
-                        request: Arc::clone(&info.request),
-                    })
-                    .expect("sim workers outlive the event loop");
-                    if starts_now {
-                        self.start_request(tile, index, &intake, &mut state)?;
+                    // Functional execution is placement-independent, so an
+                    // admitted request's simulation is sourced right away:
+                    // from the memo, from an identical in-flight run, or by
+                    // spawning a job on the worker pool. The loop blocks for
+                    // the cycle count only when a tile is about to run it.
+                    let joined = state.sim.dedup
+                        && match state.sim.pending.get_mut(&info.sim_key) {
+                            Some(waiters) => {
+                                waiters.push(index);
+                                self.sim_memo.note_shared_hit();
+                                true
+                            }
+                            None => false,
+                        };
+                    if joined {
+                        // An identical simulation is already in flight.
+                    } else if let Some(run) = self.sim_memo.get(&info.sim_key) {
+                        state.sim.ready[index] = Some(Ok(run));
                     } else {
-                        self.pool.states_mut()[tile].enqueue(info.key, info.est_exec_us);
-                        state.queues[tile].push_back(index);
-                        state.peak_queue_depth =
-                            state.peak_queue_depth.max(self.pool.total_waiting());
+                        if state.sim.dedup {
+                            state.sim.pending.insert(info.sim_key, vec![index]);
+                        }
+                        self.sim_memo.note_miss();
+                        let worker = state.sim.least_loaded();
+                        state.sim.note_dispatched(worker, index);
+                        jobs[worker]
+                            .send(SimJob {
+                                index,
+                                compiled: Arc::clone(&info.compiled),
+                                request: Arc::clone(&info.request),
+                            })
+                            .expect("sim workers outlive the event loop");
+                    }
+                    if starts_now {
+                        self.start_request(tile, index, &intake, &mut state, None)?;
+                    } else {
+                        self.pool
+                            .enqueue(tile, info.view.key, info.view.est_exec_us);
+                        match &mut state.queues {
+                            TileQueues::Indexed(queues) => queues[tile].push(index, &info.view),
+                            TileQueues::Linear(queues) => queues[tile].push_back(index),
+                        }
+                        state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
                     }
                 }
                 EventKind::TileFree { tile } => {
-                    state.busy[tile] = false;
-                    if !state.queues[tile].is_empty() {
+                    self.pool.release(tile);
+                    if !state.queues.is_empty(tile) {
                         self.start_next(tile, &intake, &mut state)?;
                     }
                 }
@@ -628,6 +893,7 @@ impl Runtime {
         if intake.is_empty() {
             return Err(RuntimeError::NoRequests);
         }
+        let events_fired = state.events.fired();
         let outcomes: Vec<RequestOutcome> = state.outcome_slots.into_iter().flatten().collect();
         debug_assert_eq!(
             outcomes.len() + state.rejected.len(),
@@ -639,39 +905,49 @@ impl Runtime {
             rejected: state.rejected,
             peak_queue_depth: state.peak_queue_depth,
             queue_area_us: state.queue_area_us,
+            events_fired,
         })
     }
 
     /// Pulls the next queued request off a free `tile`'s queue and starts
-    /// it: the dispatcher picks which queued request runs (deadline order
-    /// for EDF/slack-aware, FIFO otherwise — the FIFO policies skip the
-    /// queue scan entirely).
+    /// it. Under [`ScanMode::Indexed`] the per-tile ordered queue pops the
+    /// policy's choice in O(log depth); the linear reference materializes
+    /// the dispatch views and scans, exactly as the pre-index runtime did.
     fn start_next(
         &mut self,
         tile: usize,
         intake: &[InFlight],
         state: &mut OnlineState<'_>,
     ) -> Result<(), RuntimeError> {
-        let now_us = state.events.now_us();
-        let position = if self.dispatcher.policy().is_deadline_aware() {
-            let views: Vec<DispatchRequest> = state.queues[tile]
-                .iter()
-                .map(|&index| intake[index].dispatch_view())
-                .collect();
-            self.dispatcher
-                .select_next(&self.pool.states()[tile], &views, now_us)
-        } else {
-            0
+        let (index, remaining_tail) = match &mut state.queues {
+            TileQueues::Indexed(queues) => {
+                let queue = &mut queues[tile];
+                let resident = self.pool.states()[tile].resident;
+                let index = queue.pop_next(resident, &mut state.taken);
+                (index, queue.tail_key(&state.taken))
+            }
+            TileQueues::Linear(queues) => {
+                let queue = &mut queues[tile];
+                let position = if self.dispatcher.policy().is_deadline_aware() {
+                    let views: Vec<DispatchRequest> =
+                        queue.iter().map(|&index| intake[index].view).collect();
+                    self.dispatcher
+                        .select_next(&self.pool.states()[tile], &views)
+                } else {
+                    0
+                };
+                let index = queue
+                    .remove(position)
+                    .expect("select_next returns a position inside the queue");
+                (index, queue.back().map(|&i| intake[i].view.key))
+            }
         };
-        let index = state.queues[tile]
-            .remove(position)
-            .expect("select_next returns a position inside the queue");
         // Deadline-aware removal may have taken the queue tail; tell the
         // pool what the queue ends in now so residency projection stays
-        // honest for later placements.
-        let remaining_tail = state.queues[tile].back().map(|&i| intake[i].key);
-        self.pool.states_mut()[tile].dequeue(intake[index].est_exec_us, remaining_tail);
-        self.start_request(tile, index, intake, state)
+        // honest for later placements. The dequeue and the charge are one
+        // combined pool transition (a single index update).
+        let est_us = intake[index].view.est_exec_us;
+        self.start_request(tile, index, intake, state, Some((est_us, remaining_tail)))
     }
 
     /// Commits request `index` to `tile` at the current virtual time: blocks
@@ -684,21 +960,34 @@ impl Runtime {
         index: usize,
         intake: &[InFlight],
         state: &mut OnlineState<'_>,
+        from_queue: Option<(f64, Option<KernelKey>)>,
     ) -> Result<(), RuntimeError> {
         let now_us = state.events.now_us();
         let info = &intake[index];
-        let run = state.sim.take(index)?;
+        let run = state.sim.take(index, intake, &mut self.sim_memo)?;
         let exec_cycles = run.metrics().total_cycles + self.pool.roundtrip_cycles(tile);
         let exec_us = exec_cycles as f64 / info.fmax_mhz;
-        let charged =
-            self.pool.states_mut()[tile].charge(info.key, now_us, info.switch_us, exec_us);
+        let charged = match from_queue {
+            Some((est_us, remaining_tail)) => self.pool.start_queued(
+                tile,
+                est_us,
+                remaining_tail,
+                info.view.key,
+                now_us,
+                info.view.switch_us,
+                exec_us,
+            ),
+            None => self
+                .pool
+                .charge(tile, info.view.key, now_us, info.view.switch_us, exec_us),
+        };
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
-            kernel: request.kernel.name().to_owned(),
+            kernel: request.kernel.shared_name(),
             tile,
             sim: *run.metrics(),
-            outputs: run.outputs().to_vec(),
+            run,
             start_us: charged.start_us,
             queued_us: charged.start_us - request.arrival_us,
             completion_us: charged.completion_us,
@@ -709,7 +998,6 @@ impl Runtime {
                 .deadline_us
                 .is_some_and(|deadline| charged.completion_us > deadline),
         });
-        state.busy[tile] = true;
         state
             .events
             .push(charged.completion_us, EventKind::TileFree { tile });
@@ -729,14 +1017,18 @@ impl Runtime {
                 0
             },
             tile_overlay: self.pool.overlay_config()?,
+            derived: FnvHashMap::default(),
         })
     }
 
     /// Compiles (via the cache) and derives the timing figures one request
-    /// needs before it can be dispatched.
+    /// needs before it can be dispatched — including the [`DispatchRequest`]
+    /// view every later event reuses and the [`SimKey`] the memo answers.
+    /// Kernel-dependent timing (frequency, switch cost, II) is computed once
+    /// per distinct kernel and reused from the context.
     fn prepare(
         &mut self,
-        ctx: &PrepContext,
+        ctx: &mut PrepContext,
         request: Arc<Request>,
     ) -> Result<InFlight, RuntimeError> {
         let key = KernelKey {
@@ -754,54 +1046,91 @@ impl Runtime {
             let stages = schedule(&dfg, ctx.variant, fixed_depth)?;
             Ok(generate_program(&dfg, &stages, ctx.variant)?)
         })?;
-        let config_bits = compiled.program.config_bits();
-        let (fmax_mhz, switch_us) = match &ctx.tile_overlay {
-            // Write-back tile: fixed overlay, instruction reload only.
-            Some(config) => (
-                config.fmax_mhz(),
-                self.reconfig
-                    .program_only_switch(ctx.variant, config_bits)
-                    .total_us(),
-            ),
-            // Feed-forward tile: the overlay is rebuilt to the kernel's
-            // depth, so a swap pays PCAP partial reconfiguration.
+        let timing = match ctx.derived.get(&key) {
+            Some(&timing) => timing,
             None => {
-                let config = OverlayConfig::new(ctx.variant, compiled.num_fus())?;
-                (
-                    config.fmax_mhz(),
-                    self.reconfig.full_switch(&config, config_bits).total_us(),
-                )
+                let config_bits = compiled.program.config_bits();
+                let (fmax_mhz, switch_us) = match &ctx.tile_overlay {
+                    // Write-back tile: fixed overlay, instruction reload only.
+                    Some(config) => (
+                        config.fmax_mhz(),
+                        self.reconfig
+                            .program_only_switch(ctx.variant, config_bits)
+                            .total_us(),
+                    ),
+                    // Feed-forward tile: the overlay is rebuilt to the
+                    // kernel's depth, so a swap pays PCAP reconfiguration.
+                    None => {
+                        let config = OverlayConfig::new(ctx.variant, compiled.num_fus())?;
+                        (
+                            config.fmax_mhz(),
+                            self.reconfig.full_switch(&config, config_bits).total_us(),
+                        )
+                    }
+                };
+                let timing = DerivedTiming {
+                    fmax_mhz,
+                    switch_us,
+                    ii: compiled.ii,
+                    fill_cycles: (4 * compiled.num_fus()) as f64,
+                };
+                ctx.derived.insert(key, timing);
+                timing
             }
         };
-        let est_exec_us = Self::estimate_cycles(&compiled, request.workload.len()) / fmax_mhz;
+        // Planning estimate: steady-state II per invocation plus a
+        // pipeline-fill allowance, at the overlay's operating frequency.
+        let est_exec_us =
+            (timing.ii * request.workload.len() as f64 + timing.fill_cycles) / timing.fmax_mhz;
+        let sim_key = SimKey {
+            kernel: key,
+            workload: request.workload_digest(),
+        };
+        let view = DispatchRequest {
+            key,
+            est_exec_us,
+            switch_us: timing.switch_us,
+            deadline_us: request.deadline_us,
+        };
         Ok(InFlight {
             request,
-            key,
+            sim_key,
             compiled,
-            fmax_mhz,
-            switch_us,
-            est_exec_us,
+            fmax_mhz: timing.fmax_mhz,
+            view,
         })
     }
 
-    /// Planning estimate of a request's execution cycles: steady-state II per
-    /// invocation plus a pipeline-fill allowance.
-    fn estimate_cycles(compiled: &CompiledKernel, blocks: usize) -> f64 {
-        compiled.ii * blocks as f64 + (4 * compiled.num_fus()) as f64
-    }
-
-    /// Folds per-request outcomes and pool state into [`RuntimeMetrics`].
-    fn aggregate(&self, output: &LoopOutput, cache: CacheStats) -> RuntimeMetrics {
+    /// Folds per-request outcomes and pool state into [`RuntimeMetrics`] —
+    /// one pass over the outcomes for the counters and sums, selection (not
+    /// a full sort) for the latency percentiles.
+    fn aggregate(
+        &self,
+        output: &LoopOutput,
+        cache: CacheStats,
+        sim_memo: CacheStats,
+    ) -> RuntimeMetrics {
         let outcomes = &output.outcomes;
         let requests = outcomes.len();
-        let invocations = outcomes.iter().map(|o| o.sim.blocks).sum();
-        let makespan_us = outcomes
-            .iter()
-            .map(|o| o.completion_us)
-            .fold(0.0_f64, f64::max);
-        let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_us).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let mean_latency_us = latencies.iter().sum::<f64>() / requests.max(1) as f64;
+        let mut invocations = 0usize;
+        let mut makespan_us = 0.0_f64;
+        let mut latency_sum = 0.0_f64;
+        let mut max_latency_us = 0.0_f64;
+        let mut deadline_misses = 0usize;
+        let mut deadline_requests = 0usize;
+        let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+        for outcome in outcomes {
+            invocations += outcome.sim.blocks;
+            makespan_us = makespan_us.max(outcome.completion_us);
+            latency_sum += outcome.latency_us;
+            max_latency_us = max_latency_us.max(outcome.latency_us);
+            deadline_misses += usize::from(outcome.missed_deadline);
+            deadline_requests += usize::from(outcome.deadline_us.is_some());
+            latencies.push(outcome.latency_us);
+        }
+        let mean_latency_us = latency_sum / requests.max(1) as f64;
+        let p50_latency_us = metrics::percentile_by_selection(&mut latencies, 0.50);
+        let p99_latency_us = metrics::percentile_by_selection(&mut latencies, 0.99);
         let per_second = if makespan_us > 0.0 {
             1.0e6 / makespan_us
         } else {
@@ -815,9 +1144,9 @@ impl Runtime {
             requests_per_sec: requests as f64 * per_second,
             invocations_per_sec: invocations as f64 * per_second,
             mean_latency_us,
-            p50_latency_us: metrics::percentile(&latencies, 0.50),
-            p99_latency_us: metrics::percentile(&latencies, 0.99),
-            max_latency_us: latencies.last().copied().unwrap_or(0.0),
+            p50_latency_us,
+            p99_latency_us,
+            max_latency_us,
             switch_count: states.iter().map(|s| s.switches).sum(),
             total_switch_us: states.iter().map(|s| s.switch_us).sum(),
             tile_utilization: states
@@ -832,8 +1161,10 @@ impl Runtime {
                 .collect(),
             tile_requests: states.iter().map(|s| s.served).collect(),
             cache,
-            deadline_misses: outcomes.iter().filter(|o| o.missed_deadline).count(),
-            deadline_requests: outcomes.iter().filter(|o| o.deadline_us.is_some()).count(),
+            sim_memo,
+            events_fired: output.events_fired,
+            deadline_misses,
+            deadline_requests,
             rejects: output.rejected.len(),
             rejected_deadlines: output
                 .rejected
@@ -880,12 +1211,12 @@ mod tests {
     fn serving_matches_the_reference_evaluator_per_request() {
         let requests = benchmark_trace(12, 8);
         let mut runtime = Runtime::new(FuVariant::V3, 4).unwrap();
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert_eq!(report.outcomes().len(), 12);
         for (request, outcome) in requests.iter().zip(report.outcomes()) {
             let dfg = request.kernel.dfg(&LowerOptions::default()).unwrap();
             let expected = evaluate_stream(&dfg, request.workload.records()).unwrap();
-            assert_eq!(outcome.outputs, expected, "request {}", request.id);
+            assert_eq!(outcome.outputs(), expected, "request {}", request.id);
             assert_eq!(outcome.request_id, request.id);
             assert!(outcome.latency_us > 0.0);
             assert!(outcome.queued_us >= 0.0);
@@ -900,9 +1231,9 @@ mod tests {
         let mut round_robin = Runtime::new(FuVariant::V4, 4)
             .unwrap()
             .with_policy(DispatchPolicy::RoundRobin);
-        let a1 = affinity.serve(&requests).unwrap();
-        let a2 = affinity.serve(&requests).unwrap();
-        let rr = round_robin.serve(&requests).unwrap();
+        let a1 = affinity.serve(requests.clone()).unwrap();
+        let a2 = affinity.serve(requests.clone()).unwrap();
+        let rr = round_robin.serve(requests).unwrap();
         let tiles = |report: &ServeReport| -> Vec<usize> {
             report.outcomes().iter().map(|o| o.tile).collect()
         };
@@ -910,7 +1241,8 @@ mod tests {
         assert_eq!(a1.metrics().makespan_us, a2.metrics().makespan_us);
         for (lhs, rhs) in a1.outcomes().iter().zip(rr.outcomes()) {
             assert_eq!(
-                lhs.outputs, rhs.outputs,
+                lhs.outputs(),
+                rhs.outputs(),
                 "placement must not change results"
             );
         }
@@ -920,7 +1252,7 @@ mod tests {
     fn serve_stream_from_a_live_producer_matches_the_batch_shim() {
         let requests = benchmark_trace(10, 4);
         let mut runtime = Runtime::new(FuVariant::V4, 3).unwrap();
-        let batch = runtime.serve(&requests).unwrap();
+        let batch = runtime.serve(requests.clone()).unwrap();
         let streamed = runtime
             .serve_stream(|submitter| {
                 for request in &requests {
@@ -933,7 +1265,7 @@ mod tests {
             assert_eq!(lhs.request_id, rhs.request_id);
             assert_eq!(lhs.tile, rhs.tile);
             assert_eq!(lhs.completion_us, rhs.completion_us);
-            assert_eq!(lhs.outputs, rhs.outputs);
+            assert_eq!(lhs.outputs(), rhs.outputs());
         }
         assert_eq!(batch.metrics().makespan_us, streamed.metrics().makespan_us);
     }
@@ -947,8 +1279,8 @@ mod tests {
         let mut round_robin = Runtime::new(FuVariant::V3, 3)
             .unwrap()
             .with_policy(DispatchPolicy::RoundRobin);
-        let a = affinity.serve(&requests).unwrap();
-        let rr = round_robin.serve(&requests).unwrap();
+        let a = affinity.serve(requests.clone()).unwrap();
+        let rr = round_robin.serve(requests).unwrap();
         assert!(
             a.metrics().total_switch_us < rr.metrics().total_switch_us,
             "affinity {} us vs round-robin {} us",
@@ -966,7 +1298,7 @@ mod tests {
         let mut runtime = Runtime::new(FuVariant::V1, 2)
             .unwrap()
             .with_policy(DispatchPolicy::RoundRobin);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert!(
             report.metrics().total_switch_us > 1_000.0,
             "PCAP switches are on the millisecond scale, got {} us",
@@ -976,7 +1308,7 @@ mod tests {
         let mut writeback = Runtime::new(FuVariant::V3, 2)
             .unwrap()
             .with_policy(DispatchPolicy::RoundRobin);
-        let wb = writeback.serve(&requests).unwrap();
+        let wb = writeback.serve(requests).unwrap();
         assert!(wb.metrics().total_switch_us < 100.0);
         assert!(wb.metrics().total_switch_us > 0.0);
     }
@@ -985,20 +1317,100 @@ mod tests {
     fn cache_compiles_each_kernel_once_per_serve() {
         let requests = benchmark_trace(16, 4);
         let mut runtime = Runtime::new(FuVariant::V4, 4).unwrap();
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert_eq!(report.metrics().cache.misses, 4, "4 distinct kernels");
         assert_eq!(report.metrics().cache.hits, 12);
-        // A second serve of the same trace is all hits.
-        let again = runtime.serve(&requests).unwrap();
+        // Distinct workloads per request: every simulation actually ran.
+        assert_eq!(report.metrics().sim_memo.misses, 16);
+        assert_eq!(report.metrics().sim_memo.hits, 0);
+        // A second serve of the same trace is all hits — compile cache *and*
+        // simulation memo.
+        let again = runtime.serve(requests).unwrap();
         assert_eq!(again.metrics().cache.misses, 0);
         assert_eq!(again.metrics().cache.hits, 16);
+        assert_eq!(again.metrics().sim_memo.misses, 0);
+        assert_eq!(again.metrics().sim_memo.hits, 16);
+    }
+
+    #[test]
+    fn sim_memo_skips_repeat_simulations_without_changing_results() {
+        // One kernel, one workload, repeated: the memoized runtime simulates
+        // once; the memo-disabled runtime simulates every request. Outcomes
+        // must be identical.
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let workload = Workload::random(5, 8, 42);
+        let requests: Vec<Request> = (0..10)
+            .map(|i| Request::new(i, spec.clone(), workload.clone()).at(i as f64 * 3.0))
+            .collect();
+        let mut memoized = Runtime::new(FuVariant::V4, 2).unwrap();
+        let mut unmemoized = Runtime::new(FuVariant::V4, 2)
+            .unwrap()
+            .with_sim_memo_capacity(0);
+        // A disabled memo also disables in-flight joins: a simultaneous
+        // burst of identical requests must still simulate one per request.
+        let burst: Vec<Request> = (0..6)
+            .map(|i| {
+                Request::new(
+                    100 + i,
+                    KernelSpec::from_benchmark(Benchmark::Gradient).unwrap(),
+                    Workload::random(5, 8, 42),
+                )
+                .at(0.0)
+            })
+            .collect();
+        let mut burst_runtime = Runtime::new(FuVariant::V4, 1)
+            .unwrap()
+            .with_sim_memo_capacity(0);
+        let burst_report = burst_runtime.serve(burst).unwrap();
+        assert_eq!(burst_report.metrics().sim_memo.misses, 6);
+        assert_eq!(burst_report.metrics().sim_memo.hits, 0);
+        let with_memo = memoized.serve(requests.clone()).unwrap();
+        let without = unmemoized.serve(requests).unwrap();
+        assert_eq!(with_memo.metrics().sim_memo.misses, 1, "one real sim");
+        assert_eq!(with_memo.metrics().sim_memo.hits, 9);
+        assert_eq!(without.metrics().sim_memo.misses, 10, "memo disabled");
+        assert_eq!(without.metrics().sim_memo.hits, 0);
+        assert_eq!(memoized.sim_memo().len(), 1);
+        assert!(unmemoized.sim_memo().is_empty());
+        for (lhs, rhs) in with_memo.outcomes().iter().zip(without.outcomes()) {
+            assert_eq!(lhs.outputs(), rhs.outputs());
+            assert_eq!(lhs.tile, rhs.tile);
+            assert_eq!(lhs.completion_us, rhs.completion_us);
+        }
+    }
+
+    #[test]
+    fn identical_in_flight_requests_join_one_simulation() {
+        // A blocker occupies the single tile, then a burst of identical
+        // requests queues behind it: the first spawns a simulation that is
+        // still in flight when the rest arrive, so they must join it (one
+        // job, fanned out) rather than each spawning their own.
+        let blocker = Request::new(
+            0,
+            KernelSpec::from_benchmark(Benchmark::Gradient).unwrap(),
+            Workload::random(5, 32, 1),
+        )
+        .at(0.0);
+        let spec = KernelSpec::from_benchmark(Benchmark::Chebyshev).unwrap();
+        let workload = Workload::random(1, 16, 7);
+        let mut requests = vec![blocker];
+        requests.extend((1..=8).map(|i| Request::new(i, spec.clone(), workload.clone()).at(0.0)));
+        let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap();
+        let report = runtime.serve(requests).unwrap();
+        // Two real simulations: the blocker and one shared chebyshev run.
+        assert_eq!(report.metrics().sim_memo.misses, 2);
+        assert_eq!(report.metrics().sim_memo.hits, 7, "7 in-flight joins");
+        let reference = &report.outcomes()[1].outputs();
+        for outcome in &report.outcomes()[1..] {
+            assert_eq!(&outcome.outputs(), reference);
+        }
     }
 
     #[test]
     fn metrics_account_every_request_and_tile() {
         let requests = benchmark_trace(20, 5);
         let mut runtime = Runtime::new(FuVariant::V5, 4).unwrap();
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests).unwrap();
         let metrics = report.metrics();
         assert_eq!(metrics.requests, 20);
         assert_eq!(metrics.invocations, 100);
@@ -1013,6 +1425,15 @@ mod tests {
         assert!(metrics.mean_queue_depth >= 0.0);
         assert!(metrics.peak_queue_depth as f64 >= metrics.mean_queue_depth);
         assert_eq!(metrics.tile_peak_queue.len(), 4);
+        assert_eq!(
+            metrics.sim_memo.hits + metrics.sim_memo.misses,
+            20,
+            "every admitted request is a memo hit or a spawned simulation"
+        );
+        assert!(
+            metrics.events_fired >= 40,
+            "every served request fires an arrival and a tile-free event"
+        );
         assert!(metrics
             .tile_utilization
             .iter()
@@ -1030,7 +1451,7 @@ mod tests {
         let mut runtime = Runtime::new(FuVariant::V4, 1)
             .unwrap()
             .with_admission_limit(2);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests).unwrap();
         assert_eq!(report.outcomes().len(), 3);
         assert_eq!(report.rejected().len(), 9);
         assert_eq!(report.metrics().rejects, 9);
@@ -1060,7 +1481,7 @@ mod tests {
                 Request::new(i, spec.clone(), Workload::random(5, 4, i)).at(i as f64 * 1_000_000.0)
             })
             .collect();
-        let report = runtime.serve(&spaced).unwrap();
+        let report = runtime.serve(spaced).unwrap();
         assert_eq!(report.outcomes().len(), 4);
         assert_eq!(report.metrics().rejects, 0);
         assert_eq!(report.metrics().peak_queue_depth, 0);
@@ -1074,7 +1495,7 @@ mod tests {
                     .with_deadline(1e9)
             })
             .collect();
-        let report = runtime.serve(&burst).unwrap();
+        let report = runtime.serve(burst).unwrap();
         assert_eq!(report.outcomes().len(), 1);
         assert_eq!(report.metrics().rejects, 4);
         assert_eq!(report.metrics().rejected_deadlines, 4);
@@ -1096,7 +1517,7 @@ mod tests {
         // request can only meet an (arrival + service + margin) deadline by
         // jumping the whole queue.
         let mut probe = Runtime::new(FuVariant::V4, 1).unwrap();
-        let service_us = probe.serve(&requests).unwrap().outcomes()[0].completion_us;
+        let service_us = probe.serve(requests.clone()).unwrap().outcomes()[0].completion_us;
         requests.push(
             Request::new(4, spec.clone(), workload.clone())
                 .at(0.05)
@@ -1104,7 +1525,7 @@ mod tests {
         );
 
         let mut affinity = Runtime::new(FuVariant::V4, 1).unwrap();
-        let fifo = affinity.serve(&requests).unwrap();
+        let fifo = affinity.serve(requests.clone()).unwrap();
         assert_eq!(fifo.metrics().deadline_requests, 1);
         assert_eq!(fifo.metrics().deadline_misses, 1, "FIFO strands request 4");
 
@@ -1113,7 +1534,7 @@ mod tests {
             DispatchPolicy::SlackAware,
         ] {
             let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap().with_policy(policy);
-            let report = runtime.serve(&requests).unwrap();
+            let report = runtime.serve(requests.clone()).unwrap();
             assert_eq!(
                 report.metrics().deadline_misses,
                 0,
@@ -1133,14 +1554,17 @@ mod tests {
         let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
         let requests = vec![Request::new(0, spec, Workload::ramp(5, 4))];
         let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap();
-        runtime.serve(&requests).unwrap();
+        runtime.serve(requests.clone()).unwrap();
         assert_eq!(runtime.cache().len(), 1);
+        assert_eq!(runtime.sim_memo().len(), 1);
         // The key does not encode lowering options, so swapping them must
         // drop the stale artifacts rather than serve them as hits.
         let mut runtime = runtime.with_lower_options(LowerOptions::default());
         assert!(runtime.cache().is_empty());
-        let report = runtime.serve(&requests).unwrap();
+        assert!(runtime.sim_memo().is_empty());
+        let report = runtime.serve(requests).unwrap();
         assert_eq!(report.metrics().cache.misses, 1);
+        assert_eq!(report.metrics().sim_memo.misses, 1);
     }
 
     #[test]
@@ -1152,7 +1576,7 @@ mod tests {
             Request::new(1, spec, workload).with_deadline(1e-9),
         ];
         let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap();
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests).unwrap();
         assert!(!report.outcomes()[0].missed_deadline);
         assert!(report.outcomes()[1].missed_deadline);
         assert_eq!(report.metrics().deadline_misses, 1);
@@ -1163,18 +1587,21 @@ mod tests {
     #[test]
     fn invalid_traces_are_rejected() {
         let mut runtime = Runtime::new(FuVariant::V4, 2).unwrap();
-        assert!(matches!(runtime.serve(&[]), Err(RuntimeError::NoRequests)));
+        assert!(matches!(
+            runtime.serve(Vec::new()),
+            Err(RuntimeError::NoRequests)
+        ));
         let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
         let bad = Request::new(9, spec.clone(), Workload::ramp(5, 2)).at(f64::NAN);
         assert!(matches!(
-            runtime.serve(&[bad]),
+            runtime.serve(vec![bad]),
             Err(RuntimeError::InvalidArrival { request: 9, .. })
         ));
         // The online loop needs non-decreasing arrivals to be deterministic.
         let first = Request::new(0, spec.clone(), Workload::ramp(5, 2)).at(10.0);
         let stale = Request::new(1, spec, Workload::ramp(5, 2)).at(5.0);
         assert!(matches!(
-            runtime.serve(&[first, stale]),
+            runtime.serve(vec![first, stale]),
             Err(RuntimeError::OutOfOrderArrival {
                 request: 1,
                 horizon_us: h,
@@ -1191,7 +1618,7 @@ mod tests {
         let bad = Request::new(1, spec, Workload::ramp(2, 4));
         let mut runtime = Runtime::new(FuVariant::V4, 2).unwrap();
         assert!(matches!(
-            runtime.serve(&[good, bad]),
+            runtime.serve(vec![good, bad]),
             Err(RuntimeError::Sim(_))
         ));
     }

@@ -9,7 +9,9 @@ use crate::cache::CacheStats;
 ///
 /// All times are on the modeled hardware timeline (simulator cycles converted
 /// at the overlay's operating frequency, plus modeled context-switch and NoC
-/// routing time) — not host wall-clock time.
+/// routing time) — not host wall-clock time. The one exception is
+/// [`events_fired`](RuntimeMetrics::events_fired), a host-side counter of
+/// how many discrete events the serve processed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeMetrics {
     /// Number of requests served.
@@ -40,6 +42,14 @@ pub struct RuntimeMetrics {
     pub tile_requests: Vec<usize>,
     /// Kernel-cache counters for the serve call.
     pub cache: CacheStats,
+    /// Simulation-memo counters for the serve call: hits are requests whose
+    /// functional simulation was skipped entirely (answered from the memo or
+    /// joined onto an identical in-flight run), misses are simulations
+    /// actually executed.
+    pub sim_memo: CacheStats,
+    /// Discrete events (arrivals + tile-free) the event loop fired — the
+    /// host-side denominator for ns/event throughput figures.
+    pub events_fired: u64,
     /// Requests whose completion exceeded their deadline.
     pub deadline_misses: usize,
     /// Served requests that carried a deadline (the miss-rate denominator).
@@ -98,12 +108,13 @@ impl fmt::Display for RuntimeMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} request(s) ({} invocations) in {:.1} us: {:.0} req/s, {:.0} inv/s",
+            "{} request(s) ({} invocations) in {:.1} us: {:.0} req/s, {:.0} inv/s; {} event(s)",
             self.requests,
             self.invocations,
             self.makespan_us,
             self.requests_per_sec,
             self.invocations_per_sec,
+            self.events_fired,
         )?;
         writeln!(
             f,
@@ -124,8 +135,8 @@ impl fmt::Display for RuntimeMetrics {
         )?;
         writeln!(
             f,
-            "switches: {} totalling {:.2} us; cache: {}",
-            self.switch_count, self.total_switch_us, self.cache,
+            "switches: {} totalling {:.2} us; cache: {}; sim memo: {}",
+            self.switch_count, self.total_switch_us, self.cache, self.sim_memo,
         )?;
         write!(f, "tile utilization:")?;
         for (tile, utilization) in self.tile_utilization.iter().enumerate() {
@@ -140,17 +151,29 @@ impl fmt::Display for RuntimeMetrics {
     }
 }
 
-/// Linear-interpolated percentile of an ascending-sorted slice (`p` in 0..=1).
-pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
-    match sorted {
-        [] => 0.0,
-        [only] => *only,
-        _ => {
-            let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+/// Linear-interpolated percentile (`p` in 0..=1) by partial selection:
+/// `select_nth_unstable` partitions out the two neighboring order statistics
+/// in O(n) expected time instead of an O(n log n) full sort. The slice is
+/// reordered, not sorted.
+pub(crate) fn percentile_by_selection(values: &mut [f64], p: f64) -> f64 {
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        len => {
+            let rank = p.clamp(0.0, 1.0) * (len - 1) as f64;
             let low = rank.floor() as usize;
             let high = rank.ceil() as usize;
             let weight = rank - low as f64;
-            sorted[low] * (1.0 - weight) + sorted[high] * weight
+            // Partition at `high`: everything left of it is ≤ the pivot, so
+            // the `low` statistic is a second selection over that prefix.
+            let (left, high_value, _) = values.select_nth_unstable_by(high, f64::total_cmp);
+            let high_value = *high_value;
+            let low_value = if low == high {
+                high_value
+            } else {
+                *left.select_nth_unstable_by(low, f64::total_cmp).1
+            };
+            low_value * (1.0 - weight) + high_value * weight
         }
     }
 }
@@ -161,12 +184,38 @@ mod tests {
 
     #[test]
     fn percentiles_interpolate() {
-        let values = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&values, 0.0), 1.0);
-        assert_eq!(percentile(&values, 1.0), 4.0);
-        assert_eq!(percentile(&values, 0.5), 2.5);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        // Unsorted on purpose: selection does not need sorted input.
+        let mut values = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(percentile_by_selection(&mut values, 0.0), 1.0);
+        assert_eq!(percentile_by_selection(&mut values, 1.0), 4.0);
+        assert_eq!(percentile_by_selection(&mut values, 0.5), 2.5);
+        assert_eq!(percentile_by_selection(&mut [], 0.5), 0.0);
+        assert_eq!(percentile_by_selection(&mut [7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn selection_matches_the_sorted_reference() {
+        // A deterministic pseudo-random latency population, checked against
+        // the sort-everything formulation the runtime used to pay for.
+        let mut seed = 0x5EEDu64;
+        let values: Vec<f64> = (0..257)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed % 10_000) as f64 * 0.125
+            })
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = p * (sorted.len() - 1) as f64;
+            let (low, high) = (rank.floor() as usize, rank.ceil() as usize);
+            let weight = rank - low as f64;
+            let expected = sorted[low] * (1.0 - weight) + sorted[high] * weight;
+            let mut scratch = values.clone();
+            assert_eq!(percentile_by_selection(&mut scratch, p), expected, "p={p}");
+        }
     }
 
     #[test]
@@ -190,6 +239,12 @@ mod tests {
                 misses: 2,
                 evictions: 0,
             },
+            sim_memo: CacheStats {
+                hits: 6,
+                misses: 4,
+                evictions: 0,
+            },
+            events_fired: 20,
             deadline_misses: 1,
             deadline_requests: 4,
             rejects: 2,
@@ -200,10 +255,12 @@ mod tests {
         };
         let text = metrics.to_string();
         assert!(text.contains("10 request(s)"));
+        assert!(text.contains("20 event(s)"));
         assert!(text.contains("p99 30.00"));
         assert!(text.contains("1 miss(es) of 4 served (25% miss rate)"));
         assert!(text.contains("rejects: 2 (1 with deadlines)"));
         assert!(text.contains("queue depth: peak 5, mean 1.25"));
+        assert!(text.contains("sim memo: 6 hit(s)"));
         assert!(text.contains("t1 60%"));
         assert!((metrics.mean_utilization() - 0.7).abs() < 1e-12);
         assert!((metrics.deadline_miss_rate() - 0.25).abs() < 1e-12);
@@ -227,6 +284,8 @@ mod tests {
             tile_utilization: vec![],
             tile_requests: vec![],
             cache: CacheStats::default(),
+            sim_memo: CacheStats::default(),
+            events_fired: 0,
             deadline_misses: 0,
             deadline_requests: 0,
             rejects: 0,

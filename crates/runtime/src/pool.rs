@@ -1,14 +1,56 @@
 //! The tile pool: N replicated overlay tiles on the Sec. III-A.3 NoC, each
-//! hosting one resident kernel at a time.
+//! hosting one resident kernel at a time — plus the **residency index** that
+//! makes placement O(log n) instead of an O(tiles) scan per arrival.
+//!
+//! # The residency index
+//!
+//! Every tile is, at any instant, in exactly one of three classes:
+//!
+//! * **idle-cold** — free, never charged (no resident kernel);
+//! * **idle-warm** — free with kernel `k` resident;
+//! * **busy** — running (or transiently mid-transition), projected to host
+//!   kernel `k` once its backlog drains, with a *backlog-done* timestamp
+//!   `available_us + queued_est_us` that is static between transitions.
+//!
+//! [`TilePool`] maintains ordered sets over these classes (a min-index set of
+//! cold tiles, per-kernel min-index sets of warm idle tiles, per-kernel
+//! backlog-ordered sets of busy tiles) plus one-entry-per-kernel "best"
+//! summaries, so the dispatcher's earliest-completion query reduces to a
+//! constant number of `first()` lookups — see
+//! [`TilePool::place_earliest_indexed`]. The class transitions are driven by
+//! the pool-level [`enqueue`](TilePool::enqueue) /
+//! [`dequeue`](TilePool::dequeue) / [`charge`](TilePool::charge) /
+//! [`release`](TilePool::release) calls the event loop makes, each an
+//! O(log n) index update.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use overlay_arch::{
     ArchError, FuVariant, NocConfig, OverlayConfig, ResourceUsage, Tile, TileComposition,
 };
 
-use crate::cache::KernelKey;
+use crate::cache::{FnvHashMap, KernelKey};
 use crate::error::RuntimeError;
+
+/// A totally-ordered wrapper over a finite `f64` timestamp, so virtual-time
+/// keys can live in `BTreeSet`/`BTreeMap` index structures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TimeKey(pub(crate) f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 /// What one [`TileState::charge`] call did to the tile's timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,11 +65,12 @@ pub struct ChargeOutcome {
 
 /// Dynamic serving state of one tile.
 ///
-/// The online event loop drives a tile through three kinds of transition:
+/// The online event loop drives a tile through four kinds of transition:
 /// [`enqueue`](TileState::enqueue) when the dispatcher places an arrival on
 /// it, [`dequeue`](TileState::dequeue) when a queued request is selected to
-/// run, and [`charge`](TileState::charge) when that request's switch +
-/// execution is committed to the timeline.
+/// run, [`charge`](TileState::charge) when that request's switch + execution
+/// is committed to the timeline (marking the tile running), and
+/// [`release`](TileState::release) when the tile-free event fires.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileState {
     /// Tile index (row-major across the NoC).
@@ -57,6 +100,9 @@ pub struct TileState {
     /// estimate of what the tile will host once its backlog drains. `None`
     /// when the queue is empty (the resident kernel is the projection).
     pub last_enqueued: Option<KernelKey>,
+    /// Whether the tile is executing a request (between its
+    /// [`charge`](TileState::charge) and its [`release`](TileState::release)).
+    pub running: bool,
 }
 
 impl TileState {
@@ -74,6 +120,7 @@ impl TileState {
             peak_queue_depth: 0,
             queued_est_us: 0.0,
             last_enqueued: None,
+            running: false,
         }
     }
 
@@ -121,7 +168,8 @@ impl TileState {
 
     /// Charges one request onto this tile's timeline: an optional context
     /// switch of `switch_us` followed by `exec_us` of execution, starting no
-    /// earlier than `arrival_us`.
+    /// earlier than `arrival_us`. Marks the tile running until
+    /// [`release`](TileState::release).
     pub fn charge(
         &mut self,
         key: KernelKey,
@@ -143,11 +191,17 @@ impl TileState {
         self.available_us = completion;
         self.busy_us += switch + exec_us;
         self.served += 1;
+        self.running = true;
         ChargeOutcome {
             start_us: start,
             completion_us: completion,
             switched,
         }
+    }
+
+    /// Marks the tile free again (its tile-free event fired).
+    pub fn release(&mut self) {
+        self.running = false;
     }
 
     /// The context-switch cost the tile would pay to run `key` next: zero if
@@ -161,8 +215,132 @@ impl TileState {
     }
 }
 
+/// A tile's class in the residency index, derived from its state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TileClass {
+    /// Free and never charged: any kernel is a cold start.
+    IdleCold,
+    /// Free with this kernel resident.
+    IdleWarm(KernelKey),
+    /// Running (or mid-transition): projected kernel + backlog-done time.
+    Busy(KernelKey, TimeKey),
+}
+
+fn classify(state: &TileState) -> TileClass {
+    if !state.running && state.queue_depth == 0 {
+        match state.resident {
+            None => TileClass::IdleCold,
+            Some(key) => TileClass::IdleWarm(key),
+        }
+    } else {
+        let projected = state
+            .projected_resident()
+            .expect("a busy tile always projects a kernel");
+        TileClass::Busy(projected, TimeKey(state.available_us + state.queued_est_us))
+    }
+}
+
+/// Incrementally-maintained ordered views over the tile classes, so
+/// placement is a constant number of `first()` lookups. The `*_best` maps
+/// hold exactly one entry per kernel (that kernel's best tile), which is
+/// what lets the evict-candidate query skip the arriving request's own
+/// kernel in at most two steps.
+#[derive(Debug, Clone, Default)]
+struct ResidencyIndex {
+    /// Idle tiles with no resident kernel, ordered by tile index.
+    idle_cold: BTreeSet<usize>,
+    /// Idle tiles by resident kernel, each set ordered by tile index.
+    idle_warm: FnvHashMap<KernelKey, BTreeSet<usize>>,
+    /// One entry per kernel: its lowest-index idle-warm tile.
+    idle_warm_best: BTreeMap<usize, KernelKey>,
+    /// Busy tiles by projected kernel, ordered by (backlog-done, index).
+    busy: FnvHashMap<KernelKey, BTreeSet<(TimeKey, usize)>>,
+    /// One entry per kernel: its earliest-backlog busy tile.
+    busy_best: BTreeMap<(TimeKey, usize), KernelKey>,
+}
+
+impl ResidencyIndex {
+    fn insert_class(&mut self, class: TileClass, tile: usize) {
+        match class {
+            TileClass::IdleCold => {
+                self.idle_cold.insert(tile);
+            }
+            TileClass::IdleWarm(key) => {
+                let set = self.idle_warm.entry(key).or_default();
+                if let Some(&first) = set.first() {
+                    if tile < first {
+                        self.idle_warm_best.remove(&first);
+                        self.idle_warm_best.insert(tile, key);
+                    }
+                } else {
+                    self.idle_warm_best.insert(tile, key);
+                }
+                set.insert(tile);
+            }
+            TileClass::Busy(key, backlog) => {
+                let entry = (backlog, tile);
+                let set = self.busy.entry(key).or_default();
+                if let Some(&first) = set.first() {
+                    if entry < first {
+                        self.busy_best.remove(&first);
+                        self.busy_best.insert(entry, key);
+                    }
+                } else {
+                    self.busy_best.insert(entry, key);
+                }
+                set.insert(entry);
+            }
+        }
+    }
+
+    fn remove_class(&mut self, class: TileClass, tile: usize) {
+        match class {
+            TileClass::IdleCold => {
+                self.idle_cold.remove(&tile);
+            }
+            TileClass::IdleWarm(key) => {
+                let set = self.idle_warm.get_mut(&key).expect("indexed warm set");
+                let was_best = set.first() == Some(&tile);
+                set.remove(&tile);
+                if was_best {
+                    self.idle_warm_best.remove(&tile);
+                    if let Some(&next) = set.first() {
+                        self.idle_warm_best.insert(next, key);
+                    }
+                }
+                if set.is_empty() {
+                    self.idle_warm.remove(&key);
+                }
+            }
+            TileClass::Busy(key, backlog) => {
+                let entry = (backlog, tile);
+                let set = self.busy.get_mut(&key).expect("indexed busy set");
+                let was_best = set.first() == Some(&entry);
+                set.remove(&entry);
+                if was_best {
+                    self.busy_best.remove(&entry);
+                    if let Some(&next) = set.first() {
+                        self.busy_best.insert(next, key);
+                    }
+                }
+                if set.is_empty() {
+                    self.busy.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.idle_cold.clear();
+        self.idle_warm.clear();
+        self.idle_warm_best.clear();
+        self.busy.clear();
+        self.busy_best.clear();
+    }
+}
+
 /// A pool of identical tiles (built from [`NocConfig`]) with per-tile serving
-/// state.
+/// state and the residency index placement queries run against.
 ///
 /// For the write-back variants (V3–V5) a tile hosts a fixed-depth overlay
 /// whose kernel is swapped by instruction reload; for the feed-forward
@@ -172,15 +350,26 @@ impl TileState {
 pub struct TilePool {
     noc: NocConfig,
     states: Vec<TileState>,
+    index: ResidencyIndex,
+    indexing: bool,
+    waiting: usize,
 }
 
 impl TilePool {
     /// A pool laid out as `noc`.
     pub fn new(noc: NocConfig) -> Self {
-        let states = (0..noc.num_tiles())
+        let states: Vec<TileState> = (0..noc.num_tiles())
             .map(|index| TileState::new(index, (index / noc.cols, index % noc.cols)))
             .collect();
-        TilePool { noc, states }
+        let mut pool = TilePool {
+            noc,
+            states,
+            index: ResidencyIndex::default(),
+            indexing: true,
+            waiting: 0,
+        };
+        pool.rebuild_index();
+        pool
     }
 
     /// A pool of `tiles` tiles of `variant` in one NoC row.
@@ -260,21 +449,194 @@ impl TilePool {
     }
 
     /// Total requests waiting (placed, not started) across all tile queues —
-    /// the quantity admission control bounds.
+    /// the quantity admission control bounds. O(1): maintained by the
+    /// enqueue/dequeue transitions.
     pub fn total_waiting(&self) -> usize {
+        debug_assert_eq!(self.waiting, self.total_waiting_scan());
+        self.waiting
+    }
+
+    /// The linear-scan recomputation of [`total_waiting`](Self::total_waiting),
+    /// retained as the reference (and the cost model) the pre-index runtime
+    /// paid per event.
+    pub fn total_waiting_scan(&self) -> usize {
         self.states.iter().map(|s| s.queue_depth).sum()
     }
 
-    /// Mutable access for the dispatcher.
+    /// Whether the residency index is maintained. Disabled by the
+    /// linear-reference scan mode so the baseline measured in benchmarks
+    /// pays neither the index's cost nor enjoys its speedup.
+    pub fn indexing(&self) -> bool {
+        self.indexing
+    }
+
+    /// Enables or disables residency-index maintenance, rebuilding the index
+    /// from the current states when turning it on.
+    pub(crate) fn set_indexing(&mut self, enabled: bool) {
+        if self.indexing == enabled {
+            return;
+        }
+        self.indexing = enabled;
+        self.rebuild_index();
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        if self.indexing {
+            for state in &self.states {
+                self.index.insert_class(classify(state), state.index);
+            }
+        }
+    }
+
+    /// Applies `mutate` to one tile's state, keeping the residency index
+    /// coherent around the transition. A transition that leaves the tile's
+    /// class unchanged (e.g. releasing a tile whose queue immediately keeps
+    /// it busy at the same backlog) skips the index churn.
+    fn transition<R>(&mut self, tile: usize, mutate: impl FnOnce(&mut TileState) -> R) -> R {
+        if !self.indexing {
+            return mutate(&mut self.states[tile]);
+        }
+        let before = classify(&self.states[tile]);
+        let result = mutate(&mut self.states[tile]);
+        let after = classify(&self.states[tile]);
+        if before != after {
+            self.index.remove_class(before, tile);
+            self.index.insert_class(after, tile);
+        }
+        result
+    }
+
+    /// Places a waiting request on `tile`'s queue (see [`TileState::enqueue`]).
+    pub fn enqueue(&mut self, tile: usize, key: KernelKey, est_us: f64) {
+        self.waiting += 1;
+        self.transition(tile, |state| state.enqueue(key, est_us));
+    }
+
+    /// Removes one waiting request from `tile`'s queue
+    /// (see [`TileState::dequeue`]).
+    pub fn dequeue(&mut self, tile: usize, est_us: f64, remaining_tail: Option<KernelKey>) {
+        self.transition(tile, |state| state.dequeue(est_us, remaining_tail));
+        self.waiting -= 1;
+    }
+
+    /// Starts a queued request in one step: dequeues it (see
+    /// [`TileState::dequeue`]) and charges its switch + execution onto the
+    /// timeline (see [`TileState::charge`]) under a single residency-index
+    /// update — the tile-free hot path's combined transition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_queued(
+        &mut self,
+        tile: usize,
+        est_us: f64,
+        remaining_tail: Option<KernelKey>,
+        key: KernelKey,
+        arrival_us: f64,
+        switch_us: f64,
+        exec_us: f64,
+    ) -> ChargeOutcome {
+        let outcome = self.transition(tile, |state| {
+            state.dequeue(est_us, remaining_tail);
+            state.charge(key, arrival_us, switch_us, exec_us)
+        });
+        self.waiting -= 1;
+        outcome
+    }
+
+    /// Commits one request to `tile`'s timeline (see [`TileState::charge`]).
+    pub fn charge(
+        &mut self,
+        tile: usize,
+        key: KernelKey,
+        arrival_us: f64,
+        switch_us: f64,
+        exec_us: f64,
+    ) -> ChargeOutcome {
+        self.transition(tile, |state| {
+            state.charge(key, arrival_us, switch_us, exec_us)
+        })
+    }
+
+    /// Marks `tile` free (its tile-free event fired).
+    pub fn release(&mut self, tile: usize) {
+        self.transition(tile, |state| state.release());
+    }
+
+    /// The indexed earliest-completion placement: the tile with the earliest
+    /// estimated completion for a request needing `key` (`est_us` service,
+    /// `switch_us` on a kernel swap) at virtual time `now_us`, with
+    /// completion ties broken by preferring no-switch over cold over
+    /// evicting a warm kernel, then the lowest tile index — exactly the
+    /// linear scan's ordering, found in O(log n) index lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if index maintenance is disabled (the linear reference mode
+    /// must use the scan) — that is a runtime-internal wiring bug.
+    pub fn place_earliest_indexed(
+        &self,
+        key: KernelKey,
+        est_us: f64,
+        switch_us: f64,
+        now_us: f64,
+    ) -> usize {
+        assert!(self.indexing, "indexed placement without index maintenance");
+        let mut best = (f64::INFINITY, true, true, usize::MAX);
+        let mut consider = |candidate: (f64, bool, bool, usize)| {
+            if candidate < best {
+                best = candidate;
+            }
+        };
+        // Warm candidates: no switch, no eviction.
+        if let Some(&(backlog, tile)) = self.index.busy.get(&key).and_then(BTreeSet::first) {
+            consider(((backlog.0 + 0.0) + est_us, false, false, tile));
+        }
+        if let Some(&tile) = self.index.idle_warm.get(&key).and_then(BTreeSet::first) {
+            consider(((now_us + 0.0) + est_us, false, false, tile));
+        }
+        // Cold start: switch, but nothing warm is evicted.
+        if let Some(&tile) = self.index.idle_cold.first() {
+            consider(((now_us + switch_us) + est_us, true, false, tile));
+        }
+        // Evict candidates: the best tile projected to a *different* kernel.
+        // The best maps hold one entry per kernel, so the arriving kernel's
+        // own entry is skipped in at most two steps.
+        if let Some((&(backlog, tile), _)) = self
+            .index
+            .busy_best
+            .iter()
+            .find(|(_, &kernel)| kernel != key)
+        {
+            consider(((backlog.0 + switch_us) + est_us, true, true, tile));
+        }
+        if let Some((&tile, _)) = self
+            .index
+            .idle_warm_best
+            .iter()
+            .find(|(_, &kernel)| kernel != key)
+        {
+            consider(((now_us + switch_us) + est_us, true, true, tile));
+        }
+        debug_assert!(best.3 != usize::MAX, "a non-empty pool always has a tile");
+        best.3
+    }
+
+    /// Mutable access for unit tests. Mutations made through this bypass the
+    /// residency index — the event loop must use the pool-level transition
+    /// methods instead.
+    #[cfg(test)]
     pub(crate) fn states_mut(&mut self) -> &mut [TileState] {
         &mut self.states
     }
 
-    /// Clears all dynamic state (resident kernels, timelines, counters).
+    /// Clears all dynamic state (resident kernels, timelines, counters) and
+    /// rebuilds the residency index.
     pub fn reset(&mut self) {
         for state in &mut self.states {
             *state = TileState::new(state.index, state.coords);
         }
+        self.waiting = 0;
+        self.rebuild_index();
     }
 }
 
@@ -336,6 +698,7 @@ mod tests {
         assert_eq!(outcome.start_us, 0.0);
         assert!((outcome.completion_us - 10.25).abs() < 1e-12);
         assert!(outcome.switched);
+        assert!(tile.running);
         assert_eq!(tile.switches, 1);
         // Same kernel again: no switch, queued behind the first request.
         let outcome = tile.charge(key(1), 5.0, 0.25, 10.0);
@@ -352,13 +715,16 @@ mod tests {
         assert_eq!(tile.served, 3);
         assert_eq!(tile.switch_cost(key(2), 0.25), 0.0);
         assert_eq!(tile.switch_cost(key(3), 0.25), 0.25);
+        tile.release();
+        assert!(!tile.running);
     }
 
     #[test]
     fn reset_returns_the_pool_to_cold_state() {
         let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 2).unwrap();
-        pool.states_mut()[1].charge(key(9), 0.0, 1.0, 5.0);
-        pool.states_mut()[1].enqueue(key(9), 5.0);
+        pool.charge(1, key(9), 0.0, 1.0, 5.0);
+        pool.enqueue(1, key(9), 5.0);
+        assert_eq!(pool.total_waiting(), 1);
         pool.reset();
         assert!(pool.states().iter().all(|s| {
             s.resident.is_none()
@@ -369,6 +735,7 @@ mod tests {
                 && s.peak_queue_depth == 0
                 && s.queued_est_us == 0.0
                 && s.last_enqueued.is_none()
+                && !s.running
         }));
         assert_eq!(pool.total_waiting(), 0);
     }
@@ -380,14 +747,18 @@ mod tests {
     #[test]
     fn queue_transitions_track_depth_backlog_and_projection() {
         let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
-        let tile = &mut pool.states_mut()[0];
-        assert_eq!(tile.projected_resident(), None);
+        assert_eq!(pool.states()[0].projected_resident(), None);
 
-        tile.charge(key(1), 0.0, 0.25, 10.0);
-        assert_eq!(tile.projected_resident(), Some(key(1)), "resident projects");
+        pool.charge(0, key(1), 0.0, 0.25, 10.0);
+        assert_eq!(
+            pool.states()[0].projected_resident(),
+            Some(key(1)),
+            "resident projects"
+        );
 
-        tile.enqueue(key(1), 10.0);
-        tile.enqueue(key(2), 20.0);
+        pool.enqueue(0, key(1), 10.0);
+        pool.enqueue(0, key(2), 20.0);
+        let tile = &pool.states()[0];
         assert_eq!(tile.queue_depth, 2);
         assert_eq!(tile.peak_queue_depth, 2);
         assert!((tile.queued_est_us - 30.0).abs() < 1e-12);
@@ -396,13 +767,16 @@ mod tests {
             Some(key(2)),
             "the queue tail, not the loaded kernel, is what placement sees"
         );
+        assert_eq!(pool.total_waiting(), 2);
 
-        tile.dequeue(10.0, Some(key(2)));
+        pool.dequeue(0, 10.0, Some(key(2)));
+        let tile = &pool.states()[0];
         assert_eq!(tile.queue_depth, 1);
         assert_eq!(tile.peak_queue_depth, 2, "peak is a high-water mark");
         assert!((tile.queued_est_us - 20.0).abs() < 1e-12);
 
-        tile.dequeue(20.0, None);
+        pool.dequeue(0, 20.0, None);
+        let tile = &pool.states()[0];
         assert_eq!(tile.queue_depth, 0);
         assert_eq!(tile.queued_est_us, 0.0);
         assert_eq!(
@@ -410,6 +784,7 @@ mod tests {
             Some(key(1)),
             "empty queue falls back to the resident kernel"
         );
+        assert_eq!(pool.total_waiting(), 0);
     }
 
     /// A deadline-aware policy can pull the *tail* out of the queue; the
@@ -417,14 +792,14 @@ mod tests {
     #[test]
     fn dequeuing_the_tail_reprojects_onto_the_remaining_queue() {
         let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
-        let tile = &mut pool.states_mut()[0];
-        tile.enqueue(key(1), 10.0);
-        tile.enqueue(key(2), 10.0);
-        assert_eq!(tile.projected_resident(), Some(key(2)));
+        pool.charge(0, key(7), 0.0, 0.25, 1.0);
+        pool.enqueue(0, key(1), 10.0);
+        pool.enqueue(0, key(2), 10.0);
+        assert_eq!(pool.states()[0].projected_resident(), Some(key(2)));
         // EDF pops the urgent tail (kernel 2): the queue now ends in kernel 1.
-        tile.dequeue(10.0, Some(key(1)));
+        pool.dequeue(0, 10.0, Some(key(1)));
         assert_eq!(
-            tile.projected_resident(),
+            pool.states()[0].projected_resident(),
             Some(key(1)),
             "the projection must follow the remaining queue, not the removed tail"
         );
@@ -433,21 +808,131 @@ mod tests {
     #[test]
     fn dequeue_clamps_float_drift_out_of_the_backlog() {
         let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
-        let tile = &mut pool.states_mut()[0];
-        tile.enqueue(key(1), 0.1);
-        tile.enqueue(key(1), 0.2);
+        pool.charge(0, key(1), 0.0, 0.25, 1.0);
+        pool.enqueue(0, key(1), 0.1);
+        pool.enqueue(0, key(1), 0.2);
         // Remove slightly more than was added: the estimate clamps at zero
         // instead of going negative and skewing placement.
-        tile.dequeue(0.2 + 1e-9, Some(key(1)));
-        assert!(tile.queued_est_us >= 0.0);
-        tile.dequeue(0.1, None);
-        assert_eq!(tile.queued_est_us, 0.0);
+        pool.dequeue(0, 0.2 + 1e-9, Some(key(1)));
+        assert!(pool.states()[0].queued_est_us >= 0.0);
+        pool.dequeue(0, 0.1, None);
+        assert_eq!(pool.states()[0].queued_est_us, 0.0);
     }
 
     #[test]
     #[should_panic(expected = "dequeue from an empty tile queue")]
     fn unpaired_dequeue_panics() {
         let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 1).unwrap();
-        pool.states_mut()[0].dequeue(1.0, None);
+        pool.dequeue(0, 1.0, None);
+    }
+
+    /// The linear earliest-completion reference the indexed query must match
+    /// bit-for-bit (mirrors `Dispatcher::earliest_completion_linear`).
+    fn place_linear(
+        pool: &TilePool,
+        key: KernelKey,
+        est_us: f64,
+        switch_us: f64,
+        now_us: f64,
+    ) -> usize {
+        let mut best = (f64::INFINITY, true, true, usize::MAX);
+        for state in pool.states() {
+            let projected = state.projected_resident();
+            let needs_switch = projected != Some(key);
+            let evicts_warm = needs_switch && projected.is_some();
+            let start = state.available_us.max(now_us) + state.queued_est_us;
+            let switch = if needs_switch { switch_us } else { 0.0 };
+            let completion = start + switch + est_us;
+            let candidate = (completion, needs_switch, evicts_warm, state.index);
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        best.3
+    }
+
+    /// Drives a pool through a pseudo-random but loop-shaped transition
+    /// schedule (queues only form on running tiles; virtual time never
+    /// passes a running tile's completion without a release firing) and
+    /// checks the indexed placement against the linear reference at every
+    /// step, for every kernel.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn indexed_placement_matches_the_linear_scan_under_churn() {
+        const TILES: usize = 7;
+        let mut pool =
+            TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, TILES).unwrap();
+        let mut now = 0.0_f64;
+        let mut seed = 0x1234_5678_9ABC_DEFFu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        // Mirror of each tile's queue, oldest first, so dequeues stay paired.
+        let mut queues: Vec<Vec<(f64, KernelKey)>> = vec![Vec::new(); TILES];
+        for step in 0..800 {
+            // Advance virtual time, firing any tile-free transitions it
+            // passes (exactly what the event loop's TileFree events do).
+            now += (rng() % 8) as f64 * 0.5;
+            for tile in 0..TILES {
+                while pool.states()[tile].running && pool.states()[tile].available_us <= now {
+                    pool.release(tile);
+                    if let Some((est, _)) = {
+                        let q = &mut queues[tile];
+                        if q.is_empty() {
+                            None
+                        } else {
+                            Some(q.remove(0))
+                        }
+                    } {
+                        let tail = queues[tile].last().map(|&(_, k)| k);
+                        pool.dequeue(tile, est, tail);
+                        let kernel = key(rng() % 4);
+                        pool.charge(tile, kernel, now, 0.25, est);
+                    }
+                }
+            }
+            // A new arrival: either start it on an idle tile or queue it
+            // behind a running one.
+            let kernel = key(rng() % 4);
+            let est = (rng() % 50) as f64 * 0.5 + 1.0;
+            let switch = (rng() % 3) as f64 * 0.25;
+            let tile = (rng() % TILES as u64) as usize;
+            if !pool.states()[tile].running {
+                pool.charge(tile, kernel, now, switch, est);
+            } else {
+                pool.enqueue(tile, kernel, est);
+                queues[tile].push((est, kernel));
+            }
+            // The indexed query must match the scan for every kernel, warm
+            // or not, at every step.
+            for probe in 0..5 {
+                let probe_key = key(probe);
+                assert_eq!(
+                    pool.place_earliest_indexed(probe_key, est, switch, now),
+                    place_linear(&pool, probe_key, est, switch, now),
+                    "step {step}: index diverged from the linear scan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexing_can_be_disabled_for_the_linear_reference() {
+        let mut pool = TilePool::with_tiles(FuVariant::V4, TileComposition::Parallel, 2).unwrap();
+        pool.set_indexing(false);
+        assert!(!pool.indexing());
+        pool.charge(0, key(1), 0.0, 0.25, 10.0);
+        pool.enqueue(0, key(1), 10.0);
+        assert_eq!(pool.total_waiting(), 1);
+        assert_eq!(pool.total_waiting_scan(), 1);
+        // Re-enabling rebuilds the index from the live states.
+        pool.set_indexing(true);
+        assert_eq!(
+            pool.place_earliest_indexed(key(1), 10.0, 0.25, 0.0),
+            place_linear(&pool, key(1), 10.0, 0.25, 0.0),
+        );
     }
 }

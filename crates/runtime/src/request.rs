@@ -84,6 +84,12 @@ impl KernelSpec {
         &self.name
     }
 
+    /// The kernel name as its shared allocation — what the runtime stamps
+    /// onto outcomes without per-request string copies.
+    pub fn shared_name(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
     /// Content fingerprint: equal for equal definitions.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
@@ -152,6 +158,37 @@ impl Request {
         self.deadline_us = Some(deadline_us);
         self
     }
+
+    /// Content digest of the workload: two independent 64-bit word-wise
+    /// mixing lanes over the invocation records (length-prefixed per
+    /// record), combined into 128 bits. Together with the compiled-kernel
+    /// key it identifies a simulation run, which is what lets the runtime
+    /// memoize repeated tenant requests — 128 bits keeps accidental
+    /// collisions (which would silently serve another workload's outputs)
+    /// out of reach even across billions of distinct workloads. The digest
+    /// is not cryptographic; adversarially-constructed collisions are out
+    /// of scope. Equal workloads digest alike; the cost is a few
+    /// multiply-xor operations per input word at submission time.
+    pub fn workload_digest(&self) -> u128 {
+        let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut b: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut mix = |word: u64| {
+            a ^= word;
+            a = a.wrapping_mul(0x0000_0100_0000_01B3);
+            a ^= a >> 29;
+            b = b
+                .wrapping_add(word ^ 0xd6e8_feb8_6659_fd93)
+                .rotate_left(23)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d);
+        };
+        for record in self.workload.records() {
+            mix(record.len() as u64);
+            for value in record {
+                mix(u64::from(value.as_u32()));
+            }
+        }
+        (u128::from(a) << 64) | u128::from(b)
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +234,24 @@ mod tests {
         assert_eq!(request.arrival_us, 125.0);
         assert_eq!(request.deadline_us, Some(500.0));
         assert_eq!(request.workload.len(), 4);
+    }
+
+    #[test]
+    fn workload_digests_are_content_addressed() {
+        let spec = KernelSpec::from_source("saxpy", SAXPY);
+        let a = Request::new(0, spec.clone(), Workload::ramp(3, 4));
+        let b = Request::new(99, spec.clone(), Workload::ramp(3, 4)).at(50.0);
+        assert_eq!(
+            a.workload_digest(),
+            b.workload_digest(),
+            "identity and timing do not enter the digest"
+        );
+        let c = Request::new(0, spec.clone(), Workload::ramp(3, 5));
+        assert_ne!(a.workload_digest(), c.workload_digest());
+        // Record-shape matters, not just the flattened words: 2 records of 3
+        // words digest differently from 3 records of 2.
+        let flat_23 = Request::new(0, spec.clone(), Workload::ramp(3, 2));
+        let flat_32 = Request::new(0, spec, Workload::ramp(2, 3));
+        assert_ne!(flat_23.workload_digest(), flat_32.workload_digest());
     }
 }

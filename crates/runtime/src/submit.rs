@@ -8,6 +8,10 @@
 //! [`SubmitError::Backpressure`]. Dropping every `Submitter` clone marks the
 //! end of the trace and lets the loop drain and return.
 //!
+//! Requests travel the channel as [`Arc<Request>`], so submission never deep-
+//! clones a workload: callers hand over ownership (a plain [`Request`]
+//! converts on the way in) or share an existing `Arc`.
+//!
 //! Submission order is the runtime's arrival order: arrival timestamps must
 //! be non-decreasing across `submit` calls (the loop rejects the whole serve
 //! with [`RuntimeError::OutOfOrderArrival`](crate::RuntimeError::OutOfOrderArrival)
@@ -15,6 +19,7 @@
 
 use std::fmt;
 use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
 
 use crate::request::Request;
 
@@ -23,9 +28,9 @@ use crate::request::Request;
 #[derive(Debug, Clone)]
 pub enum SubmitError {
     /// `try_submit` found the bounded ingest channel full.
-    Backpressure(Request),
+    Backpressure(Arc<Request>),
     /// The serve loop is gone: it returned (end of serve) or failed.
-    Closed(Request),
+    Closed(Arc<Request>),
 }
 
 impl SubmitError {
@@ -37,7 +42,7 @@ impl SubmitError {
     }
 
     /// Consumes the error, returning the request for a retry.
-    pub fn into_request(self) -> Request {
+    pub fn into_request(self) -> Arc<Request> {
         match self {
             SubmitError::Backpressure(request) | SubmitError::Closed(request) => request,
         }
@@ -68,23 +73,25 @@ impl std::error::Error for SubmitError {}
 /// ordering is the caller's responsibility.
 #[derive(Debug, Clone)]
 pub struct Submitter {
-    tx: SyncSender<Request>,
+    tx: SyncSender<Arc<Request>>,
 }
 
 impl Submitter {
-    pub(crate) fn new(tx: SyncSender<Request>) -> Self {
+    pub(crate) fn new(tx: SyncSender<Arc<Request>>) -> Self {
         Submitter { tx }
     }
 
     /// Submits a request, blocking while the bounded ingest queue is full.
+    /// Accepts a [`Request`] by value or an already-shared `Arc<Request>` —
+    /// either way the workload is moved, never cloned.
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::Closed`] when the serve loop has shut down
     /// (typically because an earlier request failed it).
-    pub fn submit(&self, request: Request) -> Result<(), SubmitError> {
+    pub fn submit(&self, request: impl Into<Arc<Request>>) -> Result<(), SubmitError> {
         self.tx
-            .send(request)
+            .send(request.into())
             .map_err(|err| SubmitError::Closed(err.0))
     }
 
@@ -94,8 +101,8 @@ impl Submitter {
     ///
     /// Returns [`SubmitError::Backpressure`] when the ingest queue is full
     /// and [`SubmitError::Closed`] when the serve loop has shut down.
-    pub fn try_submit(&self, request: Request) -> Result<(), SubmitError> {
-        self.tx.try_send(request).map_err(|err| match err {
+    pub fn try_submit(&self, request: impl Into<Arc<Request>>) -> Result<(), SubmitError> {
+        self.tx.try_send(request.into()).map_err(|err| match err {
             TrySendError::Full(request) => SubmitError::Backpressure(request),
             TrySendError::Disconnected(request) => SubmitError::Closed(request),
         })
@@ -136,5 +143,18 @@ mod tests {
         assert!(err.to_string().contains("shut down"));
         let err = submitter.try_submit(request(3)).unwrap_err();
         assert!(matches!(err, SubmitError::Closed(_)));
+    }
+
+    #[test]
+    fn an_arc_request_streams_without_copying() {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let submitter = Submitter::new(tx);
+        let shared = Arc::new(request(7));
+        submitter.submit(Arc::clone(&shared)).unwrap();
+        let received = rx.recv().unwrap();
+        assert!(
+            Arc::ptr_eq(&shared, &received),
+            "submission moves the Arc, not a deep copy"
+        );
     }
 }

@@ -113,9 +113,11 @@ fn verify_outputs(
         let dfg = request.kernel.dfg(&options)?;
         let expected = evaluate_stream(&dfg, request.workload.records())?;
         assert_eq!(
-            outcome.outputs, expected,
+            outcome.outputs(),
+            expected,
             "request {} ({}) diverged from the reference evaluator",
-            request.id, outcome.kernel
+            request.id,
+            outcome.kernel
         );
     }
     Ok(())
@@ -187,7 +189,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = benchmark.dfg()?.num_inputs();
     let probe_request = Request::new(0, spec, Workload::random(inputs, blocks, 0xBEEF ^ 1)).at(0.0);
     let service_us = Runtime::new(FuVariant::V4, 1)?
-        .serve(std::slice::from_ref(&probe_request))?
+        .serve(vec![probe_request])?
         .outcomes()[0]
         .completion_us;
 

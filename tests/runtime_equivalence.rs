@@ -1,0 +1,152 @@
+//! Index/scan equivalence property suite: the indexed dispatcher (residency
+//! index placement + per-tile ordered queues + O(1) waiting counters) must
+//! produce **identical** decisions to the retained linear-scan reference
+//! implementation on every trace — same tile choices, same outcomes (to the
+//! bit, including modeled timestamps), same rejects, same metrics — across
+//! all four `DispatchPolicy` variants, with and without admission pressure.
+//!
+//! This is the safety net under the hot-path work: any divergence between
+//! `ScanMode::Indexed` and `ScanMode::LinearReference` is a bug in the
+//! index, not a tolerable approximation.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+
+use tm_overlay::{
+    DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, ScanMode, ServeReport, Workload,
+};
+
+const SAXPY: &str = "kernel saxpy(a, x, y) { out r = a * x + y; }";
+const POLY: &str = "kernel poly(x) { out y = (x * x + 3) * x; }";
+const GRAD: &str = "kernel grad(a, b, c, d, e) { out g = a * b + c * d + e; }";
+
+/// A random mixed-kernel trace: non-decreasing arrivals (with simultaneous
+/// bursts), a small workload pool so the sim memo and in-flight dedup paths
+/// both engage, and a coin-flip deadline per request.
+fn random_trace(seed: u64, count: usize, deadline_scale_us: f64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = [
+        (KernelSpec::from_source("saxpy", SAXPY), 3usize),
+        (KernelSpec::from_source("poly", POLY), 1),
+        (KernelSpec::from_source("grad", GRAD), 5),
+    ];
+    let mut clock_us = 0.0;
+    (0..count)
+        .map(|i| {
+            // ~1 in 3 requests arrives simultaneously with its predecessor,
+            // exercising the same-timestamp event ordering.
+            if rng.gen_range(0..3u32) > 0 {
+                clock_us += rng.gen_range(0..=20u64) as f64 * 0.1;
+            }
+            let (spec, inputs) = &specs[rng.gen_range(0..specs.len())];
+            let blocks = rng.gen_range(1..=3usize);
+            // Draw workloads from a pool of 4 seeds per kernel so repeats
+            // are common enough to hit the memo and the in-flight joins.
+            let workload = Workload::random(*inputs, blocks, seed ^ rng.gen_range(0..4u64));
+            let mut request = Request::new(i as u64, spec.clone(), workload).at(clock_us);
+            if rng.gen_bool(0.5) {
+                let budget = rng.gen_range(1..=30u64) as f64 * 0.1 * deadline_scale_us;
+                request = request.with_deadline(clock_us + budget);
+            }
+            request
+        })
+        .collect()
+}
+
+/// Every observable of the two serves must match exactly.
+fn assert_reports_identical(
+    indexed: &ServeReport,
+    linear: &ServeReport,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(indexed.outcomes().len(), linear.outcomes().len());
+    for (lhs, rhs) in indexed.outcomes().iter().zip(linear.outcomes()) {
+        prop_assert_eq!(lhs.request_id, rhs.request_id);
+        prop_assert_eq!(lhs.tile, rhs.tile);
+        prop_assert_eq!(lhs.start_us, rhs.start_us);
+        prop_assert_eq!(lhs.completion_us, rhs.completion_us);
+        prop_assert_eq!(lhs.queued_us, rhs.queued_us);
+        prop_assert_eq!(lhs.latency_us, rhs.latency_us);
+        prop_assert_eq!(lhs.switched, rhs.switched);
+        prop_assert_eq!(lhs.missed_deadline, rhs.missed_deadline);
+        prop_assert_eq!(&lhs.outputs(), &rhs.outputs());
+    }
+    prop_assert_eq!(indexed.rejected(), linear.rejected());
+    // The full metrics struct — counters, rates, depths, per-tile vectors,
+    // event counts and memo stats — must agree field for field.
+    prop_assert_eq!(indexed.metrics(), linear.metrics());
+    Ok(())
+}
+
+fn runtimes(
+    tiles: usize,
+    policy: DispatchPolicy,
+    limit: usize,
+    variant: FuVariant,
+) -> (Runtime, Runtime) {
+    let indexed = Runtime::new(variant, tiles)
+        .unwrap()
+        .with_policy(policy)
+        .with_admission_limit(limit);
+    let linear = Runtime::new(variant, tiles)
+        .unwrap()
+        .with_policy(policy)
+        .with_admission_limit(limit)
+        .with_scan_mode(ScanMode::LinearReference);
+    (indexed, linear)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Unconstrained admission: placements, timelines, metrics identical
+    /// under every policy.
+    #[test]
+    fn indexed_and_linear_scans_serve_identically(
+        (seed, count, tiles) in (any::<u64>(), 4usize..24, 1usize..6),
+        policy_pick in 0usize..4,
+        deadline_scale in 1u64..8,
+    ) {
+        let requests = random_trace(seed, count, deadline_scale as f64);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let (mut indexed, mut linear) = runtimes(tiles, policy, usize::MAX, FuVariant::V4);
+        prop_assert_eq!(indexed.scan_mode(), ScanMode::Indexed);
+        prop_assert_eq!(linear.scan_mode(), ScanMode::LinearReference);
+        let a = indexed.serve(requests.clone()).unwrap();
+        let b = linear.serve(requests).unwrap();
+        assert_reports_identical(&a, &b)?;
+    }
+
+    /// Admission pressure: the reject decisions depend on the O(1) waiting
+    /// counter vs the O(tiles) recomputation — they must agree request for
+    /// request.
+    #[test]
+    fn admission_rejects_are_identical_under_pressure(
+        (seed, count, tiles) in (any::<u64>(), 8usize..24, 1usize..4),
+        policy_pick in 0usize..4,
+        limit in 0usize..6,
+    ) {
+        let requests = random_trace(seed, count, 2.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let (mut indexed, mut linear) = runtimes(tiles, policy, limit, FuVariant::V4);
+        let a = indexed.serve(requests.clone()).unwrap();
+        let b = linear.serve(requests).unwrap();
+        prop_assert!(a.metrics().rejects + a.outcomes().len() == count);
+        assert_reports_identical(&a, &b)?;
+    }
+
+    /// The feed-forward variants flip the switch-cost scale to PCAP
+    /// milliseconds, changing which placements tie — the index must track
+    /// that too.
+    #[test]
+    fn equivalence_holds_on_pcap_pools(
+        (seed, count, tiles) in (any::<u64>(), 4usize..16, 2usize..5),
+        policy_pick in 0usize..4,
+    ) {
+        let requests = random_trace(seed, count, 50.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let (mut indexed, mut linear) = runtimes(tiles, policy, usize::MAX, FuVariant::V1);
+        let a = indexed.serve(requests.clone()).unwrap();
+        let b = linear.serve(requests).unwrap();
+        assert_reports_identical(&a, &b)?;
+    }
+}

@@ -8,6 +8,7 @@
 //! accounting.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use tm_overlay::dfg::evaluate_stream;
 use tm_overlay::frontend::LowerOptions;
@@ -47,7 +48,8 @@ fn verify_report(requests: &[Request], report: &ServeReport) {
         let dfg = request.kernel.dfg(&options).unwrap();
         let expected = evaluate_stream(&dfg, request.workload.records()).unwrap();
         assert_eq!(
-            outcome.outputs, expected,
+            outcome.outputs(),
+            expected,
             "request {} diverged from the reference evaluator",
             request.id
         );
@@ -85,7 +87,7 @@ fn every_policy_serves_the_same_functional_results() {
     let mut reference: Option<ServeReport> = None;
     for policy in DispatchPolicy::ALL {
         let mut runtime = Runtime::new(FuVariant::V4, 3).unwrap().with_policy(policy);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert_eq!(report.policy(), policy);
         verify_report(&requests, &report);
         assert_eq!(report.metrics().requests, 24);
@@ -93,7 +95,8 @@ fn every_policy_serves_the_same_functional_results() {
         if let Some(reference) = &reference {
             for (lhs, rhs) in reference.outcomes().iter().zip(report.outcomes()) {
                 assert_eq!(
-                    lhs.outputs, rhs.outputs,
+                    lhs.outputs(),
+                    rhs.outputs(),
                     "{policy} changed functional results"
                 );
             }
@@ -119,7 +122,7 @@ fn a_live_producer_thread_streams_through_backpressure() {
             }
         })
         .unwrap();
-    let batch = runtime.serve(&requests).unwrap();
+    let batch = runtime.serve(requests.clone()).unwrap();
     assert_eq!(streamed.outcomes().len(), 40);
     for (lhs, rhs) in streamed.outcomes().iter().zip(batch.outcomes()) {
         assert_eq!(lhs.request_id, rhs.request_id);
@@ -143,7 +146,7 @@ fn try_submit_surfaces_backpressure_to_the_producer() {
         .serve_stream(|submitter| {
             let mut saw = false;
             for request in &requests {
-                let mut pending = request.clone();
+                let mut pending = Arc::new(request.clone());
                 loop {
                     match submitter.try_submit(pending) {
                         Ok(()) => break,
@@ -179,7 +182,7 @@ fn admission_control_rejects_queue_overflow_per_policy() {
             .unwrap()
             .with_policy(policy)
             .with_admission_limit(3);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert_eq!(report.outcomes().len(), 4, "{policy}");
         assert_eq!(report.rejected().len(), 12, "{policy}");
         assert_eq!(report.metrics().rejects, 12);
@@ -194,7 +197,7 @@ fn admission_control_rejects_queue_overflow_per_policy() {
         ids.sort_unstable();
         assert_eq!(ids, (0..16).collect::<Vec<u64>>(), "{policy}");
         for rejected in report.rejected() {
-            assert_eq!(rejected.kernel, "gradient");
+            assert_eq!(rejected.kernel.as_ref(), "gradient");
             assert_eq!(rejected.arrival_us, 0.0);
         }
     }
@@ -205,7 +208,7 @@ fn admission_control_rejects_queue_overflow_per_policy() {
 fn probe_service_us(spec: &KernelSpec, workload: &Workload) -> f64 {
     let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap();
     let report = runtime
-        .serve(&[Request::new(0, spec.clone(), workload.clone()).at(0.0)])
+        .serve(vec![Request::new(0, spec.clone(), workload.clone()).at(0.0)])
         .unwrap();
     report.outcomes()[0].completion_us
 }
@@ -228,7 +231,7 @@ fn deadline_misses_are_counted_per_policy_under_overload() {
         .collect();
     for policy in DispatchPolicy::ALL {
         let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap().with_policy(policy);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         let metrics = report.metrics();
         assert_eq!(metrics.deadline_requests, 8, "{policy}");
         let misses = report
@@ -277,14 +280,22 @@ fn deadline_aware_policies_beat_fifo_on_an_overloaded_queue() {
         );
     }
     let mut affinity = Runtime::new(FuVariant::V4, 1).unwrap();
-    let fifo_misses = affinity.serve(&requests).unwrap().metrics().deadline_misses;
+    let fifo_misses = affinity
+        .serve(requests.clone())
+        .unwrap()
+        .metrics()
+        .deadline_misses;
     assert!(fifo_misses > 0, "the trace must overload FIFO");
     for policy in [
         DispatchPolicy::EarliestDeadlineFirst,
         DispatchPolicy::SlackAware,
     ] {
         let mut runtime = Runtime::new(FuVariant::V4, 1).unwrap().with_policy(policy);
-        let misses = runtime.serve(&requests).unwrap().metrics().deadline_misses;
+        let misses = runtime
+            .serve(requests.clone())
+            .unwrap()
+            .metrics()
+            .deadline_misses;
         assert!(
             misses < fifo_misses,
             "{policy}: {misses} misses vs FIFO's {fifo_misses}"

@@ -108,7 +108,7 @@ proptest! {
             .unwrap()
             .with_policy(policy)
             .with_admission_limit(limit);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert_conservation(&requests, &report)?;
         prop_assert_eq!(
             report.metrics().requests + report.metrics().rejects,
@@ -129,7 +129,7 @@ proptest! {
         let mut runtime = Runtime::new(FuVariant::V4, tiles)
             .unwrap()
             .with_policy(policy);
-        let report = runtime.serve(&requests).unwrap();
+        let report = runtime.serve(requests.clone()).unwrap();
         assert_conservation(&requests, &report)?;
         assert_timeline(&requests, &report, tiles)?;
         // Latency figures must be consistent with the spans.
@@ -157,7 +157,7 @@ proptest! {
         let service_us = {
             let mut probe = Runtime::new(FuVariant::V4, 1).unwrap();
             probe
-                .serve(&[Request::new(0, spec.clone(), workload.clone()).at(0.0)])
+                .serve(vec![Request::new(0, spec.clone(), workload.clone()).at(0.0)])
                 .unwrap()
                 .outcomes()[0]
                 .completion_us
@@ -175,11 +175,11 @@ proptest! {
             .collect();
 
         let mut affinity = Runtime::new(FuVariant::V4, tiles).unwrap();
-        let fifo = affinity.serve(&requests).unwrap();
+        let fifo = affinity.serve(requests.clone()).unwrap();
         let mut edf = Runtime::new(FuVariant::V4, tiles)
             .unwrap()
             .with_policy(DispatchPolicy::EarliestDeadlineFirst);
-        let edf_report = edf.serve(&requests).unwrap();
+        let edf_report = edf.serve(requests.clone()).unwrap();
 
         assert_conservation(&requests, &edf_report)?;
         prop_assert_eq!(fifo.metrics().deadline_requests, count);
