@@ -316,6 +316,11 @@ fn main() {
     let path = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").into()
     });
-    std::fs::write(&path, json).expect("write BENCH_runtime.json");
+    // BENCH_runtime.json holds one section per bench; keep the cluster
+    // sweep's section (if any) while replacing this one.
+    let existing = std::fs::read_to_string(&path).ok();
+    let combined =
+        overlay_bench::splice_bench_json(existing.as_deref(), "runtime_scalability", &json);
+    std::fs::write(&path, combined).expect("write BENCH_runtime.json");
     println!("wrote {path}");
 }

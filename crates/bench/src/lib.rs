@@ -306,6 +306,68 @@ pub fn iwp_ablation() -> String {
     out
 }
 
+/// The known top-level sections of `BENCH_runtime.json`, in emission order.
+const BENCH_JSON_SECTIONS: [&str; 2] = ["runtime_scalability", "cluster_scalability"];
+
+/// Splices one bench's JSON `payload` (a complete JSON object string) into
+/// the combined `BENCH_runtime.json` document under `section`, preserving
+/// every other known section of `existing` verbatim.
+///
+/// The combined document is one object with a top-level key per bench.
+/// A legacy document whose *root* is a single bench payload (it carries a
+/// root-level `"bench": "runtime_scalability"` marker) is migrated into the
+/// sectioned layout on the first splice. Returns the new document text.
+pub fn splice_bench_json(existing: Option<&str>, section: &str, payload: &str) -> String {
+    assert!(
+        BENCH_JSON_SECTIONS.contains(&section),
+        "unknown bench section {section}"
+    );
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    for &name in &BENCH_JSON_SECTIONS {
+        if name == section {
+            sections.push((name, payload.trim().to_owned()));
+        } else if let Some(kept) = existing.and_then(|doc| extract_json_section(doc, name)) {
+            sections.push((name, kept));
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, body)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        let _ = writeln!(out, "\"{name}\": {body}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the balanced-brace object stored under top-level `key` in the
+/// combined document — or, for the legacy single-bench layout, the whole
+/// root object when its `"bench"` marker names `key`.
+fn extract_json_section(doc: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let body = if let Some(position) = doc.find(&marker) {
+        &doc[position + marker.len()..]
+    } else if doc.contains(&format!("\"bench\": \"{key}\"")) {
+        doc // legacy: the root object *is* this section's payload
+    } else {
+        return None;
+    };
+    let start = body.find('{')?;
+    let mut depth = 0usize;
+    for (offset, ch) in body[start..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(body[start..start + offset + 1].to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +393,38 @@ mod tests {
         for benchmark in Benchmark::TABLE3 {
             assert!(text.contains(benchmark.name()));
         }
+    }
+
+    #[test]
+    fn bench_json_sections_splice_and_preserve_each_other() {
+        let runtime = "{\n  \"bench\": \"runtime_scalability\",\n  \"entries\": [{\"a\": 1}]\n}";
+        // First write: only the runtime section exists.
+        let doc = splice_bench_json(None, "runtime_scalability", runtime);
+        assert!(doc.contains("\"runtime_scalability\": {"));
+        assert!(!doc.contains("cluster_scalability"));
+        // Adding the cluster section preserves the runtime payload verbatim.
+        let cluster = "{\n  \"bench\": \"cluster_scalability\",\n  \"entries\": []\n}";
+        let doc = splice_bench_json(Some(&doc), "cluster_scalability", cluster);
+        assert!(doc.contains("\"runtime_scalability\": {"));
+        assert!(doc.contains("\"cluster_scalability\": {"));
+        assert!(doc.contains("\"entries\": [{\"a\": 1}]"));
+        // Re-splicing one section leaves the other untouched.
+        let updated = "{\n  \"bench\": \"runtime_scalability\",\n  \"entries\": [{\"a\": 2}]\n}";
+        let doc = splice_bench_json(Some(&doc), "runtime_scalability", updated);
+        assert!(doc.contains("[{\"a\": 2}]"));
+        assert!(doc.contains("\"cluster_scalability\": {"));
+    }
+
+    #[test]
+    fn bench_json_migrates_the_legacy_single_bench_layout() {
+        // The pre-cluster BENCH_runtime.json was the runtime payload at the
+        // root; splicing the cluster section must adopt it as a section.
+        let legacy = "{\n  \"bench\": \"runtime_scalability\",\n  \"reps\": 3,\n  \
+                      \"entries\": [{\"tiles\": 4}]\n}\n";
+        let cluster = "{\"bench\": \"cluster_scalability\"}";
+        let doc = splice_bench_json(Some(legacy), "cluster_scalability", cluster);
+        assert!(doc.contains("\"runtime_scalability\": {"));
+        assert!(doc.contains("\"entries\": [{\"tiles\": 4}]"));
+        assert!(doc.contains("\"cluster_scalability\": {\"bench\": \"cluster_scalability\"}"));
     }
 }

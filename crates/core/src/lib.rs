@@ -16,10 +16,12 @@
 //!   ingestion, virtual-time event loop, kernel cache, context-switch- and
 //!   deadline-aware dispatch, parallel simulation workers),
 //!
-//! behind three entry points: [`Compiler`] (kernel source →
+//! behind four entry points: [`Compiler`] (kernel source →
 //! [`CompiledKernel`]), [`Overlay`] (a configured overlay instance that
-//! executes compiled kernels and reports performance) and [`Runtime`] (a
-//! tile array serving whole request traces).
+//! executes compiled kernels and reports performance), [`Runtime`] (a
+//! tile array serving whole request traces) and [`Cluster`] (several
+//! device arrays behind one dispatcher tier with kernel-hash /
+//! least-loaded / power-of-two routing and a transfer-cost model).
 //!
 //! # Quickstart
 //!
@@ -120,8 +122,8 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    DispatchPolicy, KernelSpec, Request, Runtime, RuntimeMetrics, ScanMode, ServeReport,
-    SubmitError, Submitter,
+    Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, KernelSpec, Request, RoutePolicy,
+    Runtime, RuntimeMetrics, ScanMode, ServeReport, SubmitError, Submitter, TransferModel,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

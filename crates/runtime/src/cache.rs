@@ -186,6 +186,30 @@ impl KernelCache {
         }
         self.stats.misses += 1;
         let kernel = Arc::new(compile()?);
+        self.insert_evicting(key, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+
+    /// Returns the cached kernel for `key`, or adopts `artifact` (sharing
+    /// the `Arc`, evicting the least-recently-used entry if full) and
+    /// counts a miss. This is how a cluster device acquires a kernel image
+    /// compiled on another device's store: the artifact is shared, never
+    /// recompiled — only the modeled transfer is charged by the caller.
+    pub fn get_or_share(&mut self, key: KernelKey, artifact: &Arc<CompiledKernel>) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        self.insert_evicting(key, Arc::clone(artifact));
+        false
+    }
+
+    /// Inserts `kernel` under `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    fn insert_evicting(&mut self, key: KernelKey, kernel: Arc<CompiledKernel>) {
         if self.entries.len() >= self.capacity {
             // O(n) LRU scan: the cache holds at most a few dozen kernels.
             if let Some(&victim) = self
@@ -201,11 +225,10 @@ impl KernelCache {
         self.entries.insert(
             key,
             Entry {
-                kernel: Arc::clone(&kernel),
+                kernel,
                 last_used: self.clock,
             },
         );
-        Ok(kernel)
     }
 
     /// Whether `key` is currently resident (does not touch LRU order).
@@ -468,6 +491,29 @@ mod tests {
             !Arc::ptr_eq(&pinned, &recompiled),
             "eviction dropped the cache's reference; the pin kept its own"
         );
+    }
+
+    /// A device acquiring a peer-compiled image adopts the shared `Arc`
+    /// (miss counted, no recompilation); the next lookup is a hit, and the
+    /// adoption path still evicts LRU entries when full.
+    #[test]
+    fn get_or_share_adopts_the_artifact_without_recompiling() {
+        let mut home = KernelCache::new(2).unwrap();
+        let artifact = home.get_or_compile(key(1), compile_saxpy).unwrap();
+        let mut peer = KernelCache::new(1).unwrap();
+        assert!(!peer.get_or_share(key(1), &artifact), "first sight misses");
+        assert_eq!(peer.stats().misses, 1);
+        assert!(peer.get_or_share(key(1), &artifact), "now resident");
+        assert_eq!(peer.stats().hits, 1);
+        let shared = peer
+            .get_or_compile(key(1), || panic!("must not recompile"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&artifact, &shared), "the Arc is shared");
+        // Adoption respects capacity: a second key evicts the first.
+        let other = home.get_or_compile(key(2), compile_saxpy).unwrap();
+        assert!(!peer.get_or_share(key(2), &other));
+        assert_eq!(peer.stats().evictions, 1);
+        assert!(!peer.contains(&key(1)));
     }
 
     #[test]

@@ -1,0 +1,1407 @@
+//! The multi-device cluster tier: several NoC tile arrays ([`Device`]s)
+//! behind one event loop, one [`Submitter`] and a device-routing layer.
+//!
+//! A [`Cluster`] scales the serving runtime past a single FPGA: each device
+//! wraps its own [`TilePool`] (with its PR 3 residency index), its own
+//! [`KernelCache`] acting as the device-local kernel-image store, and its
+//! own [`Dispatcher`]. Every arrival is **routed** to a device by a
+//! [`RoutePolicy`] (stable kernel-hash sharding, an O(log devices)
+//! least-loaded index, or power-of-two-choices over completion estimates)
+//! and then **placed** on a tile by that device's dispatcher, exactly as a
+//! single [`Runtime`] would place it.
+//!
+//! Moving a kernel to a device that has never hosted it is not free: the
+//! [`TransferModel`] charges either a host load (the "local cold load") or
+//! an inter-device transfer from the nearest device already holding the
+//! image — whichever is cheaper — and that acquisition delay is threaded
+//! into the completion estimates routing and placement compare, and into
+//! the switch phase the winning tile actually charges. Per-device
+//! [`DeviceMetrics`] report utilization, queue depth, cache hit rate and
+//! the transfer traffic; cluster totals reuse [`RuntimeMetrics`], with
+//! latency percentiles rolled up through the sorted-run merge path
+//! ([`metrics::percentile_from_sorted_parts`]) instead of re-sorting.
+//!
+//! A 1-device cluster is the degenerate case and reproduces [`Runtime`]'s
+//! outcomes **bitwise** (`tests/runtime_equivalence.rs` proves it on
+//! randomized traces): routing collapses to device 0, no image is ever
+//! acquired (they enter the store at compile time), and the event loop
+//! mirrors `Runtime`'s decision order exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use overlay_runtime::{Cluster, KernelSpec, Request, RoutePolicy};
+//! use overlay_arch::FuVariant;
+//! use overlay_sim::Workload;
+//!
+//! # fn main() -> Result<(), overlay_runtime::RuntimeError> {
+//! let mut cluster = Cluster::new(FuVariant::V4, 2, 2)?
+//!     .with_route_policy(RoutePolicy::KernelHash);
+//!
+//! let saxpy = KernelSpec::from_source("saxpy", "kernel saxpy(a, x, y) { out r = a * x + y; }");
+//! let poly = KernelSpec::from_source("poly", "kernel poly(x) { out y = (x * x + 3) * x; }");
+//! let trace: Vec<Request> = (0..8u64)
+//!     .map(|i| {
+//!         let (kernel, inputs) = if i % 2 == 0 { (saxpy.clone(), 3) } else { (poly.clone(), 1) };
+//!         Request::new(i, kernel, Workload::ramp(inputs, 8)).at(i as f64)
+//!     })
+//!     .collect();
+//!
+//! let report = cluster.serve(trace)?;
+//! assert_eq!(report.outcomes().len(), 8);
+//! // Kernel-hash routing pins each kernel to one shard.
+//! for outcome in report.outcomes() {
+//!     assert!(outcome.device < 2);
+//! }
+//! assert_eq!(report.device_metrics().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use overlay_arch::{FuVariant, ReconfigModel, TileComposition};
+use overlay_frontend::LowerOptions;
+use overlay_sim::{OverlaySimulator, SimError, SimRun};
+
+use crate::cache::CacheStats;
+use crate::dispatch::TileQueue;
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{self, DeviceMetrics, RuntimeMetrics};
+use crate::pool::ChargeOutcome;
+use crate::route::{kernel_home, power_of_two_pair, Acquisition, RoutePolicy, TransferModel};
+use crate::{
+    prepare_request, DispatchPolicy, DispatchRequest, Dispatcher, InFlight, Ingest, KernelCache,
+    KernelKey, PrepContext, RejectedRequest, Request, RequestOutcome, Runtime, RuntimeError,
+    SimJob, SimMemo, SimResults, Submitter, TilePool,
+};
+
+/// One NoC tile array inside a [`Cluster`]: a [`TilePool`] (with its
+/// residency index), the device-local kernel-image store, and the tile
+/// dispatcher that places requests routed here.
+#[derive(Debug)]
+pub struct Device {
+    id: usize,
+    pool: TilePool,
+    cache: KernelCache,
+    dispatcher: Dispatcher,
+    /// Tiles currently executing a request — the busy component of the
+    /// cluster load index's per-device summary.
+    busy_tiles: usize,
+}
+
+impl Device {
+    /// The device id (its position on the linear inter-device link).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The device's tile pool (holding the state left by the last serve).
+    pub fn pool(&self) -> &TilePool {
+        &self.pool
+    }
+
+    /// The device-local kernel store (counters accumulate across serves).
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// The cluster load index's summary key for this device:
+    /// `(waiting requests, busy tiles, id)` — least-loaded is the minimum.
+    fn load_key(&self) -> (usize, usize, usize) {
+        (self.pool.total_waiting(), self.busy_tiles, self.id)
+    }
+
+    fn enqueue(&mut self, tile: usize, key: KernelKey, est_us: f64) {
+        self.pool.enqueue(tile, key, est_us);
+    }
+
+    fn charge(
+        &mut self,
+        tile: usize,
+        key: KernelKey,
+        arrival_us: f64,
+        switch_us: f64,
+        exec_us: f64,
+    ) -> ChargeOutcome {
+        self.busy_tiles += 1;
+        self.pool.charge(tile, key, arrival_us, switch_us, exec_us)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_queued(
+        &mut self,
+        tile: usize,
+        est_us: f64,
+        remaining_tail: Option<KernelKey>,
+        key: KernelKey,
+        arrival_us: f64,
+        switch_us: f64,
+        exec_us: f64,
+    ) -> ChargeOutcome {
+        self.busy_tiles += 1;
+        self.pool.start_queued(
+            tile,
+            est_us,
+            remaining_tail,
+            key,
+            arrival_us,
+            switch_us,
+            exec_us,
+        )
+    }
+
+    fn release(&mut self, tile: usize) {
+        self.busy_tiles -= 1;
+        self.pool.release(tile);
+    }
+}
+
+/// The result of one cluster serve: per-request outcomes (with their device
+/// ids, in submission order), admission rejects, cluster-total
+/// [`RuntimeMetrics`] and the per-device [`DeviceMetrics`] breakdown.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    policy: DispatchPolicy,
+    route: RoutePolicy,
+    outcomes: Vec<RequestOutcome>,
+    rejected: Vec<RejectedRequest>,
+    metrics: RuntimeMetrics,
+    devices: Vec<DeviceMetrics>,
+}
+
+impl ClusterReport {
+    /// Per-request outcomes of every *admitted* request, in submission
+    /// order. Each outcome's [`device`](RequestOutcome::device) records the
+    /// routing decision; [`tile`](RequestOutcome::tile) is device-local.
+    pub fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
+    /// Requests rejected by admission control, in submission order.
+    pub fn rejected(&self) -> &[RejectedRequest] {
+        &self.rejected
+    }
+
+    /// Cluster-total serving metrics (per-tile vectors are device-major
+    /// concatenations across the cluster).
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// The per-device metrics breakdown, indexed by device id.
+    pub fn device_metrics(&self) -> &[DeviceMetrics] {
+        &self.devices
+    }
+
+    /// The tile-dispatch policy that produced this report.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// The device-routing policy that produced this report.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.route
+    }
+
+    /// Total kernel images moved over the inter-device link.
+    pub fn transfers(&self) -> usize {
+        self.devices.iter().map(|d| d.transfers_in).sum()
+    }
+
+    /// Total bytes moved over the inter-device link.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.transfer_bytes_in).sum()
+    }
+
+    /// Total kernel images loaded from the host (local cold loads).
+    pub fn host_loads(&self) -> usize {
+        self.devices.iter().map(|d| d.host_loads).sum()
+    }
+}
+
+/// Mutable event-loop state (the cluster mirror of the runtime's
+/// `OnlineState`), separate from the `Cluster` so placement and bookkeeping
+/// borrows stay disjoint.
+struct ClusterState<'a> {
+    /// Per-tile waiting queues, indexed by global tile id
+    /// (`device * tiles_per_device + local`).
+    queues: Vec<TileQueue>,
+    taken: Vec<bool>,
+    events: EventQueue,
+    outcome_slots: Vec<Option<RequestOutcome>>,
+    rejected: Vec<RejectedRequest>,
+    sim: SimResults<'a>,
+    peak_queue_depth: usize,
+    queue_area_us: f64,
+    last_event_us: f64,
+    /// Per intake index: the acquisition delay resolved at the arrival
+    /// event, charged ahead of the context switch at start.
+    acquire_us: Vec<f64>,
+    /// Per device: high-water mark of that device's waiting count.
+    device_peak_queue: Vec<usize>,
+    /// Per device: requests routed here but shed by admission control.
+    device_rejects: Vec<usize>,
+    /// Per device: inter-device image transfers in (count, bytes).
+    device_transfers: Vec<(usize, u64)>,
+    /// Per device: host image loads.
+    device_host_loads: Vec<usize>,
+}
+
+/// What the cluster event loop hands back for aggregation.
+struct ClusterLoopOutput {
+    outcomes: Vec<RequestOutcome>,
+    rejected: Vec<RejectedRequest>,
+    peak_queue_depth: usize,
+    queue_area_us: f64,
+    events_fired: u64,
+    device_peak_queue: Vec<usize>,
+    device_rejects: Vec<usize>,
+    device_transfers: Vec<(usize, u64)>,
+    device_host_loads: Vec<usize>,
+}
+
+/// A multi-device serving cluster over one overlay variant.
+///
+/// See the [module-level documentation](self) for the moving parts and an
+/// end-to-end example. The builder methods mirror [`Runtime`]'s; a
+/// 1-device cluster behaves bitwise identically to the equivalent
+/// `Runtime`.
+#[derive(Debug)]
+pub struct Cluster {
+    devices: Vec<Device>,
+    route: RoutePolicy,
+    transfer: TransferModel,
+    sim_memo: SimMemo,
+    reconfig: ReconfigModel,
+    lower: LowerOptions,
+    ingest_capacity: usize,
+    admission_limit: usize,
+    tiles_per_device: usize,
+    /// Ordered `(waiting, busy, device)` summaries — `first()` is the
+    /// least-loaded device, the device-tier mirror of the pool residency
+    /// index's per-kernel "best" entries.
+    load_index: BTreeSet<(usize, usize, usize)>,
+}
+
+impl Cluster {
+    /// A cluster of `devices` identical arrays, each a single-row NoC of
+    /// `tiles_per_device` parallel-composition tiles of `variant`, using
+    /// kernel-affinity tile dispatch and kernel-hash device routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::EmptyCluster`] when `devices` is 0 and
+    /// [`RuntimeError::EmptyPool`] when `tiles_per_device` is 0.
+    pub fn new(
+        variant: FuVariant,
+        devices: usize,
+        tiles_per_device: usize,
+    ) -> Result<Self, RuntimeError> {
+        if devices == 0 {
+            return Err(RuntimeError::EmptyCluster);
+        }
+        let devices: Vec<Device> = (0..devices)
+            .map(|id| {
+                Ok(Device {
+                    id,
+                    pool: TilePool::with_tiles(
+                        variant,
+                        TileComposition::Parallel,
+                        tiles_per_device,
+                    )?,
+                    cache: KernelCache::new(Runtime::DEFAULT_CACHE_CAPACITY)
+                        .expect("default capacity is non-zero"),
+                    dispatcher: Dispatcher::default(),
+                    busy_tiles: 0,
+                })
+            })
+            .collect::<Result<_, RuntimeError>>()?;
+        let mut cluster = Cluster {
+            devices,
+            route: RoutePolicy::default(),
+            transfer: TransferModel::default(),
+            sim_memo: SimMemo::new(Runtime::DEFAULT_SIM_MEMO_CAPACITY),
+            reconfig: ReconfigModel::new(),
+            lower: LowerOptions::default(),
+            ingest_capacity: Runtime::DEFAULT_INGEST_CAPACITY,
+            admission_limit: usize::MAX,
+            tiles_per_device,
+            load_index: BTreeSet::new(),
+        };
+        cluster.rebuild_load_index();
+        Ok(cluster)
+    }
+
+    /// Sets the tile-dispatch policy used inside every device.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
+        for device in &mut self.devices {
+            device.dispatcher = Dispatcher::new(policy);
+        }
+        self
+    }
+
+    /// Sets the device-routing policy.
+    #[must_use]
+    pub fn with_route_policy(mut self, route: RoutePolicy) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Overrides the inter-device/host transfer timing model.
+    #[must_use]
+    pub fn with_transfer_model(mut self, transfer: TransferModel) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// Replaces every device's kernel store with one of `capacity` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ZeroCacheCapacity`] when `capacity` is 0.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Result<Self, RuntimeError> {
+        for device in &mut self.devices {
+            device.cache = KernelCache::new(capacity)?;
+        }
+        Ok(self)
+    }
+
+    /// Replaces the (cluster-shared) simulation memo with one of `capacity`
+    /// entries. A capacity of 0 disables memoization *and* in-flight
+    /// deduplication — every request simulates.
+    #[must_use]
+    pub fn with_sim_memo_capacity(mut self, capacity: usize) -> Self {
+        self.sim_memo = SimMemo::new(capacity);
+        self
+    }
+
+    /// Sets the bound of the streaming ingest channel.
+    #[must_use]
+    pub fn with_ingest_capacity(mut self, capacity: usize) -> Self {
+        self.ingest_capacity = capacity;
+        self
+    }
+
+    /// Sets the cluster-wide admission-control limit on *waiting* requests
+    /// (same semantics as [`Runtime::with_admission_limit`]: an arrival that
+    /// starts immediately on its routed tile is always admitted).
+    #[must_use]
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = limit;
+        self
+    }
+
+    /// Overrides the reconfiguration timing model.
+    #[must_use]
+    pub fn with_reconfig(mut self, model: ReconfigModel) -> Self {
+        self.reconfig = model;
+        self
+    }
+
+    /// Overrides the front-end lowering options, clearing every device's
+    /// kernel store and the simulation memo (cached artifacts were compiled
+    /// under the old options).
+    #[must_use]
+    pub fn with_lower_options(mut self, options: LowerOptions) -> Self {
+        self.lower = options;
+        for device in &mut self.devices {
+            device.cache.clear();
+        }
+        self.sim_memo.clear();
+        self
+    }
+
+    /// The overlay variant all devices are built from.
+    pub fn variant(&self) -> FuVariant {
+        self.devices[0].pool.variant()
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Tiles on each device.
+    pub fn tiles_per_device(&self) -> usize {
+        self.tiles_per_device
+    }
+
+    /// Total tiles across the cluster.
+    pub fn total_tiles(&self) -> usize {
+        self.num_devices() * self.tiles_per_device
+    }
+
+    /// The active tile-dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.devices[0].dispatcher.policy()
+    }
+
+    /// The active device-routing policy.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.route
+    }
+
+    /// The active transfer model.
+    pub fn transfer_model(&self) -> TransferModel {
+        self.transfer
+    }
+
+    /// The cluster-wide admission-control limit on waiting requests.
+    pub fn admission_limit(&self) -> usize {
+        self.admission_limit
+    }
+
+    /// The devices (holding the state left by the last serve).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The shared simulation memo (counters accumulate across serves).
+    pub fn sim_memo(&self) -> &SimMemo {
+        &self.sim_memo
+    }
+
+    /// Serves a pre-collected trace, exactly as
+    /// [`serve_stream`](Cluster::serve_stream) would serve it live (same
+    /// semantics as [`Runtime::serve`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] for an empty trace, invalid or
+    /// out-of-order arrival times, or any compile/simulation failure.
+    pub fn serve<I>(&mut self, requests: I) -> Result<ClusterReport, RuntimeError>
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        let requests: Vec<Request> = requests.into_iter().collect();
+        self.run_serve(
+            Ingest::Batch(requests.into_iter()),
+            None::<(fn(Submitter), _)>,
+        )
+    }
+
+    /// Serves a live request stream through a [`Submitter`] (same contract
+    /// as [`Runtime::serve_stream`]: non-decreasing arrival order, bounded
+    /// ingest backpressure, the serve ends when `feed` returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] when nothing was submitted, for invalid
+    /// or out-of-order arrival times, or for any compile/simulation
+    /// failure.
+    pub fn serve_stream<F>(&mut self, feed: F) -> Result<ClusterReport, RuntimeError>
+    where
+        F: FnOnce(Submitter) + Send,
+    {
+        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<Arc<Request>>(self.ingest_capacity);
+        self.run_serve(Ingest::Stream(ingest_rx), Some((feed, ingest_tx)))
+    }
+
+    /// The cluster-wide waiting count (what admission control bounds and
+    /// the queue-area integrand): O(devices) over the per-pool O(1)
+    /// counters.
+    fn waiting_count(&self) -> usize {
+        self.devices.iter().map(|d| d.pool.total_waiting()).sum()
+    }
+
+    fn rebuild_load_index(&mut self) {
+        self.load_index = self.devices.iter().map(Device::load_key).collect();
+    }
+
+    /// Applies `mutate` to one device, keeping the cluster load index
+    /// coherent around the transition — the device-tier mirror of the
+    /// pool's `transition`.
+    fn with_load_update<R>(&mut self, device: usize, mutate: impl FnOnce(&mut Device) -> R) -> R {
+        let before = self.devices[device].load_key();
+        let result = mutate(&mut self.devices[device]);
+        let after = self.devices[device].load_key();
+        if before != after {
+            self.load_index.remove(&before);
+            self.load_index.insert(after);
+        }
+        result
+    }
+
+    /// How `device` would obtain `key`'s compiled image, without mutating
+    /// anything: resident in its store, a host load, or a transfer from the
+    /// nearest peer holding the image — whichever is cheaper. The rule is
+    /// uniform across devices (a home shard whose store evicted the image
+    /// pays to re-acquire it like anyone else); only a 1-device cluster is
+    /// exempt, because it has no peers and [`Runtime`] — which it must
+    /// match bitwise — models no separate host image path (the
+    /// `ReconfigModel` switch *is* the whole load there).
+    fn peek_acquisition(&self, device: usize, key: KernelKey, bytes: usize) -> Acquisition {
+        if self.num_devices() == 1 || self.devices[device].cache.contains(&key) {
+            return Acquisition::Resident;
+        }
+        let host_us = self.transfer.host_load_us(bytes);
+        let mut best: Option<(f64, usize)> = None;
+        for peer in &self.devices {
+            if peer.id != device && peer.cache.contains(&key) {
+                let cost = self
+                    .transfer
+                    .link_transfer_us(peer.id.abs_diff(device), bytes);
+                if best.is_none_or(|(current, from)| (cost, peer.id) < (current, from)) {
+                    best = Some((cost, peer.id));
+                }
+            }
+        }
+        match best {
+            Some((cost_us, from)) if cost_us < host_us => Acquisition::Transfer {
+                from,
+                cost_us,
+                bytes,
+            },
+            _ => Acquisition::HostLoad { cost_us: host_us },
+        }
+    }
+
+    /// Commits an admitted request's acquisition: adopts the image into the
+    /// routed device's store (counting the store lookup and refreshing its
+    /// LRU slot) and records the transfer/host-load traffic. Returns the
+    /// acquisition delay to charge ahead of the context switch.
+    ///
+    /// The charge is *single-payer by design*: the image enters the store
+    /// now, and the requester that triggered the fetch carries its delay in
+    /// its own switch phase; later arrivals for the same kernel find the
+    /// image resident and ride the same fetch for free — the image-store
+    /// analogue of the in-flight simulation joins. A 1-device cluster
+    /// never commits anything (see `peek_acquisition`).
+    fn commit_acquisition(
+        &mut self,
+        device: usize,
+        info: &InFlight,
+        acquisition: Acquisition,
+        state: &mut ClusterState<'_>,
+    ) -> f64 {
+        match acquisition {
+            Acquisition::Resident => {
+                if self.num_devices() > 1 {
+                    self.devices[device]
+                        .cache
+                        .get_or_share(info.view.key, &info.compiled);
+                }
+                0.0
+            }
+            Acquisition::HostLoad { cost_us } => {
+                self.devices[device]
+                    .cache
+                    .get_or_share(info.view.key, &info.compiled);
+                state.device_host_loads[device] += 1;
+                cost_us
+            }
+            Acquisition::Transfer { cost_us, bytes, .. } => {
+                self.devices[device]
+                    .cache
+                    .get_or_share(info.view.key, &info.compiled);
+                let (count, total_bytes) = &mut state.device_transfers[device];
+                *count += 1;
+                *total_bytes += bytes as u64;
+                cost_us
+            }
+        }
+    }
+
+    /// The `(completion, needs switch, evicts warm, device)` estimate for
+    /// serving `info` on `device`, acquisition cost included — the
+    /// cross-device comparison key power-of-two routing minimizes. Returns
+    /// the acquisition alongside so the winner's is not recomputed.
+    fn completion_estimate(
+        &self,
+        device: usize,
+        info: &InFlight,
+        now_us: f64,
+    ) -> ((f64, bool, bool, usize), Acquisition) {
+        let acquisition = self.peek_acquisition(device, info.view.key, info.image_bytes);
+        let (completion, needs_switch, evicts_warm, _tile) =
+            self.devices[device].pool.earliest_candidate_indexed(
+                info.view.key,
+                info.view.est_exec_us,
+                info.view.switch_us + acquisition.cost_us(),
+                now_us,
+            );
+        ((completion, needs_switch, evicts_warm, device), acquisition)
+    }
+
+    /// The routing decision at an arrival event: the chosen device plus how
+    /// it will acquire the kernel image (computed once, here).
+    fn route_device(&self, info: &InFlight, now_us: f64) -> (usize, Acquisition) {
+        let devices = self.num_devices();
+        if devices == 1 {
+            return (0, Acquisition::Resident);
+        }
+        let device = match self.route {
+            RoutePolicy::KernelHash => kernel_home(info.view.key.fingerprint, devices),
+            RoutePolicy::LeastLoaded => {
+                self.load_index
+                    .first()
+                    .expect("a non-empty cluster always has a least-loaded device")
+                    .2
+            }
+            RoutePolicy::PowerOfTwoChoices => {
+                let (first, second) =
+                    power_of_two_pair(info.view.key.fingerprint, info.request.id, devices);
+                let (a, a_acquisition) = self.completion_estimate(first, info, now_us);
+                let (b, b_acquisition) = self.completion_estimate(second, info, now_us);
+                return if b < a {
+                    (b.3, b_acquisition)
+                } else {
+                    (a.3, a_acquisition)
+                };
+            }
+        };
+        (
+            device,
+            self.peek_acquisition(device, info.view.key, info.image_bytes),
+        )
+    }
+
+    /// The shared serve body: resets per-serve state, spins up the shared
+    /// sim worker pool (and the feeder thread for streaming serves), runs
+    /// the cluster event loop over `ingest` and folds the output into a
+    /// report.
+    fn run_serve<F>(
+        &mut self,
+        ingest: Ingest,
+        feed: Option<(F, mpsc::SyncSender<Arc<Request>>)>,
+    ) -> Result<ClusterReport, RuntimeError>
+    where
+        F: FnOnce(Submitter) + Send,
+    {
+        for device in &mut self.devices {
+            device.pool.reset();
+            device.dispatcher.reset();
+            device.busy_tiles = 0;
+        }
+        self.rebuild_load_index();
+        let cache_before: Vec<CacheStats> = self.devices.iter().map(|d| d.cache.stats()).collect();
+        let memo_before = self.sim_memo.stats();
+
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Result<SimRun, SimError>)>();
+        let workers = self.total_tiles().clamp(1, Runtime::MAX_SIM_WORKERS);
+        let variant = self.variant();
+        let (job_txs, job_rxs): (Vec<_>, Vec<_>) =
+            (0..workers).map(|_| mpsc::channel::<SimJob>()).unzip();
+
+        let output = thread::scope(|scope| {
+            if let Some((feed, ingest_tx)) = feed {
+                scope.spawn(move || feed(Submitter::new(ingest_tx)));
+            }
+            for job_rx in job_rxs {
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    let simulator = OverlaySimulator::new(variant).with_trace_capacity(0);
+                    while let Ok(job) = job_rx.recv() {
+                        let run = simulator.run(&job.compiled, &job.request.workload);
+                        if result_tx.send((job.index, run)).is_err() {
+                            break; // loop is gone (it failed); stop working
+                        }
+                    }
+                });
+            }
+            drop(result_tx); // workers hold the clones that matter
+            self.event_loop(ingest, job_txs, &result_rx)
+        })?;
+
+        let delta = |after: CacheStats, before: CacheStats| CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+        };
+        let cache_deltas: Vec<CacheStats> = self
+            .devices
+            .iter()
+            .zip(&cache_before)
+            .map(|(device, &before)| delta(device.cache.stats(), before))
+            .collect();
+        let sim_memo = delta(self.sim_memo.stats(), memo_before);
+        let (metrics, devices) = self.aggregate(&output, &cache_deltas, sim_memo);
+        Ok(ClusterReport {
+            policy: self.policy(),
+            route: self.route,
+            outcomes: output.outcomes,
+            rejected: output.rejected,
+            metrics,
+            devices,
+        })
+    }
+
+    /// The cluster's discrete-event core — [`Runtime`]'s event loop with a
+    /// device-routing step (and the acquisition charge) spliced between
+    /// arrival and tile placement. Decision order is identical, which is
+    /// what makes the 1-device cluster bitwise equivalent.
+    fn event_loop(
+        &mut self,
+        mut ingest: Ingest,
+        jobs: Vec<mpsc::Sender<SimJob>>,
+        results: &mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
+    ) -> Result<ClusterLoopOutput, RuntimeError> {
+        let mut ctx = PrepContext::for_pool(&self.devices[0].pool)?;
+        let devices = self.num_devices();
+        let total_tiles = self.total_tiles();
+        let policy = self.policy();
+        let mut intake: Vec<InFlight> = Vec::new();
+        let mut state = ClusterState {
+            queues: (0..total_tiles).map(|_| TileQueue::new(policy)).collect(),
+            taken: Vec::new(),
+            events: EventQueue::new(),
+            outcome_slots: Vec::new(),
+            rejected: Vec::new(),
+            sim: SimResults::new(results, jobs.len(), self.sim_memo.capacity() > 0),
+            peak_queue_depth: 0,
+            queue_area_us: 0.0,
+            last_event_us: 0.0,
+            acquire_us: Vec::new(),
+            device_peak_queue: vec![0; devices],
+            device_rejects: vec![0; devices],
+            device_transfers: vec![(0, 0); devices],
+            device_host_loads: vec![0; devices],
+        };
+        let mut pull = crate::SubmissionPull::new();
+
+        loop {
+            {
+                let ClusterState {
+                    events,
+                    outcome_slots,
+                    taken,
+                    sim,
+                    acquire_us,
+                    ..
+                } = &mut state;
+                let device_slots = &mut self.devices;
+                let lower = &self.lower;
+                let reconfig = &self.reconfig;
+                pull.pull(
+                    &mut ingest,
+                    events,
+                    &mut intake,
+                    |request| {
+                        // The kernel's home shard is its compile authority:
+                        // the artifact is built (or found) in the home
+                        // device's store; other devices adopt the image
+                        // when routing first sends the kernel their way.
+                        let home = kernel_home(request.kernel.fingerprint(), devices);
+                        prepare_request(
+                            &mut device_slots[home].cache,
+                            lower,
+                            reconfig,
+                            &mut ctx,
+                            request,
+                        )
+                    },
+                    || {
+                        outcome_slots.push(None);
+                        taken.push(false);
+                        sim.push_slot();
+                        acquire_us.push(0.0);
+                    },
+                )?;
+            }
+            let Some(event) = state.events.pop() else {
+                debug_assert!(
+                    !pull.ingest_open,
+                    "event queue drained while ingest is open"
+                );
+                break;
+            };
+            let now_us = event.time_us;
+            state.queue_area_us += self.waiting_count() as f64 * (now_us - state.last_event_us);
+            state.last_event_us = now_us;
+
+            match event.kind {
+                EventKind::Arrival { index } => {
+                    let info = &intake[index];
+                    // 1. Route to a device; 2. resolve how the device gets
+                    // the kernel image; 3. place on a tile with the
+                    // acquisition-adjusted switch cost.
+                    let (device, acquisition) = self.route_device(info, now_us);
+                    let adjusted = DispatchRequest {
+                        switch_us: info.view.switch_us + acquisition.cost_us(),
+                        ..info.view
+                    };
+                    let routed_device = &mut self.devices[device];
+                    let local_tile =
+                        routed_device
+                            .dispatcher
+                            .place(&adjusted, now_us, &routed_device.pool);
+                    let tile = device * self.tiles_per_device + local_tile;
+                    let starts_now = !self.devices[device].pool.states()[local_tile].running;
+                    if !starts_now && self.waiting_count() >= self.admission_limit {
+                        state.rejected.push(RejectedRequest {
+                            id: info.request.id,
+                            kernel: info.request.kernel.shared_name(),
+                            arrival_us: info.request.arrival_us,
+                            deadline_us: info.request.deadline_us,
+                        });
+                        state.device_rejects[device] += 1;
+                        continue;
+                    }
+                    state.acquire_us[index] =
+                        self.commit_acquisition(device, info, acquisition, &mut state);
+                    state.sim.source(index, info, &mut self.sim_memo, &jobs);
+                    if starts_now {
+                        self.start_request(device, local_tile, index, &intake, &mut state, None)?;
+                    } else {
+                        self.with_load_update(device, |d| {
+                            d.enqueue(local_tile, info.view.key, info.view.est_exec_us)
+                        });
+                        state.queues[tile].push(index, &info.view);
+                        state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
+                        state.device_peak_queue[device] = state.device_peak_queue[device]
+                            .max(self.devices[device].pool.total_waiting());
+                    }
+                }
+                EventKind::TileFree { tile } => {
+                    let device = tile / self.tiles_per_device;
+                    let local_tile = tile % self.tiles_per_device;
+                    self.with_load_update(device, |d| d.release(local_tile));
+                    if !state.queues[tile].is_empty() {
+                        self.start_next(device, local_tile, &intake, &mut state)?;
+                    }
+                }
+            }
+        }
+
+        if intake.is_empty() {
+            return Err(RuntimeError::NoRequests);
+        }
+        let events_fired = state.events.fired();
+        let outcomes: Vec<RequestOutcome> = state.outcome_slots.into_iter().flatten().collect();
+        debug_assert_eq!(
+            outcomes.len() + state.rejected.len(),
+            intake.len(),
+            "every submitted request is either served or rejected"
+        );
+        Ok(ClusterLoopOutput {
+            outcomes,
+            rejected: state.rejected,
+            peak_queue_depth: state.peak_queue_depth,
+            queue_area_us: state.queue_area_us,
+            events_fired,
+            device_peak_queue: state.device_peak_queue,
+            device_rejects: state.device_rejects,
+            device_transfers: state.device_transfers,
+            device_host_loads: state.device_host_loads,
+        })
+    }
+
+    /// Pulls the next queued request off a freed tile's queue and starts it
+    /// (the indexed pop, exactly as `Runtime::start_next` does it).
+    fn start_next(
+        &mut self,
+        device: usize,
+        local_tile: usize,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) -> Result<(), RuntimeError> {
+        let tile = device * self.tiles_per_device + local_tile;
+        let queue = &mut state.queues[tile];
+        let resident = self.devices[device].pool.states()[local_tile].resident;
+        let index = queue.pop_next(resident, &mut state.taken);
+        let remaining_tail = queue.tail_key(&state.taken);
+        let est_us = intake[index].view.est_exec_us;
+        self.start_request(
+            device,
+            local_tile,
+            index,
+            intake,
+            state,
+            Some((est_us, remaining_tail)),
+        )
+    }
+
+    /// Commits request `index` to its routed device's tile at the current
+    /// virtual time, charging acquisition + switch + execution and
+    /// scheduling the tile-free event.
+    fn start_request(
+        &mut self,
+        device: usize,
+        local_tile: usize,
+        index: usize,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+        from_queue: Option<(f64, Option<KernelKey>)>,
+    ) -> Result<(), RuntimeError> {
+        let now_us = state.events.now_us();
+        let info = &intake[index];
+        let run = state.sim.take(index, intake, &mut self.sim_memo)?;
+        let exec_cycles =
+            run.metrics().total_cycles + self.devices[device].pool.roundtrip_cycles(local_tile);
+        let exec_us = exec_cycles as f64 / info.fmax_mhz;
+        // The image acquisition (inter-device transfer or host load)
+        // resolved at the arrival event is charged ahead of the context
+        // switch; a request whose tile does not switch pays neither.
+        let switch_us = info.view.switch_us + state.acquire_us[index];
+        let charged = match from_queue {
+            Some((est_us, remaining_tail)) => self.with_load_update(device, |d| {
+                d.start_queued(
+                    local_tile,
+                    est_us,
+                    remaining_tail,
+                    info.view.key,
+                    now_us,
+                    switch_us,
+                    exec_us,
+                )
+            }),
+            None => self.with_load_update(device, |d| {
+                d.charge(local_tile, info.view.key, now_us, switch_us, exec_us)
+            }),
+        };
+        let request = &info.request;
+        state.outcome_slots[index] = Some(RequestOutcome {
+            request_id: request.id,
+            kernel: request.kernel.shared_name(),
+            device,
+            tile: local_tile,
+            sim: *run.metrics(),
+            run,
+            start_us: charged.start_us,
+            queued_us: charged.start_us - request.arrival_us,
+            completion_us: charged.completion_us,
+            latency_us: charged.completion_us - request.arrival_us,
+            switched: charged.switched,
+            deadline_us: request.deadline_us,
+            missed_deadline: request
+                .deadline_us
+                .is_some_and(|deadline| charged.completion_us > deadline),
+        });
+        state.events.push(
+            charged.completion_us,
+            EventKind::TileFree {
+                tile: device * self.tiles_per_device + local_tile,
+            },
+        );
+        Ok(())
+    }
+
+    /// Folds the loop output into cluster totals plus the per-device
+    /// breakdown. Counters and sums are one pass over the outcomes in
+    /// submission order (bitwise-matching `Runtime::aggregate` for one
+    /// device); the cluster latency percentiles are rolled up from the
+    /// per-device sorted runs through the merge path — no re-sort of the
+    /// union.
+    fn aggregate(
+        &self,
+        output: &ClusterLoopOutput,
+        cache_deltas: &[CacheStats],
+        sim_memo: CacheStats,
+    ) -> (RuntimeMetrics, Vec<DeviceMetrics>) {
+        let devices = self.num_devices();
+        let outcomes = &output.outcomes;
+        let requests = outcomes.len();
+        let mut invocations = 0usize;
+        let mut makespan_us = 0.0_f64;
+        let mut latency_sum = 0.0_f64;
+        let mut max_latency_us = 0.0_f64;
+        let mut deadline_misses = 0usize;
+        let mut deadline_requests = 0usize;
+        let mut device_latencies: Vec<Vec<f64>> = vec![Vec::new(); devices];
+        let mut device_latency_sum = vec![0.0_f64; devices];
+        let mut device_max_latency = vec![0.0_f64; devices];
+        let mut device_deadline_misses = vec![0usize; devices];
+        let mut device_deadline_requests = vec![0usize; devices];
+        for outcome in outcomes {
+            invocations += outcome.sim.blocks;
+            makespan_us = makespan_us.max(outcome.completion_us);
+            latency_sum += outcome.latency_us;
+            max_latency_us = max_latency_us.max(outcome.latency_us);
+            deadline_misses += usize::from(outcome.missed_deadline);
+            deadline_requests += usize::from(outcome.deadline_us.is_some());
+            let device = outcome.device;
+            device_latencies[device].push(outcome.latency_us);
+            device_latency_sum[device] += outcome.latency_us;
+            device_max_latency[device] = device_max_latency[device].max(outcome.latency_us);
+            device_deadline_misses[device] += usize::from(outcome.missed_deadline);
+            device_deadline_requests[device] += usize::from(outcome.deadline_us.is_some());
+        }
+        for latencies in &mut device_latencies {
+            latencies.sort_by(f64::total_cmp);
+        }
+        let sorted_parts: Vec<&[f64]> = device_latencies.iter().map(Vec::as_slice).collect();
+        let p50_latency_us = metrics::percentile_from_sorted_parts(&sorted_parts, 0.50);
+        let p99_latency_us = metrics::percentile_from_sorted_parts(&sorted_parts, 0.99);
+        let mean_latency_us = latency_sum / requests.max(1) as f64;
+        let per_second = if makespan_us > 0.0 {
+            1.0e6 / makespan_us
+        } else {
+            0.0
+        };
+        let utilization = |busy_us: f64| {
+            if makespan_us > 0.0 {
+                busy_us / makespan_us
+            } else {
+                0.0
+            }
+        };
+
+        let device_metrics: Vec<DeviceMetrics> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(id, device)| {
+                let states = device.pool.states();
+                let served = device_latencies[id].len();
+                let part: &[f64] = &device_latencies[id];
+                DeviceMetrics {
+                    device: id,
+                    requests: served,
+                    mean_latency_us: device_latency_sum[id] / served.max(1) as f64,
+                    p50_latency_us: metrics::percentile_from_sorted_parts(&[part], 0.50),
+                    p99_latency_us: metrics::percentile_from_sorted_parts(&[part], 0.99),
+                    max_latency_us: device_max_latency[id],
+                    switch_count: states.iter().map(|s| s.switches).sum(),
+                    total_switch_us: states.iter().map(|s| s.switch_us).sum(),
+                    tile_utilization: states.iter().map(|s| utilization(s.busy_us)).collect(),
+                    tile_requests: states.iter().map(|s| s.served).collect(),
+                    cache: cache_deltas[id],
+                    deadline_misses: device_deadline_misses[id],
+                    deadline_requests: device_deadline_requests[id],
+                    rejects: output.device_rejects[id],
+                    peak_queue_depth: output.device_peak_queue[id],
+                    transfers_in: output.device_transfers[id].0,
+                    transfer_bytes_in: output.device_transfers[id].1,
+                    host_loads: output.device_host_loads[id],
+                }
+            })
+            .collect();
+
+        let all_states = || self.devices.iter().flat_map(|d| d.pool.states());
+        let cache_total = cache_deltas
+            .iter()
+            .fold(CacheStats::default(), |acc, d| CacheStats {
+                hits: acc.hits + d.hits,
+                misses: acc.misses + d.misses,
+                evictions: acc.evictions + d.evictions,
+            });
+        let totals = RuntimeMetrics {
+            requests,
+            invocations,
+            makespan_us,
+            requests_per_sec: requests as f64 * per_second,
+            invocations_per_sec: invocations as f64 * per_second,
+            mean_latency_us,
+            p50_latency_us,
+            p99_latency_us,
+            max_latency_us,
+            switch_count: all_states().map(|s| s.switches).sum(),
+            total_switch_us: all_states().map(|s| s.switch_us).sum(),
+            tile_utilization: all_states().map(|s| utilization(s.busy_us)).collect(),
+            tile_requests: all_states().map(|s| s.served).collect(),
+            cache: cache_total,
+            sim_memo,
+            events_fired: output.events_fired,
+            deadline_misses,
+            deadline_requests,
+            rejects: output.rejected.len(),
+            rejected_deadlines: output
+                .rejected
+                .iter()
+                .filter(|r| r.deadline_us.is_some())
+                .count(),
+            peak_queue_depth: output.peak_queue_depth,
+            mean_queue_depth: if makespan_us > 0.0 {
+                output.queue_area_us / makespan_us
+            } else {
+                0.0
+            },
+            tile_peak_queue: all_states().map(|s| s.peak_queue_depth).collect(),
+        };
+        (totals, device_metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelSpec, Request};
+    use overlay_frontend::Benchmark;
+    use overlay_sim::Workload;
+
+    fn benchmark_trace(count: usize, blocks: usize) -> Vec<Request> {
+        let suite = [
+            Benchmark::Gradient,
+            Benchmark::Chebyshev,
+            Benchmark::Qspline,
+            Benchmark::Poly5,
+        ];
+        (0..count)
+            .map(|i| {
+                let benchmark = suite[i % suite.len()];
+                let spec = KernelSpec::from_benchmark(benchmark).unwrap();
+                let inputs = benchmark.dfg().unwrap().num_inputs();
+                let workload = Workload::random(inputs, blocks, 0xC105 ^ i as u64);
+                Request::new(i as u64, spec, workload).at(i as f64 * 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_clusters_and_pools_are_rejected() {
+        assert!(matches!(
+            Cluster::new(FuVariant::V4, 0, 4),
+            Err(RuntimeError::EmptyCluster)
+        ));
+        assert!(matches!(
+            Cluster::new(FuVariant::V4, 2, 0),
+            Err(RuntimeError::EmptyPool)
+        ));
+    }
+
+    #[test]
+    fn builders_configure_every_device() {
+        let cluster = Cluster::new(FuVariant::V3, 3, 2)
+            .unwrap()
+            .with_policy(DispatchPolicy::EarliestDeadlineFirst)
+            .with_route_policy(RoutePolicy::LeastLoaded)
+            .with_transfer_model(TransferModel::free())
+            .with_cache_capacity(8)
+            .unwrap()
+            .with_admission_limit(5);
+        assert_eq!(cluster.num_devices(), 3);
+        assert_eq!(cluster.tiles_per_device(), 2);
+        assert_eq!(cluster.total_tiles(), 6);
+        assert_eq!(cluster.variant(), FuVariant::V3);
+        assert_eq!(cluster.policy(), DispatchPolicy::EarliestDeadlineFirst);
+        assert_eq!(cluster.route_policy(), RoutePolicy::LeastLoaded);
+        assert_eq!(cluster.transfer_model(), TransferModel::free());
+        assert_eq!(cluster.admission_limit(), 5);
+        for (id, device) in cluster.devices().iter().enumerate() {
+            assert_eq!(device.id(), id);
+            assert_eq!(device.pool().num_tiles(), 2);
+            assert_eq!(device.cache().capacity(), 8);
+        }
+    }
+
+    #[test]
+    fn kernel_hash_routing_pins_each_kernel_to_one_device() {
+        let requests = benchmark_trace(24, 4);
+        let mut cluster = Cluster::new(FuVariant::V4, 4, 2).unwrap();
+        let report = cluster.serve(requests).unwrap();
+        assert_eq!(report.route_policy(), RoutePolicy::KernelHash);
+        let mut device_of: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for outcome in report.outcomes() {
+            let previous = device_of.insert(outcome.kernel.to_string(), outcome.device);
+            if let Some(previous) = previous {
+                assert_eq!(previous, outcome.device, "{} moved shards", outcome.kernel);
+            }
+        }
+        // A sharded kernel never leaves its home, so nothing ever transfers.
+        assert_eq!(report.transfers(), 0);
+        assert_eq!(report.host_loads(), 0);
+    }
+
+    #[test]
+    fn least_loaded_routing_spreads_a_burst_across_devices() {
+        // 8 simultaneous single-kernel arrivals on 4 single-tile devices:
+        // kernel-hash piles them on one device, least-loaded fans them out.
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let burst: Vec<Request> = (0..8)
+            .map(|i| Request::new(i, spec.clone(), Workload::random(5, 64, i)).at(0.0))
+            .collect();
+        let mut hashed = Cluster::new(FuVariant::V4, 4, 1).unwrap();
+        let hashed_report = hashed.serve(burst.clone()).unwrap();
+        let hashed_devices: std::collections::HashSet<usize> =
+            hashed_report.outcomes().iter().map(|o| o.device).collect();
+        assert_eq!(hashed_devices.len(), 1, "one kernel, one shard");
+
+        let mut balanced = Cluster::new(FuVariant::V4, 4, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded);
+        let balanced_report = balanced.serve(burst).unwrap();
+        let balanced_devices: std::collections::HashSet<usize> = balanced_report
+            .outcomes()
+            .iter()
+            .map(|o| o.device)
+            .collect();
+        assert_eq!(balanced_devices.len(), 4, "burst fans out over all devices");
+        // Spreading a kernel off its home shard moves its image.
+        assert_eq!(
+            balanced_report.transfers() + balanced_report.host_loads(),
+            3,
+            "three devices acquired the image"
+        );
+        assert!(
+            balanced_report.metrics().makespan_us < hashed_report.metrics().makespan_us,
+            "balancing the burst must finish earlier"
+        );
+    }
+
+    #[test]
+    fn transfers_beat_host_loads_when_the_link_is_cheaper() {
+        // Same spread-out burst, but with a free host path: no transfers.
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let burst: Vec<Request> = (0..8)
+            .map(|i| Request::new(i, spec.clone(), Workload::random(5, 4, i)).at(0.0))
+            .collect();
+        let mut linked = Cluster::new(FuVariant::V4, 4, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded);
+        let linked_report = linked.serve(burst.clone()).unwrap();
+        assert!(linked_report.transfers() > 0, "default link beats the host");
+        assert!(linked_report.transfer_bytes() > 0);
+
+        let mut hosted = Cluster::new(FuVariant::V4, 4, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded)
+            .with_transfer_model(TransferModel {
+                host_latency_us: 0.0,
+                host_us_per_byte: 0.0,
+                ..TransferModel::new()
+            });
+        let hosted_report = hosted.serve(burst).unwrap();
+        assert_eq!(hosted_report.transfers(), 0, "free host loads win");
+        assert_eq!(hosted_report.host_loads(), 3);
+    }
+
+    #[test]
+    fn per_device_metrics_roll_up_to_the_cluster_totals() {
+        let requests = benchmark_trace(32, 4);
+        let mut cluster = Cluster::new(FuVariant::V4, 3, 2)
+            .unwrap()
+            .with_route_policy(RoutePolicy::PowerOfTwoChoices);
+        let report = cluster.serve(requests).unwrap();
+        let totals = report.metrics();
+        let devices = report.device_metrics();
+        assert_eq!(devices.len(), 3);
+        assert_eq!(
+            devices.iter().map(|d| d.requests).sum::<usize>(),
+            totals.requests
+        );
+        assert_eq!(
+            devices.iter().map(|d| d.switch_count).sum::<usize>(),
+            totals.switch_count
+        );
+        assert_eq!(
+            devices
+                .iter()
+                .map(|d| d.cache.hits + d.cache.misses)
+                .sum::<usize>(),
+            totals.cache.hits + totals.cache.misses
+        );
+        let flattened: Vec<usize> = devices
+            .iter()
+            .flat_map(|d| d.tile_requests.iter().copied())
+            .collect();
+        assert_eq!(flattened, totals.tile_requests);
+        for device in devices {
+            assert!(device.p50_latency_us <= device.p99_latency_us);
+            assert!(device.p99_latency_us <= device.max_latency_us);
+            assert!(device.max_latency_us <= totals.max_latency_us);
+            assert!(device.peak_queue_depth <= totals.peak_queue_depth);
+        }
+        // The merged cluster percentiles bracket the per-device extremes.
+        assert!(totals.p99_latency_us <= totals.max_latency_us);
+    }
+
+    /// Acquisition rules are uniform under store eviction: a device whose
+    /// capacity-1 store thrashes between kernels pays to re-acquire evicted
+    /// images (home shard included), while a 1-device cluster under the
+    /// same eviction pressure still never acquires — it must stay bitwise
+    /// `Runtime`-equivalent.
+    #[test]
+    fn tiny_stores_reacquire_evicted_images_and_one_device_stays_exempt() {
+        let trace = benchmark_trace(16, 4);
+        let mut thrashing = Cluster::new(FuVariant::V4, 2, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded)
+            .with_cache_capacity(1)
+            .unwrap();
+        let report = thrashing.serve(trace.clone()).unwrap();
+        assert_eq!(report.outcomes().len(), 16);
+        assert!(
+            report.transfers() + report.host_loads() > 2,
+            "4 kernels through capacity-1 stores must keep re-acquiring, got {} + {}",
+            report.transfers(),
+            report.host_loads()
+        );
+
+        let mut single = Cluster::new(FuVariant::V4, 1, 2)
+            .unwrap()
+            .with_cache_capacity(1)
+            .unwrap();
+        let mut runtime = Runtime::new(FuVariant::V4, 2)
+            .unwrap()
+            .with_cache_capacity(1)
+            .unwrap();
+        let cluster_report = single.serve(trace.clone()).unwrap();
+        let runtime_report = runtime.serve(trace).unwrap();
+        assert_eq!(cluster_report.transfers(), 0);
+        assert_eq!(cluster_report.host_loads(), 0);
+        assert_eq!(cluster_report.metrics(), runtime_report.metrics());
+    }
+
+    #[test]
+    fn cluster_admission_limit_is_cluster_wide() {
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let burst: Vec<Request> = (0..12)
+            .map(|i| Request::new(i, spec.clone(), Workload::random(5, 4, i)).at(0.0))
+            .collect();
+        let mut cluster = Cluster::new(FuVariant::V4, 2, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded)
+            .with_admission_limit(2);
+        let report = cluster.serve(burst).unwrap();
+        // 2 start immediately (one per device), 2 wait, the rest shed.
+        assert_eq!(report.outcomes().len(), 4);
+        assert_eq!(report.metrics().rejects, 8);
+        assert_eq!(
+            report
+                .device_metrics()
+                .iter()
+                .map(|d| d.rejects)
+                .sum::<usize>(),
+            8
+        );
+    }
+
+    #[test]
+    fn streamed_and_batch_cluster_serves_agree() {
+        // Two *fresh* clusters: acquisition decisions depend on the kernel
+        // stores, which persist across serves on one cluster.
+        let requests = benchmark_trace(12, 4);
+        let cluster = || {
+            Cluster::new(FuVariant::V4, 2, 2)
+                .unwrap()
+                .with_route_policy(RoutePolicy::PowerOfTwoChoices)
+        };
+        let batch = cluster().serve(requests.clone()).unwrap();
+        let streamed = cluster()
+            .serve_stream(|submitter| {
+                for request in &requests {
+                    submitter.submit(request.clone()).unwrap();
+                }
+            })
+            .unwrap();
+        assert_eq!(batch.outcomes().len(), streamed.outcomes().len());
+        for (lhs, rhs) in batch.outcomes().iter().zip(streamed.outcomes()) {
+            assert_eq!(lhs.request_id, rhs.request_id);
+            assert_eq!(lhs.device, rhs.device);
+            assert_eq!(lhs.tile, rhs.tile);
+            assert_eq!(lhs.completion_us, rhs.completion_us);
+        }
+        assert_eq!(batch.metrics(), streamed.metrics());
+    }
+
+    #[test]
+    fn invalid_cluster_traces_are_rejected() {
+        let mut cluster = Cluster::new(FuVariant::V4, 2, 1).unwrap();
+        assert!(matches!(
+            cluster.serve(Vec::new()),
+            Err(RuntimeError::NoRequests)
+        ));
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let first = Request::new(0, spec.clone(), Workload::ramp(5, 2)).at(10.0);
+        let stale = Request::new(1, spec, Workload::ramp(5, 2)).at(5.0);
+        assert!(matches!(
+            cluster.serve(vec![first, stale]),
+            Err(RuntimeError::OutOfOrderArrival { request: 1, .. })
+        ));
+    }
+}

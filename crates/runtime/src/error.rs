@@ -15,6 +15,8 @@ use overlay_sim::SimError;
 pub enum RuntimeError {
     /// The tile pool was configured with zero tiles.
     EmptyPool,
+    /// The cluster was configured with zero devices.
+    EmptyCluster,
     /// The kernel cache was configured with zero capacity.
     ZeroCacheCapacity,
     /// `serve` was called with an empty request trace.
@@ -52,6 +54,7 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::EmptyPool => f.write_str("tile pool has no tiles"),
+            RuntimeError::EmptyCluster => f.write_str("cluster has no devices"),
             RuntimeError::ZeroCacheCapacity => f.write_str("kernel cache capacity must be >= 1"),
             RuntimeError::NoRequests => f.write_str("request trace is empty"),
             RuntimeError::InvalidArrival {

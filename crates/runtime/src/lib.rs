@@ -89,22 +89,26 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod cluster;
 pub mod dispatch;
 pub mod error;
 pub mod event;
 pub mod metrics;
 pub mod pool;
 pub mod request;
+pub mod route;
 pub mod submit;
 
 pub use cache::{CacheStats, KernelCache, KernelKey, SimKey, SimMemo};
 
 use cache::FnvHashMap;
+pub use cluster::{Cluster, ClusterReport, Device};
 pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher, ScanMode};
 pub use error::RuntimeError;
-pub use metrics::RuntimeMetrics;
+pub use metrics::{DeviceMetrics, RuntimeMetrics};
 pub use pool::{ChargeOutcome, TilePool, TileState};
 pub use request::{KernelSpec, Request};
+pub use route::{RoutePolicy, TransferModel};
 pub use submit::{SubmitError, Submitter};
 
 use std::collections::VecDeque;
@@ -132,7 +136,10 @@ pub struct RequestOutcome {
     pub request_id: u64,
     /// The kernel name (shared with the request's spec).
     pub kernel: Arc<str>,
-    /// The tile that served the request.
+    /// The device that served the request (always 0 for a single
+    /// [`Runtime`]; the routing decision for a [`Cluster`]).
+    pub device: usize,
+    /// The tile that served the request (device-local index).
     pub tile: usize,
     /// The simulation run behind this outcome (shared, possibly memoized).
     run: Arc<SimRun>,
@@ -213,12 +220,28 @@ impl ServeReport {
 /// per-kernel derived timing figures (operating frequency, switch cost,
 /// steady-state II) so they are computed once per distinct kernel rather
 /// than once per request.
-struct PrepContext {
+pub(crate) struct PrepContext {
     variant: FuVariant,
     writeback: bool,
     depth: usize,
     tile_overlay: Option<OverlayConfig>,
     derived: FnvHashMap<KernelKey, DerivedTiming>,
+}
+
+impl PrepContext {
+    /// The shared per-serve preparation facts for `pool` (every device of a
+    /// cluster replicates the same tile, so one context serves them all).
+    pub(crate) fn for_pool(pool: &TilePool) -> Result<Self, RuntimeError> {
+        let variant = pool.variant();
+        let writeback = variant.has_writeback();
+        Ok(PrepContext {
+            variant,
+            writeback,
+            depth: if writeback { pool.logical_depth() } else { 0 },
+            tile_overlay: pool.overlay_config()?,
+            derived: FnvHashMap::default(),
+        })
+    }
 }
 
 /// Kernel-dependent timing facts reused across every request for that
@@ -229,24 +252,113 @@ struct DerivedTiming {
     switch_us: f64,
     ii: f64,
     fill_cycles: f64,
+    image_bytes: usize,
+}
+
+/// Compiles (via `cache`) and derives the timing figures one request needs
+/// before it can be dispatched — including the [`DispatchRequest`] view
+/// every later event reuses and the [`SimKey`] the memo answers.
+/// Kernel-dependent timing (frequency, switch cost, II, image size) is
+/// computed once per distinct kernel and reused from the context. Shared by
+/// [`Runtime`] and [`Cluster`] (where `cache` is the kernel's home-device
+/// store).
+pub(crate) fn prepare_request(
+    cache: &mut KernelCache,
+    lower: &LowerOptions,
+    reconfig: &ReconfigModel,
+    ctx: &mut PrepContext,
+    request: Arc<Request>,
+) -> Result<InFlight, RuntimeError> {
+    let key = KernelKey {
+        fingerprint: request.kernel.fingerprint(),
+        variant: ctx.variant,
+        depth: ctx.depth,
+    };
+    let spec = &request.kernel;
+    let writeback = ctx.writeback;
+    let depth = ctx.depth;
+    let compiled = cache.get_or_compile(key, || {
+        let dfg = spec.dfg(lower)?;
+        let fixed_depth = writeback.then_some(depth);
+        let stages = schedule(&dfg, ctx.variant, fixed_depth)?;
+        Ok(generate_program(&dfg, &stages, ctx.variant)?)
+    })?;
+    let timing = match ctx.derived.get(&key) {
+        Some(&timing) => timing,
+        None => {
+            let config_bits = compiled.program.config_bits();
+            let (fmax_mhz, switch_us) = match &ctx.tile_overlay {
+                // Write-back tile: fixed overlay, instruction reload only.
+                Some(config) => (
+                    config.fmax_mhz(),
+                    reconfig
+                        .program_only_switch(ctx.variant, config_bits)
+                        .total_us(),
+                ),
+                // Feed-forward tile: the overlay is rebuilt to the
+                // kernel's depth, so a swap pays PCAP reconfiguration.
+                None => {
+                    let config = OverlayConfig::new(ctx.variant, compiled.num_fus())?;
+                    (
+                        config.fmax_mhz(),
+                        reconfig.full_switch(&config, config_bits).total_us(),
+                    )
+                }
+            };
+            let timing = DerivedTiming {
+                fmax_mhz,
+                switch_us,
+                ii: compiled.ii,
+                fill_cycles: (4 * compiled.num_fus()) as f64,
+                image_bytes: compiled.program.config_bytes(),
+            };
+            ctx.derived.insert(key, timing);
+            timing
+        }
+    };
+    // Planning estimate: steady-state II per invocation plus a
+    // pipeline-fill allowance, at the overlay's operating frequency.
+    let est_exec_us =
+        (timing.ii * request.workload.len() as f64 + timing.fill_cycles) / timing.fmax_mhz;
+    let sim_key = SimKey {
+        kernel: key,
+        workload: request.workload_digest(),
+    };
+    let view = DispatchRequest {
+        key,
+        est_exec_us,
+        switch_us: timing.switch_us,
+        deadline_us: request.deadline_us,
+    };
+    Ok(InFlight {
+        request,
+        sim_key,
+        compiled,
+        fmax_mhz: timing.fmax_mhz,
+        image_bytes: timing.image_bytes,
+        view,
+    })
 }
 
 /// Everything the loop derives for a request when it is streamed in: the
 /// dispatch view (kernel identity + modeled costs) is computed once here and
 /// reused at every event the request participates in.
-struct InFlight {
-    request: Arc<Request>,
-    sim_key: SimKey,
-    compiled: Arc<CompiledKernel>,
-    fmax_mhz: f64,
-    view: DispatchRequest,
+pub(crate) struct InFlight {
+    pub(crate) request: Arc<Request>,
+    pub(crate) sim_key: SimKey,
+    pub(crate) compiled: Arc<CompiledKernel>,
+    pub(crate) fmax_mhz: f64,
+    /// The compiled image size the transfer model charges for moving this
+    /// kernel between devices.
+    pub(crate) image_bytes: usize,
+    pub(crate) view: DispatchRequest,
 }
 
 /// A functional-simulation job handed to a worker.
-struct SimJob {
-    index: usize,
-    compiled: Arc<CompiledKernel>,
-    request: Arc<Request>,
+pub(crate) struct SimJob {
+    pub(crate) index: usize,
+    pub(crate) compiled: Arc<CompiledKernel>,
+    pub(crate) request: Arc<Request>,
 }
 
 /// Sim results as the event loop consumes them: jobs are spawned eagerly at
@@ -254,7 +366,7 @@ struct SimJob {
 /// memoization is enabled), dealt to the least-loaded worker, returned in
 /// any order, and the loop blocks for a specific index only when a tile is
 /// about to execute that request.
-struct SimResults<'a> {
+pub(crate) struct SimResults<'a> {
     rx: &'a mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
     /// One slot per intake index — no hashing on the hot path.
     ready: Vec<Option<Result<Arc<SimRun>, SimError>>>,
@@ -272,7 +384,69 @@ struct SimResults<'a> {
     worker_of: FnvHashMap<usize, usize>,
 }
 
-impl SimResults<'_> {
+impl<'a> SimResults<'a> {
+    /// A fresh result tracker over `workers` job channels draining `rx`.
+    pub(crate) fn new(
+        rx: &'a mpsc::Receiver<(usize, Result<SimRun, SimError>)>,
+        workers: usize,
+        dedup: bool,
+    ) -> Self {
+        SimResults {
+            rx,
+            ready: Vec::new(),
+            pending: FnvHashMap::default(),
+            dedup,
+            outstanding: vec![0; workers],
+            worker_of: FnvHashMap::default(),
+        }
+    }
+
+    /// Grows the per-intake slot table by one (a request was streamed in).
+    pub(crate) fn push_slot(&mut self) {
+        self.ready.push(None);
+    }
+
+    /// Sources the (placement-independent) simulation for an admitted
+    /// request `index`: joins an identical in-flight run, answers from the
+    /// memo, or spawns a job on the least-loaded worker — exactly one of
+    /// the three, with the memo counters tracking which.
+    pub(crate) fn source(
+        &mut self,
+        index: usize,
+        info: &InFlight,
+        memo: &mut SimMemo,
+        jobs: &[mpsc::Sender<SimJob>],
+    ) {
+        let joined = self.dedup
+            && match self.pending.get_mut(&info.sim_key) {
+                Some(waiters) => {
+                    waiters.push(index);
+                    memo.note_shared_hit();
+                    true
+                }
+                None => false,
+            };
+        if joined {
+            // An identical simulation is already in flight.
+        } else if let Some(run) = memo.get(&info.sim_key) {
+            self.ready[index] = Some(Ok(run));
+        } else {
+            if self.dedup {
+                self.pending.insert(info.sim_key, vec![index]);
+            }
+            memo.note_miss();
+            let worker = self.least_loaded();
+            self.note_dispatched(worker, index);
+            jobs[worker]
+                .send(SimJob {
+                    index,
+                    compiled: Arc::clone(&info.compiled),
+                    request: Arc::clone(&info.request),
+                })
+                .expect("sim workers outlive the event loop");
+        }
+    }
+
     /// The worker with the fewest outstanding jobs (ties to the lowest id).
     fn least_loaded(&self) -> usize {
         self.outstanding
@@ -292,7 +466,7 @@ impl SimResults<'_> {
     /// Blocks until the run for `index` is available, fanning every received
     /// result out to all requests awaiting the same simulation and memoizing
     /// successful runs.
-    fn take(
+    pub(crate) fn take(
         &mut self,
         index: usize,
         intake: &[InFlight],
@@ -341,7 +515,7 @@ impl SimResults<'_> {
 /// Where the event loop pulls submissions from: a live bounded channel
 /// (streaming serves) or the pre-collected trace itself (batch serves skip
 /// the channel and its per-request synchronization entirely).
-enum Ingest {
+pub(crate) enum Ingest {
     Stream(mpsc::Receiver<Arc<Request>>),
     Batch(std::vec::IntoIter<Request>),
 }
@@ -349,7 +523,7 @@ enum Ingest {
 impl Ingest {
     /// Blocking pull of the next submission; `None` means the trace is
     /// complete.
-    fn recv(&mut self) -> Option<Arc<Request>> {
+    pub(crate) fn recv(&mut self) -> Option<Arc<Request>> {
         match self {
             Ingest::Stream(rx) => rx.recv().ok(),
             Ingest::Batch(iter) => iter.next().map(Arc::new),
@@ -361,11 +535,92 @@ impl Ingest {
     /// channel synchronization per request. Batch ingest always answers
     /// `None`: with no channel to amortize, pulling strictly by the horizon
     /// rule keeps the event heap small.
-    fn try_recv(&mut self) -> Option<Arc<Request>> {
+    pub(crate) fn try_recv(&mut self) -> Option<Arc<Request>> {
         match self {
             Ingest::Stream(rx) => rx.try_recv().ok(),
             Ingest::Batch(_) => None,
         }
+    }
+}
+
+/// The horizon-ruled submission pull shared by the [`Runtime`] and
+/// [`Cluster`] event loops: requests are pulled (and prepared) until the
+/// earliest pending event is at or before the horizon and therefore safe to
+/// fire. After each blocking pull, whatever else is already buffered is
+/// drained in the same pass — pulling ahead of the horizon is always sound
+/// (it only schedules future arrival events) and amortizes the channel
+/// synchronization across a whole burst.
+///
+/// Arrival validation (finite, non-negative, non-decreasing) lives here, in
+/// exactly one place.
+pub(crate) struct SubmissionPull {
+    pub(crate) horizon_us: f64,
+    pub(crate) ingest_open: bool,
+}
+
+impl SubmissionPull {
+    pub(crate) fn new() -> Self {
+        SubmissionPull {
+            horizon_us: 0.0,
+            ingest_open: true,
+        }
+    }
+
+    /// Pulls until an event at or before the horizon is pending (or the
+    /// ingest closes, setting the horizon to ∞). `prepare` compiles one
+    /// submission into its [`InFlight`] record; `grow_slots` extends the
+    /// caller's per-intake side tables by one before the record is pushed.
+    pub(crate) fn pull<P, G>(
+        &mut self,
+        ingest: &mut Ingest,
+        events: &mut EventQueue,
+        intake: &mut Vec<InFlight>,
+        mut prepare: P,
+        mut grow_slots: G,
+    ) -> Result<(), RuntimeError>
+    where
+        P: FnMut(Arc<Request>) -> Result<InFlight, RuntimeError>,
+        G: FnMut(),
+    {
+        while self.ingest_open
+            && events
+                .peek_time_us()
+                .is_none_or(|time| time > self.horizon_us)
+        {
+            let Some(request) = ingest.recv() else {
+                // Every submitter is gone: the trace is complete.
+                self.ingest_open = false;
+                self.horizon_us = f64::INFINITY;
+                break;
+            };
+            let mut next = Some(request);
+            while let Some(request) = next.take() {
+                let arrival_us = request.arrival_us;
+                if !arrival_us.is_finite() || arrival_us < 0.0 {
+                    return Err(RuntimeError::InvalidArrival {
+                        request: request.id,
+                        arrival_us,
+                    });
+                }
+                if arrival_us < self.horizon_us {
+                    return Err(RuntimeError::OutOfOrderArrival {
+                        request: request.id,
+                        arrival_us,
+                        horizon_us: self.horizon_us,
+                    });
+                }
+                self.horizon_us = arrival_us;
+                let inflight = prepare(request)?;
+                let index = intake.len();
+                // Arrivals enter in non-decreasing time order: the
+                // monotone lane appends instead of heap-sifting.
+                events.push_monotone(arrival_us, EventKind::Arrival { index });
+                grow_slots();
+                intake.push(inflight);
+                next = ingest.try_recv();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -438,7 +693,7 @@ impl Runtime {
     pub const DEFAULT_INGEST_CAPACITY: usize = 64;
 
     /// Host worker threads running functional simulations are capped here.
-    const MAX_SIM_WORKERS: usize = 8;
+    pub(crate) const MAX_SIM_WORKERS: usize = 8;
 
     /// A runtime of `tiles` parallel-composition tiles of `variant` on a
     /// single-row NoC, using kernel-affinity dispatch.
@@ -742,76 +997,45 @@ impl Runtime {
             events: EventQueue::new(),
             outcome_slots: Vec::new(),
             rejected: Vec::new(),
-            sim: SimResults {
-                rx: results,
-                ready: Vec::new(),
-                pending: FnvHashMap::default(),
-                dedup: self.sim_memo.capacity() > 0,
-                outstanding: vec![0; jobs.len()],
-                worker_of: FnvHashMap::default(),
-            },
+            sim: SimResults::new(results, jobs.len(), self.sim_memo.capacity() > 0),
             peak_queue_depth: 0,
             queue_area_us: 0.0,
             last_event_us: 0.0,
         };
-        let mut horizon = 0.0_f64;
-        let mut ingest_open = true;
+        let mut pull = SubmissionPull::new();
 
         loop {
-            // Pull submissions until the earliest pending event is at or
-            // before the horizon (and therefore safe to fire). After each
-            // blocking pull, whatever else is already buffered is drained in
-            // the same pass — pulling ahead of the horizon is always sound
-            // (it only schedules future arrival events) and amortizes the
-            // channel synchronization across a whole burst.
-            while ingest_open
-                && state
-                    .events
-                    .peek_time_us()
-                    .is_none_or(|time| time > horizon)
             {
-                let Some(request) = ingest.recv() else {
-                    // Every submitter is gone: the trace is complete.
-                    ingest_open = false;
-                    horizon = f64::INFINITY;
-                    break;
-                };
-                let mut next = Some(request);
-                while let Some(request) = next.take() {
-                    let arrival_us = request.arrival_us;
-                    if !arrival_us.is_finite() || arrival_us < 0.0 {
-                        return Err(RuntimeError::InvalidArrival {
-                            request: request.id,
-                            arrival_us,
-                        });
-                    }
-                    if arrival_us < horizon {
-                        return Err(RuntimeError::OutOfOrderArrival {
-                            request: request.id,
-                            arrival_us,
-                            horizon_us: horizon,
-                        });
-                    }
-                    horizon = arrival_us;
-                    let inflight = self.prepare(&mut ctx, request)?;
-                    let index = intake.len();
-                    // Arrivals enter in non-decreasing time order: the
-                    // monotone lane appends instead of heap-sifting.
-                    state
-                        .events
-                        .push_monotone(arrival_us, EventKind::Arrival { index });
-                    state.outcome_slots.push(None);
-                    state.taken.push(false);
-                    state.sim.ready.push(None);
-                    intake.push(inflight);
-                    next = ingest.try_recv();
-                }
+                let OnlineState {
+                    events,
+                    outcome_slots,
+                    taken,
+                    sim,
+                    ..
+                } = &mut state;
+                let cache = &mut self.cache;
+                let lower = &self.lower;
+                let reconfig = &self.reconfig;
+                pull.pull(
+                    &mut ingest,
+                    events,
+                    &mut intake,
+                    |request| prepare_request(cache, lower, reconfig, &mut ctx, request),
+                    || {
+                        outcome_slots.push(None);
+                        taken.push(false);
+                        sim.push_slot();
+                    },
+                )?;
             }
             let Some(event) = state.events.pop() else {
-                // The pull loop above only exits with the ingest open when
-                // an event at or before the horizon is pending, so an empty
+                // The pull loop only exits with the ingest open when an
+                // event at or before the horizon is pending, so an empty
                 // queue here means the trace is complete.
-                debug_assert!(!ingest_open, "event queue drained while ingest is open");
+                debug_assert!(
+                    !pull.ingest_open,
+                    "event queue drained while ingest is open"
+                );
                 break;
             };
             let now_us = event.time_us;
@@ -841,34 +1065,7 @@ impl Runtime {
                     // from the memo, from an identical in-flight run, or by
                     // spawning a job on the worker pool. The loop blocks for
                     // the cycle count only when a tile is about to run it.
-                    let joined = state.sim.dedup
-                        && match state.sim.pending.get_mut(&info.sim_key) {
-                            Some(waiters) => {
-                                waiters.push(index);
-                                self.sim_memo.note_shared_hit();
-                                true
-                            }
-                            None => false,
-                        };
-                    if joined {
-                        // An identical simulation is already in flight.
-                    } else if let Some(run) = self.sim_memo.get(&info.sim_key) {
-                        state.sim.ready[index] = Some(Ok(run));
-                    } else {
-                        if state.sim.dedup {
-                            state.sim.pending.insert(info.sim_key, vec![index]);
-                        }
-                        self.sim_memo.note_miss();
-                        let worker = state.sim.least_loaded();
-                        state.sim.note_dispatched(worker, index);
-                        jobs[worker]
-                            .send(SimJob {
-                                index,
-                                compiled: Arc::clone(&info.compiled),
-                                request: Arc::clone(&info.request),
-                            })
-                            .expect("sim workers outlive the event loop");
-                    }
+                    state.sim.source(index, info, &mut self.sim_memo, &jobs);
                     if starts_now {
                         self.start_request(tile, index, &intake, &mut state, None)?;
                     } else {
@@ -985,6 +1182,7 @@ impl Runtime {
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
             kernel: request.kernel.shared_name(),
+            device: 0,
             tile,
             sim: *run.metrics(),
             run,
@@ -1006,99 +1204,7 @@ impl Runtime {
 
     /// The per-serve facts every request's preparation shares.
     fn prep_context(&self) -> Result<PrepContext, RuntimeError> {
-        let variant = self.pool.variant();
-        let writeback = variant.has_writeback();
-        Ok(PrepContext {
-            variant,
-            writeback,
-            depth: if writeback {
-                self.pool.logical_depth()
-            } else {
-                0
-            },
-            tile_overlay: self.pool.overlay_config()?,
-            derived: FnvHashMap::default(),
-        })
-    }
-
-    /// Compiles (via the cache) and derives the timing figures one request
-    /// needs before it can be dispatched — including the [`DispatchRequest`]
-    /// view every later event reuses and the [`SimKey`] the memo answers.
-    /// Kernel-dependent timing (frequency, switch cost, II) is computed once
-    /// per distinct kernel and reused from the context.
-    fn prepare(
-        &mut self,
-        ctx: &mut PrepContext,
-        request: Arc<Request>,
-    ) -> Result<InFlight, RuntimeError> {
-        let key = KernelKey {
-            fingerprint: request.kernel.fingerprint(),
-            variant: ctx.variant,
-            depth: ctx.depth,
-        };
-        let lower = &self.lower;
-        let spec = &request.kernel;
-        let writeback = ctx.writeback;
-        let depth = ctx.depth;
-        let compiled = self.cache.get_or_compile(key, || {
-            let dfg = spec.dfg(lower)?;
-            let fixed_depth = writeback.then_some(depth);
-            let stages = schedule(&dfg, ctx.variant, fixed_depth)?;
-            Ok(generate_program(&dfg, &stages, ctx.variant)?)
-        })?;
-        let timing = match ctx.derived.get(&key) {
-            Some(&timing) => timing,
-            None => {
-                let config_bits = compiled.program.config_bits();
-                let (fmax_mhz, switch_us) = match &ctx.tile_overlay {
-                    // Write-back tile: fixed overlay, instruction reload only.
-                    Some(config) => (
-                        config.fmax_mhz(),
-                        self.reconfig
-                            .program_only_switch(ctx.variant, config_bits)
-                            .total_us(),
-                    ),
-                    // Feed-forward tile: the overlay is rebuilt to the
-                    // kernel's depth, so a swap pays PCAP reconfiguration.
-                    None => {
-                        let config = OverlayConfig::new(ctx.variant, compiled.num_fus())?;
-                        (
-                            config.fmax_mhz(),
-                            self.reconfig.full_switch(&config, config_bits).total_us(),
-                        )
-                    }
-                };
-                let timing = DerivedTiming {
-                    fmax_mhz,
-                    switch_us,
-                    ii: compiled.ii,
-                    fill_cycles: (4 * compiled.num_fus()) as f64,
-                };
-                ctx.derived.insert(key, timing);
-                timing
-            }
-        };
-        // Planning estimate: steady-state II per invocation plus a
-        // pipeline-fill allowance, at the overlay's operating frequency.
-        let est_exec_us =
-            (timing.ii * request.workload.len() as f64 + timing.fill_cycles) / timing.fmax_mhz;
-        let sim_key = SimKey {
-            kernel: key,
-            workload: request.workload_digest(),
-        };
-        let view = DispatchRequest {
-            key,
-            est_exec_us,
-            switch_us: timing.switch_us,
-            deadline_us: request.deadline_us,
-        };
-        Ok(InFlight {
-            request,
-            sim_key,
-            compiled,
-            fmax_mhz: timing.fmax_mhz,
-            view,
-        })
+        PrepContext::for_pool(&self.pool)
     }
 
     /// Folds per-request outcomes and pool state into [`RuntimeMetrics`] —

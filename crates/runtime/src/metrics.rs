@@ -1,5 +1,8 @@
-//! Aggregate serving metrics over one request trace.
+//! Aggregate serving metrics over one request trace — and the per-device
+//! dimension plus the sorted-run merge path a [`Cluster`](crate::Cluster)
+//! rolls its devices up through.
 
+use std::cmp::Ordering;
 use std::fmt;
 
 use crate::cache::CacheStats;
@@ -151,11 +154,186 @@ impl fmt::Display for RuntimeMetrics {
     }
 }
 
+/// One device's slice of a [`Cluster`](crate::Cluster) serve: the same
+/// utilization / queue / cache / deadline figures [`RuntimeMetrics`] reports
+/// pool-wide, keyed by device id, plus the cross-device transfer traffic the
+/// [`TransferModel`](crate::TransferModel) charged.
+///
+/// Latency percentiles are per-device; the cluster-wide percentiles in the
+/// report's [`RuntimeMetrics`] totals are produced by *merging* the per-
+/// device sorted samples through [`percentile_from_sorted_parts`], never by
+/// re-sorting the union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMetrics {
+    /// The device id (index into the cluster).
+    pub device: usize,
+    /// Requests this device served.
+    pub requests: usize,
+    /// Mean request latency on this device, microseconds.
+    pub mean_latency_us: f64,
+    /// Median request latency on this device, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile request latency on this device, microseconds.
+    pub p99_latency_us: f64,
+    /// Worst request latency on this device, microseconds.
+    pub max_latency_us: f64,
+    /// Hardware context switches across this device's tiles.
+    pub switch_count: usize,
+    /// Modeled context-switch time across this device's tiles, microseconds
+    /// (includes any kernel-image acquisition delay charged ahead of a
+    /// switch).
+    pub total_switch_us: f64,
+    /// Per-tile busy fraction of the cluster makespan.
+    pub tile_utilization: Vec<f64>,
+    /// Per-tile request counts.
+    pub tile_requests: Vec<usize>,
+    /// This device's kernel-store counters (compiles at the home shard,
+    /// image adoptions from peers, lookups either way).
+    pub cache: CacheStats,
+    /// Served requests on this device whose completion exceeded their
+    /// deadline.
+    pub deadline_misses: usize,
+    /// Served requests on this device that carried a deadline.
+    pub deadline_requests: usize,
+    /// Requests routed to this device but shed by admission control.
+    pub rejects: usize,
+    /// Highest number of requests waiting across this device's tile queues
+    /// at any instant.
+    pub peak_queue_depth: usize,
+    /// Kernel images pulled *into* this device over the inter-device link.
+    pub transfers_in: usize,
+    /// Bytes of kernel image pulled into this device over the link.
+    pub transfer_bytes_in: u64,
+    /// Kernel images loaded into this device from the host (the "local cold
+    /// load" path the transfer weighs against).
+    pub host_loads: usize,
+}
+
+impl DeviceMetrics {
+    /// Mean tile utilization on this device.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.tile_utilization.is_empty() {
+            0.0
+        } else {
+            self.tile_utilization.iter().sum::<f64>() / self.tile_utilization.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for DeviceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}: {} req, util {:.0}%, p99 {:.2} us, {} switch(es), queue peak {}, \
+             cache {:.0}% hit, {} transfer(s) in ({} B), {} host load(s)",
+            self.device,
+            self.requests,
+            self.mean_utilization() * 100.0,
+            self.p99_latency_us,
+            self.switch_count,
+            self.peak_queue_depth,
+            self.cache.hit_rate() * 100.0,
+            self.transfers_in,
+            self.transfer_bytes_in,
+            self.host_loads,
+        )
+    }
+}
+
+/// Linear-interpolated percentile (`p` in 0..=1) over several **pre-sorted**
+/// sample runs — the merge path per-device latency populations roll up
+/// through without the union ever being concatenated or re-sorted. A lone
+/// non-empty run is indexed directly (the per-device case); otherwise the
+/// order statistics come from a k-way cursor walk that starts at whichever
+/// end of the order is nearer — O(min(rank, len − rank) · runs). The
+/// interpolation is identical to [`percentile_by_selection`], so merging
+/// one run reproduces the single-pool result bit for bit.
+///
+/// Runs must each be sorted ascending (by [`f64::total_cmp`]); empty runs
+/// are fine. Returns 0 when every run is empty.
+pub fn percentile_from_sorted_parts(parts: &[&[f64]], p: f64) -> f64 {
+    let len: usize = parts.iter().map(|part| part.len()).sum();
+    match len {
+        0 => 0.0,
+        1 => parts
+            .iter()
+            .find(|part| !part.is_empty())
+            .expect("len is 1")[0],
+        len => {
+            let rank = p.clamp(0.0, 1.0) * (len - 1) as f64;
+            let low = rank.floor() as usize;
+            let high = rank.ceil() as usize;
+            let weight = rank - low as f64;
+            let (low_value, high_value) = order_statistic_pair(parts, len, low, high);
+            low_value * (1.0 - weight) + high_value * weight
+        }
+    }
+}
+
+/// The `low`-th and `high`-th order statistics (0-indexed, `low <= high`)
+/// across pre-sorted runs of total length `len`: direct indexing for a
+/// lone non-empty run, else a k-way cursor walk from the nearer end of the
+/// order (the k-th smallest is the (len − 1 − k)-th largest, so high ranks
+/// walk descending and come back swapped).
+fn order_statistic_pair(parts: &[&[f64]], len: usize, low: usize, high: usize) -> (f64, f64) {
+    let mut non_empty = parts.iter().filter(|part| !part.is_empty());
+    if let (Some(only), None) = (non_empty.next(), non_empty.next()) {
+        return (only[low], only[high]);
+    }
+    if high <= len - 1 - low {
+        merge_walk(parts, low, high, false)
+    } else {
+        let (high_value, low_value) = merge_walk(parts, len - 1 - high, len - 1 - low, true);
+        (low_value, high_value)
+    }
+}
+
+/// Cursor-walks the runs in ascending (or, with `descending`, descending)
+/// order, returning the values at walk ranks `first <= second`.
+fn merge_walk(parts: &[&[f64]], first: usize, second: usize, descending: bool) -> (f64, f64) {
+    let wins = |value: f64, current: f64| {
+        let ordering = value.total_cmp(&current);
+        if descending {
+            ordering == Ordering::Greater
+        } else {
+            ordering == Ordering::Less
+        }
+    };
+    let mut taken = vec![0usize; parts.len()];
+    let mut first_value = 0.0;
+    for rank in 0..=second {
+        let mut best: Option<(f64, usize)> = None;
+        for (part_index, part) in parts.iter().enumerate() {
+            let next = if descending {
+                part.len()
+                    .checked_sub(taken[part_index] + 1)
+                    .map(|i| part[i])
+            } else {
+                part.get(taken[part_index]).copied()
+            };
+            if let Some(value) = next {
+                if best.is_none_or(|(current, _)| wins(value, current)) {
+                    best = Some((value, part_index));
+                }
+            }
+        }
+        let (value, part_index) = best.expect("rank stays within the total length");
+        taken[part_index] += 1;
+        if rank == first {
+            first_value = value;
+        }
+        if rank == second {
+            return (first_value, value);
+        }
+    }
+    unreachable!("the walk returns at the second rank")
+}
+
 /// Linear-interpolated percentile (`p` in 0..=1) by partial selection:
 /// `select_nth_unstable` partitions out the two neighboring order statistics
 /// in O(n) expected time instead of an O(n log n) full sort. The slice is
 /// reordered, not sorted.
-pub(crate) fn percentile_by_selection(values: &mut [f64], p: f64) -> f64 {
+pub fn percentile_by_selection(values: &mut [f64], p: f64) -> f64 {
     match values.len() {
         0 => 0.0,
         1 => values[0],
@@ -216,6 +394,84 @@ mod tests {
             let mut scratch = values.clone();
             assert_eq!(percentile_by_selection(&mut scratch, p), expected, "p={p}");
         }
+    }
+
+    /// The merge path over pre-sorted runs must reproduce the selection
+    /// path over the union exactly — that identity is what lets the cluster
+    /// roll per-device samples into cluster percentiles without re-sorting.
+    #[test]
+    fn merged_percentiles_match_selection_over_the_union() {
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        // Uneven split across 4 "devices", device 0 kept empty.
+        let mut parts: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for _ in 0..301 {
+            let value = (next() % 10_000) as f64 * 0.25;
+            let part = (next() % 3) as usize + 1;
+            parts[part].push(value);
+        }
+        let union: Vec<f64> = parts.iter().flatten().copied().collect();
+        for part in &mut parts {
+            part.sort_by(f64::total_cmp);
+        }
+        let views: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let mut scratch = union.clone();
+            let expected = percentile_by_selection(&mut scratch, p);
+            assert_eq!(percentile_from_sorted_parts(&views, p), expected, "p={p}");
+        }
+        // Degenerate shapes mirror the selection path.
+        assert_eq!(percentile_from_sorted_parts(&[], 0.5), 0.0);
+        assert_eq!(percentile_from_sorted_parts(&[&[], &[]], 0.5), 0.0);
+        assert_eq!(percentile_from_sorted_parts(&[&[], &[7.0]], 0.99), 7.0);
+        let single: &[f64] = &[1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_from_sorted_parts(&[single], 0.5), 2.5);
+    }
+
+    #[test]
+    fn device_metrics_summarise_one_shard() {
+        let metrics = DeviceMetrics {
+            device: 2,
+            requests: 5,
+            mean_latency_us: 10.0,
+            p50_latency_us: 9.0,
+            p99_latency_us: 21.0,
+            max_latency_us: 22.0,
+            switch_count: 3,
+            total_switch_us: 0.75,
+            tile_utilization: vec![0.5, 0.7],
+            tile_requests: vec![3, 2],
+            cache: CacheStats {
+                hits: 4,
+                misses: 1,
+                evictions: 0,
+            },
+            deadline_misses: 1,
+            deadline_requests: 2,
+            rejects: 1,
+            peak_queue_depth: 3,
+            transfers_in: 2,
+            transfer_bytes_in: 256,
+            host_loads: 1,
+        };
+        assert!((metrics.mean_utilization() - 0.6).abs() < 1e-12);
+        let text = metrics.to_string();
+        assert!(text.contains("d2: 5 req"));
+        assert!(text.contains("2 transfer(s) in (256 B)"));
+        assert!(text.contains("1 host load(s)"));
+        assert_eq!(
+            DeviceMetrics {
+                tile_utilization: vec![],
+                ..metrics
+            }
+            .mean_utilization(),
+            0.0
+        );
     }
 
     #[test]

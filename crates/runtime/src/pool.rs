@@ -580,6 +580,24 @@ impl TilePool {
         switch_us: f64,
         now_us: f64,
     ) -> usize {
+        self.earliest_candidate_indexed(key, est_us, switch_us, now_us)
+            .3
+    }
+
+    /// The full best-candidate tuple behind
+    /// [`place_earliest_indexed`](Self::place_earliest_indexed):
+    /// `(completion estimate, needs switch, evicts warm kernel, tile)` — the
+    /// exact comparison key the placement minimizes. The cluster's
+    /// estimate-based device routing compares these tuples *across* pools,
+    /// so two devices are ranked by the same total order tile placement
+    /// uses within one.
+    pub(crate) fn earliest_candidate_indexed(
+        &self,
+        key: KernelKey,
+        est_us: f64,
+        switch_us: f64,
+        now_us: f64,
+    ) -> (f64, bool, bool, usize) {
         assert!(self.indexing, "indexed placement without index maintenance");
         let mut best = (f64::INFINITY, true, true, usize::MAX);
         let mut consider = |candidate: (f64, bool, bool, usize)| {
@@ -618,7 +636,7 @@ impl TilePool {
             consider(((now_us + switch_us) + est_us, true, true, tile));
         }
         debug_assert!(best.3 != usize::MAX, "a non-empty pool always has a tile");
-        best.3
+        best
     }
 
     /// Mutable access for unit tests. Mutations made through this bypass the

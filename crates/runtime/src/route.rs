@@ -1,0 +1,279 @@
+//! Device-tier routing: which NoC array a request is served on, and what an
+//! inter-device kernel transfer costs.
+//!
+//! A [`Cluster`](crate::Cluster) adds one decision *above* tile placement:
+//! every arrival is first routed to a device, and only then does that
+//! device's [`Dispatcher`](crate::Dispatcher) pick a tile. Three policies
+//! cover the classic sharding trade-offs:
+//!
+//! * [`RoutePolicy::KernelHash`] — a stable shard by kernel content: every
+//!   request for kernel `k` lands on `hash(k) mod devices`, so each device
+//!   only ever hosts its own kernel subset (maximum residency, zero
+//!   balancing);
+//! * [`RoutePolicy::LeastLoaded`] — the device with the fewest waiting
+//!   requests (ties: fewest busy tiles, then lowest id), answered in
+//!   O(log devices) from the cluster's load index — the device-tier mirror
+//!   of the pool's residency-index "best" summaries;
+//! * [`RoutePolicy::PowerOfTwoChoices`] — two deterministically-hashed
+//!   candidate devices, compared by *estimated completion* (each answered
+//!   from that device's residency index, with the transfer-adjusted switch
+//!   cost), taking the better. The classic load-balancing compromise:
+//!   almost as balanced as least-loaded, almost as sticky as hashing.
+//!
+//! # The transfer model
+//!
+//! Devices sit on a linear inter-device link (hop distance = id distance).
+//! Before a tile can context-switch to kernel `k`, the device needs `k`'s
+//! compiled image in its local store (the per-device
+//! [`KernelCache`](crate::KernelCache)). A device that does not hold the
+//! image acquires it over the cheapest path:
+//!
+//! * **host load** — from host memory: `host_latency_us + bytes ·
+//!   host_us_per_byte` (the "local cold load"), or
+//! * **peer transfer** — from the nearest device whose store holds the
+//!   image: `hops · hop_latency_us + bytes · link_us_per_byte`, counted in
+//!   the per-device transfer metrics.
+//!
+//! The acquisition delay is charged into the request's switch phase and —
+//! crucially — into the completion *estimates* routing and placement
+//! compare, so sending a kernel to a device where it is cold correctly
+//! weighs the transfer (or host load) against queueing behind the device
+//! where it is warm. A single-device cluster never acquires anything
+//! (images enter the store at compile time), which is what keeps the
+//! 1-device [`Cluster`](crate::Cluster) bitwise identical to
+//! [`Runtime`](crate::Runtime).
+
+use std::fmt;
+
+/// How a [`Cluster`](crate::Cluster) routes each arrival to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutePolicy {
+    /// Stable shard by kernel content hash: requests for one kernel always
+    /// land on the same device (deterministic under resubmission).
+    #[default]
+    KernelHash,
+    /// The device with the fewest waiting requests (ties: fewest busy
+    /// tiles, then lowest id), from the O(log devices) cluster load index.
+    LeastLoaded,
+    /// Two hash-sampled candidate devices, compared by estimated completion
+    /// (transfer cost included); the better one wins.
+    PowerOfTwoChoices,
+}
+
+impl RoutePolicy {
+    /// Every policy, in documentation order.
+    pub const ALL: [RoutePolicy; 3] = [
+        RoutePolicy::KernelHash,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::PowerOfTwoChoices,
+    ];
+}
+
+impl fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutePolicy::KernelHash => f.write_str("kernel-hash"),
+            RoutePolicy::LeastLoaded => f.write_str("least-loaded"),
+            RoutePolicy::PowerOfTwoChoices => f.write_str("power-of-two"),
+        }
+    }
+}
+
+/// Timing model for moving a compiled kernel image onto a device: a linear
+/// inter-device link (per-hop latency plus per-byte cost) against a host
+/// load path (fixed latency plus a slower per-byte cost).
+///
+/// The defaults model a ~10 GB/s device-to-device serial link with 0.5 µs
+/// per-hop setup against a host DMA path with ~10× the per-byte cost and a
+/// 5 µs driver round trip — so pulling a kernel that is warm on a neighbor
+/// device beats reloading it from the host, and both are visible next to
+/// the [`ReconfigModel`](overlay_arch::ReconfigModel) switch costs they
+/// precede.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Per-hop link latency between adjacent devices, microseconds.
+    pub hop_latency_us: f64,
+    /// Per-byte cost on the inter-device link, microseconds.
+    pub link_us_per_byte: f64,
+    /// Fixed latency of a host load, microseconds.
+    pub host_latency_us: f64,
+    /// Per-byte cost of a host load, microseconds.
+    pub host_us_per_byte: f64,
+}
+
+impl TransferModel {
+    /// The default model (see the type-level docs).
+    pub const fn new() -> Self {
+        TransferModel {
+            hop_latency_us: 0.5,
+            link_us_per_byte: 1.0e-4,
+            host_latency_us: 5.0,
+            host_us_per_byte: 1.0e-3,
+        }
+    }
+
+    /// A zero-cost model: transfers and host loads are free (useful to
+    /// isolate routing behavior from acquisition costs).
+    pub const fn free() -> Self {
+        TransferModel {
+            hop_latency_us: 0.0,
+            link_us_per_byte: 0.0,
+            host_latency_us: 0.0,
+            host_us_per_byte: 0.0,
+        }
+    }
+
+    /// Cost of moving `bytes` over `hops` inter-device links (pipelined:
+    /// the per-byte cost is paid once, the latency per hop).
+    pub fn link_transfer_us(&self, hops: usize, bytes: usize) -> f64 {
+        hops as f64 * self.hop_latency_us + bytes as f64 * self.link_us_per_byte
+    }
+
+    /// Cost of loading `bytes` from the host.
+    pub fn host_load_us(&self, bytes: usize) -> f64 {
+        self.host_latency_us + bytes as f64 * self.host_us_per_byte
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a routed request will acquire its kernel image on the chosen device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Acquisition {
+    /// The device already holds the image (or is its compile home).
+    Resident,
+    /// Loaded from the host at this cost.
+    HostLoad { cost_us: f64 },
+    /// Transferred from a peer device's store at this cost.
+    Transfer {
+        from: usize,
+        cost_us: f64,
+        bytes: usize,
+    },
+}
+
+impl Acquisition {
+    /// The delay the acquisition adds ahead of the context switch.
+    pub(crate) fn cost_us(&self) -> f64 {
+        match *self {
+            Acquisition::Resident => 0.0,
+            Acquisition::HostLoad { cost_us } | Acquisition::Transfer { cost_us, .. } => cost_us,
+        }
+    }
+}
+
+/// SplitMix64: a cheap, well-mixed finalizer for shard hashing — one
+/// multiply-xor chain, no state.
+fn splitmix64(mut value: u64) -> u64 {
+    value = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    value = (value ^ (value >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    value = (value ^ (value >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    value ^ (value >> 31)
+}
+
+/// The kernel's home device under stable sharding: every request for the
+/// same kernel fingerprint maps here, on every resubmission.
+pub(crate) fn kernel_home(fingerprint: u64, devices: usize) -> usize {
+    debug_assert!(devices > 0);
+    (splitmix64(fingerprint) % devices as u64) as usize
+}
+
+/// The two distinct candidate devices power-of-two-choices probes for a
+/// request: hashed from the kernel fingerprint *and* the request id, so a
+/// kernel's stream of requests spreads its probes while staying a pure
+/// (deterministic) function of the request. With one device both
+/// candidates are device 0.
+pub(crate) fn power_of_two_pair(
+    fingerprint: u64,
+    request_id: u64,
+    devices: usize,
+) -> (usize, usize) {
+    debug_assert!(devices > 0);
+    if devices == 1 {
+        return (0, 0);
+    }
+    let hash = splitmix64(fingerprint ^ splitmix64(request_id));
+    let first = (hash % devices as u64) as usize;
+    let mut second = ((hash >> 32) % (devices as u64 - 1)) as usize;
+    if second >= first {
+        second += 1;
+    }
+    (first, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_home_is_stable_and_in_range() {
+        for devices in 1..=8usize {
+            for fingerprint in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+                let home = kernel_home(fingerprint, devices);
+                assert!(home < devices);
+                assert_eq!(home, kernel_home(fingerprint, devices), "stable");
+            }
+        }
+        // The shard spreads distinct kernels: 64 fingerprints over 4 devices
+        // must not all collapse onto one shard.
+        let mut counts = [0usize; 4];
+        for fingerprint in 0..64u64 {
+            counts[kernel_home(fingerprint, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "spread: {counts:?}");
+    }
+
+    #[test]
+    fn power_of_two_pairs_are_distinct_and_deterministic() {
+        for devices in 2..=8usize {
+            for id in 0..32u64 {
+                let (a, b) = power_of_two_pair(0xFEED, id, devices);
+                assert!(a < devices && b < devices);
+                assert_ne!(a, b, "candidates must differ");
+                assert_eq!((a, b), power_of_two_pair(0xFEED, id, devices));
+            }
+        }
+        assert_eq!(power_of_two_pair(7, 7, 1), (0, 0));
+        // Different request ids probe different pairs at least sometimes.
+        let pairs: std::collections::HashSet<(usize, usize)> =
+            (0..16u64).map(|id| power_of_two_pair(1, id, 8)).collect();
+        assert!(pairs.len() > 1, "probes must spread across requests");
+    }
+
+    #[test]
+    fn transfer_model_costs_scale_with_hops_and_bytes() {
+        let model = TransferModel::new();
+        assert!(model.link_transfer_us(1, 0) > 0.0);
+        assert!(model.link_transfer_us(2, 100) > model.link_transfer_us(1, 100));
+        assert!(model.link_transfer_us(1, 200) > model.link_transfer_us(1, 100));
+        // A one-hop transfer of a small image beats the host load.
+        assert!(model.link_transfer_us(1, 512) < model.host_load_us(512));
+        let free = TransferModel::free();
+        assert_eq!(free.link_transfer_us(3, 4096), 0.0);
+        assert_eq!(free.host_load_us(4096), 0.0);
+        assert_eq!(TransferModel::default(), TransferModel::new());
+    }
+
+    #[test]
+    fn policies_display_and_default() {
+        assert_eq!(RoutePolicy::default(), RoutePolicy::KernelHash);
+        let names: Vec<String> = RoutePolicy::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["kernel-hash", "least-loaded", "power-of-two"]);
+    }
+
+    #[test]
+    fn acquisition_costs_flow_through() {
+        assert_eq!(Acquisition::Resident.cost_us(), 0.0);
+        assert_eq!(Acquisition::HostLoad { cost_us: 5.0 }.cost_us(), 5.0);
+        let transfer = Acquisition::Transfer {
+            from: 2,
+            cost_us: 1.5,
+            bytes: 64,
+        };
+        assert_eq!(transfer.cost_us(), 1.5);
+    }
+}

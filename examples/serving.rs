@@ -15,6 +15,11 @@
 //! 3. **Admission control** — the same overload with a bounded waiting
 //!    queue: excess requests are rejected at arrival instead of growing the
 //!    queues without bound.
+//! 4. **Multi-device sharding** — the act-2 overload trace on a 1-device
+//!    cluster (identical to the act-2 runtime, by construction) vs a
+//!    4-device cluster: capacity quadruples and the deadline misses drop,
+//!    while kernel-hash vs least-loaded routing trades context switches
+//!    against balance (and pays inter-device kernel transfers to spread).
 //!
 //! Every outcome of every serve is checked against the DFG reference
 //! evaluator.
@@ -23,8 +28,10 @@
 
 use tm_overlay::dfg::evaluate_stream;
 use tm_overlay::frontend::LowerOptions;
+use tm_overlay::runtime::RequestOutcome;
 use tm_overlay::{
-    Benchmark, DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, ServeReport, Workload,
+    Benchmark, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, Request, RoutePolicy,
+    Runtime, ServeReport, Workload,
 };
 
 /// The tenants and their kernels: one benchmark each, with different request
@@ -99,7 +106,7 @@ fn build_trace(shape: &TraceShape) -> Result<Vec<Request>, Box<dyn std::error::E
 /// Checks every outcome against the DFG reference evaluator.
 fn verify_outputs(
     requests: &[Request],
-    report: &ServeReport,
+    outcomes: &[RequestOutcome],
 ) -> Result<(), Box<dyn std::error::Error>> {
     let options = LowerOptions::default();
     let find = |id: u64| {
@@ -108,7 +115,7 @@ fn verify_outputs(
             .find(|request| request.id == id)
             .expect("outcome ids come from the trace")
     };
-    for outcome in report.outcomes() {
+    for outcome in outcomes {
         let request = find(outcome.request_id);
         let dfg = request.kernel.dfg(&options)?;
         let expected = evaluate_stream(&dfg, request.workload.records())?;
@@ -141,7 +148,37 @@ fn serve(
     println!("--- {policy} dispatch ---");
     println!("{}", report.metrics());
     println!();
-    verify_outputs(requests, &report)?;
+    verify_outputs(requests, report.outcomes())?;
+    Ok(report)
+}
+
+/// Serves the trace on a cluster of `devices` × `tiles_per_device` V4
+/// devices with FIFO kernel-affinity tile dispatch (act 2's baseline, so
+/// the capacity effect on deadline misses stays visible) and the given
+/// routing policy, printing the totals and the per-device breakdown.
+fn serve_cluster(
+    route: RoutePolicy,
+    devices: usize,
+    tiles_per_device: usize,
+    requests: &[Request],
+) -> Result<ClusterReport, Box<dyn std::error::Error>> {
+    let mut cluster = Cluster::new(FuVariant::V4, devices, tiles_per_device)?
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_route_policy(route);
+    let report = cluster.serve_stream(|submitter| {
+        for request in requests {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
+    println!("--- {devices} device(s) x {tiles_per_device} tiles, {route} routing ---");
+    println!("{}", report.metrics());
+    for device in report.device_metrics() {
+        println!("{device}");
+    }
+    println!();
+    verify_outputs(requests, report.outcomes())?;
     Ok(report)
 }
 
@@ -245,7 +282,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     })?;
-    verify_outputs(&overload, &guarded)?;
+    verify_outputs(&overload, guarded.outcomes())?;
     println!("--- edf dispatch, admission limit 12 ---");
     println!("{}", guarded.metrics());
     assert!(
@@ -260,6 +297,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         overload.len(),
         guarded.metrics().reject_rate() * 100.0,
         guarded.metrics().peak_queue_depth,
+    );
+
+    // ---------------------------------------------------------------- act 4
+    println!(
+        "\nact 4: the same overload trace on a cluster tier (1 vs 4 devices, \
+         3 tiles each)\n"
+    );
+    let single = serve_cluster(RoutePolicy::KernelHash, 1, 3, &overload)?;
+    assert_eq!(
+        single.metrics().deadline_misses,
+        fifo.metrics().deadline_misses,
+        "a 1-device cluster is the act-2 affinity runtime, bit for bit"
+    );
+    assert_eq!(single.metrics().makespan_us, fifo.metrics().makespan_us);
+
+    let sharded = serve_cluster(RoutePolicy::KernelHash, 4, 3, &overload)?;
+    let balanced = serve_cluster(RoutePolicy::LeastLoaded, 4, 3, &overload)?;
+
+    assert!(
+        sharded.metrics().deadline_misses < single.metrics().deadline_misses,
+        "4x the capacity must cut the deadline misses ({} vs {})",
+        sharded.metrics().deadline_misses,
+        single.metrics().deadline_misses
+    );
+    assert!(
+        sharded.metrics().switch_count <= balanced.metrics().switch_count,
+        "sharding keeps kernels home and must not switch more ({} vs {})",
+        sharded.metrics().switch_count,
+        balanced.metrics().switch_count
+    );
+    assert_eq!(sharded.transfers(), 0, "sharded kernels never leave home");
+    println!(
+        "1 -> 4 devices: deadline misses {} -> {} (kernel-hash) / {} (least-loaded); \
+         switch counts: kernel-hash {} vs least-loaded {}; least-loaded moved {} kernel \
+         image(s) ({} B) across the link",
+        single.metrics().deadline_misses,
+        sharded.metrics().deadline_misses,
+        balanced.metrics().deadline_misses,
+        sharded.metrics().switch_count,
+        balanced.metrics().switch_count,
+        balanced.transfers(),
+        balanced.transfer_bytes(),
     );
 
     println!("\nall outputs match the DFG reference evaluator");

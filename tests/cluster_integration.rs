@@ -1,0 +1,296 @@
+//! Integration suite for the multi-device cluster tier: routing policies ×
+//! dispatch policies over mixed benchmark traces, with every outcome checked
+//! against the DFG reference evaluator, transfer accounting audited, and the
+//! per-device metrics rolled up against the cluster totals.
+
+use std::collections::HashSet;
+
+use tm_overlay::dfg::evaluate_stream;
+use tm_overlay::frontend::LowerOptions;
+use tm_overlay::{
+    Benchmark, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, Request, RoutePolicy,
+    TransferModel, Workload,
+};
+
+/// A mixed-kernel trace over the paper's benchmark suite: `count` requests,
+/// one every `spacing_us`, cycling through four kernels with per-request
+/// deadlines at `budget_us`.
+fn benchmark_trace(count: usize, blocks: usize, spacing_us: f64, budget_us: f64) -> Vec<Request> {
+    let suite = [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Qspline,
+        Benchmark::Poly5,
+    ];
+    (0..count)
+        .map(|i| {
+            let benchmark = suite[i % suite.len()];
+            let spec = KernelSpec::from_benchmark(benchmark).unwrap();
+            let inputs = benchmark.dfg().unwrap().num_inputs();
+            let workload = Workload::random(inputs, blocks, 0xCAFE ^ i as u64);
+            let arrival = i as f64 * spacing_us;
+            Request::new(i as u64, spec, workload)
+                .at(arrival)
+                .with_deadline(arrival + budget_us)
+        })
+        .collect()
+}
+
+/// Checks every outcome against the DFG reference evaluator and audits the
+/// cluster-level invariants every serve must uphold.
+fn verify_report(requests: &[Request], report: &ClusterReport, devices: usize) {
+    let options = LowerOptions::default();
+    let find = |id: u64| requests.iter().find(|r| r.id == id).unwrap();
+    for outcome in report.outcomes() {
+        let request = find(outcome.request_id);
+        let dfg = request.kernel.dfg(&options).unwrap();
+        let expected = evaluate_stream(&dfg, request.workload.records()).unwrap();
+        assert_eq!(
+            outcome.outputs(),
+            expected,
+            "request {} diverged from the reference evaluator",
+            request.id
+        );
+        assert!(outcome.device < devices, "device id out of range");
+        assert!(outcome.start_us >= request.arrival_us);
+        assert!(outcome.completion_us > outcome.start_us);
+    }
+    // Served and rejected ids partition the submitted ids.
+    let mut ids: Vec<u64> = report
+        .outcomes()
+        .iter()
+        .map(|o| o.request_id)
+        .chain(report.rejected().iter().map(|r| r.id))
+        .collect();
+    ids.sort_unstable();
+    let mut expected: Vec<u64> = requests.iter().map(|r| r.id).collect();
+    expected.sort_unstable();
+    assert_eq!(ids, expected, "ids are conserved");
+    // Per-device metrics roll up to the cluster totals.
+    let totals = report.metrics();
+    let per_device = report.device_metrics();
+    assert_eq!(per_device.len(), devices);
+    assert_eq!(
+        per_device.iter().map(|d| d.requests).sum::<usize>(),
+        totals.requests
+    );
+    assert_eq!(
+        per_device.iter().map(|d| d.rejects).sum::<usize>(),
+        totals.rejects
+    );
+    assert_eq!(
+        per_device.iter().map(|d| d.switch_count).sum::<usize>(),
+        totals.switch_count
+    );
+    assert_eq!(
+        per_device.iter().map(|d| d.deadline_misses).sum::<usize>(),
+        totals.deadline_misses
+    );
+    let flattened_tiles: Vec<usize> = per_device
+        .iter()
+        .flat_map(|d| d.tile_requests.iter().copied())
+        .collect();
+    assert_eq!(flattened_tiles, totals.tile_requests);
+    assert!(totals.p50_latency_us <= totals.p99_latency_us);
+    assert!(totals.p99_latency_us <= totals.max_latency_us);
+    for device in per_device {
+        assert!(device.max_latency_us <= totals.max_latency_us);
+    }
+}
+
+#[test]
+fn every_routing_policy_serves_the_mixed_trace_correctly() {
+    let requests = benchmark_trace(32, 6, 1.0, 5_000.0);
+    for route in RoutePolicy::ALL {
+        for policy in [
+            DispatchPolicy::KernelAffinity,
+            DispatchPolicy::EarliestDeadlineFirst,
+        ] {
+            let mut cluster = Cluster::new(FuVariant::V4, 4, 2)
+                .unwrap()
+                .with_policy(policy)
+                .with_route_policy(route);
+            let report = cluster.serve(requests.clone()).unwrap();
+            assert_eq!(report.route_policy(), route);
+            assert_eq!(report.policy(), policy);
+            verify_report(&requests, &report, 4);
+        }
+    }
+}
+
+#[test]
+fn feed_forward_clusters_serve_correctly_too() {
+    // V1 tiles pay PCAP-scale switches; the cluster must still produce
+    // reference-exact outputs and coherent accounting.
+    let requests = benchmark_trace(16, 4, 100.0, 1e9);
+    let mut cluster = Cluster::new(FuVariant::V1, 2, 2)
+        .unwrap()
+        .with_route_policy(RoutePolicy::LeastLoaded);
+    let report = cluster.serve(requests.clone()).unwrap();
+    verify_report(&requests, &report, 2);
+    assert!(
+        report.metrics().total_switch_us > 1_000.0,
+        "PCAP switches are on the millisecond scale"
+    );
+}
+
+#[test]
+fn kernel_hash_sharding_switches_less_than_least_loaded_balancing() {
+    // 4 kernels over 4 devices: sharding gives each device (at most) its
+    // own kernel subset, so it context-switches less than load balancing,
+    // which keeps cycling all kernels through all devices.
+    let requests = benchmark_trace(64, 6, 0.25, 5_000.0);
+    let serve = |route: RoutePolicy| {
+        Cluster::new(FuVariant::V4, 4, 1)
+            .unwrap()
+            .with_route_policy(route)
+            .serve(requests.clone())
+            .unwrap()
+    };
+    let sharded = serve(RoutePolicy::KernelHash);
+    let balanced = serve(RoutePolicy::LeastLoaded);
+    assert!(
+        sharded.metrics().switch_count < balanced.metrics().switch_count,
+        "sharding must switch less: {} vs {}",
+        sharded.metrics().switch_count,
+        balanced.metrics().switch_count
+    );
+    assert_eq!(sharded.transfers(), 0, "sharded kernels never move");
+}
+
+#[test]
+fn transfer_accounting_matches_first_off_home_placements() {
+    // Every (device, kernel) pair seen off the kernel's home shard acquires
+    // the image exactly once (link transfer or host load) while the store
+    // has room; transfers report their bytes.
+    let requests = benchmark_trace(48, 4, 0.5, 1e9);
+    let mut cluster = Cluster::new(FuVariant::V4, 3, 2)
+        .unwrap()
+        .with_route_policy(RoutePolicy::LeastLoaded);
+    let report = cluster.serve(requests.clone()).unwrap();
+    verify_report(&requests, &report, 3);
+    let served_pairs: HashSet<(usize, String)> = report
+        .outcomes()
+        .iter()
+        .map(|o| (o.device, o.kernel.to_string()))
+        .collect();
+    let distinct_kernels: HashSet<String> = report
+        .outcomes()
+        .iter()
+        .map(|o| o.kernel.to_string())
+        .collect();
+    // Each kernel's home shard holds its image for free (it compiled
+    // there); every other (device, kernel) pair acquires exactly once while
+    // the stores have room. The home may or may not have served requests,
+    // hence the one-per-kernel slack in the lower bound.
+    let acquisitions = report.transfers() + report.host_loads();
+    assert!(
+        acquisitions <= served_pairs.len()
+            && acquisitions + distinct_kernels.len() >= served_pairs.len(),
+        "acquisitions {} outside [{}, {}]",
+        acquisitions,
+        served_pairs.len() - distinct_kernels.len(),
+        served_pairs.len()
+    );
+    assert!(
+        acquisitions > 0,
+        "balancing a 4-kernel trace over 3 devices must move images"
+    );
+    if report.transfers() > 0 {
+        assert!(report.transfer_bytes() > 0);
+    }
+}
+
+#[test]
+fn more_devices_shed_an_overload() {
+    // The same overload trace on 1 vs 4 devices (same per-device shape):
+    // capacity quadruples, so deadline misses drop and makespan shrinks.
+    let requests = benchmark_trace(64, 16, 0.2, 5.0);
+    let serve = |devices: usize| {
+        Cluster::new(FuVariant::V4, devices, 2)
+            .unwrap()
+            .with_policy(DispatchPolicy::EarliestDeadlineFirst)
+            .with_route_policy(RoutePolicy::LeastLoaded)
+            .serve(requests.clone())
+            .unwrap()
+    };
+    let single = serve(1);
+    let quad = serve(4);
+    verify_report(&requests, &quad, 4);
+    assert!(
+        quad.metrics().deadline_misses < single.metrics().deadline_misses,
+        "4 devices must miss fewer deadlines ({} vs {})",
+        quad.metrics().deadline_misses,
+        single.metrics().deadline_misses
+    );
+    assert!(quad.metrics().makespan_us < single.metrics().makespan_us);
+}
+
+#[test]
+fn expensive_transfer_models_discourage_off_home_placement_under_power_of_two() {
+    // With a prohibitive link+host model, power-of-two's completion
+    // estimates see the acquisition cost and lean toward the device already
+    // holding each kernel; with a free model the same trace spreads at
+    // least as widely.
+    let requests = benchmark_trace(40, 4, 0.5, 1e9);
+    let serve = |transfer: TransferModel| {
+        Cluster::new(FuVariant::V4, 4, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::PowerOfTwoChoices)
+            .with_transfer_model(transfer)
+            .serve(requests.clone())
+            .unwrap()
+    };
+    let expensive = serve(TransferModel {
+        hop_latency_us: 10_000.0,
+        link_us_per_byte: 1.0,
+        host_latency_us: 50_000.0,
+        host_us_per_byte: 1.0,
+    });
+    let free = serve(TransferModel::free());
+    let spread = |report: &ClusterReport| {
+        report
+            .outcomes()
+            .iter()
+            .map(|o| (o.device, o.kernel.to_string()))
+            .collect::<HashSet<_>>()
+            .len()
+    };
+    assert!(
+        spread(&expensive) <= spread(&free),
+        "a prohibitive transfer model must not spread kernels wider \
+         ({} vs {} (device, kernel) pairs)",
+        spread(&expensive),
+        spread(&free)
+    );
+    verify_report(&requests, &expensive, 4);
+    verify_report(&requests, &free, 4);
+}
+
+#[test]
+fn cluster_streaming_matches_batch_and_reports_backpressure_free_ingest() {
+    let requests = benchmark_trace(20, 4, 1.0, 1e9);
+    let build = || {
+        Cluster::new(FuVariant::V4, 2, 2)
+            .unwrap()
+            .with_route_policy(RoutePolicy::KernelHash)
+            .with_ingest_capacity(2)
+    };
+    let batch = build().serve(requests.clone()).unwrap();
+    let streamed = build()
+        .serve_stream(|submitter| {
+            for request in &requests {
+                submitter.submit(request.clone()).unwrap();
+            }
+        })
+        .unwrap();
+    assert_eq!(batch.outcomes().len(), streamed.outcomes().len());
+    for (lhs, rhs) in batch.outcomes().iter().zip(streamed.outcomes()) {
+        assert_eq!(lhs.request_id, rhs.request_id);
+        assert_eq!(lhs.device, rhs.device);
+        assert_eq!(lhs.tile, rhs.tile);
+        assert_eq!(lhs.completion_us, rhs.completion_us);
+        assert_eq!(lhs.outputs(), rhs.outputs());
+    }
+    assert_eq!(batch.metrics(), streamed.metrics());
+}

@@ -9,11 +9,18 @@
 //! `ScanMode::Indexed` and `ScanMode::LinearReference` is a bug in the
 //! index, not a tolerable approximation.
 
+//! The cluster tier rides on the same safety net: a **1-device
+//! [`Cluster`]** must reproduce [`Runtime`]'s outcomes bitwise on the same
+//! randomized traces (routing collapses, no image is ever acquired), and
+//! `RoutePolicy::KernelHash` must assign every request of a kernel to the
+//! same device on every resubmission.
+
 use proptest::prelude::*;
 use rand::prelude::*;
 
 use tm_overlay::{
-    DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, ScanMode, ServeReport, Workload,
+    Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, Request, RoutePolicy, Runtime,
+    ScanMode, ServeReport, Workload,
 };
 
 const SAXPY: &str = "kernel saxpy(a, x, y) { out r = a * x + y; }";
@@ -149,4 +156,103 @@ proptest! {
         let b = linear.serve(requests).unwrap();
         assert_reports_identical(&a, &b)?;
     }
+
+    /// A 1-device cluster is `Runtime` — bit for bit: same tiles, same
+    /// modeled timestamps, same rejects, same metrics — under every
+    /// (dispatch policy × routing policy) combination and admission limit,
+    /// with device 0 stamped on every outcome and zero transfer traffic.
+    #[test]
+    fn a_one_device_cluster_reproduces_runtime_exactly(
+        (seed, count, tiles) in (any::<u64>(), 4usize..20, 1usize..5),
+        policy_pick in 0usize..4,
+        route_pick in 0usize..3,
+        limit_pick in 0usize..3,
+    ) {
+        let requests = random_trace(seed, count, 3.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let route = RoutePolicy::ALL[route_pick];
+        let limit = [usize::MAX, 4, 1][limit_pick];
+        let mut runtime = Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_admission_limit(limit);
+        let mut cluster = Cluster::new(FuVariant::V4, 1, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_route_policy(route)
+            .with_admission_limit(limit);
+        let reference = runtime.serve(requests.clone()).unwrap();
+        let report = cluster.serve(requests).unwrap();
+        assert_cluster_matches_runtime(&report, &reference)?;
+    }
+
+    /// Kernel-hash routing is a pure function of the kernel: resubmitting
+    /// the same trace — to the same cluster or a fresh one — routes every
+    /// request to the same device, and one kernel never spans two devices.
+    #[test]
+    fn kernel_hash_routing_is_deterministic_under_resubmission(
+        (seed, count, devices, tiles) in (any::<u64>(), 6usize..20, 2usize..5, 1usize..3),
+        policy_pick in 0usize..4,
+    ) {
+        let requests = random_trace(seed, count, 4.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let build = || Cluster::new(FuVariant::V4, devices, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_route_policy(RoutePolicy::KernelHash);
+        let mut cluster = build();
+        let first = cluster.serve(requests.clone()).unwrap();
+        let resubmitted = cluster.serve(requests.clone()).unwrap();
+        let fresh = build().serve(requests).unwrap();
+        let routes = |report: &ClusterReport| -> Vec<(u64, usize)> {
+            report.outcomes().iter().map(|o| (o.request_id, o.device)).collect()
+        };
+        prop_assert_eq!(routes(&first), routes(&resubmitted));
+        prop_assert_eq!(routes(&resubmitted), routes(&fresh));
+        // One kernel, one shard — so sharded kernels never transfer.
+        for report in [&first, &resubmitted, &fresh] {
+            let mut device_of: std::collections::HashMap<String, usize> =
+                std::collections::HashMap::new();
+            for outcome in report.outcomes() {
+                let device = *device_of
+                    .entry(outcome.kernel.to_string())
+                    .or_insert(outcome.device);
+                prop_assert_eq!(device, outcome.device);
+            }
+            prop_assert_eq!(report.transfers(), 0);
+        }
+    }
+}
+
+/// Every observable of a 1-device cluster serve must match the runtime's.
+fn assert_cluster_matches_runtime(
+    cluster: &ClusterReport,
+    runtime: &ServeReport,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(cluster.outcomes().len(), runtime.outcomes().len());
+    for (lhs, rhs) in cluster.outcomes().iter().zip(runtime.outcomes()) {
+        prop_assert_eq!(lhs.request_id, rhs.request_id);
+        prop_assert_eq!(lhs.device, 0);
+        prop_assert_eq!(lhs.tile, rhs.tile);
+        prop_assert_eq!(lhs.start_us, rhs.start_us);
+        prop_assert_eq!(lhs.completion_us, rhs.completion_us);
+        prop_assert_eq!(lhs.queued_us, rhs.queued_us);
+        prop_assert_eq!(lhs.latency_us, rhs.latency_us);
+        prop_assert_eq!(lhs.switched, rhs.switched);
+        prop_assert_eq!(lhs.missed_deadline, rhs.missed_deadline);
+        prop_assert_eq!(&lhs.outputs(), &rhs.outputs());
+    }
+    prop_assert_eq!(cluster.rejected(), runtime.rejected());
+    // Cluster totals — including the merge-path latency percentiles — must
+    // equal the runtime's selection-path metrics field for field.
+    prop_assert_eq!(cluster.metrics(), runtime.metrics());
+    // The single device's breakdown is the whole story: no transfers, no
+    // host loads, every request.
+    prop_assert_eq!(cluster.device_metrics().len(), 1);
+    let device = &cluster.device_metrics()[0];
+    prop_assert_eq!(device.requests, runtime.outcomes().len());
+    prop_assert_eq!(device.transfers_in, 0);
+    prop_assert_eq!(device.host_loads, 0);
+    prop_assert_eq!(device.p99_latency_us, runtime.metrics().p99_latency_us);
+    Ok(())
 }
