@@ -241,6 +241,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"cluster_scalability\",");
+    let _ = writeln!(json, "  \"schema\": 1,");
     let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
     let _ = writeln!(json, "  \"fast_mode\": {fast},");
     let _ = writeln!(json, "  \"requests_per_serve\": {count},");
@@ -292,7 +293,8 @@ fn main() {
     });
     let existing = std::fs::read_to_string(&path).ok();
     let combined =
-        overlay_bench::splice_bench_json(existing.as_deref(), "cluster_scalability", &json);
+        overlay_bench::splice_bench_json(existing.as_deref(), "cluster_scalability", &json)
+            .expect("BENCH_runtime.json section stays schema-compatible");
     std::fs::write(&path, combined).expect("write BENCH_runtime.json");
     println!("wrote {path}");
 }

@@ -273,6 +273,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"runtime_scalability\",");
+    let _ = writeln!(json, "  \"schema\": 1,");
     let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
     let _ = writeln!(json, "  \"fast_mode\": {fast},");
     let _ = writeln!(json, "  \"requests_per_serve\": {count},");
@@ -320,7 +321,8 @@ fn main() {
     // sweep's section (if any) while replacing this one.
     let existing = std::fs::read_to_string(&path).ok();
     let combined =
-        overlay_bench::splice_bench_json(existing.as_deref(), "runtime_scalability", &json);
+        overlay_bench::splice_bench_json(existing.as_deref(), "runtime_scalability", &json)
+            .expect("BENCH_runtime.json section stays schema-compatible");
     std::fs::write(&path, combined).expect("write BENCH_runtime.json");
     println!("wrote {path}");
 }

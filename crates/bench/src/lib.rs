@@ -307,7 +307,65 @@ pub fn iwp_ablation() -> String {
 }
 
 /// The known top-level sections of `BENCH_runtime.json`, in emission order.
-const BENCH_JSON_SECTIONS: [&str; 2] = ["runtime_scalability", "cluster_scalability"];
+const BENCH_JSON_SECTIONS: [&str; 3] = [
+    "runtime_scalability",
+    "cluster_scalability",
+    "batching_replication",
+];
+
+/// Why [`splice_bench_json`] refused to produce a combined document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpliceError {
+    /// The requested section is not a known `BENCH_runtime.json` section.
+    UnknownSection {
+        /// The section name that was requested.
+        section: String,
+    },
+    /// The payload does not carry the `"bench": "<section>"` marker naming
+    /// the section it claims to be — a malformed or misrouted payload would
+    /// silently overwrite good data.
+    MissingMarker {
+        /// The section the payload was offered for.
+        section: String,
+    },
+    /// The existing document already holds this section under a different
+    /// declared `"schema"` version (or with one where the incoming payload
+    /// has none) — splicing would silently clobber data a different reader
+    /// expects.
+    SchemaMismatch {
+        /// The section being spliced.
+        section: String,
+        /// The schema version declared by the existing section.
+        existing: Option<u64>,
+        /// The schema version declared by the incoming payload.
+        incoming: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for SpliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpliceError::UnknownSection { section } => {
+                write!(f, "unknown bench section {section}")
+            }
+            SpliceError::MissingMarker { section } => write!(
+                f,
+                "payload for section {section} lacks its \"bench\": \"{section}\" marker"
+            ),
+            SpliceError::SchemaMismatch {
+                section,
+                existing,
+                incoming,
+            } => write!(
+                f,
+                "section {section} schema mismatch: existing {existing:?} vs incoming \
+                 {incoming:?} — refusing to overwrite"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpliceError {}
 
 /// Splices one bench's JSON `payload` (a complete JSON object string) into
 /// the combined `BENCH_runtime.json` document under `section`, preserving
@@ -317,11 +375,43 @@ const BENCH_JSON_SECTIONS: [&str; 2] = ["runtime_scalability", "cluster_scalabil
 /// A legacy document whose *root* is a single bench payload (it carries a
 /// root-level `"bench": "runtime_scalability"` marker) is migrated into the
 /// sectioned layout on the first splice. Returns the new document text.
-pub fn splice_bench_json(existing: Option<&str>, section: &str, payload: &str) -> String {
-    assert!(
-        BENCH_JSON_SECTIONS.contains(&section),
-        "unknown bench section {section}"
-    );
+///
+/// # Errors
+///
+/// Refuses — instead of silently overwriting the existing section — when
+/// the section is unknown, when the payload does not carry its own
+/// `"bench": "<section>"` marker, or when the existing section declares a
+/// `"schema"` version the incoming payload does not match (an existing
+/// section *without* a schema marker accepts any payload: that is the
+/// legacy-to-versioned upgrade path).
+pub fn splice_bench_json(
+    existing: Option<&str>,
+    section: &str,
+    payload: &str,
+) -> Result<String, SpliceError> {
+    if !BENCH_JSON_SECTIONS.contains(&section) {
+        return Err(SpliceError::UnknownSection {
+            section: section.to_owned(),
+        });
+    }
+    let has_marker = payload.contains(&format!("\"bench\": \"{section}\""))
+        || payload.contains(&format!("\"bench\":\"{section}\""));
+    if !has_marker {
+        return Err(SpliceError::MissingMarker {
+            section: section.to_owned(),
+        });
+    }
+    if let Some(kept) = existing.and_then(|doc| extract_json_section(doc, section)) {
+        let existing_schema = section_schema(&kept);
+        let incoming_schema = section_schema(payload);
+        if existing_schema.is_some() && incoming_schema != existing_schema {
+            return Err(SpliceError::SchemaMismatch {
+                section: section.to_owned(),
+                existing: existing_schema,
+                incoming: incoming_schema,
+            });
+        }
+    }
     let mut sections: Vec<(&str, String)> = Vec::new();
     for &name in &BENCH_JSON_SECTIONS {
         if name == section {
@@ -336,7 +426,21 @@ pub fn splice_bench_json(existing: Option<&str>, section: &str, payload: &str) -
         let _ = writeln!(out, "\"{name}\": {body}{comma}");
     }
     out.push_str("}\n");
-    out
+    Ok(out)
+}
+
+/// The `"schema": N` version a section payload declares at its top level,
+/// if any (the first occurrence — section payloads declare it right after
+/// their `"bench"` marker).
+fn section_schema(payload: &str) -> Option<u64> {
+    let marker = "\"schema\":";
+    let rest = &payload[payload.find(marker)? + marker.len()..];
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 /// Extracts the balanced-brace object stored under top-level `key` in the
@@ -399,20 +503,26 @@ mod tests {
     fn bench_json_sections_splice_and_preserve_each_other() {
         let runtime = "{\n  \"bench\": \"runtime_scalability\",\n  \"entries\": [{\"a\": 1}]\n}";
         // First write: only the runtime section exists.
-        let doc = splice_bench_json(None, "runtime_scalability", runtime);
+        let doc = splice_bench_json(None, "runtime_scalability", runtime).unwrap();
         assert!(doc.contains("\"runtime_scalability\": {"));
         assert!(!doc.contains("cluster_scalability"));
         // Adding the cluster section preserves the runtime payload verbatim.
         let cluster = "{\n  \"bench\": \"cluster_scalability\",\n  \"entries\": []\n}";
-        let doc = splice_bench_json(Some(&doc), "cluster_scalability", cluster);
+        let doc = splice_bench_json(Some(&doc), "cluster_scalability", cluster).unwrap();
         assert!(doc.contains("\"runtime_scalability\": {"));
         assert!(doc.contains("\"cluster_scalability\": {"));
         assert!(doc.contains("\"entries\": [{\"a\": 1}]"));
         // Re-splicing one section leaves the other untouched.
         let updated = "{\n  \"bench\": \"runtime_scalability\",\n  \"entries\": [{\"a\": 2}]\n}";
-        let doc = splice_bench_json(Some(&doc), "runtime_scalability", updated);
+        let doc = splice_bench_json(Some(&doc), "runtime_scalability", updated).unwrap();
         assert!(doc.contains("[{\"a\": 2}]"));
         assert!(doc.contains("\"cluster_scalability\": {"));
+        // The third section rides alongside the first two.
+        let batching = "{\n  \"bench\": \"batching_replication\",\n  \"entries\": []\n}";
+        let doc = splice_bench_json(Some(&doc), "batching_replication", batching).unwrap();
+        assert!(doc.contains("\"runtime_scalability\": {"));
+        assert!(doc.contains("\"cluster_scalability\": {"));
+        assert!(doc.contains("\"batching_replication\": {"));
     }
 
     #[test]
@@ -422,9 +532,73 @@ mod tests {
         let legacy = "{\n  \"bench\": \"runtime_scalability\",\n  \"reps\": 3,\n  \
                       \"entries\": [{\"tiles\": 4}]\n}\n";
         let cluster = "{\"bench\": \"cluster_scalability\"}";
-        let doc = splice_bench_json(Some(legacy), "cluster_scalability", cluster);
+        let doc = splice_bench_json(Some(legacy), "cluster_scalability", cluster).unwrap();
         assert!(doc.contains("\"runtime_scalability\": {"));
         assert!(doc.contains("\"entries\": [{\"tiles\": 4}]"));
         assert!(doc.contains("\"cluster_scalability\": {\"bench\": \"cluster_scalability\"}"));
+    }
+
+    /// The splice guard: a payload whose schema version or shape does not
+    /// match what the combined file already holds is refused instead of
+    /// silently overwriting the existing section.
+    #[test]
+    fn bench_json_refuses_mismatched_sections() {
+        // Unknown sections never splice.
+        assert_eq!(
+            splice_bench_json(None, "nonsense", "{\"bench\": \"nonsense\"}"),
+            Err(SpliceError::UnknownSection {
+                section: "nonsense".into()
+            })
+        );
+        // A payload without its own bench marker is malformed (or aimed at
+        // the wrong section) and must not replace good data.
+        let err = splice_bench_json(None, "cluster_scalability", "{\"entries\": []}");
+        assert_eq!(
+            err,
+            Err(SpliceError::MissingMarker {
+                section: "cluster_scalability".into()
+            })
+        );
+        let misrouted = "{\"bench\": \"runtime_scalability\", \"entries\": []}";
+        assert!(splice_bench_json(None, "cluster_scalability", misrouted).is_err());
+        // Compact (no-space) emitters still carry a valid marker.
+        let compact = "{\"bench\":\"cluster_scalability\",\"entries\":[]}";
+        assert!(splice_bench_json(None, "cluster_scalability", compact).is_ok());
+
+        // A versioned section refuses a payload with a different version...
+        let v2 = "{\"bench\": \"runtime_scalability\", \"schema\": 2, \"entries\": [{\"a\": 1}]}";
+        let doc = splice_bench_json(None, "runtime_scalability", v2).unwrap();
+        let v1 = "{\"bench\": \"runtime_scalability\", \"schema\": 1, \"entries\": []}";
+        assert_eq!(
+            splice_bench_json(Some(&doc), "runtime_scalability", v1),
+            Err(SpliceError::SchemaMismatch {
+                section: "runtime_scalability".into(),
+                existing: Some(2),
+                incoming: Some(1),
+            })
+        );
+        // ...and one that dropped the version entirely (a shape regression).
+        let unversioned = "{\"bench\": \"runtime_scalability\", \"entries\": []}";
+        let refused = splice_bench_json(Some(&doc), "runtime_scalability", unversioned);
+        assert!(matches!(
+            refused,
+            Err(SpliceError::SchemaMismatch { incoming: None, .. })
+        ));
+        // The refusal left the file buildable: the existing doc still holds
+        // the v2 payload and same-version re-splices keep working.
+        let v2_again =
+            "{\"bench\": \"runtime_scalability\", \"schema\": 2, \"entries\": [{\"a\": 9}]}";
+        let doc = splice_bench_json(Some(&doc), "runtime_scalability", v2_again).unwrap();
+        assert!(doc.contains("[{\"a\": 9}]"));
+        // A legacy (unversioned) existing section accepts a versioned
+        // upgrade — that is the migration path.
+        let legacy_doc = splice_bench_json(None, "runtime_scalability", unversioned).unwrap();
+        assert!(splice_bench_json(Some(&legacy_doc), "runtime_scalability", v1).is_ok());
+        // Errors render a readable reason.
+        assert!(SpliceError::UnknownSection {
+            section: "x".into()
+        }
+        .to_string()
+        .contains("unknown bench section"));
     }
 }

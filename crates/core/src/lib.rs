@@ -122,8 +122,9 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, KernelSpec, Request, RoutePolicy,
-    Runtime, RuntimeMetrics, ScanMode, ServeReport, SubmitError, Submitter, TransferModel,
+    BatchConfig, BatchStats, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, KernelSpec,
+    ReplicationConfig, ReplicationStats, Request, RoutePolicy, Runtime, RuntimeMetrics, ScanMode,
+    ServeReport, SubmitError, Submitter, TransferModel,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

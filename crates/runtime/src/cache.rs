@@ -236,6 +236,14 @@ impl KernelCache {
         self.entries.contains_key(key)
     }
 
+    /// Removes `key`'s entry, if resident. This is a *policy* removal (the
+    /// replication layer demoting a cold replica), not a capacity eviction —
+    /// it does not count in [`CacheStats::evictions`]. Shared `Arc`s held
+    /// elsewhere stay valid.
+    pub fn remove(&mut self, key: &KernelKey) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
     /// Number of resident compiled kernels.
     pub fn len(&self) -> usize {
         self.entries.len()

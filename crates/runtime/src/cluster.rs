@@ -67,15 +67,18 @@ use overlay_frontend::LowerOptions;
 use overlay_sim::{OverlaySimulator, SimError, SimRun};
 
 use crate::cache::CacheStats;
+use crate::control::{Batcher, Replicator};
 use crate::dispatch::TileQueue;
 use crate::event::{EventKind, EventQueue};
-use crate::metrics::{self, DeviceMetrics, RuntimeMetrics};
+use crate::metrics::{self, BatchStats, DeviceMetrics, ReplicationStats, RuntimeMetrics};
 use crate::pool::ChargeOutcome;
-use crate::route::{kernel_home, power_of_two_pair, Acquisition, RoutePolicy, TransferModel};
+use crate::route::{
+    cheapest_acquisition, kernel_home, power_of_two_pair, Acquisition, RoutePolicy, TransferModel,
+};
 use crate::{
-    prepare_request, DispatchPolicy, DispatchRequest, Dispatcher, InFlight, Ingest, KernelCache,
-    KernelKey, PrepContext, RejectedRequest, Request, RequestOutcome, Runtime, RuntimeError,
-    SimJob, SimMemo, SimResults, Submitter, TilePool,
+    prepare_request, BatchConfig, DispatchPolicy, DispatchRequest, Dispatcher, InFlight, Ingest,
+    KernelCache, KernelKey, PrepContext, RejectedRequest, ReplicationConfig, Request,
+    RequestOutcome, Runtime, RuntimeError, SimJob, SimMemo, SimResults, Submitter, TilePool,
 };
 
 /// One NoC tile array inside a [`Cluster`]: a [`TilePool`] (with its
@@ -170,6 +173,7 @@ pub struct ClusterReport {
     rejected: Vec<RejectedRequest>,
     metrics: RuntimeMetrics,
     devices: Vec<DeviceMetrics>,
+    replication: ReplicationStats,
 }
 
 impl ClusterReport {
@@ -220,6 +224,12 @@ impl ClusterReport {
     pub fn host_loads(&self) -> usize {
         self.devices.iter().map(|d| d.host_loads).sum()
     }
+
+    /// The replication layer's counters for this serve (all zero while
+    /// replication is disabled, the default).
+    pub fn replication(&self) -> ReplicationStats {
+        self.replication
+    }
 }
 
 /// Mutable event-loop state (the cluster mirror of the runtime's
@@ -234,6 +244,11 @@ struct ClusterState<'a> {
     outcome_slots: Vec<Option<RequestOutcome>>,
     rejected: Vec<RejectedRequest>,
     sim: SimResults<'a>,
+    /// The same-kernel batching layer, indexed by global tile id (a no-op
+    /// at the default `max_batch = 1`).
+    batcher: Batcher,
+    /// The rate-driven replication layer (a no-op at the default fanout 0).
+    replicator: Replicator,
     peak_queue_depth: usize,
     queue_area_us: f64,
     last_event_us: f64,
@@ -257,6 +272,8 @@ struct ClusterLoopOutput {
     peak_queue_depth: usize,
     queue_area_us: f64,
     events_fired: u64,
+    batch: BatchStats,
+    replication: ReplicationStats,
     device_peak_queue: Vec<usize>,
     device_rejects: Vec<usize>,
     device_transfers: Vec<(usize, u64)>,
@@ -279,6 +296,8 @@ pub struct Cluster {
     lower: LowerOptions,
     ingest_capacity: usize,
     admission_limit: usize,
+    batching: BatchConfig,
+    replication: ReplicationConfig,
     tiles_per_device: usize,
     /// Ordered `(waiting, busy, device)` summaries — `first()` is the
     /// least-loaded device, the device-tier mirror of the pool residency
@@ -328,6 +347,8 @@ impl Cluster {
             lower: LowerOptions::default(),
             ingest_capacity: Runtime::DEFAULT_INGEST_CAPACITY,
             admission_limit: usize::MAX,
+            batching: BatchConfig::disabled(),
+            replication: ReplicationConfig::disabled(),
             tiles_per_device,
             load_index: BTreeSet::new(),
         };
@@ -402,6 +423,24 @@ impl Cluster {
         self
     }
 
+    /// Configures the same-kernel batching layer on every device's tiles
+    /// (same semantics as [`Runtime::with_batching`]).
+    #[must_use]
+    pub fn with_batching(mut self, config: BatchConfig) -> Self {
+        self.batching = config;
+        self
+    }
+
+    /// Configures rate-driven kernel replication: hot kernels (by the
+    /// per-kernel EWMA the routing tier feeds) have their images pushed to
+    /// the least-loaded devices ahead of demand, and cold pushed replicas
+    /// are demoted under store pressure. Disabled by default.
+    #[must_use]
+    pub fn with_replication(mut self, config: ReplicationConfig) -> Self {
+        self.replication = config;
+        self
+    }
+
     /// Overrides the front-end lowering options, clearing every device's
     /// kernel store and the simulation memo (cached artifacts were compiled
     /// under the old options).
@@ -453,6 +492,16 @@ impl Cluster {
     /// The cluster-wide admission-control limit on waiting requests.
     pub fn admission_limit(&self) -> usize {
         self.admission_limit
+    }
+
+    /// The active same-kernel batching configuration.
+    pub fn batching(&self) -> BatchConfig {
+        self.batching
+    }
+
+    /// The active replication configuration.
+    pub fn replication_config(&self) -> ReplicationConfig {
+        self.replication
     }
 
     /// The devices (holding the state left by the last serve).
@@ -538,26 +587,15 @@ impl Cluster {
         if self.num_devices() == 1 || self.devices[device].cache.contains(&key) {
             return Acquisition::Resident;
         }
-        let host_us = self.transfer.host_load_us(bytes);
-        let mut best: Option<(f64, usize)> = None;
-        for peer in &self.devices {
-            if peer.id != device && peer.cache.contains(&key) {
-                let cost = self
-                    .transfer
-                    .link_transfer_us(peer.id.abs_diff(device), bytes);
-                if best.is_none_or(|(current, from)| (cost, peer.id) < (current, from)) {
-                    best = Some((cost, peer.id));
-                }
-            }
-        }
-        match best {
-            Some((cost_us, from)) if cost_us < host_us => Acquisition::Transfer {
-                from,
-                cost_us,
-                bytes,
-            },
-            _ => Acquisition::HostLoad { cost_us: host_us },
-        }
+        cheapest_acquisition(&self.transfer, self.holders(key), device, bytes)
+    }
+
+    /// The devices whose stores currently hold `key`'s image.
+    fn holders(&self, key: KernelKey) -> impl Iterator<Item = usize> + '_ {
+        self.devices
+            .iter()
+            .filter(move |device| device.cache.contains(&key))
+            .map(Device::id)
     }
 
     /// Commits an admitted request's acquisition: adopts the image into the
@@ -603,6 +641,67 @@ impl Cluster {
                 *total_bytes += bytes as u64;
                 cost_us
             }
+        }
+    }
+
+    /// The replication step, run at every arrival before routing: feeds the
+    /// per-kernel rate EWMA (the routing tier sees every submission) and,
+    /// when the kernel is hot, pushes its image onto the
+    /// [`ReplicationConfig::fanout`] least-loaded devices that do not hold
+    /// it — through the same [`KernelCache::get_or_share`] adoption path a
+    /// demand fetch uses — so the routing decision that follows (and every
+    /// later one) sees a warm replica instead of charging a transfer. A
+    /// pressured target store first demotes one of replication's own cold
+    /// replicas instead of letting LRU evict blindly. The modeled prefetch
+    /// cost (the cheapest [`TransferModel`] source) is accounted as
+    /// off-critical-path traffic in [`ReplicationStats`].
+    fn replicate(&mut self, info: &InFlight, now_us: f64, state: &mut ClusterState<'_>) {
+        let replicator = &mut state.replicator;
+        if !replicator.enabled() {
+            return;
+        }
+        let key = info.view.key;
+        if !replicator.observe(key, now_us) {
+            return;
+        }
+        let fanout = replicator.config().fanout;
+        let targets: Vec<usize> = self
+            .load_index
+            .iter()
+            .take(fanout)
+            .map(|&(_, _, device)| device)
+            .collect();
+        for device in targets {
+            if self.devices[device].cache.contains(&key) {
+                continue;
+            }
+            // A push onto a full store must free a slot by demoting one of
+            // replication's own cooled replicas; if no tracked replica is
+            // demotable, the push is skipped — a prefetch must never let LRU
+            // blindly evict the device's home image or hot working set.
+            let mut has_room =
+                self.devices[device].cache.len() < self.devices[device].cache.capacity();
+            while !has_room {
+                let Some(victim) = replicator.demotion_candidate(device, now_us) else {
+                    break;
+                };
+                if self.devices[device].cache.remove(&victim) {
+                    replicator.note_demoted(device, victim);
+                    has_room = true;
+                } else {
+                    // Demand LRU already evicted this replica; just stop
+                    // tracking it and try the next candidate.
+                    replicator.forget(device, victim);
+                }
+            }
+            if !has_room {
+                continue;
+            }
+            let cost_us =
+                cheapest_acquisition(&self.transfer, self.holders(key), device, info.image_bytes)
+                    .cost_us();
+            self.devices[device].cache.get_or_share(key, &info.compiled);
+            replicator.note_pushed(device, key, info.image_bytes, cost_us);
         }
     }
 
@@ -723,6 +822,7 @@ impl Cluster {
         Ok(ClusterReport {
             policy: self.policy(),
             route: self.route,
+            replication: output.replication,
             outcomes: output.outcomes,
             rejected: output.rejected,
             metrics,
@@ -746,12 +846,16 @@ impl Cluster {
         let policy = self.policy();
         let mut intake: Vec<InFlight> = Vec::new();
         let mut state = ClusterState {
-            queues: (0..total_tiles).map(|_| TileQueue::new(policy)).collect(),
+            queues: (0..total_tiles)
+                .map(|_| TileQueue::new(policy, self.batching.enabled()))
+                .collect(),
             taken: Vec::new(),
             events: EventQueue::new(),
             outcome_slots: Vec::new(),
             rejected: Vec::new(),
             sim: SimResults::new(results, jobs.len(), self.sim_memo.capacity() > 0),
+            batcher: Batcher::new(self.batching, total_tiles),
+            replicator: Replicator::new(self.replication, devices),
             peak_queue_depth: 0,
             queue_area_us: 0.0,
             last_event_us: 0.0,
@@ -816,9 +920,12 @@ impl Cluster {
             match event.kind {
                 EventKind::Arrival { index } => {
                     let info = &intake[index];
-                    // 1. Route to a device; 2. resolve how the device gets
-                    // the kernel image; 3. place on a tile with the
-                    // acquisition-adjusted switch cost.
+                    // 0. Feed the control plane's rate estimate and push hot
+                    // kernel images ahead of demand; 1. route to a device;
+                    // 2. resolve how the device gets the kernel image;
+                    // 3. place on a tile with the acquisition-adjusted
+                    // switch cost.
+                    self.replicate(info, now_us, &mut state);
                     let (device, acquisition) = self.route_device(info, now_us);
                     let adjusted = DispatchRequest {
                         switch_us: info.view.switch_us + acquisition.cost_us(),
@@ -883,6 +990,8 @@ impl Cluster {
             peak_queue_depth: state.peak_queue_depth,
             queue_area_us: state.queue_area_us,
             events_fired,
+            batch: state.batcher.stats(),
+            replication: state.replicator.stats(),
             device_peak_queue: state.device_peak_queue,
             device_rejects: state.device_rejects,
             device_transfers: state.device_transfers,
@@ -891,7 +1000,8 @@ impl Cluster {
     }
 
     /// Pulls the next queued request off a freed tile's queue and starts it
-    /// (the indexed pop, exactly as `Runtime::start_next` does it).
+    /// (the indexed pop, exactly as `Runtime::start_next` does it —
+    /// including the batching layer over the policy's choice).
     fn start_next(
         &mut self,
         device: usize,
@@ -900,9 +1010,33 @@ impl Cluster {
         state: &mut ClusterState<'_>,
     ) -> Result<(), RuntimeError> {
         let tile = device * self.tiles_per_device + local_tile;
+        let now_us = state.events.now_us();
         let queue = &mut state.queues[tile];
         let resident = self.devices[device].pool.states()[local_tile].resident;
-        let index = queue.pop_next(resident, &mut state.taken);
+        let choice = queue.peek_next(resident, &state.taken);
+        // The deadline-feasibility guard must see what the choice will
+        // actually be charged: its switch *plus* the image-acquisition delay
+        // committed at its arrival (always 0 on one device).
+        let choice_view = DispatchRequest {
+            switch_us: intake[choice].view.switch_us + state.acquire_us[choice],
+            ..intake[choice].view
+        };
+        let index = state
+            .batcher
+            .divert(
+                tile,
+                now_us,
+                resident,
+                &choice_view,
+                intake[choice].request.arrival_us,
+                |key| {
+                    queue
+                        .oldest_for_kernel(key, &state.taken)
+                        .map(|i| (i, intake[i].view.est_exec_us))
+                },
+            )
+            .unwrap_or(choice);
+        queue.take(index, &mut state.taken);
         let remaining_tail = queue.tail_key(&state.taken);
         let est_us = intake[index].view.est_exec_us;
         self.start_request(
@@ -953,6 +1087,10 @@ impl Cluster {
                 d.charge(local_tile, info.view.key, now_us, switch_us, exec_us)
             }),
         };
+        state.batcher.note_start(
+            device * self.tiles_per_device + local_tile,
+            charged.switched,
+        );
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
@@ -1098,6 +1236,7 @@ impl Cluster {
             events_fired: output.events_fired,
             deadline_misses,
             deadline_requests,
+            batch: output.batch,
             rejects: output.rejected.len(),
             rejected_deadlines: output
                 .rejected

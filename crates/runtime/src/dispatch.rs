@@ -337,6 +337,13 @@ pub(crate) struct TileQueue {
     /// `(intake index, kernel)` in insertion (FIFO) order. Lazily cleaned
     /// against the `taken` bitmap at both ends.
     order: VecDeque<(usize, KernelKey)>,
+    /// Per-kernel FIFO of intake indices, lazily cleaned at the front —
+    /// answers the batcher's "oldest waiter of the resident kernel" query
+    /// in O(1) amortized. Maintained only while batching is enabled
+    /// (`track_kernels`), so the default configuration pays nothing.
+    by_kernel: FnvHashMap<KernelKey, VecDeque<usize>>,
+    /// Whether `by_kernel` is maintained.
+    track_kernels: bool,
     /// Number of live (not yet taken) entries.
     live: usize,
     index: QueueOrder,
@@ -364,7 +371,10 @@ struct SlackBucket {
 }
 
 impl TileQueue {
-    pub(crate) fn new(policy: DispatchPolicy) -> Self {
+    /// A queue ordered for `policy`; `track_kernels` additionally maintains
+    /// the per-kernel FIFO index the batching layer queries (skip it when
+    /// batching is disabled — nothing would ever read it).
+    pub(crate) fn new(policy: DispatchPolicy, track_kernels: bool) -> Self {
         let index = match policy {
             DispatchPolicy::KernelAffinity | DispatchPolicy::RoundRobin => QueueOrder::Fifo,
             DispatchPolicy::EarliestDeadlineFirst => QueueOrder::Deadline(BinaryHeap::new()),
@@ -372,6 +382,8 @@ impl TileQueue {
         };
         TileQueue {
             order: VecDeque::new(),
+            by_kernel: FnvHashMap::default(),
+            track_kernels,
             live: 0,
             index,
         }
@@ -390,6 +402,9 @@ impl TileQueue {
     /// dispatch view).
     pub(crate) fn push(&mut self, index: usize, view: &DispatchRequest) {
         self.order.push_back((index, view.key));
+        if self.track_kernels {
+            self.by_kernel.entry(view.key).or_default().push_back(index);
+        }
         self.live += 1;
         match &mut self.index {
             QueueOrder::Fifo => {}
@@ -408,30 +423,36 @@ impl TileQueue {
         }
     }
 
-    /// Removes and returns the intake index the freed tile (hosting
-    /// `resident`) runs next, flagging it in `taken`.
+    /// The intake index the freed tile (hosting `resident`) would run next
+    /// under the dispatch policy, without removing it — the choice the
+    /// batching layer inspects before committing. Taken entries are lazily
+    /// dropped off the ordered structures on the way (they are already
+    /// logically removed).
     ///
     /// # Panics
     ///
     /// Panics if the queue is empty.
-    pub(crate) fn pop_next(&mut self, resident: Option<KernelKey>, taken: &mut [bool]) -> usize {
+    pub(crate) fn peek_next(&mut self, resident: Option<KernelKey>, taken: &[bool]) -> usize {
         assert!(self.live > 0, "pop from an empty tile queue");
-        self.live -= 1;
         match &mut self.index {
-            QueueOrder::Fifo => {
-                let (index, _) = self.order.pop_front().expect("live entries imply a front");
-                taken[index] = true;
-                index
-            }
+            QueueOrder::Fifo => loop {
+                let &(index, _) = self.order.front().expect("live entries imply a front");
+                if taken[index] {
+                    self.order.pop_front();
+                } else {
+                    break index;
+                }
+            },
             QueueOrder::Deadline(heap) => loop {
-                let Reverse((_, index)) = heap.pop().expect("live entries imply a heap top");
-                if !taken[index] {
-                    taken[index] = true;
+                let &Reverse((_, index)) = heap.peek().expect("live entries imply a heap top");
+                if taken[index] {
+                    heap.pop();
+                } else {
                     break index;
                 }
             },
             QueueOrder::Slack(buckets) => {
-                let mut best: Option<((TimeKey, TimeKey, usize), KernelKey)> = None;
+                let mut best: Option<(TimeKey, TimeKey, usize)> = None;
                 let mut drained: Vec<KernelKey> = Vec::new();
                 for (&kernel, bucket) in buckets.iter_mut() {
                     // Lazily drop taken entries off this bucket's top.
@@ -451,24 +472,57 @@ impl TileQueue {
                     } else {
                         TimeKey(base.0 - bucket.switch_us)
                     };
-                    let candidate = ((adjusted, base, index), kernel);
-                    if best.is_none_or(|(current, _)| candidate.0 < current) {
+                    let candidate = (adjusted, base, index);
+                    if best.is_none_or(|current| candidate < current) {
                         best = Some(candidate);
                     }
                 }
                 for kernel in drained {
                     buckets.remove(&kernel);
                 }
-                let ((_, _, index), kernel) = best.expect("live entries imply a candidate");
-                let bucket = buckets.get_mut(&kernel).expect("candidate bucket exists");
-                bucket.heap.pop();
-                if bucket.heap.is_empty() {
-                    buckets.remove(&kernel);
-                }
-                taken[index] = true;
-                index
+                best.expect("live entries imply a candidate").2
             }
         }
+    }
+
+    /// Logically removes intake `index` (a live entry of this queue) by
+    /// flagging it in `taken`; the ordered structures drop it lazily.
+    pub(crate) fn take(&mut self, index: usize, taken: &mut [bool]) {
+        debug_assert!(!taken[index], "an entry is taken at most once");
+        taken[index] = true;
+        self.live -= 1;
+    }
+
+    /// Removes and returns the intake index the freed tile (hosting
+    /// `resident`) runs next, flagging it in `taken` —
+    /// [`peek_next`](Self::peek_next) + [`take`](Self::take). (The event
+    /// loops peek and take separately so the batching layer can intervene;
+    /// this composition is kept for the selection-equivalence tests.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    #[cfg(test)]
+    pub(crate) fn pop_next(&mut self, resident: Option<KernelKey>, taken: &mut [bool]) -> usize {
+        let index = self.peek_next(resident, taken);
+        self.take(index, taken);
+        index
+    }
+
+    /// The oldest live waiter for `kernel` (FIFO within the kernel), if any
+    /// — the batching layer's same-kernel candidate.
+    pub(crate) fn oldest_for_kernel(&mut self, kernel: KernelKey, taken: &[bool]) -> Option<usize> {
+        debug_assert!(self.track_kernels, "batching queries an untracked queue");
+        let deque = self.by_kernel.get_mut(&kernel)?;
+        while let Some(&index) = deque.front() {
+            if taken[index] {
+                deque.pop_front();
+            } else {
+                return Some(index);
+            }
+        }
+        self.by_kernel.remove(&kernel);
+        None
     }
 
     /// The kernel of the request currently last in the queue (FIFO order),
@@ -758,7 +812,7 @@ mod tests {
         ];
         for policy in DispatchPolicy::ALL {
             let dispatcher = Dispatcher::new(policy);
-            let mut queue = TileQueue::new(policy);
+            let mut queue = TileQueue::new(policy, true);
             let mut taken = vec![false; views.len()];
             for (index, view) in views.iter().enumerate() {
                 queue.push(index, view);

@@ -42,7 +42,13 @@
 //! * [`RuntimeMetrics`] — requests/s, p50/p99 modeled latency, per-tile
 //!   utilization, cache and memo hit rates, context-switch totals, queue
 //!   depths, admission rejects, deadline miss rates and the host-side event
-//!   count.
+//!   count;
+//! * the **control plane** ([`control`]) — optional same-kernel batching
+//!   over the tile-free queue drain ([`BatchConfig`],
+//!   [`Runtime::with_batching`]) and, on a [`Cluster`], rate-driven kernel
+//!   replication ahead of demand ([`ReplicationConfig`],
+//!   [`Cluster::with_replication`]). Both are off by default and leave the
+//!   runtime bitwise identical to the un-batched event loop when off.
 //!
 //! # Example
 //!
@@ -90,6 +96,7 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod control;
 pub mod dispatch;
 pub mod error;
 pub mod event;
@@ -103,9 +110,10 @@ pub use cache::{CacheStats, KernelCache, KernelKey, SimKey, SimMemo};
 
 use cache::FnvHashMap;
 pub use cluster::{Cluster, ClusterReport, Device};
+pub use control::{BatchConfig, RateEstimator, ReplicationConfig};
 pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher, ScanMode};
 pub use error::RuntimeError;
-pub use metrics::{DeviceMetrics, RuntimeMetrics};
+pub use metrics::{BatchStats, DeviceMetrics, ReplicationStats, RuntimeMetrics};
 pub use pool::{ChargeOutcome, TilePool, TileState};
 pub use request::{KernelSpec, Request};
 pub use route::{RoutePolicy, TransferModel};
@@ -115,6 +123,7 @@ use std::collections::VecDeque;
 use std::sync::{mpsc, Arc};
 use std::thread;
 
+use control::Batcher;
 use dispatch::TileQueue;
 use event::{EventKind, EventQueue};
 use overlay_arch::{FuVariant, NocConfig, OverlayConfig, ReconfigModel, TileComposition};
@@ -652,6 +661,9 @@ struct OnlineState<'a> {
     outcome_slots: Vec<Option<RequestOutcome>>,
     rejected: Vec<RejectedRequest>,
     sim: SimResults<'a>,
+    /// The same-kernel batching layer over the tile-free queue drain (a
+    /// no-op at the default `max_batch = 1`).
+    batcher: Batcher,
     peak_queue_depth: usize,
     queue_area_us: f64,
     last_event_us: f64,
@@ -664,6 +676,7 @@ struct LoopOutput {
     peak_queue_depth: usize,
     queue_area_us: f64,
     events_fired: u64,
+    batch: metrics::BatchStats,
 }
 
 /// An online multi-tile serving runtime over one overlay variant.
@@ -680,6 +693,7 @@ pub struct Runtime {
     lower: LowerOptions,
     ingest_capacity: usize,
     admission_limit: usize,
+    batching: BatchConfig,
 }
 
 impl Runtime {
@@ -722,6 +736,7 @@ impl Runtime {
             lower: LowerOptions::default(),
             ingest_capacity: Self::DEFAULT_INGEST_CAPACITY,
             admission_limit: usize::MAX,
+            batching: BatchConfig::disabled(),
         }
     }
 
@@ -793,6 +808,18 @@ impl Runtime {
         self
     }
 
+    /// Configures the same-kernel batching layer: when a tile frees, up to
+    /// [`BatchConfig::max_batch`] consecutive runs of the resident kernel
+    /// may jump the dispatch policy's queue order (never past the staleness
+    /// bound, and never when a bypassed deadline would become infeasible).
+    /// The default [`BatchConfig::disabled`] leaves every decision to the
+    /// dispatch policy — bitwise identical to the un-batched runtime.
+    #[must_use]
+    pub fn with_batching(mut self, config: BatchConfig) -> Self {
+        self.batching = config;
+        self
+    }
+
     /// Overrides the front-end lowering options.
     ///
     /// Clears the kernel cache and the simulation memo: cached artifacts
@@ -829,6 +856,11 @@ impl Runtime {
     /// The admission-control limit on waiting requests.
     pub fn admission_limit(&self) -> usize {
         self.admission_limit
+    }
+
+    /// The active same-kernel batching configuration.
+    pub fn batching(&self) -> BatchConfig {
+        self.batching
     }
 
     /// The tile pool (holding the state left by the last serve).
@@ -988,7 +1020,7 @@ impl Runtime {
             queues: match self.dispatcher.scan_mode() {
                 ScanMode::Indexed => TileQueues::Indexed(
                     (0..tiles)
-                        .map(|_| TileQueue::new(self.dispatcher.policy()))
+                        .map(|_| TileQueue::new(self.dispatcher.policy(), self.batching.enabled()))
                         .collect(),
                 ),
                 ScanMode::LinearReference => TileQueues::Linear(vec![VecDeque::new(); tiles]),
@@ -998,6 +1030,7 @@ impl Runtime {
             outcome_slots: Vec::new(),
             rejected: Vec::new(),
             sim: SimResults::new(results, jobs.len(), self.sim_memo.capacity() > 0),
+            batcher: Batcher::new(self.batching, tiles),
             peak_queue_depth: 0,
             queue_area_us: 0.0,
             last_event_us: 0.0,
@@ -1103,6 +1136,7 @@ impl Runtime {
             peak_queue_depth: state.peak_queue_depth,
             queue_area_us: state.queue_area_us,
             events_fired,
+            batch: state.batcher.stats(),
         })
     }
 
@@ -1110,18 +1144,43 @@ impl Runtime {
     /// it. Under [`ScanMode::Indexed`] the per-tile ordered queue pops the
     /// policy's choice in O(log depth); the linear reference materializes
     /// the dispatch views and scans, exactly as the pre-index runtime did.
+    /// In both modes the [`Batcher`] sits over the policy's choice: it may
+    /// run the oldest same-kernel waiter instead, amortizing the context
+    /// switch the choice would have paid.
     fn start_next(
         &mut self,
         tile: usize,
         intake: &[InFlight],
         state: &mut OnlineState<'_>,
     ) -> Result<(), RuntimeError> {
-        let (index, remaining_tail) = match &mut state.queues {
+        let now_us = state.events.now_us();
+        let resident = self.pool.states()[tile].resident;
+        let OnlineState {
+            queues,
+            taken,
+            batcher,
+            ..
+        } = state;
+        let (index, remaining_tail) = match queues {
             TileQueues::Indexed(queues) => {
                 let queue = &mut queues[tile];
-                let resident = self.pool.states()[tile].resident;
-                let index = queue.pop_next(resident, &mut state.taken);
-                (index, queue.tail_key(&state.taken))
+                let choice = queue.peek_next(resident, taken);
+                let index = batcher
+                    .divert(
+                        tile,
+                        now_us,
+                        resident,
+                        &intake[choice].view,
+                        intake[choice].request.arrival_us,
+                        |key| {
+                            queue
+                                .oldest_for_kernel(key, taken)
+                                .map(|i| (i, intake[i].view.est_exec_us))
+                        },
+                    )
+                    .unwrap_or(choice);
+                queue.take(index, taken);
+                (index, queue.tail_key(taken))
             }
             TileQueues::Linear(queues) => {
                 let queue = &mut queues[tile];
@@ -1133,9 +1192,25 @@ impl Runtime {
                 } else {
                     0
                 };
+                let choice = queue[position];
+                let position = batcher
+                    .divert(
+                        tile,
+                        now_us,
+                        resident,
+                        &intake[choice].view,
+                        intake[choice].request.arrival_us,
+                        |key| {
+                            queue
+                                .iter()
+                                .position(|&i| intake[i].view.key == key)
+                                .map(|p| (p, intake[queue[p]].view.est_exec_us))
+                        },
+                    )
+                    .unwrap_or(position);
                 let index = queue
                     .remove(position)
-                    .expect("select_next returns a position inside the queue");
+                    .expect("selection returns a position inside the queue");
                 (index, queue.back().map(|&i| intake[i].view.key))
             }
         };
@@ -1178,6 +1253,7 @@ impl Runtime {
                 .pool
                 .charge(tile, info.view.key, now_us, info.view.switch_us, exec_us),
         };
+        state.batcher.note_start(tile, charged.switched);
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
@@ -1271,6 +1347,7 @@ impl Runtime {
             events_fired: output.events_fired,
             deadline_misses,
             deadline_requests,
+            batch: output.batch,
             rejects: output.rejected.len(),
             rejected_deadlines: output
                 .rejected

@@ -57,6 +57,9 @@ pub struct RuntimeMetrics {
     pub deadline_misses: usize,
     /// Served requests that carried a deadline (the miss-rate denominator).
     pub deadline_requests: usize,
+    /// Same-kernel batching counters for the serve call (all zero while
+    /// batching is disabled, the default).
+    pub batch: BatchStats,
     /// Requests turned away by admission control (never placed on a tile).
     pub rejects: usize,
     /// Rejected requests that carried a deadline: shed deadline work, which
@@ -138,8 +141,8 @@ impl fmt::Display for RuntimeMetrics {
         )?;
         writeln!(
             f,
-            "switches: {} totalling {:.2} us; cache: {}; sim memo: {}",
-            self.switch_count, self.total_switch_us, self.cache, self.sim_memo,
+            "switches: {} totalling {:.2} us; batching: {}; cache: {}; sim memo: {}",
+            self.switch_count, self.total_switch_us, self.batch, self.cache, self.sim_memo,
         )?;
         write!(f, "tile utilization:")?;
         for (tile, utilization) in self.tile_utilization.iter().enumerate() {
@@ -151,6 +154,63 @@ impl fmt::Display for RuntimeMetrics {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Counters of the same-kernel batching layer
+/// ([`BatchConfig`](crate::BatchConfig)) for one serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Same-kernel runs that were extended by at least one batched
+    /// (policy-overriding) dispatch.
+    pub batches_formed: usize,
+    /// Requests dispatched by the batcher instead of the policy's choice.
+    pub batched_requests: usize,
+    /// Context switches avoided: each batched dispatch ran the resident
+    /// kernel where the policy's choice would have swapped.
+    pub switches_avoided: usize,
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batch(es), {} batched request(s), {} switch(es) avoided",
+            self.batches_formed, self.batched_requests, self.switches_avoided
+        )
+    }
+}
+
+/// Counters of the rate-driven replication layer
+/// ([`ReplicationConfig`](crate::ReplicationConfig)) for one cluster serve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplicationStats {
+    /// Kernel images pushed ahead of demand onto other devices.
+    pub replicas_pushed: usize,
+    /// Pushed replicas demoted (removed) from a pressured device store
+    /// after their kernel went cold.
+    pub replicas_demoted: usize,
+    /// Bytes of kernel image prefetched by replication pushes.
+    pub bytes_prefetched: u64,
+    /// Modeled time of the prefetch traffic (cheapest
+    /// [`TransferModel`](crate::TransferModel) source per push) — carried by
+    /// the otherwise-idle link, off the request critical path.
+    pub prefetch_us: f64,
+    /// Distinct kernels that crossed the hot threshold during the serve.
+    pub hot_kernels: usize,
+}
+
+impl fmt::Display for ReplicationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} replica(s) pushed ({} B, {:.2} us prefetch), {} demoted, {} hot kernel(s)",
+            self.replicas_pushed,
+            self.bytes_prefetched,
+            self.prefetch_us,
+            self.replicas_demoted,
+            self.hot_kernels
+        )
     }
 }
 
@@ -188,7 +248,10 @@ pub struct DeviceMetrics {
     /// Per-tile request counts.
     pub tile_requests: Vec<usize>,
     /// This device's kernel-store counters (compiles at the home shard,
-    /// image adoptions from peers, lookups either way).
+    /// image adoptions from peers, lookups either way). Replication pushes
+    /// adopt through the same store path, so each prefetched image counts
+    /// as one store miss here — compare with
+    /// [`ReplicationStats::replicas_pushed`] when replication is on.
     pub cache: CacheStats,
     /// Served requests on this device whose completion exceeded their
     /// deadline.
@@ -433,6 +496,78 @@ mod tests {
         assert_eq!(percentile_from_sorted_parts(&[single], 0.5), 2.5);
     }
 
+    /// The merge path's edge cases, each held to the selection path over
+    /// the same union: empty runs interleaved among non-empty parts,
+    /// single-element runs, all-equal values (total_cmp ties), and the rank
+    /// pinned at both extremes of the order.
+    #[test]
+    fn merged_percentile_edge_cases_match_selection() {
+        let check = |parts: &[&[f64]], p: f64| {
+            let mut union: Vec<f64> = parts.iter().flat_map(|part| part.iter().copied()).collect();
+            let expected = percentile_by_selection(&mut union, p);
+            assert_eq!(
+                percentile_from_sorted_parts(parts, p),
+                expected,
+                "parts {parts:?}, p={p}"
+            );
+        };
+        // Empty runs scattered among the parts, including leading/trailing.
+        let shapes: &[&[&[f64]]] = &[
+            &[&[], &[1.0, 3.0], &[], &[2.0], &[]],
+            &[&[], &[], &[5.0]],
+            &[&[0.5], &[], &[0.25, 4.0], &[]],
+        ];
+        // Single-element runs only.
+        let singles: &[f64] = &[9.0, 1.0, 4.0];
+        let single_parts: Vec<&[f64]> = singles.chunks(1).collect();
+        // All-equal values across runs: interpolation between equal order
+        // statistics must stay exact.
+        let equal: &[&[f64]] = &[&[7.0, 7.0], &[7.0], &[7.0, 7.0, 7.0]];
+        for p in [0.0, 0.01, 0.37, 0.5, 0.99, 1.0] {
+            for parts in shapes {
+                check(parts, p);
+            }
+            check(&single_parts, p);
+            check(equal, p);
+            // The lerp between two equal order statistics is 7 up to float
+            // rounding of `7(1-w) + 7w` (and exactly 7 whenever w is 0 or 1).
+            assert!((percentile_from_sorted_parts(equal, p) - 7.0).abs() < 1e-12);
+        }
+        // Rank pinned at both extremes: p=0 is the global minimum, p=1 the
+        // global maximum, regardless of which run holds it.
+        let parts: &[&[f64]] = &[&[2.0, 8.0], &[], &[1.0, 9.0], &[5.0]];
+        assert_eq!(percentile_from_sorted_parts(parts, 0.0), 1.0);
+        assert_eq!(percentile_from_sorted_parts(parts, 1.0), 9.0);
+        // Out-of-range p clamps to the extremes.
+        assert_eq!(percentile_from_sorted_parts(parts, -1.0), 1.0);
+        assert_eq!(percentile_from_sorted_parts(parts, 2.0), 9.0);
+    }
+
+    #[test]
+    fn batch_and_replication_stats_display() {
+        let batch = BatchStats {
+            batches_formed: 2,
+            batched_requests: 9,
+            switches_avoided: 9,
+        };
+        assert_eq!(
+            batch.to_string(),
+            "2 batch(es), 9 batched request(s), 9 switch(es) avoided"
+        );
+        let replication = ReplicationStats {
+            replicas_pushed: 3,
+            replicas_demoted: 1,
+            bytes_prefetched: 768,
+            prefetch_us: 1.25,
+            hot_kernels: 2,
+        };
+        let text = replication.to_string();
+        assert!(text.contains("3 replica(s) pushed (768 B, 1.25 us prefetch)"));
+        assert!(text.contains("1 demoted, 2 hot kernel(s)"));
+        assert_eq!(BatchStats::default(), BatchStats::default());
+        assert_eq!(ReplicationStats::default().replicas_pushed, 0);
+    }
+
     #[test]
     fn device_metrics_summarise_one_shard() {
         let metrics = DeviceMetrics {
@@ -503,6 +638,11 @@ mod tests {
             events_fired: 20,
             deadline_misses: 1,
             deadline_requests: 4,
+            batch: BatchStats {
+                batches_formed: 1,
+                batched_requests: 3,
+                switches_avoided: 3,
+            },
             rejects: 2,
             rejected_deadlines: 1,
             peak_queue_depth: 5,
@@ -516,6 +656,7 @@ mod tests {
         assert!(text.contains("1 miss(es) of 4 served (25% miss rate)"));
         assert!(text.contains("rejects: 2 (1 with deadlines)"));
         assert!(text.contains("queue depth: peak 5, mean 1.25"));
+        assert!(text.contains("batching: 1 batch(es), 3 batched request(s), 3 switch(es) avoided"));
         assert!(text.contains("sim memo: 6 hit(s)"));
         assert!(text.contains("t1 60%"));
         assert!((metrics.mean_utilization() - 0.7).abs() < 1e-12);
@@ -544,6 +685,7 @@ mod tests {
             events_fired: 0,
             deadline_misses: 0,
             deadline_requests: 0,
+            batch: BatchStats::default(),
             rejects: 0,
             rejected_deadlines: 0,
             peak_queue_depth: 0,

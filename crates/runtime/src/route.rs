@@ -166,6 +166,39 @@ impl Acquisition {
     }
 }
 
+/// The cheapest way for `target` to acquire a `bytes`-sized kernel image,
+/// given the devices whose stores currently hold it: a transfer from the
+/// nearest holding peer over the linear link, or the host-load path —
+/// whichever is cheaper (peer ties break toward the lowest id). Shared by
+/// demand acquisition (charged into the requester's switch phase) and the
+/// replication layer's prefetch-cost accounting.
+pub(crate) fn cheapest_acquisition(
+    transfer: &TransferModel,
+    holders: impl Iterator<Item = usize>,
+    target: usize,
+    bytes: usize,
+) -> Acquisition {
+    let host_us = transfer.host_load_us(bytes);
+    let mut best: Option<(f64, usize)> = None;
+    for peer in holders {
+        if peer == target {
+            continue;
+        }
+        let cost = transfer.link_transfer_us(peer.abs_diff(target), bytes);
+        if best.is_none_or(|(current, from)| (cost, peer) < (current, from)) {
+            best = Some((cost, peer));
+        }
+    }
+    match best {
+        Some((cost_us, from)) if cost_us < host_us => Acquisition::Transfer {
+            from,
+            cost_us,
+            bytes,
+        },
+        _ => Acquisition::HostLoad { cost_us: host_us },
+    }
+}
+
 /// SplitMix64: a cheap, well-mixed finalizer for shard hashing — one
 /// multiply-xor chain, no state.
 fn splitmix64(mut value: u64) -> u64 {
@@ -263,6 +296,28 @@ mod tests {
         assert_eq!(RoutePolicy::default(), RoutePolicy::KernelHash);
         let names: Vec<String> = RoutePolicy::ALL.iter().map(|p| p.to_string()).collect();
         assert_eq!(names, vec!["kernel-hash", "least-loaded", "power-of-two"]);
+    }
+
+    #[test]
+    fn cheapest_acquisition_prefers_the_nearest_peer_then_the_host() {
+        let model = TransferModel::new();
+        // Peers at 1 and 3 hold the image; target 0 pulls from the nearest.
+        let acquisition = cheapest_acquisition(&model, [3usize, 1].into_iter(), 0, 512);
+        assert!(matches!(acquisition, Acquisition::Transfer { from: 1, .. }));
+        // The target itself holding the image is not a source.
+        let acquisition = cheapest_acquisition(&model, [0usize].into_iter(), 0, 512);
+        assert!(matches!(acquisition, Acquisition::HostLoad { .. }));
+        // No holders at all: host load.
+        let acquisition = cheapest_acquisition(&model, std::iter::empty(), 2, 64);
+        assert!(matches!(acquisition, Acquisition::HostLoad { .. }));
+        // A free host path beats any priced transfer.
+        let free_host = TransferModel {
+            host_latency_us: 0.0,
+            host_us_per_byte: 0.0,
+            ..TransferModel::new()
+        };
+        let acquisition = cheapest_acquisition(&free_host, [1usize].into_iter(), 0, 512);
+        assert!(matches!(acquisition, Acquisition::HostLoad { cost_us } if cost_us == 0.0));
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!    4-device cluster: capacity quadruples and the deadline misses drop,
 //!    while kernel-hash vs least-loaded routing trades context switches
 //!    against balance (and pays inter-device kernel transfers to spread).
+//! 5. **The control plane** — the act-4 overloads rerun with same-kernel
+//!    batching and rate-driven replication on: the batcher collapses the
+//!    1-device cluster's queue-drain kernel thrash (switches avoided are
+//!    printed next to the act-4 switch counts), and on the 4-device
+//!    least-loaded cluster the replicator pushes hot kernel images ahead
+//!    of demand.
 //!
 //! Every outcome of every serve is checked against the DFG reference
 //! evaluator.
@@ -30,8 +36,8 @@ use tm_overlay::dfg::evaluate_stream;
 use tm_overlay::frontend::LowerOptions;
 use tm_overlay::runtime::RequestOutcome;
 use tm_overlay::{
-    Benchmark, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, Request, RoutePolicy,
-    Runtime, ServeReport, Workload,
+    BatchConfig, Benchmark, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec,
+    ReplicationConfig, Request, RoutePolicy, Runtime, ServeReport, Workload,
 };
 
 /// The tenants and their kernels: one benchmark each, with different request
@@ -339,6 +345,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         balanced.metrics().switch_count,
         balanced.transfers(),
         balanced.transfer_bytes(),
+    );
+
+    // ---------------------------------------------------------------- act 5
+    println!(
+        "\nact 5: the same overloads with the control plane on (same-kernel \
+         batching + rate-driven replication)\n"
+    );
+    // The 1-device overload from act 4, with batching over the same FIFO
+    // affinity dispatch: the deep mixed queues that thrashed kernels now
+    // drain as same-kernel runs.
+    let mut batched_single = Cluster::new(FuVariant::V4, 1, 3)?
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_batching(BatchConfig::with_max_batch(8));
+    let batched = batched_single.serve_stream(|submitter| {
+        for request in &overload {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
+    verify_outputs(&overload, batched.outcomes())?;
+    println!("--- 1 device x 3 tiles, batching max_batch=8 ---");
+    println!("{}", batched.metrics());
+    assert!(
+        batched.metrics().batch.switches_avoided > 0,
+        "the overloaded queues must give the batcher diversions"
+    );
+    assert!(
+        batched.metrics().switch_count < single.metrics().switch_count,
+        "batching must cut the 1-device switch count ({} vs {})",
+        batched.metrics().switch_count,
+        single.metrics().switch_count
+    );
+    println!(
+        "\n1-device overload, batching on: {} -> {} switches ({} avoided in {} batch(es)); \
+         makespan {:.2} -> {:.2} us",
+        single.metrics().switch_count,
+        batched.metrics().switch_count,
+        batched.metrics().batch.switches_avoided,
+        batched.metrics().batch.batches_formed,
+        single.metrics().makespan_us,
+        batched.metrics().makespan_us,
+    );
+
+    // The 4-device least-loaded cluster with the full control plane: hot
+    // kernels replicate ahead of demand while batching rides along.
+    let mut controlled_cluster = Cluster::new(FuVariant::V4, 4, 3)?
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_route_policy(RoutePolicy::LeastLoaded)
+        .with_batching(BatchConfig::with_max_batch(8))
+        .with_replication(ReplicationConfig::new(3, 3.0, 20.0));
+    let controlled = controlled_cluster.serve_stream(|submitter| {
+        for request in &overload {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
+    verify_outputs(&overload, controlled.outcomes())?;
+    println!("\n--- 4 devices x 3 tiles, least-loaded + batching + replication ---");
+    println!("{}", controlled.metrics());
+    println!("replication: {}", controlled.replication());
+    assert!(
+        controlled.replication().replicas_pushed > 0,
+        "hot tenants must replicate ahead of demand on the overload"
+    );
+    println!(
+        "\n4-device least-loaded, control plane on: {} switches ({} avoided) vs act-4's {}; \
+         {} replica push(es) ({} B prefetched) vs act-4's {} demand transfer(s)",
+        controlled.metrics().switch_count,
+        controlled.metrics().batch.switches_avoided,
+        balanced.metrics().switch_count,
+        controlled.replication().replicas_pushed,
+        controlled.replication().bytes_prefetched,
+        balanced.transfers(),
     );
 
     println!("\nall outputs match the DFG reference evaluator");

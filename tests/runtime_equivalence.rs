@@ -19,8 +19,8 @@ use proptest::prelude::*;
 use rand::prelude::*;
 
 use tm_overlay::{
-    Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, Request, RoutePolicy, Runtime,
-    ScanMode, ServeReport, Workload,
+    BatchConfig, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, ReplicationConfig,
+    Request, RoutePolicy, Runtime, ScanMode, ServeReport, Workload,
 };
 
 const SAXPY: &str = "kernel saxpy(a, x, y) { out r = a * x + y; }";
@@ -184,6 +184,122 @@ proptest! {
         let reference = runtime.serve(requests.clone()).unwrap();
         let report = cluster.serve(requests).unwrap();
         assert_cluster_matches_runtime(&report, &reference)?;
+    }
+
+    /// The control plane at its disabled settings (`max_batch = 1`,
+    /// replication off) is bitwise identical to the pre-control-plane
+    /// runtime: explicitly configuring the disabled `BatchConfig` /
+    /// `ReplicationConfig` must reproduce the default-built `Runtime` and
+    /// the 1-device `Cluster` exactly — outcomes, timestamps, rejects and
+    /// the full metrics struct (including all-zero batch counters) — under
+    /// every policy, both scan modes and admission pressure.
+    #[test]
+    fn disabled_control_plane_is_bitwise_identical_to_the_baseline(
+        (seed, count, tiles) in (any::<u64>(), 4usize..20, 1usize..5),
+        policy_pick in 0usize..4,
+        scan_pick in 0usize..2,
+        limit_pick in 0usize..3,
+    ) {
+        let requests = random_trace(seed, count, 3.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let scan = [ScanMode::Indexed, ScanMode::LinearReference][scan_pick];
+        let limit = [usize::MAX, 4, 1][limit_pick];
+        let mut plain = Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_admission_limit(limit)
+            .with_scan_mode(scan);
+        let mut pinned = Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_admission_limit(limit)
+            .with_scan_mode(scan)
+            .with_batching(BatchConfig { max_batch: 1, max_hold_us: 0.0 });
+        let baseline = plain.serve(requests.clone()).unwrap();
+        let disabled = pinned.serve(requests.clone()).unwrap();
+        assert_reports_identical(&disabled, &baseline)?;
+        prop_assert_eq!(disabled.metrics().batch.batches_formed, 0);
+        prop_assert_eq!(disabled.metrics().batch.switches_avoided, 0);
+
+        // And the 1-device cluster with the disabled control plane pinned
+        // explicitly still reproduces the runtime bit for bit.
+        let mut cluster = Cluster::new(FuVariant::V4, 1, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_admission_limit(limit)
+            .with_batching(BatchConfig { max_batch: 1, max_hold_us: 0.0 })
+            .with_replication(ReplicationConfig::disabled());
+        let mut reference = Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_admission_limit(limit);
+        let report = cluster.serve(requests.clone()).unwrap();
+        let runtime_report = reference.serve(requests).unwrap();
+        assert_cluster_matches_runtime(&report, &runtime_report)?;
+        prop_assert_eq!(report.replication().replicas_pushed, 0);
+        prop_assert_eq!(report.replication().bytes_prefetched, 0);
+    }
+
+    /// Batching composes with both scan modes: the indexed per-kernel FIFO
+    /// deques and the linear queue scan must name the same same-kernel
+    /// candidate at every diversion, so batched serves stay bitwise
+    /// identical across `ScanMode`s under every dispatch policy.
+    #[test]
+    fn batched_serves_are_scan_mode_invariant(
+        (seed, count, tiles) in (any::<u64>(), 8usize..24, 1usize..4),
+        policy_pick in 0usize..4,
+        max_batch in 2usize..6,
+        hold_pick in 0usize..3,
+    ) {
+        let requests = random_trace(seed, count, 3.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let hold_us = [f64::INFINITY, 50.0, 2.0][hold_pick];
+        let config = BatchConfig::with_max_batch(max_batch).with_max_hold_us(hold_us);
+        let build = |scan| Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_scan_mode(scan)
+            .with_batching(config);
+        let a = build(ScanMode::Indexed).serve(requests.clone()).unwrap();
+        let b = build(ScanMode::LinearReference).serve(requests.clone()).unwrap();
+        assert_reports_identical(&a, &b)?;
+
+        // A batched 1-device cluster mirrors the batched runtime too — the
+        // cluster's drain path shares the same batching layer.
+        let mut cluster = Cluster::new(FuVariant::V4, 1, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_batching(config);
+        let report = cluster.serve(requests).unwrap();
+        assert_cluster_matches_runtime(&report, &a)?;
+    }
+
+    /// Batching reorders *when* requests run, never *what* they compute:
+    /// with unconstrained admission the batched serve completes the same
+    /// request set with identical functional outputs per request.
+    #[test]
+    fn batching_preserves_functional_results(
+        (seed, count, tiles) in (any::<u64>(), 8usize..24, 1usize..4),
+        policy_pick in 0usize..4,
+        max_batch in 2usize..8,
+    ) {
+        let requests = random_trace(seed, count, 4.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let mut plain = Runtime::new(FuVariant::V4, tiles).unwrap().with_policy(policy);
+        let mut batched = Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_batching(BatchConfig::with_max_batch(max_batch));
+        let baseline = plain.serve(requests.clone()).unwrap();
+        let report = batched.serve(requests).unwrap();
+        prop_assert_eq!(report.outcomes().len(), baseline.outcomes().len());
+        let by_id = |r: &ServeReport| -> std::collections::HashMap<u64, Vec<Vec<tm_overlay::dfg::Value>>> {
+            r.outcomes()
+                .iter()
+                .map(|o| (o.request_id, o.outputs().to_vec()))
+                .collect()
+        };
+        prop_assert_eq!(by_id(&report), by_id(&baseline));
     }
 
     /// Kernel-hash routing is a pure function of the kernel: resubmitting
