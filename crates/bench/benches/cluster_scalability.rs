@@ -241,7 +241,8 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"cluster_scalability\",");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": {},", overlay_bench::BENCH_JSON_SCHEMA);
+    let _ = writeln!(json, "  {},", overlay_bench::provenance_json_fields());
     let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
     let _ = writeln!(json, "  \"fast_mode\": {fast},");
     let _ = writeln!(json, "  \"requests_per_serve\": {count},");

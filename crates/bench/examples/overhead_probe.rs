@@ -1,0 +1,149 @@
+//! Tracing-overhead probe: a focused harness for attributing the host-time
+//! cost of request-span tracing, finer-grained than the sweep-level figure
+//! `runtime_scalability` reports.
+//!
+//! Default mode interleaves traced and untraced serves of a saturating
+//! 1024-request trace (alternating which side goes first each rep) and
+//! reports three estimators: best-of-reps per side, the median of per-rep
+//! traced/untraced ratios (drift-robust: adjacent serves share host
+//! conditions), and the minimum ratio (a sanity bound — if it goes
+//! negative, single-rep noise exceeds the effect being measured).
+//!
+//! Env knobs:
+//! * `CAP=<n>`    — trace ring capacity (default 65536). Shrinking it
+//!   isolates capture cost from retention/drain cost.
+//! * `REPS=<n>`   — timed reps (default 9; use 40+ on shared hosts).
+//! * `MODE=ring`  — micro-mode: raw `record`/`finish` ns/span into a warm
+//!   recorder, no serve around it (the mechanistic floor).
+//! * `MODE=null`  — control: the "traced" slot is a second untraced
+//!   runtime, so the reported overhead is the methodology's noise floor.
+use std::time::Instant;
+use tm_overlay::{DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, TraceConfig, Workload};
+
+fn trace(count: usize, spacing_us: f64) -> Vec<Request> {
+    let spec = KernelSpec::from_source(
+        "grad",
+        "kernel grad(a, b, c, d, e) { out g = a * b + c * d + e; }",
+    );
+    (0..count)
+        .map(|i| {
+            let workload = Workload::random(5, 2, (i % 8) as u64);
+            Request::new(i as u64, spec.clone(), workload).at(i as f64 * spacing_us)
+        })
+        .collect()
+}
+
+fn main() {
+    let cap: usize = std::env::var("CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65_536);
+    let reps: usize = std::env::var("REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+    if std::env::var("MODE").as_deref() == Ok("ring") {
+        // Raw capture cost: serve-shaped span batches into a warm recorder.
+        use tm_overlay::runtime::obs::{SpanKind, TraceEvent, TraceRecorder};
+        let mut recorder = TraceRecorder::new(TraceConfig::with_capacity(cap));
+        let spans = 6 * 1024;
+        let mut best = f64::INFINITY;
+        let mut best_fin = f64::INFINITY;
+        for rep in 0..=reps {
+            let start = Instant::now();
+            for i in 0..1024u64 {
+                let t = i as f64 * 0.02;
+                for (dur, kind) in [
+                    (0.0, SpanKind::Submit),
+                    (0.0, SpanKind::Admission { admitted: true }),
+                    (1.0, SpanKind::QueueWait),
+                    (0.1, SpanKind::ContextSwitch),
+                    (2.0, SpanKind::Run),
+                    (0.0, SpanKind::Commit),
+                ] {
+                    recorder.record(TraceEvent {
+                        time_us: t,
+                        dur_us: dur,
+                        request_id: Some(i),
+                        device: 0,
+                        tile: Some((i % 64) as usize),
+                        kind,
+                    });
+                }
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            let fin = Instant::now();
+            let trace = recorder.finish().unwrap();
+            let fin_ns = fin.elapsed().as_nanos() as f64;
+            assert!(trace.dropped() + trace.events().len() as u64 == spans);
+            if rep > 0 {
+                best = best.min(ns);
+                best_fin = best_fin.min(fin_ns);
+            }
+        }
+        println!(
+            "ring capture: {:.1} ns/span over {spans} spans; finish {:.1} ns/span",
+            best / spans as f64,
+            best_fin / spans as f64
+        );
+        return;
+    }
+    let requests = trace(1024, 0.02);
+    let mut plain = Runtime::new(FuVariant::V4, 64)
+        .unwrap()
+        .with_policy(DispatchPolicy::KernelAffinity);
+    // MODE=null measures the noise floor: the "traced" slot is a second
+    // identical untraced runtime, so any reported overhead is pure
+    // environment/methodology noise.
+    let mut traced = Runtime::new(FuVariant::V4, 64)
+        .unwrap()
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_tracing(if std::env::var("MODE").as_deref() == Ok("null") {
+            TraceConfig::disabled()
+        } else {
+            TraceConfig::with_capacity(cap)
+        });
+    let mut best = [f64::INFINITY; 2];
+    let mut ratios = Vec::new();
+    for rep in 0..=reps {
+        let mut pair = [0.0f64; 2];
+        let order: [(usize, &mut Runtime); 2] = if rep % 2 == 0 {
+            [(0, &mut plain), (1, &mut traced)]
+        } else {
+            [(1, &mut traced), (0, &mut plain)]
+        };
+        for (slot, runtime) in order {
+            let copy = requests.to_vec();
+            let start = Instant::now();
+            let report = runtime.serve(copy).unwrap();
+            let ns = start.elapsed().as_nanos() as f64;
+            assert_eq!(report.metrics().requests, 1024);
+            if rep == 0 && slot == 1 {
+                if let Some(t) = report.trace() {
+                    eprintln!(
+                        "spans/serve: {} (+{} dropped)",
+                        t.events().len(),
+                        t.dropped()
+                    );
+                }
+            }
+            pair[slot] = ns;
+            if rep > 0 && ns < best[slot] {
+                best[slot] = ns;
+            }
+        }
+        if rep > 0 {
+            ratios.push(pair[1] / pair[0]);
+        }
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let events = 2048.0;
+    println!(
+        "cap {cap}: untraced {:.0} ns/event, traced {:.0} ns/event; overhead best-of +{:.1}%, paired median +{:.1}%, paired min +{:.1}%",
+        best[0] / events,
+        best[1] / events,
+        (best[1] / best[0] - 1.0) * 100.0,
+        (ratios[ratios.len() / 2] - 1.0) * 100.0,
+        (ratios[0] - 1.0) * 100.0
+    );
+}

@@ -307,10 +307,11 @@ pub fn iwp_ablation() -> String {
 }
 
 /// The known top-level sections of `BENCH_runtime.json`, in emission order.
-const BENCH_JSON_SECTIONS: [&str; 3] = [
+const BENCH_JSON_SECTIONS: [&str; 4] = [
     "runtime_scalability",
     "cluster_scalability",
     "batching_replication",
+    "profile",
 ];
 
 /// Why [`splice_bench_json`] refused to produce a combined document.
@@ -328,10 +329,11 @@ pub enum SpliceError {
         /// The section the payload was offered for.
         section: String,
     },
-    /// The existing document already holds this section under a different
-    /// declared `"schema"` version (or with one where the incoming payload
-    /// has none) — splicing would silently clobber data a different reader
-    /// expects.
+    /// The existing document already holds this section under a *newer*
+    /// declared `"schema"` version than the incoming payload (or under a
+    /// versioned one where the incoming payload has none) — splicing would
+    /// silently downgrade data a different reader expects. Same-version
+    /// replacement and upgrades to a newer schema are allowed.
     SchemaMismatch {
         /// The section being spliced.
         section: String,
@@ -381,9 +383,10 @@ impl std::error::Error for SpliceError {}
 /// Refuses — instead of silently overwriting the existing section — when
 /// the section is unknown, when the payload does not carry its own
 /// `"bench": "<section>"` marker, or when the existing section declares a
-/// `"schema"` version the incoming payload does not match (an existing
-/// section *without* a schema marker accepts any payload: that is the
-/// legacy-to-versioned upgrade path).
+/// `"schema"` version *newer* than the incoming payload's (or the incoming
+/// payload declares none). Same-version replacement and schema upgrades
+/// pass; an existing section *without* a schema marker accepts any payload:
+/// that is the legacy-to-versioned upgrade path.
 pub fn splice_bench_json(
     existing: Option<&str>,
     section: &str,
@@ -404,7 +407,12 @@ pub fn splice_bench_json(
     if let Some(kept) = existing.and_then(|doc| extract_json_section(doc, section)) {
         let existing_schema = section_schema(&kept);
         let incoming_schema = section_schema(payload);
-        if existing_schema.is_some() && incoming_schema != existing_schema {
+        let compatible = match (existing_schema, incoming_schema) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(old), Some(new)) => new >= old,
+        };
+        if !compatible {
             return Err(SpliceError::SchemaMismatch {
                 section: section.to_owned(),
                 existing: existing_schema,
@@ -427,6 +435,48 @@ pub fn splice_bench_json(
     }
     out.push_str("}\n");
     Ok(out)
+}
+
+/// The schema version every section of `BENCH_runtime.json` emits as of the
+/// observability PR: versions ≥ 2 carry the [`provenance_json_fields`]
+/// block next to the `"bench"` marker.
+pub const BENCH_JSON_SCHEMA: u64 = 2;
+
+/// The provenance fields a schema-2 bench section embeds right after its
+/// `"bench"`/`"schema"` markers: the emitting host, the unix timestamp of
+/// the run, and the repository revision — so a spliced
+/// `BENCH_runtime.json` records where each section's numbers came from.
+/// Returns a fragment like
+/// `"host": "ci-runner", "timestamp": 1754600000, "git_rev": "abc1234"`
+/// (no surrounding braces, no trailing comma); unknown values degrade to
+/// `"unknown"` / 0 rather than failing the bench.
+pub fn provenance_json_fields() -> String {
+    let host = std::env::var("HOSTNAME")
+        .or_else(|_| std::env::var("HOST"))
+        .unwrap_or_else(|_| "unknown".to_owned());
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs())
+        .unwrap_or(0);
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let escape = |s: &str| -> String {
+        s.chars()
+            .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+            .collect()
+    };
+    format!(
+        "\"host\": \"{}\", \"timestamp\": {timestamp}, \"git_rev\": \"{}\"",
+        escape(&host),
+        escape(&git_rev)
+    )
 }
 
 /// The `"schema": N` version a section payload declares at its top level,
@@ -565,7 +615,7 @@ mod tests {
         let compact = "{\"bench\":\"cluster_scalability\",\"entries\":[]}";
         assert!(splice_bench_json(None, "cluster_scalability", compact).is_ok());
 
-        // A versioned section refuses a payload with a different version...
+        // A versioned section refuses a payload with an *older* version...
         let v2 = "{\"bench\": \"runtime_scalability\", \"schema\": 2, \"entries\": [{\"a\": 1}]}";
         let doc = splice_bench_json(None, "runtime_scalability", v2).unwrap();
         let v1 = "{\"bench\": \"runtime_scalability\", \"schema\": 1, \"entries\": []}";
@@ -600,5 +650,29 @@ mod tests {
         }
         .to_string()
         .contains("unknown bench section"));
+    }
+
+    /// Schema upgrades splice over older sections (a reader of version N
+    /// understands N, not N+1 — so upgrading is safe, downgrading is not),
+    /// and the schema-2 provenance block carries its three fields.
+    #[test]
+    fn bench_json_upgrades_schemas_and_stamps_provenance() {
+        let v1 = "{\"bench\": \"runtime_scalability\", \"schema\": 1, \"entries\": []}";
+        let doc = splice_bench_json(None, "runtime_scalability", v1).unwrap();
+        let v2 = format!(
+            "{{\"bench\": \"runtime_scalability\", \"schema\": {BENCH_JSON_SCHEMA}, {}, \
+             \"entries\": [{{\"a\": 1}}]}}",
+            provenance_json_fields()
+        );
+        let doc = splice_bench_json(Some(&doc), "runtime_scalability", &v2).unwrap();
+        assert!(doc.contains("\"schema\": 2"));
+        assert!(doc.contains("\"host\":"));
+        assert!(doc.contains("\"timestamp\":"));
+        assert!(doc.contains("\"git_rev\":"));
+        // The new profile section splices alongside the existing ones.
+        let profile = "{\"bench\": \"profile\", \"schema\": 2, \"stages\": []}";
+        let doc = splice_bench_json(Some(&doc), "profile", profile).unwrap();
+        assert!(doc.contains("\"profile\":"));
+        assert!(doc.contains("\"runtime_scalability\":"));
     }
 }

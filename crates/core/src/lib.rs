@@ -123,8 +123,9 @@ pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
     BatchConfig, BatchStats, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, KernelSpec,
-    ReplicationConfig, ReplicationStats, Request, RoutePolicy, Runtime, RuntimeMetrics, ScanMode,
-    ServeReport, SubmitError, Submitter, TransferModel,
+    LogHistogram, ProfileStats, ReplicationConfig, ReplicationStats, Request, RoutePolicy, Runtime,
+    RuntimeMetrics, ScanMode, ServeReport, SubmitError, Submitter, Trace, TraceConfig,
+    TransferModel,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

@@ -71,14 +71,16 @@ use crate::control::{Batcher, Replicator};
 use crate::dispatch::TileQueue;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{self, BatchStats, DeviceMetrics, ReplicationStats, RuntimeMetrics};
+use crate::obs;
 use crate::pool::ChargeOutcome;
 use crate::route::{
     cheapest_acquisition, kernel_home, power_of_two_pair, Acquisition, RoutePolicy, TransferModel,
 };
 use crate::{
-    prepare_request, BatchConfig, DispatchPolicy, DispatchRequest, Dispatcher, InFlight, Ingest,
-    KernelCache, KernelKey, PrepContext, RejectedRequest, ReplicationConfig, Request,
-    RequestOutcome, Runtime, RuntimeError, SimJob, SimMemo, SimResults, Submitter, TilePool,
+    prepare_request, record_request_spans, BatchConfig, DispatchPolicy, DispatchRequest,
+    Dispatcher, InFlight, Ingest, KernelCache, KernelKey, PrepContext, RejectedRequest,
+    ReplicationConfig, Request, RequestOutcome, Runtime, RuntimeError, SimJob, SimMemo, SimResults,
+    SimSourced, Submitter, TilePool,
 };
 
 /// One NoC tile array inside a [`Cluster`]: a [`TilePool`] (with its
@@ -174,6 +176,8 @@ pub struct ClusterReport {
     metrics: RuntimeMetrics,
     devices: Vec<DeviceMetrics>,
     replication: ReplicationStats,
+    trace: Option<obs::Trace>,
+    profile: Option<obs::ProfileStats>,
 }
 
 impl ClusterReport {
@@ -230,6 +234,18 @@ impl ClusterReport {
     pub fn replication(&self) -> ReplicationStats {
         self.replication
     }
+
+    /// The recorded trace, when the serve ran with
+    /// [`Cluster::with_tracing`] enabled.
+    pub fn trace(&self) -> Option<&obs::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Per-stage host-time attribution, when the serve ran with
+    /// [`Cluster::with_profiling`] enabled.
+    pub fn profile(&self) -> Option<&obs::ProfileStats> {
+        self.profile.as_ref()
+    }
 }
 
 /// Mutable event-loop state (the cluster mirror of the runtime's
@@ -263,6 +279,18 @@ struct ClusterState<'a> {
     device_transfers: Vec<(usize, u64)>,
     /// Per device: host image loads.
     device_host_loads: Vec<usize>,
+    /// The span recorder (inert at the default disabled config).
+    recorder: obs::TraceRecorder,
+    /// The host-time stage profiler (inert unless profiling is on).
+    profiler: obs::StageProfiler,
+    /// Cluster-wide queue depth sampled at every event pop.
+    queue_depth_hist: obs::LogHistogram,
+    /// Per device: latency histogram recorded at charge time, merged into
+    /// the cluster total through the histogram merge path.
+    device_latency_hists: Vec<obs::LogHistogram>,
+    /// Per intake index: the committed acquisition's `(source, bytes)`,
+    /// carried to the start event for the trace's acquire span.
+    acquire_src: Vec<(&'static str, u64)>,
 }
 
 /// What the cluster event loop hands back for aggregation.
@@ -278,6 +306,10 @@ struct ClusterLoopOutput {
     device_rejects: Vec<usize>,
     device_transfers: Vec<(usize, u64)>,
     device_host_loads: Vec<usize>,
+    trace: Option<obs::Trace>,
+    profile: Option<obs::ProfileStats>,
+    queue_depth_hist: obs::LogHistogram,
+    device_latency_hists: Vec<obs::LogHistogram>,
 }
 
 /// A multi-device serving cluster over one overlay variant.
@@ -298,6 +330,12 @@ pub struct Cluster {
     admission_limit: usize,
     batching: BatchConfig,
     replication: ReplicationConfig,
+    tracing: obs::TraceConfig,
+    /// Recorder kept across serves so the ring's backing allocation (and
+    /// its warmed pages) amortize instead of being re-faulted per serve —
+    /// same idiom as `Runtime::trace_scratch`.
+    trace_scratch: obs::TraceRecorder,
+    profiling: bool,
     tiles_per_device: usize,
     /// Ordered `(waiting, busy, device)` summaries — `first()` is the
     /// least-loaded device, the device-tier mirror of the pool residency
@@ -349,6 +387,9 @@ impl Cluster {
             admission_limit: usize::MAX,
             batching: BatchConfig::disabled(),
             replication: ReplicationConfig::disabled(),
+            tracing: obs::TraceConfig::disabled(),
+            trace_scratch: obs::TraceRecorder::new(obs::TraceConfig::disabled()),
+            profiling: false,
             tiles_per_device,
             load_index: BTreeSet::new(),
         };
@@ -441,6 +482,26 @@ impl Cluster {
         self
     }
 
+    /// Configures request-span tracing (same semantics as
+    /// [`Runtime::with_tracing`]): disabled by default, and disabled is
+    /// bitwise-free. The recorded [`Trace`](obs::Trace) comes back on
+    /// [`ClusterReport::trace`].
+    #[must_use]
+    pub fn with_tracing(mut self, config: obs::TraceConfig) -> Self {
+        self.tracing = config;
+        self.trace_scratch = obs::TraceRecorder::new(config);
+        self
+    }
+
+    /// Enables host-time stage profiling (same semantics as
+    /// [`Runtime::with_profiling`]); the attribution comes back on
+    /// [`ClusterReport::profile`].
+    #[must_use]
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
+        self
+    }
+
     /// Overrides the front-end lowering options, clearing every device's
     /// kernel store and the simulation memo (cached artifacts were compiled
     /// under the old options).
@@ -502,6 +563,16 @@ impl Cluster {
     /// The active replication configuration.
     pub fn replication_config(&self) -> ReplicationConfig {
         self.replication
+    }
+
+    /// The active tracing configuration.
+    pub fn tracing(&self) -> obs::TraceConfig {
+        self.tracing
+    }
+
+    /// Whether host-time stage profiling is on.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// The devices (holding the state left by the last serve).
@@ -656,7 +727,11 @@ impl Cluster {
     /// cost (the cheapest [`TransferModel`] source) is accounted as
     /// off-critical-path traffic in [`ReplicationStats`].
     fn replicate(&mut self, info: &InFlight, now_us: f64, state: &mut ClusterState<'_>) {
-        let replicator = &mut state.replicator;
+        let ClusterState {
+            replicator,
+            recorder,
+            ..
+        } = state;
         if !replicator.enabled() {
             return;
         }
@@ -687,6 +762,7 @@ impl Cluster {
                 };
                 if self.devices[device].cache.remove(&victim) {
                     replicator.note_demoted(device, victim);
+                    recorder.counter(now_us, device, obs::CounterName::ReplicaDemoted);
                     has_room = true;
                 } else {
                     // Demand LRU already evicted this replica; just stop
@@ -702,6 +778,19 @@ impl Cluster {
                     .cost_us();
             self.devices[device].cache.get_or_share(key, &info.compiled);
             replicator.note_pushed(device, key, info.image_bytes, cost_us);
+            if recorder.enabled() {
+                recorder.record(obs::TraceEvent {
+                    time_us: now_us,
+                    dur_us: 0.0,
+                    request_id: None,
+                    device,
+                    tile: None,
+                    kind: obs::SpanKind::Prefetch {
+                        bytes: info.image_bytes as u64,
+                    },
+                });
+                recorder.counter(now_us, device, obs::CounterName::ReplicaPushed);
+            }
         }
     }
 
@@ -727,36 +816,72 @@ impl Cluster {
     }
 
     /// The routing decision at an arrival event: the chosen device plus how
-    /// it will acquire the kernel image (computed once, here).
-    fn route_device(&self, info: &InFlight, now_us: f64) -> (usize, Acquisition) {
+    /// it will acquire the kernel image (computed once, here). When tracing
+    /// is on, the decision is recorded as a route-choice span carrying every
+    /// candidate's completion estimate — under power-of-two-choices that
+    /// exposes the losing device's estimate next to the winner's.
+    fn route_device(
+        &self,
+        info: &InFlight,
+        now_us: f64,
+        recorder: &mut obs::TraceRecorder,
+    ) -> (usize, Acquisition) {
         let devices = self.num_devices();
-        if devices == 1 {
-            return (0, Acquisition::Resident);
-        }
-        let device = match self.route {
-            RoutePolicy::KernelHash => kernel_home(info.view.key.fingerprint, devices),
-            RoutePolicy::LeastLoaded => {
-                self.load_index
-                    .first()
-                    .expect("a non-empty cluster always has a least-loaded device")
-                    .2
-            }
-            RoutePolicy::PowerOfTwoChoices => {
-                let (first, second) =
-                    power_of_two_pair(info.view.key.fingerprint, info.request.id, devices);
-                let (a, a_acquisition) = self.completion_estimate(first, info, now_us);
-                let (b, b_acquisition) = self.completion_estimate(second, info, now_us);
-                return if b < a {
-                    (b.3, b_acquisition)
-                } else {
-                    (a.3, a_acquisition)
-                };
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        let (device, acquisition) = if devices == 1 {
+            (0, Acquisition::Resident)
+        } else {
+            match self.route {
+                RoutePolicy::KernelHash => {
+                    let device = kernel_home(info.view.key.fingerprint, devices);
+                    (
+                        device,
+                        self.peek_acquisition(device, info.view.key, info.image_bytes),
+                    )
+                }
+                RoutePolicy::LeastLoaded => {
+                    let device = self
+                        .load_index
+                        .first()
+                        .expect("a non-empty cluster always has a least-loaded device")
+                        .2;
+                    (
+                        device,
+                        self.peek_acquisition(device, info.view.key, info.image_bytes),
+                    )
+                }
+                RoutePolicy::PowerOfTwoChoices => {
+                    let (first, second) =
+                        power_of_two_pair(info.view.key.fingerprint, info.request.id, devices);
+                    let (a, a_acquisition) = self.completion_estimate(first, info, now_us);
+                    let (b, b_acquisition) = self.completion_estimate(second, info, now_us);
+                    if recorder.enabled() {
+                        candidates.push((a.3, a.0));
+                        candidates.push((b.3, b.0));
+                    }
+                    if b < a {
+                        (b.3, b_acquisition)
+                    } else {
+                        (a.3, a_acquisition)
+                    }
+                }
             }
         };
-        (
-            device,
-            self.peek_acquisition(device, info.view.key, info.image_bytes),
-        )
+        if recorder.enabled() {
+            recorder.record(obs::TraceEvent {
+                time_us: now_us,
+                dur_us: 0.0,
+                request_id: Some(info.request.id),
+                device,
+                tile: None,
+                kind: obs::SpanKind::RouteChoice(Box::new(obs::RouteChoice {
+                    policy: self.route.label(),
+                    chosen: device,
+                    candidates,
+                })),
+            });
+        }
+        (device, acquisition)
     }
 
     /// The shared serve body: resets per-serve state, spins up the shared
@@ -823,6 +948,8 @@ impl Cluster {
             policy: self.policy(),
             route: self.route,
             replication: output.replication,
+            trace: output.trace,
+            profile: output.profile,
             outcomes: output.outcomes,
             rejected: output.rejected,
             metrics,
@@ -864,6 +991,24 @@ impl Cluster {
             device_rejects: vec![0; devices],
             device_transfers: vec![(0, 0); devices],
             device_host_loads: vec![0; devices],
+            recorder: {
+                // Reuse the drained recorder from the previous serve (warm
+                // ring allocation); rebuild only if the config changed or a
+                // prior error path lost it.
+                let scratch = std::mem::replace(
+                    &mut self.trace_scratch,
+                    obs::TraceRecorder::new(obs::TraceConfig::disabled()),
+                );
+                if scratch.capacity() == self.tracing.capacity() {
+                    scratch
+                } else {
+                    obs::TraceRecorder::new(self.tracing)
+                }
+            },
+            profiler: obs::StageProfiler::new(self.profiling),
+            queue_depth_hist: obs::LogHistogram::new(),
+            device_latency_hists: vec![obs::LogHistogram::new(); devices],
+            acquire_src: Vec::new(),
         };
         let mut pull = crate::SubmissionPull::new();
 
@@ -875,6 +1020,8 @@ impl Cluster {
                     taken,
                     sim,
                     acquire_us,
+                    acquire_src,
+                    recorder,
                     ..
                 } = &mut state;
                 let device_slots = &mut self.devices;
@@ -898,11 +1045,22 @@ impl Cluster {
                             request,
                         )
                     },
-                    || {
+                    |inflight| {
                         outcome_slots.push(None);
                         taken.push(false);
                         sim.push_slot();
                         acquire_us.push(0.0);
+                        acquire_src.push(("resident", 0));
+                        if recorder.enabled() {
+                            recorder.record(obs::TraceEvent {
+                                time_us: inflight.request.arrival_us,
+                                dur_us: 0.0,
+                                request_id: Some(inflight.request.id),
+                                device: 0,
+                                tile: None,
+                                kind: obs::SpanKind::Submit,
+                            });
+                        }
                     },
                 )?;
             }
@@ -914,8 +1072,12 @@ impl Cluster {
                 break;
             };
             let now_us = event.time_us;
-            state.queue_area_us += self.waiting_count() as f64 * (now_us - state.last_event_us);
+            let bookkeeping = state.profiler.begin();
+            let waiting = self.waiting_count();
+            state.queue_area_us += waiting as f64 * (now_us - state.last_event_us);
+            state.queue_depth_hist.record(waiting as f64);
             state.last_event_us = now_us;
+            state.profiler.end(obs::Stage::Bookkeeping, bookkeeping);
 
             match event.kind {
                 EventKind::Arrival { index } => {
@@ -926,7 +1088,9 @@ impl Cluster {
                     // 3. place on a tile with the acquisition-adjusted
                     // switch cost.
                     self.replicate(info, now_us, &mut state);
-                    let (device, acquisition) = self.route_device(info, now_us);
+                    let route = state.profiler.begin();
+                    let (device, acquisition) =
+                        self.route_device(info, now_us, &mut state.recorder);
                     let adjusted = DispatchRequest {
                         switch_us: info.view.switch_us + acquisition.cost_us(),
                         ..info.view
@@ -936,9 +1100,31 @@ impl Cluster {
                         routed_device
                             .dispatcher
                             .place(&adjusted, now_us, &routed_device.pool);
+                    state.profiler.end(obs::Stage::Route, route);
                     let tile = device * self.tiles_per_device + local_tile;
                     let starts_now = !self.devices[device].pool.states()[local_tile].running;
-                    if !starts_now && self.waiting_count() >= self.admission_limit {
+                    let admitted = starts_now || self.waiting_count() < self.admission_limit;
+                    if state.recorder.enabled() {
+                        state.recorder.record(obs::TraceEvent {
+                            time_us: now_us,
+                            dur_us: 0.0,
+                            request_id: Some(info.request.id),
+                            device,
+                            tile: None,
+                            kind: obs::SpanKind::Admission { admitted },
+                        });
+                    }
+                    if !admitted {
+                        if state.recorder.enabled() {
+                            state.recorder.record(obs::TraceEvent {
+                                time_us: now_us,
+                                dur_us: 0.0,
+                                request_id: Some(info.request.id),
+                                device,
+                                tile: None,
+                                kind: obs::SpanKind::Reject,
+                            });
+                        }
                         state.rejected.push(RejectedRequest {
                             id: info.request.id,
                             kernel: info.request.kernel.shared_name(),
@@ -948,16 +1134,34 @@ impl Cluster {
                         state.device_rejects[device] += 1;
                         continue;
                     }
+                    state.acquire_src[index] = (acquisition.label(), acquisition.bytes());
                     state.acquire_us[index] =
                         self.commit_acquisition(device, info, acquisition, &mut state);
-                    state.sim.source(index, info, &mut self.sim_memo, &jobs);
+                    let memo = state.profiler.begin();
+                    let sourced = state.sim.source(index, info, &mut self.sim_memo, &jobs);
+                    state.profiler.end(obs::Stage::Memo, memo);
+                    match sourced {
+                        SimSourced::Joined => {
+                            state
+                                .recorder
+                                .counter(now_us, device, obs::CounterName::MemoJoin);
+                        }
+                        SimSourced::MemoHit => {
+                            state
+                                .recorder
+                                .counter(now_us, device, obs::CounterName::MemoHit);
+                        }
+                        SimSourced::Spawned => {}
+                    }
                     if starts_now {
                         self.start_request(device, local_tile, index, &intake, &mut state, None)?;
                     } else {
+                        let scan = state.profiler.begin();
                         self.with_load_update(device, |d| {
                             d.enqueue(local_tile, info.view.key, info.view.est_exec_us)
                         });
                         state.queues[tile].push(index, &info.view);
+                        state.profiler.end(obs::Stage::Scan, scan);
                         state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
                         state.device_peak_queue[device] = state.device_peak_queue[device]
                             .max(self.devices[device].pool.total_waiting());
@@ -984,6 +1188,11 @@ impl Cluster {
             intake.len(),
             "every submitted request is either served or rejected"
         );
+        let mut recorder = state.recorder;
+        let trace = recorder.finish();
+        // Hand the drained recorder (and its warm ring allocation) back to
+        // the cluster for the next serve.
+        self.trace_scratch = recorder;
         Ok(ClusterLoopOutput {
             outcomes,
             rejected: state.rejected,
@@ -996,6 +1205,10 @@ impl Cluster {
             device_rejects: state.device_rejects,
             device_transfers: state.device_transfers,
             device_host_loads: state.device_host_loads,
+            trace,
+            profile: state.profiler.finish(),
+            queue_depth_hist: state.queue_depth_hist,
+            device_latency_hists: state.device_latency_hists,
         })
     }
 
@@ -1011,6 +1224,7 @@ impl Cluster {
     ) -> Result<(), RuntimeError> {
         let tile = device * self.tiles_per_device + local_tile;
         let now_us = state.events.now_us();
+        let scan = state.profiler.begin();
         let queue = &mut state.queues[tile];
         let resident = self.devices[device].pool.states()[local_tile].resident;
         let choice = queue.peek_next(resident, &state.taken);
@@ -1039,6 +1253,7 @@ impl Cluster {
         queue.take(index, &mut state.taken);
         let remaining_tail = queue.tail_key(&state.taken);
         let est_us = intake[index].view.est_exec_us;
+        state.profiler.end(obs::Stage::Scan, scan);
         self.start_request(
             device,
             local_tile,
@@ -1063,7 +1278,9 @@ impl Cluster {
     ) -> Result<(), RuntimeError> {
         let now_us = state.events.now_us();
         let info = &intake[index];
+        let sim_probe = state.profiler.begin();
         let run = state.sim.take(index, intake, &mut self.sim_memo)?;
+        state.profiler.end(obs::Stage::Sim, sim_probe);
         let exec_cycles =
             run.metrics().total_cycles + self.devices[device].pool.roundtrip_cycles(local_tile);
         let exec_us = exec_cycles as f64 / info.fmax_mhz;
@@ -1091,6 +1308,27 @@ impl Cluster {
             device * self.tiles_per_device + local_tile,
             charged.switched,
         );
+        if state.recorder.enabled() {
+            let (source, bytes) = state.acquire_src[index];
+            // The acquisition is only paid (and only spanned) as part of a
+            // context switch — a warm tile rides the resident image free.
+            let acquire = if charged.switched {
+                Some((state.acquire_us[index], source, bytes))
+            } else {
+                None
+            };
+            record_request_spans(
+                &mut state.recorder,
+                (device, local_tile),
+                info,
+                &charged,
+                acquire,
+                state
+                    .batcher
+                    .run_len(device * self.tiles_per_device + local_tile),
+            );
+        }
+        state.device_latency_hists[device].record(charged.completion_us - info.request.arrival_us);
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
@@ -1250,6 +1488,10 @@ impl Cluster {
                 0.0
             },
             tile_peak_queue: all_states().map(|s| s.peak_queue_depth).collect(),
+            latency_hist: obs::LogHistogram::merged(
+                &output.device_latency_hists.iter().collect::<Vec<_>>(),
+            ),
+            queue_depth_hist: output.queue_depth_hist.clone(),
         };
         (totals, device_metrics)
     }

@@ -167,6 +167,13 @@ impl Batcher {
         }
     }
 
+    /// The current same-kernel run length on `tile` (counting the dispatch
+    /// just committed via [`note_start`](Batcher::note_start)) — what
+    /// tracing reports as batch membership.
+    pub(crate) fn run_len(&self, tile: usize) -> usize {
+        self.run_len[tile]
+    }
+
     /// The accumulated batching counters for this serve.
     pub(crate) fn stats(&self) -> BatchStats {
         self.stats

@@ -45,6 +45,15 @@
 //! Both modes make identical decisions on every trace; the property suite
 //! (`tests/runtime_equivalence.rs`) proves it on randomized traces across
 //! all four policies.
+//!
+//! Both decision points are also instrumented: the opt-in
+//! [`StageProfiler`](crate::obs::StageProfiler) bills placement and
+//! queue-drain selection to its `Scan` stage (host nanoseconds, zero clock
+//! reads when off), and with tracing on the outcome of each decision lands
+//! in the request's span timeline — the queue it joined as `QueueWait`, the
+//! switch it paid as `ContextSwitch` — so the per-policy cost *and* effect
+//! are both visible in one trace. `tests/observability.rs` pins that the
+//! instrumentation never perturbs a decision in either scan mode.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};

@@ -14,6 +14,15 @@
 //!
 //! Ties are broken by insertion order, which keeps the whole loop
 //! deterministic for a given submission order.
+//!
+//! The event pop is also the observability sampling point: both serve loops
+//! record the pre-update waiting count into the queue-depth
+//! [`LogHistogram`](crate::obs::LogHistogram) and attribute the queue-area
+//! bookkeeping to the `Bookkeeping` stage of the opt-in
+//! [`StageProfiler`](crate::obs::StageProfiler) at every event head, so one
+//! sample lands per fired event in both the [`Runtime`](crate::Runtime) and
+//! [`Cluster`](crate::Cluster) loops — identically, which is what keeps the
+//! histograms bitwise comparable across the two tiers.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};

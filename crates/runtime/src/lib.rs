@@ -101,12 +101,14 @@ pub mod dispatch;
 pub mod error;
 pub mod event;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod request;
 pub mod route;
 pub mod submit;
 
 pub use cache::{CacheStats, KernelCache, KernelKey, SimKey, SimMemo};
+pub use obs::{LogHistogram, ProfileStats, SpanKind, Trace, TraceConfig, TraceEvent};
 
 use cache::FnvHashMap;
 pub use cluster::{Cluster, ClusterReport, Device};
@@ -201,6 +203,8 @@ pub struct ServeReport {
     outcomes: Vec<RequestOutcome>,
     rejected: Vec<RejectedRequest>,
     metrics: RuntimeMetrics,
+    trace: Option<obs::Trace>,
+    profile: Option<obs::ProfileStats>,
 }
 
 impl ServeReport {
@@ -222,6 +226,18 @@ impl ServeReport {
     /// The dispatch policy that produced this report.
     pub fn policy(&self) -> DispatchPolicy {
         self.policy
+    }
+
+    /// The recorded request-span trace, when the serve ran with
+    /// [`Runtime::with_tracing`] enabled.
+    pub fn trace(&self) -> Option<&obs::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The host-time stage attribution, when the serve ran with
+    /// [`Runtime::with_profiling`] enabled.
+    pub fn profile(&self) -> Option<&obs::ProfileStats> {
+        self.profile.as_ref()
     }
 }
 
@@ -363,6 +379,81 @@ pub(crate) struct InFlight {
     pub(crate) view: DispatchRequest,
 }
 
+/// How [`SimResults::source`] satisfied a request's simulation — the memo
+/// counter events tracing records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SimSourced {
+    /// Joined an identical in-flight run.
+    Joined,
+    /// Answered from the memo.
+    MemoHit,
+    /// Spawned a fresh simulation job.
+    Spawned,
+}
+
+/// Records the lifecycle spans of one started request onto its tile track:
+/// queue wait (arrival → start), image acquisition and context switch when
+/// paid, the run itself, batch membership and the commit instant. The span
+/// durations sum to the request's reported `latency_us` by construction —
+/// the reconciliation the observability test suite audits. Shared by the
+/// [`Runtime`] and [`Cluster`] start paths (`acquire` is the cluster's
+/// image-acquisition charge: duration, source label, bytes).
+pub(crate) fn record_request_spans(
+    recorder: &mut obs::TraceRecorder,
+    place: (usize, usize),
+    info: &InFlight,
+    charged: &ChargeOutcome,
+    acquire: Option<(f64, &'static str, u64)>,
+    run_len: usize,
+) {
+    let (device, tile) = place;
+    let request = &info.request;
+    let span = |time_us: f64, dur_us: f64, kind: obs::SpanKind| obs::TraceEvent {
+        time_us,
+        dur_us,
+        request_id: Some(request.id),
+        device,
+        tile: Some(tile),
+        kind,
+    };
+    let start = charged.start_us;
+    // The always-adjacent pairs (queue wait + batch membership, run +
+    // commit) go through the recorder's fused capture paths: half the ring
+    // pushes for the per-request burst, split back apart at decode.
+    recorder.queue_wait_batch(
+        request.arrival_us,
+        start - request.arrival_us,
+        request.id,
+        device,
+        tile,
+        run_len as u64,
+    );
+    let mut cursor = start;
+    if let Some((acquire_us, source, bytes)) = acquire {
+        if acquire_us > 0.0 {
+            recorder.record(span(
+                cursor,
+                acquire_us,
+                obs::SpanKind::Acquire { source, bytes },
+            ));
+            cursor += acquire_us;
+        }
+    }
+    if charged.switched {
+        let switch_us = info.view.switch_us;
+        recorder.record(span(cursor, switch_us, obs::SpanKind::ContextSwitch));
+        cursor += switch_us;
+    }
+    recorder.run_commit(
+        cursor,
+        charged.completion_us - cursor,
+        charged.completion_us,
+        request.id,
+        device,
+        tile,
+    );
+}
+
 /// A functional-simulation job handed to a worker.
 pub(crate) struct SimJob {
     pub(crate) index: usize,
@@ -418,14 +509,15 @@ impl<'a> SimResults<'a> {
     /// Sources the (placement-independent) simulation for an admitted
     /// request `index`: joins an identical in-flight run, answers from the
     /// memo, or spawns a job on the least-loaded worker — exactly one of
-    /// the three, with the memo counters tracking which.
+    /// the three, with the memo counters tracking which. Returns which path
+    /// satisfied the request so tracing can emit the matching counter event.
     pub(crate) fn source(
         &mut self,
         index: usize,
         info: &InFlight,
         memo: &mut SimMemo,
         jobs: &[mpsc::Sender<SimJob>],
-    ) {
+    ) -> SimSourced {
         let joined = self.dedup
             && match self.pending.get_mut(&info.sim_key) {
                 Some(waiters) => {
@@ -437,8 +529,10 @@ impl<'a> SimResults<'a> {
             };
         if joined {
             // An identical simulation is already in flight.
+            SimSourced::Joined
         } else if let Some(run) = memo.get(&info.sim_key) {
             self.ready[index] = Some(Ok(run));
+            SimSourced::MemoHit
         } else {
             if self.dedup {
                 self.pending.insert(info.sim_key, vec![index]);
@@ -453,6 +547,7 @@ impl<'a> SimResults<'a> {
                     request: Arc::clone(&info.request),
                 })
                 .expect("sim workers outlive the event loop");
+            SimSourced::Spawned
         }
     }
 
@@ -578,7 +673,9 @@ impl SubmissionPull {
     /// Pulls until an event at or before the horizon is pending (or the
     /// ingest closes, setting the horizon to ∞). `prepare` compiles one
     /// submission into its [`InFlight`] record; `grow_slots` extends the
-    /// caller's per-intake side tables by one before the record is pushed.
+    /// caller's per-intake side tables by one before the record is pushed
+    /// (and, with tracing on, records the submission span — which is why it
+    /// sees the prepared record).
     pub(crate) fn pull<P, G>(
         &mut self,
         ingest: &mut Ingest,
@@ -589,7 +686,7 @@ impl SubmissionPull {
     ) -> Result<(), RuntimeError>
     where
         P: FnMut(Arc<Request>) -> Result<InFlight, RuntimeError>,
-        G: FnMut(),
+        G: FnMut(&InFlight),
     {
         while self.ingest_open
             && events
@@ -624,7 +721,7 @@ impl SubmissionPull {
                 // Arrivals enter in non-decreasing time order: the
                 // monotone lane appends instead of heap-sifting.
                 events.push_monotone(arrival_us, EventKind::Arrival { index });
-                grow_slots();
+                grow_slots(&inflight);
                 intake.push(inflight);
                 next = ingest.try_recv();
             }
@@ -667,6 +764,14 @@ struct OnlineState<'a> {
     peak_queue_depth: usize,
     queue_area_us: f64,
     last_event_us: f64,
+    /// Request-span recorder (inert under the default disabled config).
+    recorder: obs::TraceRecorder,
+    /// Host-time stage timers (inert unless profiling was enabled).
+    profiler: obs::StageProfiler,
+    /// Online latency histogram, recorded as requests complete.
+    latency_hist: obs::LogHistogram,
+    /// Online queue-depth histogram, sampled at every event-loop step.
+    queue_depth_hist: obs::LogHistogram,
 }
 
 /// What the event loop hands back for aggregation.
@@ -677,6 +782,10 @@ struct LoopOutput {
     queue_area_us: f64,
     events_fired: u64,
     batch: metrics::BatchStats,
+    trace: Option<obs::Trace>,
+    profile: Option<obs::ProfileStats>,
+    latency_hist: obs::LogHistogram,
+    queue_depth_hist: obs::LogHistogram,
 }
 
 /// An online multi-tile serving runtime over one overlay variant.
@@ -694,6 +803,12 @@ pub struct Runtime {
     ingest_capacity: usize,
     admission_limit: usize,
     batching: BatchConfig,
+    tracing: obs::TraceConfig,
+    /// Recorder kept across serves so the ring's backing allocation (and
+    /// its warmed pages) amortize instead of being re-faulted per serve.
+    /// Swapped into the event loop's state and back out at serve end.
+    trace_scratch: obs::TraceRecorder,
+    profiling: bool,
 }
 
 impl Runtime {
@@ -737,6 +852,9 @@ impl Runtime {
             ingest_capacity: Self::DEFAULT_INGEST_CAPACITY,
             admission_limit: usize::MAX,
             batching: BatchConfig::disabled(),
+            tracing: obs::TraceConfig::disabled(),
+            trace_scratch: obs::TraceRecorder::new(obs::TraceConfig::disabled()),
+            profiling: false,
         }
     }
 
@@ -820,6 +938,28 @@ impl Runtime {
         self
     }
 
+    /// Configures request-span tracing: every serve records its lifecycle
+    /// spans into a bounded drop-oldest ring and hands the completed
+    /// [`Trace`](obs::Trace) back on the report. The default
+    /// [`TraceConfig::disabled`](obs::TraceConfig::disabled) records nothing
+    /// and leaves the serve bitwise identical to an untraced one.
+    #[must_use]
+    pub fn with_tracing(mut self, config: obs::TraceConfig) -> Self {
+        self.tracing = config;
+        self.trace_scratch = obs::TraceRecorder::new(config);
+        self
+    }
+
+    /// Enables the host-time hot-path profiler: the serve attributes its
+    /// wall-clock nanoseconds to scan/route/sim/memo/bookkeeping stages and
+    /// reports [`ProfileStats`](obs::ProfileStats). Off (the default) no
+    /// clock is ever read on the hot path.
+    #[must_use]
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
+        self
+    }
+
     /// Overrides the front-end lowering options.
     ///
     /// Clears the kernel cache and the simulation memo: cached artifacts
@@ -861,6 +1001,16 @@ impl Runtime {
     /// The active same-kernel batching configuration.
     pub fn batching(&self) -> BatchConfig {
         self.batching
+    }
+
+    /// The active tracing configuration.
+    pub fn tracing(&self) -> obs::TraceConfig {
+        self.tracing
+    }
+
+    /// Whether host-time stage profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// The tile pool (holding the state left by the last serve).
@@ -984,6 +1134,8 @@ impl Runtime {
             outcomes: output.outcomes,
             rejected: output.rejected,
             metrics,
+            trace: output.trace,
+            profile: output.profile,
         })
     }
 
@@ -1034,6 +1186,23 @@ impl Runtime {
             peak_queue_depth: 0,
             queue_area_us: 0.0,
             last_event_us: 0.0,
+            recorder: {
+                // Reuse the drained recorder from the previous serve (warm
+                // ring allocation); rebuild only if the config changed or a
+                // prior error path lost it.
+                let scratch = std::mem::replace(
+                    &mut self.trace_scratch,
+                    obs::TraceRecorder::new(obs::TraceConfig::disabled()),
+                );
+                if scratch.capacity() == self.tracing.capacity() {
+                    scratch
+                } else {
+                    obs::TraceRecorder::new(self.tracing)
+                }
+            },
+            profiler: obs::StageProfiler::new(self.profiling),
+            latency_hist: obs::LogHistogram::new(),
+            queue_depth_hist: obs::LogHistogram::new(),
         };
         let mut pull = SubmissionPull::new();
 
@@ -1044,6 +1213,7 @@ impl Runtime {
                     outcome_slots,
                     taken,
                     sim,
+                    recorder,
                     ..
                 } = &mut state;
                 let cache = &mut self.cache;
@@ -1054,10 +1224,20 @@ impl Runtime {
                     events,
                     &mut intake,
                     |request| prepare_request(cache, lower, reconfig, &mut ctx, request),
-                    || {
+                    |inflight| {
                         outcome_slots.push(None);
                         taken.push(false);
                         sim.push_slot();
+                        if recorder.enabled() {
+                            recorder.record(obs::TraceEvent {
+                                time_us: inflight.request.arrival_us,
+                                dur_us: 0.0,
+                                request_id: Some(inflight.request.id),
+                                device: 0,
+                                tile: None,
+                                kind: obs::SpanKind::Submit,
+                            });
+                        }
                     },
                 )?;
             }
@@ -1072,19 +1252,46 @@ impl Runtime {
                 break;
             };
             let now_us = event.time_us;
-            state.queue_area_us += self.waiting_count() as f64 * (now_us - state.last_event_us);
+            let bookkeeping = state.profiler.begin();
+            let waiting = self.waiting_count();
+            state.queue_area_us += waiting as f64 * (now_us - state.last_event_us);
+            state.queue_depth_hist.record(waiting as f64);
             state.last_event_us = now_us;
+            state.profiler.end(obs::Stage::Bookkeeping, bookkeeping);
 
             match event.kind {
                 EventKind::Arrival { index } => {
                     let info = &intake[index];
+                    let route = state.profiler.begin();
                     let tile = self.dispatcher.place(&info.view, now_us, &self.pool);
+                    state.profiler.end(obs::Stage::Route, route);
                     // Admission control bounds *waiters*: a request that can
                     // start immediately on its (idle) tile is always
                     // admitted, one that would join a queue already holding
                     // `admission_limit` waiters pool-wide is rejected.
                     let starts_now = !self.pool.states()[tile].running;
-                    if !starts_now && self.waiting_count() >= self.admission_limit {
+                    let admitted = starts_now || self.waiting_count() < self.admission_limit;
+                    if state.recorder.enabled() {
+                        state.recorder.record(obs::TraceEvent {
+                            time_us: now_us,
+                            dur_us: 0.0,
+                            request_id: Some(info.request.id),
+                            device: 0,
+                            tile: None,
+                            kind: obs::SpanKind::Admission { admitted },
+                        });
+                    }
+                    if !admitted {
+                        if state.recorder.enabled() {
+                            state.recorder.record(obs::TraceEvent {
+                                time_us: now_us,
+                                dur_us: 0.0,
+                                request_id: Some(info.request.id),
+                                device: 0,
+                                tile: None,
+                                kind: obs::SpanKind::Reject,
+                            });
+                        }
                         state.rejected.push(RejectedRequest {
                             id: info.request.id,
                             kernel: info.request.kernel.shared_name(),
@@ -1098,16 +1305,33 @@ impl Runtime {
                     // from the memo, from an identical in-flight run, or by
                     // spawning a job on the worker pool. The loop blocks for
                     // the cycle count only when a tile is about to run it.
-                    state.sim.source(index, info, &mut self.sim_memo, &jobs);
+                    let memo = state.profiler.begin();
+                    let sourced = state.sim.source(index, info, &mut self.sim_memo, &jobs);
+                    state.profiler.end(obs::Stage::Memo, memo);
+                    if state.recorder.enabled() {
+                        match sourced {
+                            SimSourced::Joined => {
+                                state
+                                    .recorder
+                                    .counter(now_us, 0, obs::CounterName::MemoJoin)
+                            }
+                            SimSourced::MemoHit => {
+                                state.recorder.counter(now_us, 0, obs::CounterName::MemoHit)
+                            }
+                            SimSourced::Spawned => {}
+                        }
+                    }
                     if starts_now {
                         self.start_request(tile, index, &intake, &mut state, None)?;
                     } else {
+                        let scan = state.profiler.begin();
                         self.pool
                             .enqueue(tile, info.view.key, info.view.est_exec_us);
                         match &mut state.queues {
                             TileQueues::Indexed(queues) => queues[tile].push(index, &info.view),
                             TileQueues::Linear(queues) => queues[tile].push_back(index),
                         }
+                        state.profiler.end(obs::Stage::Scan, scan);
                         state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
                     }
                 }
@@ -1130,6 +1354,11 @@ impl Runtime {
             intake.len(),
             "every submitted request is either served or rejected"
         );
+        let mut recorder = state.recorder;
+        let trace = recorder.finish();
+        // Hand the drained recorder (and its warm ring allocation) back to
+        // the runtime for the next serve.
+        self.trace_scratch = recorder;
         Ok(LoopOutput {
             outcomes,
             rejected: state.rejected,
@@ -1137,6 +1366,10 @@ impl Runtime {
             queue_area_us: state.queue_area_us,
             events_fired,
             batch: state.batcher.stats(),
+            trace,
+            profile: state.profiler.finish(),
+            latency_hist: state.latency_hist,
+            queue_depth_hist: state.queue_depth_hist,
         })
     }
 
@@ -1159,8 +1392,10 @@ impl Runtime {
             queues,
             taken,
             batcher,
+            profiler,
             ..
         } = state;
+        let scan = profiler.begin();
         let (index, remaining_tail) = match queues {
             TileQueues::Indexed(queues) => {
                 let queue = &mut queues[tile];
@@ -1214,6 +1449,7 @@ impl Runtime {
                 (index, queue.back().map(|&i| intake[i].view.key))
             }
         };
+        state.profiler.end(obs::Stage::Scan, scan);
         // Deadline-aware removal may have taken the queue tail; tell the
         // pool what the queue ends in now so residency projection stays
         // honest for later placements. The dequeue and the charge are one
@@ -1236,7 +1472,9 @@ impl Runtime {
     ) -> Result<(), RuntimeError> {
         let now_us = state.events.now_us();
         let info = &intake[index];
+        let sim = state.profiler.begin();
         let run = state.sim.take(index, intake, &mut self.sim_memo)?;
+        state.profiler.end(obs::Stage::Sim, sim);
         let exec_cycles = run.metrics().total_cycles + self.pool.roundtrip_cycles(tile);
         let exec_us = exec_cycles as f64 / info.fmax_mhz;
         let charged = match from_queue {
@@ -1254,6 +1492,19 @@ impl Runtime {
                 .charge(tile, info.view.key, now_us, info.view.switch_us, exec_us),
         };
         state.batcher.note_start(tile, charged.switched);
+        if state.recorder.enabled() {
+            record_request_spans(
+                &mut state.recorder,
+                (0, tile),
+                info,
+                &charged,
+                None,
+                state.batcher.run_len(tile),
+            );
+        }
+        state
+            .latency_hist
+            .record(charged.completion_us - info.request.arrival_us);
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
@@ -1361,6 +1612,8 @@ impl Runtime {
                 0.0
             },
             tile_peak_queue: states.iter().map(|s| s.peak_queue_depth).collect(),
+            latency_hist: output.latency_hist.clone(),
+            queue_depth_hist: output.queue_depth_hist.clone(),
         }
     }
 }

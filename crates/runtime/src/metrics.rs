@@ -6,6 +6,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 use crate::cache::CacheStats;
+use crate::obs::LogHistogram;
 
 /// Aggregate metrics for one [`serve`](crate::Runtime::serve) call, built
 /// from the per-request outcomes and the per-tile serving state.
@@ -74,6 +75,18 @@ pub struct RuntimeMetrics {
     pub mean_queue_depth: f64,
     /// Per-tile high-water marks of queued (waiting) requests.
     pub tile_peak_queue: Vec<usize>,
+    /// Log-bucketed request-latency histogram, recorded online as requests
+    /// complete. Exact percentiles above come from the sorted samples; this
+    /// histogram is the constant-memory view an exporter can stream, within
+    /// one bucket width of the exact answer. A cluster rolls per-device
+    /// histograms up by bucket-count addition
+    /// ([`LogHistogram::merged`](crate::obs::LogHistogram::merged)),
+    /// mirroring [`percentile_from_sorted_parts`].
+    pub latency_hist: LogHistogram,
+    /// Log-bucketed histogram of the total waiting count, sampled at every
+    /// event-loop step (event-weighted, unlike the time-weighted
+    /// [`mean_queue_depth`](RuntimeMetrics::mean_queue_depth)).
+    pub queue_depth_hist: LogHistogram,
 }
 
 impl RuntimeMetrics {
@@ -143,6 +156,16 @@ impl fmt::Display for RuntimeMetrics {
             f,
             "switches: {} totalling {:.2} us; batching: {}; cache: {}; sim memo: {}",
             self.switch_count, self.total_switch_us, self.batch, self.cache, self.sim_memo,
+        )?;
+        writeln!(
+            f,
+            "latency hist: p50 {:.2}, p99 {:.2} us over {} sample(s); queue hist: p99 {:.1} \
+             over {} sample(s)",
+            self.latency_hist.percentile(0.5),
+            self.latency_hist.percentile(0.99),
+            self.latency_hist.count(),
+            self.queue_depth_hist.percentile(0.99),
+            self.queue_depth_hist.count(),
         )?;
         write!(f, "tile utilization:")?;
         for (tile, utilization) in self.tile_utilization.iter().enumerate() {
@@ -648,9 +671,16 @@ mod tests {
             peak_queue_depth: 5,
             mean_queue_depth: 1.25,
             tile_peak_queue: vec![3, 2],
+            latency_hist: {
+                let mut hist = LogHistogram::new();
+                hist.record(10.0);
+                hist
+            },
+            queue_depth_hist: LogHistogram::new(),
         };
         let text = metrics.to_string();
         assert!(text.contains("10 request(s)"));
+        assert!(text.contains("over 1 sample(s)"));
         assert!(text.contains("20 event(s)"));
         assert!(text.contains("p99 30.00"));
         assert!(text.contains("1 miss(es) of 4 served (25% miss rate)"));
@@ -691,6 +721,8 @@ mod tests {
             peak_queue_depth: 0,
             mean_queue_depth: 0.0,
             tile_peak_queue: vec![],
+            latency_hist: LogHistogram::new(),
+            queue_depth_hist: LogHistogram::new(),
         };
         assert_eq!(metrics.deadline_miss_rate(), 0.0);
         assert_eq!(metrics.reject_rate(), 0.0);

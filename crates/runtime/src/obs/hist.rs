@@ -1,0 +1,388 @@
+//! Log-bucketed (HDR-style) histograms recorded online in the event loop.
+//!
+//! A [`LogHistogram`] trades exactness for constant memory and O(1) inserts:
+//! values land in geometrically-spaced buckets — [`SUB_BUCKETS_PER_OCTAVE`]
+//! buckets per doubling, so every bucket spans a fixed ≈9 % relative width —
+//! and percentiles interpolate between bucket representatives. The promise
+//! the parity test pins down: a histogram percentile is within one bucket
+//! width of the exact [`percentile_by_selection`](crate::metrics::percentile_by_selection)
+//! answer over the same samples.
+//!
+//! Cluster roll-ups merge per-device histograms by bucket-count addition
+//! ([`LogHistogram::merged`] / [`percentile_from_parts`]), mirroring how
+//! exact per-device latency runs roll up through
+//! [`percentile_from_sorted_parts`](crate::metrics::percentile_from_sorted_parts):
+//! the merged histogram is *identical* to one recorded from the union, so a
+//! one-device cluster reproduces the single-runtime histogram bit for bit.
+
+/// Buckets per octave (per doubling of the value). 8 sub-buckets make each
+/// bucket span a factor of 2^(1/8) ≈ 1.0905 — a ≈9 % relative width, which
+/// bounds the percentile error the parity test checks.
+pub const SUB_BUCKETS_PER_OCTAVE: usize = 8;
+
+/// Values below this threshold (including zero and negatives, which the
+/// runtime never produces but the histogram tolerates) land in the dedicated
+/// underflow bucket 0, represented as 0.
+const LOWEST_TRACKED: f64 = 1e-3;
+
+/// Hard cap on the bucket vector so a wild value cannot balloon memory:
+/// bucket `MAX_BUCKET` starts at `LOWEST_TRACKED · 2^(MAX_BUCKET−1)/8` ≈ 1e21,
+/// far beyond any modeled microsecond quantity.
+const MAX_BUCKET: usize = 1 + 80 * SUB_BUCKETS_PER_OCTAVE;
+
+/// An online log-bucketed histogram of non-negative `f64` samples
+/// (latencies in microseconds, queue depths).
+///
+/// Recording is O(1) (a log2 and a vector bump, growing the bucket vector on
+/// demand); memory is bounded by [`MAX_BUCKET`]. Equality is structural —
+/// two histograms are equal exactly when they saw the same multiset of
+/// samples at bucket resolution *and* the same floating-point sum, which is
+/// what the cluster-vs-runtime equivalence tests compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// `counts[0]` is the underflow bucket (< [`LOWEST_TRACKED`]); bucket
+    /// `i ≥ 1` counts samples in `[lower_bound(i), lower_bound(i+1))`.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// The bucket index a value lands in.
+    fn bucket_of(value: f64) -> usize {
+        // NaN and sub-floor values (the comparison is false for NaN) both
+        // land in the underflow bucket.
+        if value.is_nan() || value < LOWEST_TRACKED {
+            return 0;
+        }
+        let octaves = (value / LOWEST_TRACKED).log2();
+        let index = 1 + (octaves * SUB_BUCKETS_PER_OCTAVE as f64).floor() as usize;
+        index.min(MAX_BUCKET)
+    }
+
+    /// The lower edge of bucket `index` (0 for the underflow bucket).
+    fn lower_bound(index: usize) -> f64 {
+        if index == 0 {
+            0.0
+        } else {
+            LOWEST_TRACKED * (((index - 1) as f64) / SUB_BUCKETS_PER_OCTAVE as f64).exp2()
+        }
+    }
+
+    /// The value a bucket stands for when interpolating percentiles: the
+    /// geometric midpoint of its edges (0 for the underflow bucket, whose
+    /// samples are all "smaller than the tracking floor").
+    fn representative(index: usize) -> f64 {
+        if index == 0 {
+            0.0
+        } else {
+            Self::lower_bound(index) * (0.5 / SUB_BUCKETS_PER_OCTAVE as f64).exp2()
+        }
+    }
+
+    /// The width of the bucket a value lands in — the resolution promise:
+    /// histogram percentiles sit within one such width of the exact answer.
+    pub fn bucket_width_at(value: f64) -> f64 {
+        let index = Self::bucket_of(value);
+        Self::lower_bound(index + 1) - Self::lower_bound(index)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let index = Self::bucket_of(value);
+        if self.counts.len() <= index {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Linear-interpolated percentile (`p` in 0..=1) at bucket resolution —
+    /// the same `rank = p·(n−1)` / lerp construction as
+    /// [`percentile_by_selection`](crate::metrics::percentile_by_selection),
+    /// with order statistics replaced by their bucket representatives.
+    /// Returns 0 when empty (matching the exact paths).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_from_parts(&[self], p)
+    }
+
+    /// Iterates the non-empty buckets as `(upper_edge, cumulative_count)`
+    /// pairs — the shape a Prometheus `_bucket{le="…"}` exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cumulative = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(index, &n)| {
+                cumulative += n;
+                (Self::lower_bound(index + 1), cumulative)
+            })
+            .collect()
+    }
+
+    /// Merges several histograms by bucket-count addition — the cluster
+    /// roll-up path. Merging a single histogram reproduces it exactly, so a
+    /// one-device cluster's merged histogram equals the runtime's.
+    pub fn merged(parts: &[&LogHistogram]) -> LogHistogram {
+        let len = parts.iter().map(|p| p.counts.len()).max().unwrap_or(0);
+        let mut counts = vec![0u64; len];
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for part in parts {
+            for (slot, &n) in counts.iter_mut().zip(&part.counts) {
+                *slot += n;
+            }
+            count += part.count;
+            sum += part.sum;
+            if part.min < min {
+                min = part.min;
+            }
+            if part.max > max {
+                max = part.max;
+            }
+        }
+        LogHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+}
+
+/// Percentile (`p` in 0..=1) over several histograms *without materializing
+/// the merge* — a cumulative walk over the shared bucket grid, mirroring
+/// [`percentile_from_sorted_parts`](crate::metrics::percentile_from_sorted_parts)
+/// over exact sorted runs. `percentile_from_parts(&[h], p)` equals
+/// `h.percentile(p)`, and the walk over many parts equals
+/// `LogHistogram::merged(parts).percentile(p)` by construction (bucket
+/// counts add).
+pub fn percentile_from_parts(parts: &[&LogHistogram], p: f64) -> f64 {
+    let total: u64 = parts.iter().map(|part| part.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = p.clamp(0.0, 1.0) * (total - 1) as f64;
+    let low = rank.floor() as u64;
+    let high = rank.ceil() as u64;
+    let weight = rank - low as f64;
+    let len = parts
+        .iter()
+        .map(|part| part.counts.len())
+        .max()
+        .unwrap_or(0);
+    let mut cumulative = 0u64;
+    let mut low_value = None;
+    for index in 0..len {
+        let here: u64 = parts
+            .iter()
+            .map(|part| part.counts.get(index).copied().unwrap_or(0))
+            .sum();
+        if here == 0 {
+            continue;
+        }
+        cumulative += here;
+        let representative = LogHistogram::representative(index);
+        if low_value.is_none() && cumulative > low {
+            low_value = Some(representative);
+        }
+        if cumulative > high {
+            let low_value = low_value.expect("low rank is at or before high rank");
+            return low_value * (1.0 - weight) + representative * weight;
+        }
+    }
+    unreachable!("the cumulative walk covers every recorded sample")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{percentile_by_selection, percentile_from_sorted_parts};
+
+    #[test]
+    fn empty_and_degenerate_histograms_match_the_exact_paths() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.percentile(0.5), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(percentile_from_parts(&[], 0.5), 0.0);
+
+        let mut single = LogHistogram::new();
+        single.record(7.0);
+        let exact = percentile_by_selection(&mut [7.0], 0.99);
+        let width = LogHistogram::bucket_width_at(7.0);
+        assert!((single.percentile(0.99) - exact).abs() <= width);
+        assert_eq!(single.count(), 1);
+        assert_eq!(single.min(), 7.0);
+        assert_eq!(single.max(), 7.0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_bucket() {
+        let mut hist = LogHistogram::new();
+        for _ in 0..100 {
+            hist.record(42.0);
+        }
+        let width = LogHistogram::bucket_width_at(42.0);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert!(
+                (hist.percentile(p) - 42.0).abs() <= width,
+                "p={p}: {} vs 42 ± {width}",
+                hist.percentile(p)
+            );
+        }
+        assert_eq!(hist.cumulative_buckets().len(), 1);
+    }
+
+    #[test]
+    fn percentiles_stay_within_one_bucket_width_of_selection() {
+        let mut seed = 0xD1CEu64;
+        let values: Vec<f64> = (0..499)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed % 100_000) as f64 * 0.03125
+            })
+            .collect();
+        let mut hist = LogHistogram::new();
+        for &value in &values {
+            hist.record(value);
+        }
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let mut scratch = values.clone();
+            let exact = percentile_by_selection(&mut scratch, p);
+            let width = LogHistogram::bucket_width_at(exact);
+            assert!(
+                (hist.percentile(p) - exact).abs() <= width,
+                "p={p}: hist {} vs exact {exact} ± {width}",
+                hist.percentile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn merged_histograms_equal_a_union_recording() {
+        let mut seed = 0xFEEDu64;
+        let mut parts = vec![LogHistogram::new(); 3];
+        let mut union = LogHistogram::new();
+        let mut exact_parts: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for _ in 0..300 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let value = (seed % 10_000) as f64 * 0.125;
+            let part = (seed % 3) as usize;
+            parts[part].record(value);
+            union.record(value);
+            exact_parts[part].push(value);
+        }
+        let views: Vec<&LogHistogram> = parts.iter().collect();
+        let merged = LogHistogram::merged(&views);
+        assert_eq!(merged.counts, union.counts);
+        assert_eq!(merged.count, union.count);
+        assert_eq!(merged.min, union.min);
+        assert_eq!(merged.max, union.max);
+        // The walk-without-materializing path agrees with the merge, and
+        // both sit within a bucket width of the exact k-way merge.
+        for part in &mut exact_parts {
+            part.sort_by(f64::total_cmp);
+        }
+        let exact_views: Vec<&[f64]> = exact_parts.iter().map(Vec::as_slice).collect();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_from_parts(&views, p), merged.percentile(p));
+            let exact = percentile_from_sorted_parts(&exact_views, p);
+            let width = LogHistogram::bucket_width_at(exact);
+            assert!((merged.percentile(p) - exact).abs() <= width, "p={p}");
+        }
+    }
+
+    #[test]
+    fn merging_one_histogram_is_the_identity() {
+        let mut hist = LogHistogram::new();
+        for value in [0.0, 0.5, 1.0, 3.75, 1e6] {
+            hist.record(value);
+        }
+        assert_eq!(LogHistogram::merged(&[&hist]), hist);
+    }
+
+    #[test]
+    fn underflow_and_overflow_stay_bounded() {
+        let mut hist = LogHistogram::new();
+        hist.record(0.0);
+        hist.record(-1.0);
+        hist.record(1e30);
+        assert_eq!(hist.count(), 3);
+        assert!(hist.counts.len() <= MAX_BUCKET + 1);
+        assert_eq!(hist.counts[0], 2, "zero and negatives share bucket 0");
+    }
+}

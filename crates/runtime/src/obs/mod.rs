@@ -1,0 +1,40 @@
+//! Observability for the serving runtime: request-span tracing, log-bucketed
+//! histogram metrics, exporters, and host-time hot-path profiling.
+//!
+//! Everything here is off by default and proptest-pinned free when off —
+//! the same idiom as the control plane ([`BatchConfig::disabled`](crate::BatchConfig::disabled)):
+//!
+//! * [`TraceConfig`] / [`TraceRecorder`] — a bounded drop-oldest ring of
+//!   typed [`TraceEvent`] spans on the virtual timeline, recording every
+//!   request's lifecycle (submit → admission → route → queue wait →
+//!   acquire/switch → run → commit/reject) plus control-plane counters.
+//!   Enable with [`Runtime::with_tracing`](crate::Runtime::with_tracing) /
+//!   [`Cluster::with_tracing`](crate::Cluster::with_tracing); the completed
+//!   [`Trace`] comes back on the serve report.
+//! * [`LogHistogram`] — HDR-style log-bucketed latency and queue-depth
+//!   histograms, recorded online in
+//!   [`RuntimeMetrics`](crate::RuntimeMetrics) (always on; pure function of
+//!   the modeled serve), with a cluster merge path
+//!   ([`percentile_from_parts`]) mirroring
+//!   [`percentile_from_sorted_parts`](crate::metrics::percentile_from_sorted_parts).
+//! * [`perfetto_trace_json`] / [`prometheus_text`] — exporters; the former
+//!   is validated by [`validate_chrome_trace`] in CI.
+//! * [`StageProfiler`] / [`ProfileStats`] — opt-in host-time stage timers
+//!   (scan / route / sim / memo / bookkeeping) behind
+//!   [`Runtime::with_profiling`](crate::Runtime::with_profiling), feeding
+//!   the `profile` section of `BENCH_runtime.json`.
+
+mod export;
+mod hist;
+mod profile;
+mod trace;
+
+pub use export::{
+    parse_json, perfetto_trace_json, prometheus_text, validate_chrome_trace, JsonValue,
+    TraceValidation,
+};
+pub use hist::{percentile_from_parts, LogHistogram, SUB_BUCKETS_PER_OCTAVE};
+pub use profile::{ProfileStats, Stage, StageProfiler, STAGE_COUNT};
+pub use trace::{
+    CounterName, RouteChoice, SpanKind, Trace, TraceConfig, TraceEvent, TraceRecorder,
+};

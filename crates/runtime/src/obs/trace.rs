@@ -1,0 +1,723 @@
+//! Request-span tracing on the virtual timeline.
+//!
+//! A [`TraceRecorder`] is a bounded, drop-oldest ring buffer of typed
+//! [`TraceEvent`]s. The event loops own exactly one recorder each and run on
+//! a single thread, so recording is a plain (lock-free) ring push — no
+//! atomics, no allocation per span beyond what the span itself carries — and
+//! with the default [`TraceConfig::disabled`] every hook is one branch on
+//! [`TraceRecorder::enabled`] and otherwise free. That zero-cost-off
+//! property is what lets the equivalence proptests pin tracing-off serves
+//! bitwise-identical to the pre-observability runtime.
+//!
+//! Spans cover the full request lifecycle — submit, admission verdict, route
+//! choice (with the losing candidate's completion estimate), queue wait,
+//! image acquisition/prefetch, context switch, batch membership, run,
+//! commit/reject — plus control-plane counters (replica push/demote, memo
+//! hit/join). Times are virtual microseconds, the same clock the
+//! [`EventQueue`](crate::event) runs on.
+
+/// Whether — and how much — the serve records spans.
+///
+/// Follows the control-plane idiom ([`BatchConfig::disabled`](crate::BatchConfig::disabled)):
+/// the default is off, and off is proptest-pinned bitwise-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing off (the default): every hook short-circuits, no event is
+    /// ever stored, and the serve is bitwise-identical to one on a build
+    /// without observability.
+    pub fn disabled() -> Self {
+        TraceConfig { capacity: 0 }
+    }
+
+    /// Tracing on with a bounded ring of `capacity` events; once full, the
+    /// oldest event is dropped (and counted) per new event. A capacity of 0
+    /// is [`disabled`](TraceConfig::disabled).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig { capacity }
+    }
+
+    /// Tracing on with the default ring capacity (65 536 events — roughly
+    /// ten thousand requests of full lifecycle spans).
+    pub fn enabled() -> Self {
+        TraceConfig::with_capacity(65_536)
+    }
+
+    /// True when spans will be recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+/// Which control-plane counter a [`SpanKind::Counter`] event samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterName {
+    /// A kernel image was pushed ahead of demand by the replicator.
+    ReplicaPushed,
+    /// A pushed replica was demoted from a pressured device store.
+    ReplicaDemoted,
+    /// A request's simulation was answered from the memo.
+    MemoHit,
+    /// A request joined an identical in-flight simulation.
+    MemoJoin,
+}
+
+impl CounterName {
+    /// The counter's export name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CounterName::ReplicaPushed => "replicas_pushed",
+            CounterName::ReplicaDemoted => "replicas_demoted",
+            CounterName::MemoHit => "sim_memo_hits",
+            CounterName::MemoJoin => "sim_memo_joins",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            CounterName::ReplicaPushed => 0,
+            CounterName::ReplicaDemoted => 1,
+            CounterName::MemoHit => 2,
+            CounterName::MemoJoin => 3,
+        }
+    }
+}
+
+/// The cluster router's weighed decision for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteChoice {
+    /// The routing policy's export label.
+    pub policy: &'static str,
+    /// The chosen device.
+    pub chosen: usize,
+    /// `(device, estimated completion µs)` for each candidate weighed;
+    /// empty for policies that never estimate (hash, least-loaded).
+    pub candidates: Vec<(usize, f64)>,
+}
+
+/// What a span records — one lifecycle stage of a request, or a counter
+/// sample from the control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanKind {
+    /// The request entered the runtime's in-flight set (instant, at its
+    /// arrival timestamp).
+    Submit,
+    /// The admission verdict at arrival (instant).
+    Admission {
+        /// False when admission control shed the request.
+        admitted: bool,
+    },
+    /// The cluster router's pick (instant, device-level). Boxed to keep the
+    /// common lifecycle spans small in the ring — route choices are one
+    /// event per request, the rest are the hot path.
+    RouteChoice(Box<RouteChoice>),
+    /// From arrival to tile start — the queueing portion of latency.
+    QueueWait,
+    /// Kernel-image acquisition serialized ahead of this request's context
+    /// switch (cluster only: inter-device transfer or host load).
+    Acquire {
+        /// Where the image came from (`"transfer"` or `"host"`).
+        source: &'static str,
+        /// Image bytes moved (0 for host loads).
+        bytes: u64,
+    },
+    /// A replication push moving an image ahead of demand (instant,
+    /// device-level, off the request critical path).
+    Prefetch {
+        /// Image bytes prefetched.
+        bytes: u64,
+    },
+    /// The tile's instruction-reload context switch for this request.
+    ContextSwitch,
+    /// The request was dispatched as part of a same-kernel batch (instant,
+    /// at tile start).
+    Batch {
+        /// Length of the same-kernel run so far, this request included.
+        run_len: u32,
+    },
+    /// Kernel execution on the tile, from switch end to completion.
+    Run,
+    /// The request completed and its outcome was committed (instant).
+    Commit,
+    /// The request was rejected by admission control (instant).
+    Reject,
+    /// A control-plane counter sample: `value` is the running total at this
+    /// virtual time.
+    Counter {
+        /// Which counter.
+        name: CounterName,
+        /// The counter's cumulative value after this event.
+        value: u64,
+    },
+}
+
+impl SpanKind {
+    /// The span's export name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Submit => "submit",
+            SpanKind::Admission { .. } => "admission",
+            SpanKind::RouteChoice(_) => "route",
+            SpanKind::QueueWait => "queue-wait",
+            SpanKind::Acquire { .. } => "acquire",
+            SpanKind::Prefetch { .. } => "prefetch",
+            SpanKind::ContextSwitch => "context-switch",
+            SpanKind::Batch { .. } => "batch",
+            SpanKind::Run => "run",
+            SpanKind::Commit => "commit",
+            SpanKind::Reject => "reject",
+            SpanKind::Counter { name, .. } => name.label(),
+        }
+    }
+}
+
+/// One recorded span: a [`SpanKind`] anchored on the virtual timeline.
+///
+/// `dur_us` is 0 for instants. `device` is 0 for a plain
+/// [`Runtime`](crate::Runtime) serve; `tile` is `None` for device-level
+/// events (submission, admission, routing, counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span start, virtual microseconds.
+    pub time_us: f64,
+    /// Span duration, virtual microseconds (0 for instants).
+    pub dur_us: f64,
+    /// The request this span belongs to (`None` for counters/prefetches).
+    pub request_id: Option<u64>,
+    /// The device the span happened on.
+    pub device: usize,
+    /// The tile the span happened on (`None` for device-level events).
+    pub tile: Option<usize>,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+/// The completed trace a serve report hands back when tracing was on.
+///
+/// Internally this still holds the packed binary records the ring captured;
+/// the typed [`TraceEvent`]s are decoded once, lazily, on first access to
+/// [`events`](Trace::events). Decoding off the serve's timed path is the
+/// other half of the sub-5%-overhead bargain: the serve only pays for the
+/// fixed-width capture, and whoever reads the trace pays the (one-time)
+/// expansion.
+#[derive(Debug)]
+pub struct Trace {
+    packed: Vec<Packed>,
+    routes: Vec<RouteChoice>,
+    sources: Vec<&'static str>,
+    dropped: u64,
+    decoded: std::sync::OnceLock<Vec<TraceEvent>>,
+}
+
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        Trace {
+            packed: self.packed.clone(),
+            routes: self.routes.clone(),
+            sources: self.sources.clone(),
+            dropped: self.dropped,
+            decoded: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.dropped == other.dropped && self.events() == other.events()
+    }
+}
+
+impl Trace {
+    /// Every retained span, in recording order (monotone non-decreasing
+    /// `time_us` per device). The first call decodes the packed records;
+    /// later calls return the cached expansion.
+    pub fn events(&self) -> &[TraceEvent] {
+        self.decoded.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.packed.len() * 2);
+            for p in &self.packed {
+                unpack_into(p, &self.routes, &self.sources, &mut out);
+            }
+            out
+        })
+    }
+
+    /// How many spans the bounded ring dropped (oldest-first) to stay
+    /// within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained spans of one request, in recording order.
+    pub fn spans_for(&self, request_id: u64) -> Vec<&TraceEvent> {
+        self.events()
+            .iter()
+            .filter(|event| event.request_id == Some(request_id))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed ring storage.
+//
+// The ring does not store `TraceEvent`s: at ~88 bytes each (the `SpanKind`
+// enum alone is 32), a serve's worth of spans streams half a megabyte of
+// writes through the cache and the measured tracing overhead blows the ≤5%
+// budget. Instead the hot path packs every span into 40 fixed bytes — two
+// timestamps, a request id, a tag|device|tile word and one payload word —
+// and `finish()` expands back to the typed public `TraceEvent`s once, off
+// the timed path. Route choices (the one variant with real structure) park
+// their payload in a side ring indexed by the packed word; acquire-source
+// labels are interned. Sub-5%-overhead tracers (Perfetto's SDK, LTTng) use
+// exactly this shape: fixed-width binary records now, decode later.
+// ---------------------------------------------------------------------------
+
+/// One ring slot: `meta` is `tag | device << 8 | tile << 36` (28 bits each
+/// for device and tile, all-ones tile = none), `payload` is tag-specific.
+#[derive(Debug, Clone, Copy)]
+struct Packed {
+    time_us: f64,
+    dur_us: f64,
+    /// `u64::MAX` encodes "no request".
+    request_id: u64,
+    meta: u64,
+    payload: u64,
+}
+
+const TAG_SUBMIT: u64 = 0;
+const TAG_ADMISSION: u64 = 1;
+const TAG_ROUTE: u64 = 2;
+const TAG_QUEUE_WAIT: u64 = 3;
+const TAG_ACQUIRE: u64 = 4;
+const TAG_PREFETCH: u64 = 5;
+const TAG_CONTEXT_SWITCH: u64 = 6;
+const TAG_BATCH: u64 = 7;
+const TAG_RUN: u64 = 8;
+const TAG_COMMIT: u64 = 9;
+const TAG_REJECT: u64 = 10;
+const TAG_COUNTER: u64 = 11;
+// Fused lifecycle records — the event loop emits a request's spans in one
+// burst at commit time, and every ring push is an in-situ cache touch, so
+// always-adjacent pairs share one record and split back apart at decode.
+/// Queue wait plus batch membership: the span is the wait, `payload` is the
+/// same-kernel run length (a Batch instant decodes out when it is ≥ 2).
+const TAG_QUEUE_BATCH: u64 = 12;
+/// Run plus the commit instant at its end; `payload` is the exact
+/// `f64::to_bits` of the commit timestamp (`time + dur` can differ from the
+/// modeled completion by an ulp).
+const TAG_RUN_COMMIT: u64 = 13;
+
+const FIELD_BITS: u64 = 28;
+const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
+const NO_TILE: u64 = FIELD_MASK;
+
+#[inline]
+fn pack_meta(tag: u64, device: usize, tile: Option<usize>) -> u64 {
+    let tile = tile.map_or(NO_TILE, |t| t as u64 & FIELD_MASK);
+    tag | ((device as u64 & FIELD_MASK) << 8) | (tile << (8 + FIELD_BITS))
+}
+
+/// The bounded drop-oldest ring the event loop records into.
+///
+/// Single-threaded and lock-free by construction: the loop owns it
+/// exclusively. All hooks no-op (one branch) when built from
+/// [`TraceConfig::disabled`]. Storage is the packed 40-byte-per-span ring
+/// described above; [`finish`](TraceRecorder::finish) pays the one-time
+/// expansion to [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    capacity: usize,
+    events: std::collections::VecDeque<Packed>,
+    /// Side ring of route-choice payloads, same capacity as the event ring
+    /// (`payload` holds the slot). A slot is only reused after `capacity`
+    /// further route events, by which point the packed event that pointed
+    /// at it has itself been dropped from the ring — so live events never
+    /// see a recycled slot.
+    routes: Vec<RouteChoice>,
+    route_seq: usize,
+    /// Interned acquire-source labels (`payload` holds `index | bytes << 8`).
+    sources: Vec<&'static str>,
+    dropped: u64,
+    counters: [u64; 4],
+}
+
+impl TraceRecorder {
+    /// A recorder for `config` — inert when the config is disabled. The
+    /// ring's backing store starts at a modest preallocation and grows
+    /// toward `capacity` on demand: preallocating multi-megabyte rings up
+    /// front costs fresh page faults per serve, which is exactly the
+    /// overhead the packed layout exists to avoid.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceRecorder {
+            capacity: config.capacity(),
+            events: std::collections::VecDeque::with_capacity(config.capacity().min(8_192)),
+            routes: Vec::new(),
+            route_seq: 0,
+            sources: Vec::new(),
+            dropped: 0,
+            counters: [0; 4],
+        }
+    }
+
+    /// True when spans are being recorded. Call sites guard any span whose
+    /// construction allocates (e.g. route candidates) behind this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The ring capacity this recorder was built with (0 when disabled).
+    /// Lets a holder check whether a drained recorder can be reused for a
+    /// given [`TraceConfig`] or must be rebuilt.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn push(&mut self, packed: Packed) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(packed);
+    }
+
+    /// Records one span, dropping (and counting) the oldest if the ring is
+    /// full. No-op when disabled.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let (tag, payload) = match event.kind {
+            SpanKind::Submit => (TAG_SUBMIT, 0),
+            SpanKind::Admission { admitted } => (TAG_ADMISSION, admitted as u64),
+            SpanKind::RouteChoice(choice) => {
+                let slot = self.route_seq % self.capacity;
+                self.route_seq += 1;
+                if slot < self.routes.len() {
+                    self.routes[slot] = *choice;
+                } else {
+                    self.routes.push(*choice);
+                }
+                (TAG_ROUTE, slot as u64)
+            }
+            SpanKind::QueueWait => (TAG_QUEUE_WAIT, 0),
+            SpanKind::Acquire { source, bytes } => {
+                let index = self
+                    .sources
+                    .iter()
+                    .position(|&s| std::ptr::eq(s, source) || s == source)
+                    .unwrap_or_else(|| {
+                        self.sources.push(source);
+                        self.sources.len() - 1
+                    });
+                (TAG_ACQUIRE, (index as u64 & 0xff) | (bytes << 8))
+            }
+            SpanKind::Prefetch { bytes } => (TAG_PREFETCH, bytes),
+            SpanKind::ContextSwitch => (TAG_CONTEXT_SWITCH, 0),
+            SpanKind::Batch { run_len } => (TAG_BATCH, run_len as u64),
+            SpanKind::Run => (TAG_RUN, 0),
+            SpanKind::Commit => (TAG_COMMIT, 0),
+            SpanKind::Reject => (TAG_REJECT, 0),
+            SpanKind::Counter { name, value } => {
+                (TAG_COUNTER, (name.index() as u64) | (value << 8))
+            }
+        };
+        self.push(Packed {
+            time_us: event.time_us,
+            dur_us: event.dur_us,
+            request_id: event.request_id.unwrap_or(u64::MAX),
+            meta: pack_meta(tag, event.device, event.tile),
+            payload,
+        });
+    }
+
+    /// Fused capture of a request's queue-wait span plus its batch
+    /// membership (`run_len`, a Batch instant at span end when ≥ 2) — one
+    /// ring push instead of two for the always-adjacent pair. No-op when
+    /// disabled.
+    #[inline]
+    pub(crate) fn queue_wait_batch(
+        &mut self,
+        time_us: f64,
+        dur_us: f64,
+        request_id: u64,
+        device: usize,
+        tile: usize,
+        run_len: u64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.push(Packed {
+            time_us,
+            dur_us,
+            request_id,
+            meta: pack_meta(TAG_QUEUE_BATCH, device, Some(tile)),
+            payload: run_len,
+        });
+    }
+
+    /// Fused capture of a request's run span plus the commit instant at its
+    /// exact modeled completion time. No-op when disabled.
+    #[inline]
+    pub(crate) fn run_commit(
+        &mut self,
+        time_us: f64,
+        dur_us: f64,
+        completion_us: f64,
+        request_id: u64,
+        device: usize,
+        tile: usize,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.push(Packed {
+            time_us,
+            dur_us,
+            request_id,
+            meta: pack_meta(TAG_RUN_COMMIT, device, Some(tile)),
+            payload: completion_us.to_bits(),
+        });
+    }
+
+    /// Bumps a control-plane counter and records the sample. No-op when
+    /// disabled (the running totals are part of trace state, so they stay
+    /// untouched on the bitwise-pinned path).
+    pub fn counter(&mut self, time_us: f64, device: usize, name: CounterName) {
+        if self.capacity == 0 {
+            return;
+        }
+        let slot = name.index();
+        self.counters[slot] += 1;
+        let value = self.counters[slot];
+        self.push(Packed {
+            time_us,
+            dur_us: 0.0,
+            request_id: u64::MAX,
+            meta: pack_meta(TAG_COUNTER, device, None),
+            payload: (slot as u64) | (value << 8),
+        });
+    }
+
+    /// Drains the recorder into a [`Trace`], or `None` when tracing was
+    /// disabled. The packed records move out as a tight copy (the typed
+    /// expansion happens lazily, on first [`Trace::events`] access); the
+    /// ring's backing allocation is retained for the next serve — a fresh
+    /// multi-hundred-kilobyte ring per serve means a fresh `mmap` and a
+    /// stream of soft page faults on first touch, which measurement showed
+    /// dwarfs the per-span packing cost.
+    pub fn finish(&mut self) -> Option<Trace> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let packed: Vec<Packed> = self.events.iter().copied().collect();
+        self.events.clear();
+        self.route_seq = 0;
+        self.counters = [0; 4];
+        Some(Trace {
+            packed,
+            routes: std::mem::take(&mut self.routes),
+            sources: std::mem::take(&mut self.sources),
+            dropped: std::mem::take(&mut self.dropped),
+            decoded: std::sync::OnceLock::new(),
+        })
+    }
+}
+
+/// Decodes one packed ring record back to typed public events — one for
+/// plain records, two for the fused lifecycle pairs.
+fn unpack_into(
+    packed: &Packed,
+    routes: &[RouteChoice],
+    sources: &[&'static str],
+    out: &mut Vec<TraceEvent>,
+) {
+    let tag = packed.meta & 0xff;
+    let device = ((packed.meta >> 8) & FIELD_MASK) as usize;
+    let tile_raw = (packed.meta >> (8 + FIELD_BITS)) & FIELD_MASK;
+    let tile = (tile_raw != NO_TILE).then_some(tile_raw as usize);
+    let request_id = (packed.request_id != u64::MAX).then_some(packed.request_id);
+    let payload = packed.payload;
+    let part = |time_us: f64, dur_us: f64, kind: SpanKind| TraceEvent {
+        time_us,
+        dur_us,
+        request_id,
+        device,
+        tile,
+        kind,
+    };
+    match tag {
+        TAG_QUEUE_BATCH => {
+            out.push(part(packed.time_us, packed.dur_us, SpanKind::QueueWait));
+            if payload >= 2 {
+                out.push(part(
+                    packed.time_us + packed.dur_us,
+                    0.0,
+                    SpanKind::Batch {
+                        run_len: payload as u32,
+                    },
+                ));
+            }
+            return;
+        }
+        TAG_RUN_COMMIT => {
+            out.push(part(packed.time_us, packed.dur_us, SpanKind::Run));
+            out.push(part(f64::from_bits(payload), 0.0, SpanKind::Commit));
+            return;
+        }
+        _ => {}
+    }
+    let kind = match tag {
+        TAG_SUBMIT => SpanKind::Submit,
+        TAG_ADMISSION => SpanKind::Admission {
+            admitted: payload != 0,
+        },
+        TAG_ROUTE => SpanKind::RouteChoice(Box::new(routes[payload as usize].clone())),
+        TAG_QUEUE_WAIT => SpanKind::QueueWait,
+        TAG_ACQUIRE => SpanKind::Acquire {
+            source: sources[(payload & 0xff) as usize],
+            bytes: payload >> 8,
+        },
+        TAG_PREFETCH => SpanKind::Prefetch { bytes: payload },
+        TAG_CONTEXT_SWITCH => SpanKind::ContextSwitch,
+        TAG_BATCH => SpanKind::Batch {
+            run_len: payload as u32,
+        },
+        TAG_RUN => SpanKind::Run,
+        TAG_COMMIT => SpanKind::Commit,
+        TAG_REJECT => SpanKind::Reject,
+        _ => {
+            let name = match payload & 0xff {
+                0 => CounterName::ReplicaPushed,
+                1 => CounterName::ReplicaDemoted,
+                2 => CounterName::MemoHit,
+                _ => CounterName::MemoJoin,
+            };
+            SpanKind::Counter {
+                name,
+                value: payload >> 8,
+            }
+        }
+    };
+    out.push(part(packed.time_us, packed.dur_us, kind));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant(time_us: f64, kind: SpanKind) -> TraceEvent {
+        TraceEvent {
+            time_us,
+            dur_us: 0.0,
+            request_id: Some(1),
+            device: 0,
+            tile: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_stores_nothing_and_finishes_to_none() {
+        let mut recorder = TraceRecorder::new(TraceConfig::disabled());
+        assert!(!recorder.enabled());
+        recorder.record(instant(1.0, SpanKind::Submit));
+        recorder.counter(2.0, 0, CounterName::MemoHit);
+        assert!(recorder.finish().is_none());
+        assert!(!TraceConfig::default().is_enabled());
+    }
+
+    #[test]
+    fn the_ring_drops_oldest_and_counts_the_drops() {
+        let mut recorder = TraceRecorder::new(TraceConfig::with_capacity(2));
+        assert!(recorder.enabled());
+        for i in 0..5 {
+            recorder.record(instant(i as f64, SpanKind::Submit));
+        }
+        let trace = recorder.finish().expect("tracing was on");
+        assert_eq!(trace.dropped(), 3);
+        assert_eq!(trace.events().len(), 2);
+        assert_eq!(trace.events()[0].time_us, 3.0);
+        assert_eq!(trace.events()[1].time_us, 4.0);
+    }
+
+    #[test]
+    fn counters_carry_running_totals() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.counter(1.0, 0, CounterName::MemoHit);
+        recorder.counter(2.0, 1, CounterName::MemoHit);
+        recorder.counter(3.0, 0, CounterName::ReplicaPushed);
+        let trace = recorder.finish().unwrap();
+        let values: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|event| match event.kind {
+                SpanKind::Counter {
+                    name: CounterName::MemoHit,
+                    value,
+                } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![1, 2]);
+        assert_eq!(trace.spans_for(9).len(), 0);
+    }
+
+    #[test]
+    fn spans_filter_by_request() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(instant(1.0, SpanKind::Submit));
+        recorder.record(TraceEvent {
+            request_id: Some(2),
+            ..instant(2.0, SpanKind::Commit)
+        });
+        let trace = recorder.finish().unwrap();
+        assert_eq!(trace.spans_for(1).len(), 1);
+        assert_eq!(trace.spans_for(1)[0].kind.label(), "submit");
+        assert_eq!(trace.spans_for(2)[0].kind.label(), "commit");
+    }
+
+    #[test]
+    fn fused_lifecycle_records_decode_to_their_span_pairs() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        // A batched request: the wait carries run_len 3, the run carries an
+        // exact commit timestamp that `time + dur` would miss by an ulp.
+        let completion = 0.1 + 0.2; // 0.30000000000000004
+        recorder.queue_wait_batch(0.0, 0.1, 7, 1, 2, 3);
+        recorder.run_commit(0.1, completion - 0.1, completion, 7, 1, 2);
+        // An unbatched request decodes no Batch instant.
+        recorder.queue_wait_batch(5.0, 1.0, 8, 0, 0, 1);
+        let trace = recorder.finish().unwrap();
+
+        let batched = trace.spans_for(7);
+        let labels: Vec<&str> = batched.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(labels, vec!["queue-wait", "batch", "run", "commit"]);
+        assert_eq!(batched[1].time_us, 0.1);
+        assert!(matches!(batched[1].kind, SpanKind::Batch { run_len: 3 }));
+        assert_eq!(batched[2].dur_us, completion - 0.1);
+        // The commit instant reproduces the modeled completion bitwise.
+        assert_eq!(batched[3].time_us.to_bits(), completion.to_bits());
+        assert!((batched.iter().map(|e| e.dur_us).sum::<f64>() - completion).abs() < 1e-12);
+        assert!(batched.iter().all(|e| e.device == 1 && e.tile == Some(2)));
+
+        let plain = trace.spans_for(8);
+        assert_eq!(plain.len(), 1);
+        assert_eq!(plain[0].kind.label(), "queue-wait");
+    }
+}

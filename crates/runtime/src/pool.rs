@@ -170,6 +170,14 @@ impl TileState {
     /// switch of `switch_us` followed by `exec_us` of execution, starting no
     /// earlier than `arrival_us`. Marks the tile running until
     /// [`release`](TileState::release).
+    ///
+    /// The returned [`ChargeOutcome`] is also the anchor of the request's
+    /// trace timeline: `[arrival, start]` is its queue wait and
+    /// `[start, completion]` its switch (+ any image acquisition, charged
+    /// inside `switch_us` by the cluster) and run — the lifecycle spans
+    /// tile those two intervals exactly, which is what lets
+    /// `tests/observability.rs` reconcile span sums against the reported
+    /// latency bit for bit.
     pub fn charge(
         &mut self,
         key: KernelKey,

@@ -67,6 +67,15 @@ impl RoutePolicy {
         RoutePolicy::LeastLoaded,
         RoutePolicy::PowerOfTwoChoices,
     ];
+
+    /// The policy's export label (what trace route-choice spans carry).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutePolicy::KernelHash => "kernel-hash",
+            RoutePolicy::LeastLoaded => "least-loaded",
+            RoutePolicy::PowerOfTwoChoices => "power-of-two",
+        }
+    }
 }
 
 impl fmt::Display for RoutePolicy {
@@ -162,6 +171,24 @@ impl Acquisition {
         match *self {
             Acquisition::Resident => 0.0,
             Acquisition::HostLoad { cost_us } | Acquisition::Transfer { cost_us, .. } => cost_us,
+        }
+    }
+
+    /// The acquisition source's export label (what trace acquire spans
+    /// carry).
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            Acquisition::Resident => "resident",
+            Acquisition::HostLoad { .. } => "host",
+            Acquisition::Transfer { .. } => "transfer",
+        }
+    }
+
+    /// Image bytes moved over the inter-device link (0 off-link).
+    pub(crate) fn bytes(&self) -> u64 {
+        match *self {
+            Acquisition::Transfer { bytes, .. } => bytes as u64,
+            _ => 0,
         }
     }
 }

@@ -16,6 +16,12 @@
 //! be non-decreasing across `submit` calls (the loop rejects the whole serve
 //! with [`RuntimeError::OutOfOrderArrival`](crate::RuntimeError::OutOfOrderArrival)
 //! otherwise), which is what makes the virtual-time loop deterministic.
+//!
+//! When tracing is on ([`Runtime::with_tracing`](crate::Runtime::with_tracing)
+//! with an enabled [`TraceConfig`](crate::obs::TraceConfig)), the loop marks
+//! each request's intake with a `Submit` instant at its arrival timestamp —
+//! the anchor every later lifecycle span
+//! ([`SpanKind`](crate::obs::SpanKind)) of that request hangs off.
 
 use std::fmt;
 use std::sync::mpsc::{SyncSender, TrySendError};

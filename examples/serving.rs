@@ -26,6 +26,11 @@
 //!    printed next to the act-4 switch counts), and on the 4-device
 //!    least-loaded cluster the replicator pushes hot kernel images ahead
 //!    of demand.
+//! 6. **Observability** — act 5's controlled cluster rerun with request-span
+//!    tracing on: the serve is bit-identical (tracing is transparent), a
+//!    Perfetto/Chrome-loadable trace lands in `serving_trace.json`, and the
+//!    worst-p99 tenant's latency is broken down per lifecycle stage from its
+//!    own spans.
 //!
 //! Every outcome of every serve is checked against the DFG reference
 //! evaluator.
@@ -34,10 +39,11 @@
 
 use tm_overlay::dfg::evaluate_stream;
 use tm_overlay::frontend::LowerOptions;
-use tm_overlay::runtime::RequestOutcome;
+use tm_overlay::runtime::obs::{perfetto_trace_json, validate_chrome_trace};
+use tm_overlay::runtime::{RequestOutcome, SpanKind};
 use tm_overlay::{
     BatchConfig, Benchmark, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec,
-    ReplicationConfig, Request, RoutePolicy, Runtime, ServeReport, Workload,
+    ReplicationConfig, Request, RoutePolicy, Runtime, ServeReport, TraceConfig, Workload,
 };
 
 /// The tenants and their kernels: one benchmark each, with different request
@@ -421,6 +427,108 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         controlled.replication().bytes_prefetched,
         balanced.transfers(),
     );
+
+    // ---------------------------------------------------------------- act 6
+    println!("\nact 6: act 5's controlled cluster rerun with request-span tracing on\n");
+    let mut traced_cluster = Cluster::new(FuVariant::V4, 4, 3)?
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_route_policy(RoutePolicy::LeastLoaded)
+        .with_batching(BatchConfig::with_max_batch(8))
+        .with_replication(ReplicationConfig::new(3, 3.0, 20.0))
+        .with_tracing(TraceConfig::enabled());
+    let traced = traced_cluster.serve_stream(|submitter| {
+        for request in &overload {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
+    verify_outputs(&overload, traced.outcomes())?;
+    assert_eq!(
+        traced.metrics(),
+        controlled.metrics(),
+        "tracing must be functionally transparent: same serve, same metrics"
+    );
+    let trace = traced.trace().expect("tracing was enabled");
+
+    // Export the Perfetto/Chrome trace (virtual-time lanes per device ×
+    // tile), validate it, and write it next to BENCH_runtime.json.
+    let trace_json = perfetto_trace_json(trace, None, "serving act 6: controlled cluster");
+    let validation = validate_chrome_trace(&trace_json).map_err(std::io::Error::other)?;
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/serving_trace.json");
+    std::fs::write(trace_path, &trace_json)?;
+    println!(
+        "wrote {trace_path}: {} events over {} track(s) ({} complete spans, {} dropped) — \
+         load it at ui.perfetto.dev",
+        validation.events,
+        validation.tracks,
+        validation.complete_spans,
+        trace.dropped()
+    );
+
+    // The worst-p99 tenant, by kernel name (tenants map 1:1 onto kernels).
+    let mut worst: Option<(&str, f64)> = None;
+    for &(benchmark, _) in &TENANTS {
+        let mut latencies: Vec<f64> = traced
+            .outcomes()
+            .iter()
+            .filter(|outcome| outcome.kernel.as_ref() == benchmark.name())
+            .map(|outcome| outcome.latency_us)
+            .collect();
+        if latencies.is_empty() {
+            continue;
+        }
+        latencies.sort_by(f64::total_cmp);
+        let p99 = latencies[((latencies.len() - 1) as f64 * 0.99) as usize];
+        if worst.is_none_or(|(_, current)| p99 > current) {
+            worst = Some((benchmark.name(), p99));
+        }
+    }
+    let (worst_tenant, worst_p99) = worst.expect("every serve has outcomes");
+
+    // Break that tenant's latency into lifecycle stages from its own spans.
+    // Per request, the span durations sum to its reported latency exactly —
+    // the reconciliation tests/observability.rs audits.
+    let mut stage_totals: [(f64, &str); 4] = [
+        (0.0, "queue-wait"),
+        (0.0, "acquire"),
+        (0.0, "context-switch"),
+        (0.0, "run"),
+    ];
+    let mut tenant_requests = 0usize;
+    for outcome in traced
+        .outcomes()
+        .iter()
+        .filter(|outcome| outcome.kernel.as_ref() == worst_tenant)
+    {
+        tenant_requests += 1;
+        for span in trace.spans_for(outcome.request_id) {
+            let slot = match span.kind {
+                SpanKind::QueueWait => 0,
+                SpanKind::Acquire { .. } => 1,
+                SpanKind::ContextSwitch => 2,
+                SpanKind::Run => 3,
+                _ => continue,
+            };
+            stage_totals[slot].0 += span.dur_us;
+        }
+    }
+    let latency_total: f64 = stage_totals.iter().map(|(us, _)| us).sum();
+    println!(
+        "\nworst-p99 tenant: '{worst_tenant}' at p99 {worst_p99:.2} us — \
+         per-stage latency over its {tenant_requests} request(s):"
+    );
+    println!(
+        "{:>15} {:>12} {:>12} {:>7}",
+        "stage", "total us", "mean us", "share"
+    );
+    for (total_us, label) in stage_totals {
+        println!(
+            "{label:>15} {total_us:>12.2} {:>12.2} {:>6.1}%",
+            total_us / tenant_requests.max(1) as f64,
+            total_us / latency_total.max(f64::MIN_POSITIVE) * 100.0
+        );
+    }
 
     println!("\nall outputs match the DFG reference evaluator");
     Ok(())

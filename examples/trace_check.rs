@@ -1,0 +1,42 @@
+//! Validates a Chrome/Perfetto trace file emitted by the serving runtime.
+//!
+//! ```text
+//! cargo run --example trace_check -- serving_trace.json
+//! ```
+//!
+//! Reads the trace JSON (defaults to `serving_trace.json` next to the
+//! workspace root, as written by `cargo run --example serving`), runs the
+//! structural validator from `tm_overlay::runtime::obs`, and prints a
+//! one-line summary. Exits nonzero if the file is missing, unparseable, or
+//! structurally invalid (malformed events, negative durations, overlapping
+//! non-nested spans on a track). CI uses this to gate the trace artifact.
+
+use std::process::ExitCode;
+
+use tm_overlay::runtime::obs::validate_chrome_trace;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/serving_trace.json").to_string());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("trace_check: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&json) {
+        Ok(validation) => {
+            println!(
+                "{path}: valid — {} events, {} complete spans, {} tracks",
+                validation.events, validation.complete_spans, validation.tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("trace_check: {path} is not a valid Chrome trace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
