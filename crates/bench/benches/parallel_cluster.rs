@@ -1,0 +1,281 @@
+//! Host-thread sweep for the sharded cluster event loop — the parallel
+//! companion to `cluster_scalability`'s single-threaded device sweep.
+//!
+//! Serves one overload trace (offered load ρ = 2 against the corner's total
+//! tile count) on an 8-device cluster under statically-sharded
+//! `kernel-hash` routing — the shape where
+//! [`tm_overlay::Cluster::with_threads`] engages the per-device-lane loop —
+//! at host-thread budgets 1, 2 and 4, and records:
+//!
+//! * **host ns/event** — wall time of the cluster event loop per fired
+//!   event, per thread budget. `threads = 1` takes the serial loop, so its
+//!   row doubles as the baseline; the budget-2/4 rows price the sharding
+//!   machinery (per-lane queues, trace rings, commit replay);
+//! * **modeled ev/s** — asserted *identical* across budgets: the thread
+//!   sweep must never change the modeled results, only the host wall time.
+//!
+//! Acceptance: `threads = 1` must stay within 10% of a default-built
+//! (never-`with_threads`) cluster's host ns/event — opting into the
+//! parallel API costs nothing when it falls back to the serial loop.
+//! **This container is single-core**, so the budget-2/4 rows time-slice
+//! one core and only price the sharding bookkeeping; the multi-core
+//! target — near-linear host events/s in the thread budget up to the
+//! device count — is recorded in the JSON as `multi_core_target` for
+//! hosts that can measure it.
+//!
+//! Output: a table on stdout plus a `parallel_cluster` section spliced into
+//! `BENCH_runtime.json`.
+//!
+//! Environment:
+//! * `BENCH_FAST=1` — CI mode: fewer requests and repetitions (same grid).
+//! * `BENCH_RUNTIME_OUT=path` — override the JSON output path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tm_overlay::{
+    Benchmark, Cluster, ClusterReport, FuVariant, KernelSpec, Request, RoutePolicy, Runtime,
+    Workload,
+};
+
+const DEVICES: usize = 8;
+const TILES_PER_DEVICE: [usize; 2] = [16, 64];
+const THREADS: [usize; 3] = [1, 2, 4];
+const VARIANT: FuVariant = FuVariant::V4;
+/// Small per-request workloads keep the event loop (not the simulator) the
+/// dominant host cost — the regime where sharding overhead is visible.
+const BLOCKS: usize = 1;
+
+struct Corner {
+    tiles_per_device: usize,
+    threads: usize,
+    requests: usize,
+    events: u64,
+    makespan_us: f64,
+    host_ns_per_event: f64,
+}
+
+impl Corner {
+    fn modeled_events_per_sec(&self) -> f64 {
+        self.events as f64 * 1.0e6 / self.makespan_us
+    }
+
+    fn host_events_per_sec(&self) -> f64 {
+        1.0e9 / self.host_ns_per_event
+    }
+}
+
+/// The overload trace: `count` requests cycling through six kernels (so the
+/// kernel-hash shard map spreads work over all eight devices) with
+/// workloads drawn from a small per-kernel pool, one arrival every
+/// `spacing_us`, deadlines at `budget_us`.
+fn trace(count: usize, spacing_us: f64, budget_us: f64) -> Vec<Request> {
+    let suite = [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Mibench,
+        Benchmark::Qspline,
+        Benchmark::Poly5,
+        Benchmark::Sgfilter,
+    ];
+    let specs: Vec<(KernelSpec, usize)> = suite
+        .iter()
+        .map(|&b| {
+            (
+                KernelSpec::from_benchmark(b).unwrap(),
+                b.dfg().unwrap().num_inputs(),
+            )
+        })
+        .collect();
+    (0..count)
+        .map(|i| {
+            let (spec, inputs) = &specs[i % specs.len()];
+            let workload = Workload::random(*inputs, BLOCKS, (i % 8) as u64);
+            let arrival = i as f64 * spacing_us;
+            Request::new(i as u64, spec.clone(), workload)
+                .at(arrival)
+                .with_deadline(arrival + budget_us)
+        })
+        .collect()
+}
+
+/// Serves `requests` `reps + 1` times on a fresh-per-rep cluster (the first
+/// rep is a warm-up), returning the best host wall time and the
+/// (deterministic) report.
+fn measure(
+    tiles_per_device: usize,
+    threads: Option<usize>,
+    requests: &[Request],
+    reps: usize,
+) -> (f64, ClusterReport) {
+    // `threads: None` never calls `with_threads` at all — the acceptance
+    // baseline below prices the untouched serial API, not `with_threads(1)`.
+    let build = || {
+        let cluster = Cluster::new(VARIANT, DEVICES, tiles_per_device)
+            .unwrap()
+            .with_route_policy(RoutePolicy::KernelHash);
+        match threads {
+            Some(threads) => cluster.with_threads(threads),
+            None => cluster,
+        }
+    };
+    let mut best_ns = f64::INFINITY;
+    let mut last = None;
+    for rep in 0..=reps {
+        let mut cluster = build();
+        let warmup: Vec<Request> = requests.iter().take(8).cloned().collect();
+        cluster.serve(warmup).unwrap();
+        let copy = requests.to_vec();
+        let start = Instant::now();
+        let report = cluster.serve(copy).expect("bench trace serves cleanly");
+        let wall_ns = start.elapsed().as_nanos() as f64;
+        if rep > 0 {
+            best_ns = best_ns.min(wall_ns);
+        }
+        last = Some(report);
+    }
+    let report = last.expect("at least one serve ran");
+    (best_ns / report.metrics().events_fired as f64, report)
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (count, reps) = if fast { (1024, 2) } else { (4096, 3) };
+
+    // Probe the modeled service time of one request on a single tile so the
+    // arrival spacing tracks the timing model (ρ = 2 overload).
+    let probe = trace(1, 1.0, 1e9);
+    let service_us = Runtime::new(VARIANT, 1)
+        .unwrap()
+        .serve(probe)
+        .unwrap()
+        .outcomes()[0]
+        .completion_us;
+
+    let mut corners: Vec<Corner> = Vec::new();
+    println!(
+        "parallel_cluster: {DEVICES} devices, {count} requests/serve, {reps} reps, \
+         kernel-hash routing, service ~{service_us:.3} us ({} mode)",
+        if fast { "fast" } else { "full" }
+    );
+    println!(
+        "{:>6} {:>8} {:>14} {:>11} {:>12}",
+        "tiles", "threads", "modeled ev/s", "host ns/ev", "host ev/s"
+    );
+    for &tiles_per_device in &TILES_PER_DEVICE {
+        let total = DEVICES * tiles_per_device;
+        let spacing_us = service_us / (total as f64 * 2.0);
+        let budget_us = 8.0 * service_us;
+        let requests = trace(count, spacing_us, budget_us);
+        let mut baseline_metrics = None;
+        for &threads in &THREADS {
+            let (host_ns, report) = measure(tiles_per_device, Some(threads), &requests, reps);
+            let metrics = report.metrics().clone();
+            // The thread budget must never change the modeled results.
+            match &baseline_metrics {
+                None => baseline_metrics = Some(metrics.clone()),
+                Some(baseline) => assert_eq!(
+                    baseline, &metrics,
+                    "threads={threads} changed the modeled serve at {tiles_per_device} tiles"
+                ),
+            }
+            let corner = Corner {
+                tiles_per_device,
+                threads,
+                requests: count,
+                events: metrics.events_fired,
+                makespan_us: metrics.makespan_us,
+                host_ns_per_event: host_ns,
+            };
+            println!(
+                "{:>6} {:>8} {:>14.0} {:>11.0} {:>12.0}",
+                tiles_per_device,
+                threads,
+                corner.modeled_events_per_sec(),
+                corner.host_ns_per_event,
+                corner.host_events_per_sec(),
+            );
+            corners.push(corner);
+        }
+    }
+
+    // Acceptance: opting into the parallel API at threads=1 must cost
+    // nothing — it falls back to the serial loop, so its ns/event must stay
+    // within 10% of a cluster that never called `with_threads`. (The
+    // budget-2/4 rows are informational on this single-core container;
+    // multi-core hosts should see host ev/s scale near-linearly with the
+    // budget up to the device count.)
+    let accept_tiles = TILES_PER_DEVICE[0];
+    let accept_total = DEVICES * accept_tiles;
+    let accept_requests = trace(
+        count,
+        service_us / (accept_total as f64 * 2.0),
+        8.0 * service_us,
+    );
+    // Measured back-to-back (not reusing the sweep's threads=1 row) so the
+    // ratio compares like-for-like process state; best-of-reps damps the
+    // single-core container's scheduling noise.
+    let accept_reps = reps.max(3);
+    let (baseline_ns, _) = measure(accept_tiles, None, &accept_requests, accept_reps);
+    let (threads_one_ns, _) = measure(accept_tiles, Some(1), &accept_requests, accept_reps);
+    let overhead = threads_one_ns / baseline_ns;
+    println!(
+        "at {DEVICES}x{accept_tiles} tiles: serial {baseline_ns:.0} ns/ev vs threads=1 \
+         {threads_one_ns:.0} ns/ev -> {overhead:.2}x opt-in overhead (target <= 1.10)"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"parallel_cluster\",");
+    let _ = writeln!(json, "  \"schema\": {},", overlay_bench::BENCH_JSON_SCHEMA);
+    let _ = writeln!(json, "  {},", overlay_bench::provenance_json_fields());
+    let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(json, "  \"devices\": {DEVICES},");
+    let _ = writeln!(json, "  \"route\": \"kernel-hash\",");
+    let _ = writeln!(json, "  \"requests_per_serve\": {count},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"workload_blocks\": {BLOCKS},");
+    let _ = writeln!(json, "  \"modeled_service_us\": {service_us:.3},");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, c) in corners.iter().enumerate() {
+        let comma = if i + 1 < corners.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"tiles_per_device\": {}, \"threads\": {}, \"requests\": {}, \
+             \"events\": {}, \"makespan_us\": {:.2}, \
+             \"modeled_events_per_sec\": {:.0}, \"host_ns_per_event\": {:.1}, \
+             \"host_events_per_sec\": {:.0}}}{}",
+            c.tiles_per_device,
+            c.threads,
+            c.requests,
+            c.events,
+            c.makespan_us,
+            c.modeled_events_per_sec(),
+            c.host_ns_per_event,
+            c.host_events_per_sec(),
+            comma
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"tiles_per_device\": {accept_tiles}, \
+         \"serial_ns_per_event\": {baseline_ns:.1}, \"threads1_ns_per_event\": {:.1}, \
+         \"opt_in_overhead_ratio\": {overhead:.2}, \"target\": 1.10, \
+         \"pass\": {}, \
+         \"multi_core_target\": \"near-linear host events/s in the thread budget up to {DEVICES} devices\"}}",
+        threads_one_ns,
+        overhead <= 1.10
+    );
+    json.push_str("}\n");
+
+    let path = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").into()
+    });
+    let existing = std::fs::read_to_string(&path).ok();
+    let combined = overlay_bench::splice_bench_json(existing.as_deref(), "parallel_cluster", &json)
+        .expect("BENCH_runtime.json section stays schema-compatible");
+    std::fs::write(&path, combined).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
+}

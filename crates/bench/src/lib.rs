@@ -307,9 +307,10 @@ pub fn iwp_ablation() -> String {
 }
 
 /// The known top-level sections of `BENCH_runtime.json`, in emission order.
-const BENCH_JSON_SECTIONS: [&str; 4] = [
+const BENCH_JSON_SECTIONS: [&str; 5] = [
     "runtime_scalability",
     "cluster_scalability",
+    "parallel_cluster",
     "batching_replication",
     "profile",
 ];

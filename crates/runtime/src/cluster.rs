@@ -58,6 +58,8 @@
 //! # }
 //! ```
 
+mod shard;
+
 use std::collections::BTreeSet;
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -341,6 +343,15 @@ pub struct Cluster {
     /// least-loaded device, the device-tier mirror of the pool residency
     /// index's per-kernel "best" entries.
     load_index: BTreeSet<(usize, usize, usize)>,
+    /// Host-thread budget for sharded batch serves
+    /// ([`Cluster::with_threads`]); 1 keeps the serial loop.
+    threads: usize,
+    /// Whether a past serve may have adopted a kernel image into a store
+    /// other than the kernel's home shard (dynamic routing or replication
+    /// on a multi-device cluster). The sharded loop assumes images live
+    /// only on their home shards, so this poisons its eligibility until
+    /// the stores are rebuilt.
+    cross_shard_images: bool,
 }
 
 impl Cluster {
@@ -392,6 +403,8 @@ impl Cluster {
             profiling: false,
             tiles_per_device,
             load_index: BTreeSet::new(),
+            threads: 1,
+            cross_shard_images: false,
         };
         cluster.rebuild_load_index();
         Ok(cluster)
@@ -429,6 +442,8 @@ impl Cluster {
         for device in &mut self.devices {
             device.cache = KernelCache::new(capacity)?;
         }
+        // Fresh stores hold no cross-shard images.
+        self.cross_shard_images = false;
         Ok(self)
     }
 
@@ -502,6 +517,24 @@ impl Cluster {
         self
     }
 
+    /// Shards batch serves across up to `threads` host threads, one event
+    /// lane per device, with a serial commit stage merging the lanes back
+    /// into the exact single-threaded event order (see [`shard`](self)'s
+    /// module notes). `threads = 1` — the default — keeps the serial loop.
+    ///
+    /// The sharded loop engages only when it can prove the lanes are
+    /// independent: more than one device, static kernel-hash routing, no
+    /// admission limit, replication off, and no store holding another
+    /// shard's image from an earlier dynamically-routed serve. Any other
+    /// configuration (and every streaming serve) falls back to the serial
+    /// loop, so results are identical either way; the output is also
+    /// deterministic across runs and across `threads` values.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Overrides the front-end lowering options, clearing every device's
     /// kernel store and the simulation memo (cached artifacts were compiled
     /// under the old options).
@@ -512,6 +545,8 @@ impl Cluster {
             device.cache.clear();
         }
         self.sim_memo.clear();
+        // Cleared stores hold no cross-shard images.
+        self.cross_shard_images = false;
         self
     }
 
@@ -575,6 +610,11 @@ impl Cluster {
         self.profiling
     }
 
+    /// The configured host-thread budget for sharded batch serves.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// The devices (holding the state left by the last serve).
     pub fn devices(&self) -> &[Device] {
         &self.devices
@@ -598,10 +638,30 @@ impl Cluster {
         I: IntoIterator<Item = Request>,
     {
         let requests: Vec<Request> = requests.into_iter().collect();
+        if self.sharded_eligible() {
+            return self.serve_sharded(requests);
+        }
         self.run_serve(
             Ingest::Batch(requests.into_iter()),
             None::<(fn(Submitter), _)>,
         )
+    }
+
+    /// Whether a batch serve takes the sharded (parallel) event loop: a
+    /// thread budget above 1 and a configuration where device lanes are
+    /// provably independent — several devices, static kernel-hash routing
+    /// (the only cross-shard edge is then the submission schedule),
+    /// unlimited admission (admission reads the cluster-wide waiting
+    /// count), replication off (a push writes a foreign store mid-serve),
+    /// and no store poisoned with another shard's image by an earlier
+    /// dynamically-routed serve.
+    fn sharded_eligible(&self) -> bool {
+        self.threads > 1
+            && self.num_devices() > 1
+            && self.route.is_statically_sharded()
+            && self.admission_limit == usize::MAX
+            && !self.replication.enabled()
+            && !self.cross_shard_images
     }
 
     /// Serves a live request stream through a [`Submitter`] (same contract
@@ -896,6 +956,14 @@ impl Cluster {
     where
         F: FnOnce(Submitter) + Send,
     {
+        // A dynamically-routed or replicated serve can adopt images into
+        // non-home stores; remember that so the sharded loop (which assumes
+        // home-only residency) stays off until the stores are rebuilt.
+        if self.num_devices() > 1
+            && (!self.route.is_statically_sharded() || self.replication.enabled())
+        {
+            self.cross_shard_images = true;
+        }
         for device in &mut self.devices {
             device.pool.reset();
             device.dispatcher.reset();

@@ -194,6 +194,17 @@ pub struct BatchStats {
     pub switches_avoided: usize,
 }
 
+impl BatchStats {
+    /// Adds another serve's (or, on the sharded cluster, another device
+    /// lane's) counters into this one. Batching state is per tile, so the
+    /// lane counters partition the serial loop's and summing is exact.
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.batches_formed += other.batches_formed;
+        self.batched_requests += other.batched_requests;
+        self.switches_avoided += other.switches_avoided;
+    }
+}
+
 impl fmt::Display for BatchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

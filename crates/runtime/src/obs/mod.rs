@@ -37,4 +37,5 @@ pub use hist::{percentile_from_parts, LogHistogram, SUB_BUCKETS_PER_OCTAVE};
 pub use profile::{ProfileStats, Stage, StageProfiler, STAGE_COUNT};
 pub use trace::{
     CounterName, RouteChoice, SpanKind, Trace, TraceConfig, TraceEvent, TraceRecorder,
+    ACQUIRE_SOURCE_OVERFLOW, DEVICE_ID_OUT_OF_RANGE, TILE_ID_OUT_OF_RANGE,
 };

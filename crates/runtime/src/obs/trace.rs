@@ -324,10 +324,46 @@ const FIELD_BITS: u64 = 28;
 const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
 const NO_TILE: u64 = FIELD_MASK;
 
+/// Decoded device id meaning "the real id exceeded the 28-bit meta field".
+///
+/// Ids at or above this value saturate to it at encode (with a debug
+/// assertion), so a decoded trace reports "out of range" instead of silently
+/// attributing spans to an aliased device.
+pub const DEVICE_ID_OUT_OF_RANGE: usize = FIELD_MASK as usize;
+
+/// Decoded tile id meaning "the real id exceeded the 28-bit meta field"
+/// (`FIELD_MASK` itself encodes "no tile", so the sentinel sits one below).
+pub const TILE_ID_OUT_OF_RANGE: usize = (FIELD_MASK - 1) as usize;
+
+/// Acquire-source label decoded when the interning table overflowed its
+/// 16-bit index field — the 65 536th and later distinct source strings all
+/// report as this sentinel instead of aliasing an earlier source.
+pub const ACQUIRE_SOURCE_OVERFLOW: &str = "source-overflow";
+
+/// Bits of the `Acquire` payload that hold the interned-source index; the
+/// remaining 48 hold the byte count.
+const ACQUIRE_INDEX_BITS: u64 = 16;
+const ACQUIRE_INDEX_MASK: u64 = (1 << ACQUIRE_INDEX_BITS) - 1;
+/// Largest byte count the 48-bit `Acquire` payload field can carry; larger
+/// counts saturate (with a debug assertion) instead of silently dropping
+/// their top bits.
+const ACQUIRE_BYTES_MAX: u64 = (1 << (64 - ACQUIRE_INDEX_BITS)) - 1;
+
 #[inline]
 fn pack_meta(tag: u64, device: usize, tile: Option<usize>) -> u64 {
-    let tile = tile.map_or(NO_TILE, |t| t as u64 & FIELD_MASK);
-    tag | ((device as u64 & FIELD_MASK) << 8) | (tile << (8 + FIELD_BITS))
+    debug_assert!(
+        (device as u64) < FIELD_MASK,
+        "device id {device} exceeds the 28-bit trace meta field"
+    );
+    let device = (device as u64).min(DEVICE_ID_OUT_OF_RANGE as u64);
+    let tile = tile.map_or(NO_TILE, |t| {
+        debug_assert!(
+            (t as u64) < TILE_ID_OUT_OF_RANGE as u64,
+            "tile id {t} exceeds the 28-bit trace meta field"
+        );
+        (t as u64).min(TILE_ID_OUT_OF_RANGE as u64)
+    });
+    tag | (device << 8) | (tile << (8 + FIELD_BITS))
 }
 
 /// The bounded drop-oldest ring the event loop records into.
@@ -348,7 +384,9 @@ pub struct TraceRecorder {
     /// see a recycled slot.
     routes: Vec<RouteChoice>,
     route_seq: usize,
-    /// Interned acquire-source labels (`payload` holds `index | bytes << 8`).
+    /// Interned acquire-source labels (`payload` holds the 16-bit `index`
+    /// plus `bytes << 16`; the table is capped at the index field with an
+    /// [`ACQUIRE_SOURCE_OVERFLOW`] sentinel).
     sources: Vec<&'static str>,
     dropped: u64,
     counters: [u64; 4],
@@ -386,6 +424,92 @@ impl TraceRecorder {
         self.capacity
     }
 
+    /// Interns an acquire-source label, returning its payload index. The
+    /// table is capped at the 16-bit index field: the 65 536th and later
+    /// distinct sources all map to the [`ACQUIRE_SOURCE_OVERFLOW`] sentinel
+    /// index instead of aliasing an earlier entry.
+    fn intern_source(&mut self, source: &'static str) -> u64 {
+        if let Some(position) = self
+            .sources
+            .iter()
+            .position(|&s| std::ptr::eq(s, source) || s == source)
+        {
+            return position as u64;
+        }
+        if self.sources.len() as u64 >= ACQUIRE_INDEX_MASK {
+            debug_assert!(
+                false,
+                "acquire source interning table overflowed its 16-bit index field"
+            );
+            return ACQUIRE_INDEX_MASK;
+        }
+        self.sources.push(source);
+        (self.sources.len() - 1) as u64
+    }
+
+    /// How many packed records the ring currently holds. The sharded
+    /// cluster's lanes record into unbounded recorders and log this cursor
+    /// after every event so the commit stage can absorb exactly the records
+    /// each event produced.
+    pub(crate) fn recorded(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Re-records one packed record out of a lane recorder's drained
+    /// [`Trace`] into this (merged) recorder, translating lane-local
+    /// side-table references — route slots and interned source indices —
+    /// and recomputing the global counter running totals in merge order.
+    /// Everything else is pushed verbatim; the bounded ring's drop-oldest
+    /// and route-slot recycling then behave exactly as if this recorder had
+    /// captured the span live, which is what lets the sharded cluster's
+    /// commit stage rebuild the serial loop's trace byte-for-byte.
+    pub(crate) fn absorb_lane_record(&mut self, lane: &Trace, index: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        let packed = lane.packed[index];
+        match packed.meta & 0xff {
+            TAG_ROUTE => {
+                let choice = lane.routes[packed.payload as usize].clone();
+                let slot = self.route_seq % self.capacity;
+                self.route_seq += 1;
+                if slot < self.routes.len() {
+                    self.routes[slot] = choice;
+                } else {
+                    self.routes.push(choice);
+                }
+                self.push(Packed {
+                    payload: slot as u64,
+                    ..packed
+                });
+            }
+            TAG_ACQUIRE => {
+                let source = lane
+                    .sources
+                    .get((packed.payload & ACQUIRE_INDEX_MASK) as usize)
+                    .copied()
+                    .unwrap_or(ACQUIRE_SOURCE_OVERFLOW);
+                let index = self.intern_source(source);
+                let bytes = packed.payload >> ACQUIRE_INDEX_BITS;
+                self.push(Packed {
+                    payload: index | (bytes << ACQUIRE_INDEX_BITS),
+                    ..packed
+                });
+            }
+            TAG_COUNTER => {
+                // `counter()` bumps by exactly one per record, so replaying
+                // the bump in merge order rebuilds the serial running total.
+                let slot = (packed.payload & 0xff) as usize;
+                self.counters[slot] += 1;
+                self.push(Packed {
+                    payload: (slot as u64) | (self.counters[slot] << 8),
+                    ..packed
+                });
+            }
+            _ => self.push(packed),
+        }
+    }
+
     #[inline]
     fn push(&mut self, packed: Packed) {
         if self.events.len() == self.capacity {
@@ -417,15 +541,13 @@ impl TraceRecorder {
             }
             SpanKind::QueueWait => (TAG_QUEUE_WAIT, 0),
             SpanKind::Acquire { source, bytes } => {
-                let index = self
-                    .sources
-                    .iter()
-                    .position(|&s| std::ptr::eq(s, source) || s == source)
-                    .unwrap_or_else(|| {
-                        self.sources.push(source);
-                        self.sources.len() - 1
-                    });
-                (TAG_ACQUIRE, (index as u64 & 0xff) | (bytes << 8))
+                let index = self.intern_source(source);
+                debug_assert!(
+                    bytes <= ACQUIRE_BYTES_MAX,
+                    "acquire byte count {bytes} exceeds the 48-bit trace payload field"
+                );
+                let bytes = bytes.min(ACQUIRE_BYTES_MAX);
+                (TAG_ACQUIRE, index | (bytes << ACQUIRE_INDEX_BITS))
             }
             SpanKind::Prefetch { bytes } => (TAG_PREFETCH, bytes),
             SpanKind::ContextSwitch => (TAG_CONTEXT_SWITCH, 0),
@@ -591,8 +713,11 @@ fn unpack_into(
         TAG_ROUTE => SpanKind::RouteChoice(Box::new(routes[payload as usize].clone())),
         TAG_QUEUE_WAIT => SpanKind::QueueWait,
         TAG_ACQUIRE => SpanKind::Acquire {
-            source: sources[(payload & 0xff) as usize],
-            bytes: payload >> 8,
+            source: sources
+                .get((payload & ACQUIRE_INDEX_MASK) as usize)
+                .copied()
+                .unwrap_or(ACQUIRE_SOURCE_OVERFLOW),
+            bytes: payload >> ACQUIRE_INDEX_BITS,
         },
         TAG_PREFETCH => SpanKind::Prefetch { bytes: payload },
         TAG_CONTEXT_SWITCH => SpanKind::ContextSwitch,
@@ -719,5 +844,227 @@ mod tests {
         let plain = trace.spans_for(8);
         assert_eq!(plain.len(), 1);
         assert_eq!(plain[0].kind.label(), "queue-wait");
+    }
+
+    fn acquire(time_us: f64, source: &'static str, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            time_us,
+            dur_us: 1.0,
+            request_id: Some(1),
+            device: 0,
+            tile: Some(0),
+            kind: SpanKind::Acquire { source, bytes },
+        }
+    }
+
+    #[test]
+    fn acquire_sources_beyond_256_round_trip_without_aliasing() {
+        // The old payload masked the interned index to 8 bits, so the 257th
+        // distinct source aliased back onto the first at decode.
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        let labels: Vec<&'static str> = (0..300)
+            .map(|i| &*format!("src-{i}").leak() as &'static str)
+            .collect();
+        for (i, &label) in labels.iter().enumerate() {
+            recorder.record(acquire(i as f64, label, i as u64));
+        }
+        let trace = recorder.finish().unwrap();
+        assert_eq!(trace.events().len(), labels.len());
+        for (i, event) in trace.events().iter().enumerate() {
+            match event.kind {
+                SpanKind::Acquire { source, bytes } => {
+                    assert_eq!(source, labels[i], "source {i} aliased");
+                    assert_eq!(bytes, i as u64);
+                }
+                ref other => panic!("expected an acquire span, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn acquire_bytes_round_trip_at_the_48_bit_field_boundary() {
+        // The old payload packed `bytes << 8`, silently dropping the top 8
+        // bits of counts ≥ 2^56; the boundary value must survive exactly.
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(acquire(0.0, "transfer", ACQUIRE_BYTES_MAX));
+        recorder.record(acquire(1.0, "host", 1 << 40));
+        let trace = recorder.finish().unwrap();
+        match trace.events()[0].kind {
+            SpanKind::Acquire { bytes, .. } => assert_eq!(bytes, ACQUIRE_BYTES_MAX),
+            ref other => panic!("expected an acquire span, got {other:?}"),
+        }
+        match trace.events()[1].kind {
+            SpanKind::Acquire { bytes, .. } => assert_eq!(bytes, 1 << 40),
+            ref other => panic!("expected an acquire span, got {other:?}"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the 48-bit trace payload field")]
+    fn acquire_bytes_beyond_the_field_assert_in_debug() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(acquire(0.0, "transfer", ACQUIRE_BYTES_MAX + 1));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn acquire_bytes_beyond_the_field_saturate_in_release() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(acquire(0.0, "transfer", u64::MAX));
+        let trace = recorder.finish().unwrap();
+        match trace.events()[0].kind {
+            SpanKind::Acquire { bytes, .. } => assert_eq!(bytes, ACQUIRE_BYTES_MAX),
+            ref other => panic!("expected an acquire span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_and_tile_ids_round_trip_at_the_28_bit_limit() {
+        let device = DEVICE_ID_OUT_OF_RANGE - 1;
+        let tile = TILE_ID_OUT_OF_RANGE - 1;
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(TraceEvent {
+            time_us: 0.0,
+            dur_us: 0.0,
+            request_id: Some(1),
+            device,
+            tile: Some(tile),
+            kind: SpanKind::Run,
+        });
+        let trace = recorder.finish().unwrap();
+        assert_eq!(trace.events()[0].device, device);
+        assert_eq!(trace.events()[0].tile, Some(tile));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the 28-bit trace meta field")]
+    fn device_ids_beyond_the_field_assert_in_debug() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(TraceEvent {
+            device: DEVICE_ID_OUT_OF_RANGE,
+            ..instant(0.0, SpanKind::Run)
+        });
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn out_of_range_ids_decode_to_the_sentinels_in_release() {
+        // Release builds saturate instead of asserting, so a decoded trace
+        // reports "out of range" rather than attributing spans to the
+        // aliased device/tile the old truncation produced.
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(TraceEvent {
+            time_us: 0.0,
+            dur_us: 0.0,
+            request_id: Some(1),
+            device: usize::MAX,
+            tile: Some(usize::MAX),
+            kind: SpanKind::Run,
+        });
+        let trace = recorder.finish().unwrap();
+        assert_eq!(trace.events()[0].device, DEVICE_ID_OUT_OF_RANGE);
+        assert_eq!(trace.events()[0].tile, Some(TILE_ID_OUT_OF_RANGE));
+    }
+
+    #[test]
+    fn a_run_of_one_is_not_a_batch() {
+        // Pinned as intended: a fused QueueWait+Batch record with
+        // `run_len == 1` decodes to the wait span alone — a request that
+        // started its own run was not batched with anything, so emitting a
+        // Batch instant for it would be noise in every unbatched serve.
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.queue_wait_batch(0.0, 2.0, 3, 0, 1, 1);
+        recorder.queue_wait_batch(5.0, 2.0, 4, 0, 1, 2);
+        let trace = recorder.finish().unwrap();
+        let solo: Vec<&str> = trace.spans_for(3).iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            solo,
+            vec!["queue-wait"],
+            "run_len == 1 must not decode a batch instant"
+        );
+        let paired: Vec<&str> = trace.spans_for(4).iter().map(|e| e.kind.label()).collect();
+        assert_eq!(paired, vec!["queue-wait", "batch"]);
+    }
+
+    #[test]
+    fn absorbing_lane_records_translates_side_tables_and_counters() {
+        // Two "lane" recorders capture disjoint streams; absorbing them
+        // interleaved must re-intern sources, re-slot route choices, and
+        // rebuild counter running totals exactly as a live recorder would.
+        let mut lane_a = TraceRecorder::new(TraceConfig::with_capacity(usize::MAX));
+        let mut lane_b = TraceRecorder::new(TraceConfig::with_capacity(usize::MAX));
+        lane_a.record(acquire(1.0, "host", 10));
+        lane_a.counter(2.0, 0, CounterName::MemoHit);
+        lane_b.record(acquire(1.5, "transfer", 20));
+        lane_b.counter(2.5, 1, CounterName::MemoHit);
+        lane_b.record(TraceEvent {
+            time_us: 3.0,
+            dur_us: 0.0,
+            request_id: Some(9),
+            device: 1,
+            tile: None,
+            kind: SpanKind::RouteChoice(Box::new(RouteChoice {
+                policy: "kernel-hash",
+                chosen: 1,
+                candidates: Vec::new(),
+            })),
+        });
+        let trace_a = lane_a.finish().unwrap();
+        let trace_b = lane_b.finish().unwrap();
+
+        let mut merged = TraceRecorder::new(TraceConfig::enabled());
+        merged.absorb_lane_record(&trace_a, 0);
+        merged.absorb_lane_record(&trace_b, 0);
+        merged.absorb_lane_record(&trace_b, 1);
+        merged.absorb_lane_record(&trace_a, 1);
+        merged.absorb_lane_record(&trace_b, 2);
+        let trace = merged.finish().unwrap();
+
+        let events = trace.events();
+        assert_eq!(events.len(), 5);
+        assert!(
+            matches!(
+                events[0].kind,
+                SpanKind::Acquire {
+                    source: "host",
+                    bytes: 10
+                }
+            ),
+            "got {:?}",
+            events[0].kind
+        );
+        assert!(
+            matches!(
+                events[1].kind,
+                SpanKind::Acquire {
+                    source: "transfer",
+                    bytes: 20
+                }
+            ),
+            "got {:?}",
+            events[1].kind
+        );
+        // Lane-local counter totals were 1 apiece; the merge order makes
+        // them the global running total 1, 2.
+        assert!(matches!(
+            events[2].kind,
+            SpanKind::Counter {
+                name: CounterName::MemoHit,
+                value: 1
+            }
+        ));
+        assert!(matches!(
+            events[3].kind,
+            SpanKind::Counter {
+                name: CounterName::MemoHit,
+                value: 2
+            }
+        ));
+        match &events[4].kind {
+            SpanKind::RouteChoice(choice) => assert_eq!(choice.chosen, 1),
+            other => panic!("expected a route choice, got {other:?}"),
+        }
     }
 }

@@ -16,6 +16,11 @@
 //! be non-decreasing across `submit` calls (the loop rejects the whole serve
 //! with [`RuntimeError::OutOfOrderArrival`](crate::RuntimeError::OutOfOrderArrival)
 //! otherwise), which is what makes the virtual-time loop deterministic.
+//! Submission order is also the sequence number the sharded cluster loop
+//! keys its deterministic merge on — though streaming serves themselves
+//! always run the serial loop: [`Cluster::serve_stream`](crate::Cluster::serve_stream)
+//! ignores the [`Cluster::with_threads`](crate::Cluster::with_threads)
+//! budget, since a live feeder can race the virtual clock.
 //!
 //! When tracing is on ([`Runtime::with_tracing`](crate::Runtime::with_tracing)
 //! with an enabled [`TraceConfig`](crate::obs::TraceConfig)), the loop marks

@@ -1,0 +1,179 @@
+//! Determinism gate for the sharded cluster event loop.
+//!
+//! ```text
+//! cargo run --release --example cluster_determinism > determinism_run1.txt
+//! cargo run --release --example cluster_determinism > determinism_run2.txt
+//! diff determinism_run1.txt determinism_run2.txt
+//! ```
+//!
+//! Serves one fixed, seeded multi-kernel trace on an 8-device cluster at
+//! host-thread budgets 1, 2, and 4, with tracing enabled. Two checks:
+//!
+//! 1. **In-process:** the three reports must be identical — outcomes
+//!    (including exact f64 bit patterns), metrics, per-device breakdowns,
+//!    and the merged trace. `threads = 1` takes the serial loop, so this
+//!    pins the sharded path bitwise to the serial baseline.
+//! 2. **Across runs:** stdout is a canonical byte dump of the `threads = 1`
+//!    report (f64s rendered as raw bit patterns, traces digested with a
+//!    stable FNV-1a hash). CI runs the example twice and `diff`s the
+//!    dumps, so any run-to-run nondeterminism — thread scheduling leaking
+//!    into outcomes, map iteration order, address-dependent hashing —
+//!    breaks the build.
+//!
+//! Exits nonzero (panics) if any pair of reports diverges.
+
+use std::fmt::Write as _;
+
+use tm_overlay::{
+    Benchmark, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, Request, RoutePolicy,
+    TraceConfig, Workload,
+};
+
+/// Thread budgets under test; 1 is the serial baseline.
+const THREADS: [usize; 3] = [1, 2, 4];
+const DEVICES: usize = 8;
+const TILES_PER_DEVICE: usize = 2;
+
+/// One kernel per tenant so `RoutePolicy::KernelHash` spreads the trace
+/// across the device shards.
+const TENANTS: [(Benchmark, usize); 6] = [
+    (Benchmark::Gradient, 12),
+    (Benchmark::Chebyshev, 8),
+    (Benchmark::Mibench, 6),
+    (Benchmark::Qspline, 10),
+    (Benchmark::Poly5, 4),
+    (Benchmark::Sgfilter, 8),
+];
+
+/// Fixed seeded trace: 10 rounds, every tenant fires each round with
+/// staggered arrivals; every third request carries a (sometimes tight)
+/// deadline so the miss-accounting path is exercised too.
+fn build_trace() -> Result<Vec<Request>, Box<dyn std::error::Error>> {
+    let mut requests = Vec::new();
+    let mut id = 0u64;
+    for round in 0..10 {
+        for (tenant, &(benchmark, blocks)) in TENANTS.iter().enumerate() {
+            let spec = KernelSpec::from_benchmark(benchmark)?;
+            let inputs = benchmark.dfg()?.num_inputs();
+            let workload = Workload::random(inputs, blocks, id ^ 0xD1CE);
+            let arrival = round as f64 * 40.0 + tenant as f64 * 3.5;
+            let mut request = Request::new(id, spec, workload).at(arrival);
+            if id.is_multiple_of(3) {
+                request = request.with_deadline(arrival + 120.0);
+            }
+            requests.push(request);
+            id += 1;
+        }
+    }
+    Ok(requests)
+}
+
+fn serve(
+    threads: usize,
+    requests: &[Request],
+) -> Result<ClusterReport, Box<dyn std::error::Error>> {
+    let mut cluster = Cluster::new(FuVariant::V4, DEVICES, TILES_PER_DEVICE)?
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_route_policy(RoutePolicy::KernelHash)
+        .with_tracing(TraceConfig::enabled())
+        .with_threads(threads);
+    Ok(cluster.serve(requests.to_vec())?)
+}
+
+/// Stable 64-bit FNV-1a, for digesting bulky sections (outputs, trace
+/// events) without dumping megabytes to stdout.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders a report as a canonical byte dump. Every f64 is printed as its
+/// raw bit pattern so "identical" means bitwise, not display-rounded.
+fn dump(report: &ClusterReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "outcomes={} rejected={}",
+        report.outcomes().len(),
+        report.rejected().len()
+    );
+    for outcome in report.outcomes() {
+        let _ = writeln!(
+            out,
+            "req={} kernel={} device={} tile={} start={:016x} queued={:016x} \
+             completion={:016x} latency={:016x} switched={} deadline={:?} missed={} \
+             outputs_fnv={:016x}",
+            outcome.request_id,
+            outcome.kernel,
+            outcome.device,
+            outcome.tile,
+            outcome.start_us.to_bits(),
+            outcome.queued_us.to_bits(),
+            outcome.completion_us.to_bits(),
+            outcome.latency_us.to_bits(),
+            outcome.switched,
+            outcome.deadline_us.map(f64::to_bits),
+            outcome.missed_deadline,
+            fnv1a(format!("{:?}", outcome.outputs()).as_bytes()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "metrics_fnv={:016x}",
+        fnv1a(format!("{:?}", report.metrics()).as_bytes())
+    );
+    for device in report.device_metrics() {
+        let _ = writeln!(
+            out,
+            "device={} fnv={:016x}",
+            device.device,
+            fnv1a(format!("{device:?}").as_bytes())
+        );
+    }
+    match report.trace() {
+        Some(trace) => {
+            let events = trace.events();
+            let _ = writeln!(
+                out,
+                "trace events={} dropped={} fnv={:016x}",
+                events.len(),
+                trace.dropped(),
+                fnv1a(format!("{events:?}").as_bytes())
+            );
+        }
+        None => {
+            let _ = writeln!(out, "trace absent");
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let requests = build_trace()?;
+
+    let mut dumps = Vec::new();
+    for threads in THREADS {
+        let report = serve(threads, &requests)?;
+        dumps.push((threads, dump(&report)));
+    }
+
+    let (_, baseline) = &dumps[0];
+    for (threads, candidate) in &dumps[1..] {
+        assert_eq!(
+            candidate, baseline,
+            "threads={threads} report diverged from the serial (threads=1) baseline"
+        );
+    }
+
+    // The canonical dump; CI diffs this output across two runs.
+    println!(
+        "cluster_determinism: {DEVICES} devices x {TILES_PER_DEVICE} tiles, \
+         threads {THREADS:?} identical"
+    );
+    print!("{baseline}");
+    Ok(())
+}

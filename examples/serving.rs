@@ -28,7 +28,8 @@
 //!    of demand.
 //! 6. **Observability** — act 5's controlled cluster rerun with request-span
 //!    tracing on: the serve is bit-identical (tracing is transparent), a
-//!    Perfetto/Chrome-loadable trace lands in `serving_trace.json`, and the
+//!    Perfetto/Chrome-loadable trace lands in `target/serving_trace.json`,
+//!    and the
 //!    worst-p99 tenant's latency is broken down per lifecycle stage from its
 //!    own spans.
 //!
@@ -455,7 +456,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // tile), validate it, and write it next to BENCH_runtime.json.
     let trace_json = perfetto_trace_json(trace, None, "serving act 6: controlled cluster");
     let validation = validate_chrome_trace(&trace_json).map_err(std::io::Error::other)?;
-    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/serving_trace.json");
+    // Write under target/ — generated artifacts never belong in the repo.
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/target/serving_trace.json");
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/target"))?;
     std::fs::write(trace_path, &trace_json)?;
     println!(
         "wrote {trace_path}: {} events over {} track(s) ({} complete spans, {} dropped) — \

@@ -1,10 +1,10 @@
 //! Validates a Chrome/Perfetto trace file emitted by the serving runtime.
 //!
 //! ```text
-//! cargo run --example trace_check -- serving_trace.json
+//! cargo run --example trace_check -- target/serving_trace.json
 //! ```
 //!
-//! Reads the trace JSON (defaults to `serving_trace.json` next to the
+//! Reads the trace JSON (defaults to `target/serving_trace.json` under the
 //! workspace root, as written by `cargo run --example serving`), runs the
 //! structural validator from `tm_overlay::runtime::obs`, and prints a
 //! one-line summary. Exits nonzero if the file is missing, unparseable, or
@@ -16,9 +16,9 @@ use std::process::ExitCode;
 use tm_overlay::runtime::obs::validate_chrome_trace;
 
 fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/serving_trace.json").to_string());
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/target/serving_trace.json").to_string()
+    });
     let json = match std::fs::read_to_string(&path) {
         Ok(json) => json,
         Err(err) => {

@@ -294,3 +294,75 @@ fn cluster_streaming_matches_batch_and_reports_backpressure_free_ingest() {
     }
     assert_eq!(batch.metrics(), streamed.metrics());
 }
+
+#[test]
+fn sharded_serves_pass_the_full_cluster_audit() {
+    let requests = benchmark_trace(48, 6, 1.0, 5_000.0);
+    for threads in [2, 4, 16] {
+        let mut cluster = Cluster::new(FuVariant::V4, 4, 2)
+            .unwrap()
+            .with_policy(DispatchPolicy::KernelAffinity)
+            .with_route_policy(RoutePolicy::KernelHash)
+            .with_threads(threads);
+        assert_eq!(cluster.threads(), threads);
+        let report = cluster.serve(requests.clone()).unwrap();
+        verify_report(&requests, &report, 4);
+    }
+}
+
+#[test]
+fn thread_budget_defaults_to_one_and_clamps_at_one() {
+    assert_eq!(Cluster::new(FuVariant::V4, 2, 2).unwrap().threads(), 1);
+    let clamped = Cluster::new(FuVariant::V4, 2, 2).unwrap().with_threads(0);
+    assert_eq!(clamped.threads(), 1);
+}
+
+#[test]
+fn ineligible_shapes_still_serve_under_a_thread_budget() {
+    // Single device, dynamic routing, and bounded admission all fall back
+    // to the serial loop; a thread budget must never change what they serve.
+    let requests = benchmark_trace(24, 6, 1.0, 5_000.0);
+    let mut single = Cluster::new(FuVariant::V4, 1, 3).unwrap().with_threads(4);
+    let report = single.serve(requests.clone()).unwrap();
+    verify_report(&requests, &report, 1);
+    for route in [RoutePolicy::LeastLoaded, RoutePolicy::PowerOfTwoChoices] {
+        let mut cluster = Cluster::new(FuVariant::V4, 3, 2)
+            .unwrap()
+            .with_route_policy(route)
+            .with_threads(4);
+        let report = cluster.serve(requests.clone()).unwrap();
+        verify_report(&requests, &report, 3);
+    }
+    let mut limited = Cluster::new(FuVariant::V4, 3, 2)
+        .unwrap()
+        .with_route_policy(RoutePolicy::KernelHash)
+        .with_admission_limit(2)
+        .with_threads(4);
+    let report = limited.serve(requests.clone()).unwrap();
+    verify_report(&requests, &report, 3);
+}
+
+#[test]
+fn sharded_and_serial_loops_reject_bad_arrivals_identically() {
+    // The sharded pre-pass validates arrivals in submission order, so both
+    // loops must surface the same error for the same malformed trace.
+    let build = |threads: usize| {
+        Cluster::new(FuVariant::V4, 3, 2)
+            .unwrap()
+            .with_route_policy(RoutePolicy::KernelHash)
+            .with_threads(threads)
+    };
+    let mut invalid = benchmark_trace(8, 4, 1.0, 5_000.0);
+    invalid[5] = invalid[5].clone().at(f64::NAN);
+    let serial = build(1).serve(invalid.clone()).unwrap_err();
+    let sharded = build(4).serve(invalid).unwrap_err();
+    // Compare the rendered errors: the payload carries the NaN arrival, and
+    // NaN != NaN under `PartialEq`.
+    assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+
+    let mut regressing = benchmark_trace(8, 4, 1.0, 5_000.0);
+    regressing[6] = regressing[6].clone().at(0.5);
+    let serial = build(1).serve(regressing.clone()).unwrap_err();
+    let sharded = build(4).serve(regressing).unwrap_err();
+    assert_eq!(serial, sharded);
+}

@@ -226,6 +226,35 @@ proptest! {
         }
     }
 
+    /// The sharded loop's commit stage merges per-lane trace rings back
+    /// into one timeline; the result must be indistinguishable from the
+    /// serial recorder — span-for-span equal — and the per-request
+    /// reconciliation audit must still hold on the merged trace.
+    #[test]
+    fn sharded_traces_match_serial_span_for_span(
+        (seed, count, devices, tiles) in (any::<u64>(), 6usize..24, 2usize..5, 1usize..3),
+        policy_pick in 0usize..4,
+        threads_pick in 0usize..2,
+    ) {
+        let requests = random_trace(seed, count, 4.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let threads = [2usize, 4][threads_pick];
+        let build = || Cluster::new(FuVariant::V4, devices, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_route_policy(RoutePolicy::KernelHash)
+            .with_tracing(TraceConfig::enabled());
+        let serial = build().serve(requests.clone()).unwrap();
+        let sharded = build().with_threads(threads).serve(requests).unwrap();
+        let serial_trace = serial.trace().expect("tracing was enabled");
+        let sharded_trace = sharded.trace().expect("tracing was enabled");
+        prop_assert_eq!(serial_trace, sharded_trace);
+        prop_assert_eq!(sharded_trace.dropped(), 0);
+        for outcome in sharded.outcomes() {
+            assert_spans_reconcile(sharded_trace, outcome.request_id, outcome.latency_us)?;
+        }
+    }
+
     /// Histogram parity: the log-bucketed percentile lands within one
     /// bucket width of the exact selection-path percentile, and splitting
     /// the samples across shards then merging changes nothing.
