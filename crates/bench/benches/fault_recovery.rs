@@ -1,0 +1,319 @@
+//! Elastic-recovery bench: how fast the cluster's deadline-miss rate
+//! returns to steady state after a device death.
+//!
+//! Serves a deadline trace at offered load ρ ≈ 0.6 (against the full
+//! 8-device fleet) twice: once healthy, once with a single mid-trace
+//! [`tm_overlay::FaultPlan`] kill. The killed device's queued and in-flight
+//! work requeues through least-loaded routing onto the seven survivors
+//! (ρ ≈ 0.69 — loaded, still stable), so the modeled deadline-miss rate
+//! spikes at the kill and then drains back down. The bench buckets
+//! completions into fixed virtual-time windows and reports:
+//!
+//! * **steady miss rate** — the healthy serve's deadline-miss fraction
+//!   over its steady window (past the cold-store warm-up transient, before
+//!   arrivals stop);
+//! * **degraded miss rate** — the same measure on a reference serve whose
+//!   device is dead from t = 0: the *surviving fleet's* steady state. A
+//!   kill permanently removes an eighth of the capacity, so this — not the
+//!   healthy rate — is the equilibrium the fleet recovers *to*; the
+//!   transient above it is what recovery measures;
+//! * **peak miss rate** — the worst post-kill window (the spike the
+//!   requeue storm causes);
+//! * **recovery µs** — virtual time from the kill to the first window
+//!   after which every later window's (3-window-smoothed) miss rate stays
+//!   within 10 points of the degraded steady state.
+//!
+//! Windows past the last arrival are excluded from the recovery check: the
+//! drain phase's final stragglers are the requests that queued longest, a
+//! self-selected near-certain-miss population in both the healthy and the
+//! faulty serve, not a load the fleet is recovering under.
+//!
+//! Acceptance: the miss rate must recover within a bounded virtual-time
+//! window — a quarter of the faulty serve's makespan — and nothing may be
+//! lost (completions + rejects = submissions, the suite's zero-loss
+//! invariant, re-checked here on the bench trace).
+//!
+//! Output: a window table on stdout plus a `fault_recovery` section spliced
+//! into `BENCH_runtime.json`.
+//!
+//! Environment:
+//! * `BENCH_FAST=1` — CI mode: fewer requests, same fleet and windowing.
+//! * `BENCH_RUNTIME_OUT=path` — override the JSON output path.
+
+use std::fmt::Write as _;
+
+use tm_overlay::{
+    Benchmark, Cluster, ClusterReport, FaultPlan, FuVariant, KernelSpec, Request, RoutePolicy,
+    Runtime, Workload,
+};
+
+const DEVICES: usize = 8;
+const TILES_PER_DEVICE: usize = 16;
+const VARIANT: FuVariant = FuVariant::V4;
+const BLOCKS: usize = 1;
+/// Offered load against the full fleet's tile count.
+const RHO: f64 = 0.6;
+/// Deadline budget in units of the modeled single-request service time.
+const DEADLINE_BUDGETS: f64 = 2.0;
+/// Completion-time buckets for the miss-rate curve.
+const WINDOWS: usize = 64;
+/// A post-kill window counts as recovered when its miss rate is within
+/// this many points of the steady-state rate.
+const TOLERANCE: f64 = 0.10;
+
+/// The deadline trace: `count` requests cycling through six kernels with
+/// workloads from a small per-kernel pool, one arrival every `spacing_us`,
+/// every request carrying a deadline.
+fn trace(count: usize, spacing_us: f64, budget_us: f64) -> Vec<Request> {
+    let suite = [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Mibench,
+        Benchmark::Qspline,
+        Benchmark::Poly5,
+        Benchmark::Sgfilter,
+    ];
+    let specs: Vec<(KernelSpec, usize)> = suite
+        .iter()
+        .map(|&b| {
+            (
+                KernelSpec::from_benchmark(b).unwrap(),
+                b.dfg().unwrap().num_inputs(),
+            )
+        })
+        .collect();
+    (0..count)
+        .map(|i| {
+            let (spec, inputs) = &specs[i % specs.len()];
+            let workload = Workload::random(*inputs, BLOCKS, (i % 8) as u64);
+            let arrival = i as f64 * spacing_us;
+            Request::new(i as u64, spec.clone(), workload)
+                .at(arrival)
+                .with_deadline(arrival + budget_us)
+        })
+        .collect()
+}
+
+fn fleet() -> Cluster {
+    Cluster::new(VARIANT, DEVICES, TILES_PER_DEVICE)
+        .unwrap()
+        .with_route_policy(RoutePolicy::LeastLoaded)
+}
+
+/// Buckets a serve's outcomes by completion time into `WINDOWS` equal
+/// windows over `[0, makespan]`, returning each window's deadline-miss
+/// rate (`None` for empty windows).
+fn miss_curve(report: &ClusterReport, makespan_us: f64) -> Vec<Option<f64>> {
+    let width = makespan_us / WINDOWS as f64;
+    let mut total = vec![0usize; WINDOWS];
+    let mut missed = vec![0usize; WINDOWS];
+    for outcome in report.outcomes() {
+        let window = ((outcome.completion_us / width) as usize).min(WINDOWS - 1);
+        total[window] += 1;
+        missed[window] += outcome.missed_deadline as usize;
+    }
+    total
+        .iter()
+        .zip(&missed)
+        .map(|(&t, &m)| (t > 0).then(|| m as f64 / t as f64))
+        .collect()
+}
+
+/// The deadline-miss fraction of completions inside `[from_us, to_us)`.
+fn miss_rate_in(report: &ClusterReport, from_us: f64, to_us: f64) -> f64 {
+    let mut total = 0usize;
+    let mut missed = 0usize;
+    for outcome in report.outcomes() {
+        if outcome.completion_us >= from_us && outcome.completion_us < to_us {
+            total += 1;
+            missed += outcome.missed_deadline as usize;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    missed as f64 / total as f64
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let count = if fast { 3072 } else { 12288 };
+
+    // Probe the modeled service time of one request so the arrival spacing
+    // tracks the timing model at ρ = RHO against the full fleet.
+    let probe = trace(1, 1.0, 1e9);
+    let service_us = Runtime::new(VARIANT, 1)
+        .unwrap()
+        .serve(probe)
+        .unwrap()
+        .outcomes()[0]
+        .completion_us;
+    let total_tiles = DEVICES * TILES_PER_DEVICE;
+    let spacing_us = service_us / (total_tiles as f64 * RHO);
+    let budget_us = DEADLINE_BUDGETS * service_us;
+    let requests = trace(count, spacing_us, budget_us);
+
+    // The healthy serve sets the steady-state bar: its miss rate past the
+    // cold-store warm-up transient, while arrivals are still flowing.
+    let healthy = fleet().serve(requests.clone()).unwrap();
+    assert_eq!(
+        healthy.outcomes().len(),
+        count,
+        "healthy serve completes all"
+    );
+    let last_arrival_us = (count - 1) as f64 * spacing_us;
+    let steady_rate = miss_rate_in(
+        &healthy,
+        healthy.metrics().makespan_us * 0.25,
+        last_arrival_us,
+    );
+
+    // The degraded reference: the same trace on a fleet whose device 0 is
+    // dead from the start — no displaced backlog, just seven devices. Its
+    // steady rate is the equilibrium the faulty serve must return to.
+    let reference = fleet()
+        .with_fault_plan(FaultPlan::new().kill(0.0, 0))
+        .serve(requests.clone())
+        .unwrap();
+    let degraded_rate = miss_rate_in(
+        &reference,
+        reference.metrics().makespan_us * 0.25,
+        last_arrival_us,
+    );
+
+    // Kill one device 40% into the healthy makespan — deep enough that the
+    // fleet is in steady state, early enough that the tail shows recovery.
+    let kill_at = healthy.metrics().makespan_us * 0.4;
+    let mut faulty = fleet().with_fault_plan(FaultPlan::new().kill(kill_at, 0));
+    let report = faulty.serve(requests.clone()).unwrap();
+
+    // Zero loss on the bench trace: everything submitted is accounted for.
+    assert_eq!(
+        report.outcomes().len() + report.rejected().len(),
+        count,
+        "the faulty serve lost requests"
+    );
+    let makespan_us = report.metrics().makespan_us;
+    let curve = miss_curve(&report, makespan_us);
+    let width_us = makespan_us / WINDOWS as f64;
+    let kill_window = ((kill_at / width_us) as usize).min(WINDOWS - 1);
+    // Only windows that end before arrivals stop count toward recovery —
+    // the drain-phase tail is a straggler artifact, not offered load.
+    let loaded_windows = ((last_arrival_us / width_us) as usize).min(WINDOWS);
+
+    // A centered 3-window mean damps single-window sampling noise (~50
+    // completions per fast-mode window) without hiding a sustained spike.
+    let smoothed: Vec<Option<f64>> = (0..WINDOWS)
+        .map(|w| {
+            let lo = w.saturating_sub(1);
+            let hi = (w + 2).min(WINDOWS);
+            let near: Vec<f64> = curve[lo..hi].iter().flatten().copied().collect();
+            (!near.is_empty()).then(|| near.iter().sum::<f64>() / near.len() as f64)
+        })
+        .collect();
+
+    // Recovery: the first post-kill window after which every later loaded,
+    // non-empty window stays within TOLERANCE of the degraded steady rate.
+    let recovered_window = (kill_window..loaded_windows).find(|&w| {
+        smoothed[w..loaded_windows]
+            .iter()
+            .flatten()
+            .all(|&rate| rate <= degraded_rate + TOLERANCE)
+    });
+    let recovery_us = recovered_window
+        .map(|w| (w as f64 * width_us - kill_at).max(0.0))
+        .unwrap_or(f64::INFINITY);
+    let peak_rate = curve[kill_window..loaded_windows]
+        .iter()
+        .flatten()
+        .fold(0.0_f64, |a, &b| a.max(b));
+    let bound_us = makespan_us * 0.25;
+    let pass = recovery_us <= bound_us;
+
+    println!(
+        "fault_recovery: {DEVICES}x{TILES_PER_DEVICE} tiles, {count} requests, rho {RHO}, \
+         service ~{service_us:.3} us, deadline {DEADLINE_BUDGETS}x ({} mode)",
+        if fast { "fast" } else { "full" }
+    );
+    println!(
+        "steady miss rate {:.4} (healthy) / {:.4} (7 survivors), kill at {kill_at:.1} us \
+         (window {kill_window}), peak post-kill {:.4}",
+        steady_rate, degraded_rate, peak_rate
+    );
+    println!(
+        "recovered in {recovery_us:.1} us (bound {bound_us:.1} us) -> {}",
+        if pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "requeues {} lost_work {:.1} us availability[0] {:.3}",
+        report.requeues(),
+        report.lost_work_us(),
+        report.availability()[0]
+    );
+    println!("{:>7} {:>10} {:>10}", "window", "ends us", "miss rate");
+    for (w, rate) in curve.iter().enumerate() {
+        if w + 1 >= kill_window && w < kill_window + 12 {
+            match rate {
+                Some(rate) => {
+                    println!(
+                        "{:>7} {:>10.1} {:>10.4}",
+                        w,
+                        (w + 1) as f64 * width_us,
+                        rate
+                    )
+                }
+                None => println!("{:>7} {:>10.1} {:>10}", w, (w + 1) as f64 * width_us, "-"),
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"fault_recovery\",");
+    let _ = writeln!(json, "  \"schema\": {},", overlay_bench::BENCH_JSON_SCHEMA);
+    let _ = writeln!(json, "  {},", overlay_bench::provenance_json_fields());
+    let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(json, "  \"devices\": {DEVICES},");
+    let _ = writeln!(json, "  \"tiles_per_device\": {TILES_PER_DEVICE},");
+    let _ = writeln!(json, "  \"route\": \"least-loaded\",");
+    let _ = writeln!(json, "  \"requests\": {count},");
+    let _ = writeln!(json, "  \"rho\": {RHO},");
+    let _ = writeln!(json, "  \"modeled_service_us\": {service_us:.3},");
+    let _ = writeln!(json, "  \"deadline_budget_us\": {budget_us:.3},");
+    let _ = writeln!(json, "  \"windows\": {WINDOWS},");
+    let _ = writeln!(json, "  \"window_us\": {width_us:.2},");
+    let _ = writeln!(json, "  \"kill_device\": 0,");
+    let _ = writeln!(json, "  \"kill_at_us\": {kill_at:.2},");
+    let _ = writeln!(json, "  \"makespan_us\": {makespan_us:.2},");
+    let _ = writeln!(json, "  \"steady_miss_rate\": {steady_rate:.4},");
+    let _ = writeln!(json, "  \"degraded_steady_miss_rate\": {degraded_rate:.4},");
+    let _ = writeln!(json, "  \"peak_miss_rate\": {peak_rate:.4},");
+    let _ = writeln!(json, "  \"requeues\": {},", report.requeues());
+    let _ = writeln!(json, "  \"lost_work_us\": {:.2},", report.lost_work_us());
+    let _ = writeln!(
+        json,
+        "  \"availability\": [{}],",
+        report
+            .availability()
+            .iter()
+            .map(|a| format!("{a:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"recovery_us\": {recovery_us:.1}, \
+         \"bound_us\": {bound_us:.1}, \"tolerance\": {TOLERANCE}, \"pass\": {pass}}}"
+    );
+    json.push_str("}\n");
+
+    let path = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").into()
+    });
+    let existing = std::fs::read_to_string(&path).ok();
+    let combined = overlay_bench::splice_bench_json(existing.as_deref(), "fault_recovery", &json)
+        .expect("BENCH_runtime.json section stays schema-compatible");
+    std::fs::write(&path, combined).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
+}

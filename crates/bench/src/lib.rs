@@ -307,11 +307,12 @@ pub fn iwp_ablation() -> String {
 }
 
 /// The known top-level sections of `BENCH_runtime.json`, in emission order.
-const BENCH_JSON_SECTIONS: [&str; 5] = [
+const BENCH_JSON_SECTIONS: [&str; 6] = [
     "runtime_scalability",
     "cluster_scalability",
     "parallel_cluster",
     "batching_replication",
+    "fault_recovery",
     "profile",
 ];
 

@@ -122,9 +122,10 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    BatchConfig, BatchStats, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, KernelSpec,
-    LogHistogram, ProfileStats, ReplicationConfig, ReplicationStats, Request, RoutePolicy, Runtime,
-    RuntimeMetrics, ScanMode, ServeReport, SubmitError, Submitter, Trace, TraceConfig,
+    BatchConfig, BatchStats, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, FaultEvent,
+    FaultKind, FaultPlan, FlashCrowd, KernelSpec, LogHistogram, ProfileStats, ReplicationConfig,
+    ReplicationStats, Request, RoutePolicy, Runtime, RuntimeMetrics, ScanMode, Scenario,
+    ScenarioArrival, ScenarioConfig, ServeReport, SubmitError, Submitter, Trace, TraceConfig,
     TransferModel,
 };
 pub use overlay_scheduler::CompiledKernel;

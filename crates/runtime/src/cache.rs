@@ -236,6 +236,21 @@ impl KernelCache {
         self.entries.contains_key(key)
     }
 
+    /// Returns the cached artifact for `key` without touching the LRU
+    /// order or the hit/miss counters — the replication layer's way to
+    /// read a surviving holder's store when re-homing replicas off a dead
+    /// device.
+    pub fn peek(&self, key: &KernelKey) -> Option<Arc<CompiledKernel>> {
+        self.entries.get(key).map(|entry| Arc::clone(&entry.kernel))
+    }
+
+    /// Drops every entry but preserves the accumulated counters — a device
+    /// kill wipes the store mid-serve, and the hits and misses recorded so
+    /// far still happened.
+    pub fn wipe(&mut self) {
+        self.entries.clear();
+    }
+
     /// Removes `key`'s entry, if resident. This is a *policy* removal (the
     /// replication layer demoting a cold replica), not a capacity eviction —
     /// it does not count in [`CacheStats::evictions`]. Shared `Arc`s held

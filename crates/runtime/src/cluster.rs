@@ -72,11 +72,14 @@ use crate::cache::CacheStats;
 use crate::control::{Batcher, Replicator};
 use crate::dispatch::TileQueue;
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::metrics::{self, BatchStats, DeviceMetrics, ReplicationStats, RuntimeMetrics};
 use crate::obs;
 use crate::pool::ChargeOutcome;
 use crate::route::{
-    cheapest_acquisition, kernel_home, power_of_two_pair, Acquisition, RoutePolicy, TransferModel,
+    cheapest_acquisition, kernel_home, kernel_home_eligible, least_loaded_eligible,
+    power_of_two_pair, power_of_two_pair_eligible, Acquisition, ExclusionSet, RoutePolicy,
+    TransferModel,
 };
 use crate::{
     prepare_request, record_request_spans, BatchConfig, DispatchPolicy, DispatchRequest,
@@ -231,6 +234,30 @@ impl ClusterReport {
         self.devices.iter().map(|d| d.host_loads).sum()
     }
 
+    /// Total requests displaced off dead or draining devices and sent back
+    /// through routing (0 on a fault-free serve).
+    pub fn requeues(&self) -> usize {
+        self.devices.iter().map(|d| d.requeues_out).sum()
+    }
+
+    /// Total started-but-abandoned execution time destroyed by device
+    /// kills, in virtual microseconds (0 on a fault-free serve).
+    pub fn lost_work_us(&self) -> f64 {
+        self.devices.iter().map(|d| d.lost_work_us).sum()
+    }
+
+    /// Total faults (kills + drains) that hit the fleet during the serve.
+    pub fn faults(&self) -> usize {
+        self.devices.iter().map(|d| d.faults).sum()
+    }
+
+    /// Per-device availability — the fraction of the serve's makespan each
+    /// device was alive and admitting, indexed by device id (all 1.0 on a
+    /// fault-free serve).
+    pub fn availability(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.availability).collect()
+    }
+
     /// The replication layer's counters for this serve (all zero while
     /// replication is disabled, the default).
     pub fn replication(&self) -> ReplicationStats {
@@ -293,6 +320,18 @@ struct ClusterState<'a> {
     /// Per intake index: the committed acquisition's `(source, bytes)`,
     /// carried to the start event for the trace's acquire span.
     acquire_src: Vec<(&'static str, u64)>,
+    /// Per intake index: devices this request was displaced off by a fault
+    /// — routing avoids them while any other serviceable device exists.
+    /// Empty (and never consulted) on a fault-free serve.
+    exclusions: Vec<ExclusionSet>,
+    /// Per global tile: the intake index currently running there.
+    /// Maintained only under a fault plan (kills must know what to
+    /// abandon).
+    running_index: Vec<Option<usize>>,
+    /// Per global tile: the completion time of the run the tile is waiting
+    /// on. Under a fault plan, a tile-free event that does not match is a
+    /// stale completion of evacuated work and is dropped.
+    pending_free: Vec<Option<f64>>,
 }
 
 /// What the cluster event loop hands back for aggregation.
@@ -352,6 +391,12 @@ pub struct Cluster {
     /// only on their home shards, so this poisons its eligibility until
     /// the stores are rebuilt.
     cross_shard_images: bool,
+    /// The installed fault schedule, if any ([`Cluster::with_fault_plan`]).
+    fault_plan: Option<FaultPlan>,
+    /// Per-serve fault state (fleet flags + availability accounting),
+    /// rebuilt from the plan at the start of every serve. `None` — the
+    /// default — keeps every fault branch off the hot path.
+    fault: Option<FaultState>,
 }
 
 impl Cluster {
@@ -405,6 +450,8 @@ impl Cluster {
             load_index: BTreeSet::new(),
             threads: 1,
             cross_shard_images: false,
+            fault_plan: None,
+            fault: None,
         };
         cluster.rebuild_load_index();
         Ok(cluster)
@@ -515,6 +562,25 @@ impl Cluster {
     pub fn with_profiling(mut self, enabled: bool) -> Self {
         self.profiling = enabled;
         self
+    }
+
+    /// Installs a [`FaultPlan`]: its events are scheduled into the serve's
+    /// virtual timeline and the loop reacts as they fire — kills displace
+    /// and requeue work with the dead device excluded, drains stop
+    /// admission but finish resident work, revivals rejoin routing, link
+    /// degradation reprices transfers. The plan is validated at serve time
+    /// ([`RuntimeError::InvalidFaultPlan`] on a bad schedule). No plan —
+    /// the default — leaves the serve bitwise identical to a fault-free
+    /// build.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Shards batch serves across up to `threads` host threads, one event
@@ -662,6 +728,7 @@ impl Cluster {
             && self.admission_limit == usize::MAX
             && !self.replication.enabled()
             && !self.cross_shard_images
+            && self.fault_plan.is_none()
     }
 
     /// Serves a live request stream through a [`Submitter`] (same contract
@@ -700,10 +767,26 @@ impl Cluster {
         let result = mutate(&mut self.devices[device]);
         let after = self.devices[device].load_key();
         if before != after {
-            self.load_index.remove(&before);
-            self.load_index.insert(after);
+            // A dead or draining device was already pulled from the index
+            // (fault injection); its transitions — e.g. a draining tile
+            // finishing resident work — must not re-insert it.
+            if self.load_index.remove(&before) {
+                self.load_index.insert(after);
+            }
         }
         result
+    }
+
+    /// The transfer model in force right now: the configured one, slowed by
+    /// the fault tier's fleet-wide link multiplier when degradation is
+    /// active.
+    fn active_transfer(&self) -> TransferModel {
+        match &self.fault {
+            Some(fault) if fault.link_multiplier != 1.0 => {
+                self.transfer.degraded(fault.link_multiplier)
+            }
+            _ => self.transfer,
+        }
     }
 
     /// How `device` would obtain `key`'s compiled image, without mutating
@@ -718,7 +801,7 @@ impl Cluster {
         if self.num_devices() == 1 || self.devices[device].cache.contains(&key) {
             return Acquisition::Resident;
         }
-        cheapest_acquisition(&self.transfer, self.holders(key), device, bytes)
+        cheapest_acquisition(&self.active_transfer(), self.holders(key), device, bytes)
     }
 
     /// The devices whose stores currently hold `key`'s image.
@@ -833,9 +916,13 @@ impl Cluster {
             if !has_room {
                 continue;
             }
-            let cost_us =
-                cheapest_acquisition(&self.transfer, self.holders(key), device, info.image_bytes)
-                    .cost_us();
+            let cost_us = cheapest_acquisition(
+                &self.active_transfer(),
+                self.holders(key),
+                device,
+                info.image_bytes,
+            )
+            .cost_us();
             self.devices[device].cache.get_or_share(key, &info.compiled);
             replicator.note_pushed(device, key, info.image_bytes, cost_us);
             if recorder.enabled() {
@@ -944,6 +1031,342 @@ impl Cluster {
         (device, acquisition)
     }
 
+    /// The fault-aware routing decision: like [`route_device`]
+    /// (same policies, same comparison keys, the same route-choice span)
+    /// but restricted to devices that can actually serve. Devices the
+    /// request was already displaced off are avoided while any other
+    /// serviceable device exists; if only they remain (e.g. the device
+    /// revived), they become eligible again rather than shedding the
+    /// request spuriously. Returns `None` only when no device in the
+    /// fleet is alive and admitting.
+    ///
+    /// With every device available and no exclusions the selectors reduce
+    /// exactly to the fault-free ones, which is what pins an empty
+    /// [`FaultPlan`] bitwise-identical to no plan at all.
+    ///
+    /// [`route_device`]: Cluster::route_device
+    fn route_device_excluding(
+        &self,
+        info: &InFlight,
+        now_us: f64,
+        exclusions: &ExclusionSet,
+        recorder: &mut obs::TraceRecorder,
+    ) -> Option<(usize, Acquisition)> {
+        let fault = self
+            .fault
+            .as_ref()
+            .expect("exclusion routing only runs under a fault plan");
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        let want_candidates = recorder.enabled();
+        let strict = |device: usize| fault.available(device) && !exclusions.contains(device);
+        let relaxed = |device: usize| fault.available(device);
+        let picked = self
+            .pick_eligible(info, now_us, strict, want_candidates, &mut candidates)
+            .or_else(|| {
+                if exclusions.is_empty() {
+                    None // relaxed == strict; nothing new to try
+                } else {
+                    self.pick_eligible(info, now_us, relaxed, want_candidates, &mut candidates)
+                }
+            });
+        let (device, acquisition) = picked?;
+        if recorder.enabled() {
+            recorder.record(obs::TraceEvent {
+                time_us: now_us,
+                dur_us: 0.0,
+                request_id: Some(info.request.id),
+                device,
+                tile: None,
+                kind: obs::SpanKind::RouteChoice(Box::new(obs::RouteChoice {
+                    policy: self.route.label(),
+                    chosen: device,
+                    candidates,
+                })),
+            });
+        }
+        Some((device, acquisition))
+    }
+
+    /// One eligibility-filtered pass of the routing policy — the selector
+    /// core [`route_device_excluding`](Cluster::route_device_excluding)
+    /// runs once strictly and once relaxed.
+    fn pick_eligible(
+        &self,
+        info: &InFlight,
+        now_us: f64,
+        eligible: impl Fn(usize) -> bool + Copy,
+        want_candidates: bool,
+        candidates: &mut Vec<(usize, f64)>,
+    ) -> Option<(usize, Acquisition)> {
+        let devices = self.num_devices();
+        if devices == 1 {
+            return eligible(0).then_some((0, Acquisition::Resident));
+        }
+        match self.route {
+            RoutePolicy::KernelHash => {
+                kernel_home_eligible(info.view.key.fingerprint, devices, eligible).map(|device| {
+                    (
+                        device,
+                        self.peek_acquisition(device, info.view.key, info.image_bytes),
+                    )
+                })
+            }
+            RoutePolicy::LeastLoaded => {
+                least_loaded_eligible(self.load_index.iter().copied(), eligible).map(|device| {
+                    (
+                        device,
+                        self.peek_acquisition(device, info.view.key, info.image_bytes),
+                    )
+                })
+            }
+            RoutePolicy::PowerOfTwoChoices => power_of_two_pair_eligible(
+                info.view.key.fingerprint,
+                info.request.id,
+                devices,
+                eligible,
+            )
+            .map(|(first, second)| {
+                let (a, a_acquisition) = self.completion_estimate(first, info, now_us);
+                let (b, b_acquisition) = self.completion_estimate(second, info, now_us);
+                if want_candidates {
+                    candidates.push((a.3, a.0));
+                    if second != first {
+                        candidates.push((b.3, b.0));
+                    }
+                }
+                if b < a {
+                    (b.3, b_acquisition)
+                } else {
+                    (a.3, a_acquisition)
+                }
+            }),
+        }
+    }
+
+    /// Sheds a request no device can serve (the whole fleet is dead or
+    /// draining). Counted in the cluster-total rejects but not against any
+    /// device's [`DeviceMetrics::rejects`] — there is no device to blame —
+    /// so per-device rejects need not sum to the cluster total on a faulty
+    /// serve.
+    fn reject_unroutable(
+        &self,
+        _index: usize,
+        info: &InFlight,
+        now_us: f64,
+        state: &mut ClusterState<'_>,
+    ) {
+        if state.recorder.enabled() {
+            state.recorder.record(obs::TraceEvent {
+                time_us: now_us,
+                dur_us: 0.0,
+                request_id: Some(info.request.id),
+                device: 0,
+                tile: None,
+                kind: obs::SpanKind::Reject,
+            });
+        }
+        state.rejected.push(RejectedRequest {
+            id: info.request.id,
+            kernel: info.request.kernel.shared_name(),
+            arrival_us: info.request.arrival_us,
+            deadline_us: info.request.deadline_us,
+        });
+    }
+
+    /// Applies scheduled fault `fault_index` at `now_us`: flips the fleet
+    /// flags, records the fault span, and performs the structural reaction
+    /// (evacuation, requeues, index surgery, replica re-homing).
+    fn apply_fault(
+        &mut self,
+        fault_index: usize,
+        now_us: f64,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) {
+        let kind = self
+            .fault
+            .as_mut()
+            .expect("fault events only fire under a fault plan")
+            .apply(fault_index, now_us);
+        if state.recorder.enabled() {
+            let (device, span) = match kind {
+                FaultKind::Kill { device } => (device, obs::SpanKind::DeviceDown),
+                FaultKind::Revive { device } => (device, obs::SpanKind::DeviceUp),
+                FaultKind::Drain { device } => (device, obs::SpanKind::DrainPhase { begin: true }),
+                FaultKind::Undrain { device } => {
+                    (device, obs::SpanKind::DrainPhase { begin: false })
+                }
+                FaultKind::DegradeLinks { multiplier } => {
+                    (0, obs::SpanKind::LinkDegrade { multiplier })
+                }
+            };
+            state.recorder.record(obs::TraceEvent {
+                time_us: now_us,
+                dur_us: 0.0,
+                request_id: None,
+                device,
+                tile: None,
+                kind: span,
+            });
+        }
+        match kind {
+            FaultKind::Kill { device } => self.kill_device(device, now_us, intake, state),
+            FaultKind::Drain { device } => self.drain_cluster_device(device, now_us, intake, state),
+            FaultKind::Revive { device } | FaultKind::Undrain { device } => {
+                self.rejoin_device(device)
+            }
+            FaultKind::DegradeLinks { .. } => {} // pricing reads the flag live
+        }
+    }
+
+    /// The abrupt-death reaction: the device leaves the routing index, its
+    /// running request is abandoned (progress counted as lost work, outcome
+    /// withdrawn, simulation restored for the retry), every queued request
+    /// is displaced, tile timelines rewind, the kernel store is wiped, and
+    /// the replication layer's pushed replicas re-home to survivors.
+    fn kill_device(
+        &mut self,
+        device: usize,
+        now_us: f64,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) {
+        self.load_index.remove(&self.devices[device].load_key());
+        let base = device * self.tiles_per_device;
+        for local in 0..self.tiles_per_device {
+            let tile = base + local;
+            if let Some(index) = state.running_index[tile].take() {
+                let outcome = state.outcome_slots[index]
+                    .take()
+                    .expect("a running request has an outcome slot");
+                let fault = self.fault.as_mut().expect("kill fires under a fault plan");
+                fault.lost_work_us[device] += (now_us - outcome.start_us).max(0.0);
+                state.sim.restore(index, outcome.run);
+                self.displace(index, device, now_us, intake, state);
+            }
+            for index in state.queues[tile].drain_live(&state.taken) {
+                self.displace(index, device, now_us, intake, state);
+            }
+            state.pending_free[tile] = None;
+            state.batcher.reset_tile(tile);
+        }
+        self.devices[device].pool.evacuate(now_us);
+        self.devices[device].busy_tiles = 0;
+        self.devices[device].cache.wipe();
+        self.rehome_replicas(device, now_us, state);
+    }
+
+    /// The graceful-drain reaction: the device leaves the routing index
+    /// and its queued-but-not-started requests are displaced, but resident
+    /// running work finishes normally and the kernel store stays warm for
+    /// the undrain.
+    fn drain_cluster_device(
+        &mut self,
+        device: usize,
+        now_us: f64,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) {
+        self.load_index.remove(&self.devices[device].load_key());
+        let base = device * self.tiles_per_device;
+        for local in 0..self.tiles_per_device {
+            let tile = base + local;
+            for index in state.queues[tile].drain_live(&state.taken) {
+                self.displace(index, device, now_us, intake, state);
+            }
+        }
+        self.devices[device].pool.evacuate_queues();
+    }
+
+    /// A revive or undrain: the device rejoins the routing index — if it is
+    /// actually serviceable (undraining a still-dead device rejoins
+    /// nothing).
+    fn rejoin_device(&mut self, device: usize) {
+        let available = self
+            .fault
+            .as_ref()
+            .expect("rejoin fires under a fault plan")
+            .available(device);
+        if available {
+            self.load_index.insert(self.devices[device].load_key());
+        }
+    }
+
+    /// Displacement bookkeeping shared by kill and drain: the losing
+    /// device enters the request's exclusion set and a requeue event at
+    /// the current instant sends it back through routing (after every
+    /// same-instant fault, so a coordinated kill+revive script is seen in
+    /// its final state).
+    fn displace(
+        &mut self,
+        index: usize,
+        from_device: usize,
+        now_us: f64,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) {
+        state.exclusions[index].insert(from_device);
+        self.fault
+            .as_mut()
+            .expect("displacement only happens under faults")
+            .requeues[from_device] += 1;
+        state.events.push(now_us, EventKind::Requeue { index });
+        if state.recorder.enabled() {
+            state.recorder.record(obs::TraceEvent {
+                time_us: now_us,
+                dur_us: 0.0,
+                request_id: Some(intake[index].request.id),
+                device: from_device,
+                tile: None,
+                kind: obs::SpanKind::Requeue,
+            });
+        }
+    }
+
+    /// Re-homes the replication layer's pushed replicas off a dead device:
+    /// each orphaned image still held by a surviving store is pushed onto
+    /// the least-loaded live device with a free slot that does not hold it
+    /// — the same adoption path and accounting as a rate-driven push.
+    fn rehome_replicas(&mut self, dead: usize, now_us: f64, state: &mut ClusterState<'_>) {
+        for key in state.replicator.drain_device(dead) {
+            let Some(artifact) = self
+                .devices
+                .iter()
+                .find(|d| d.id != dead && d.cache.contains(&key))
+                .and_then(|d| d.cache.peek(&key))
+            else {
+                continue; // no surviving holder to source the image from
+            };
+            let Some(target) = self.load_index.iter().map(|&(_, _, id)| id).find(|&id| {
+                !self.devices[id].cache.contains(&key)
+                    && self.devices[id].cache.len() < self.devices[id].cache.capacity()
+            }) else {
+                continue; // everyone holds it or no store has a free slot
+            };
+            let bytes = artifact.program.config_bytes();
+            let cost_us =
+                cheapest_acquisition(&self.active_transfer(), self.holders(key), target, bytes)
+                    .cost_us();
+            self.devices[target].cache.get_or_share(key, &artifact);
+            state.replicator.note_pushed(target, key, bytes, cost_us);
+            if state.recorder.enabled() {
+                state.recorder.record(obs::TraceEvent {
+                    time_us: now_us,
+                    dur_us: 0.0,
+                    request_id: None,
+                    device: target,
+                    tile: None,
+                    kind: obs::SpanKind::Prefetch {
+                        bytes: bytes as u64,
+                    },
+                });
+                state
+                    .recorder
+                    .counter(now_us, target, obs::CounterName::ReplicaPushed);
+            }
+        }
+    }
+
     /// The shared serve body: resets per-serve state, spins up the shared
     /// sim worker pool (and the feeder thread for streaming serves), runs
     /// the cluster event loop over `ingest` and folds the output into a
@@ -956,14 +1379,28 @@ impl Cluster {
     where
         F: FnOnce(Submitter) + Send,
     {
-        // A dynamically-routed or replicated serve can adopt images into
-        // non-home stores; remember that so the sharded loop (which assumes
-        // home-only residency) stays off until the stores are rebuilt.
+        // A dynamically-routed, replicated or fault-injected serve can adopt
+        // images into non-home stores (requeues land anywhere); remember
+        // that so the sharded loop (which assumes home-only residency)
+        // stays off until the stores are rebuilt.
         if self.num_devices() > 1
-            && (!self.route.is_statically_sharded() || self.replication.enabled())
+            && (!self.route.is_statically_sharded()
+                || self.replication.enabled()
+                || self.fault_plan.is_some())
         {
             self.cross_shard_images = true;
         }
+        // Validate and arm the fault schedule before anything is spawned.
+        // An installed-but-empty plan still builds a `FaultState`, so the
+        // fault code path itself is exercised (and pinned bitwise-identical
+        // to a plan-free serve by the equivalence proptests).
+        self.fault = match &self.fault_plan {
+            Some(plan) => Some(FaultState::new(
+                plan.validated(self.num_devices())?,
+                self.num_devices(),
+            )),
+            None => None,
+        };
         for device in &mut self.devices {
             device.pool.reset();
             device.dispatcher.reset();
@@ -1077,7 +1514,20 @@ impl Cluster {
             queue_depth_hist: obs::LogHistogram::new(),
             device_latency_hists: vec![obs::LogHistogram::new(); devices],
             acquire_src: Vec::new(),
+            exclusions: Vec::new(),
+            running_index: vec![None; total_tiles],
+            pending_free: vec![None; total_tiles],
         };
+        // Arm the fault schedule: pre-pushed at virtual time zero, the
+        // fault events hold the lowest sequence numbers and therefore fire
+        // ahead of arrivals and completions at the same instant.
+        if let Some(fault) = &self.fault {
+            for (index, event) in fault.events.iter().enumerate() {
+                state
+                    .events
+                    .push(event.time_us, EventKind::Fault { fault: index });
+            }
+        }
         let mut pull = crate::SubmissionPull::new();
 
         loop {
@@ -1089,12 +1539,14 @@ impl Cluster {
                     sim,
                     acquire_us,
                     acquire_src,
+                    exclusions,
                     recorder,
                     ..
                 } = &mut state;
                 let device_slots = &mut self.devices;
                 let lower = &self.lower;
                 let reconfig = &self.reconfig;
+                let fault = &self.fault;
                 pull.pull(
                     &mut ingest,
                     events,
@@ -1104,7 +1556,17 @@ impl Cluster {
                         // the artifact is built (or found) in the home
                         // device's store; other devices adopt the image
                         // when routing first sends the kernel their way.
-                        let home = kernel_home(request.kernel.fingerprint(), devices);
+                        // Under faults a dead home must not hold the image
+                        // (its store is conceptually gone), so authority
+                        // walks to the next living device — or stays put
+                        // when the whole fleet is down.
+                        let fingerprint = request.kernel.fingerprint();
+                        let home = kernel_home(fingerprint, devices);
+                        let home = match fault {
+                            Some(f) => kernel_home_eligible(fingerprint, devices, |d| f.alive[d])
+                                .unwrap_or(home),
+                            None => home,
+                        };
                         prepare_request(
                             &mut device_slots[home].cache,
                             lower,
@@ -1119,6 +1581,7 @@ impl Cluster {
                         sim.push_slot();
                         acquire_us.push(0.0);
                         acquire_src.push(("resident", 0));
+                        exclusions.push(ExclusionSet::default());
                         if recorder.enabled() {
                             recorder.record(obs::TraceEvent {
                                 time_us: inflight.request.arrival_us,
@@ -1157,8 +1620,24 @@ impl Cluster {
                     // switch cost.
                     self.replicate(info, now_us, &mut state);
                     let route = state.profiler.begin();
-                    let (device, acquisition) =
-                        self.route_device(info, now_us, &mut state.recorder);
+                    let routed = if self.fault.is_some() {
+                        self.route_device_excluding(
+                            info,
+                            now_us,
+                            &state.exclusions[index],
+                            &mut state.recorder,
+                        )
+                    } else {
+                        Some(self.route_device(info, now_us, &mut state.recorder))
+                    };
+                    let Some((device, acquisition)) = routed else {
+                        // Every device is dead or draining: nothing can
+                        // admit the arrival. Shed it like an admission
+                        // reject (it is one — the cluster has no capacity).
+                        state.profiler.end(obs::Stage::Route, route);
+                        self.reject_unroutable(index, info, now_us, &mut state);
+                        continue;
+                    };
                     let adjusted = DispatchRequest {
                         switch_us: info.view.switch_us + acquisition.cost_us(),
                         ..info.view
@@ -1238,9 +1717,74 @@ impl Cluster {
                 EventKind::TileFree { tile } => {
                     let device = tile / self.tiles_per_device;
                     let local_tile = tile % self.tiles_per_device;
+                    if self.fault.is_some() {
+                        // A kill evacuated this tile after the completion
+                        // event was scheduled: the event is a stale echo of
+                        // abandoned work, and releasing on it would free a
+                        // tile that is not running (or double-free one that
+                        // restarted). Only the completion the tile is
+                        // actually waiting on releases it.
+                        if state.pending_free[tile].map(f64::to_bits) != Some(now_us.to_bits()) {
+                            continue;
+                        }
+                        state.pending_free[tile] = None;
+                        state.running_index[tile] = None;
+                    }
                     self.with_load_update(device, |d| d.release(local_tile));
                     if !state.queues[tile].is_empty() {
                         self.start_next(device, local_tile, &intake, &mut state)?;
+                    }
+                }
+                EventKind::Fault { fault } => {
+                    self.apply_fault(fault, now_us, &intake, &mut state);
+                }
+                EventKind::Requeue { index } => {
+                    // A displaced request re-enters routing. It was already
+                    // admitted (and its simulation sourced) at its arrival,
+                    // so neither is repeated; only the placement is redone,
+                    // avoiding the devices it was displaced off.
+                    let info = &intake[index];
+                    let route = state.profiler.begin();
+                    let routed = self.route_device_excluding(
+                        info,
+                        now_us,
+                        &state.exclusions[index],
+                        &mut state.recorder,
+                    );
+                    let Some((device, acquisition)) = routed else {
+                        state.profiler.end(obs::Stage::Route, route);
+                        self.reject_unroutable(index, info, now_us, &mut state);
+                        continue;
+                    };
+                    let adjusted = DispatchRequest {
+                        switch_us: info.view.switch_us + acquisition.cost_us(),
+                        ..info.view
+                    };
+                    let routed_device = &mut self.devices[device];
+                    let local_tile =
+                        routed_device
+                            .dispatcher
+                            .place(&adjusted, now_us, &routed_device.pool);
+                    state.profiler.end(obs::Stage::Route, route);
+                    let tile = device * self.tiles_per_device + local_tile;
+                    let starts_now = !self.devices[device].pool.states()[local_tile].running;
+                    state.acquire_src[index] = (acquisition.label(), acquisition.bytes());
+                    state.acquire_us[index] =
+                        self.commit_acquisition(device, info, acquisition, &mut state);
+                    // A started-then-killed request may still carry the
+                    // taken flag from its first life; clear it so the new
+                    // queue entry is live.
+                    state.taken[index] = false;
+                    if starts_now {
+                        self.start_request(device, local_tile, index, &intake, &mut state, None)?;
+                    } else {
+                        self.with_load_update(device, |d| {
+                            d.enqueue(local_tile, info.view.key, info.view.est_exec_us)
+                        });
+                        state.queues[tile].push(index, &info.view);
+                        state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
+                        state.device_peak_queue[device] = state.device_peak_queue[device]
+                            .max(self.devices[device].pool.total_waiting());
                     }
                 }
             }
@@ -1415,6 +1959,13 @@ impl Cluster {
                 .deadline_us
                 .is_some_and(|deadline| charged.completion_us > deadline),
         });
+        if self.fault.is_some() {
+            // Kills must know what to abandon, and stale completions of
+            // abandoned work must be told apart from this run's.
+            let tile = device * self.tiles_per_device + local_tile;
+            state.running_index[tile] = Some(index);
+            state.pending_free[tile] = Some(charged.completion_us);
+        }
         state.events.push(
             charged.completion_us,
             EventKind::TileFree {
@@ -1511,6 +2062,13 @@ impl Cluster {
                     transfers_in: output.device_transfers[id].0,
                     transfer_bytes_in: output.device_transfers[id].1,
                     host_loads: output.device_host_loads[id],
+                    availability: self
+                        .fault
+                        .as_ref()
+                        .map_or(1.0, |f| f.availability(id, makespan_us)),
+                    faults: self.fault.as_ref().map_or(0, |f| f.faults[id]),
+                    requeues_out: self.fault.as_ref().map_or(0, |f| f.requeues[id]),
+                    lost_work_us: self.fault.as_ref().map_or(0.0, |f| f.lost_work_us[id]),
                 }
             })
             .collect();

@@ -397,6 +397,10 @@ impl Cluster {
             let lane = match event.kind {
                 EventKind::Arrival { index } => homes[index],
                 EventKind::TileFree { tile } => tile / self.tiles_per_device,
+                // Faulty serves gate to the serial loop (`sharded_eligible`).
+                EventKind::Fault { .. } | EventKind::Requeue { .. } => {
+                    unreachable!("fault events never reach the sharded loop")
+                }
             };
             let entry = lanes[lane].log[lane_pos[lane]];
             lane_pos[lane] += 1;
@@ -425,6 +429,9 @@ impl Cluster {
                     if entry.started.is_some() {
                         waiting -= 1;
                     }
+                }
+                EventKind::Fault { .. } | EventKind::Requeue { .. } => {
+                    unreachable!("fault events never reach the sharded loop")
                 }
             }
             if let Some((tile, completion_us)) = entry.started {
@@ -757,6 +764,10 @@ fn lane_loop(
                     started,
                     records_end: state.recorder.recorded(),
                 });
+            }
+            // Faulty serves gate to the serial loop (`sharded_eligible`).
+            EventKind::Fault { .. } | EventKind::Requeue { .. } => {
+                unreachable!("fault events never reach the sharded loop")
             }
         }
     }

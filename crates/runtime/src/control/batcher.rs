@@ -167,6 +167,14 @@ impl Batcher {
         }
     }
 
+    /// Clears the same-kernel run state on `tile` — used when fault
+    /// injection evacuates a tile and its queue no longer matches the run
+    /// the batcher was tracking.
+    pub(crate) fn reset_tile(&mut self, tile: usize) {
+        self.run_len[tile] = 0;
+        self.in_batch[tile] = false;
+    }
+
     /// The current same-kernel run length on `tile` (counting the dispatch
     /// just committed via [`note_start`](Batcher::note_start)) — what
     /// tracing reports as batch membership.

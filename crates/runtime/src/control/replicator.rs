@@ -170,6 +170,13 @@ impl Replicator {
         self.stats.replicas_demoted += 1;
     }
 
+    /// Takes the full list of replicas pushed to `device`, leaving it
+    /// empty — used when fault injection kills the device and its pushed
+    /// replicas must be re-homed elsewhere.
+    pub(crate) fn drain_device(&mut self, device: usize) -> Vec<KernelKey> {
+        std::mem::take(&mut self.pushed[device])
+    }
+
     /// Stops tracking a pushed replica that is no longer in the device's
     /// store (demand-path LRU evicted it) — not a demotion.
     pub(crate) fn forget(&mut self, device: usize, key: KernelKey) {

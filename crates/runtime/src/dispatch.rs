@@ -534,6 +534,29 @@ impl TileQueue {
         None
     }
 
+    /// Empties the queue, returning the live intake indices in FIFO
+    /// (insertion) order — fault injection's bulk evacuation of a dead or
+    /// draining tile. Every ordered structure is fully reset, so stale
+    /// entries cannot resurface if an evacuated index is later re-enqueued
+    /// here with its `taken` flag cleared. The flags themselves are left
+    /// untouched; evacuated requests re-enter routing as displaced work.
+    pub(crate) fn drain_live(&mut self, taken: &[bool]) -> Vec<usize> {
+        let live: Vec<usize> = self
+            .order
+            .drain(..)
+            .filter_map(|(index, _)| (!taken[index]).then_some(index))
+            .collect();
+        debug_assert_eq!(live.len(), self.live, "live count matches the deque");
+        self.by_kernel.clear();
+        self.live = 0;
+        match &mut self.index {
+            QueueOrder::Fifo => {}
+            QueueOrder::Deadline(heap) => heap.clear(),
+            QueueOrder::Slack(buckets) => buckets.clear(),
+        }
+        live
+    }
+
     /// The kernel of the request currently last in the queue (FIFO order),
     /// skipping taken entries — what the pool's residency projection needs
     /// after a mid-queue removal.

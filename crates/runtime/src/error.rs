@@ -38,6 +38,12 @@ pub enum RuntimeError {
         /// The latest arrival time already accepted.
         horizon_us: f64,
     },
+    /// A fault plan failed validation (non-finite time, device out of
+    /// range, or a non-positive link multiplier).
+    InvalidFaultPlan {
+        /// What the validator objected to.
+        reason: String,
+    },
     /// Kernel parsing or lowering failed.
     Frontend(FrontendError),
     /// The kernel graph violated a DFG invariant.
@@ -73,6 +79,9 @@ impl fmt::Display for RuntimeError {
                 "request {request} arrived at {arrival_us} us, before the already-streamed \
                  horizon {horizon_us} us (submissions must be in non-decreasing arrival order)"
             ),
+            RuntimeError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
             RuntimeError::Frontend(err) => write!(f, "front-end error: {err}"),
             RuntimeError::Dfg(err) => write!(f, "kernel graph error: {err}"),
             RuntimeError::Schedule(err) => write!(f, "scheduling error: {err}"),

@@ -48,6 +48,18 @@ pub enum EventKind {
         /// The tile that became free.
         tile: usize,
     },
+    /// A scheduled fault fires (cluster tier only; never scheduled without
+    /// an installed [`FaultPlan`](crate::FaultPlan)).
+    Fault {
+        /// Index into the validated fault plan's event list.
+        fault: usize,
+    },
+    /// A request displaced off a dead or draining device re-enters routing
+    /// (cluster tier only; never scheduled without faults).
+    Requeue {
+        /// Intake index of the displaced request.
+        index: usize,
+    },
 }
 
 /// One scheduled occurrence on the virtual timeline.

@@ -100,6 +100,7 @@ pub mod control;
 pub mod dispatch;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod obs;
 pub mod pool;
@@ -115,6 +116,8 @@ pub use cluster::{Cluster, ClusterReport, Device};
 pub use control::{BatchConfig, RateEstimator, ReplicationConfig};
 pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher, ScanMode};
 pub use error::RuntimeError;
+pub use fault::scenario::{FlashCrowd, Scenario, ScenarioArrival, ScenarioConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{BatchStats, DeviceMetrics, ReplicationStats, RuntimeMetrics};
 pub use pool::{ChargeOutcome, TilePool, TileState};
 pub use request::{KernelSpec, Request};
@@ -549,6 +552,13 @@ impl<'a> SimResults<'a> {
                 .expect("sim workers outlive the event loop");
             SimSourced::Spawned
         }
+    }
+
+    /// Puts a consumed run back into `index`'s slot — fault injection
+    /// abandons a started request and requeues it, and the simulation
+    /// (placement-independent) must be waiting when the retry starts.
+    pub(crate) fn restore(&mut self, index: usize, run: Arc<SimRun>) {
+        self.ready[index] = Some(Ok(run));
     }
 
     /// The worker with the fewest outstanding jobs (ties to the lowest id).
@@ -1340,6 +1350,11 @@ impl Runtime {
                     if !state.queues.is_empty(tile) {
                         self.start_next(tile, &intake, &mut state)?;
                     }
+                }
+                // Fault injection is a cluster-tier feature; the
+                // single-device runtime never schedules these.
+                EventKind::Fault { .. } | EventKind::Requeue { .. } => {
+                    unreachable!("fault events never reach the single-device loop")
                 }
             }
         }

@@ -304,6 +304,19 @@ pub struct DeviceMetrics {
     /// Kernel images loaded into this device from the host (the "local cold
     /// load" path the transfer weighs against).
     pub host_loads: usize,
+    /// Fraction of the serve's makespan this device was alive and admitting
+    /// routed work (1.0 on a fault-free serve).
+    pub availability: f64,
+    /// Faults (kills + drains) that hit this device during the serve.
+    pub faults: usize,
+    /// Requests displaced *off* this device (queued or running) by a kill
+    /// or drain and requeued through routing.
+    pub requeues_out: usize,
+    /// Started-but-abandoned execution time a kill destroyed on this
+    /// device, in virtual microseconds. The per-request latency samples
+    /// record *attempts* (a retried request's final latency spans its whole
+    /// life), so this is the device-side cost view of the same churn.
+    pub lost_work_us: f64,
 }
 
 impl DeviceMetrics {
@@ -322,7 +335,8 @@ impl fmt::Display for DeviceMetrics {
         write!(
             f,
             "d{}: {} req, util {:.0}%, p99 {:.2} us, {} switch(es), queue peak {}, \
-             cache {:.0}% hit, {} transfer(s) in ({} B), {} host load(s)",
+             cache {:.0}% hit, {} transfer(s) in ({} B), {} host load(s), \
+             avail {:.0}%, {} requeue(s) out",
             self.device,
             self.requests,
             self.mean_utilization() * 100.0,
@@ -333,6 +347,8 @@ impl fmt::Display for DeviceMetrics {
             self.transfers_in,
             self.transfer_bytes_in,
             self.host_loads,
+            self.availability * 100.0,
+            self.requeues_out,
         )
     }
 }
@@ -627,12 +643,18 @@ mod tests {
             transfers_in: 2,
             transfer_bytes_in: 256,
             host_loads: 1,
+            availability: 0.75,
+            faults: 1,
+            requeues_out: 4,
+            lost_work_us: 12.5,
         };
         assert!((metrics.mean_utilization() - 0.6).abs() < 1e-12);
         let text = metrics.to_string();
         assert!(text.contains("d2: 5 req"));
         assert!(text.contains("2 transfer(s) in (256 B)"));
         assert!(text.contains("1 host load(s)"));
+        assert!(text.contains("avail 75%"));
+        assert!(text.contains("4 requeue(s) out"));
         assert_eq!(
             DeviceMetrics {
                 tile_utilization: vec![],

@@ -163,6 +163,27 @@ pub enum SpanKind {
         /// The counter's cumulative value after this event.
         value: u64,
     },
+    /// A device died abruptly (instant, device-level): its queued and
+    /// in-flight work requeues and its kernel store is wiped.
+    DeviceDown,
+    /// A device rejoined the fleet after a death or drain (instant,
+    /// device-level).
+    DeviceUp,
+    /// A graceful-drain phase boundary (instant, device-level).
+    DrainPhase {
+        /// True when the drain begins (the device stops admitting), false
+        /// when it rejoins warm.
+        begin: bool,
+    },
+    /// A request displaced off a dead or draining device re-entered routing
+    /// (instant; `device` is the one it left).
+    Requeue,
+    /// The interconnect's transfer cost was rescaled (instant, fleet-wide;
+    /// recorded on device 0).
+    LinkDegrade {
+        /// The absolute multiplier applied to link costs (1.0 restores).
+        multiplier: f64,
+    },
 }
 
 impl SpanKind {
@@ -181,6 +202,11 @@ impl SpanKind {
             SpanKind::Commit => "commit",
             SpanKind::Reject => "reject",
             SpanKind::Counter { name, .. } => name.label(),
+            SpanKind::DeviceDown => "device-down",
+            SpanKind::DeviceUp => "device-up",
+            SpanKind::DrainPhase { .. } => "drain",
+            SpanKind::Requeue => "requeue",
+            SpanKind::LinkDegrade { .. } => "link-degrade",
         }
     }
 }
@@ -319,6 +345,15 @@ const TAG_QUEUE_BATCH: u64 = 12;
 /// `f64::to_bits` of the commit timestamp (`time + dur` can differ from the
 /// modeled completion by an ulp).
 const TAG_RUN_COMMIT: u64 = 13;
+// Fault-injection spans — all instants with no side-table payloads, so they
+// pass through lane absorption verbatim.
+const TAG_DEVICE_DOWN: u64 = 14;
+const TAG_DEVICE_UP: u64 = 15;
+/// Payload is 1 at drain begin, 0 when the device rejoins warm.
+const TAG_DRAIN: u64 = 16;
+const TAG_REQUEUE: u64 = 17;
+/// Payload is the link multiplier's `f64::to_bits`.
+const TAG_LINK_DEGRADE: u64 = 18;
 
 const FIELD_BITS: u64 = 28;
 const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
@@ -558,6 +593,11 @@ impl TraceRecorder {
             SpanKind::Counter { name, value } => {
                 (TAG_COUNTER, (name.index() as u64) | (value << 8))
             }
+            SpanKind::DeviceDown => (TAG_DEVICE_DOWN, 0),
+            SpanKind::DeviceUp => (TAG_DEVICE_UP, 0),
+            SpanKind::DrainPhase { begin } => (TAG_DRAIN, begin as u64),
+            SpanKind::Requeue => (TAG_REQUEUE, 0),
+            SpanKind::LinkDegrade { multiplier } => (TAG_LINK_DEGRADE, multiplier.to_bits()),
         };
         self.push(Packed {
             time_us: event.time_us,
@@ -727,6 +767,15 @@ fn unpack_into(
         TAG_RUN => SpanKind::Run,
         TAG_COMMIT => SpanKind::Commit,
         TAG_REJECT => SpanKind::Reject,
+        TAG_DEVICE_DOWN => SpanKind::DeviceDown,
+        TAG_DEVICE_UP => SpanKind::DeviceUp,
+        TAG_DRAIN => SpanKind::DrainPhase {
+            begin: payload != 0,
+        },
+        TAG_REQUEUE => SpanKind::Requeue,
+        TAG_LINK_DEGRADE => SpanKind::LinkDegrade {
+            multiplier: f64::from_bits(payload),
+        },
         _ => {
             let name = match payload & 0xff {
                 0 => CounterName::ReplicaPushed,
@@ -986,6 +1035,62 @@ mod tests {
         );
         let paired: Vec<&str> = trace.spans_for(4).iter().map(|e| e.kind.label()).collect();
         assert_eq!(paired, vec!["queue-wait", "batch"]);
+    }
+
+    #[test]
+    fn fault_spans_round_trip_through_the_packed_ring() {
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        let fleet_event = |time_us: f64, device: usize, kind: SpanKind| TraceEvent {
+            time_us,
+            dur_us: 0.0,
+            request_id: None,
+            device,
+            tile: None,
+            kind,
+        };
+        recorder.record(fleet_event(1.0, 3, SpanKind::DeviceDown));
+        recorder.record(fleet_event(2.0, 3, SpanKind::DrainPhase { begin: true }));
+        recorder.record(TraceEvent {
+            request_id: Some(42),
+            ..fleet_event(2.5, 3, SpanKind::Requeue)
+        });
+        recorder.record(fleet_event(
+            3.0,
+            0,
+            SpanKind::LinkDegrade { multiplier: 2.5 },
+        ));
+        recorder.record(fleet_event(4.0, 3, SpanKind::DrainPhase { begin: false }));
+        recorder.record(fleet_event(5.0, 3, SpanKind::DeviceUp));
+        let trace = recorder.finish().unwrap();
+
+        let labels: Vec<&str> = trace.events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "device-down",
+                "drain",
+                "requeue",
+                "link-degrade",
+                "drain",
+                "device-up"
+            ]
+        );
+        assert!(matches!(
+            trace.events()[1].kind,
+            SpanKind::DrainPhase { begin: true }
+        ));
+        assert_eq!(trace.events()[2].request_id, Some(42));
+        match trace.events()[3].kind {
+            SpanKind::LinkDegrade { multiplier } => {
+                assert_eq!(multiplier.to_bits(), 2.5f64.to_bits());
+            }
+            ref other => panic!("expected a link-degrade span, got {other:?}"),
+        }
+        assert!(matches!(
+            trace.events()[4].kind,
+            SpanKind::DrainPhase { begin: false }
+        ));
+        assert!(trace.events().iter().all(|e| e.tile.is_none()));
     }
 
     #[test]

@@ -647,6 +647,47 @@ impl TilePool {
         best
     }
 
+    /// Evacuates every tile queue without touching execution state or
+    /// cumulative counters — fault injection's graceful drain. Queued work
+    /// leaves (the caller requeues it elsewhere); resident kernels,
+    /// timelines and running requests are untouched so in-flight work
+    /// finishes normally.
+    pub fn evacuate_queues(&mut self) {
+        for tile in 0..self.states.len() {
+            let drained = self.transition(tile, |state| {
+                let depth = state.queue_depth;
+                state.queue_depth = 0;
+                state.queued_est_us = 0.0;
+                state.last_enqueued = None;
+                depth
+            });
+            self.waiting -= drained;
+        }
+    }
+
+    /// Evacuates every tile outright — fault injection's device kill. On
+    /// top of [`evacuate_queues`](Self::evacuate_queues), running requests
+    /// are abandoned, resident kernels are wiped (the device's store is
+    /// lost) and timelines rewind to `now_us` so a later revival charges
+    /// from the present, not from an abandoned run's completion time.
+    /// Cumulative counters (`busy_us`, `switches`, `served`, …) are
+    /// preserved: they record attempts, including work the fault destroyed.
+    pub fn evacuate(&mut self, now_us: f64) {
+        for tile in 0..self.states.len() {
+            let drained = self.transition(tile, |state| {
+                let depth = state.queue_depth;
+                state.queue_depth = 0;
+                state.queued_est_us = 0.0;
+                state.last_enqueued = None;
+                state.running = false;
+                state.resident = None;
+                state.available_us = now_us;
+                depth
+            });
+            self.waiting -= drained;
+        }
+    }
+
     /// Mutable access for unit tests. Mutations made through this bypass the
     /// residency index — the event loop must use the pool-level transition
     /// methods instead.

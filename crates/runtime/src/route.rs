@@ -155,6 +155,20 @@ impl TransferModel {
     pub fn host_load_us(&self, bytes: usize) -> f64 {
         self.host_latency_us + bytes as f64 * self.host_us_per_byte
     }
+
+    /// This model with its inter-device link slowed by `multiplier` (≥ 1:
+    /// think a flapping or oversubscribed serial link). Per-hop latency and
+    /// per-byte link cost scale together; the host path does not ride the
+    /// link and keeps its price, so a saturated multiplier prices every
+    /// peer out and acquisition falls back to host loads.
+    #[must_use]
+    pub fn degraded(&self, multiplier: f64) -> Self {
+        TransferModel {
+            hop_latency_us: self.hop_latency_us * multiplier,
+            link_us_per_byte: self.link_us_per_byte * multiplier,
+            ..*self
+        }
+    }
 }
 
 impl Default for TransferModel {
@@ -240,8 +254,10 @@ pub(crate) fn cheapest_acquisition(
 }
 
 /// SplitMix64: a cheap, well-mixed finalizer for shard hashing — one
-/// multiply-xor chain, no state.
-fn splitmix64(mut value: u64) -> u64 {
+/// multiply-xor chain, no state. Also the deterministic "randomness" behind
+/// the [`scenario`](crate::fault::scenario) workload generator's tenant
+/// picks (no host RNG anywhere in the virtual-time path).
+pub(crate) fn splitmix64(mut value: u64) -> u64 {
     value = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
     value = (value ^ (value >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     value = (value ^ (value >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -276,6 +292,89 @@ pub(crate) fn power_of_two_pair(
         second += 1;
     }
     (first, second)
+}
+
+/// A per-request set of devices the router must not pick again — built up
+/// as a request requeues off dead or draining devices, so a retry never
+/// lands back on the device that just failed it. A word-packed bitmask:
+/// empty sets allocate nothing, and membership is one shift and mask.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct ExclusionSet {
+    words: Vec<u64>,
+}
+
+impl ExclusionSet {
+    pub(crate) fn insert(&mut self, device: usize) {
+        let word = device / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (device % 64);
+    }
+
+    pub(crate) fn contains(&self, device: usize) -> bool {
+        self.words
+            .get(device / 64)
+            .is_some_and(|word| word & (1 << (device % 64)) != 0)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|&word| word == 0)
+    }
+}
+
+/// The kernel's home under stable sharding, restricted to eligible devices:
+/// the first eligible device scanning cyclically upward from
+/// [`kernel_home`]. With every device eligible this *is* `kernel_home` (the
+/// no-fault path reduces exactly); `None` when no device is eligible.
+pub(crate) fn kernel_home_eligible(
+    fingerprint: u64,
+    devices: usize,
+    eligible: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let home = kernel_home(fingerprint, devices);
+    (0..devices)
+        .map(|offset| (home + offset) % devices)
+        .find(|&device| eligible(device))
+}
+
+/// The power-of-two-choices probe pair drawn from the eligible devices
+/// only: the same hash indexes into the (sorted) eligible list, so with
+/// every device eligible this reproduces [`power_of_two_pair`] bit for bit.
+/// A single eligible device probes itself twice; `None` when none is.
+pub(crate) fn power_of_two_pair_eligible(
+    fingerprint: u64,
+    request_id: u64,
+    devices: usize,
+    eligible: impl Fn(usize) -> bool,
+) -> Option<(usize, usize)> {
+    let pool: Vec<usize> = (0..devices).filter(|&device| eligible(device)).collect();
+    match pool.len() {
+        0 => None,
+        1 => Some((pool[0], pool[0])),
+        n => {
+            let hash = splitmix64(fingerprint ^ splitmix64(request_id));
+            let first = (hash % n as u64) as usize;
+            let mut second = ((hash >> 32) % (n as u64 - 1)) as usize;
+            if second >= first {
+                second += 1;
+            }
+            Some((pool[first], pool[second]))
+        }
+    }
+}
+
+/// The least-loaded eligible device: the first eligible entry of the
+/// ordered `(waiting, busy_tiles, id)` load-index keys. With every device
+/// eligible this is the index head — the exact no-fault choice. `None`
+/// when no indexed device is eligible.
+pub(crate) fn least_loaded_eligible(
+    load_keys: impl Iterator<Item = (usize, usize, usize)>,
+    eligible: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    load_keys
+        .map(|(_, _, id)| id)
+        .find(|&device| eligible(device))
 }
 
 #[cfg(test)]
@@ -358,6 +457,156 @@ mod tests {
         };
         let acquisition = cheapest_acquisition(&free_host, [1usize].into_iter(), 0, 512);
         assert!(matches!(acquisition, Acquisition::HostLoad { cost_us } if cost_us == 0.0));
+    }
+
+    #[test]
+    fn exclusion_sets_grow_on_demand() {
+        let mut set = ExclusionSet::default();
+        assert!(set.is_empty());
+        assert!(!set.contains(0));
+        assert!(!set.contains(200));
+        set.insert(3);
+        set.insert(130);
+        assert!(!set.is_empty());
+        assert!(set.contains(3));
+        assert!(set.contains(130));
+        assert!(!set.contains(2));
+        assert!(!set.contains(131));
+        assert_eq!(set, set.clone());
+    }
+
+    #[test]
+    fn kernel_home_eligible_reduces_and_walks_and_fails() {
+        for devices in 1..=8usize {
+            for fingerprint in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+                // Everything eligible: exactly the legacy shard map.
+                assert_eq!(
+                    kernel_home_eligible(fingerprint, devices, |_| true),
+                    Some(kernel_home(fingerprint, devices))
+                );
+                // Nothing eligible: the all-excluded error path.
+                assert_eq!(kernel_home_eligible(fingerprint, devices, |_| false), None);
+            }
+        }
+        // Excluding the home walks cyclically to the next device up.
+        let home = kernel_home(0xFEED, 4);
+        let next = kernel_home_eligible(0xFEED, 4, |d| d != home);
+        assert_eq!(next, Some((home + 1) % 4));
+        // Only one survivor: every kernel routes there.
+        for fingerprint in 0..32u64 {
+            assert_eq!(kernel_home_eligible(fingerprint, 4, |d| d == 2), Some(2));
+        }
+    }
+
+    #[test]
+    fn power_of_two_pair_eligible_reduces_and_respects_exclusions() {
+        for devices in 1..=8usize {
+            for id in 0..32u64 {
+                // Everything eligible: exactly the legacy probe pair.
+                assert_eq!(
+                    power_of_two_pair_eligible(0xFEED, id, devices, |_| true),
+                    Some(power_of_two_pair(0xFEED, id, devices))
+                );
+                // Nothing eligible: the all-excluded error path.
+                assert_eq!(
+                    power_of_two_pair_eligible(0xFEED, id, devices, |_| false),
+                    None
+                );
+            }
+        }
+        // An excluded device is never probed, and the pair stays distinct.
+        for id in 0..64u64 {
+            let (a, b) = power_of_two_pair_eligible(0xBEEF, id, 8, |d| d != 5).unwrap();
+            assert_ne!(a, 5);
+            assert_ne!(b, 5);
+            assert_ne!(a, b);
+            assert!(a < 8 && b < 8);
+        }
+        // A single survivor probes itself twice.
+        assert_eq!(
+            power_of_two_pair_eligible(1, 2, 8, |d| d == 6),
+            Some((6, 6))
+        );
+    }
+
+    #[test]
+    fn least_loaded_eligible_skips_to_the_first_eligible_key() {
+        let keys = [(0usize, 0usize, 2usize), (1, 0, 0), (3, 1, 1)];
+        // Everything eligible: the index head wins, as without faults.
+        assert_eq!(
+            least_loaded_eligible(keys.iter().copied(), |_| true),
+            Some(2)
+        );
+        // Head excluded: skip-scan to the next ordered key.
+        assert_eq!(
+            least_loaded_eligible(keys.iter().copied(), |d| d != 2),
+            Some(0)
+        );
+        assert_eq!(
+            least_loaded_eligible(keys.iter().copied(), |d| d == 1),
+            Some(1)
+        );
+        // Nothing eligible (or an empty index): the all-excluded path.
+        assert_eq!(least_loaded_eligible(keys.iter().copied(), |_| false), None);
+        assert_eq!(least_loaded_eligible(std::iter::empty(), |_| true), None);
+    }
+
+    #[test]
+    fn degraded_links_scale_link_costs_only() {
+        let model = TransferModel::new();
+        let slow = model.degraded(4.0);
+        // Zero-byte images still pay the (scaled) per-hop setup.
+        assert_eq!(
+            slow.link_transfer_us(2, 0),
+            4.0 * model.link_transfer_us(2, 0)
+        );
+        assert_eq!(slow.host_load_us(0), model.host_load_us(0));
+        // Byte costs scale on the link, never on the host path.
+        assert_eq!(
+            slow.link_transfer_us(1, 1000),
+            4.0 * model.link_transfer_us(1, 1000)
+        );
+        assert_eq!(slow.host_load_us(4096), model.host_load_us(4096));
+        // A multiplier of 1 is the identity.
+        assert_eq!(model.degraded(1.0), model);
+    }
+
+    #[test]
+    fn saturated_links_push_acquisition_to_the_host() {
+        let slow = TransferModel::new().degraded(1.0e12);
+        // A next-door peer holds the image, but the link is priced out.
+        let acquisition = cheapest_acquisition(&slow, [1usize].into_iter(), 0, 512);
+        assert!(matches!(acquisition, Acquisition::HostLoad { .. }));
+        // The host price is untouched by the degradation.
+        assert!(
+            matches!(acquisition, Acquisition::HostLoad { cost_us } if cost_us == TransferModel::new().host_load_us(512))
+        );
+    }
+
+    #[test]
+    fn host_versus_degraded_link_crossover_pricing() {
+        let model = TransferModel::new();
+        // Defaults, one hop, 512 bytes: link 0.5512 µs vs host 5.512 µs —
+        // the crossover multiplier is exactly 10.
+        let link = model.link_transfer_us(1, 512);
+        let host = model.host_load_us(512);
+        let crossover = host / link;
+        assert_eq!(crossover, 10.0);
+        // Just below the crossover the peer still wins.
+        let nearly = model.degraded(crossover * 0.99);
+        assert!(matches!(
+            cheapest_acquisition(&nearly, [1usize].into_iter(), 0, 512),
+            Acquisition::Transfer { from: 1, .. }
+        ));
+        // At the crossover the tie goes to the host (transfers must be
+        // strictly cheaper), and beyond it the host clearly wins.
+        for multiplier in [crossover, crossover * 2.0] {
+            let degraded = model.degraded(multiplier);
+            assert!(matches!(
+                cheapest_acquisition(&degraded, [1usize].into_iter(), 0, 512),
+                Acquisition::HostLoad { .. }
+            ));
+        }
     }
 
     #[test]

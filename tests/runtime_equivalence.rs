@@ -26,8 +26,8 @@ use proptest::prelude::*;
 use rand::prelude::*;
 
 use tm_overlay::{
-    BatchConfig, Cluster, ClusterReport, DispatchPolicy, FuVariant, KernelSpec, ReplicationConfig,
-    Request, RoutePolicy, Runtime, ScanMode, ServeReport, TraceConfig, Workload,
+    BatchConfig, Cluster, ClusterReport, DispatchPolicy, FaultPlan, FuVariant, KernelSpec,
+    ReplicationConfig, Request, RoutePolicy, Runtime, ScanMode, ServeReport, TraceConfig, Workload,
 };
 
 const SAXPY: &str = "kernel saxpy(a, x, y) { out r = a * x + y; }";
@@ -451,6 +451,49 @@ proptest! {
         // Warm resubmission: both loops carry stores and memo forward.
         let a2 = serial.serve(requests.clone()).unwrap();
         let b2 = sharded.serve(requests).unwrap();
+        assert_cluster_reports_identical(&a2, &b2)?;
+    }
+
+    /// An installed-but-empty [`FaultPlan`] must be bitwise identical to no
+    /// plan at all: the fault machinery (eligibility-aware routing,
+    /// per-tile run bookkeeping, completion staleness guards) engages on
+    /// the empty-plan serve, yet with every device permanently eligible it
+    /// must reduce exactly to the legacy path — outcomes, timestamps,
+    /// rejects, metrics, the per-device breakdown (availability pinned at
+    /// 1.0) and the recorded trace.
+    #[test]
+    fn an_empty_fault_plan_is_bitwise_identical_to_no_plan(
+        (seed, count, devices, tiles) in (any::<u64>(), 6usize..20, 1usize..5, 1usize..3),
+        policy_pick in 0usize..4,
+        route_pick in 0usize..3,
+        limit_pick in 0usize..3,
+        batch_pick in 0usize..2,
+    ) {
+        let requests = random_trace(seed, count, 4.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let route = RoutePolicy::ALL[route_pick];
+        let limit = [usize::MAX, 4, 1][limit_pick];
+        let batching = [BatchConfig::disabled(), BatchConfig::with_max_batch(3)][batch_pick];
+        let build = || Cluster::new(FuVariant::V4, devices, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_route_policy(route)
+            .with_admission_limit(limit)
+            .with_batching(batching)
+            .with_tracing(TraceConfig::enabled());
+        let mut plain = build();
+        let mut pinned = build().with_fault_plan(FaultPlan::new());
+        prop_assert!(pinned.fault_plan().is_some_and(FaultPlan::is_empty));
+        let a = plain.serve(requests.clone()).unwrap();
+        let b = pinned.serve(requests.clone()).unwrap();
+        assert_cluster_reports_identical(&a, &b)?;
+        prop_assert_eq!(b.requeues(), 0);
+        prop_assert_eq!(b.faults(), 0);
+        prop_assert_eq!(b.lost_work_us(), 0.0);
+        prop_assert_eq!(b.availability(), vec![1.0; devices]);
+        // Warm resubmission stays pinned too.
+        let a2 = plain.serve(requests.clone()).unwrap();
+        let b2 = pinned.serve(requests).unwrap();
         assert_cluster_reports_identical(&a2, &b2)?;
     }
 
