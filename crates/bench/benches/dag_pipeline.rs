@@ -1,0 +1,283 @@
+//! Session-tier pipeline bench: stage-affinity routing vs affinity-blind
+//! serving of 4-stage kernel pipelines, plus a skewed two-class SLO mix.
+//!
+//! **Part A — affinity A/B.** An 8-device fleet under kernel-hash routing
+//! serves a batch of 4-stage chains whose stages cycle through four
+//! different kernels. Kernel-hash homes each stage's kernel on a different
+//! device, so affinity-blind routing pays an inter-device activation
+//! transfer on nearly every stage edge; stage-affinity routing keeps a
+//! successor next to its producer whenever the modeled transfer saving
+//! beats the queueing penalty. The bench serves the identical batch both
+//! ways and reports modeled events/s and the activation-transfer counts.
+//!
+//! **Part B — SLO mix.** A deliberately skewed two-class mix on a bounded
+//! admission queue: a best-effort flood plus a paced latency tier with
+//! pipeline deadlines. Weighted-fair admission sheds the flood, not the
+//! tier: the bench reports per-class p99 commit latency, rejects and
+//! deadline misses.
+//!
+//! Acceptance: stage affinity must either reach ≥ 1.3× the blind serve's
+//! modeled events/s or cut activation transfers by ≥ 2×, **and** the
+//! latency tier must hold its p99 within the deadline budget with zero
+//! rejects while best effort absorbs the shed load.
+//!
+//! Output: a table on stdout plus a `dag_pipeline` section spliced into
+//! `BENCH_runtime.json`.
+//!
+//! Environment:
+//! * `BENCH_FAST=1` — CI mode: fewer pipelines, same fleet and shapes.
+//! * `BENCH_RUNTIME_OUT=path` — override the JSON output path.
+
+use std::fmt::Write as _;
+
+use tm_overlay::{
+    Benchmark, Cluster, FuVariant, KernelSpec, PipelineReport, PipelineRequest, PipelineStage,
+    RoutePolicy, Runtime, Session, SloClass, Workload,
+};
+
+const DEVICES: usize = 8;
+const TILES_PER_DEVICE: usize = 4;
+const VARIANT: FuVariant = FuVariant::V4;
+const STAGES: usize = 4;
+/// Activation payload per stage edge — large enough that a cross-device
+/// hop visibly costs link time.
+const ACTIVATION_BYTES: u64 = 256 * 1024;
+/// Deadline budget for the latency tier, in units of the modeled
+/// single-stage service time.
+const DEADLINE_BUDGETS: f64 = 24.0;
+
+fn stage_kernels() -> Vec<(KernelSpec, usize)> {
+    [
+        Benchmark::Gradient,
+        Benchmark::Chebyshev,
+        Benchmark::Qspline,
+        Benchmark::Poly5,
+    ]
+    .iter()
+    .map(|&b| {
+        (
+            KernelSpec::from_benchmark(b).unwrap(),
+            b.dfg().unwrap().num_inputs(),
+        )
+    })
+    .collect()
+}
+
+/// `count` 4-stage chains, one arrival every `spacing_us`, stages cycling
+/// through the four kernels so consecutive stages always change kernel.
+fn chains(count: usize, spacing_us: f64, sessions: u64) -> Vec<PipelineRequest> {
+    let specs = stage_kernels();
+    (0..count)
+        .map(|i| {
+            let mut pipeline =
+                PipelineRequest::new(i as u64 + 1, i as u64 % sessions).at(i as f64 * spacing_us);
+            for stage in 0..STAGES {
+                let (spec, inputs) = &specs[(i + stage) % specs.len()];
+                let workload = Workload::random(*inputs, 1, (i % 8) as u64 ^ (stage as u64) << 8);
+                let mut built = PipelineStage::new(spec.clone(), workload).emits(ACTIVATION_BYTES);
+                if stage > 0 {
+                    built = built.after(&[stage - 1]);
+                }
+                pipeline = pipeline.stage(built);
+            }
+            pipeline
+        })
+        .collect()
+}
+
+fn events_per_sec(report: &PipelineReport) -> f64 {
+    let metrics = report.cluster.metrics();
+    metrics.events_fired as f64 / (metrics.makespan_us * 1e-6)
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let count = if fast { 384 } else { 3072 };
+
+    // Probe the modeled single-stage service time so arrival pacing tracks
+    // the timing model (one pipeline = STAGES serial stage services).
+    let probe = Runtime::new(VARIANT, 1)
+        .unwrap()
+        .serve(vec![probe_request()])
+        .unwrap()
+        .outcomes()[0]
+        .completion_us;
+    let total_tiles = (DEVICES * TILES_PER_DEVICE) as f64;
+    // Offered stage load ρ ≈ 0.5 against the fleet.
+    let spacing_us = STAGES as f64 * probe / (total_tiles * 0.5);
+
+    // ---------------------------------------------------------- part A: A/B
+    let pipelines = chains(count, spacing_us, 4);
+    let sessions: Vec<Session> = (0..4).map(Session::new).collect();
+    let fleet = || {
+        Cluster::new(VARIANT, DEVICES, TILES_PER_DEVICE)
+            .unwrap()
+            .with_route_policy(RoutePolicy::KernelHash)
+    };
+    let affine = fleet()
+        .serve_pipelines(pipelines.clone(), &sessions)
+        .unwrap();
+    let blind = fleet()
+        .with_stage_affinity(false)
+        .serve_pipelines(pipelines.clone(), &sessions)
+        .unwrap();
+    assert_eq!(affine.completed(), count, "affine serve completes all");
+    assert_eq!(blind.completed(), count, "blind serve completes all");
+
+    let affine_eps = events_per_sec(&affine);
+    let blind_eps = events_per_sec(&blind);
+    let throughput_ratio = affine_eps / blind_eps;
+    let affine_transfers = affine.activation_transfers();
+    let blind_transfers = blind.activation_transfers();
+    let transfer_ratio = blind_transfers as f64 / (affine_transfers.max(1)) as f64;
+    let part_a_pass = throughput_ratio >= 1.3 || affine_transfers * 2 <= blind_transfers;
+
+    // -------------------------------------------------------- part B: SLO mix
+    // A skewed mix on a bounded queue: a sustained best-effort overload
+    // (offered stage load ~1.25x the fleet) against a lightly-paced latency
+    // tier (~0.125x) carrying pipeline deadlines. Weighted-fair admission
+    // caps the flood's queue share; the paced tier stays under its own.
+    let latency_count = count / 8;
+    let flood_count = latency_count * 8;
+    let budget_us = DEADLINE_BUDGETS * probe;
+    // One latency pipeline every 4 stage-spacings, one flood pipeline every
+    // third of one — the flood alone oversubscribes the fleet 1.5x.
+    let latency_gap_us = 4.0 * spacing_us;
+    let flood_gap_us = spacing_us / 3.0;
+    let mut mix = Vec::new();
+    for i in 0..flood_count as u64 {
+        let base = chains(1, 0.0, 1).remove(0);
+        let mut flood = PipelineRequest::new(i + 1, 100).at(i as f64 * flood_gap_us);
+        for stage in base.stages.into_iter() {
+            flood = flood.stage(stage);
+        }
+        mix.push(flood);
+    }
+    for i in 0..latency_count as u64 {
+        let base = chains(1, 0.0, 1).remove(0);
+        let arrival = i as f64 * latency_gap_us;
+        let mut paced = PipelineRequest::new(100_000 + i, 200)
+            .at(arrival)
+            .with_deadline(arrival + budget_us);
+        for stage in base.stages.into_iter() {
+            paced = paced.stage(stage);
+        }
+        mix.push(paced);
+    }
+    mix.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+    let latency_submitted = mix.iter().filter(|p| p.session == 200).count();
+    let slo_sessions = [
+        Session::new(100).with_slo(SloClass::BestEffort),
+        Session::new(200).with_slo(SloClass::Latency),
+    ];
+    // Least-loaded routing for the SLO fleet: the mix is about admission
+    // and dispatch, not stage placement, and kernel-hash would idle the
+    // devices none of the four stage kernels hash to.
+    let slo_report = Cluster::new(VARIANT, DEVICES, TILES_PER_DEVICE)
+        .unwrap()
+        .with_route_policy(RoutePolicy::LeastLoaded)
+        .with_policy(tm_overlay::DispatchPolicy::SlackAware)
+        .with_admission_limit(DEVICES * TILES_PER_DEVICE)
+        .serve_pipelines(mix, &slo_sessions)
+        .unwrap();
+    let latency_class = slo_report
+        .class(SloClass::Latency)
+        .expect("latency tier ran")
+        .clone();
+    let best_effort = slo_report
+        .class(SloClass::BestEffort)
+        .expect("best effort ran")
+        .clone();
+    let part_b_pass = latency_class.rejected == 0
+        && latency_class.deadline_misses == 0
+        && latency_class.p99_latency_us <= budget_us
+        && best_effort.rejected > 0;
+    let pass = part_a_pass && part_b_pass;
+
+    println!(
+        "dag_pipeline: {DEVICES}x{TILES_PER_DEVICE} tiles, {count} pipelines x {STAGES} \
+         stages, kernel-hash, service ~{probe:.3} us, {} mode",
+        if fast { "fast" } else { "full" }
+    );
+    println!(
+        "affinity {affine_eps:.0} events/s vs blind {blind_eps:.0} ({throughput_ratio:.2}x); \
+         activation transfers {affine_transfers} vs {blind_transfers} ({transfer_ratio:.1}x \
+         fewer) -> {}",
+        if part_a_pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "slo mix: latency {}/{} served, p99 {:.2} us (budget {budget_us:.2}), {} miss(es), \
+         {} reject(s); best-effort {} of {} rejected -> {}",
+        latency_class.pipelines - latency_class.rejected,
+        latency_submitted,
+        latency_class.p99_latency_us,
+        latency_class.deadline_misses,
+        latency_class.rejected,
+        best_effort.rejected,
+        best_effort.pipelines,
+        if part_b_pass { "pass" } else { "FAIL" }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"dag_pipeline\",");
+    let _ = writeln!(json, "  \"schema\": {},", overlay_bench::BENCH_JSON_SCHEMA);
+    let _ = writeln!(json, "  {},", overlay_bench::provenance_json_fields());
+    let _ = writeln!(json, "  \"variant\": \"{VARIANT}\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(json, "  \"devices\": {DEVICES},");
+    let _ = writeln!(json, "  \"tiles_per_device\": {TILES_PER_DEVICE},");
+    let _ = writeln!(json, "  \"route\": \"kernel-hash\",");
+    let _ = writeln!(json, "  \"pipelines\": {count},");
+    let _ = writeln!(json, "  \"stages_per_pipeline\": {STAGES},");
+    let _ = writeln!(json, "  \"activation_bytes\": {ACTIVATION_BYTES},");
+    let _ = writeln!(json, "  \"modeled_service_us\": {probe:.3},");
+    let _ = writeln!(
+        json,
+        "  \"affinity\": {{\"events_per_sec\": {affine_eps:.0}, \"transfers\": \
+         {affine_transfers}, \"makespan_us\": {:.2}}},",
+        affine.cluster.metrics().makespan_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"blind\": {{\"events_per_sec\": {blind_eps:.0}, \"transfers\": \
+         {blind_transfers}, \"makespan_us\": {:.2}}},",
+        blind.cluster.metrics().makespan_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"slo_mix\": {{\"deadline_budget_us\": {budget_us:.3}, \"latency\": \
+         {{\"pipelines\": {}, \"rejected\": {}, \"p99_latency_us\": {:.2}, \
+         \"deadline_misses\": {}}}, \"best_effort\": {{\"pipelines\": {}, \"rejected\": {}, \
+         \"p99_latency_us\": {:.2}}}}},",
+        latency_class.pipelines,
+        latency_class.rejected,
+        latency_class.p99_latency_us,
+        latency_class.deadline_misses,
+        best_effort.pipelines,
+        best_effort.rejected,
+        best_effort.p99_latency_us,
+    );
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"throughput_ratio\": {throughput_ratio:.3}, \
+         \"transfer_ratio\": {transfer_ratio:.2}, \"pass\": {pass}}}"
+    );
+    json.push_str("}\n");
+
+    let path = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").into()
+    });
+    let existing = std::fs::read_to_string(&path).ok();
+    let combined = overlay_bench::splice_bench_json(existing.as_deref(), "dag_pipeline", &json)
+        .expect("BENCH_runtime.json section stays schema-compatible");
+    std::fs::write(&path, combined).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
+}
+
+/// A single Gradient probe request for the service-time measurement.
+fn probe_request() -> tm_overlay::Request {
+    let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+    let inputs = Benchmark::Gradient.dfg().unwrap().num_inputs();
+    tm_overlay::Request::new(0, spec, Workload::random(inputs, 1, 0))
+}

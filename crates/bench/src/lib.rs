@@ -307,12 +307,13 @@ pub fn iwp_ablation() -> String {
 }
 
 /// The known top-level sections of `BENCH_runtime.json`, in emission order.
-const BENCH_JSON_SECTIONS: [&str; 6] = [
+const BENCH_JSON_SECTIONS: [&str; 7] = [
     "runtime_scalability",
     "cluster_scalability",
     "parallel_cluster",
     "batching_replication",
     "fault_recovery",
+    "dag_pipeline",
     "profile",
 ];
 

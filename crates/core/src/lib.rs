@@ -122,11 +122,12 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    BatchConfig, BatchStats, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, FaultEvent,
-    FaultKind, FaultPlan, FlashCrowd, KernelSpec, LogHistogram, ProfileStats, ReplicationConfig,
+    BatchConfig, BatchStats, ClassMetrics, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy,
+    FaultEvent, FaultKind, FaultPlan, FlashCrowd, KernelSpec, LogHistogram, PipelineOutcome,
+    PipelineReport, PipelineRequest, PipelineStage, ProfileStats, ReplicationConfig,
     ReplicationStats, Request, RoutePolicy, Runtime, RuntimeMetrics, ScanMode, Scenario,
-    ScenarioArrival, ScenarioConfig, ServeReport, SubmitError, Submitter, Trace, TraceConfig,
-    TransferModel,
+    ScenarioArrival, ScenarioConfig, ServeReport, Session, SloClass, StageMetrics, SubmitError,
+    Submitter, Trace, TraceConfig, TransferModel,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

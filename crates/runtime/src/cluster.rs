@@ -60,7 +60,7 @@
 
 mod shard;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
@@ -80,6 +80,10 @@ use crate::route::{
     cheapest_acquisition, kernel_home, kernel_home_eligible, least_loaded_eligible,
     power_of_two_pair, power_of_two_pair_eligible, Acquisition, ExclusionSet, RoutePolicy,
     TransferModel,
+};
+use crate::session::driver::{class_metrics_from, ArrivalAction, SessionDriver};
+use crate::session::{
+    PipelineOutcome, PipelineReport, PipelineRequest, ReorderBuffer, Session, SloClass,
 };
 use crate::{
     prepare_request, record_request_spans, BatchConfig, DispatchPolicy, DispatchRequest,
@@ -332,6 +336,15 @@ struct ClusterState<'a> {
     /// on. Under a fault plan, a tile-free event that does not match is a
     /// stale completion of evacuated work and is dropped.
     pending_free: Vec<Option<f64>>,
+    /// The session tier's driver, present only on the
+    /// [`Cluster::serve_pipelines`] multi-stage path. `None` — every other
+    /// serve — keeps each session branch off the hot path.
+    session: Option<SessionDriver>,
+    /// Per intake index: the inter-stage activation delay priced at the
+    /// routing commit, charged ahead of the context switch at start. All
+    /// zero (and bitwise-free at the charge sites) without a session
+    /// driver.
+    activation_us: Vec<f64>,
 }
 
 /// What the cluster event loop hands back for aggregation.
@@ -397,6 +410,13 @@ pub struct Cluster {
     /// rebuilt from the plan at the start of every serve. `None` — the
     /// default — keeps every fault branch off the hot path.
     fault: Option<FaultState>,
+    /// Whether pipeline routing may keep a stage near its producer's
+    /// output ([`Cluster::with_stage_affinity`]). Only consulted on the
+    /// [`Cluster::serve_pipelines`] multi-stage path.
+    stage_affinity: bool,
+    /// The session driver staged for (and recovered from) the event loop
+    /// on a pipeline serve. Always `None` between serves.
+    session_driver: Option<SessionDriver>,
 }
 
 impl Cluster {
@@ -452,6 +472,8 @@ impl Cluster {
             cross_shard_images: false,
             fault_plan: None,
             fault: None,
+            stage_affinity: true,
+            session_driver: None,
         };
         cluster.rebuild_load_index();
         Ok(cluster)
@@ -581,6 +603,24 @@ impl Cluster {
     /// The installed fault schedule, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Enables or disables stage-affinity routing for pipeline serves
+    /// (**on** by default): when a pipeline stage's inputs live on a
+    /// device other than the one routing picked, the cluster may override
+    /// the choice with the producer of the heaviest input — if the
+    /// activation-transfer savings outweigh the estimated extra queueing
+    /// there. Plain [`serve`](Cluster::serve) traffic is unaffected either
+    /// way.
+    #[must_use]
+    pub fn with_stage_affinity(mut self, enabled: bool) -> Self {
+        self.stage_affinity = enabled;
+        self
+    }
+
+    /// Whether stage-affinity routing is enabled for pipeline serves.
+    pub fn stage_affinity(&self) -> bool {
+        self.stage_affinity
     }
 
     /// Shards batch serves across up to `threads` host threads, one event
@@ -746,6 +786,153 @@ impl Cluster {
     {
         let (ingest_tx, ingest_rx) = mpsc::sync_channel::<Arc<Request>>(self.ingest_capacity);
         self.run_serve(Ingest::Stream(ingest_rx), Some((feed, ingest_tx)))
+    }
+
+    /// Serves a batch of multi-kernel [`PipelineRequest`]s under tenant
+    /// [`Session`]s (see the [`session`](crate::session) module docs): each
+    /// pipeline's DAG is validated up front, its stages flow through the
+    /// normal route/admit/place machinery with dependency parking, stage
+    /// affinity, [`TransferModel`]-priced inter-stage activations and
+    /// weighted-fair SLO admission, and the outcomes commit in submission
+    /// order per session through a reorder buffer.
+    ///
+    /// A pipeline naming a session absent from `sessions` runs as
+    /// [`SloClass::Standard`]. A batch of single-stage pipelines under
+    /// all-standard sessions lowers onto the unchanged
+    /// [`serve`](Cluster::serve) path — bitwise identical to serving the
+    /// plain requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidPipeline`] for a malformed DAG,
+    /// [`RuntimeError::NoRequests`] for an empty batch, and any
+    /// compile/simulation failure the underlying serve can raise.
+    pub fn serve_pipelines(
+        &mut self,
+        pipelines: Vec<PipelineRequest>,
+        sessions: &[Session],
+    ) -> Result<PipelineReport, RuntimeError> {
+        if pipelines.is_empty() {
+            return Err(RuntimeError::NoRequests);
+        }
+        let mut topos = Vec::with_capacity(pipelines.len());
+        for pipeline in &pipelines {
+            topos.push(pipeline.validate()?);
+        }
+        let slo_of: BTreeMap<u64, SloClass> = sessions
+            .iter()
+            .map(|session| (session.id, session.slo))
+            .collect();
+        let all_plain = pipelines.iter().all(|pipeline| {
+            pipeline.is_single_stage()
+                && slo_of.get(&pipeline.session).copied().unwrap_or_default() == SloClass::Standard
+        });
+        if all_plain {
+            return self.serve_single_stage_pipelines(&pipelines, &slo_of);
+        }
+        let (driver, requests) =
+            SessionDriver::build(&pipelines, &topos, &slo_of, self.stage_affinity);
+        self.session_driver = Some(driver);
+        let result = self.run_serve(
+            Ingest::Batch(requests.into_iter()),
+            None::<(fn(Submitter), _)>,
+        );
+        // The loop hands the driver back through `self` on success; an
+        // error drops it (there is no report to build).
+        let driver = self.session_driver.take();
+        let cluster = result?;
+        let driver = driver.expect("a completed pipeline serve hands its driver back");
+        debug_assert_eq!(driver.in_flight(), 0, "every pipeline's fate is sealed");
+        let (pipelines, stages, classes) = driver.into_report();
+        Ok(PipelineReport {
+            cluster,
+            pipelines,
+            stages,
+            classes,
+        })
+    }
+
+    /// The all-single-stage, all-standard fast path of
+    /// [`serve_pipelines`](Cluster::serve_pipelines): lowers each pipeline
+    /// to its plain [`Request`] and runs the unchanged
+    /// [`serve`](Cluster::serve) — including its sharded loop — then
+    /// rebuilds the pipeline-level view from the plain report. This is the
+    /// path the equivalence proptests pin bitwise against PR-8 serving.
+    fn serve_single_stage_pipelines(
+        &mut self,
+        pipelines: &[PipelineRequest],
+        slo_of: &BTreeMap<u64, SloClass>,
+    ) -> Result<PipelineReport, RuntimeError> {
+        let requests: Vec<Request> = pipelines
+            .iter()
+            .map(PipelineRequest::lower_to_request)
+            .collect();
+        let cluster = self.serve(requests)?;
+        // Completions by request id, in submission order per id — caller
+        // ids need not be unique, so each id keys a FIFO of completions.
+        let mut completions: BTreeMap<u64, std::collections::VecDeque<f64>> = BTreeMap::new();
+        for outcome in cluster.outcomes() {
+            completions
+                .entry(outcome.request_id)
+                .or_default()
+                .push_back(outcome.completion_us);
+        }
+        let mut rob = ReorderBuffer::new(pipelines.len());
+        for (index, pipeline) in pipelines.iter().enumerate() {
+            rob.push(pipeline.session, index);
+        }
+        let mut outcomes: Vec<PipelineOutcome> = pipelines
+            .iter()
+            .map(|pipeline| {
+                let slo = slo_of.get(&pipeline.session).copied().unwrap_or_default();
+                let finish = completions
+                    .get_mut(&pipeline.id)
+                    .and_then(std::collections::VecDeque::pop_front);
+                PipelineOutcome {
+                    id: pipeline.id,
+                    session: pipeline.session,
+                    slo,
+                    arrival_us: pipeline.arrival_us,
+                    finish_us: finish.unwrap_or(pipeline.arrival_us),
+                    commit_us: pipeline.arrival_us,
+                    stages: 1,
+                    completed_stages: usize::from(finish.is_some()),
+                    rejected: finish.is_none(),
+                    transfers: 0,
+                    transfer_us: 0.0,
+                    deadline_us: pipeline.deadline_us,
+                    missed_deadline: false,
+                }
+            })
+            .collect();
+        // Feeding finishes in submission order retires each pipeline as
+        // the head of its session's run: commit = max(finish, previous
+        // commit in the session).
+        for index in 0..outcomes.len() {
+            let (session, finish) = (outcomes[index].session, outcomes[index].finish_us);
+            for (retired, commit_us) in rob.finish(session, index, finish) {
+                outcomes[retired].commit_us = commit_us;
+            }
+        }
+        for outcome in &mut outcomes {
+            outcome.missed_deadline = !outcome.rejected
+                && outcome
+                    .deadline_us
+                    .is_some_and(|deadline| outcome.commit_us > deadline);
+        }
+        let mut samples: Vec<f64> = outcomes
+            .iter()
+            .filter(|outcome| !outcome.rejected)
+            .map(|outcome| outcome.finish_us - outcome.arrival_us)
+            .collect();
+        let stages = vec![metrics::StageMetrics::from_samples(0, &mut samples, 0, 0.0)];
+        let classes = class_metrics_from(&outcomes);
+        Ok(PipelineReport {
+            cluster,
+            pipelines: outcomes,
+            stages,
+            classes,
+        })
     }
 
     /// The cluster-wide waiting count (what admission control bounds and
@@ -1173,6 +1360,166 @@ impl Cluster {
         });
     }
 
+    /// The session tier's reaction to a rejected stage: fail its pipeline
+    /// (sealing the pipeline's fate through the reorder buffer) and shed
+    /// the still-parked sibling stages the failure cascades to — each gets
+    /// its own reject record so the served-or-rejected intake invariant
+    /// holds stage by stage. A no-op on every non-pipeline serve.
+    fn cascade_stage_reject(
+        &self,
+        index: usize,
+        now_us: f64,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) {
+        let shed = match &mut state.session {
+            Some(driver) => driver.note_rejected(index, now_us),
+            None => return,
+        };
+        for sibling in shed {
+            self.reject_unroutable(sibling, &intake[sibling], now_us, state);
+        }
+    }
+
+    /// The stage-affinity override and activation pricing step, run after
+    /// routing on a pipeline serve (identity on every other serve): when
+    /// enabled and the load-driven choice differs from the producer device
+    /// of the stage's heaviest input, the producer wins if the activation
+    /// savings of staying put outweigh the estimated extra queueing there.
+    /// Either way the final device's activation bill is priced into
+    /// `activation_us[index]`, charged ahead of the context switch at
+    /// start.
+    fn apply_stage_affinity(
+        &self,
+        index: usize,
+        routed: usize,
+        acquisition: Acquisition,
+        info: &InFlight,
+        state: &mut ClusterState<'_>,
+    ) -> (usize, Acquisition) {
+        let ClusterState {
+            session,
+            exclusions,
+            activation_us,
+            ..
+        } = state;
+        let Some(driver) = session else {
+            return (routed, acquisition);
+        };
+        let transfer = self.active_transfer();
+        let alive = |device: usize| match &self.fault {
+            Some(fault) => fault.alive[device],
+            None => true,
+        };
+        let mut device = routed;
+        let mut acquisition = acquisition;
+        if driver.affinity {
+            if let Some(target) = driver.affinity_target(index) {
+                let eligible = target != routed
+                    && target < self.num_devices()
+                    && !exclusions[index].contains(target)
+                    && match &self.fault {
+                        Some(fault) => fault.available(target),
+                        None => true,
+                    };
+                if eligible {
+                    let (cost_routed, _) = driver.activation_plan(index, routed, &transfer, alive);
+                    let (cost_target, _) = driver.activation_plan(index, target, &transfer, alive);
+                    let savings = cost_routed - cost_target;
+                    // The queueing penalty of following the data: the
+                    // difference in waiting depth, scaled by this stage's
+                    // estimated service time.
+                    let penalty = (self.devices[target].pool.total_waiting() as f64
+                        - self.devices[routed].pool.total_waiting() as f64)
+                        * info.view.est_exec_us;
+                    if savings > 0.0 && savings >= penalty {
+                        device = target;
+                        acquisition =
+                            self.peek_acquisition(target, info.view.key, info.image_bytes);
+                    }
+                }
+            }
+        }
+        activation_us[index] = driver.activation_plan(index, device, &transfer, alive).0;
+        (device, acquisition)
+    }
+
+    /// Commits the activation bill priced by
+    /// [`apply_stage_affinity`](Cluster::apply_stage_affinity) once the
+    /// stage is admitted: the driver accumulates the paid transfers and a
+    /// stage-transfer span is recorded per moved input. A no-op on every
+    /// non-pipeline serve.
+    fn commit_stage_activation(
+        &self,
+        index: usize,
+        device: usize,
+        info: &InFlight,
+        now_us: f64,
+        state: &mut ClusterState<'_>,
+    ) {
+        let ClusterState {
+            session, recorder, ..
+        } = state;
+        let Some(driver) = session else { return };
+        let transfer = self.active_transfer();
+        let alive = |device: usize| match &self.fault {
+            Some(fault) => fault.alive[device],
+            None => true,
+        };
+        let (cost_us, moved) = driver.activation_plan(index, device, &transfer, alive);
+        driver.commit_activation(index, cost_us, moved.len());
+        if recorder.enabled() {
+            for (from, bytes) in moved {
+                recorder.record(obs::TraceEvent {
+                    time_us: now_us,
+                    dur_us: 0.0,
+                    request_id: Some(info.request.id),
+                    device,
+                    tile: None,
+                    kind: obs::SpanKind::StageTransfer { from, bytes },
+                });
+            }
+        }
+    }
+
+    /// The stage-completion edge of the session tier: records the
+    /// committing stage's producer device, and re-arrives (at the same
+    /// instant) every parked successor whose inputs are now all ready —
+    /// each with a stage-ready span. Seals the pipeline through the
+    /// reorder buffer when this was its last stage. A no-op on every
+    /// non-pipeline serve.
+    fn note_stage_complete(
+        &self,
+        index: usize,
+        device: usize,
+        now_us: f64,
+        intake: &[InFlight],
+        state: &mut ClusterState<'_>,
+    ) {
+        let ClusterState {
+            session,
+            events,
+            recorder,
+            ..
+        } = state;
+        let Some(driver) = session else { return };
+        for succ in driver.note_complete(index, device, now_us) {
+            if recorder.enabled() {
+                recorder.record(obs::TraceEvent {
+                    time_us: now_us,
+                    dur_us: 0.0,
+                    request_id: Some(intake[succ].request.id),
+                    device,
+                    tile: None,
+                    kind: obs::SpanKind::StageReady {
+                        deps: driver.dep_count(succ) as u32,
+                    },
+                });
+            }
+            events.push(now_us, EventKind::Arrival { index: succ });
+        }
+    }
+
     /// Applies scheduled fault `fault_index` at `now_us`: flips the fleet
     /// flags, records the fault span, and performs the structural reaction
     /// (evacuation, requeues, index surgery, replica re-homing).
@@ -1245,6 +1592,12 @@ impl Cluster {
                 self.displace(index, device, now_us, intake, state);
             }
             for index in state.queues[tile].drain_live(&state.taken) {
+                if let Some(driver) = &mut state.session {
+                    // The displaced stage leaves the queue; its session's
+                    // fair-admission share frees up until the requeue
+                    // re-enqueues it somewhere alive.
+                    driver.note_dequeued(index);
+                }
                 self.displace(index, device, now_us, intake, state);
             }
             state.pending_free[tile] = None;
@@ -1272,6 +1625,12 @@ impl Cluster {
         for local in 0..self.tiles_per_device {
             let tile = base + local;
             for index in state.queues[tile].drain_live(&state.taken) {
+                if let Some(driver) = &mut state.session {
+                    // The displaced stage leaves the queue; its session's
+                    // fair-admission share frees up until the requeue
+                    // re-enqueues it somewhere alive.
+                    driver.note_dequeued(index);
+                }
                 self.displace(index, device, now_us, intake, state);
             }
         }
@@ -1517,6 +1876,8 @@ impl Cluster {
             exclusions: Vec::new(),
             running_index: vec![None; total_tiles],
             pending_free: vec![None; total_tiles],
+            session: self.session_driver.take(),
+            activation_us: Vec::new(),
         };
         // Arm the fault schedule: pre-pushed at virtual time zero, the
         // fault events hold the lowest sequence numbers and therefore fire
@@ -1540,6 +1901,7 @@ impl Cluster {
                     acquire_us,
                     acquire_src,
                     exclusions,
+                    activation_us,
                     recorder,
                     ..
                 } = &mut state;
@@ -1582,6 +1944,7 @@ impl Cluster {
                         acquire_us.push(0.0);
                         acquire_src.push(("resident", 0));
                         exclusions.push(ExclusionSet::default());
+                        activation_us.push(0.0);
                         if recorder.enabled() {
                             recorder.record(obs::TraceEvent {
                                 time_us: inflight.request.arrival_us,
@@ -1613,6 +1976,22 @@ impl Cluster {
             match event.kind {
                 EventKind::Arrival { index } => {
                     let info = &intake[index];
+                    // The session tier's gate: a pipeline stage whose
+                    // inputs have not all committed parks here (its last
+                    // dependency's completion re-arrives it), and a stage
+                    // of an already-failed pipeline is shed. Absent a
+                    // session driver every arrival proceeds untouched.
+                    if let Some(driver) = &mut state.session {
+                        match driver.on_arrival(index) {
+                            ArrivalAction::Proceed => {}
+                            ArrivalAction::Park => continue,
+                            ArrivalAction::Reject => {
+                                self.reject_unroutable(index, info, now_us, &mut state);
+                                self.cascade_stage_reject(index, now_us, &intake, &mut state);
+                                continue;
+                            }
+                        }
+                    }
                     // 0. Feed the control plane's rate estimate and push hot
                     // kernel images ahead of demand; 1. route to a device;
                     // 2. resolve how the device gets the kernel image;
@@ -1636,10 +2015,19 @@ impl Cluster {
                         // reject (it is one — the cluster has no capacity).
                         state.profiler.end(obs::Stage::Route, route);
                         self.reject_unroutable(index, info, now_us, &mut state);
+                        self.cascade_stage_reject(index, now_us, &intake, &mut state);
                         continue;
                     };
+                    // Stage affinity may override the load-driven choice
+                    // with the producer of the heaviest input, and the
+                    // inter-stage activation bill for the final device is
+                    // priced here (both no-ops without a session driver).
+                    let (device, acquisition) =
+                        self.apply_stage_affinity(index, device, acquisition, info, &mut state);
                     let adjusted = DispatchRequest {
-                        switch_us: info.view.switch_us + acquisition.cost_us(),
+                        switch_us: info.view.switch_us
+                            + acquisition.cost_us()
+                            + state.activation_us[index],
                         ..info.view
                     };
                     let routed_device = &mut self.devices[device];
@@ -1650,7 +2038,16 @@ impl Cluster {
                     state.profiler.end(obs::Stage::Route, route);
                     let tile = device * self.tiles_per_device + local_tile;
                     let starts_now = !self.devices[device].pool.states()[local_tile].running;
-                    let admitted = starts_now || self.waiting_count() < self.admission_limit;
+                    // The session tier tightens admission to the session's
+                    // weighted-fair share of the limit; `fair` is always
+                    // true on a plain serve, leaving the predicate
+                    // untouched.
+                    let fair = match &state.session {
+                        Some(driver) => driver.fair_admit(index, self.admission_limit),
+                        None => true,
+                    };
+                    let admitted =
+                        starts_now || (self.waiting_count() < self.admission_limit && fair);
                     if state.recorder.enabled() {
                         state.recorder.record(obs::TraceEvent {
                             time_us: now_us,
@@ -1660,6 +2057,19 @@ impl Cluster {
                             tile: None,
                             kind: obs::SpanKind::Admission { admitted },
                         });
+                        if let Some(driver) = &state.session {
+                            state.recorder.record(obs::TraceEvent {
+                                time_us: now_us,
+                                dur_us: 0.0,
+                                request_id: Some(info.request.id),
+                                device,
+                                tile: None,
+                                kind: obs::SpanKind::SloAdmit {
+                                    class: driver.slo_of(index),
+                                    admitted,
+                                },
+                            });
+                        }
                     }
                     if !admitted {
                         if state.recorder.enabled() {
@@ -1679,11 +2089,13 @@ impl Cluster {
                             deadline_us: info.request.deadline_us,
                         });
                         state.device_rejects[device] += 1;
+                        self.cascade_stage_reject(index, now_us, &intake, &mut state);
                         continue;
                     }
                     state.acquire_src[index] = (acquisition.label(), acquisition.bytes());
                     state.acquire_us[index] =
                         self.commit_acquisition(device, info, acquisition, &mut state);
+                    self.commit_stage_activation(index, device, info, now_us, &mut state);
                     let memo = state.profiler.begin();
                     let sourced = state.sim.source(index, info, &mut self.sim_memo, &jobs);
                     state.profiler.end(obs::Stage::Memo, memo);
@@ -1708,6 +2120,9 @@ impl Cluster {
                             d.enqueue(local_tile, info.view.key, info.view.est_exec_us)
                         });
                         state.queues[tile].push(index, &info.view);
+                        if let Some(driver) = &mut state.session {
+                            driver.note_enqueued(index);
+                        }
                         state.profiler.end(obs::Stage::Scan, scan);
                         state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
                         state.device_peak_queue[device] = state.device_peak_queue[device]
@@ -1717,18 +2132,26 @@ impl Cluster {
                 EventKind::TileFree { tile } => {
                     let device = tile / self.tiles_per_device;
                     let local_tile = tile % self.tiles_per_device;
-                    if self.fault.is_some() {
+                    if self.fault.is_some() || state.session.is_some() {
                         // A kill evacuated this tile after the completion
                         // event was scheduled: the event is a stale echo of
                         // abandoned work, and releasing on it would free a
                         // tile that is not running (or double-free one that
                         // restarted). Only the completion the tile is
-                        // actually waiting on releases it.
+                        // actually waiting on releases it. (The session
+                        // tier rides the same bookkeeping to learn which
+                        // stage just committed — without faults every
+                        // completion matches.)
                         if state.pending_free[tile].map(f64::to_bits) != Some(now_us.to_bits()) {
                             continue;
                         }
                         state.pending_free[tile] = None;
-                        state.running_index[tile] = None;
+                        if let Some(index) = state.running_index[tile].take() {
+                            // The stage-completion edge: record the
+                            // producer and re-arrive any successors whose
+                            // inputs are now all ready.
+                            self.note_stage_complete(index, device, now_us, &intake, &mut state);
+                        }
                     }
                     self.with_load_update(device, |d| d.release(local_tile));
                     if !state.queues[tile].is_empty() {
@@ -1754,10 +2177,19 @@ impl Cluster {
                     let Some((device, acquisition)) = routed else {
                         state.profiler.end(obs::Stage::Route, route);
                         self.reject_unroutable(index, info, now_us, &mut state);
+                        self.cascade_stage_reject(index, now_us, &intake, &mut state);
                         continue;
                     };
+                    // A displaced stage re-prices its activations against
+                    // the new device — and against its producers' current
+                    // liveness: inputs whose producer died restore from
+                    // the host checkpoint instead of the link.
+                    let (device, acquisition) =
+                        self.apply_stage_affinity(index, device, acquisition, info, &mut state);
                     let adjusted = DispatchRequest {
-                        switch_us: info.view.switch_us + acquisition.cost_us(),
+                        switch_us: info.view.switch_us
+                            + acquisition.cost_us()
+                            + state.activation_us[index],
                         ..info.view
                     };
                     let routed_device = &mut self.devices[device];
@@ -1771,6 +2203,7 @@ impl Cluster {
                     state.acquire_src[index] = (acquisition.label(), acquisition.bytes());
                     state.acquire_us[index] =
                         self.commit_acquisition(device, info, acquisition, &mut state);
+                    self.commit_stage_activation(index, device, info, now_us, &mut state);
                     // A started-then-killed request may still carry the
                     // taken flag from its first life; clear it so the new
                     // queue entry is live.
@@ -1782,6 +2215,9 @@ impl Cluster {
                             d.enqueue(local_tile, info.view.key, info.view.est_exec_us)
                         });
                         state.queues[tile].push(index, &info.view);
+                        if let Some(driver) = &mut state.session {
+                            driver.note_enqueued(index);
+                        }
                         state.peak_queue_depth = state.peak_queue_depth.max(self.waiting_count());
                         state.device_peak_queue[device] = state.device_peak_queue[device]
                             .max(self.devices[device].pool.total_waiting());
@@ -1803,8 +2239,10 @@ impl Cluster {
         let mut recorder = state.recorder;
         let trace = recorder.finish();
         // Hand the drained recorder (and its warm ring allocation) back to
-        // the cluster for the next serve.
+        // the cluster for the next serve, and the session driver back to
+        // `serve_pipelines` for the pipeline-level report.
         self.trace_scratch = recorder;
+        self.session_driver = state.session.take();
         Ok(ClusterLoopOutput {
             outcomes,
             rejected: state.rejected,
@@ -1841,28 +2279,38 @@ impl Cluster {
         let resident = self.devices[device].pool.states()[local_tile].resident;
         let choice = queue.peek_next(resident, &state.taken);
         // The deadline-feasibility guard must see what the choice will
-        // actually be charged: its switch *plus* the image-acquisition delay
-        // committed at its arrival (always 0 on one device).
+        // actually be charged: its switch *plus* the image-acquisition and
+        // activation-transfer delays committed at its arrival (both always
+        // 0 on one device with no session driver).
         let choice_view = DispatchRequest {
-            switch_us: intake[choice].view.switch_us + state.acquire_us[choice],
+            switch_us: intake[choice].view.switch_us
+                + state.acquire_us[choice]
+                + state.activation_us[choice],
             ..intake[choice].view
         };
-        let index = state
-            .batcher
-            .divert(
-                tile,
-                now_us,
-                resident,
-                &choice_view,
-                intake[choice].request.arrival_us,
-                |key| {
-                    queue
-                        .oldest_for_kernel(key, &state.taken)
-                        .map(|i| (i, intake[i].view.est_exec_us))
-                },
-            )
-            .unwrap_or(choice);
+        let diverted = state.batcher.divert(
+            tile,
+            now_us,
+            resident,
+            &choice_view,
+            intake[choice].request.arrival_us,
+            |key| {
+                queue
+                    .oldest_for_kernel(key, &state.taken)
+                    .map(|i| (i, intake[i].view.est_exec_us))
+            },
+        );
+        if state.session.is_some() && diverted.is_some_and(|diverted| diverted != choice) {
+            // The batching layer pulled a same-kernel sibling ahead of the
+            // policy's choice during a pipeline serve — the cross-pipeline
+            // stage-batching the session report surfaces.
+            state.batcher.note_stage_batched();
+        }
+        let index = diverted.unwrap_or(choice);
         queue.take(index, &mut state.taken);
+        if let Some(driver) = &mut state.session {
+            driver.note_dequeued(index);
+        }
         let remaining_tail = queue.tail_key(&state.taken);
         let est_us = intake[index].view.est_exec_us;
         state.profiler.end(obs::Stage::Scan, scan);
@@ -1898,8 +2346,9 @@ impl Cluster {
         let exec_us = exec_cycles as f64 / info.fmax_mhz;
         // The image acquisition (inter-device transfer or host load)
         // resolved at the arrival event is charged ahead of the context
-        // switch; a request whose tile does not switch pays neither.
-        let switch_us = info.view.switch_us + state.acquire_us[index];
+        // switch, as is the inter-stage activation transfer on a pipeline
+        // serve; a request whose tile does not switch pays none of them.
+        let switch_us = info.view.switch_us + state.acquire_us[index] + state.activation_us[index];
         let charged = match from_queue {
             Some((est_us, remaining_tail)) => self.with_load_update(device, |d| {
                 d.start_queued(
@@ -1959,9 +2408,11 @@ impl Cluster {
                 .deadline_us
                 .is_some_and(|deadline| charged.completion_us > deadline),
         });
-        if self.fault.is_some() {
+        if self.fault.is_some() || state.session.is_some() {
             // Kills must know what to abandon, and stale completions of
-            // abandoned work must be told apart from this run's.
+            // abandoned work must be told apart from this run's. The
+            // session tier reads the same bookkeeping to learn which stage
+            // a tile-free event just committed.
             let tile = device * self.tiles_per_device + local_tile;
             state.running_index[tile] = Some(index);
             state.pending_free[tile] = Some(charged.completion_us);
@@ -2126,6 +2577,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::PipelineStage;
     use crate::{KernelSpec, Request};
     use overlay_frontend::Benchmark;
     use overlay_sim::Workload;
@@ -2409,6 +2861,231 @@ mod tests {
         assert!(matches!(
             cluster.serve(vec![first, stale]),
             Err(RuntimeError::OutOfOrderArrival { request: 1, .. })
+        ));
+    }
+
+    fn benchmark_chain(id: u64, session: u64, stages: usize, arrival_us: f64) -> PipelineRequest {
+        let suite = [
+            Benchmark::Gradient,
+            Benchmark::Chebyshev,
+            Benchmark::Qspline,
+            Benchmark::Poly5,
+        ];
+        PipelineRequest::chain(
+            id,
+            session,
+            (0..stages).map(|stage| {
+                let benchmark = suite[stage % suite.len()];
+                let spec = KernelSpec::from_benchmark(benchmark).unwrap();
+                let inputs = benchmark.dfg().unwrap().num_inputs();
+                (spec, Workload::random(inputs, 4, id ^ stage as u64))
+            }),
+        )
+        .at(arrival_us)
+    }
+
+    #[test]
+    fn pipeline_stages_run_in_dependency_order_with_activation_transfers() {
+        let mut cluster = Cluster::new(FuVariant::V4, 4, 2)
+            .unwrap()
+            .with_route_policy(RoutePolicy::PowerOfTwoChoices);
+        let pipelines: Vec<PipelineRequest> = (0..6)
+            .map(|i| benchmark_chain(i, i % 2, 3, i as f64 * 5.0))
+            .collect();
+        let sessions = [Session::new(0), Session::new(1).with_slo(SloClass::Latency)];
+        let report = cluster.serve_pipelines(pipelines, &sessions).unwrap();
+        assert_eq!(report.pipelines.len(), 6);
+        assert_eq!(report.completed(), 6);
+        // Every stage is one cluster outcome: 6 pipelines × 3 stages.
+        assert_eq!(report.cluster.outcomes().len(), 18);
+        // Dependency order: each stage of a chain starts no earlier than
+        // its predecessor's completion.
+        for pipeline in &report.pipelines {
+            let by_stage: Vec<&RequestOutcome> = (0..pipeline.stages)
+                .map(|stage| {
+                    let id = (pipeline.id << 16) | stage as u64;
+                    report
+                        .cluster
+                        .outcomes()
+                        .iter()
+                        .find(|o| o.request_id == id)
+                        .expect("every stage has an outcome")
+                })
+                .collect();
+            for pair in by_stage.windows(2) {
+                assert!(
+                    pair[1].start_us >= pair[0].completion_us,
+                    "a stage started before its input committed"
+                );
+            }
+            assert_eq!(pipeline.finish_us, by_stage[2].completion_us);
+            assert!(pipeline.commit_us >= pipeline.finish_us);
+        }
+        // Depth buckets 0..=2 and both SLO classes are reported.
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.stages.iter().all(|s| s.served == 6));
+        assert!(report.class(SloClass::Latency).is_some());
+        assert!(report.class(SloClass::Standard).is_some());
+    }
+
+    #[test]
+    fn stage_affinity_cuts_activation_transfers() {
+        // Heavy activations under kernel-hash routing: blind routing sends
+        // each stage to its kernel's home device (a transfer on almost
+        // every edge), affinity keeps consumers on their producers.
+        let serve = |affinity: bool| {
+            let mut cluster = Cluster::new(FuVariant::V4, 4, 1)
+                .unwrap()
+                .with_route_policy(RoutePolicy::KernelHash)
+                .with_stage_affinity(affinity);
+            let pipelines: Vec<PipelineRequest> = (0..8)
+                .map(|i| {
+                    let mut pipeline = benchmark_chain(i, i, 3, i as f64 * 2.0);
+                    for stage in &mut pipeline.stages {
+                        stage.output_bytes = 1 << 20;
+                    }
+                    pipeline
+                })
+                .collect();
+            let sessions: Vec<Session> = (0..8).map(Session::new).collect();
+            cluster.serve_pipelines(pipelines, &sessions).unwrap()
+        };
+        let blind = serve(false);
+        let affine = serve(true);
+        assert_eq!(blind.completed(), 8);
+        assert_eq!(affine.completed(), 8);
+        assert!(
+            affine.activation_transfers() < blind.activation_transfers(),
+            "affinity {} should beat blind {}",
+            affine.activation_transfers(),
+            blind.activation_transfers()
+        );
+    }
+
+    #[test]
+    fn single_stage_standard_pipelines_match_the_plain_serve_bitwise() {
+        let requests = benchmark_trace(12, 4);
+        let pipelines: Vec<PipelineRequest> = requests
+            .iter()
+            .map(|request| {
+                PipelineRequest::new(request.id, request.id % 3)
+                    .at(request.arrival_us)
+                    .stage(PipelineStage::new(
+                        request.kernel.clone(),
+                        request.workload.clone(),
+                    ))
+            })
+            .collect();
+        let sessions: Vec<Session> = (0..3).map(Session::new).collect();
+        let mut plain = Cluster::new(FuVariant::V4, 2, 2).unwrap();
+        let mut piped = Cluster::new(FuVariant::V4, 2, 2).unwrap();
+        let plain_report = plain.serve(requests).unwrap();
+        let piped_report = piped.serve_pipelines(pipelines, &sessions).unwrap();
+        assert_eq!(
+            plain_report.outcomes().len(),
+            piped_report.cluster.outcomes().len()
+        );
+        for (lhs, rhs) in plain_report
+            .outcomes()
+            .iter()
+            .zip(piped_report.cluster.outcomes())
+        {
+            assert_eq!(lhs.request_id, rhs.request_id);
+            assert_eq!(lhs.device, rhs.device);
+            assert_eq!(lhs.tile, rhs.tile);
+            assert_eq!(lhs.start_us.to_bits(), rhs.start_us.to_bits());
+            assert_eq!(lhs.completion_us.to_bits(), rhs.completion_us.to_bits());
+        }
+        assert_eq!(plain_report.metrics(), piped_report.cluster.metrics());
+    }
+
+    #[test]
+    fn weighted_fair_admission_shields_the_latency_tier() {
+        // A saturating burst: one single-tile device, admission limit 6.
+        // Best-effort floods, latency trickles. Weighted-fair shares keep
+        // queue slots for the latency session that a plain FIFO limit
+        // would let the flood consume.
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let mut pipelines = Vec::new();
+        for i in 0..12u64 {
+            pipelines.push(
+                PipelineRequest::new(i, 9)
+                    .at(0.0)
+                    .stage(PipelineStage::new(spec.clone(), Workload::random(5, 64, i)))
+                    .with_deadline(1e9),
+            );
+        }
+        for i in 12..16u64 {
+            pipelines.push(
+                PipelineRequest::new(i, 7)
+                    .at(1.0)
+                    .stage(PipelineStage::new(spec.clone(), Workload::random(5, 64, i)))
+                    .with_deadline(1e9),
+            );
+        }
+        let sessions = [
+            Session::new(9).with_slo(SloClass::BestEffort),
+            Session::new(7).with_slo(SloClass::Latency),
+        ];
+        let mut cluster = Cluster::new(FuVariant::V4, 1, 1)
+            .unwrap()
+            .with_admission_limit(6);
+        let report = cluster.serve_pipelines(pipelines, &sessions).unwrap();
+        let latency = report.class(SloClass::Latency).unwrap();
+        let best_effort = report.class(SloClass::BestEffort).unwrap();
+        // Weighted shares of 6 over total weight 5: latency 4, best 1 —
+        // the flood cannot take the whole queue.
+        assert_eq!(latency.pipelines, 4);
+        assert!(
+            latency.rejected < best_effort.rejected,
+            "latency tier ({} rejects) should shed less than best-effort ({})",
+            latency.rejected,
+            best_effort.rejected
+        );
+        assert!(best_effort.rejected > 0, "the flood must actually shed");
+    }
+
+    #[test]
+    fn a_mid_serve_kill_requeues_stages_without_losing_finished_work() {
+        let pipelines: Vec<PipelineRequest> = (0..6)
+            .map(|i| benchmark_chain(i, i, 3, i as f64 * 10.0))
+            .collect();
+        let sessions: Vec<Session> = (0..6).map(Session::new).collect();
+        let mut cluster = Cluster::new(FuVariant::V4, 3, 1)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded)
+            .with_fault_plan(FaultPlan::new().kill(40.0, 1));
+        let report = cluster.serve_pipelines(pipelines, &sessions).unwrap();
+        // The kill displaces resident stages but never un-completes
+        // upstream ones: every pipeline still runs all stages.
+        assert_eq!(report.completed(), 6);
+        for pipeline in &report.pipelines {
+            assert_eq!(pipeline.completed_stages, 3);
+            assert!(!pipeline.rejected);
+        }
+        assert_eq!(report.cluster.outcomes().len(), 18);
+        // Nothing lands on the dead device after the kill.
+        for outcome in report.cluster.outcomes() {
+            if outcome.start_us >= 40.0 {
+                assert_ne!(outcome.device, 1, "a stage started on the dead device");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_pipelines_are_rejected_before_serving() {
+        let mut cluster = Cluster::new(FuVariant::V4, 2, 1).unwrap();
+        assert!(matches!(
+            cluster.serve_pipelines(Vec::new(), &[]),
+            Err(RuntimeError::NoRequests)
+        ));
+        let spec = KernelSpec::from_benchmark(Benchmark::Gradient).unwrap();
+        let cyclic = PipelineRequest::new(3, 0)
+            .stage(PipelineStage::new(spec.clone(), Workload::ramp(5, 2)).after(&[1]))
+            .stage(PipelineStage::new(spec, Workload::ramp(5, 2)).after(&[0]));
+        assert!(matches!(
+            cluster.serve_pipelines(vec![cyclic], &[]),
+            Err(RuntimeError::InvalidPipeline { pipeline: 3, .. })
         ));
     }
 }

@@ -167,6 +167,15 @@ impl Batcher {
         }
     }
 
+    /// Counts a diversion that happened during a pipeline serve — the
+    /// cross-pipeline stage batching the session tier's report surfaces as
+    /// [`BatchStats::stage_batched`]. Called by the cluster loop right
+    /// after a successful [`divert`](Batcher::divert), only when a session
+    /// driver is active.
+    pub(crate) fn note_stage_batched(&mut self) {
+        self.stats.stage_batched += 1;
+    }
+
     /// Clears the same-kernel run state on `tile` — used when fault
     /// injection evacuates a tile and its queue no longer matches the run
     /// the batcher was tracking.

@@ -46,6 +46,16 @@
 //! (`tests/runtime_equivalence.rs`) proves it on randomized traces across
 //! all four policies.
 //!
+//! During a pipeline serve ([`Cluster::serve_pipelines`]) each stage of a
+//! [`PipelineRequest`](crate::PipelineRequest) flows through these same two
+//! decision points as an ordinary request — the only session-tier additions
+//! the dispatcher sees are an activation-transfer charge folded into the
+//! stage's switch estimate, and the pipeline deadline carried by sink
+//! stages of latency-tier pipelines, which the deadline-aware policies
+//! treat exactly like a per-request deadline.
+//!
+//! [`Cluster::serve_pipelines`]: crate::Cluster::serve_pipelines
+//!
 //! Both decision points are also instrumented: the opt-in
 //! [`StageProfiler`](crate::obs::StageProfiler) bills placement and
 //! queue-drain selection to its `Scan` stage (host nanoseconds, zero clock

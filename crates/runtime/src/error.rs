@@ -44,6 +44,15 @@ pub enum RuntimeError {
         /// What the validator objected to.
         reason: String,
     },
+    /// A pipeline request failed DAG validation (empty, a dependency out of
+    /// range / self-loop / duplicate, a cycle, or an id that overflows the
+    /// packed per-stage request-id layout).
+    InvalidPipeline {
+        /// The offending pipeline id.
+        pipeline: u64,
+        /// What the validator objected to.
+        reason: String,
+    },
     /// Kernel parsing or lowering failed.
     Frontend(FrontendError),
     /// The kernel graph violated a DFG invariant.
@@ -81,6 +90,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            RuntimeError::InvalidPipeline { pipeline, reason } => {
+                write!(f, "invalid pipeline {pipeline}: {reason}")
             }
             RuntimeError::Frontend(err) => write!(f, "front-end error: {err}"),
             RuntimeError::Dfg(err) => write!(f, "kernel graph error: {err}"),

@@ -45,6 +45,12 @@ pub struct ScenarioConfig {
     pub hot_tenant_weight: f64,
     /// How often the hot tenant rotates, microseconds (≤ 0 pins tenant 0).
     pub churn_period_us: f64,
+    /// Maximum pipeline depth an arrival expands to when the scenario feeds
+    /// [`Cluster::serve_pipelines`](crate::Cluster::serve_pipelines) (min
+    /// 1). Depth 1 keeps every arrival a plain single-stage request; deeper
+    /// values let [`Scenario::pipeline_depth_at`] fan arrivals out into
+    /// deterministic per-arrival chain lengths in `1..=pipeline_depth`.
+    pub pipeline_depth: usize,
     /// Seed for the deterministic tenant-pick hash.
     pub seed: u64,
 }
@@ -62,6 +68,7 @@ impl ScenarioConfig {
             tenants: 1,
             hot_tenant_weight: 1.0,
             churn_period_us: 0.0,
+            pipeline_depth: 1,
             seed: 0x5EED,
         }
     }
@@ -114,6 +121,7 @@ impl Scenario {
         config.diurnal_amplitude = config.diurnal_amplitude.clamp(0.0, 0.999);
         config.tenants = config.tenants.max(1);
         config.hot_tenant_weight = config.hot_tenant_weight.max(1.0);
+        config.pipeline_depth = config.pipeline_depth.max(1);
         Scenario {
             config,
             crowds: Vec::new(),
@@ -204,6 +212,21 @@ impl Scenario {
         arrivals
     }
 
+    /// The pipeline depth arrival `index` expands to: a deterministic draw
+    /// in `1..=pipeline_depth`, hashed from the seed like the tenant pick —
+    /// a pure function of the config, no host RNG. With the default depth
+    /// of 1 every arrival stays a plain single-stage request, which is what
+    /// keeps scenario-driven pipeline serves equivalence-pinned to the
+    /// plain serve.
+    pub fn pipeline_depth_at(&self, index: u64) -> usize {
+        let depth = self.config.pipeline_depth;
+        if depth <= 1 {
+            return 1;
+        }
+        let hash = splitmix64(self.config.seed ^ splitmix64(index ^ 0xD9A6));
+        1 + (hash % depth as u64) as usize
+    }
+
     /// The deterministic weighted tenant pick for arrival `index` at time
     /// `t_us`: the hot tenant carries `hot_tenant_weight`, the rest 1.
     fn pick_tenant(&self, index: u64, t_us: f64) -> usize {
@@ -239,6 +262,7 @@ mod tests {
             tenants: 4,
             hot_tenant_weight: 4.0,
             churn_period_us: 2_500.0,
+            pipeline_depth: 3,
             seed: 7,
         })
         .with_flash_crowd(FlashCrowd {
@@ -344,6 +368,25 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_depths_are_deterministic_and_bounded() {
+        let flat = Scenario::new(ScenarioConfig::steady(2.0, 10_000.0));
+        assert_eq!(flat.config().pipeline_depth, 1, "steady is single-stage");
+        assert!((0..64).all(|i| flat.pipeline_depth_at(i) == 1));
+        let deep = Scenario::new(ScenarioConfig {
+            pipeline_depth: 4,
+            ..ScenarioConfig::steady(2.0, 10_000.0)
+        });
+        let depths: Vec<usize> = (0..256).map(|i| deep.pipeline_depth_at(i)).collect();
+        assert!(depths.iter().all(|&d| (1..=4).contains(&d)));
+        // Every depth in the range shows up, and re-draws are identical.
+        for want in 1..=4 {
+            assert!(depths.contains(&want), "depth {want} never drawn");
+        }
+        let again: Vec<usize> = (0..256).map(|i| deep.pipeline_depth_at(i)).collect();
+        assert_eq!(depths, again, "pure function of the config");
+    }
+
+    #[test]
     fn degenerate_configs_are_sanitized_not_loops() {
         let empty = Scenario::new(ScenarioConfig::steady(0.0, 1_000.0));
         assert!(empty.arrivals().is_empty());
@@ -354,9 +397,12 @@ mod tests {
             diurnal_amplitude: 9.0,
             hot_tenant_weight: -3.0,
             duration_us: f64::INFINITY,
+            pipeline_depth: 0,
             ..ScenarioConfig::steady(1.0, 1_000.0)
         });
         assert_eq!(weird.config().tenants, 1);
+        assert_eq!(weird.config().pipeline_depth, 1);
+        assert_eq!(weird.pipeline_depth_at(9), 1);
         assert!(weird.config().diurnal_amplitude < 1.0);
         assert_eq!(weird.config().hot_tenant_weight, 1.0);
         assert_eq!(weird.config().duration_us, 0.0);

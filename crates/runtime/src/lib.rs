@@ -106,6 +106,7 @@ pub mod obs;
 pub mod pool;
 pub mod request;
 pub mod route;
+pub mod session;
 pub mod submit;
 
 pub use cache::{CacheStats, KernelCache, KernelKey, SimKey, SimMemo};
@@ -118,10 +119,16 @@ pub use dispatch::{DispatchPolicy, DispatchRequest, Dispatcher, ScanMode};
 pub use error::RuntimeError;
 pub use fault::scenario::{FlashCrowd, Scenario, ScenarioArrival, ScenarioConfig};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{BatchStats, DeviceMetrics, ReplicationStats, RuntimeMetrics};
+pub use metrics::{
+    BatchStats, ClassMetrics, DeviceMetrics, ReplicationStats, RuntimeMetrics, StageMetrics,
+};
 pub use pool::{ChargeOutcome, TilePool, TileState};
 pub use request::{KernelSpec, Request};
 pub use route::{RoutePolicy, TransferModel};
+pub use session::{
+    PipelineOutcome, PipelineReport, PipelineRequest, PipelineStage, ReorderBuffer, Session,
+    SloClass,
+};
 pub use submit::{SubmitError, Submitter};
 
 use std::collections::VecDeque;

@@ -7,6 +7,7 @@ use std::fmt;
 
 use crate::cache::CacheStats;
 use crate::obs::LogHistogram;
+use crate::session::SloClass;
 
 /// Aggregate metrics for one [`serve`](crate::Runtime::serve) call, built
 /// from the per-request outcomes and the per-tile serving state.
@@ -192,6 +193,10 @@ pub struct BatchStats {
     /// Context switches avoided: each batched dispatch ran the resident
     /// kernel where the policy's choice would have swapped.
     pub switches_avoided: usize,
+    /// Batched dispatches whose request was a pipeline stage — same-kernel
+    /// runs extended *within* the session tier. Zero outside
+    /// [`Cluster::serve_pipelines`](crate::Cluster::serve_pipelines).
+    pub stage_batched: usize,
 }
 
 impl BatchStats {
@@ -202,6 +207,7 @@ impl BatchStats {
         self.batches_formed += other.batches_formed;
         self.batched_requests += other.batched_requests;
         self.switches_avoided += other.switches_avoided;
+        self.stage_batched += other.stage_batched;
     }
 }
 
@@ -211,6 +217,154 @@ impl fmt::Display for BatchStats {
             f,
             "{} batch(es), {} batched request(s), {} switch(es) avoided",
             self.batches_formed, self.batched_requests, self.switches_avoided
+        )?;
+        if self.stage_batched > 0 {
+            write!(f, " ({} pipeline stage(s))", self.stage_batched)?;
+        }
+        Ok(())
+    }
+}
+
+/// Latency breakdown for one pipeline stage *depth* (the stage's position
+/// in its pipeline's topological order) across a
+/// [`Cluster::serve_pipelines`](crate::Cluster::serve_pipelines) call:
+/// how long stages at that depth took end to end, and what they paid in
+/// inter-device activation transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMetrics {
+    /// The stage depth (0 = pipeline roots).
+    pub depth: usize,
+    /// Stages served at this depth.
+    pub served: usize,
+    /// Mean stage latency (completion − pipeline arrival for roots,
+    /// completion − readiness for successors), microseconds.
+    pub mean_latency_us: f64,
+    /// Median stage latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile stage latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Inter-device activation transfers paid by stages at this depth.
+    pub transfers: usize,
+    /// Total modeled activation-transfer time at this depth, microseconds.
+    pub transfer_us: f64,
+}
+
+impl StageMetrics {
+    /// Rolls one depth's stage-latency samples up. `latencies` is scratch
+    /// (reordered by selection, not sorted).
+    pub fn from_samples(
+        depth: usize,
+        latencies: &mut [f64],
+        transfers: usize,
+        transfer_us: f64,
+    ) -> Self {
+        let served = latencies.len();
+        let mean = if served == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / served as f64
+        };
+        StageMetrics {
+            depth,
+            served,
+            mean_latency_us: mean,
+            p50_latency_us: percentile_by_selection(latencies, 0.5),
+            p99_latency_us: percentile_by_selection(latencies, 0.99),
+            transfers,
+            transfer_us,
+        }
+    }
+}
+
+impl fmt::Display for StageMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage {}: {} served, p50 {:.2} us, p99 {:.2} us, {} transfer(s) ({:.2} us)",
+            self.depth,
+            self.served,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.transfers,
+            self.transfer_us
+        )
+    }
+}
+
+/// Pipeline-latency breakdown for one [`SloClass`] across a
+/// [`Cluster::serve_pipelines`](crate::Cluster::serve_pipelines) call.
+/// Latencies are *commit* latencies: in-order commit time minus pipeline
+/// arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// The SLO class.
+    pub slo: SloClass,
+    /// Pipelines submitted under this class.
+    pub pipelines: usize,
+    /// Pipelines that failed (at least one stage rejected).
+    pub rejected: usize,
+    /// Mean commit latency of completed pipelines, microseconds.
+    pub mean_latency_us: f64,
+    /// Median commit latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile commit latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Completed pipelines that committed past their deadline.
+    pub deadline_misses: usize,
+    /// Completed pipelines that carried a deadline.
+    pub deadline_pipelines: usize,
+}
+
+impl ClassMetrics {
+    /// Rolls one class's completed-pipeline commit latencies up.
+    /// `latencies` is scratch (reordered by selection, not sorted).
+    pub fn from_samples(
+        slo: SloClass,
+        latencies: &mut [f64],
+        rejected: usize,
+        deadline_misses: usize,
+        deadline_pipelines: usize,
+    ) -> Self {
+        let completed = latencies.len();
+        let mean = if completed == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / completed as f64
+        };
+        ClassMetrics {
+            slo,
+            pipelines: completed + rejected,
+            rejected,
+            mean_latency_us: mean,
+            p50_latency_us: percentile_by_selection(latencies, 0.5),
+            p99_latency_us: percentile_by_selection(latencies, 0.99),
+            deadline_misses,
+            deadline_pipelines,
+        }
+    }
+
+    /// Fraction of completed deadline-carrying pipelines that missed.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.deadline_pipelines == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_pipelines as f64
+        }
+    }
+}
+
+impl fmt::Display for ClassMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} pipeline(s) ({} rejected), p50 {:.2} us, p99 {:.2} us, {} miss(es) of {}",
+            self.slo,
+            self.pipelines,
+            self.rejected,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.deadline_misses,
+            self.deadline_pipelines
         )
     }
 }
@@ -599,10 +753,19 @@ mod tests {
             batches_formed: 2,
             batched_requests: 9,
             switches_avoided: 9,
+            ..BatchStats::default()
         };
         assert_eq!(
             batch.to_string(),
             "2 batch(es), 9 batched request(s), 9 switch(es) avoided"
+        );
+        let staged = BatchStats {
+            stage_batched: 4,
+            ..batch
+        };
+        assert_eq!(
+            staged.to_string(),
+            "2 batch(es), 9 batched request(s), 9 switch(es) avoided (4 pipeline stage(s))"
         );
         let replication = ReplicationStats {
             replicas_pushed: 3,
@@ -616,6 +779,32 @@ mod tests {
         assert!(text.contains("1 demoted, 2 hot kernel(s)"));
         assert_eq!(BatchStats::default(), BatchStats::default());
         assert_eq!(ReplicationStats::default().replicas_pushed, 0);
+    }
+
+    #[test]
+    fn stage_and_class_metrics_roll_up_samples() {
+        let mut latencies = [30.0, 10.0, 20.0];
+        let stage = StageMetrics::from_samples(1, &mut latencies, 2, 5.5);
+        assert_eq!(stage.depth, 1);
+        assert_eq!(stage.served, 3);
+        assert!((stage.mean_latency_us - 20.0).abs() < 1e-12);
+        assert_eq!(stage.p50_latency_us, 20.0);
+        let text = stage.to_string();
+        assert!(text.contains("stage 1: 3 served"));
+        assert!(text.contains("2 transfer(s) (5.50 us)"));
+
+        let mut commits = [100.0, 300.0];
+        let class = ClassMetrics::from_samples(SloClass::Latency, &mut commits, 1, 1, 2);
+        assert_eq!(class.pipelines, 3);
+        assert_eq!(class.rejected, 1);
+        assert!((class.mean_latency_us - 200.0).abs() < 1e-12);
+        assert!((class.deadline_miss_rate() - 0.5).abs() < 1e-12);
+        assert!(class
+            .to_string()
+            .contains("latency: 3 pipeline(s) (1 rejected)"));
+        let empty = ClassMetrics::from_samples(SloClass::BestEffort, &mut [], 0, 0, 0);
+        assert_eq!(empty.mean_latency_us, 0.0);
+        assert_eq!(empty.deadline_miss_rate(), 0.0);
     }
 
     #[test]
@@ -698,6 +887,7 @@ mod tests {
                 batches_formed: 1,
                 batched_requests: 3,
                 switches_avoided: 3,
+                ..BatchStats::default()
             },
             rejects: 2,
             rejected_deadlines: 1,

@@ -184,6 +184,27 @@ pub enum SpanKind {
         /// The absolute multiplier applied to link costs (1.0 restores).
         multiplier: f64,
     },
+    /// A pipeline stage's last input arrived and it became dispatchable
+    /// (instant; `device` is the producing device that released it).
+    StageReady {
+        /// How many producer stages fed this stage.
+        deps: u32,
+    },
+    /// An inter-device activation transfer priced ahead of a stage's run
+    /// (instant, at dispatch; `device` is the consumer's device).
+    StageTransfer {
+        /// The producing device the activations move from.
+        from: usize,
+        /// Activation bytes moved.
+        bytes: u64,
+    },
+    /// The weighted-fair SLO admission verdict for a stage (instant).
+    SloAdmit {
+        /// The session's SLO class.
+        class: crate::session::SloClass,
+        /// False when the session's weighted-fair share was exhausted.
+        admitted: bool,
+    },
 }
 
 impl SpanKind {
@@ -207,6 +228,9 @@ impl SpanKind {
             SpanKind::DrainPhase { .. } => "drain",
             SpanKind::Requeue => "requeue",
             SpanKind::LinkDegrade { .. } => "link-degrade",
+            SpanKind::StageReady { .. } => "stage-ready",
+            SpanKind::StageTransfer { .. } => "stage-transfer",
+            SpanKind::SloAdmit { .. } => "slo-admit",
         }
     }
 }
@@ -323,37 +347,89 @@ struct Packed {
     payload: u64,
 }
 
-const TAG_SUBMIT: u64 = 0;
-const TAG_ADMISSION: u64 = 1;
-const TAG_ROUTE: u64 = 2;
-const TAG_QUEUE_WAIT: u64 = 3;
-const TAG_ACQUIRE: u64 = 4;
-const TAG_PREFETCH: u64 = 5;
-const TAG_CONTEXT_SWITCH: u64 = 6;
-const TAG_BATCH: u64 = 7;
-const TAG_RUN: u64 = 8;
-const TAG_COMMIT: u64 = 9;
-const TAG_REJECT: u64 = 10;
-const TAG_COUNTER: u64 = 11;
-// Fused lifecycle records — the event loop emits a request's spans in one
-// burst at commit time, and every ring push is an in-situ cache touch, so
-// always-adjacent pairs share one record and split back apart at decode.
-/// Queue wait plus batch membership: the span is the wait, `payload` is the
-/// same-kernel run length (a Batch instant decodes out when it is ≥ 2).
-const TAG_QUEUE_BATCH: u64 = 12;
-/// Run plus the commit instant at its end; `payload` is the exact
-/// `f64::to_bits` of the commit timestamp (`time + dur` can differ from the
-/// modeled completion by an ulp).
-const TAG_RUN_COMMIT: u64 = 13;
-// Fault-injection spans — all instants with no side-table payloads, so they
-// pass through lane absorption verbatim.
-const TAG_DEVICE_DOWN: u64 = 14;
-const TAG_DEVICE_UP: u64 = 15;
-/// Payload is 1 at drain begin, 0 when the device rejoins warm.
-const TAG_DRAIN: u64 = 16;
-const TAG_REQUEUE: u64 = 17;
-/// Payload is the link multiplier's `f64::to_bits`.
-const TAG_LINK_DEGRADE: u64 = 18;
+/// Every packed-record tag, in one exhaustive enum — the single registry a
+/// new span type must be added to, so tag bytes cannot collide the way
+/// scattered constants could. The discriminant *is* the on-ring byte
+/// (low 8 bits of `meta`); [`SpanTag::from_byte`] is its inverse, and the
+/// round-trip test pins the two agree on every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub(crate) enum SpanTag {
+    Submit = 0,
+    Admission = 1,
+    Route = 2,
+    QueueWait = 3,
+    Acquire = 4,
+    Prefetch = 5,
+    ContextSwitch = 6,
+    Batch = 7,
+    Run = 8,
+    Commit = 9,
+    Reject = 10,
+    Counter = 11,
+    // Fused lifecycle records — the event loop emits a request's spans in
+    // one burst at commit time, and every ring push is an in-situ cache
+    // touch, so always-adjacent pairs share one record and split back apart
+    // at decode.
+    /// Queue wait plus batch membership: the span is the wait, `payload` is
+    /// the same-kernel run length (a Batch instant decodes out when ≥ 2).
+    QueueBatch = 12,
+    /// Run plus the commit instant at its end; `payload` is the exact
+    /// `f64::to_bits` of the commit timestamp (`time + dur` can differ from
+    /// the modeled completion by an ulp).
+    RunCommit = 13,
+    // Fault-injection spans — all instants with no side-table payloads, so
+    // they pass through lane absorption verbatim.
+    DeviceDown = 14,
+    DeviceUp = 15,
+    /// Payload is 1 at drain begin, 0 when the device rejoins warm.
+    Drain = 16,
+    Requeue = 17,
+    /// Payload is the link multiplier's `f64::to_bits`.
+    LinkDegrade = 18,
+    // Session-tier spans — instants with no side-table payloads, so they
+    // too pass through lane absorption verbatim.
+    /// Payload is the number of producer stages that fed this stage.
+    StageReady = 19,
+    /// Payload is `from_device | bytes << 16` (activation transfer).
+    StageTransfer = 20,
+    /// Payload is `admitted | class_index << 1`.
+    SloAdmit = 21,
+}
+
+impl SpanTag {
+    /// Every tag, in discriminant order.
+    pub(crate) const ALL: [SpanTag; 22] = [
+        SpanTag::Submit,
+        SpanTag::Admission,
+        SpanTag::Route,
+        SpanTag::QueueWait,
+        SpanTag::Acquire,
+        SpanTag::Prefetch,
+        SpanTag::ContextSwitch,
+        SpanTag::Batch,
+        SpanTag::Run,
+        SpanTag::Commit,
+        SpanTag::Reject,
+        SpanTag::Counter,
+        SpanTag::QueueBatch,
+        SpanTag::RunCommit,
+        SpanTag::DeviceDown,
+        SpanTag::DeviceUp,
+        SpanTag::Drain,
+        SpanTag::Requeue,
+        SpanTag::LinkDegrade,
+        SpanTag::StageReady,
+        SpanTag::StageTransfer,
+        SpanTag::SloAdmit,
+    ];
+
+    /// The inverse of the discriminant cast: the tag whose on-ring byte is
+    /// `byte`, or `None` for bytes no variant claims.
+    pub(crate) fn from_byte(byte: u64) -> Option<SpanTag> {
+        SpanTag::ALL.get(byte as usize).copied()
+    }
+}
 
 const FIELD_BITS: u64 = 28;
 const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
@@ -384,8 +460,15 @@ const ACQUIRE_INDEX_MASK: u64 = (1 << ACQUIRE_INDEX_BITS) - 1;
 /// their top bits.
 const ACQUIRE_BYTES_MAX: u64 = (1 << (64 - ACQUIRE_INDEX_BITS)) - 1;
 
+/// Bits of the `StageTransfer` payload that hold the producing device; the
+/// remaining 48 hold the activation byte count (same split as `Acquire`).
+const STAGE_FROM_BITS: u64 = 16;
+/// Largest activation byte count the `StageTransfer` payload can carry.
+const STAGE_BYTES_MAX: u64 = (1 << (64 - STAGE_FROM_BITS)) - 1;
+
 #[inline]
-fn pack_meta(tag: u64, device: usize, tile: Option<usize>) -> u64 {
+fn pack_meta(tag: SpanTag, device: usize, tile: Option<usize>) -> u64 {
+    let tag = tag as u64;
     debug_assert!(
         (device as u64) < FIELD_MASK,
         "device id {device} exceeds the 28-bit trace meta field"
@@ -503,8 +586,8 @@ impl TraceRecorder {
             return;
         }
         let packed = lane.packed[index];
-        match packed.meta & 0xff {
-            TAG_ROUTE => {
+        match SpanTag::from_byte(packed.meta & 0xff) {
+            Some(SpanTag::Route) => {
                 let choice = lane.routes[packed.payload as usize].clone();
                 let slot = self.route_seq % self.capacity;
                 self.route_seq += 1;
@@ -518,7 +601,7 @@ impl TraceRecorder {
                     ..packed
                 });
             }
-            TAG_ACQUIRE => {
+            Some(SpanTag::Acquire) => {
                 let source = lane
                     .sources
                     .get((packed.payload & ACQUIRE_INDEX_MASK) as usize)
@@ -531,7 +614,7 @@ impl TraceRecorder {
                     ..packed
                 });
             }
-            TAG_COUNTER => {
+            Some(SpanTag::Counter) => {
                 // `counter()` bumps by exactly one per record, so replaying
                 // the bump in merge order rebuilds the serial running total.
                 let slot = (packed.payload & 0xff) as usize;
@@ -562,8 +645,8 @@ impl TraceRecorder {
             return;
         }
         let (tag, payload) = match event.kind {
-            SpanKind::Submit => (TAG_SUBMIT, 0),
-            SpanKind::Admission { admitted } => (TAG_ADMISSION, admitted as u64),
+            SpanKind::Submit => (SpanTag::Submit, 0),
+            SpanKind::Admission { admitted } => (SpanTag::Admission, admitted as u64),
             SpanKind::RouteChoice(choice) => {
                 let slot = self.route_seq % self.capacity;
                 self.route_seq += 1;
@@ -572,9 +655,9 @@ impl TraceRecorder {
                 } else {
                     self.routes.push(*choice);
                 }
-                (TAG_ROUTE, slot as u64)
+                (SpanTag::Route, slot as u64)
             }
-            SpanKind::QueueWait => (TAG_QUEUE_WAIT, 0),
+            SpanKind::QueueWait => (SpanTag::QueueWait, 0),
             SpanKind::Acquire { source, bytes } => {
                 let index = self.intern_source(source);
                 debug_assert!(
@@ -582,22 +665,40 @@ impl TraceRecorder {
                     "acquire byte count {bytes} exceeds the 48-bit trace payload field"
                 );
                 let bytes = bytes.min(ACQUIRE_BYTES_MAX);
-                (TAG_ACQUIRE, index | (bytes << ACQUIRE_INDEX_BITS))
+                (SpanTag::Acquire, index | (bytes << ACQUIRE_INDEX_BITS))
             }
-            SpanKind::Prefetch { bytes } => (TAG_PREFETCH, bytes),
-            SpanKind::ContextSwitch => (TAG_CONTEXT_SWITCH, 0),
-            SpanKind::Batch { run_len } => (TAG_BATCH, run_len as u64),
-            SpanKind::Run => (TAG_RUN, 0),
-            SpanKind::Commit => (TAG_COMMIT, 0),
-            SpanKind::Reject => (TAG_REJECT, 0),
+            SpanKind::Prefetch { bytes } => (SpanTag::Prefetch, bytes),
+            SpanKind::ContextSwitch => (SpanTag::ContextSwitch, 0),
+            SpanKind::Batch { run_len } => (SpanTag::Batch, run_len as u64),
+            SpanKind::Run => (SpanTag::Run, 0),
+            SpanKind::Commit => (SpanTag::Commit, 0),
+            SpanKind::Reject => (SpanTag::Reject, 0),
             SpanKind::Counter { name, value } => {
-                (TAG_COUNTER, (name.index() as u64) | (value << 8))
+                (SpanTag::Counter, (name.index() as u64) | (value << 8))
             }
-            SpanKind::DeviceDown => (TAG_DEVICE_DOWN, 0),
-            SpanKind::DeviceUp => (TAG_DEVICE_UP, 0),
-            SpanKind::DrainPhase { begin } => (TAG_DRAIN, begin as u64),
-            SpanKind::Requeue => (TAG_REQUEUE, 0),
-            SpanKind::LinkDegrade { multiplier } => (TAG_LINK_DEGRADE, multiplier.to_bits()),
+            SpanKind::DeviceDown => (SpanTag::DeviceDown, 0),
+            SpanKind::DeviceUp => (SpanTag::DeviceUp, 0),
+            SpanKind::DrainPhase { begin } => (SpanTag::Drain, begin as u64),
+            SpanKind::Requeue => (SpanTag::Requeue, 0),
+            SpanKind::LinkDegrade { multiplier } => (SpanTag::LinkDegrade, multiplier.to_bits()),
+            SpanKind::StageReady { deps } => (SpanTag::StageReady, deps as u64),
+            SpanKind::StageTransfer { from, bytes } => {
+                debug_assert!(
+                    (from as u64) < (1 << STAGE_FROM_BITS),
+                    "producer device {from} exceeds the 16-bit stage-transfer field"
+                );
+                debug_assert!(
+                    bytes <= STAGE_BYTES_MAX,
+                    "activation byte count {bytes} exceeds the 48-bit trace payload field"
+                );
+                let from = (from as u64).min((1 << STAGE_FROM_BITS) - 1);
+                let bytes = bytes.min(STAGE_BYTES_MAX);
+                (SpanTag::StageTransfer, from | (bytes << STAGE_FROM_BITS))
+            }
+            SpanKind::SloAdmit { class, admitted } => (
+                SpanTag::SloAdmit,
+                (admitted as u64) | ((class.index() as u64) << 1),
+            ),
         };
         self.push(Packed {
             time_us: event.time_us,
@@ -629,7 +730,7 @@ impl TraceRecorder {
             time_us,
             dur_us,
             request_id,
-            meta: pack_meta(TAG_QUEUE_BATCH, device, Some(tile)),
+            meta: pack_meta(SpanTag::QueueBatch, device, Some(tile)),
             payload: run_len,
         });
     }
@@ -653,7 +754,7 @@ impl TraceRecorder {
             time_us,
             dur_us,
             request_id,
-            meta: pack_meta(TAG_RUN_COMMIT, device, Some(tile)),
+            meta: pack_meta(SpanTag::RunCommit, device, Some(tile)),
             payload: completion_us.to_bits(),
         });
     }
@@ -672,7 +773,7 @@ impl TraceRecorder {
             time_us,
             dur_us: 0.0,
             request_id: u64::MAX,
-            meta: pack_meta(TAG_COUNTER, device, None),
+            meta: pack_meta(SpanTag::Counter, device, None),
             payload: (slot as u64) | (value << 8),
         });
     }
@@ -724,8 +825,8 @@ fn unpack_into(
         tile,
         kind,
     };
-    match tag {
-        TAG_QUEUE_BATCH => {
+    match SpanTag::from_byte(tag) {
+        Some(SpanTag::QueueBatch) => {
             out.push(part(packed.time_us, packed.dur_us, SpanKind::QueueWait));
             if payload >= 2 {
                 out.push(part(
@@ -738,45 +839,64 @@ fn unpack_into(
             }
             return;
         }
-        TAG_RUN_COMMIT => {
+        Some(SpanTag::RunCommit) => {
             out.push(part(packed.time_us, packed.dur_us, SpanKind::Run));
             out.push(part(f64::from_bits(payload), 0.0, SpanKind::Commit));
             return;
         }
         _ => {}
     }
-    let kind = match tag {
-        TAG_SUBMIT => SpanKind::Submit,
-        TAG_ADMISSION => SpanKind::Admission {
+    let kind = match SpanTag::from_byte(tag) {
+        Some(SpanTag::Submit) => SpanKind::Submit,
+        Some(SpanTag::Admission) => SpanKind::Admission {
             admitted: payload != 0,
         },
-        TAG_ROUTE => SpanKind::RouteChoice(Box::new(routes[payload as usize].clone())),
-        TAG_QUEUE_WAIT => SpanKind::QueueWait,
-        TAG_ACQUIRE => SpanKind::Acquire {
+        Some(SpanTag::Route) => SpanKind::RouteChoice(Box::new(routes[payload as usize].clone())),
+        Some(SpanTag::QueueWait) => SpanKind::QueueWait,
+        Some(SpanTag::Acquire) => SpanKind::Acquire {
             source: sources
                 .get((payload & ACQUIRE_INDEX_MASK) as usize)
                 .copied()
                 .unwrap_or(ACQUIRE_SOURCE_OVERFLOW),
             bytes: payload >> ACQUIRE_INDEX_BITS,
         },
-        TAG_PREFETCH => SpanKind::Prefetch { bytes: payload },
-        TAG_CONTEXT_SWITCH => SpanKind::ContextSwitch,
-        TAG_BATCH => SpanKind::Batch {
+        Some(SpanTag::Prefetch) => SpanKind::Prefetch { bytes: payload },
+        Some(SpanTag::ContextSwitch) => SpanKind::ContextSwitch,
+        Some(SpanTag::Batch) => SpanKind::Batch {
             run_len: payload as u32,
         },
-        TAG_RUN => SpanKind::Run,
-        TAG_COMMIT => SpanKind::Commit,
-        TAG_REJECT => SpanKind::Reject,
-        TAG_DEVICE_DOWN => SpanKind::DeviceDown,
-        TAG_DEVICE_UP => SpanKind::DeviceUp,
-        TAG_DRAIN => SpanKind::DrainPhase {
+        Some(SpanTag::Run) => SpanKind::Run,
+        Some(SpanTag::Commit) => SpanKind::Commit,
+        Some(SpanTag::Reject) => SpanKind::Reject,
+        Some(SpanTag::DeviceDown) => SpanKind::DeviceDown,
+        Some(SpanTag::DeviceUp) => SpanKind::DeviceUp,
+        Some(SpanTag::Drain) => SpanKind::DrainPhase {
             begin: payload != 0,
         },
-        TAG_REQUEUE => SpanKind::Requeue,
-        TAG_LINK_DEGRADE => SpanKind::LinkDegrade {
+        Some(SpanTag::Requeue) => SpanKind::Requeue,
+        Some(SpanTag::LinkDegrade) => SpanKind::LinkDegrade {
             multiplier: f64::from_bits(payload),
         },
-        _ => {
+        Some(SpanTag::StageReady) => SpanKind::StageReady {
+            deps: payload as u32,
+        },
+        Some(SpanTag::StageTransfer) => SpanKind::StageTransfer {
+            from: (payload & ((1 << STAGE_FROM_BITS) - 1)) as usize,
+            bytes: payload >> STAGE_FROM_BITS,
+        },
+        Some(SpanTag::SloAdmit) => SpanKind::SloAdmit {
+            class: match payload >> 1 {
+                0 => crate::session::SloClass::Latency,
+                1 => crate::session::SloClass::Standard,
+                _ => crate::session::SloClass::BestEffort,
+            },
+            admitted: payload & 1 != 0,
+        },
+        // QueueBatch/RunCommit returned above; Counter is the remaining
+        // claimed byte, and unclaimed bytes (impossible for a ring packed by
+        // this module) decode as counters for want of anything better —
+        // exactly the pre-enum fallback arm.
+        Some(SpanTag::Counter) | Some(SpanTag::QueueBatch) | Some(SpanTag::RunCommit) | None => {
             let name = match payload & 0xff {
                 0 => CounterName::ReplicaPushed,
                 1 => CounterName::ReplicaDemoted,
@@ -1091,6 +1211,119 @@ mod tests {
             SpanKind::DrainPhase { begin: false }
         ));
         assert!(trace.events().iter().all(|e| e.tile.is_none()));
+    }
+
+    /// The exhaustive-tag contract: every variant's discriminant is unique,
+    /// dense from 0, and survives the byte round trip — so a new span type
+    /// added anywhere but this enum cannot silently collide with an
+    /// existing tag.
+    #[test]
+    fn span_tags_are_unique_dense_and_round_trip() {
+        for (position, &tag) in SpanTag::ALL.iter().enumerate() {
+            assert_eq!(
+                tag as u64, position as u64,
+                "ALL must list tags in discriminant order with no gaps"
+            );
+            assert_eq!(SpanTag::from_byte(tag as u64), Some(tag));
+        }
+        // Bytes past the registry decode to nothing.
+        assert_eq!(SpanTag::from_byte(SpanTag::ALL.len() as u64), None);
+        assert_eq!(SpanTag::from_byte(0xff), None);
+    }
+
+    #[test]
+    fn session_spans_round_trip_through_the_packed_ring() {
+        use crate::session::SloClass;
+        let mut recorder = TraceRecorder::new(TraceConfig::enabled());
+        recorder.record(TraceEvent {
+            time_us: 1.0,
+            dur_us: 0.0,
+            request_id: Some(11),
+            device: 2,
+            tile: None,
+            kind: SpanKind::StageReady { deps: 3 },
+        });
+        recorder.record(TraceEvent {
+            time_us: 2.0,
+            dur_us: 0.0,
+            request_id: Some(11),
+            device: 4,
+            tile: None,
+            kind: SpanKind::StageTransfer {
+                from: 2,
+                bytes: 1 << 40,
+            },
+        });
+        for (class, admitted) in [
+            (SloClass::Latency, true),
+            (SloClass::Standard, true),
+            (SloClass::BestEffort, false),
+        ] {
+            recorder.record(TraceEvent {
+                time_us: 3.0,
+                dur_us: 0.0,
+                request_id: Some(12),
+                device: 0,
+                tile: None,
+                kind: SpanKind::SloAdmit { class, admitted },
+            });
+        }
+        let trace = recorder.finish().unwrap();
+        let events = trace.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].kind.label(), "stage-ready");
+        assert!(matches!(events[0].kind, SpanKind::StageReady { deps: 3 }));
+        assert_eq!(events[0].device, 2);
+        assert_eq!(events[1].kind.label(), "stage-transfer");
+        match events[1].kind {
+            SpanKind::StageTransfer { from, bytes } => {
+                assert_eq!(from, 2);
+                assert_eq!(bytes, 1 << 40);
+            }
+            ref other => panic!("expected a stage transfer, got {other:?}"),
+        }
+        for (event, (class, admitted)) in events[2..].iter().zip([
+            (SloClass::Latency, true),
+            (SloClass::Standard, true),
+            (SloClass::BestEffort, false),
+        ]) {
+            assert_eq!(event.kind.label(), "slo-admit");
+            assert_eq!(
+                event.kind,
+                SpanKind::SloAdmit { class, admitted },
+                "class {class} round trip"
+            );
+        }
+    }
+
+    /// Session spans carry no side-table payloads, so lane absorption must
+    /// pass them through verbatim — the property that lets the sharded
+    /// cluster's merge stage handle them with no special casing.
+    #[test]
+    fn session_spans_absorb_verbatim_from_lane_traces() {
+        let mut lane = TraceRecorder::new(TraceConfig::with_capacity(usize::MAX));
+        lane.record(TraceEvent {
+            time_us: 1.0,
+            dur_us: 0.0,
+            request_id: Some(5),
+            device: 1,
+            tile: None,
+            kind: SpanKind::StageTransfer { from: 0, bytes: 64 },
+        });
+        lane.record(TraceEvent {
+            time_us: 2.0,
+            dur_us: 0.0,
+            request_id: Some(5),
+            device: 1,
+            tile: None,
+            kind: SpanKind::StageReady { deps: 1 },
+        });
+        let lane_trace = lane.finish().unwrap();
+        let mut merged = TraceRecorder::new(TraceConfig::enabled());
+        merged.absorb_lane_record(&lane_trace, 0);
+        merged.absorb_lane_record(&lane_trace, 1);
+        let trace = merged.finish().unwrap();
+        assert_eq!(trace.events(), lane_trace.events());
     }
 
     #[test]

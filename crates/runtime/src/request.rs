@@ -1,5 +1,11 @@
 //! Serving requests: a kernel, the workload to stream through it, and the
 //! arrival/deadline bookkeeping the dispatcher charges against.
+//!
+//! A [`Request`] is also the unit the session tier lowers onto: every stage
+//! of a [`PipelineRequest`](crate::PipelineRequest) becomes one `Request`
+//! (id `(pipeline << 16) | stage` for multi-stage pipelines), so the whole
+//! DAG machinery of [`Cluster::serve_pipelines`](crate::Cluster::serve_pipelines)
+//! rides on the single-request event loop unchanged.
 
 use std::fmt;
 use std::sync::Arc;

@@ -1,0 +1,136 @@
+//! In-order per-session commit over out-of-order stage completion.
+//!
+//! Stages of different pipelines complete in whatever order the fleet's
+//! queues and faults dictate, but each tenant observes its own pipelines
+//! *commit* in submission order — the classic reorder-buffer contract from
+//! in-order-retire processor simulators: results are produced out of order
+//! into the buffer, and retire from the head only when everything older (in
+//! the same session) has retired first.
+//!
+//! [`ReorderBuffer`] is that structure, one logical FIFO per session. The
+//! cluster driver pushes pipelines at submission, marks them finished (or
+//! failed) when their last stage commits (or their fate is sealed by a
+//! reject), and gets back the newly-retirable `(pipeline, commit_us)` pairs —
+//! where `commit_us` is the pipeline's own finish time clamped to never
+//! precede the session's previous commit.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Reorder buffer over pipelines: out-of-order finish, in-order per-session
+/// commit.
+#[derive(Debug, Default)]
+pub struct ReorderBuffer {
+    /// Per-session FIFO of pipeline indices, in submission order.
+    queues: BTreeMap<u64, VecDeque<usize>>,
+    /// Finish time per pipeline index, set when its last stage resolves.
+    finish: Vec<Option<f64>>,
+    /// Last commit time per session — commits are monotone within a session.
+    last_commit: BTreeMap<u64, f64>,
+}
+
+impl ReorderBuffer {
+    /// A buffer sized for `pipelines` entries.
+    pub fn new(pipelines: usize) -> Self {
+        ReorderBuffer {
+            queues: BTreeMap::new(),
+            finish: vec![None; pipelines],
+            last_commit: BTreeMap::new(),
+        }
+    }
+
+    /// Registers `pipeline` (an index chosen by the caller) at the tail of
+    /// `session`'s commit queue. Call in submission order.
+    pub fn push(&mut self, session: u64, pipeline: usize) {
+        self.queues.entry(session).or_default().push_back(pipeline);
+    }
+
+    /// Marks `pipeline` finished at `finish_us` and retires every pipeline
+    /// now unblocked at the head of `session`'s queue, oldest first.
+    /// Returns the retired `(pipeline, commit_us)` pairs; `commit_us` is the
+    /// pipeline's finish clamped to the session's previous commit.
+    pub fn finish(&mut self, session: u64, pipeline: usize, finish_us: f64) -> Vec<(usize, f64)> {
+        debug_assert!(
+            self.finish[pipeline].is_none(),
+            "a pipeline finishes at most once"
+        );
+        self.finish[pipeline] = Some(finish_us);
+        let mut retired = Vec::new();
+        let Some(queue) = self.queues.get_mut(&session) else {
+            return retired;
+        };
+        while let Some(&head) = queue.front() {
+            let Some(own_finish) = self.finish[head] else {
+                break;
+            };
+            queue.pop_front();
+            let previous = self.last_commit.get(&session).copied().unwrap_or(0.0);
+            let commit_us = own_finish.max(previous);
+            self.last_commit.insert(session, commit_us);
+            retired.push((head, commit_us));
+        }
+        retired
+    }
+
+    /// Pipelines still waiting to retire (unfinished, or finished but
+    /// blocked behind an older unfinished pipeline of the same session).
+    pub fn in_flight(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+}
+
+/// The weighted-fair queue share of one session under an admission limit:
+/// `limit × weight / total_weight`, floored but never below 1 — every
+/// session can always hold at least one waiting stage, and a latency-class
+/// session (weight 4) holds 4× the queue space of a best-effort one
+/// (weight 1).
+pub(crate) fn fair_share(limit: usize, weight: u64, total_weight: u64) -> usize {
+    if limit == usize::MAX || total_weight == 0 {
+        return usize::MAX;
+    }
+    let share = (limit as u128 * u128::from(weight)) / u128::from(total_weight);
+    (share as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_finishes_commit_in_submission_order() {
+        let mut rob = ReorderBuffer::new(3);
+        rob.push(1, 0);
+        rob.push(1, 1);
+        rob.push(1, 2);
+        // Pipeline 1 finishes first: nothing retires (0 is still in flight).
+        assert!(rob.finish(1, 1, 50.0).is_empty());
+        assert_eq!(rob.in_flight(), 3);
+        // Pipeline 0 finishes later in virtual time: both retire, and 1's
+        // commit is clamped to 0's — in-order commit, monotone per session.
+        assert_eq!(rob.finish(1, 0, 80.0), vec![(0, 80.0), (1, 80.0)]);
+        assert_eq!(rob.finish(1, 2, 90.0), vec![(2, 90.0)]);
+        assert_eq!(rob.in_flight(), 0);
+    }
+
+    #[test]
+    fn sessions_retire_independently() {
+        let mut rob = ReorderBuffer::new(2);
+        rob.push(1, 0);
+        rob.push(2, 1);
+        // Session 2's pipeline retires immediately; session 1's backlog does
+        // not block it.
+        assert_eq!(rob.finish(2, 1, 10.0), vec![(1, 10.0)]);
+        assert_eq!(rob.finish(1, 0, 30.0), vec![(0, 30.0)]);
+    }
+
+    #[test]
+    fn fair_shares_scale_with_weight_and_never_hit_zero() {
+        // limit 8, weights 4:2:1 over total 7 → shares 4, 2, 1.
+        assert_eq!(fair_share(8, 4, 7), 4);
+        assert_eq!(fair_share(8, 2, 7), 2);
+        assert_eq!(fair_share(8, 1, 7), 1);
+        // A tiny limit still grants every session one slot.
+        assert_eq!(fair_share(1, 1, 7), 1);
+        // No limit → no cap.
+        assert_eq!(fair_share(usize::MAX, 1, 7), usize::MAX);
+    }
+}

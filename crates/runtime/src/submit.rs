@@ -16,6 +16,11 @@
 //! be non-decreasing across `submit` calls (the loop rejects the whole serve
 //! with [`RuntimeError::OutOfOrderArrival`](crate::RuntimeError::OutOfOrderArrival)
 //! otherwise), which is what makes the virtual-time loop deterministic.
+//! Submission order is also the commit order of the session tier: within a
+//! session, [`Cluster::serve_pipelines`](crate::Cluster::serve_pipelines)
+//! retires pipelines through a
+//! [`ReorderBuffer`](crate::ReorderBuffer) in exactly the order they were
+//! submitted, however far out of order their stages complete.
 //! Submission order is also the sequence number the sharded cluster loop
 //! keys its deterministic merge on — though streaming serves themselves
 //! always run the serial loop: [`Cluster::serve_stream`](crate::Cluster::serve_stream)

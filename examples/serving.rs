@@ -1,7 +1,7 @@
 //! Multi-tenant online serving demo: bursty mixed-kernel traffic over the
 //! paper's benchmark suite, streamed into a pool of write-back overlay tiles.
 //!
-//! Seven acts:
+//! Eight acts:
 //!
 //! 1. **Context switches** — the same bursty 6-tenant trace is served with
 //!    kernel-affinity and round-robin dispatch, showing the ~0.25 µs
@@ -38,6 +38,13 @@
 //!    drained gracefully and rejoins warm. Displaced work requeues onto the
 //!    survivors, nothing is lost, and the revived device re-acquires its
 //!    kernels over the link and serves again.
+//! 8. **Sessions & pipelines** — tenants submit three-stage kernel *chains*
+//!    under mixed SLO classes (latency / standard / best effort): stages
+//!    release as their inputs complete, activations are priced when
+//!    consecutive stages cross devices, pipelines commit in submission
+//!    order per session, and a mid-serve kill requeues resident stages
+//!    without re-running finished upstream work — with the latency tier
+//!    holding its deadlines.
 //!
 //! Every outcome of every serve is checked against the DFG reference
 //! evaluator.
@@ -50,8 +57,8 @@ use tm_overlay::runtime::obs::{perfetto_trace_json, validate_chrome_trace};
 use tm_overlay::runtime::{RequestOutcome, SpanKind};
 use tm_overlay::{
     BatchConfig, Benchmark, Cluster, ClusterReport, DispatchPolicy, FaultPlan, FlashCrowd,
-    FuVariant, KernelSpec, ReplicationConfig, Request, RoutePolicy, Runtime, Scenario,
-    ScenarioConfig, ServeReport, TraceConfig, Workload,
+    FuVariant, KernelSpec, PipelineRequest, PipelineStage, ReplicationConfig, Request, RoutePolicy,
+    Runtime, Scenario, ScenarioConfig, ServeReport, Session, SloClass, TraceConfig, Workload,
 };
 
 /// The tenants and their kernels: one benchmark each, with different request
@@ -555,6 +562,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tenants: TENANTS.len(),
         hot_tenant_weight: 4.0,
         churn_period_us: duration_us / 3.0,
+        pipeline_depth: 1,
         seed: 0xBEEF,
     })
     .with_flash_crowd(FlashCrowd {
@@ -658,6 +666,134 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|a| format!("{a:.2}"))
             .collect::<Vec<_>>()
             .join(", "),
+    );
+
+    // ---------------------------------------------------------------- act 8
+    println!("\nact 8: pipelined tenants with SLO classes through a mid-serve kill\n");
+    // Tenants now submit *pipelines* — three-stage kernel chains with
+    // activations flowing between stages — under mixed SLO classes. A
+    // device dies mid-serve and is revived cold: resident stages requeue
+    // onto the survivors, finished upstream stages are never re-run, and
+    // the latency tier holds its deadlines while best effort absorbs the
+    // disruption.
+    let pipeline_horizon_us = 60.0 * service_us;
+    let sessions = [
+        Session::new(0).with_slo(SloClass::Latency),
+        Session::new(1), // standard
+        Session::new(2).with_slo(SloClass::BestEffort),
+    ];
+    let mut pipelines = Vec::new();
+    for i in 0..24u64 {
+        let session = i % 3;
+        let arrival = i as f64 * pipeline_horizon_us / 24.0;
+        // Ids start at 1 so the packed stage ids stay collision-free.
+        let mut pipeline = PipelineRequest::new(i + 1, session).at(arrival);
+        for stage in 0..3usize {
+            let (spec, inputs, blocks) =
+                &tenant_specs[(i as usize + 2 * stage) % tenant_specs.len()];
+            let workload = Workload::random(*inputs, *blocks, i ^ ((stage as u64) << 8));
+            let mut built = PipelineStage::new(spec.clone(), workload).emits(64 * 1024);
+            if stage > 0 {
+                built = built.after(&[stage - 1]);
+            }
+            pipeline = pipeline.stage(built);
+        }
+        if session == 0 {
+            // The latency tier carries a pipeline deadline (attached to the
+            // sink stage, so EDF/slack dispatch sees it).
+            pipeline = pipeline.with_deadline(arrival + 40.0 * service_us);
+        }
+        pipelines.push(pipeline);
+    }
+    let stage_mirror: Vec<Request> = pipelines
+        .iter()
+        .flat_map(|pipeline| {
+            pipeline.stages.iter().enumerate().map(|(index, stage)| {
+                Request::new(
+                    pipeline.stage_request_id(index),
+                    stage.kernel.clone(),
+                    stage.workload.clone(),
+                )
+            })
+        })
+        .collect();
+    let mut pipeline_cluster = Cluster::new(FuVariant::V4, 4, 2)?
+        .with_policy(DispatchPolicy::SlackAware)
+        .with_route_policy(RoutePolicy::PowerOfTwoChoices)
+        .with_fault_plan(
+            FaultPlan::new()
+                .kill(pipeline_horizon_us * 0.35, 3)
+                .revive(pipeline_horizon_us * 0.7, 3),
+        );
+    let piped = pipeline_cluster.serve_pipelines(pipelines.clone(), &sessions)?;
+    verify_outputs(&stage_mirror, piped.cluster.outcomes())?;
+
+    let total_stages: usize = pipelines.iter().map(|p| p.stages.len()).sum();
+    assert_eq!(
+        piped.cluster.outcomes().len() + piped.cluster.rejected().len(),
+        total_stages,
+        "every stage must be accounted for"
+    );
+    assert_eq!(piped.completed(), pipelines.len(), "the kill loses nothing");
+    for outcome in &piped.pipelines {
+        assert!(outcome.commit_us >= outcome.finish_us);
+    }
+    let latency_class = piped.class(SloClass::Latency).expect("latency tier ran");
+    assert_eq!(
+        latency_class.deadline_misses, 0,
+        "the latency tier must hold its (generous) deadlines through the kill"
+    );
+    println!(
+        "--- 4 devices x 2 tiles, slack-aware + power-of-two, kill+revive dev 3: {} \
+         pipelines x 3 stages ---",
+        pipelines.len()
+    );
+    for class in &piped.classes {
+        println!(
+            "{:>12}: {} pipelines, p50 {:.2} us, p99 {:.2} us, {} deadline miss(es)",
+            class.slo.to_string(),
+            class.pipelines,
+            class.p50_latency_us,
+            class.p99_latency_us,
+            class.deadline_misses,
+        );
+    }
+    println!(
+        "stage depths: {}; {} inter-device activation transfer(s), {:.2} us of \
+         activation time",
+        piped
+            .stages
+            .iter()
+            .map(|s| format!("d{} x{} p99 {:.2} us", s.depth, s.served, s.p99_latency_us))
+            .collect::<Vec<_>>()
+            .join(", "),
+        piped.activation_transfers(),
+        piped.pipelines.iter().map(|p| p.transfer_us).sum::<f64>(),
+    );
+
+    // The same serve with stage-affinity routing off: successor stages go
+    // wherever the route policy's hash sends their kernel, paying the
+    // activation transfer on each cross-device edge.
+    let blind = Cluster::new(FuVariant::V4, 4, 2)?
+        .with_policy(DispatchPolicy::SlackAware)
+        .with_route_policy(RoutePolicy::PowerOfTwoChoices)
+        .with_stage_affinity(false)
+        .with_fault_plan(
+            FaultPlan::new()
+                .kill(pipeline_horizon_us * 0.35, 3)
+                .revive(pipeline_horizon_us * 0.7, 3),
+        )
+        .serve_pipelines(pipelines.clone(), &sessions)?;
+    assert!(
+        piped.activation_transfers() < blind.activation_transfers(),
+        "stage affinity must cut activation transfers ({} vs {})",
+        piped.activation_transfers(),
+        blind.activation_transfers()
+    );
+    println!(
+        "stage affinity keeps activations local: {} transfer(s) vs {} affinity-blind",
+        piped.activation_transfers(),
+        blind.activation_transfers(),
     );
 
     println!("\nall outputs match the DFG reference evaluator");

@@ -259,6 +259,7 @@ fn scenario_traffic_survives_a_rolling_upgrade() {
         tenants: 3,
         hot_tenant_weight: 6.0,
         churn_period_us: 150.0,
+        pipeline_depth: 1,
         seed: 42,
     })
     .with_flash_crowd(tm_overlay::FlashCrowd {
