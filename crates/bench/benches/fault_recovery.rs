@@ -1,40 +1,48 @@
 //! Elastic-recovery bench: how fast the cluster's deadline-miss rate
-//! returns to steady state after a device death.
+//! returns to steady state after an outage, and how the same outage reads
+//! on the continuous-telemetry lens (windowed series + SLO burn alert).
 //!
 //! Serves a deadline trace at offered load ρ ≈ 0.6 (against the full
-//! 8-device fleet) twice: once healthy, once with a single mid-trace
-//! [`tm_overlay::FaultPlan`] kill. The killed device's queued and in-flight
-//! work requeues through least-loaded routing onto the seven survivors
-//! (ρ ≈ 0.69 — loaded, still stable), so the modeled deadline-miss rate
-//! spikes at the kill and then drains back down. The bench buckets
-//! completions into fixed virtual-time windows and reports:
+//! 8-device fleet) twice: once healthy, once with a mid-trace
+//! [`tm_overlay::FaultPlan`] outage that kills two devices — a quarter of
+//! the fleet — and revives them later in the trace. The killed devices'
+//! queued and in-flight work requeues through least-loaded routing onto
+//! the six survivors (ρ ≈ 0.8 — loaded, still stable), so the modeled
+//! deadline-miss rate spikes at the kill, settles at the degraded
+//! equilibrium, and returns to the healthy rate after the revive. The
+//! bench buckets completions into fixed virtual-time windows and reports:
 //!
 //! * **steady miss rate** — the healthy serve's deadline-miss fraction
 //!   over its steady window (past the cold-store warm-up transient, before
 //!   arrivals stop);
 //! * **degraded miss rate** — the same measure on a reference serve whose
-//!   device is dead from t = 0: the *surviving fleet's* steady state. A
-//!   kill permanently removes an eighth of the capacity, so this — not the
-//!   healthy rate — is the equilibrium the fleet recovers *to*; the
-//!   transient above it is what recovery measures;
+//!   two devices are dead from t = 0: the six-survivor steady state the
+//!   outage trends toward while it lasts;
 //! * **peak miss rate** — the worst post-kill window (the spike the
 //!   requeue storm causes);
-//! * **recovery µs** — virtual time from the kill to the first window
+//! * **recovery µs** — virtual time from the revive to the first window
 //!   after which every later window's (3-window-smoothed) miss rate stays
-//!   within 10 points of the degraded steady state.
+//!   within 10 points of the healthy steady state: how fast the restored
+//!   fleet drains the outage backlog.
 //!
 //! Windows past the last arrival are excluded from the recovery check: the
 //! drain phase's final stragglers are the requests that queued longest, a
 //! self-selected near-certain-miss population in both the healthy and the
 //! faulty serve, not a load the fleet is recovering under.
 //!
-//! Acceptance: the miss rate must recover within a bounded virtual-time
-//! window — a quarter of the faulty serve's makespan — and nothing may be
-//! lost (completions + rejects = submissions, the suite's zero-loss
-//! invariant, re-checked here on the bench trace).
+//! The faulty serve also runs with windowed telemetry and a Standard-class
+//! SLO objective, so the outage traces a burn-alert arc on the virtual
+//! timeline: the alert fires within one telemetry window of the kill,
+//! stays active while capacity is missing, and clears after the revive.
 //!
-//! Output: a window table on stdout plus a `fault_recovery` section spliced
-//! into `BENCH_runtime.json`.
+//! Acceptance: the miss rate must recover within a bounded virtual-time
+//! window — a quarter of the faulty serve's makespan — nothing may be
+//! lost (completions + rejects = submissions, the suite's zero-loss
+//! invariant, re-checked here on the bench trace), and the burn alert
+//! must fire within one window of the kill and clear after the revive.
+//!
+//! Output: window tables (miss-rate curve and burn samples) on stdout plus
+//! a `fault_recovery` section spliced into `BENCH_runtime.json`.
 //!
 //! Environment:
 //! * `BENCH_FAST=1` — CI mode: fewer requests, same fleet and windowing.
@@ -44,7 +52,7 @@ use std::fmt::Write as _;
 
 use tm_overlay::{
     Benchmark, Cluster, ClusterReport, FaultPlan, FuVariant, KernelSpec, Request, RoutePolicy,
-    Runtime, Workload,
+    Runtime, SloClass, SloConfig, SloObjective, TelemetryConfig, Workload,
 };
 
 const DEVICES: usize = 8;
@@ -60,6 +68,28 @@ const WINDOWS: usize = 64;
 /// A post-kill window counts as recovered when its miss rate is within
 /// this many points of the steady-state rate.
 const TOLERANCE: f64 = 0.10;
+/// When the killed devices come back (fraction of the healthy makespan):
+/// late enough that the fleet has settled into the six-survivor
+/// equilibrium, early enough that arrivals are still flowing when capacity
+/// returns.
+const REVIVE_FRACTION: f64 = 0.7;
+/// Telemetry window width in units of the modeled service time. Sizing the
+/// window off the service time (not the makespan) keeps the SLO story
+/// mode-invariant: displaced work needs ~2 service times to drain through
+/// the survivors, so a 4-service window books the kill's miss spike within
+/// one window of the kill in fast and full mode alike, while averaging
+/// enough completions (~300) that steady-state noise stays under budget.
+const SLO_WINDOW_SERVICES: f64 = 4.0;
+/// Standard-class SLO budget: the sustained deadline miss-rate allowed.
+/// Deliberately between the healthy steady rate (~0.06, window noise up to
+/// ~0.09) and the six-survivor equilibrium (~0.13 and up): the kill fires
+/// the burn alert, the alert stays active while a quarter of the capacity
+/// is missing, and the revive clears it — the continuous-telemetry arc of
+/// the same outage the miss-rate curve charts.
+const SLO_TARGET: f64 = 0.105;
+/// Fast/slow trailing spans for the burn alert (telemetry windows).
+const SLO_FAST_WINDOWS: usize = 1;
+const SLO_SLOW_WINDOWS: usize = 2;
 
 /// The deadline trace: `count` requests cycling through six kernels with
 /// workloads from a small per-kernel pool, one arrival every `spacing_us`,
@@ -168,11 +198,12 @@ fn main() {
         last_arrival_us,
     );
 
-    // The degraded reference: the same trace on a fleet whose device 0 is
-    // dead from the start — no displaced backlog, just seven devices. Its
-    // steady rate is the equilibrium the faulty serve must return to.
+    // The degraded reference: the same trace on a fleet whose devices 0
+    // and 1 are dead from the start — no displaced backlog, just six
+    // devices. Its steady rate is the equilibrium the faulty serve holds
+    // while the outage lasts.
     let reference = fleet()
-        .with_fault_plan(FaultPlan::new().kill(0.0, 0))
+        .with_fault_plan(FaultPlan::new().kill(0.0, 0).kill(0.0, 1))
         .serve(requests.clone())
         .unwrap();
     let degraded_rate = miss_rate_in(
@@ -181,10 +212,32 @@ fn main() {
         last_arrival_us,
     );
 
-    // Kill one device 40% into the healthy makespan — deep enough that the
-    // fleet is in steady state, early enough that the tail shows recovery.
+    // Kill two devices 40% into the healthy makespan — deep enough that
+    // the fleet is in steady state, early enough that the tail shows
+    // recovery — and revive them at REVIVE_FRACTION.
     let kill_at = healthy.metrics().makespan_us * 0.4;
-    let mut faulty = fleet().with_fault_plan(FaultPlan::new().kill(kill_at, 0));
+    let revive_at = healthy.metrics().makespan_us * REVIVE_FRACTION;
+    // The faulty serve also runs the continuous-telemetry lens: a windowed
+    // series (service-time-sized windows) plus a Standard-class burn-rate
+    // objective, so the outage shows up as an SLO alert arc on the virtual
+    // timeline — fired at the kill, burning through the degraded stretch,
+    // cleared once the revive restores the killed pair.
+    let telemetry_window_us = SLO_WINDOW_SERVICES * service_us;
+    let mut faulty = fleet()
+        .with_fault_plan(
+            FaultPlan::new()
+                .kill(kill_at, 0)
+                .kill(kill_at, 1)
+                .revive(revive_at, 0)
+                .revive(revive_at, 1),
+        )
+        .with_telemetry(TelemetryConfig::windowed(telemetry_window_us))
+        .with_slo(
+            SloConfig::disabled().with_objective(
+                SloObjective::new(SloClass::Standard, SLO_TARGET)
+                    .with_windows(SLO_FAST_WINDOWS, SLO_SLOW_WINDOWS),
+            ),
+        );
     let report = faulty.serve(requests.clone()).unwrap();
 
     // Zero loss on the bench trace: everything submitted is accounted for.
@@ -212,16 +265,19 @@ fn main() {
         })
         .collect();
 
-    // Recovery: the first post-kill window after which every later loaded,
-    // non-empty window stays within TOLERANCE of the degraded steady rate.
-    let recovered_window = (kill_window..loaded_windows).find(|&w| {
+    // Recovery: the first at-or-after-revive window after which every
+    // later loaded, non-empty window stays within TOLERANCE of the healthy
+    // steady rate — how fast the restored fleet drains the outage backlog
+    // and returns to its pre-outage equilibrium.
+    let revive_window = ((revive_at / width_us) as usize).min(WINDOWS - 1);
+    let recovered_window = (revive_window..loaded_windows).find(|&w| {
         smoothed[w..loaded_windows]
             .iter()
             .flatten()
-            .all(|&rate| rate <= degraded_rate + TOLERANCE)
+            .all(|&rate| rate <= steady_rate + TOLERANCE)
     });
     let recovery_us = recovered_window
-        .map(|w| (w as f64 * width_us - kill_at).max(0.0))
+        .map(|w| (w as f64 * width_us - revive_at).max(0.0))
         .unwrap_or(f64::INFINITY);
     let peak_rate = curve[kill_window..loaded_windows]
         .iter()
@@ -230,13 +286,42 @@ fn main() {
     let bound_us = makespan_us * 0.25;
     let pass = recovery_us <= bound_us;
 
+    // The telemetry lens on the same outage: the burn alert must fire
+    // within one telemetry window of the kill and clear only after the
+    // revive restores capacity. (The cold-store warm-up transient may fire
+    // and clear its own early alert; the outage story is the first alert at
+    // or after the kill.)
+    let series = report.telemetry().expect("telemetry was enabled");
+    let slo = report.slo().expect("an SLO objective was configured");
+    let status = slo
+        .class(SloClass::Standard)
+        .expect("the standard class is tracked");
+    let tele_kill_window = (kill_at / series.window_us) as usize;
+    let alert = *status
+        .alerts
+        .iter()
+        .find(|alert| alert.fired_us >= kill_at)
+        .expect("the kill must burn the error budget");
+    assert!(
+        alert.fired_window <= tele_kill_window + 1,
+        "burn alert fired in window {} but the kill landed in window {tele_kill_window}",
+        alert.fired_window
+    );
+    let cleared_us = alert
+        .cleared_us
+        .expect("the outage alert never cleared: the revive did not show on the telemetry lens");
+    assert!(
+        cleared_us > revive_at,
+        "the outage alert cleared at {cleared_us:.2} us, before the revive at {revive_at:.2} us"
+    );
+
     println!(
         "fault_recovery: {DEVICES}x{TILES_PER_DEVICE} tiles, {count} requests, rho {RHO}, \
          service ~{service_us:.3} us, deadline {DEADLINE_BUDGETS}x ({} mode)",
         if fast { "fast" } else { "full" }
     );
     println!(
-        "steady miss rate {:.4} (healthy) / {:.4} (7 survivors), kill at {kill_at:.1} us \
+        "steady miss rate {:.4} (healthy) / {:.4} (6 survivors), kill at {kill_at:.1} us \
          (window {kill_window}), peak post-kill {:.4}",
         steady_rate, degraded_rate, peak_rate
     );
@@ -250,6 +335,30 @@ fn main() {
         report.lost_work_us(),
         report.availability()[0]
     );
+    println!(
+        "slo: target {SLO_TARGET}, outage alert fired window {} ({:.1} us), cleared window {} \
+         ({:.1} us, revive at {revive_at:.1} us), peak fast burn {:.2}x, budget consumed {:.2}x",
+        alert.fired_window,
+        alert.fired_us,
+        alert.cleared_window.unwrap(),
+        cleared_us,
+        alert.peak_fast_burn,
+        status.budget_consumed
+    );
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>10}",
+        "tele-w", "ends us", "miss rate", "fast burn", "alerting"
+    );
+    for sample in &status.samples {
+        println!(
+            "{:>7} {:>10.1} {:>10.4} {:>10.2} {:>10}",
+            sample.window,
+            sample.time_us,
+            series.windows[sample.window].miss_rate(),
+            sample.fast_burn,
+            if sample.alerting { "*" } else { "" }
+        );
+    }
     println!("{:>7} {:>10} {:>10}", "window", "ends us", "miss rate");
     for (w, rate) in curve.iter().enumerate() {
         if w + 1 >= kill_window && w < kill_window + 12 {
@@ -283,8 +392,9 @@ fn main() {
     let _ = writeln!(json, "  \"deadline_budget_us\": {budget_us:.3},");
     let _ = writeln!(json, "  \"windows\": {WINDOWS},");
     let _ = writeln!(json, "  \"window_us\": {width_us:.2},");
-    let _ = writeln!(json, "  \"kill_device\": 0,");
+    let _ = writeln!(json, "  \"killed_devices\": [0, 1],");
     let _ = writeln!(json, "  \"kill_at_us\": {kill_at:.2},");
+    let _ = writeln!(json, "  \"revive_at_us\": {revive_at:.2},");
     let _ = writeln!(json, "  \"makespan_us\": {makespan_us:.2},");
     let _ = writeln!(json, "  \"steady_miss_rate\": {steady_rate:.4},");
     let _ = writeln!(json, "  \"degraded_steady_miss_rate\": {degraded_rate:.4},");
@@ -300,6 +410,50 @@ fn main() {
             .map(|a| format!("{a:.4}"))
             .collect::<Vec<_>>()
             .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {{\"window_us\": {:.4}, \"windows\": {}, \"kill_window\": \
+         {tele_kill_window}, \"miss_rate_series\": [{}], \"peak_queue_depth_series\": [{}]}},",
+        series.window_us,
+        series.windows.len(),
+        series
+            .miss_rates()
+            .iter()
+            .map(|rate| format!("{rate:.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        series
+            .windows
+            .iter()
+            .map(|w| w.peak_queue_depth.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let alerts_json = status
+        .alerts
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"fired_window\": {}, \"fired_us\": {:.2}, \"cleared_window\": {}, \
+                 \"cleared_us\": {}, \"peak_fast_burn\": {:.3}}}",
+                a.fired_window,
+                a.fired_us,
+                a.cleared_window
+                    .map_or("null".to_owned(), |w| w.to_string()),
+                a.cleared_us
+                    .map_or("null".to_owned(), |t| format!("{t:.2}")),
+                a.peak_fast_burn
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        json,
+        "  \"slo\": {{\"class\": \"standard\", \"target_miss_rate\": {SLO_TARGET}, \
+         \"fast_windows\": {SLO_FAST_WINDOWS}, \"slow_windows\": {SLO_SLOW_WINDOWS}, \
+         \"budget_consumed\": {:.3}, \"alerts\": [{alerts_json}]}},",
+        status.budget_consumed
     );
     let _ = writeln!(
         json,

@@ -17,8 +17,15 @@
 //!   recorder, no serve around it (the mechanistic floor).
 //! * `MODE=null`  — control: the "traced" slot is a second untraced
 //!   runtime, so the reported overhead is the methodology's noise floor.
+//! * `MODE=telemetry` — the instrumented slot runs windowed telemetry
+//!   instead of tracing. `WINDOW_US=<w>` sets the window width (default
+//!   2.6), `SLO=0` drops the burn-rate objective to isolate the
+//!   time-series accumulation from the SLO evaluation epilogue.
 use std::time::Instant;
-use tm_overlay::{DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, TraceConfig, Workload};
+use tm_overlay::{
+    DispatchPolicy, FuVariant, KernelSpec, Request, Runtime, SloClass, SloConfig, SloObjective,
+    TelemetryConfig, TraceConfig, Workload,
+};
 
 fn trace(count: usize, spacing_us: f64) -> Vec<Request> {
     let spec = KernelSpec::from_source(
@@ -88,21 +95,112 @@ fn main() {
         );
         return;
     }
+    if std::env::var("MODE").as_deref() == Ok("stages") {
+        // Attribution mode: serve plain and telemetered with the stage
+        // profiler on and print where the extra host time books. Whatever
+        // the per-stage probes do not cover (the report epilogue — series
+        // assembly, SLO evaluation) shows up in the wall-minus-stages line.
+        use tm_overlay::runtime::obs::Stage;
+        let window_us: f64 = std::env::var("WINDOW_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2.6);
+        let requests = trace(1024, 0.02);
+        let mut sides = [
+            Runtime::new(FuVariant::V4, 64)
+                .unwrap()
+                .with_policy(DispatchPolicy::KernelAffinity)
+                .with_profiling(true),
+            Runtime::new(FuVariant::V4, 64)
+                .unwrap()
+                .with_policy(DispatchPolicy::KernelAffinity)
+                .with_profiling(true)
+                .with_telemetry(TelemetryConfig::windowed(window_us))
+                .with_slo(
+                    SloConfig::disabled()
+                        .with_objective(SloObjective::new(SloClass::Standard, 0.05)),
+                ),
+        ];
+        let mut stage_best = [[f64::INFINITY; 2]; 6];
+        let mut wall_best = [f64::INFINITY; 2];
+        for rep in 0..=reps {
+            for (slot, runtime) in sides.iter_mut().enumerate() {
+                let copy = requests.to_vec();
+                let start = Instant::now();
+                let report = runtime.serve(copy).unwrap();
+                let wall = start.elapsed().as_nanos() as f64;
+                if rep == 0 {
+                    continue;
+                }
+                let profile = report.profile().expect("profiling is on");
+                let mut covered = 0u64;
+                for (row, stage) in Stage::ALL.iter().enumerate() {
+                    let ns = profile.nanos(*stage);
+                    covered += ns;
+                    stage_best[row][slot] = stage_best[row][slot].min(ns as f64);
+                }
+                stage_best[5][slot] = stage_best[5][slot].min(wall - covered as f64);
+                wall_best[slot] = wall_best[slot].min(wall);
+            }
+        }
+        println!(
+            "stage attribution at window {window_us} us (best-of-{reps} ns, plain vs telemetered):"
+        );
+        let labels = [
+            "scan",
+            "route",
+            "sim",
+            "memo",
+            "bookkeeping",
+            "wall-minus-stages",
+        ];
+        for (row, label) in labels.iter().enumerate() {
+            println!(
+                "  {label:>18}: {:>9.0} -> {:>9.0}  ({:>+8.0})",
+                stage_best[row][0],
+                stage_best[row][1],
+                stage_best[row][1] - stage_best[row][0]
+            );
+        }
+        println!(
+            "  {:>18}: {:>9.0} -> {:>9.0}  ({:>+8.0})",
+            "wall",
+            wall_best[0],
+            wall_best[1],
+            wall_best[1] - wall_best[0]
+        );
+        return;
+    }
     let requests = trace(1024, 0.02);
     let mut plain = Runtime::new(FuVariant::V4, 64)
         .unwrap()
         .with_policy(DispatchPolicy::KernelAffinity);
     // MODE=null measures the noise floor: the "traced" slot is a second
     // identical untraced runtime, so any reported overhead is pure
-    // environment/methodology noise.
+    // environment/methodology noise. MODE=telemetry points the probe at
+    // the windowed time-series hooks instead of the trace recorder.
+    let mode = std::env::var("MODE").unwrap_or_default();
     let mut traced = Runtime::new(FuVariant::V4, 64)
         .unwrap()
-        .with_policy(DispatchPolicy::KernelAffinity)
-        .with_tracing(if std::env::var("MODE").as_deref() == Ok("null") {
-            TraceConfig::disabled()
-        } else {
-            TraceConfig::with_capacity(cap)
-        });
+        .with_policy(DispatchPolicy::KernelAffinity);
+    traced = match mode.as_str() {
+        "null" => traced.with_tracing(TraceConfig::disabled()),
+        "telemetry" => {
+            let window_us: f64 = std::env::var("WINDOW_US")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2.6);
+            let slo = if std::env::var("SLO").as_deref() == Ok("0") {
+                SloConfig::disabled()
+            } else {
+                SloConfig::disabled().with_objective(SloObjective::new(SloClass::Standard, 0.05))
+            };
+            traced
+                .with_telemetry(TelemetryConfig::windowed(window_us))
+                .with_slo(slo)
+        }
+        _ => traced.with_tracing(TraceConfig::with_capacity(cap)),
+    };
     let mut best = [f64::INFINITY; 2];
     let mut ratios = Vec::new();
     for rep in 0..=reps {

@@ -454,9 +454,15 @@ pub const BENCH_JSON_SCHEMA: u64 = 2;
 /// (no surrounding braces, no trailing comma); unknown values degrade to
 /// `"unknown"` / 0 rather than failing the bench.
 pub fn provenance_json_fields() -> String {
-    let host = std::env::var("HOSTNAME")
-        .or_else(|_| std::env::var("HOST"))
-        .unwrap_or_else(|_| "unknown".to_owned());
+    // `/etc/hostname` first — the env fallbacks are login-shell variables
+    // CI runners and containers rarely export.
+    let host = std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|name| name.trim().to_owned())
+        .filter(|name| !name.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .or_else(|| std::env::var("HOST").ok())
+        .unwrap_or_else(|| "unknown".to_owned());
     let timestamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|elapsed| elapsed.as_secs())

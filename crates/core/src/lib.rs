@@ -122,12 +122,13 @@ pub use report::{compare_variants, VariantResult};
 pub use overlay_arch::{FuVariant, OverlayConfig};
 pub use overlay_frontend::Benchmark;
 pub use overlay_runtime::{
-    BatchConfig, BatchStats, ClassMetrics, Cluster, ClusterReport, DeviceMetrics, DispatchPolicy,
-    FaultEvent, FaultKind, FaultPlan, FlashCrowd, KernelSpec, LogHistogram, PipelineOutcome,
-    PipelineReport, PipelineRequest, PipelineStage, ProfileStats, ReplicationConfig,
-    ReplicationStats, Request, RoutePolicy, Runtime, RuntimeMetrics, ScanMode, Scenario,
-    ScenarioArrival, ScenarioConfig, ServeReport, Session, SloClass, StageMetrics, SubmitError,
-    Submitter, Trace, TraceConfig, TransferModel,
+    explain, Attribution, AttributionReport, BatchConfig, BatchStats, BurnAlert, ClassMetrics,
+    Cluster, ClusterReport, DeviceMetrics, DispatchPolicy, FaultEvent, FaultKind, FaultPlan,
+    FlashCrowd, KernelSpec, LogHistogram, PipelineOutcome, PipelineReport, PipelineRequest,
+    PipelineStage, ProfileStats, ReplicationConfig, ReplicationStats, Request, RoutePolicy,
+    Runtime, RuntimeMetrics, ScanMode, Scenario, ScenarioArrival, ScenarioConfig, ServeReport,
+    Session, SloClass, SloConfig, SloObjective, SloReport, StageMetrics, SubmitError, Submitter,
+    TelemetryConfig, TimeSeries, Trace, TraceConfig, TransferModel,
 };
 pub use overlay_scheduler::CompiledKernel;
 pub use overlay_sim::{SimRun, Workload};

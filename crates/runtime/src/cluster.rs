@@ -187,6 +187,8 @@ pub struct ClusterReport {
     replication: ReplicationStats,
     trace: Option<obs::Trace>,
     profile: Option<obs::ProfileStats>,
+    telemetry: Option<obs::TimeSeries>,
+    slo: Option<obs::SloReport>,
 }
 
 impl ClusterReport {
@@ -279,6 +281,19 @@ impl ClusterReport {
     pub fn profile(&self) -> Option<&obs::ProfileStats> {
         self.profile.as_ref()
     }
+
+    /// The windowed time-series over the serve's virtual timeline, when the
+    /// serve ran with [`Cluster::with_telemetry`] enabled.
+    pub fn telemetry(&self) -> Option<&obs::TimeSeries> {
+        self.telemetry.as_ref()
+    }
+
+    /// SLO burn-rate evaluation of the telemetry series, when the serve ran
+    /// with both [`Cluster::with_telemetry`] and [`Cluster::with_slo`]
+    /// enabled.
+    pub fn slo(&self) -> Option<&obs::SloReport> {
+        self.slo.as_ref()
+    }
 }
 
 /// Mutable event-loop state (the cluster mirror of the runtime's
@@ -345,6 +360,14 @@ struct ClusterState<'a> {
     /// zero (and bitwise-free at the charge sites) without a session
     /// driver.
     activation_us: Vec<f64>,
+    /// Per device: the windowed-telemetry lane partition (inert at the
+    /// default disabled config). Request commits accumulate in per-device
+    /// serial order — identical between this loop and the device's shard
+    /// lane, the bitwise sharded-equivalence property.
+    lane_series: Vec<obs::LaneSeries>,
+    /// The cross-device queue-depth integral, accumulated in serial event
+    /// order (the sharded loop replays it in its commit stage).
+    global_series: obs::GlobalSeries,
 }
 
 /// What the cluster event loop hands back for aggregation.
@@ -364,6 +387,8 @@ struct ClusterLoopOutput {
     profile: Option<obs::ProfileStats>,
     queue_depth_hist: obs::LogHistogram,
     device_latency_hists: Vec<obs::LogHistogram>,
+    telemetry: Option<obs::TimeSeries>,
+    slo: Option<obs::SloReport>,
 }
 
 /// A multi-device serving cluster over one overlay variant.
@@ -417,6 +442,10 @@ pub struct Cluster {
     /// The session driver staged for (and recovered from) the event loop
     /// on a pipeline serve. Always `None` between serves.
     session_driver: Option<SessionDriver>,
+    /// Windowed-telemetry configuration (off by default).
+    telemetry: obs::TelemetryConfig,
+    /// SLO burn-rate objectives (off by default; needs telemetry).
+    slo: obs::SloConfig,
 }
 
 impl Cluster {
@@ -474,6 +503,8 @@ impl Cluster {
             fault: None,
             stage_affinity: true,
             session_driver: None,
+            telemetry: obs::TelemetryConfig::disabled(),
+            slo: obs::SloConfig::disabled(),
         };
         cluster.rebuild_load_index();
         Ok(cluster)
@@ -583,6 +614,28 @@ impl Cluster {
     #[must_use]
     pub fn with_profiling(mut self, enabled: bool) -> Self {
         self.profiling = enabled;
+        self
+    }
+
+    /// Configures windowed telemetry (same semantics as
+    /// [`Runtime::with_telemetry`]): disabled by default, and disabled is
+    /// bitwise-free. The [`TimeSeries`](obs::TimeSeries) comes back on
+    /// [`ClusterReport::telemetry`], accumulated identically by the serial
+    /// and sharded ([`Cluster::with_threads`]) loops.
+    #[must_use]
+    pub fn with_telemetry(mut self, config: obs::TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
+    }
+
+    /// Configures SLO burn-rate objectives (same semantics as
+    /// [`Runtime::with_slo`]; needs [`Cluster::with_telemetry`]). The
+    /// tracking comes back on [`ClusterReport::slo`], with burn alerts
+    /// recorded as [`SloBurn`](obs::SpanKind::SloBurn) /
+    /// [`SloClear`](obs::SpanKind::SloClear) trace spans when tracing is on.
+    #[must_use]
+    pub fn with_slo(mut self, config: obs::SloConfig) -> Self {
+        self.slo = config;
         self
     }
 
@@ -1337,7 +1390,7 @@ impl Cluster {
     /// serve.
     fn reject_unroutable(
         &self,
-        _index: usize,
+        index: usize,
         info: &InFlight,
         now_us: f64,
         state: &mut ClusterState<'_>,
@@ -1352,6 +1405,13 @@ impl Cluster {
                 kind: obs::SpanKind::Reject,
             });
         }
+        // No device to blame, so the shed lands in lane 0 of the telemetry
+        // series; window aggregates sum across lanes either way.
+        let class = state
+            .session
+            .as_ref()
+            .map_or(SloClass::Standard, |driver| driver.slo_of(index));
+        state.lane_series[0].note_reject(class, now_us);
         state.rejected.push(RejectedRequest {
             id: info.request.id,
             kernel: info.request.kernel.shared_name(),
@@ -1814,6 +1874,8 @@ impl Cluster {
             replication: output.replication,
             trace: output.trace,
             profile: output.profile,
+            telemetry: output.telemetry,
+            slo: output.slo,
             outcomes: output.outcomes,
             rejected: output.rejected,
             metrics,
@@ -1878,6 +1940,10 @@ impl Cluster {
             pending_free: vec![None; total_tiles],
             session: self.session_driver.take(),
             activation_us: Vec::new(),
+            lane_series: (0..devices)
+                .map(|_| obs::LaneSeries::new(self.telemetry))
+                .collect(),
+            global_series: obs::GlobalSeries::new(self.telemetry),
         };
         // Arm the fault schedule: pre-pushed at virtual time zero, the
         // fault events hold the lowest sequence numbers and therefore fire
@@ -1970,6 +2036,9 @@ impl Cluster {
             let waiting = self.waiting_count();
             state.queue_area_us += waiting as f64 * (now_us - state.last_event_us);
             state.queue_depth_hist.record(waiting as f64);
+            state
+                .global_series
+                .note_queue(state.last_event_us, now_us, waiting);
             state.last_event_us = now_us;
             state.profiler.end(obs::Stage::Bookkeeping, bookkeeping);
 
@@ -2089,6 +2158,13 @@ impl Cluster {
                             deadline_us: info.request.deadline_us,
                         });
                         state.device_rejects[device] += 1;
+                        state.lane_series[device].note_reject(
+                            state
+                                .session
+                                .as_ref()
+                                .map_or(SloClass::Standard, |driver| driver.slo_of(index)),
+                            now_us,
+                        );
                         self.cascade_stage_reject(index, now_us, &intake, &mut state);
                         continue;
                     }
@@ -2236,7 +2312,24 @@ impl Cluster {
             intake.len(),
             "every submitted request is either served or rejected"
         );
+        let telemetry = self.telemetry.is_enabled().then(|| {
+            obs::TimeSeries::assemble(
+                self.telemetry,
+                state.last_event_us,
+                self.devices.len() * self.tiles_per_device,
+                &state.global_series,
+                &state.lane_series,
+            )
+        });
         let mut recorder = state.recorder;
+        let slo = match (&telemetry, self.slo.is_enabled()) {
+            (Some(series), true) => {
+                let report = obs::evaluate_slo(series, &self.slo);
+                obs::record_burn_spans(&mut recorder, &report);
+                Some(report)
+            }
+            _ => None,
+        };
         let trace = recorder.finish();
         // Hand the drained recorder (and its warm ring allocation) back to
         // the cluster for the next serve, and the session driver back to
@@ -2259,6 +2352,8 @@ impl Cluster {
             profile: state.profiler.finish(),
             queue_depth_hist: state.queue_depth_hist,
             device_latency_hists: state.device_latency_hists,
+            telemetry,
+            slo,
         })
     }
 
@@ -2384,12 +2479,28 @@ impl Cluster {
                 info,
                 &charged,
                 acquire,
+                state.activation_us[index],
                 state
                     .batcher
                     .run_len(device * self.tiles_per_device + local_tile),
             );
         }
         state.device_latency_hists[device].record(charged.completion_us - info.request.arrival_us);
+        let missed_deadline = info
+            .request
+            .deadline_us
+            .is_some_and(|deadline| charged.completion_us > deadline);
+        state.lane_series[device].note_start(
+            state
+                .session
+                .as_ref()
+                .map_or(SloClass::Standard, |driver| driver.slo_of(index)),
+            charged.start_us,
+            charged.completion_us,
+            charged.completion_us - info.request.arrival_us,
+            missed_deadline,
+            charged.switched && state.acquire_src[index].0 == "transfer",
+        );
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,
@@ -2404,9 +2515,7 @@ impl Cluster {
             latency_us: charged.completion_us - request.arrival_us,
             switched: charged.switched,
             deadline_us: request.deadline_us,
-            missed_deadline: request
-                .deadline_us
-                .is_some_and(|deadline| charged.completion_us > deadline),
+            missed_deadline,
         });
         if self.fault.is_some() || state.session.is_some() {
             // Kills must know what to abandon, and stale completions of

@@ -62,6 +62,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::metrics::{BatchStats, ReplicationStats};
 use crate::obs;
 use crate::route::{cheapest_acquisition, kernel_home, Acquisition, TransferModel};
+use crate::session::SloClass;
 use crate::{
     prepare_request, record_request_spans, BatchConfig, DispatchPolicy, DispatchRequest, InFlight,
     KernelKey, PrepContext, Request, RequestOutcome, Runtime, RuntimeError, SimJob, SimMemo,
@@ -80,6 +81,7 @@ struct LaneCtx<'a> {
     route_label: &'static str,
     tracing: obs::TraceConfig,
     profiling: bool,
+    telemetry: obs::TelemetryConfig,
     variant: FuVariant,
     /// The global intake, indexed by submission order — lanes address
     /// requests by their global index throughout, so no translation happens
@@ -118,6 +120,9 @@ struct LaneOutput {
     transfers: (usize, u64),
     latency_hist: obs::LogHistogram,
     profile: Option<obs::ProfileStats>,
+    /// The lane's telemetry partition, accumulated in per-device commit
+    /// order — exactly what the serial loop's `lane_series[device]` holds.
+    series: obs::LaneSeries,
     /// The first failure, tagged with the submission index being started.
     error: Option<(usize, RuntimeError)>,
 }
@@ -139,6 +144,7 @@ struct LaneState<'a> {
     peak_queue: usize,
     host_loads: usize,
     transfers: (usize, u64),
+    series: obs::LaneSeries,
 }
 
 impl Cluster {
@@ -178,6 +184,8 @@ impl Cluster {
             replication: output.replication,
             trace: output.trace,
             profile: output.profile,
+            telemetry: output.telemetry,
+            slo: output.slo,
             outcomes: output.outcomes,
             rejected: output.rejected,
             metrics,
@@ -253,6 +261,7 @@ impl Cluster {
             route_label: self.route.label(),
             tracing: self.tracing,
             profiling: self.profiling,
+            telemetry: self.telemetry,
             variant: self.variant(),
             intake: &intake,
             homes: &homes,
@@ -347,6 +356,10 @@ impl Cluster {
         let mut profiler = obs::StageProfiler::new(self.profiling);
         let mut events = EventQueue::new();
         let mut queue_depth_hist = obs::LogHistogram::new();
+        // The replay walks the serial event order, so the cross-device
+        // queue integral accumulates in exactly the serial sequence — the
+        // assembled series is bitwise the serial loop's.
+        let mut global_series = obs::GlobalSeries::new(self.telemetry);
         let mut waiting = 0usize;
         let mut peak_queue_depth = 0usize;
         let mut queue_area_us = 0.0_f64;
@@ -391,6 +404,7 @@ impl Cluster {
             let bookkeeping = profiler.begin();
             queue_area_us += waiting as f64 * (now_us - last_event_us);
             queue_depth_hist.record(waiting as f64);
+            global_series.note_queue(last_event_us, now_us, waiting);
             last_event_us = now_us;
             profiler.end(obs::Stage::Bookkeeping, bookkeeping);
 
@@ -470,6 +484,25 @@ impl Cluster {
         for lane in lanes.iter() {
             batch.absorb(&lane.batch);
         }
+        let telemetry = self.telemetry.is_enabled().then(|| {
+            let lane_series: Vec<obs::LaneSeries> =
+                lanes.iter().map(|lane| lane.series.clone()).collect();
+            obs::TimeSeries::assemble(
+                self.telemetry,
+                last_event_us,
+                devices * self.tiles_per_device,
+                &global_series,
+                &lane_series,
+            )
+        });
+        let slo = match (&telemetry, self.slo.is_enabled()) {
+            (Some(series), true) => {
+                let report = obs::evaluate_slo(series, &self.slo);
+                obs::record_burn_spans(&mut recorder, &report);
+                Some(report)
+            }
+            _ => None,
+        };
         let trace = recorder.finish();
         self.trace_scratch = recorder;
         let profile = profiler.finish().map(|mut stats| {
@@ -496,6 +529,8 @@ impl Cluster {
             profile,
             queue_depth_hist,
             device_latency_hists: lanes.iter().map(|lane| lane.latency_hist.clone()).collect(),
+            telemetry,
+            slo,
         }
     }
 }
@@ -554,6 +589,7 @@ fn run_lane(device: &mut Device, mut memo: SimMemo, ctx: &LaneCtx<'_>) -> LaneOu
             peak_queue: 0,
             host_loads: 0,
             transfers: (0, 0),
+            series: obs::LaneSeries::new(ctx.telemetry),
         };
         for _ in 0..requests {
             state.sim.push_slot();
@@ -571,6 +607,7 @@ fn run_lane(device: &mut Device, mut memo: SimMemo, ctx: &LaneCtx<'_>) -> LaneOu
             transfers: state.transfers,
             latency_hist: state.latency_hist,
             profile: state.profiler.finish(),
+            series: state.series,
             error,
         }
     });
@@ -872,12 +909,25 @@ fn lane_start_request(
             info,
             &charged,
             acquire,
+            // Sessions (and with them activation charges) gate to the
+            // serial loop, so no lane ever pays an activation.
+            0.0,
             state.batcher.run_len(tile),
         );
     }
     state
         .latency_hist
         .record(charged.completion_us - info.request.arrival_us);
+    state.series.note_start(
+        SloClass::Standard,
+        charged.start_us,
+        charged.completion_us,
+        charged.completion_us - info.request.arrival_us,
+        info.request
+            .deadline_us
+            .is_some_and(|deadline| charged.completion_us > deadline),
+        charged.switched && state.acquire_src[index].0 == "transfer",
+    );
     let request = &info.request;
     state.outcome_slots[index] = Some(RequestOutcome {
         request_id: request.id,

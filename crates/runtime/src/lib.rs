@@ -110,7 +110,11 @@ pub mod session;
 pub mod submit;
 
 pub use cache::{CacheStats, KernelCache, KernelKey, SimKey, SimMemo};
-pub use obs::{LogHistogram, ProfileStats, SpanKind, Trace, TraceConfig, TraceEvent};
+pub use obs::{
+    explain, Attribution, AttributionReport, BurnAlert, BurnSample, ClassWindow, LogHistogram,
+    ProfileStats, SloConfig, SloObjective, SloReport, SloStatus, SpanKind, TelemetryConfig,
+    TimeSeries, Trace, TraceConfig, TraceEvent, WindowStats,
+};
 
 use cache::FnvHashMap;
 pub use cluster::{Cluster, ClusterReport, Device};
@@ -215,6 +219,8 @@ pub struct ServeReport {
     metrics: RuntimeMetrics,
     trace: Option<obs::Trace>,
     profile: Option<obs::ProfileStats>,
+    telemetry: Option<obs::TimeSeries>,
+    slo: Option<obs::SloReport>,
 }
 
 impl ServeReport {
@@ -248,6 +254,18 @@ impl ServeReport {
     /// [`Runtime::with_profiling`] enabled.
     pub fn profile(&self) -> Option<&obs::ProfileStats> {
         self.profile.as_ref()
+    }
+
+    /// The windowed telemetry time-series, when the serve ran with
+    /// [`Runtime::with_telemetry`] enabled.
+    pub fn telemetry(&self) -> Option<&obs::TimeSeries> {
+        self.telemetry.as_ref()
+    }
+
+    /// The SLO burn-rate tracking, when the serve ran with both
+    /// [`Runtime::with_telemetry`] and [`Runtime::with_slo`] enabled.
+    pub fn slo(&self) -> Option<&obs::SloReport> {
+        self.slo.as_ref()
     }
 }
 
@@ -414,6 +432,7 @@ pub(crate) fn record_request_spans(
     info: &InFlight,
     charged: &ChargeOutcome,
     acquire: Option<(f64, &'static str, u64)>,
+    activation_us: f64,
     run_len: usize,
 ) {
     let (device, tile) = place;
@@ -450,6 +469,10 @@ pub(crate) fn record_request_spans(
         }
     }
     if charged.switched {
+        if activation_us > 0.0 {
+            recorder.record(span(cursor, activation_us, obs::SpanKind::Activation));
+            cursor += activation_us;
+        }
         let switch_us = info.view.switch_us;
         recorder.record(span(cursor, switch_us, obs::SpanKind::ContextSwitch));
         cursor += switch_us;
@@ -789,6 +812,10 @@ struct OnlineState<'a> {
     latency_hist: obs::LogHistogram,
     /// Online queue-depth histogram, sampled at every event-loop step.
     queue_depth_hist: obs::LogHistogram,
+    /// Windowed telemetry partitions (inert under the default disabled
+    /// config): the single device lane and the queue-integral series.
+    lane_series: obs::LaneSeries,
+    global_series: obs::GlobalSeries,
 }
 
 /// What the event loop hands back for aggregation.
@@ -803,6 +830,8 @@ struct LoopOutput {
     profile: Option<obs::ProfileStats>,
     latency_hist: obs::LogHistogram,
     queue_depth_hist: obs::LogHistogram,
+    telemetry: Option<obs::TimeSeries>,
+    slo: Option<obs::SloReport>,
 }
 
 /// An online multi-tile serving runtime over one overlay variant.
@@ -826,6 +855,8 @@ pub struct Runtime {
     /// Swapped into the event loop's state and back out at serve end.
     trace_scratch: obs::TraceRecorder,
     profiling: bool,
+    telemetry: obs::TelemetryConfig,
+    slo: obs::SloConfig,
 }
 
 impl Runtime {
@@ -872,6 +903,8 @@ impl Runtime {
             tracing: obs::TraceConfig::disabled(),
             trace_scratch: obs::TraceRecorder::new(obs::TraceConfig::disabled()),
             profiling: false,
+            telemetry: obs::TelemetryConfig::disabled(),
+            slo: obs::SloConfig::disabled(),
         }
     }
 
@@ -974,6 +1007,31 @@ impl Runtime {
     #[must_use]
     pub fn with_profiling(mut self, enabled: bool) -> Self {
         self.profiling = enabled;
+        self
+    }
+
+    /// Configures windowed telemetry: the serve accumulates a per-window
+    /// [`TimeSeries`](obs::TimeSeries) (throughput, miss-rate, queue depth,
+    /// utilization, per-class latency percentiles) on the virtual timeline
+    /// and hands it back on the report. The default
+    /// [`TelemetryConfig::disabled`](obs::TelemetryConfig::disabled)
+    /// accumulates nothing and leaves the serve bitwise identical.
+    #[must_use]
+    pub fn with_telemetry(mut self, config: obs::TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
+    }
+
+    /// Configures SLO objectives: against the windowed telemetry series the
+    /// serve tracks per-class error-budget burn rates, fires/clears
+    /// multi-window burn alerts (as [`SloBurn`](obs::SpanKind::SloBurn) /
+    /// [`SloClear`](obs::SpanKind::SloClear) trace spans when tracing is on)
+    /// and reports an [`SloReport`](obs::SloReport). Needs
+    /// [`with_telemetry`](Runtime::with_telemetry); the default
+    /// [`SloConfig::disabled`](obs::SloConfig::disabled) tracks nothing.
+    #[must_use]
+    pub fn with_slo(mut self, config: obs::SloConfig) -> Self {
+        self.slo = config;
         self
     }
 
@@ -1153,6 +1211,8 @@ impl Runtime {
             metrics,
             trace: output.trace,
             profile: output.profile,
+            telemetry: output.telemetry,
+            slo: output.slo,
         })
     }
 
@@ -1220,6 +1280,8 @@ impl Runtime {
             profiler: obs::StageProfiler::new(self.profiling),
             latency_hist: obs::LogHistogram::new(),
             queue_depth_hist: obs::LogHistogram::new(),
+            lane_series: obs::LaneSeries::new(self.telemetry),
+            global_series: obs::GlobalSeries::new(self.telemetry),
         };
         let mut pull = SubmissionPull::new();
 
@@ -1273,6 +1335,9 @@ impl Runtime {
             let waiting = self.waiting_count();
             state.queue_area_us += waiting as f64 * (now_us - state.last_event_us);
             state.queue_depth_hist.record(waiting as f64);
+            state
+                .global_series
+                .note_queue(state.last_event_us, now_us, waiting);
             state.last_event_us = now_us;
             state.profiler.end(obs::Stage::Bookkeeping, bookkeeping);
 
@@ -1315,6 +1380,7 @@ impl Runtime {
                             arrival_us: info.request.arrival_us,
                             deadline_us: info.request.deadline_us,
                         });
+                        state.lane_series.note_reject(SloClass::Standard, now_us);
                         continue;
                     }
                     // Functional execution is placement-independent, so an
@@ -1377,6 +1443,26 @@ impl Runtime {
             "every submitted request is either served or rejected"
         );
         let mut recorder = state.recorder;
+        // Assemble the windowed series (the makespan is the last event's
+        // time — the final tile-free) and evaluate SLO burn against it, with
+        // the burn alerts recorded as spans before the recorder drains.
+        let telemetry = self.telemetry.is_enabled().then(|| {
+            obs::TimeSeries::assemble(
+                self.telemetry,
+                state.last_event_us,
+                self.pool.num_tiles(),
+                &state.global_series,
+                std::slice::from_ref(&state.lane_series),
+            )
+        });
+        let slo = match (&telemetry, self.slo.is_enabled()) {
+            (Some(series), true) => {
+                let report = obs::evaluate_slo(series, &self.slo);
+                obs::record_burn_spans(&mut recorder, &report);
+                Some(report)
+            }
+            _ => None,
+        };
         let trace = recorder.finish();
         // Hand the drained recorder (and its warm ring allocation) back to
         // the runtime for the next serve.
@@ -1392,6 +1478,8 @@ impl Runtime {
             profile: state.profiler.finish(),
             latency_hist: state.latency_hist,
             queue_depth_hist: state.queue_depth_hist,
+            telemetry,
+            slo,
         })
     }
 
@@ -1521,12 +1609,23 @@ impl Runtime {
                 info,
                 &charged,
                 None,
+                0.0,
                 state.batcher.run_len(tile),
             );
         }
         state
             .latency_hist
             .record(charged.completion_us - info.request.arrival_us);
+        state.lane_series.note_start(
+            SloClass::Standard,
+            charged.start_us,
+            charged.completion_us,
+            charged.completion_us - info.request.arrival_us,
+            info.request
+                .deadline_us
+                .is_some_and(|deadline| charged.completion_us > deadline),
+            false,
+        );
         let request = &info.request;
         state.outcome_slots[index] = Some(RequestOutcome {
             request_id: request.id,

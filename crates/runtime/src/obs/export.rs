@@ -15,9 +15,11 @@
 
 use std::fmt::Write as _;
 
-use crate::metrics::RuntimeMetrics;
+use crate::metrics::{ClassMetrics, DeviceMetrics, RuntimeMetrics};
 
 use super::profile::ProfileStats;
+use super::slo::SloReport;
+use super::timeline::TimeSeries;
 use super::trace::{SpanKind, Trace, TraceEvent};
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -107,6 +109,23 @@ fn args_of(event: &TraceEvent) -> String {
         }
         SpanKind::Prefetch { bytes } => fields.push(format!("\"bytes\":{bytes}")),
         SpanKind::Batch { run_len } => fields.push(format!("\"run_len\":{run_len}")),
+        SpanKind::DrainPhase { begin } => fields.push(format!("\"begin\":{begin}")),
+        SpanKind::LinkDegrade { multiplier } => {
+            fields.push(format!("\"multiplier\":{}", num(*multiplier)));
+        }
+        SpanKind::StageReady { deps } => fields.push(format!("\"deps\":{deps}")),
+        SpanKind::StageTransfer { from, bytes } => {
+            fields.push(format!("\"from\":{from}"));
+            fields.push(format!("\"bytes\":{bytes}"));
+        }
+        SpanKind::SloAdmit { class, admitted } => {
+            fields.push(format!("\"slo_class\":\"{}\"", class.label()));
+            fields.push(format!("\"admitted\":{admitted}"));
+        }
+        SpanKind::SloBurn { class, window } | SpanKind::SloClear { class, window } => {
+            fields.push(format!("\"slo_class\":\"{}\"", class.label()));
+            fields.push(format!("\"window\":{window}"));
+        }
         _ => {}
     }
     if fields.is_empty() {
@@ -126,6 +145,21 @@ fn args_of(event: &TraceEvent) -> String {
 /// `profile` is given, process 0 carries one host-time lane per stage —
 /// the ns/event attribution laid out next to the virtual timeline.
 pub fn perfetto_trace_json(trace: &Trace, profile: Option<&ProfileStats>, label: &str) -> String {
+    perfetto_trace_json_with_telemetry(trace, profile, None, None, label)
+}
+
+/// [`perfetto_trace_json`] plus a top-level `"telemetry"` section carrying
+/// the windowed [`TimeSeries`] (and, when SLO objectives were tracked, the
+/// per-class burn samples and alerts) — the same artifact CI archives, now
+/// chartable without re-running the serve. The extra key is ignored by
+/// Perfetto and passes [`validate_chrome_trace`] unchanged.
+pub fn perfetto_trace_json_with_telemetry(
+    trace: &Trace,
+    profile: Option<&ProfileStats>,
+    telemetry: Option<&TimeSeries>,
+    slo: Option<&SloReport>,
+    label: &str,
+) -> String {
     let mut events: Vec<String> = Vec::new();
     let mut named_processes = std::collections::BTreeSet::new();
     let mut named_tracks = std::collections::BTreeSet::new();
@@ -241,6 +275,9 @@ pub fn perfetto_trace_json(trace: &Trace, profile: Option<&ProfileStats>, label:
         let _ = writeln!(json, "    {event}{comma}");
     }
     json.push_str("  ],\n");
+    if let Some(series) = telemetry {
+        let _ = writeln!(json, "  \"telemetry\": {},", telemetry_json(series, slo));
+    }
     let _ = writeln!(json, "  \"displayTimeUnit\": \"ms\",");
     let _ = writeln!(
         json,
@@ -250,6 +287,118 @@ pub fn perfetto_trace_json(trace: &Trace, profile: Option<&ProfileStats>, label:
     );
     json.push_str("}\n");
     json
+}
+
+/// Renders the windowed time-series (and optional SLO tracking) as the JSON
+/// object embedded under the artifact's top-level `"telemetry"` key.
+fn telemetry_json(series: &TimeSeries, slo: Option<&SloReport>) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"window_us\":{},\"makespan_us\":{},\"windows\":[",
+        num(series.window_us),
+        num(series.makespan_us)
+    );
+    for (index, window) in series.windows.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"start_us\":{},\"end_us\":{},\"served\":{},\
+             \"deadline_misses\":{},\"rejects\":{},\"transfers\":{},\
+             \"miss_rate\":{},\"throughput_per_sec\":{},\"mean_queue_depth\":{},\
+             \"peak_queue_depth\":{},\"utilization\":{},\"classes\":[",
+            window.index,
+            num(window.start_us),
+            num(window.end_us),
+            window.served,
+            window.deadline_misses,
+            window.rejects,
+            window.transfers,
+            num(window.miss_rate()),
+            num(window.throughput_per_sec()),
+            num(window.mean_queue_depth),
+            window.peak_queue_depth,
+            num(window.utilization),
+        );
+        for (slot, class) in window.classes.iter().enumerate() {
+            if slot > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"slo_class\":\"{}\",\"served\":{},\"deadline_misses\":{},\
+                 \"rejects\":{},\"p50_latency_us\":{},\"p99_latency_us\":{}}}",
+                crate::session::SloClass::ALL[slot].label(),
+                class.served,
+                class.deadline_misses,
+                class.rejects,
+                num(class.p50_latency_us),
+                num(class.p99_latency_us),
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    if let Some(report) = slo {
+        out.push_str(",\"slo\":[");
+        for (index, status) in report.classes.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"slo_class\":\"{}\",\"target_miss_rate\":{},\"fast_windows\":{},\
+                 \"slow_windows\":{},\"burn_threshold\":{},\"budget_consumed\":{},\
+                 \"samples\":[",
+                status.objective.class.label(),
+                num(status.objective.target_miss_rate),
+                status.objective.fast_windows,
+                status.objective.slow_windows,
+                num(status.objective.burn_threshold),
+                num(status.budget_consumed),
+            );
+            for (i, sample) in status.samples.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"window\":{},\"time_us\":{},\"fast_burn\":{},\"slow_burn\":{},\
+                     \"alerting\":{}}}",
+                    sample.window,
+                    num(sample.time_us),
+                    num(sample.fast_burn),
+                    num(sample.slow_burn),
+                    sample.alerting,
+                );
+            }
+            out.push_str("],\"alerts\":[");
+            for (i, alert) in status.alerts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let cleared_window = alert
+                    .cleared_window
+                    .map_or("null".into(), |w| w.to_string());
+                let cleared_us = alert.cleared_us.map_or("null".into(), num);
+                let _ = write!(
+                    out,
+                    "{{\"fired_window\":{},\"fired_us\":{},\"cleared_window\":{cleared_window},\
+                     \"cleared_us\":{cleared_us},\"peak_fast_burn\":{}}}",
+                    alert.fired_window,
+                    num(alert.fired_us),
+                    num(alert.peak_fast_burn),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
 }
 
 /// Renders a metrics snapshot in the Prometheus text exposition format.
@@ -339,6 +488,161 @@ pub fn prometheus_text(metrics: &RuntimeMetrics) -> String {
         "Total waiting count sampled at every event-loop step.",
         &metrics.queue_depth_hist,
     );
+    out
+}
+
+/// [`prometheus_text`] plus the labeled breakdowns a cluster serve carries:
+/// per-device series under a `device="…"` label, per-SLO-class series under
+/// `slo_class="…"`, and — when SLO objectives were tracked — the burn-rate
+/// gauges the alerts fired on.
+pub fn prometheus_text_labeled(
+    metrics: &RuntimeMetrics,
+    devices: &[DeviceMetrics],
+    classes: &[ClassMetrics],
+    slo: Option<&SloReport>,
+) -> String {
+    let mut out = prometheus_text(metrics);
+
+    let mut series = |name: &str, kind: &str, help: &str, rows: Vec<(String, String)>| {
+        if rows.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, value) in rows {
+            let _ = writeln!(out, "{name}{{{labels}}} {value}");
+        }
+    };
+    let device_rows = |value: &dyn Fn(&DeviceMetrics) -> String| -> Vec<(String, String)> {
+        devices
+            .iter()
+            .map(|d| (format!("device=\"{}\"", d.device), value(d)))
+            .collect()
+    };
+    series(
+        "tm_device_requests_total",
+        "counter",
+        "Requests served per device.",
+        device_rows(&|d| d.requests.to_string()),
+    );
+    series(
+        "tm_device_rejects_total",
+        "counter",
+        "Requests shed by admission control per device.",
+        device_rows(&|d| d.rejects.to_string()),
+    );
+    series(
+        "tm_device_deadline_misses_total",
+        "counter",
+        "Served requests that missed their deadline, per device.",
+        device_rows(&|d| d.deadline_misses.to_string()),
+    );
+    series(
+        "tm_device_context_switches_total",
+        "counter",
+        "Hardware context switches per device.",
+        device_rows(&|d| d.switch_count.to_string()),
+    );
+    series(
+        "tm_device_transfers_in_total",
+        "counter",
+        "Kernel images acquired by inter-device transfer, per device.",
+        device_rows(&|d| d.transfers_in.to_string()),
+    );
+    series(
+        "tm_device_utilization",
+        "gauge",
+        "Mean tile utilization per device (0..=1).",
+        device_rows(&|d| num(d.mean_utilization())),
+    );
+    series(
+        "tm_device_peak_queue_depth",
+        "gauge",
+        "Highest waiting count per device.",
+        device_rows(&|d| d.peak_queue_depth.to_string()),
+    );
+    series(
+        "tm_device_availability",
+        "gauge",
+        "Fraction of the serve the device was alive (fault tier).",
+        device_rows(&|d| num(d.availability)),
+    );
+    series(
+        "tm_device_requeues_out_total",
+        "counter",
+        "Requests displaced off the device by faults or drains.",
+        device_rows(&|d| d.requeues_out.to_string()),
+    );
+
+    let class_rows = |value: &dyn Fn(&ClassMetrics) -> String| -> Vec<(String, String)> {
+        classes
+            .iter()
+            .map(|c| (format!("slo_class=\"{}\"", c.slo.label()), value(c)))
+            .collect()
+    };
+    series(
+        "tm_class_pipelines_total",
+        "counter",
+        "Pipelines submitted per SLO class.",
+        class_rows(&|c| c.pipelines.to_string()),
+    );
+    series(
+        "tm_class_rejected_total",
+        "counter",
+        "Pipelines that failed admission per SLO class.",
+        class_rows(&|c| c.rejected.to_string()),
+    );
+    series(
+        "tm_class_deadline_misses_total",
+        "counter",
+        "Completed pipelines that committed past deadline, per SLO class.",
+        class_rows(&|c| c.deadline_misses.to_string()),
+    );
+    series(
+        "tm_class_p99_latency_microseconds",
+        "gauge",
+        "99th-percentile commit latency per SLO class.",
+        class_rows(&|c| num(c.p99_latency_us)),
+    );
+
+    if let Some(report) = slo {
+        let status_rows = |value: &dyn Fn(&super::slo::SloStatus) -> String| {
+            report
+                .classes
+                .iter()
+                .map(|s| {
+                    (
+                        format!("slo_class=\"{}\"", s.objective.class.label()),
+                        value(s),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        series(
+            "tm_slo_budget_consumed",
+            "gauge",
+            "Whole-serve deadline miss-rate over the class's error budget.",
+            status_rows(&|s| num(s.budget_consumed)),
+        );
+        series(
+            "tm_slo_burn_alerts_total",
+            "counter",
+            "Burn-rate alerts fired per SLO class.",
+            status_rows(&|s| s.alerts.len().to_string()),
+        );
+        series(
+            "tm_slo_peak_fast_burn",
+            "gauge",
+            "Largest fast-window burn rate observed per SLO class.",
+            status_rows(&|s| {
+                num(s
+                    .samples
+                    .iter()
+                    .map(|sample| sample.fast_burn)
+                    .fold(0.0, f64::max))
+            }),
+        );
+    }
     out
 }
 

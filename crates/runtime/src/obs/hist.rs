@@ -238,9 +238,26 @@ pub fn percentile_from_parts(parts: &[&LogHistogram], p: f64) -> f64 {
         .map(|part| part.counts.len())
         .max()
         .unwrap_or(0);
+    // Every sample sits at or above its part's minimum, and `bucket_of` is
+    // monotone, so no part has a count below the smallest minimum's bucket —
+    // the walk can start there instead of scanning leading zeros. (A
+    // non-finite minimum would mean samples the comparison in `record`
+    // never tracked, e.g. NaN in the underflow bucket: start at 0.)
+    let start = parts
+        .iter()
+        .filter(|part| part.count > 0)
+        .map(|part| {
+            if part.min.is_finite() {
+                LogHistogram::bucket_of(part.min)
+            } else {
+                0
+            }
+        })
+        .min()
+        .unwrap_or(0);
     let mut cumulative = 0u64;
     let mut low_value = None;
-    for index in 0..len {
+    for index in start..len {
         let here: u64 = parts
             .iter()
             .map(|part| part.counts.get(index).copied().unwrap_or(0))
@@ -249,11 +266,13 @@ pub fn percentile_from_parts(parts: &[&LogHistogram], p: f64) -> f64 {
             continue;
         }
         cumulative += here;
-        let representative = LogHistogram::representative(index);
+        // The representative costs an exp2 — only materialize it at the two
+        // rank-crossing buckets, not on every bucket the walk passes.
         if low_value.is_none() && cumulative > low {
-            low_value = Some(representative);
+            low_value = Some(LogHistogram::representative(index));
         }
         if cumulative > high {
+            let representative = LogHistogram::representative(index);
             let low_value = low_value.expect("low rank is at or before high rank");
             return low_value * (1.0 - weight) + representative * weight;
         }

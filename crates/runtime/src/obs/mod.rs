@@ -23,18 +23,38 @@
 //!   (scan / route / sim / memo / bookkeeping) behind
 //!   [`Runtime::with_profiling`](crate::Runtime::with_profiling), feeding
 //!   the `profile` section of `BENCH_runtime.json`.
+//! * [`TelemetryConfig`] / [`TimeSeries`] — windowed time-series aggregation
+//!   on the virtual timeline (throughput, miss-rate, queue depth,
+//!   utilization, per-class latency percentiles per window), behind
+//!   [`Runtime::with_telemetry`](crate::Runtime::with_telemetry) /
+//!   [`Cluster::with_telemetry`](crate::Cluster::with_telemetry).
+//! * [`SloConfig`] / [`SloReport`] — per-class SLO objectives with
+//!   error-budget burn-rate tracking and multi-window burn alerts emitted
+//!   as [`SpanKind::SloBurn`] / [`SpanKind::SloClear`] trace spans.
+//! * [`explain`] / [`AttributionReport`] — per-request latency attribution
+//!   decoded from the trace: an additive queue / acquire / activation /
+//!   switch / run breakdown reconciling with modeled latency, plus
+//!   [`worst_offenders`](AttributionReport::worst_offenders).
 
+mod explain;
 mod export;
 mod hist;
 mod profile;
+mod slo;
+mod timeline;
 mod trace;
 
+pub use explain::{explain, Attribution, AttributionReport};
 pub use export::{
-    parse_json, perfetto_trace_json, prometheus_text, validate_chrome_trace, JsonValue,
-    TraceValidation,
+    parse_json, perfetto_trace_json, perfetto_trace_json_with_telemetry, prometheus_text,
+    prometheus_text_labeled, validate_chrome_trace, JsonValue, TraceValidation,
 };
 pub use hist::{percentile_from_parts, LogHistogram, SUB_BUCKETS_PER_OCTAVE};
 pub use profile::{ProfileStats, Stage, StageProfiler, STAGE_COUNT};
+pub(crate) use slo::{evaluate_slo, record_burn_spans};
+pub use slo::{BurnAlert, BurnSample, SloConfig, SloObjective, SloReport, SloStatus};
+pub use timeline::{ClassWindow, TelemetryConfig, TimeSeries, WindowStats};
+pub(crate) use timeline::{GlobalSeries, LaneSeries};
 pub use trace::{
     CounterName, RouteChoice, SpanKind, Trace, TraceConfig, TraceEvent, TraceRecorder,
     ACQUIRE_SOURCE_OVERFLOW, DEVICE_ID_OUT_OF_RANGE, TILE_ID_OUT_OF_RANGE,

@@ -205,6 +205,27 @@ pub enum SpanKind {
         /// False when the session's weighted-fair share was exhausted.
         admitted: bool,
     },
+    /// The inter-stage activation transfer charged on this request's start
+    /// critical path, between image acquisition and the context switch
+    /// (pipeline serves only).
+    Activation,
+    /// An SLO error-budget burn alert fired: the class's fast- and
+    /// slow-window burn rates both crossed the objective's threshold at
+    /// this window close (instant, device 0).
+    SloBurn {
+        /// The alerting SLO class.
+        class: crate::session::SloClass,
+        /// The telemetry window index the alert fired at.
+        window: u64,
+    },
+    /// A previously fired burn alert cleared: the fast-window burn rate
+    /// dropped back under threshold (instant, device 0).
+    SloClear {
+        /// The recovering SLO class.
+        class: crate::session::SloClass,
+        /// The telemetry window index the alert cleared at.
+        window: u64,
+    },
 }
 
 impl SpanKind {
@@ -231,6 +252,9 @@ impl SpanKind {
             SpanKind::StageReady { .. } => "stage-ready",
             SpanKind::StageTransfer { .. } => "stage-transfer",
             SpanKind::SloAdmit { .. } => "slo-admit",
+            SpanKind::Activation => "activation",
+            SpanKind::SloBurn { .. } => "slo-burn",
+            SpanKind::SloClear { .. } => "slo-clear",
         }
     }
 }
@@ -395,11 +419,19 @@ pub(crate) enum SpanTag {
     StageTransfer = 20,
     /// Payload is `admitted | class_index << 1`.
     SloAdmit = 21,
+    /// A request-level activation-transfer span on the start critical path.
+    Activation = 22,
+    // Telemetry burn-alert spans — instants with no side-table payloads, so
+    // they pass through lane absorption verbatim.
+    /// Payload is `class_index | window << 2`.
+    SloBurn = 23,
+    /// Payload is `class_index | window << 2`.
+    SloClear = 24,
 }
 
 impl SpanTag {
     /// Every tag, in discriminant order.
-    pub(crate) const ALL: [SpanTag; 22] = [
+    pub(crate) const ALL: [SpanTag; 25] = [
         SpanTag::Submit,
         SpanTag::Admission,
         SpanTag::Route,
@@ -422,6 +454,9 @@ impl SpanTag {
         SpanTag::StageReady,
         SpanTag::StageTransfer,
         SpanTag::SloAdmit,
+        SpanTag::Activation,
+        SpanTag::SloBurn,
+        SpanTag::SloClear,
     ];
 
     /// The inverse of the discriminant cast: the tag whose on-ring byte is
@@ -699,6 +734,13 @@ impl TraceRecorder {
                 SpanTag::SloAdmit,
                 (admitted as u64) | ((class.index() as u64) << 1),
             ),
+            SpanKind::Activation => (SpanTag::Activation, 0),
+            SpanKind::SloBurn { class, window } => {
+                (SpanTag::SloBurn, (class.index() as u64) | (window << 2))
+            }
+            SpanKind::SloClear { class, window } => {
+                (SpanTag::SloClear, (class.index() as u64) | (window << 2))
+            }
         };
         self.push(Packed {
             time_us: event.time_us,
@@ -803,6 +845,15 @@ impl TraceRecorder {
     }
 }
 
+/// Decodes a 2-bit packed SLO-class index back to the class.
+fn unpack_slo_class(index: u64) -> crate::session::SloClass {
+    match index {
+        0 => crate::session::SloClass::Latency,
+        1 => crate::session::SloClass::Standard,
+        _ => crate::session::SloClass::BestEffort,
+    }
+}
+
 /// Decodes one packed ring record back to typed public events — one for
 /// plain records, two for the fused lifecycle pairs.
 fn unpack_into(
@@ -891,6 +942,15 @@ fn unpack_into(
                 _ => crate::session::SloClass::BestEffort,
             },
             admitted: payload & 1 != 0,
+        },
+        Some(SpanTag::Activation) => SpanKind::Activation,
+        Some(SpanTag::SloBurn) => SpanKind::SloBurn {
+            class: unpack_slo_class(payload & 0x3),
+            window: payload >> 2,
+        },
+        Some(SpanTag::SloClear) => SpanKind::SloClear {
+            class: unpack_slo_class(payload & 0x3),
+            window: payload >> 2,
         },
         // QueueBatch/RunCommit returned above; Counter is the remaining
         // claimed byte, and unclaimed bytes (impossible for a ring packed by
@@ -1322,6 +1382,73 @@ mod tests {
         let mut merged = TraceRecorder::new(TraceConfig::enabled());
         merged.absorb_lane_record(&lane_trace, 0);
         merged.absorb_lane_record(&lane_trace, 1);
+        let trace = merged.finish().unwrap();
+        assert_eq!(trace.events(), lane_trace.events());
+    }
+
+    /// Telemetry spans (activation, burn alerts) round trip through the
+    /// packed ring and, carrying no side-table payloads, absorb verbatim
+    /// from lane traces like the fault and session instants do.
+    #[test]
+    fn telemetry_spans_round_trip_and_absorb_verbatim() {
+        use crate::session::SloClass;
+        let mut lane = TraceRecorder::new(TraceConfig::with_capacity(usize::MAX));
+        lane.record(TraceEvent {
+            time_us: 1.0,
+            dur_us: 0.5,
+            request_id: Some(7),
+            device: 1,
+            tile: Some(2),
+            kind: SpanKind::Activation,
+        });
+        lane.record(TraceEvent {
+            time_us: 3.0,
+            dur_us: 0.0,
+            request_id: None,
+            device: 0,
+            tile: None,
+            kind: SpanKind::SloBurn {
+                class: SloClass::Standard,
+                window: 17,
+            },
+        });
+        lane.record(TraceEvent {
+            time_us: 5.0,
+            dur_us: 0.0,
+            request_id: None,
+            device: 0,
+            tile: None,
+            kind: SpanKind::SloClear {
+                class: SloClass::BestEffort,
+                window: 21,
+            },
+        });
+        let lane_trace = lane.finish().unwrap();
+        let events = lane_trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind.label(), "activation");
+        assert_eq!(events[0].kind, SpanKind::Activation);
+        assert_eq!(events[0].dur_us, 0.5);
+        assert_eq!(events[1].kind.label(), "slo-burn");
+        assert_eq!(
+            events[1].kind,
+            SpanKind::SloBurn {
+                class: SloClass::Standard,
+                window: 17,
+            }
+        );
+        assert_eq!(events[2].kind.label(), "slo-clear");
+        assert_eq!(
+            events[2].kind,
+            SpanKind::SloClear {
+                class: SloClass::BestEffort,
+                window: 21,
+            }
+        );
+        let mut merged = TraceRecorder::new(TraceConfig::enabled());
+        merged.absorb_lane_record(&lane_trace, 0);
+        merged.absorb_lane_record(&lane_trace, 1);
+        merged.absorb_lane_record(&lane_trace, 2);
         let trace = merged.finish().unwrap();
         assert_eq!(trace.events(), lane_trace.events());
     }

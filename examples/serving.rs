@@ -1,7 +1,7 @@
 //! Multi-tenant online serving demo: bursty mixed-kernel traffic over the
 //! paper's benchmark suite, streamed into a pool of write-back overlay tiles.
 //!
-//! Eight acts:
+//! Nine acts:
 //!
 //! 1. **Context switches** — the same bursty 6-tenant trace is served with
 //!    kernel-affinity and round-robin dispatch, showing the ~0.25 µs
@@ -45,6 +45,15 @@
 //!    order per session, and a mid-serve kill requeues resident stages
 //!    without re-running finished upstream work — with the latency tier
 //!    holding its deadlines.
+//! 9. **Continuous telemetry** — act 5's controlled cluster rerun with the
+//!    windowed time-series, an SLO burn-rate objective, and per-request
+//!    latency attribution on: the serve stays bit-identical, the burst
+//!    pattern shows up window by window (throughput, miss rate, queue
+//!    depth, utilization), the error-budget burn is tracked against the
+//!    objective, the slowest requests are broken down additively
+//!    (queue/acquire/switch/run, reconciling with their reported
+//!    latencies), and the combined trace + telemetry counters land in a
+//!    Perfetto-loadable artifact.
 //!
 //! Every outcome of every serve is checked against the DFG reference
 //! evaluator.
@@ -53,12 +62,15 @@
 
 use tm_overlay::dfg::evaluate_stream;
 use tm_overlay::frontend::LowerOptions;
-use tm_overlay::runtime::obs::{perfetto_trace_json, validate_chrome_trace};
+use tm_overlay::runtime::obs::{
+    perfetto_trace_json, perfetto_trace_json_with_telemetry, validate_chrome_trace,
+};
 use tm_overlay::runtime::{RequestOutcome, SpanKind};
 use tm_overlay::{
-    BatchConfig, Benchmark, Cluster, ClusterReport, DispatchPolicy, FaultPlan, FlashCrowd,
+    explain, BatchConfig, Benchmark, Cluster, ClusterReport, DispatchPolicy, FaultPlan, FlashCrowd,
     FuVariant, KernelSpec, PipelineRequest, PipelineStage, ReplicationConfig, Request, RoutePolicy,
-    Runtime, Scenario, ScenarioConfig, ServeReport, Session, SloClass, TraceConfig, Workload,
+    Runtime, Scenario, ScenarioConfig, ServeReport, Session, SloClass, SloConfig, SloObjective,
+    TelemetryConfig, TraceConfig, Workload,
 };
 
 /// The tenants and their kernels: one benchmark each, with different request
@@ -794,6 +806,125 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "stage affinity keeps activations local: {} transfer(s) vs {} affinity-blind",
         piped.activation_transfers(),
         blind.activation_transfers(),
+    );
+
+    // ---------------------------------------------------------------- act 9
+    println!("\nact 9: act 5's controlled cluster once more, continuous telemetry on\n");
+    // Window width: a couple of service times, so each burst of the overload
+    // trace spans a handful of windows and the arrival pattern is visible in
+    // the series.
+    let window_us = 2.0 * service_us;
+    let mut telemetered_cluster = Cluster::new(FuVariant::V4, 4, 3)?
+        .with_policy(DispatchPolicy::KernelAffinity)
+        .with_route_policy(RoutePolicy::LeastLoaded)
+        .with_batching(BatchConfig::with_max_batch(8))
+        .with_replication(ReplicationConfig::new(3, 3.0, 20.0))
+        .with_tracing(TraceConfig::enabled())
+        .with_telemetry(TelemetryConfig::windowed(window_us))
+        .with_slo(SloConfig::disabled().with_objective(SloObjective::new(SloClass::Standard, 0.1)));
+    let telemetered = telemetered_cluster.serve_stream(|submitter| {
+        for request in &overload {
+            if submitter.submit(request.clone()).is_err() {
+                break;
+            }
+        }
+    })?;
+    verify_outputs(&overload, telemetered.outcomes())?;
+    assert_eq!(
+        telemetered.metrics(),
+        controlled.metrics(),
+        "telemetry must be functionally transparent: same serve, same metrics"
+    );
+
+    let series = telemetered.telemetry().expect("telemetry was enabled");
+    assert_eq!(
+        series.total_served(),
+        telemetered.outcomes().len() as u64,
+        "every completion lands in exactly one window"
+    );
+    println!(
+        "windowed series: {} windows of {window_us:.2} us over a {:.2} us makespan",
+        series.windows.len(),
+        series.makespan_us
+    );
+    println!(
+        "{:>6} {:>8} {:>10} {:>11} {:>11} {:>12}",
+        "window", "served", "miss rate", "mean queue", "peak queue", "utilization"
+    );
+    for window in &series.windows {
+        println!(
+            "{:>6} {:>8} {:>10.3} {:>11.2} {:>11} {:>11.0}%",
+            window.index,
+            window.served,
+            window.miss_rate(),
+            window.mean_queue_depth,
+            window.peak_queue_depth,
+            window.utilization * 100.0
+        );
+    }
+
+    // The burn-rate view of the same serve: miss rate over the error budget
+    // per window, with multi-window alerts when both the fast and slow burn
+    // cross the threshold.
+    let slo = telemetered.slo().expect("an SLO objective was configured");
+    let status = slo
+        .class(SloClass::Standard)
+        .expect("the standard class is tracked");
+    println!(
+        "\nslo: {:.0}% miss budget for the standard class -> {:.2}x of the serve's budget \
+         consumed, {} burn alert(s)",
+        status.objective.target_miss_rate * 100.0,
+        status.budget_consumed,
+        status.alerts.len(),
+    );
+    for alert in &status.alerts {
+        match (alert.cleared_window, alert.cleared_us) {
+            (Some(window), Some(us)) => println!(
+                "  alert: fired window {} ({:.2} us), cleared window {window} ({us:.2} us), \
+                 peak fast burn {:.2}x",
+                alert.fired_window, alert.fired_us, alert.peak_fast_burn
+            ),
+            _ => println!(
+                "  alert: fired window {} ({:.2} us), still burning at the makespan, \
+                 peak fast burn {:.2}x",
+                alert.fired_window, alert.fired_us, alert.peak_fast_burn
+            ),
+        }
+    }
+
+    // Per-request latency attribution from the same serve's spans: an
+    // additive queue/acquire/activation/switch/run breakdown per request
+    // that reconciles with the reported latency exactly.
+    let attribution = explain(telemetered.trace().expect("tracing was enabled"));
+    assert_eq!(attribution.rows().len(), telemetered.outcomes().len());
+    assert!(
+        attribution.rows().iter().all(|row| row.reconciles()),
+        "every attribution must sum back to its request's latency"
+    );
+    println!("\nwhy were the slow ones slow? the 5 worst offenders:");
+    print!("{}", attribution.worst_offenders_table(5));
+
+    // The combined artifact: request spans plus per-window counter tracks
+    // (throughput, miss rate, queue depth) and SLO burn instants, one file,
+    // Perfetto-loadable.
+    let telemetry_json = perfetto_trace_json_with_telemetry(
+        telemetered.trace().expect("tracing was enabled"),
+        None,
+        telemetered.telemetry(),
+        telemetered.slo(),
+        "serving act 9: telemetered cluster",
+    );
+    let telemetry_validation =
+        validate_chrome_trace(&telemetry_json).map_err(std::io::Error::other)?;
+    let telemetry_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/target/serving_telemetry_trace.json"
+    );
+    std::fs::write(telemetry_path, &telemetry_json)?;
+    println!(
+        "wrote {telemetry_path}: {} events over {} track(s) with the windowed counters \
+         riding along — load it at ui.perfetto.dev",
+        telemetry_validation.events, telemetry_validation.tracks,
     );
 
     println!("\nall outputs match the DFG reference evaluator");

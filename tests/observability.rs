@@ -15,15 +15,27 @@
 //!   percentiles to within one bucket width, and both exporters produce
 //!   well-formed output (the Chrome trace validator accepts the Perfetto
 //!   JSON; the Prometheus text carries the histogram series).
+//! * The same lens discipline extends to the continuous-telemetry tier:
+//!   windowed time-series and SLO burn-rate tracking change no outcome and
+//!   no trace byte (beyond the burn/clear instants appended after the last
+//!   serve event), the sharded loop reproduces the serial series bitwise,
+//!   and [`explain`] decodes every served request's spans back into an
+//!   additive latency breakdown that reconciles with its modeled latency —
+//!   including through fault displacement and pipeline activations.
 
 use proptest::prelude::*;
 use rand::prelude::*;
 
-use tm_overlay::runtime::obs::{perfetto_trace_json, prometheus_text, validate_chrome_trace};
+use tm_overlay::runtime::obs::{
+    perfetto_trace_json, perfetto_trace_json_with_telemetry, prometheus_text,
+    prometheus_text_labeled, validate_chrome_trace,
+};
 use tm_overlay::runtime::SpanKind;
 use tm_overlay::{
-    BatchConfig, Cluster, DispatchPolicy, FuVariant, KernelSpec, LogHistogram, ReplicationConfig,
-    Request, RoutePolicy, Runtime, ScanMode, ServeReport, Trace, TraceConfig, Workload,
+    explain, BatchConfig, Cluster, DispatchPolicy, FaultPlan, FuVariant, KernelSpec, LogHistogram,
+    PipelineRequest, PipelineStage, ReplicationConfig, Request, RoutePolicy, Runtime, ScanMode,
+    ServeReport, Session, SloClass, SloConfig, SloObjective, TelemetryConfig, Trace, TraceConfig,
+    Workload,
 };
 
 const SAXPY: &str = "kernel saxpy(a, x, y) { out r = a * x + y; }";
@@ -57,6 +69,14 @@ fn random_trace(seed: u64, count: usize, deadline_scale_us: f64) -> Vec<Request>
             request
         })
         .collect()
+}
+
+/// A Standard-class objective with a tight miss-rate target and a short
+/// fast/slow burn pair — deadline-heavy traces can fire it, quiet ones
+/// cannot.
+fn slo_objectives() -> SloConfig {
+    SloConfig::disabled()
+        .with_objective(SloObjective::new(SloClass::Standard, 0.05).with_windows(1, 2))
 }
 
 /// Every observable of the two serves must match exactly — including the
@@ -95,6 +115,7 @@ fn assert_spans_reconcile(
         match span.kind {
             SpanKind::QueueWait
             | SpanKind::Acquire { .. }
+            | SpanKind::Activation
             | SpanKind::ContextSwitch
             | SpanKind::Run => staged += span.dur_us,
             _ => continue,
@@ -302,6 +323,125 @@ proptest! {
         // (and so percentiles) are order-invariant, the sum is approximate.
         prop_assert!((merged.sum() - whole.sum()).abs() <= 1e-9 * whole.sum().abs().max(1.0));
     }
+
+    /// The continuous-telemetry tier is a lens too: windowed time-series and
+    /// SLO burn tracking change no outcome, metric or reject — and no trace
+    /// byte beyond the burn/clear instants the tracker appends after the
+    /// serve's own events.
+    #[test]
+    fn telemetry_and_slo_are_functionally_transparent(
+        (seed, count, tiles) in (any::<u64>(), 4usize..20, 1usize..5),
+        policy_pick in 0usize..4,
+    ) {
+        let requests = random_trace(seed, count, 3.0);
+        let policy = DispatchPolicy::ALL[policy_pick];
+        let build = || Runtime::new(FuVariant::V4, tiles)
+            .unwrap()
+            .with_policy(policy)
+            .with_tracing(TraceConfig::enabled());
+        let baseline = build().serve(requests.clone()).unwrap();
+        let telemetered = build()
+            .with_telemetry(TelemetryConfig::windowed(2.0))
+            .serve(requests.clone())
+            .unwrap();
+        let tracked = build()
+            .with_telemetry(TelemetryConfig::windowed(2.0))
+            .with_slo(slo_objectives())
+            .serve(requests)
+            .unwrap();
+        prop_assert!(baseline.telemetry().is_none());
+        prop_assert!(baseline.slo().is_none());
+        prop_assert!(telemetered.telemetry().is_some());
+        prop_assert!(telemetered.slo().is_none());
+        prop_assert!(tracked.slo().is_some());
+        assert_reports_identical(&telemetered, &baseline)?;
+        assert_reports_identical(&tracked, &baseline)?;
+        // Telemetry alone adds no trace event; the SLO tracker appends only
+        // burn/clear instants, strictly after the serve's own events.
+        prop_assert_eq!(telemetered.trace(), baseline.trace());
+        let base_events = baseline.trace().unwrap().events();
+        let slo_events = tracked.trace().unwrap().events();
+        prop_assert!(slo_events.len() >= base_events.len());
+        prop_assert_eq!(&slo_events[..base_events.len()], base_events);
+        for event in &slo_events[base_events.len()..] {
+            prop_assert!(matches!(
+                event.kind,
+                SpanKind::SloBurn { .. } | SpanKind::SloClear { .. }
+            ));
+        }
+        // The series covers the whole serve: dense windows from 0 through
+        // the makespan, and every served request commits into exactly one.
+        let series = telemetered.telemetry().unwrap();
+        prop_assert_eq!(series.total_served(), baseline.outcomes().len() as u64);
+        prop_assert!(!series.windows.is_empty());
+        prop_assert!(series.windows.last().unwrap().end_us >= series.makespan_us);
+        for window in &series.windows {
+            prop_assert!(window.utilization >= 0.0 && window.utilization <= 1.0 + 1e-12);
+        }
+    }
+
+    /// The sharded loop's lane-partitioned accumulation plus the serial
+    /// replay of the queue integral reproduce the serial loop's time-series,
+    /// burn-rate report and burn events bitwise, at any thread count.
+    #[test]
+    fn sharded_telemetry_matches_serial_bitwise(
+        (seed, count, devices, tiles) in (any::<u64>(), 6usize..24, 2usize..5, 1usize..3),
+        threads_pick in 0usize..2,
+    ) {
+        let requests = random_trace(seed, count, 4.0);
+        let threads = [2usize, 4][threads_pick];
+        let build = || Cluster::new(FuVariant::V4, devices, tiles)
+            .unwrap()
+            .with_route_policy(RoutePolicy::KernelHash)
+            .with_tracing(TraceConfig::enabled())
+            .with_telemetry(TelemetryConfig::windowed(1.0))
+            .with_slo(slo_objectives());
+        let serial = build().serve(requests.clone()).unwrap();
+        let sharded = build().with_threads(threads).serve(requests).unwrap();
+        prop_assert!(serial.telemetry().is_some());
+        prop_assert_eq!(serial.telemetry(), sharded.telemetry());
+        prop_assert_eq!(serial.slo(), sharded.slo());
+        prop_assert_eq!(serial.trace(), sharded.trace());
+    }
+
+    /// [`explain`] decodes the trace back into one additive row per served
+    /// request, reconciling with the modeled latency under the full control
+    /// plane (routing, image transfers, batching, replication).
+    #[test]
+    fn attribution_reconciles_for_every_request(
+        (seed, count, devices, tiles) in (any::<u64>(), 6usize..24, 2usize..5, 1usize..3),
+        route_pick in 0usize..3,
+    ) {
+        let requests = random_trace(seed, count, 4.0);
+        let route = RoutePolicy::ALL[route_pick];
+        let mut cluster = Cluster::new(FuVariant::V4, devices, tiles)
+            .unwrap()
+            .with_route_policy(route)
+            .with_batching(BatchConfig::with_max_batch(4))
+            .with_replication(ReplicationConfig::new(2, 3.0, 20.0))
+            .with_tracing(TraceConfig::enabled());
+        let report = cluster.serve(requests).unwrap();
+        let attribution = explain(report.trace().expect("tracing was enabled"));
+        prop_assert_eq!(attribution.rows().len(), report.outcomes().len());
+        for outcome in report.outcomes() {
+            let row = attribution
+                .for_request(outcome.request_id)
+                .expect("every served request has a row");
+            prop_assert_eq!(row.device, outcome.device);
+            prop_assert_eq!(row.completion_us, outcome.completion_us);
+            prop_assert_eq!(row.requeues, 0);
+            prop_assert!(
+                (row.latency_us - outcome.latency_us).abs()
+                    <= 1e-9 * outcome.latency_us.abs().max(1.0)
+            );
+            prop_assert!(
+                row.reconciles(),
+                "request {}: residual {}",
+                outcome.request_id,
+                row.residual_us()
+            );
+        }
+    }
 }
 
 #[test]
@@ -374,4 +514,192 @@ fn exporters_emit_wellformed_output() {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
     assert!(text.contains(&format!("tm_requests_total {}", report.metrics().requests)));
+}
+
+/// Attribution through fault displacement: killed-then-relocated requests
+/// report their discarded work in `displaced_us` and their displacements in
+/// `requeues`, the surviving attempt still reconciles additively, the
+/// windowed series keeps counting through the fault, and the fault-tier
+/// spans survive the Perfetto export and its validator.
+#[test]
+fn fault_displacement_is_attributed_and_exports() {
+    // Bursts of 8 on 6 tiles: queues form everywhere, so the kill always
+    // has queued and in-flight work to displace (the fault-suite idiom).
+    let specs = [
+        (KernelSpec::from_source("saxpy", SAXPY), 3usize),
+        (KernelSpec::from_source("poly", POLY), 1),
+        (KernelSpec::from_source("grad", GRAD), 5),
+    ];
+    let requests: Vec<Request> = (0..48)
+        .map(|i| {
+            let (spec, inputs) = &specs[i % specs.len()];
+            let workload = Workload::random(*inputs, 1 + i % 3, 0xD15 ^ (i as u64 % 4));
+            let arrival_us = (i / 8) as f64 * 0.4;
+            Request::new(i as u64, spec.clone(), workload)
+                .at(arrival_us)
+                .with_deadline(arrival_us + 2.0)
+        })
+        .collect();
+    let build = || {
+        Cluster::new(FuVariant::V4, 3, 2)
+            .unwrap()
+            .with_route_policy(RoutePolicy::LeastLoaded)
+    };
+    let baseline = build().serve(requests.clone()).unwrap();
+    let makespan_us = baseline.metrics().makespan_us;
+    let kill_at = makespan_us * 0.3;
+    let mut faulty = build()
+        .with_fault_plan(FaultPlan::new().kill(kill_at, 0).revive(kill_at * 2.0, 0))
+        .with_tracing(TraceConfig::enabled())
+        .with_telemetry(TelemetryConfig::windowed(makespan_us / 16.0))
+        .with_slo(slo_objectives());
+    let report = faulty.serve(requests).unwrap();
+    assert!(report.requeues() > 0, "the kill must displace work");
+
+    let attribution = explain(report.trace().expect("tracing was enabled"));
+    let mut requeued = 0usize;
+    for outcome in report.outcomes() {
+        let row = attribution
+            .for_request(outcome.request_id)
+            .expect("every served request has a row");
+        assert!(
+            row.reconciles(),
+            "request {}: residual {}",
+            outcome.request_id,
+            row.residual_us()
+        );
+        requeued += usize::from(row.requeues > 0);
+    }
+    assert!(requeued > 0, "displaced requests must carry requeue counts");
+    assert!(
+        attribution.rows().iter().any(|row| row.displaced_us > 0.0),
+        "a started-then-killed request must report discarded work"
+    );
+
+    // The series keeps counting through the fault; superseded attempts of
+    // displaced requests stay counted, exactly like the latency histogram
+    // the metrics already expose.
+    let series = report.telemetry().expect("telemetry was enabled");
+    assert!(series.total_served() >= report.outcomes().len() as u64);
+    assert!(report.slo().is_some());
+
+    // The fault-tier spans render in Perfetto and survive the validator,
+    // telemetry section included.
+    let json = perfetto_trace_json_with_telemetry(
+        report.trace().unwrap(),
+        None,
+        report.telemetry(),
+        report.slo(),
+        "fault observability",
+    );
+    let validation = validate_chrome_trace(&json).expect("trace must validate");
+    assert!(validation.events > 0);
+    assert!(json.contains("\"telemetry\""));
+    for needle in ["device-down", "device-up", "requeue"] {
+        assert!(json.contains(needle), "missing {needle:?} in the export");
+    }
+}
+
+/// The session tier's spans — stage readiness, inter-device activation
+/// transfers, SLO admission, and the per-stage activation charge — render
+/// in the Perfetto export, survive the validator, and keep the additive
+/// reconciliation intact (the activation span is part of the identity).
+#[test]
+fn pipeline_spans_export_and_reconcile() {
+    let specs = [
+        (KernelSpec::from_source("saxpy", SAXPY), 3usize),
+        (KernelSpec::from_source("poly", POLY), 1),
+        (KernelSpec::from_source("grad", GRAD), 5),
+    ];
+    let pipelines: Vec<PipelineRequest> = (0..12u64)
+        .map(|i| {
+            let mut pipeline = PipelineRequest::new(i + 1, i % 3).at(i as f64 * 0.3);
+            for stage in 0..3usize {
+                let (spec, inputs) = &specs[(i as usize + stage) % specs.len()];
+                let workload = Workload::random(*inputs, 2, 0xBEEF ^ i ^ stage as u64);
+                let mut built = PipelineStage::new(spec.clone(), workload).emits(1 << 14);
+                if stage > 0 {
+                    built = built.after(&[stage - 1]);
+                }
+                pipeline = pipeline.stage(built);
+            }
+            pipeline
+        })
+        .collect();
+    let sessions = [
+        Session::new(0).with_slo(SloClass::Latency),
+        Session::new(1),
+        Session::new(2).with_slo(SloClass::BestEffort),
+    ];
+    // Affinity-blind kernel-hash routing pins each stage to its kernel's
+    // home device, so consecutive stages hop devices and pay activations.
+    let mut cluster = Cluster::new(FuVariant::V4, 2, 2)
+        .unwrap()
+        .with_route_policy(RoutePolicy::KernelHash)
+        .with_stage_affinity(false)
+        .with_tracing(TraceConfig::enabled())
+        .with_telemetry(TelemetryConfig::windowed(1.0))
+        .with_slo(slo_objectives());
+    let report = cluster.serve_pipelines(pipelines, &sessions).unwrap();
+    assert!(
+        report.activation_transfers() > 0,
+        "3-stage chains on 2 devices must pay inter-device activations"
+    );
+    let trace = report.cluster.trace().expect("tracing was enabled");
+    for outcome in report.cluster.outcomes() {
+        assert_spans_reconcile(trace, outcome.request_id, outcome.latency_us).unwrap();
+    }
+    // The attribution engine surfaces the activation column.
+    let attribution = explain(trace);
+    assert!(
+        attribution.rows().iter().any(|row| row.activation_us > 0.0),
+        "some stage must charge an activation transfer on its start path"
+    );
+
+    let json = perfetto_trace_json_with_telemetry(
+        trace,
+        None,
+        report.cluster.telemetry(),
+        report.cluster.slo(),
+        "pipeline observability",
+    );
+    let validation = validate_chrome_trace(&json).expect("trace must validate");
+    assert!(validation.events > 0);
+    assert!(json.contains("\"telemetry\""));
+    for needle in ["stage-ready", "stage-transfer", "slo-admit", "activation"] {
+        assert!(json.contains(needle), "missing {needle:?} in the export");
+    }
+}
+
+/// The labeled Prometheus exposition is the plain one plus per-device,
+/// per-class and SLO burn series.
+#[test]
+fn labeled_prometheus_exposition_carries_device_and_class_series() {
+    let requests = random_trace(0x1abe1ed, 24, 3.0);
+    let mut cluster = Cluster::new(FuVariant::V4, 2, 2)
+        .unwrap()
+        .with_route_policy(RoutePolicy::PowerOfTwoChoices)
+        .with_tracing(TraceConfig::enabled())
+        .with_telemetry(TelemetryConfig::windowed(2.0))
+        .with_slo(slo_objectives());
+    let report = cluster.serve(requests).unwrap();
+    let plain = prometheus_text(report.metrics());
+    let labeled =
+        prometheus_text_labeled(report.metrics(), report.device_metrics(), &[], report.slo());
+    assert!(labeled.starts_with(&plain), "the plain text is a prefix");
+    for needle in [
+        "tm_device_requests_total{device=\"0\"}",
+        "tm_device_requests_total{device=\"1\"}",
+        "tm_device_utilization{device=\"0\"}",
+        "tm_device_availability{device=\"1\"}",
+        "tm_slo_budget_consumed{slo_class=\"standard\"}",
+        "tm_slo_peak_fast_burn{slo_class=\"standard\"}",
+    ] {
+        assert!(
+            labeled.contains(needle),
+            "missing {needle:?} in:\n{labeled}"
+        );
+    }
+    // With no classes passed, no class series appear.
+    assert!(!labeled.contains("tm_class_pipelines_total"));
 }
